@@ -1,0 +1,70 @@
+//! The conventional `O(n³)` baseline behind a full `gemm` interface.
+
+use modgemm_mat::blocked::blocked_mul;
+use modgemm_mat::view::{MatMut, MatRef, Op};
+use modgemm_mat::Scalar;
+
+use crate::common::blas_wrap;
+
+/// `C ← α·op(A)·op(B) + β·C` with the blocked conventional kernel.
+#[track_caller]
+pub fn conventional_gemm<S: Scalar>(
+    alpha: S,
+    op_a: Op,
+    a: MatRef<'_, S>,
+    op_b: Op,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+) {
+    blas_wrap(alpha, op_a, a, op_b, b, beta, c, &mut |x, y, z| blocked_mul(x, y, z));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modgemm_mat::gen::random_matrix;
+    use modgemm_mat::naive::naive_gemm;
+    use modgemm_mat::norms::assert_matrix_eq;
+    use modgemm_mat::Matrix;
+
+    #[test]
+    fn matches_oracle_across_shapes_and_params() {
+        for (m, k, n, alpha, beta, seed) in [
+            (17usize, 23usize, 11usize, 1.0, 0.0, 1u64),
+            (64, 64, 64, 2.0, 1.0, 2),
+            (100, 37, 55, -1.0, 0.5, 3),
+            (1, 100, 1, 1.0, -1.0, 4),
+        ] {
+            let a: Matrix<f64> = random_matrix(m, k, seed);
+            let b: Matrix<f64> = random_matrix(k, n, seed + 10);
+            let c0: Matrix<f64> = random_matrix(m, n, seed + 20);
+            let mut got = c0.clone();
+            conventional_gemm(
+                alpha,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                beta,
+                got.view_mut(),
+            );
+            let mut expect = c0;
+            naive_gemm(alpha, Op::NoTrans, a.view(), Op::NoTrans, b.view(), beta, expect.view_mut());
+            assert_matrix_eq(got.view(), expect.view(), k);
+        }
+    }
+
+    #[test]
+    fn transposes_via_interface_copy() {
+        // A stored 8x12 → op(A) = Aᵀ is 12x8; B stored 9x8 → op(B) = Bᵀ is
+        // 8x9; C is 12x9 with inner dimension 8.
+        let a: Matrix<i64> = random_matrix(8, 12, 5);
+        let b: Matrix<i64> = random_matrix(9, 8, 6);
+        let mut got: Matrix<i64> = Matrix::zeros(12, 9);
+        conventional_gemm(1, Op::Trans, a.view(), Op::Trans, b.view(), 0, got.view_mut());
+        let mut expect: Matrix<i64> = Matrix::zeros(12, 9);
+        naive_gemm(1, Op::Trans, a.view(), Op::Trans, b.view(), 0, expect.view_mut());
+        assert_eq!(got, expect);
+    }
+}

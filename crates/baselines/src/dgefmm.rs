@@ -1,0 +1,209 @@
+//! DGEFMM — Strassen-Winograd with **dynamic peeling**
+//! (Huss-Lederman, Jacobson, Johnson, Tsao, Turnbull — SC'96).
+//!
+//! At every recursion level, an odd dimension is reduced by one: the last
+//! row of `op(A)`/`C`, the last column of `op(B)`/`C`, and/or the last
+//! column of `A` with the last row of `B` (the inner dimension) are
+//! *peeled off*. Strassen's step then divides the even `m' × k' × n'`
+//! core exactly in half, and the peels are restored afterwards by fix-up
+//! computations:
+//!
+//! * odd `k`: a rank-1 update `C' += a_{·,k-1} · b_{k-1,·}` over the even
+//!   core of `C`;
+//! * odd `n`: the last column of `C` is a matrix-vector product
+//!   `A · b_{·,n-1}` (full `k`);
+//! * odd `m`: the last row of `C` is a vector-matrix product
+//!   `a_{m-1,·} · B` (full `k`, full `n` — it also covers the bottom-right
+//!   corner when both `m` and `n` are odd).
+//!
+//! These fix-ups are matrix-*vector* operations with little reuse — the
+//! inefficiency the paper contrasts against (§3.2). Storage stays
+//! column-major throughout; the recursion works on strided views of the
+//! caller's data, and the Winograd step is the same 22-step linearized
+//! schedule as MODGEMM's (`modgemm_core::schedule`), executed over views
+//! with per-level temporaries.
+
+use modgemm_mat::addsub::rank1_update;
+use modgemm_mat::blocked::blocked_mul;
+use modgemm_mat::view::{MatMut, MatRef, Op};
+use modgemm_mat::Scalar;
+
+use crate::common::{
+    blas_wrap, gather_row, gemv_overwrite, gevm_overwrite, winograd_step_views,
+};
+
+/// DGEFMM configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DgefmmConfig {
+    /// Recursion truncation point: apply Strassen's step only while
+    /// `min(m, k, n)` exceeds this. The paper uses the empirically
+    /// determined value 64 for its measurements.
+    pub truncation: usize,
+}
+
+impl Default for DgefmmConfig {
+    fn default() -> Self {
+        // §4: "For DGEFMM we use the empirically determined recursion
+        // truncation point of 64."
+        Self { truncation: 64 }
+    }
+}
+
+/// `C ← α·op(A)·op(B) + β·C` with dynamic peeling.
+#[track_caller]
+pub fn dgefmm<S: Scalar>(
+    alpha: S,
+    op_a: Op,
+    a: MatRef<'_, S>,
+    op_b: Op,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+    cfg: &DgefmmConfig,
+) {
+    blas_wrap(alpha, op_a, a, op_b, b, beta, c, &mut |x, y, z| {
+        dgefmm_core(x, y, z, cfg.truncation)
+    });
+}
+
+/// The overwrite core: `C ← A·B` with per-level peeling.
+pub fn dgefmm_core<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>, mut c: MatMut<'_, S>, trunc: usize) {
+    let (m, k) = a.dims();
+    let (_, n) = b.dims();
+    debug_assert_eq!(b.rows(), k);
+    debug_assert_eq!(c.dims(), (m, n));
+
+    if m.min(k).min(n) <= trunc.max(1) {
+        blocked_mul(a, b, c);
+        return;
+    }
+
+    // Even core dimensions.
+    let (me, ke, ne) = (m & !1, k & !1, n & !1);
+
+    // Strassen-Winograd on the even core.
+    {
+        let a_core = a.submatrix(0, 0, me, ke);
+        let b_core = b.submatrix(0, 0, ke, ne);
+        let c_core = c.submatrix_mut(0, 0, me, ne);
+        winograd_step_views(a_core, b_core, c_core, &mut |x, y, z| {
+            dgefmm_core(x, y, z, trunc)
+        });
+    }
+
+    // Fix-up 1: odd k — rank-1 update of the even core.
+    if ke < k {
+        let a_col = a.submatrix(0, k - 1, me, 1).to_vec();
+        let b_row = gather_row(b.submatrix(k - 1, 0, 1, ne), 0);
+        rank1_update(c.submatrix_mut(0, 0, me, ne), S::ONE, &a_col, &b_row);
+    }
+
+    // Fix-up 2: odd n — last column of C over the full inner dimension,
+    // for the first me rows (the last row, if any, is covered below).
+    if ne < n {
+        let b_col = b.submatrix(0, n - 1, k, 1).to_vec();
+        let a_top = a.submatrix(0, 0, me, k);
+        let mut out = vec![S::ZERO; me];
+        gemv_overwrite(a_top, &b_col, &mut out);
+        c.submatrix_mut(0, n - 1, me, 1).col_mut(0).copy_from_slice(&out);
+    }
+
+    // Fix-up 3: odd m — last row of C over full k and full n.
+    if me < m {
+        let a_row = gather_row(a.submatrix(m - 1, 0, 1, k), 0);
+        let mut out = vec![S::ZERO; n];
+        gevm_overwrite(&a_row, b, &mut out);
+        for (j, v) in out.into_iter().enumerate() {
+            c.set(m - 1, j, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modgemm_mat::gen::random_matrix;
+    use modgemm_mat::naive::{naive_gemm, naive_product};
+    use modgemm_mat::norms::assert_matrix_eq;
+    use modgemm_mat::Matrix;
+
+    fn check_core_i64(m: usize, k: usize, n: usize, trunc: usize, seed: u64) {
+        let a: Matrix<i64> = random_matrix(m, k, seed);
+        let b: Matrix<i64> = random_matrix(k, n, seed + 1);
+        let mut c: Matrix<i64> = Matrix::zeros(m, n);
+        dgefmm_core(a.view(), b.view(), c.view_mut(), trunc);
+        assert_eq!(c, naive_product(&a, &b), "{m}x{k}x{n} trunc {trunc}");
+    }
+
+    #[test]
+    fn even_sizes_no_peeling() {
+        check_core_i64(16, 16, 16, 4, 1);
+        check_core_i64(32, 24, 40, 8, 2);
+    }
+
+    #[test]
+    fn odd_sizes_exercise_each_peel() {
+        check_core_i64(17, 16, 16, 4, 3); // m odd
+        check_core_i64(16, 17, 16, 4, 4); // k odd
+        check_core_i64(16, 16, 17, 4, 5); // n odd
+        check_core_i64(17, 17, 17, 4, 6); // all odd
+        check_core_i64(31, 29, 27, 4, 7); // odd at every level
+    }
+
+    #[test]
+    fn peeling_recurses_through_multiple_levels() {
+        // 50 → 25 (odd) → 12 → 6 ≤ trunc: peeling triggers mid-recursion.
+        check_core_i64(50, 50, 50, 6, 8);
+        check_core_i64(100, 99, 98, 12, 9);
+    }
+
+    #[test]
+    fn full_interface_matches_oracle() {
+        let cfg = DgefmmConfig { truncation: 16 };
+        for (m, k, n, alpha, beta, op_a, op_b, seed) in [
+            (65usize, 65usize, 65usize, 1.0f64, 0.0f64, Op::NoTrans, Op::NoTrans, 10u64),
+            (100, 81, 77, 2.0, -1.0, Op::Trans, Op::NoTrans, 11),
+            (90, 95, 85, -0.5, 0.5, Op::NoTrans, Op::Trans, 12),
+        ] {
+            let (ar, ac) = op_a.apply_dims(m, k);
+            let (br, bc) = op_b.apply_dims(k, n);
+            let a: Matrix<f64> = random_matrix(ar, ac, seed);
+            let b: Matrix<f64> = random_matrix(br, bc, seed + 1);
+            let c0: Matrix<f64> = random_matrix(m, n, seed + 2);
+            let mut got = c0.clone();
+            dgefmm(alpha, op_a, a.view(), op_b, b.view(), beta, got.view_mut(), &cfg);
+            let mut expect = c0;
+            naive_gemm(alpha, op_a, a.view(), op_b, b.view(), beta, expect.view_mut());
+            assert_matrix_eq(got.view(), expect.view(), k);
+        }
+    }
+
+    #[test]
+    fn default_truncation_is_paper_value() {
+        assert_eq!(DgefmmConfig::default().truncation, 64);
+    }
+
+    #[test]
+    fn below_truncation_is_pure_blocked() {
+        // Everything ≤ 64 short-circuits to the leaf kernel.
+        let a: Matrix<i64> = random_matrix(60, 60, 20);
+        let b: Matrix<i64> = random_matrix(60, 60, 21);
+        let mut c: Matrix<i64> = Matrix::zeros(60, 60);
+        dgefmm_core(a.view(), b.view(), c.view_mut(), 64);
+        assert_eq!(c, naive_product(&a, &b));
+    }
+
+    #[test]
+    fn strided_operand_views() {
+        // Operands that are windows of larger matrices (ld > rows).
+        let base_a: Matrix<i64> = random_matrix(80, 80, 22);
+        let base_b: Matrix<i64> = random_matrix(80, 80, 23);
+        let av = base_a.view().submatrix(3, 5, 33, 35);
+        let bv = base_b.view().submatrix(7, 1, 35, 37);
+        let mut c: Matrix<i64> = Matrix::zeros(33, 37);
+        dgefmm_core(av, bv, c.view_mut(), 8);
+        let a_own = Matrix::from_vec(av.to_vec(), 33, 35);
+        let b_own = Matrix::from_vec(bv.to_vec(), 35, 37);
+        assert_eq!(c, naive_product(&a_own, &b_own));
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Comparator implementations from the paper's evaluation (§4, §5.1).
+//!
+//! The paper measures MODGEMM against two earlier Strassen-Winograd codes
+//! and implicitly against the conventional algorithm; all three are
+//! reimplemented here, sharing the *same* leaf kernel
+//! ([`modgemm_mat::blocked`]) so that the comparison isolates the
+//! odd-size / layout *strategy*, exactly as in the paper (which linked all
+//! codes against the same vendor kernels):
+//!
+//! * [`dgefmm`] — **dynamic peeling** (Huss-Lederman, Jacobson, Johnson,
+//!   Tsao, Turnbull — SC'96). Odd dimensions lose one row/column before
+//!   each division; the peel is restored by rank-1 and matrix-vector
+//!   fix-ups. Column-major throughout, fixed truncation point
+//!   (empirically 64 in the paper).
+//! * [`dgemmw`] — **dynamic overlap** (Douglas, Heroux, Slishman, Smith —
+//!   JCP'94). Odd dimensions split into ceil-halves that overlap by one
+//!   row/column; overlapped output is computed redundantly and the
+//!   double-counted inner-dimension term is removed by a rank-1
+//!   correction.
+//! * [`conventional`] — the blocked `O(n³)` kernel behind a full `gemm`
+//!   interface.
+//! * [`bailey`] — static padding with a fixed two-level unfolding
+//!   (Bailey, SISSC'88, the fourth odd-size strategy of §5.1), the
+//!   textbook scheme whose padding blow-up motivates the paper's dynamic
+//!   truncation point.
+//!
+//! All three expose the same signature as `modgemm_core::modgemm`, so the
+//! experiment harness can swap them freely.
+
+pub mod bailey;
+pub mod common;
+pub mod conventional;
+pub mod dgefmm;
+pub mod dgemmw;
+
+pub use bailey::{bailey_gemm, BaileyConfig};
+pub use conventional::conventional_gemm;
+pub use dgefmm::{dgefmm, DgefmmConfig};
+pub use dgemmw::{dgemmw, DgemmwConfig};

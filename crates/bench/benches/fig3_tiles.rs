@@ -1,0 +1,54 @@
+//! Figure 3: leaf-tile multiply, contiguous (`ld == T`) vs non-contiguous
+//! (`ld == base`), around the power-of-two leading dimension 256.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use modgemm_bench::criterion;
+use modgemm_mat::blocked::blocked_mul;
+use modgemm_mat::gen::random_matrix;
+use modgemm_mat::Matrix;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_tile_multiply");
+    for t in [24usize, 28, 32] {
+        let flops = 2 * (t as u64).pow(3);
+        g.throughput(Throughput::Elements(flops));
+
+        // Contiguous: ld == T.
+        let a: Matrix<f64> = random_matrix(t, t, 1);
+        let bm: Matrix<f64> = random_matrix(t, t, 2);
+        let mut cm: Matrix<f64> = Matrix::zeros(t, t);
+        g.bench_with_input(BenchmarkId::new("contiguous", t), &t, |bch, _| {
+            bch.iter(|| {
+                blocked_mul(a.view(), bm.view(), cm.view_mut());
+                black_box(cm.as_slice());
+            })
+        });
+
+        // Non-contiguous at the pathological ld = 256 and a benign 255.
+        for ld in [255usize, 256] {
+            let base: Matrix<f64> = random_matrix(ld, ld, 3);
+            let mut out: Matrix<f64> = Matrix::zeros(ld, ld);
+            g.bench_with_input(
+                BenchmarkId::new(format!("noncontig_ld{ld}"), t),
+                &t,
+                |bch, _| {
+                    bch.iter(|| {
+                        let av = base.view().submatrix(1, 1, t, t);
+                        let bv = base.view().submatrix(t + 1, t + 1, t, t);
+                        let mut om = out.view_mut();
+                        let cv = om.submatrix_mut(2 * t + 1, 2 * t + 1, t, t);
+                        blocked_mul(av, bv, cv);
+                        black_box(out.as_slice());
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,53 @@
+//! Figures 5/6: the headline comparison — MODGEMM vs DGEFMM vs DGEMMW
+//! vs the conventional kernel, α = 1, β = 0.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use modgemm_baselines::{conventional_gemm, dgefmm, dgemmw, DgefmmConfig, DgemmwConfig};
+use modgemm_bench::{criterion, GEMM_SIZES};
+use modgemm_core::{modgemm, ModgemmConfig};
+use modgemm_mat::gen::random_problem;
+use modgemm_mat::{Matrix, Op};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig56_gemm");
+    let mod_cfg = ModgemmConfig::paper();
+    let fmm_cfg = DgefmmConfig::default();
+    let mmw_cfg = DgemmwConfig::default();
+
+    for n in GEMM_SIZES {
+        let (a, b, _) = random_problem::<f64>(n, n, n, 42);
+        let mut cmat: Matrix<f64> = Matrix::zeros(n, n);
+        g.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
+        g.bench_with_input(BenchmarkId::new("modgemm", n), &n, |bch, _| {
+            bch.iter(|| {
+                modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cmat.view_mut(), &mod_cfg);
+                black_box(cmat.as_slice());
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dgefmm", n), &n, |bch, _| {
+            bch.iter(|| {
+                dgefmm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cmat.view_mut(), &fmm_cfg);
+                black_box(cmat.as_slice());
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dgemmw", n), &n, |bch, _| {
+            bch.iter(|| {
+                dgemmw(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cmat.view_mut(), &mmw_cfg);
+                black_box(cmat.as_slice());
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("conventional", n), &n, |bch, _| {
+            bch.iter(|| {
+                conventional_gemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cmat.view_mut());
+                black_box(cmat.as_slice());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,46 @@
+//! Figure 9 substrate: throughput of the cache simulator and the traced
+//! executors (the figure's data itself comes from the `fig9_cachesim`
+//! experiment binary; simulating n≈512 takes seconds, far beyond a bench
+//! iteration, so the bench uses small instances).
+
+use criterion::{black_box, Criterion, Throughput};
+use modgemm_bench::criterion;
+use modgemm_cachesim::{traced_dgefmm, traced_modgemm, Cache, CacheConfig};
+use modgemm_core::ModgemmConfig;
+use modgemm_mat::gen::random_problem;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_cachesim");
+
+    // Raw cache model throughput: a strided sweep exercising hits,
+    // misses, and LRU movement.
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("cache_access_100k", |b| {
+        let mut cache = Cache::new(CacheConfig::PAPER_FIG9);
+        b.iter(|| {
+            for i in 0u64..100_000 {
+                cache.access(black_box(i * 40));
+            }
+            black_box(cache.stats())
+        })
+    });
+
+    // Traced executors on a small problem.
+    let n = 64;
+    let (a, b, _) = random_problem::<f64>(n, n, n, 42);
+    let cfg = ModgemmConfig::paper();
+    g.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
+    g.bench_function("traced_modgemm_64", |bch| {
+        bch.iter(|| black_box(traced_modgemm(&a, &b, &cfg, CacheConfig::PAPER_FIG9, true).stats))
+    });
+    g.bench_function("traced_dgefmm_64", |bch| {
+        bch.iter(|| black_box(traced_dgefmm(&a, &b, 16, CacheConfig::PAPER_FIG9).stats))
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

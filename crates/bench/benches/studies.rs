@@ -1,0 +1,59 @@
+//! Benches for the supporting studies: loop orders (§5.3 raw material)
+//! and layout conversions (Morton vs Hilbert).
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use modgemm_bench::criterion;
+use modgemm_mat::gen::random_matrix;
+use modgemm_mat::loops::{loop_mul, LoopOrder};
+use modgemm_mat::{Matrix, Op};
+use modgemm_morton::hilbert::{to_hilbert, HilbertLayout};
+use modgemm_morton::{to_morton, MortonLayout};
+
+fn bench_loop_orders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("study_loop_orders");
+    let n = 192;
+    let a: Matrix<f64> = random_matrix(n, n, 1);
+    let b: Matrix<f64> = random_matrix(n, n, 2);
+    let mut cm: Matrix<f64> = Matrix::zeros(n, n);
+    g.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
+    for order in LoopOrder::ALL {
+        g.bench_with_input(BenchmarkId::new("order", order.name()), &order, |bch, &o| {
+            bch.iter(|| {
+                loop_mul(o, a.view(), b.view(), cm.view_mut());
+                black_box(cm.as_slice());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_layout_packs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("study_layout_packs");
+    let n = 512;
+    let a: Matrix<f64> = random_matrix(n, n, 3);
+    let ml = MortonLayout::new(32, 32, 4);
+    let hl = HilbertLayout::new(32, 32, 4);
+    let mut mb = vec![0.0f64; ml.len()];
+    let mut hb = vec![0.0f64; hl.len()];
+    g.throughput(Throughput::Bytes((n * n * 8) as u64));
+    g.bench_function("to_morton_512", |bch| {
+        bch.iter(|| {
+            to_morton(a.view(), Op::NoTrans, &ml, &mut mb);
+            black_box(&mb);
+        })
+    });
+    g.bench_function("to_hilbert_512", |bch| {
+        bch.iter(|| {
+            to_hilbert(a.view(), Op::NoTrans, &hl, &mut hb);
+            black_box(&hb);
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench_loop_orders(&mut c);
+    bench_layout_packs(&mut c);
+    c.final_summary();
+}

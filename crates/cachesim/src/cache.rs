@@ -1,0 +1,475 @@
+//! Set-associative LRU cache model.
+
+/// Cache geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Block (line) size in bytes.
+    pub block: usize,
+    /// Associativity (`1` = direct-mapped).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// The paper's Figure 9 cache: 16 KB direct-mapped, 32-byte blocks.
+    pub const PAPER_FIG9: CacheConfig = CacheConfig { size: 16 * 1024, block: 32, assoc: 1 };
+
+    /// The DEC Alpha 21164 L1 of §4: 8 KB direct-mapped, 32-byte blocks.
+    pub const ALPHA_L1: CacheConfig = CacheConfig { size: 8 * 1024, block: 32, assoc: 1 };
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size / (self.block * self.assoc)
+    }
+
+    /// Validates the geometry (power-of-two block, divisibility).
+    #[track_caller]
+    pub fn validate(&self) {
+        assert!(self.block.is_power_of_two(), "block size must be a power of two");
+        assert!(self.assoc >= 1, "associativity must be at least 1");
+        assert_eq!(
+            self.size % (self.block * self.assoc),
+            0,
+            "size must be a multiple of block × assoc"
+        );
+        assert!(self.sets() >= 1, "at least one set required");
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses (cold + conflict + capacity).
+    pub misses: u64,
+    /// Evictions of a valid line.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio (`0.0` when no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Replacement policy for set-associative caches (irrelevant for
+/// direct-mapped geometries).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Policy {
+    /// True least-recently-used (the model the paper's analysis assumes).
+    #[default]
+    Lru,
+    /// First-in-first-out: hits do not refresh a line's age.
+    Fifo,
+    /// Deterministic pseudo-random victim selection (xorshift-seeded, so
+    /// simulations stay reproducible).
+    Random,
+}
+
+/// A set-associative cache with a configurable replacement policy.
+///
+/// ```
+/// use modgemm_cachesim::{Cache, CacheConfig};
+///
+/// // The paper's §4.2 conflict: addresses 16 KB apart ping-pong a
+/// // 16 KB direct-mapped cache.
+/// let mut c = Cache::new(CacheConfig::PAPER_FIG9);
+/// for _ in 0..100 {
+///     c.access(0);
+///     c.access(16 * 1024);
+/// }
+/// assert_eq!(c.stats().miss_ratio(), 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    policy: Policy,
+    block_shift: u32,
+    set_mask: u64,
+    /// `sets × assoc` tags; MRU→LRU order under [`Policy::Lru`],
+    /// unordered otherwise. `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// Per-set next-victim cursor ([`Policy::Fifo`]).
+    victims: Vec<u32>,
+    /// Xorshift state ([`Policy::Random`]).
+    rng: u64,
+    stats: CacheStats,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl Cache {
+    /// Creates an empty (cold) LRU cache.
+    #[track_caller]
+    pub fn new(cfg: CacheConfig) -> Self {
+        Self::with_policy(cfg, Policy::Lru)
+    }
+
+    /// Creates an empty (cold) cache with the given replacement policy.
+    #[track_caller]
+    pub fn with_policy(cfg: CacheConfig, policy: Policy) -> Self {
+        cfg.validate();
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            cfg,
+            policy,
+            block_shift: cfg.block.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            tags: vec![INVALID; sets * cfg.assoc],
+            victims: vec![0; sets],
+            rng: 0x9E3779B97F4A7C15,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets counters (keeping cache contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Empties the cache and resets counters.
+    pub fn flush(&mut self) {
+        self.tags.fill(INVALID);
+        self.stats = CacheStats::default();
+    }
+
+    /// Simulates one access to byte address `addr` (reads and writes are
+    /// equivalent in an allocate-on-miss model). Returns `true` on hit.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        let blockno = addr >> self.block_shift;
+        let set = (blockno & self.set_mask) as usize;
+        let tag = blockno >> self.set_mask.count_ones();
+        let assoc = self.cfg.assoc;
+        let ways = &mut self.tags[set * assoc..(set + 1) * assoc];
+
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            if self.policy == Policy::Lru {
+                // Hit: move to MRU position.
+                ways[..=pos].rotate_right(1);
+            }
+            return true;
+        }
+
+        self.stats.misses += 1;
+        match self.policy {
+            Policy::Lru => {
+                if ways[assoc - 1] != INVALID {
+                    self.stats.evictions += 1;
+                }
+                ways.rotate_right(1);
+                ways[0] = tag;
+            }
+            Policy::Fifo => {
+                // Prefer an invalid way; otherwise evict at the cursor.
+                let slot = match ways.iter().position(|&t| t == INVALID) {
+                    Some(p) => p,
+                    None => {
+                        self.stats.evictions += 1;
+                        let v = self.victims[set] as usize;
+                        self.victims[set] = ((v + 1) % assoc) as u32;
+                        v
+                    }
+                };
+                ways[slot] = tag;
+            }
+            Policy::Random => {
+                let slot = match ways.iter().position(|&t| t == INVALID) {
+                    Some(p) => p,
+                    None => {
+                        self.stats.evictions += 1;
+                        // Xorshift64*.
+                        self.rng ^= self.rng << 13;
+                        self.rng ^= self.rng >> 7;
+                        self.rng ^= self.rng << 17;
+                        (self.rng % assoc as u64) as usize
+                    }
+                };
+                ways[slot] = tag;
+            }
+        }
+        false
+    }
+
+    /// Simulates an access spanning `len` bytes starting at `addr`
+    /// (touches every block in the range).
+    pub fn access_range(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr >> self.block_shift;
+        let last = (addr + len - 1) >> self.block_shift;
+        for b in first..=last {
+            self.access(b << self.block_shift);
+        }
+    }
+}
+
+/// A multi-level cache hierarchy: an access missing level `i` proceeds to
+/// level `i+1` (inclusive allocation).
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    levels: Vec<Cache>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from inner (L1) to outer (L2, L3, …).
+    pub fn new(configs: &[CacheConfig]) -> Self {
+        Self { levels: configs.iter().map(|&c| Cache::new(c)).collect() }
+    }
+
+    /// Builds a hierarchy with one replacement policy at every level.
+    pub fn with_policy(configs: &[CacheConfig], policy: Policy) -> Self {
+        Self { levels: configs.iter().map(|&c| Cache::with_policy(c, policy)).collect() }
+    }
+
+    /// The Sun Ultra 60 of §4: 16 KB L1, 2 MB L2 (modeled direct-mapped).
+    pub fn ultra60() -> Self {
+        Self::new(&[
+            CacheConfig { size: 16 * 1024, block: 32, assoc: 1 },
+            CacheConfig { size: 2 * 1024 * 1024, block: 64, assoc: 1 },
+        ])
+    }
+
+    /// Simulates one access through the hierarchy.
+    pub fn access(&mut self, addr: u64) {
+        for level in &mut self.levels {
+            if level.access(addr) {
+                break;
+            }
+        }
+    }
+
+    /// Stats of level `i` (0 = L1).
+    pub fn stats(&self, i: usize) -> CacheStats {
+        self.levels[i].stats()
+    }
+
+    /// Stats of every level, innermost first.
+    pub fn all_stats(&self) -> Vec<CacheStats> {
+        self.levels.iter().map(|l| l.stats()).collect()
+    }
+
+    /// Resets every level's counters (contents survive).
+    pub fn reset_stats(&mut self) {
+        for l in &mut self.levels {
+            l.reset_stats();
+        }
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 16-byte blocks = 128 B.
+        Cache::new(CacheConfig { size: 128, block: 16, assoc: 2 })
+    }
+
+    #[test]
+    fn paper_config_geometry() {
+        let c = CacheConfig::PAPER_FIG9;
+        c.validate();
+        assert_eq!(c.sets(), 512);
+        // Addresses 16 KB apart map to the same set — the §4.2 conflict.
+        let mut cache = Cache::new(c);
+        cache.access(0);
+        cache.access(16 * 1024);
+        cache.access(0);
+        assert_eq!(cache.stats().misses, 3, "direct-mapped ping-pong");
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x40));
+        assert!(c.access(0x40));
+        assert!(c.access(0x48), "same 16-byte block");
+        assert!(!c.access(0x50), "next block");
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_replacement_order() {
+        let mut c = tiny();
+        // Three blocks mapping to set 0 (block 16 B, 4 sets → stride 64).
+        let (a, b, d) = (0u64, 64, 128);
+        c.access(a);
+        c.access(b);
+        c.access(a); // a becomes MRU
+        assert!(!c.access(d)); // evicts b (LRU)
+        assert!(c.access(a), "a must survive");
+        assert!(!c.access(b), "b was evicted");
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(CacheConfig { size: 64, block: 16, assoc: 1 });
+        // 4 sets; 0 and 64 conflict.
+        c.access(0);
+        c.access(64);
+        assert!(!c.access(0));
+        assert!(!c.access(64));
+        assert_eq!(c.stats().miss_ratio(), 1.0);
+    }
+
+    #[test]
+    fn fully_associative_capacity() {
+        let mut c = Cache::new(CacheConfig { size: 64, block: 16, assoc: 4 });
+        for addr in [0u64, 16, 32, 48] {
+            c.access(addr);
+        }
+        for addr in [0u64, 16, 32, 48] {
+            assert!(c.access(addr), "working set exactly fits");
+        }
+        c.access(64); // evicts LRU (0)
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn sequential_streaming_miss_ratio() {
+        // A pure streaming pass over 8-byte elements with 32-byte blocks
+        // misses exactly once per 4 elements.
+        let mut c = Cache::new(CacheConfig::PAPER_FIG9);
+        for i in 0..4096u64 {
+            c.access(i * 8);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses, 4096);
+        assert_eq!(s.misses, 1024);
+    }
+
+    #[test]
+    fn access_range_touches_every_block() {
+        let mut c = Cache::new(CacheConfig::PAPER_FIG9);
+        c.access_range(10, 100); // spans blocks 0..=3
+        assert_eq!(c.stats().misses, 4);
+        c.access_range(0, 0);
+        assert_eq!(c.stats().accesses, 4);
+    }
+
+    #[test]
+    fn flush_and_reset() {
+        let mut c = tiny();
+        c.access(0);
+        c.reset_stats();
+        assert!(c.access(0), "contents survive reset_stats");
+        c.flush();
+        assert!(!c.access(0), "flush empties the cache");
+    }
+
+    #[test]
+    fn hierarchy_filters_hits() {
+        let mut h = Hierarchy::ultra60();
+        h.access(0);
+        h.access(0);
+        assert_eq!(h.stats(0).accesses, 2);
+        assert_eq!(h.stats(0).misses, 1);
+        // L2 only sees the one L1 miss.
+        assert_eq!(h.stats(1).accesses, 1);
+        assert_eq!(h.depth(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_block_size() {
+        Cache::new(CacheConfig { size: 96, block: 24, assoc: 1 });
+    }
+
+    #[test]
+    fn fifo_differs_from_lru_on_the_classic_pattern() {
+        // 2-way set; blocks a, b mapping to set 0; access a, b, a, c:
+        // LRU evicts b (a was refreshed); FIFO evicts a (oldest insert).
+        let cfg = CacheConfig { size: 128, block: 16, assoc: 2 };
+        let (a, b, c) = (0u64, 64, 128);
+
+        let mut lru = Cache::with_policy(cfg, Policy::Lru);
+        lru.access(a);
+        lru.access(b);
+        lru.access(a);
+        lru.access(c);
+        assert!(lru.access(a), "LRU keeps the refreshed line");
+
+        let mut fifo = Cache::with_policy(cfg, Policy::Fifo);
+        fifo.access(a);
+        fifo.access(b);
+        fifo.access(a);
+        fifo.access(c); // evicts a (oldest insert) despite a's hit
+        assert!(fifo.access(c), "c resident");
+        assert!(!fifo.access(a), "FIFO evicted the oldest insert despite the hit");
+        // Re-inserting a advanced the cursor past b's slot and evicted b.
+        assert!(!fifo.access(b), "b went out when a was re-inserted");
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_and_correct_on_hits() {
+        let cfg = CacheConfig { size: 128, block: 16, assoc: 2 };
+        let run = || {
+            let mut c = Cache::with_policy(cfg, Policy::Random);
+            for i in 0..1000u64 {
+                c.access((i * 48) % 4096);
+            }
+            c.stats()
+        };
+        assert_eq!(run(), run(), "same seed ⇒ same trace");
+        // A resident line always hits regardless of policy.
+        let mut c = Cache::with_policy(cfg, Policy::Random);
+        c.access(0);
+        assert!(c.access(0));
+    }
+
+    #[test]
+    fn all_policies_agree_on_direct_mapped() {
+        // With one way there is no victim choice to make.
+        let cfg = CacheConfig { size: 64, block: 16, assoc: 1 };
+        let trace: Vec<u64> = (0..500).map(|i| (i * 24) % 512).collect();
+        let mut stats = Vec::new();
+        for p in [Policy::Lru, Policy::Fifo, Policy::Random] {
+            let mut c = Cache::with_policy(cfg, p);
+            for &a in &trace {
+                c.access(a);
+            }
+            stats.push(c.stats());
+        }
+        assert_eq!(stats[0], stats[1]);
+        assert_eq!(stats[1], stats[2]);
+    }
+
+    #[test]
+    fn policy_hierarchies() {
+        let mut h = Hierarchy::with_policy(
+            &[CacheConfig { size: 128, block: 16, assoc: 2 }],
+            Policy::Fifo,
+        );
+        h.access(0);
+        h.access(0);
+        assert_eq!(h.stats(0).misses, 1);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Cache simulation substrate — the reproduction's replacement for ATOM.
+//!
+//! §4.2 of the paper instruments the real binaries with ATOM and replays
+//! their load/store streams through a simulated **16 KB direct-mapped
+//! cache with 32-byte blocks**, producing the Figure 9 miss ratios. This
+//! crate rebuilds that pipeline in three layers:
+//!
+//! * [`cache`] — a parameterizable set-associative LRU cache model (and a
+//!   multi-level hierarchy for extension studies);
+//! * [`mem`] — an address model: each matrix/workspace buffer is placed at
+//!   a deterministic base address, and traced views map element indices to
+//!   byte addresses;
+//! * [`traced`] — executors that *re-run the same algorithms* (same
+//!   layouts, same 22-step Winograd schedule, same blocked-kernel loop
+//!   order, same workspace reuse discipline) while pushing every element
+//!   access through the cache — and also compute the numeric result, so
+//!   tests can assert bitwise agreement with the fast executors and exact
+//!   agreement with the closed-form flop counts.
+
+pub mod cache;
+pub mod mem;
+pub mod traced;
+
+pub use cache::{Cache, CacheConfig, CacheStats, Hierarchy, Policy};
+pub use mem::{AddressSpace, TraceCtx};
+pub use traced::{
+    traced_conventional, traced_dgefmm, traced_dgefmm_hier, traced_dgemmw, traced_modgemm,
+    traced_modgemm_hier, traced_tile_multiply, TraceReport,
+};

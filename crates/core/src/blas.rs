@@ -1,0 +1,370 @@
+//! Raw-slice entry points with the classical BLAS calling shape.
+//!
+//! The paper's implementation "follows the same calling conventions as
+//! the dgemm subroutine in the Level 3 BLAS library" (§2.1): operands are
+//! raw column-major buffers with leading dimensions. [`crate::modgemm`]
+//! exposes that through typed views; this module provides the flat
+//! `dgemm`/`sgemm` shape for callers porting from BLAS, including the
+//! dimension bookkeeping (`op(A)` is `m × k`, so the *stored* `A` is
+//! `m × k` or `k × m` depending on `transa`).
+
+use modgemm_mat::view::{MatMut, MatRef, Op};
+use modgemm_mat::Scalar;
+
+use crate::config::ModgemmConfig;
+use crate::gemm::modgemm;
+
+/// Generic raw-slice GEMM: `C ← α·op(A)·op(B) + β·C`.
+///
+/// `a` must hold a column-major `m × k` matrix when `transa` is
+/// [`Op::NoTrans`] (leading dimension `lda ≥ m`) or `k × m` when
+/// [`Op::Trans`] (`lda ≥ k`); analogously for `b` (`k × n` / `n × k`)
+/// and `c` (always `m × n`, `ldc ≥ m`).
+///
+/// # Panics
+/// If a leading dimension is smaller than its matrix's row count or a
+/// slice is too short — the same conditions a reference BLAS treats as
+/// illegal arguments.
+#[allow(clippy::too_many_arguments)]
+#[track_caller]
+pub fn gemm<S: Scalar>(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: S,
+    a: &[S],
+    lda: usize,
+    b: &[S],
+    ldb: usize,
+    beta: S,
+    c: &mut [S],
+    ldc: usize,
+    cfg: &ModgemmConfig,
+) {
+    // Stored dimensions of A and B (op(stored) has the logical dims).
+    let (ar, ac) = transa.apply_dims(m, k);
+    let (br, bc) = transb.apply_dims(k, n);
+    let av = MatRef::from_slice(a, ar, ac, lda);
+    let bv = MatRef::from_slice(b, br, bc, ldb);
+    let cv = MatMut::from_slice(c, m, n, ldc);
+    modgemm(alpha, transa, av, transb, bv, beta, cv, cfg);
+}
+
+/// Double-precision raw-slice GEMM (the paper's `dgemm` interface).
+#[allow(clippy::too_many_arguments)]
+#[track_caller]
+pub fn dgemm(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+    cfg: &ModgemmConfig,
+) {
+    gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg)
+}
+
+/// Complex double-precision raw-slice GEMM (Strassen's construction is
+/// ring-generic, so `zgemm` is a pure element-type instantiation).
+#[allow(clippy::too_many_arguments)]
+#[track_caller]
+pub fn zgemm(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: modgemm_mat::complex::C64,
+    a: &[modgemm_mat::complex::C64],
+    lda: usize,
+    b: &[modgemm_mat::complex::C64],
+    ldb: usize,
+    beta: modgemm_mat::complex::C64,
+    c: &mut [modgemm_mat::complex::C64],
+    ldc: usize,
+    cfg: &ModgemmConfig,
+) {
+    gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg)
+}
+
+/// Single-precision raw-slice GEMM.
+#[allow(clippy::too_many_arguments)]
+#[track_caller]
+pub fn sgemm(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+    cfg: &ModgemmConfig,
+) {
+    gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg)
+}
+
+/// Batched GEMM: applies the same `(α, β)` to a sequence of independent
+/// `m × k × n` problems given as contiguous column-major buffers,
+/// reusing one [`crate::GemmContext`] across the batch so packing and
+/// workspace memory is allocated once. Entries run sequentially;
+/// intra-problem parallelism comes from `cfg.parallel_depth`.
+#[allow(clippy::too_many_arguments)]
+#[track_caller]
+pub fn gemm_batch<S: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: S,
+    beta: S,
+    a_batch: &[&[S]],
+    b_batch: &[&[S]],
+    c_batch: &mut [&mut [S]],
+    cfg: &ModgemmConfig,
+) {
+    assert_eq!(a_batch.len(), b_batch.len(), "batch length mismatch");
+    assert_eq!(a_batch.len(), c_batch.len(), "batch length mismatch");
+    let mut ctx = crate::GemmContext::new();
+    ctx.reserve_for(m, k, n, cfg);
+    for ((a, b), c) in a_batch.iter().zip(b_batch).zip(c_batch.iter_mut()) {
+        let av = MatRef::from_slice(a, m, k, m.max(1));
+        let bv = MatRef::from_slice(b, k, n, k.max(1));
+        let cv = MatMut::from_slice(c, m, n, m.max(1));
+        crate::gemm::modgemm_with_ctx(alpha, Op::NoTrans, av, Op::NoTrans, bv, beta, cv, cfg, &mut ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modgemm_mat::gen::random_matrix;
+    use modgemm_mat::naive::{naive_gemm, naive_product};
+    use modgemm_mat::norms::assert_matrix_eq;
+    use modgemm_mat::Matrix;
+
+    #[test]
+    fn dgemm_matches_view_interface() {
+        let (m, n, k) = (70, 50, 60);
+        let a: Matrix<f64> = random_matrix(m, k, 1);
+        let b: Matrix<f64> = random_matrix(k, n, 2);
+        let c0: Matrix<f64> = random_matrix(m, n, 3);
+        let cfg = ModgemmConfig::paper();
+
+        let mut c = c0.clone();
+        dgemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            m,
+            n,
+            k,
+            1.5,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
+            -0.5,
+            c.as_mut_slice(),
+            m,
+            &cfg,
+        );
+        let mut expect = c0;
+        naive_gemm(1.5, Op::NoTrans, a.view(), Op::NoTrans, b.view(), -0.5, expect.view_mut());
+        assert_matrix_eq(c.view(), expect.view(), k);
+    }
+
+    #[test]
+    fn dgemm_with_padded_leading_dimensions() {
+        // Operands embedded in larger buffers (ld > rows), the classic
+        // BLAS submatrix pattern.
+        let (m, n, k) = (30, 25, 40);
+        let (lda, ldb, ldc) = (37, 45, 33);
+        let a_buf: Matrix<f64> = random_matrix(lda, k, 4);
+        let b_buf: Matrix<f64> = random_matrix(ldb, n, 5);
+        let mut c_buf: Matrix<f64> = Matrix::zeros(ldc, n);
+        let cfg = ModgemmConfig::paper();
+        dgemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            m,
+            n,
+            k,
+            1.0,
+            a_buf.as_slice(),
+            lda,
+            b_buf.as_slice(),
+            ldb,
+            0.0,
+            c_buf.as_mut_slice(),
+            ldc,
+            &cfg,
+        );
+        let a_sub = Matrix::from_vec(a_buf.view().submatrix(0, 0, m, k).to_vec(), m, k);
+        let b_sub = Matrix::from_vec(b_buf.view().submatrix(0, 0, k, n).to_vec(), k, n);
+        let expect = naive_product(&a_sub, &b_sub);
+        let got = c_buf.view().submatrix(0, 0, m, n);
+        assert_matrix_eq(got, expect.view(), k);
+        // Rows m..ldc of the C buffer must be untouched.
+        for j in 0..n {
+            for i in m..ldc {
+                assert_eq!(c_buf.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dgemm_transposed_storage() {
+        let (m, n, k) = (20, 30, 25);
+        // A stored as k×m (transa = Trans), B stored as n×k.
+        let a: Matrix<f64> = random_matrix(k, m, 6);
+        let b: Matrix<f64> = random_matrix(n, k, 7);
+        let mut c: Matrix<f64> = Matrix::zeros(m, n);
+        let cfg = ModgemmConfig::paper();
+        dgemm(
+            Op::Trans,
+            Op::Trans,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            k,
+            b.as_slice(),
+            n,
+            0.0,
+            c.as_mut_slice(),
+            m,
+            &cfg,
+        );
+        let expect = naive_product(&a.transposed(), &b.transposed());
+        assert_matrix_eq(c.view(), expect.view(), k);
+    }
+
+    #[test]
+    fn sgemm_single_precision() {
+        let (m, n, k) = (40, 40, 40);
+        let a: Matrix<f32> = random_matrix(m, k, 8);
+        let b: Matrix<f32> = random_matrix(k, n, 9);
+        let mut c: Matrix<f32> = Matrix::zeros(m, n);
+        let cfg = ModgemmConfig::paper();
+        sgemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
+            0.0,
+            c.as_mut_slice(),
+            m,
+            &cfg,
+        );
+        let expect = naive_product(&a, &b);
+        assert_matrix_eq(c.view(), expect.view(), k);
+    }
+
+    #[test]
+    fn batch_matches_individual_calls() {
+        let (m, n, k, count) = (33, 29, 31, 5);
+        let cfg = ModgemmConfig::paper();
+        let aas: Vec<Matrix<f64>> = (0..count).map(|i| random_matrix(m, k, 10 + i as u64)).collect();
+        let bbs: Vec<Matrix<f64>> = (0..count).map(|i| random_matrix(k, n, 20 + i as u64)).collect();
+        let mut cc: Vec<Matrix<f64>> = (0..count).map(|_| Matrix::zeros(m, n)).collect();
+
+        {
+            let a_refs: Vec<&[f64]> = aas.iter().map(|x| x.as_slice()).collect();
+            let b_refs: Vec<&[f64]> = bbs.iter().map(|x| x.as_slice()).collect();
+            let mut c_refs: Vec<&mut [f64]> = cc.iter_mut().map(|x| x.as_mut_slice()).collect();
+            gemm_batch(m, n, k, 1.0, 0.0, &a_refs, &b_refs, &mut c_refs, &cfg);
+        }
+
+        for i in 0..count {
+            let mut expect: Matrix<f64> = Matrix::zeros(m, n);
+            crate::gemm::modgemm(
+                1.0,
+                Op::NoTrans,
+                aas[i].view(),
+                Op::NoTrans,
+                bbs[i].view(),
+                0.0,
+                expect.view_mut(),
+                &cfg,
+            );
+            assert_eq!(cc[i], expect, "batch entry {i}");
+        }
+    }
+
+    #[test]
+    fn zgemm_complex_matrices() {
+        use modgemm_mat::complex::C64;
+        use modgemm_mat::gen::random_complex_matrix;
+        let (m, n, k) = (60, 45, 50);
+        let a = random_complex_matrix(m, k, 40);
+        let b = random_complex_matrix(k, n, 41);
+        let mut c: Matrix<C64> = Matrix::zeros(m, n);
+        let cfg = ModgemmConfig::paper();
+        zgemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            m,
+            n,
+            k,
+            C64::new(1.0, 1.0), // a genuinely complex α
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
+            C64::ZERO,
+            c.as_mut_slice(),
+            m,
+            &cfg,
+        );
+        let mut expect: Matrix<C64> = Matrix::zeros(m, n);
+        naive_gemm(
+            C64::new(1.0, 1.0),
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            C64::ZERO,
+            expect.view_mut(),
+        );
+        // Entrywise modulus of the difference within the f64 tolerance
+        // envelope (complex madds are ~4 real flops each).
+        let tol = modgemm_mat::norms::gemm_tolerance::<C64>(4 * k, 4.0);
+        for i in 0..m {
+            for j in 0..n {
+                let d = (c.get(i, j) - expect.get(i, j)).abs();
+                assert!(d <= tol, "({i},{j}): |diff| = {d:.3e} > {tol:.3e}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leading dimension")]
+    fn rejects_small_lda() {
+        let cfg = ModgemmConfig::paper();
+        let a = vec![0.0f64; 100];
+        let b = vec![0.0f64; 100];
+        let mut c = vec![0.0f64; 100];
+        dgemm(Op::NoTrans, Op::NoTrans, 10, 10, 10, 1.0, &a, 9, &b, 10, 0.0, &mut c, 10, &cfg);
+    }
+}

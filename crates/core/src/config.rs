@@ -1,0 +1,125 @@
+//! Configuration of the MODGEMM algorithm.
+
+use modgemm_morton::tiling::{
+    choose_joint_tiling, fixed_tile_tiling, JointTiling, TileRange,
+};
+
+/// How the recursion truncation point (leaf tile size) is chosen — the
+/// central knob of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Truncation {
+    /// Dynamic selection from a range to minimize padding (§3.4, the
+    /// paper's contribution). Fails over to submatrix splitting for
+    /// highly rectangular operands.
+    MinPadding(TileRange),
+    /// A fixed tile size with whatever static padding it implies — the
+    /// strategy the paper's Figure 2 argues against; kept for ablation.
+    Fixed(usize),
+}
+
+impl Default for Truncation {
+    fn default() -> Self {
+        Truncation::MinPadding(TileRange::PAPER)
+    }
+}
+
+/// Full MODGEMM configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModgemmConfig {
+    /// Leaf tile selection policy.
+    pub truncation: Truncation,
+    /// Which §2 recursion to run (Winograd by default, like the paper).
+    pub variant: crate::schedule::Variant,
+    /// Hand over to the conventional Morton recursion once
+    /// `min(m, k, n) ≤ strassen_min`. `0` (default) reproduces the paper:
+    /// Strassen at every quadrant division.
+    pub strassen_min: usize,
+    /// Evaluate the seven products of the top `parallel_depth` recursion
+    /// levels on separate threads (`0` = serial, the paper's setting).
+    pub parallel_depth: usize,
+    /// Use multi-threaded Morton conversion.
+    pub parallel_convert: bool,
+}
+
+impl Default for ModgemmConfig {
+    fn default() -> Self {
+        Self {
+            truncation: Truncation::default(),
+            variant: crate::schedule::Variant::Winograd,
+            strassen_min: 0,
+            parallel_depth: 0,
+            parallel_convert: false,
+        }
+    }
+}
+
+impl ModgemmConfig {
+    /// The configuration used for the paper's headline experiments.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Plans the joint tiling for a `(m, k, n)` problem, or `None` when
+    /// the operands are too rectangular for a shared recursion depth and
+    /// must be split (§3.5 / Figure 4).
+    pub fn plan(&self, m: usize, k: usize, n: usize) -> Option<JointTiling> {
+        match self.truncation {
+            Truncation::MinPadding(range) => choose_joint_tiling(m, k, n, range),
+            Truncation::Fixed(t) => {
+                let (dm, dk, dn) =
+                    (fixed_tile_tiling(m, t), fixed_tile_tiling(k, t), fixed_tile_tiling(n, t));
+                let depth = dm.depth.max(dk.depth).max(dn.depth);
+                let lift = |_x: usize| modgemm_morton::tiling::DimTiling {
+                    tile: t,
+                    depth,
+                    padded: t << depth,
+                };
+                Some(JointTiling { depth, m: lift(m), k: lift(k), n: lift(n) })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_setting() {
+        let c = ModgemmConfig::default();
+        assert_eq!(c.truncation, Truncation::MinPadding(TileRange::PAPER));
+        assert_eq!(c.strassen_min, 0);
+        assert_eq!(c.parallel_depth, 0);
+    }
+
+    #[test]
+    fn min_padding_plan_mirrors_joint_tiling() {
+        let c = ModgemmConfig::default();
+        let p = c.plan(513, 513, 513).unwrap();
+        assert_eq!(p.m.tile, 33);
+        assert_eq!(p.depth, 4);
+    }
+
+    #[test]
+    fn min_padding_plan_fails_on_extreme_rectangles() {
+        let c = ModgemmConfig::default();
+        assert!(c.plan(4096, 100, 4096).is_none());
+    }
+
+    #[test]
+    fn fixed_plan_shares_max_depth() {
+        let c = ModgemmConfig { truncation: Truncation::Fixed(32), ..Default::default() };
+        let p = c.plan(513, 100, 60).unwrap();
+        // 513 needs depth 5 at tile 32 → all dims padded to 1024.
+        assert_eq!(p.depth, 5);
+        assert_eq!(p.m.padded, 1024);
+        assert_eq!(p.k.padded, 1024);
+        assert_eq!(p.n.padded, 1024);
+    }
+
+    #[test]
+    fn fixed_plan_never_fails() {
+        let c = ModgemmConfig { truncation: Truncation::Fixed(64), ..Default::default() };
+        assert!(c.plan(10000, 3, 10000).is_some());
+    }
+}

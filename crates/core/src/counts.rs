@@ -1,0 +1,113 @@
+//! Closed-form operation counts.
+//!
+//! Used three ways: to report the arithmetic savings of the Strassen
+//! recursion, to cross-check the address-tracing executor in
+//! `modgemm-cachesim` (which must perform *exactly* this many flops), and
+//! to reproduce the §3.1 observation that the arithmetic-only crossover
+//! (`T ≈ 16`) is far below the empirically good truncation point
+//! (`T ≈ 64`).
+
+use crate::exec::{ExecPolicy, NodeLayouts};
+
+/// Flops (multiply + add each counted once) of a conventional
+/// `m × k × n` multiply: `2·m·k·n` (the `m·n` final products each need
+/// `k` multiplies and `k` adds, counting the add into the accumulator).
+pub fn conventional_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+/// Flops performed by the Morton Strassen-Winograd executor on padded
+/// dimensions described by `layouts`, truncated per `policy`. Mirrors
+/// [`crate::exec::strassen_mul`] exactly.
+pub fn strassen_flops(layouts: NodeLayouts, policy: ExecPolicy) -> u64 {
+    if !layouts.uses_strassen(policy) {
+        let (m, k, n) = layouts.dims();
+        return conventional_flops(m, k, n);
+    }
+    // Per level: the schedule's A/B/C-shaped additions (one flop per
+    // element) plus 7 recursive multiplies.
+    let ops = crate::schedule::count_ops(policy.variant.schedule());
+    let adds = ops.adds_a as u64 * layouts.a.quadrant_len() as u64
+        + ops.adds_b as u64 * layouts.b.quadrant_len() as u64
+        + ops.adds_c as u64 * layouts.c.quadrant_len() as u64;
+    adds + ops.muls as u64 * strassen_flops(layouts.child(), policy)
+}
+
+/// The arithmetic-count model of §3.1: the recursion is profitable (by
+/// operation count alone) down to the size where one Strassen step stops
+/// saving flops. For square `n`, one step costs
+/// `7·2·(n/2)³ + 15·(n/2)²` versus `2n³` conventionally; the crossover
+/// solves to `n = 15/2 · ... ≈ 15` — returns the smallest even `n` where
+/// the step saves flops.
+pub fn arithmetic_crossover() -> usize {
+    let mut n = 2usize;
+    loop {
+        let conv = conventional_flops(n, n, n);
+        let half = n / 2;
+        let step = 7 * conventional_flops(half, half, half) + 15 * (half * half) as u64;
+        if step < conv {
+            return n;
+        }
+        n += 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modgemm_morton::MortonLayout;
+
+    fn square(tile: usize, depth: usize) -> NodeLayouts {
+        let l = MortonLayout::new(tile, tile, depth);
+        NodeLayouts::new(l, l, l)
+    }
+
+    #[test]
+    fn conventional_count() {
+        assert_eq!(conventional_flops(2, 3, 4), 48);
+    }
+
+    #[test]
+    fn leaf_equals_conventional() {
+        let l = square(32, 0);
+        assert_eq!(strassen_flops(l, ExecPolicy::default()), conventional_flops(32, 32, 32));
+    }
+
+    #[test]
+    fn one_level_formula() {
+        // n = 64, tile 32, depth 1: 15 adds of 32² + 7 multiplies of 32³·2.
+        let l = square(32, 1);
+        let expect = 15 * 32 * 32 + 7 * conventional_flops(32, 32, 32);
+        assert_eq!(strassen_flops(l, ExecPolicy::default()), expect);
+    }
+
+    #[test]
+    fn strassen_beats_conventional_at_scale() {
+        // 1024 = 32·2⁵: full unfolding must save a lot of arithmetic.
+        let l = square(32, 5);
+        let s = strassen_flops(l, ExecPolicy::default());
+        let c = conventional_flops(1024, 1024, 1024);
+        assert!(s < c, "{s} >= {c}");
+        // Savings ratio approaches (7/8)^5 ≈ 0.51 for the multiplies.
+        assert!((s as f64) < 0.75 * c as f64);
+    }
+
+    #[test]
+    fn truncation_increases_flops_monotonically_toward_conventional() {
+        let l = square(16, 6); // 1024 with tile 16
+        let full = strassen_flops(l, ExecPolicy::default());
+        let trunc = strassen_flops(l, ExecPolicy { strassen_min: 128, ..Default::default() });
+        let conv = strassen_flops(l, ExecPolicy { strassen_min: usize::MAX, ..Default::default() });
+        assert!(full < trunc && trunc < conv);
+        assert_eq!(conv, conventional_flops(1024, 1024, 1024));
+    }
+
+    #[test]
+    fn crossover_matches_paper_ballpark() {
+        // §3.1: "If one were to estimate running time by counting
+        // arithmetic operations, the recursion truncation point would be
+        // around 16."
+        let x = arithmetic_crossover();
+        assert!((10..=20).contains(&x), "crossover {x}");
+    }
+}

@@ -1,0 +1,511 @@
+//! The Morton-order Strassen-Winograd executor.
+//!
+//! Operates entirely on Morton buffers, exploiting the two properties the
+//! layout guarantees (§3.3):
+//!
+//! * every quadrant at every recursion level is a **contiguous** quarter of
+//!   its parent's buffer, so all 15 Winograd additions run as single-loop
+//!   flat kernels;
+//! * every leaf is a contiguous column-major tile, so the truncated
+//!   recursion bottoms out in [`modgemm_mat::blocked`] with `ld == rows` —
+//!   the stable, self-interference-free configuration of Figure 3.
+//!
+//! The recursion interprets the selected variant's schedule
+//! ([`crate::schedule::WINOGRAD_SCHEDULE`] by default); the four C
+//! quadrants serve as product scratch (sound because Morton quadrants
+//! never alias), plus four workspace temporaries per level
+//! (`TS`, `TT`, `TP`, `TQ`). Workspace is allocated once, sized by
+//! [`workspace_len`], and consumed stack-wise down the recursion.
+
+use modgemm_mat::addsub::{
+    add_assign_flat, add_flat, rsub_assign_flat, sub_assign_flat, sub_flat,
+};
+use modgemm_mat::blocked::blocked_mul_add;
+use modgemm_mat::view::{MatMut, MatRef};
+use modgemm_mat::Scalar;
+use modgemm_morton::MortonLayout;
+
+use crate::schedule::{ASlot, AddKind, BSlot, Step, Variant};
+
+/// Controls where the Strassen recursion hands over to the conventional
+/// algorithm, and which §2 schedule it runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Apply the Strassen step only while `min(m, k, n)` of the current
+    /// node strictly exceeds this; below it, the Morton-aware conventional
+    /// recursion ([`morton_mul`]) takes over. `0` reproduces the paper:
+    /// Strassen at every quadrant division down to single tiles.
+    pub strassen_min: usize,
+    /// Winograd (the paper's choice) or original Strassen recurrences.
+    pub variant: Variant,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self { strassen_min: 0, variant: Variant::Winograd }
+    }
+}
+
+/// The three layouts of one GEMM node. Invariants: equal depths, and
+/// `A.tile_cols == B.tile_rows`, `A.tile_rows == C.tile_rows`,
+/// `B.tile_cols == C.tile_cols`.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeLayouts {
+    /// Layout of A (`Tm × Tk` tiles).
+    pub a: MortonLayout,
+    /// Layout of B (`Tk × Tn` tiles).
+    pub b: MortonLayout,
+    /// Layout of C (`Tm × Tn` tiles).
+    pub c: MortonLayout,
+}
+
+impl NodeLayouts {
+    /// Validates the cross-layout invariants.
+    #[track_caller]
+    pub fn new(a: MortonLayout, b: MortonLayout, c: MortonLayout) -> Self {
+        assert!(a.depth == b.depth && b.depth == c.depth, "depth mismatch");
+        assert_eq!(a.tile_cols, b.tile_rows, "inner tile mismatch");
+        assert_eq!(a.tile_rows, c.tile_rows, "row tile mismatch");
+        assert_eq!(b.tile_cols, c.tile_cols, "col tile mismatch");
+        Self { a, b, c }
+    }
+
+    /// Padded GEMM dimensions `(m, k, n)` of this node.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.a.rows(), self.a.cols(), self.b.cols())
+    }
+
+    /// Layouts of the half-size children.
+    #[inline]
+    #[track_caller]
+    pub fn child(&self) -> NodeLayouts {
+        NodeLayouts { a: self.a.child(), b: self.b.child(), c: self.c.child() }
+    }
+
+    /// True when this node applies the Strassen step (rather than the
+    /// conventional recursion) under `policy`.
+    #[inline]
+    pub fn uses_strassen(&self, policy: ExecPolicy) -> bool {
+        let (m, k, n) = self.dims();
+        self.a.depth > 0 && m.min(k).min(n) > policy.strassen_min
+    }
+}
+
+/// Workspace (in elements) needed by [`strassen_mul`] for `layouts` under
+/// `policy`: `|TS| + |TT| + |TP| + |TQ|` per Strassen level, summed down
+/// the recursion (children run sequentially, so one child workspace
+/// suffices). Roughly `(mk + kn + 2mn)/3` elements in total.
+pub fn workspace_len(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
+    if !layouts.uses_strassen(policy) {
+        return 0;
+    }
+    let per_level = layouts.a.quadrant_len()
+        + layouts.b.quadrant_len()
+        + 2 * layouts.c.quadrant_len();
+    per_level + workspace_len(layouts.child(), policy)
+}
+
+/// Wraps a contiguous Morton leaf tile as a column-major view.
+#[inline]
+fn tile_ref<'t, S: Scalar>(buf: &'t [S], l: &MortonLayout) -> MatRef<'t, S> {
+    debug_assert_eq!(l.depth, 0);
+    MatRef::from_slice(buf, l.tile_rows, l.tile_cols, l.tile_rows)
+}
+
+/// `C += A·B` by quadrant recursion over Morton buffers — the
+/// conventional-arithmetic multiply used below the truncation point.
+///
+/// The eight recursive calls follow the operand-reuse ordering of Frens &
+/// Wise (PPoPP'97): consecutive calls share either an `A` or a `B`
+/// operand, improving cache reuse of the just-touched subtree.
+pub fn morton_mul_add<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+) {
+    debug_assert_eq!(a.len(), layouts.a.len());
+    debug_assert_eq!(b.len(), layouts.b.len());
+    debug_assert_eq!(c.len(), layouts.c.len());
+
+    if layouts.a.depth == 0 {
+        let av = tile_ref(a, &layouts.a);
+        let bv = tile_ref(b, &layouts.b);
+        let cv = MatMut::from_slice(c, layouts.c.tile_rows, layouts.c.tile_cols, layouts.c.tile_rows);
+        blocked_mul_add(av, bv, cv);
+        return;
+    }
+
+    let ch = layouts.child();
+    let (qa, qb, qc) = (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
+    let aq = |i: usize| &a[i * qa..(i + 1) * qa];
+    let bq = |i: usize| &b[i * qb..(i + 1) * qb];
+    let (c11, rest) = c.split_at_mut(qc);
+    let (c12, rest) = rest.split_at_mut(qc);
+    let (c21, c22) = rest.split_at_mut(qc);
+
+    // Quadrant indices: 0 = NW(11), 1 = NE(12), 2 = SW(21), 3 = SE(22).
+    morton_mul_add(aq(0), bq(0), c11, ch); // C11 += A11·B11
+    morton_mul_add(aq(0), bq(1), c12, ch); // C12 += A11·B12
+    morton_mul_add(aq(1), bq(3), c12, ch); // C12 += A12·B22
+    morton_mul_add(aq(1), bq(2), c11, ch); // C11 += A12·B21
+    morton_mul_add(aq(3), bq(2), c21, ch); // C21 += A22·B21
+    morton_mul_add(aq(3), bq(3), c22, ch); // C22 += A22·B22
+    morton_mul_add(aq(2), bq(1), c22, ch); // C22 += A21·B12
+    morton_mul_add(aq(2), bq(0), c21, ch); // C21 += A21·B11
+}
+
+/// `C = A·B` (overwrite) by conventional quadrant recursion.
+pub fn morton_mul<S: Scalar>(a: &[S], b: &[S], c: &mut [S], layouts: NodeLayouts) {
+    c.fill(S::ZERO);
+    morton_mul_add(a, b, c, layouts);
+}
+
+/// `C = A·B` over Morton buffers with the Strassen-Winograd recursion
+/// truncated per `policy`.
+///
+/// `ws` must have at least [`workspace_len`] elements; its contents are
+/// clobbered.
+#[track_caller]
+pub fn strassen_mul<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    ws: &mut [S],
+    policy: ExecPolicy,
+) {
+    assert_eq!(a.len(), layouts.a.len(), "A buffer length mismatch");
+    assert_eq!(b.len(), layouts.b.len(), "B buffer length mismatch");
+    assert_eq!(c.len(), layouts.c.len(), "C buffer length mismatch");
+    assert!(ws.len() >= workspace_len(layouts, policy), "workspace too small");
+    node(a, b, c, layouts, ws, policy);
+}
+
+fn node<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    ws: &mut [S],
+    policy: ExecPolicy,
+) {
+    if !layouts.uses_strassen(policy) {
+        morton_mul(a, b, c, layouts);
+        return;
+    }
+
+    let ch = layouts.child();
+    let (qa, qb, qc) = (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
+
+    let aq: [&[S]; 4] = [&a[..qa], &a[qa..2 * qa], &a[2 * qa..3 * qa], &a[3 * qa..]];
+    let bq: [&[S]; 4] = [&b[..qb], &b[qb..2 * qb], &b[2 * qb..3 * qb], &b[3 * qb..]];
+
+    let (c11, rest) = c.split_at_mut(qc);
+    let (c12, rest) = rest.split_at_mut(qc);
+    let (c21, c22) = rest.split_at_mut(qc);
+
+    let (ts, rest_ws) = ws.split_at_mut(qa);
+    let (tt, rest_ws) = rest_ws.split_at_mut(qb);
+    let (tp, rest_ws) = rest_ws.split_at_mut(qc);
+    let (tq, child_ws) = rest_ws.split_at_mut(qc);
+
+    // Raw table of the six pairwise-disjoint C-shaped buffers, indexed by
+    // `CSlot::index()`. Access goes exclusively through this table below;
+    // the named locals are not used again.
+    let mut cslots: [(*mut S, usize); 6] = [
+        (c11.as_mut_ptr(), qc),
+        (c12.as_mut_ptr(), qc),
+        (c21.as_mut_ptr(), qc),
+        (c22.as_mut_ptr(), qc),
+        (tp.as_mut_ptr(), qc),
+        (tq.as_mut_ptr(), qc),
+    ];
+
+    // SAFETY helpers: the six buffers are disjoint `&mut` reborrows above,
+    // so creating one mutable and up to two shared slices is sound as long
+    // as the indices differ — which every call site checks.
+    unsafe fn slot_mut<'x, S>(t: &mut [(*mut S, usize); 6], i: usize) -> &'x mut [S] {
+        core::slice::from_raw_parts_mut(t[i].0, t[i].1)
+    }
+    unsafe fn slot_ref<'x, S>(t: &[(*mut S, usize); 6], i: usize) -> &'x [S] {
+        core::slice::from_raw_parts(t[i].0 as *const S, t[i].1)
+    }
+
+    for &step in policy.variant.schedule() {
+        match step {
+            Step::AddA { dst, lhs, rhs, kind } => {
+                debug_assert_eq!(dst, ASlot::TS);
+                let of = |s: ASlot| match s {
+                    ASlot::A11 => aq[0],
+                    ASlot::A12 => aq[1],
+                    ASlot::A21 => aq[2],
+                    ASlot::A22 => aq[3],
+                    ASlot::TS => unreachable!("TS operand handled by assign forms"),
+                };
+                match (lhs, rhs, kind) {
+                    (ASlot::TS, r, AddKind::Add) => add_assign_flat(ts, of(r)),
+                    (ASlot::TS, r, AddKind::Sub) => sub_assign_flat(ts, of(r)),
+                    (l, ASlot::TS, AddKind::Add) => add_assign_flat(ts, of(l)),
+                    (l, ASlot::TS, AddKind::Sub) => rsub_assign_flat(ts, of(l)),
+                    (l, r, AddKind::Add) => add_flat(ts, of(l), of(r)),
+                    (l, r, AddKind::Sub) => sub_flat(ts, of(l), of(r)),
+                }
+            }
+            Step::AddB { dst, lhs, rhs, kind } => {
+                debug_assert_eq!(dst, BSlot::TT);
+                let of = |s: BSlot| match s {
+                    BSlot::B11 => bq[0],
+                    BSlot::B12 => bq[1],
+                    BSlot::B21 => bq[2],
+                    BSlot::B22 => bq[3],
+                    BSlot::TT => unreachable!("TT operand handled by assign forms"),
+                };
+                match (lhs, rhs, kind) {
+                    (BSlot::TT, r, AddKind::Add) => add_assign_flat(tt, of(r)),
+                    (BSlot::TT, r, AddKind::Sub) => sub_assign_flat(tt, of(r)),
+                    (l, BSlot::TT, AddKind::Add) => add_assign_flat(tt, of(l)),
+                    (l, BSlot::TT, AddKind::Sub) => rsub_assign_flat(tt, of(l)),
+                    (l, r, AddKind::Add) => add_flat(tt, of(l), of(r)),
+                    (l, r, AddKind::Sub) => sub_flat(tt, of(l), of(r)),
+                }
+            }
+            Step::AddC { dst, lhs, rhs, kind } => {
+                let (d, l, r) = (dst.index(), lhs.index(), rhs.index());
+                debug_assert!(!(d == l && d == r), "fully-aliased AddC");
+                // SAFETY: buffers are pairwise disjoint; aliasing occurs
+                // only when indices coincide, and those cases take the
+                // assign forms which hold a single mutable reference.
+                unsafe {
+                    if d == l {
+                        let dst_s = slot_mut(&mut cslots, d);
+                        let rhs_s = slot_ref(&cslots, r);
+                        match kind {
+                            AddKind::Add => add_assign_flat(dst_s, rhs_s),
+                            AddKind::Sub => sub_assign_flat(dst_s, rhs_s),
+                        }
+                    } else if d == r {
+                        let dst_s = slot_mut(&mut cslots, d);
+                        let lhs_s = slot_ref(&cslots, l);
+                        match kind {
+                            AddKind::Add => add_assign_flat(dst_s, lhs_s),
+                            AddKind::Sub => rsub_assign_flat(dst_s, lhs_s),
+                        }
+                    } else {
+                        let dst_s = slot_mut(&mut cslots, d);
+                        let lhs_s = slot_ref(&cslots, l);
+                        let rhs_s = slot_ref(&cslots, r);
+                        match kind {
+                            AddKind::Add => add_flat(dst_s, lhs_s, rhs_s),
+                            AddKind::Sub => sub_flat(dst_s, lhs_s, rhs_s),
+                        }
+                    }
+                }
+            }
+            Step::Mul { a: sa, b: sb, dst } => {
+                let av: &[S] = match sa {
+                    ASlot::A11 => aq[0],
+                    ASlot::A12 => aq[1],
+                    ASlot::A21 => aq[2],
+                    ASlot::A22 => aq[3],
+                    ASlot::TS => &*ts,
+                };
+                let bv: &[S] = match sb {
+                    BSlot::B11 => bq[0],
+                    BSlot::B12 => bq[1],
+                    BSlot::B21 => bq[2],
+                    BSlot::B22 => bq[3],
+                    BSlot::TT => &*tt,
+                };
+                // SAFETY: the destination is disjoint from every possible
+                // operand (A/B buffers and the TS/TT workspace ranges).
+                let cd = unsafe { slot_mut(&mut cslots, dst.index()) };
+                node(av, bv, cd, ch, child_ws, policy);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modgemm_mat::gen::random_matrix;
+    use modgemm_mat::naive::naive_product;
+    use modgemm_mat::norms::assert_matrix_eq;
+    use modgemm_mat::view::Op;
+    use modgemm_mat::Matrix;
+    use modgemm_morton::convert::{from_morton, to_morton};
+
+    /// Runs strassen_mul on exact-fit Morton layouts and unpacks.
+    fn run<S: Scalar>(
+        a: &Matrix<S>,
+        b: &Matrix<S>,
+        tm: usize,
+        tk: usize,
+        tn: usize,
+        depth: usize,
+        policy: ExecPolicy,
+    ) -> Matrix<S> {
+        let la = MortonLayout::new(tm, tk, depth);
+        let lb = MortonLayout::new(tk, tn, depth);
+        let lc = MortonLayout::new(tm, tn, depth);
+        let layouts = NodeLayouts::new(la, lb, lc);
+        let mut ab = vec![S::ZERO; la.len()];
+        let mut bb = vec![S::ZERO; lb.len()];
+        let mut cb = vec![S::ZERO; lc.len()];
+        to_morton(a.view(), Op::NoTrans, &la, &mut ab);
+        to_morton(b.view(), Op::NoTrans, &lb, &mut bb);
+        let mut ws = vec![S::ZERO; workspace_len(layouts, policy)];
+        strassen_mul(&ab, &bb, &mut cb, layouts, &mut ws, policy);
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        from_morton(&cb, &lc, out.view_mut());
+        out
+    }
+
+    #[test]
+    fn exact_on_integers_depth_3() {
+        let a: Matrix<i64> = random_matrix(24, 24, 1);
+        let b: Matrix<i64> = random_matrix(24, 24, 2);
+        let got = run(&a, &b, 3, 3, 3, 3, ExecPolicy::default());
+        assert_eq!(got, naive_product(&a, &b));
+    }
+
+    #[test]
+    fn exact_with_rectangular_tiles() {
+        // m=20 (tile 5), k=12 (tile 3), n=28 (tile 7), depth 2.
+        let a: Matrix<i64> = random_matrix(20, 12, 3);
+        let b: Matrix<i64> = random_matrix(12, 28, 4);
+        let got = run(&a, &b, 5, 3, 7, 2, ExecPolicy::default());
+        assert_eq!(got, naive_product(&a, &b));
+    }
+
+    #[test]
+    fn exact_with_padding() {
+        // Logical 21x21 inside padded 24x24 (tile 3, depth 3).
+        let a: Matrix<i64> = random_matrix(21, 21, 5);
+        let b: Matrix<i64> = random_matrix(21, 21, 6);
+        let got = run(&a, &b, 3, 3, 3, 3, ExecPolicy::default());
+        assert_eq!(got, naive_product(&a, &b));
+    }
+
+    #[test]
+    fn depth_zero_is_plain_tile_multiply() {
+        let a: Matrix<i64> = random_matrix(9, 7, 7);
+        let b: Matrix<i64> = random_matrix(7, 11, 8);
+        let got = run(&a, &b, 9, 7, 11, 0, ExecPolicy::default());
+        assert_eq!(got, naive_product(&a, &b));
+    }
+
+    #[test]
+    fn truncation_threshold_switches_to_conventional() {
+        let a: Matrix<i64> = random_matrix(32, 32, 9);
+        let b: Matrix<i64> = random_matrix(32, 32, 10);
+        // strassen_min = 16: the 32-node applies Strassen, the 16-children
+        // fall to the conventional Morton recursion.
+        let got = run(&a, &b, 4, 4, 4, 3, ExecPolicy { strassen_min: 16, ..Default::default() });
+        assert_eq!(got, naive_product(&a, &b));
+        // strassen_min huge: pure conventional path.
+        let got = run(&a, &b, 4, 4, 4, 3, ExecPolicy { strassen_min: 1 << 20, ..Default::default() });
+        assert_eq!(got, naive_product(&a, &b));
+    }
+
+    #[test]
+    fn float_result_within_tolerance_f64_and_f32() {
+        let a: Matrix<f64> = random_matrix(40, 40, 11);
+        let b: Matrix<f64> = random_matrix(40, 40, 12);
+        let got = run(&a, &b, 5, 5, 5, 3, ExecPolicy::default());
+        let expect = naive_product(&a, &b);
+        assert_matrix_eq(got.view(), expect.view(), 40);
+
+        let a: Matrix<f32> = random_matrix(40, 40, 13);
+        let b: Matrix<f32> = random_matrix(40, 40, 14);
+        let got = run(&a, &b, 5, 5, 5, 3, ExecPolicy::default());
+        let expect = naive_product(&a, &b);
+        assert_matrix_eq(got.view(), expect.view(), 40);
+    }
+
+    #[test]
+    fn morton_mul_matches_naive() {
+        let la = MortonLayout::new(3, 4, 2);
+        let lb = MortonLayout::new(4, 5, 2);
+        let lc = MortonLayout::new(3, 5, 2);
+        let layouts = NodeLayouts::new(la, lb, lc);
+        let a: Matrix<i64> = random_matrix(la.rows(), la.cols(), 15);
+        let b: Matrix<i64> = random_matrix(lb.rows(), lb.cols(), 16);
+        let mut ab = vec![0; la.len()];
+        let mut bb = vec![0; lb.len()];
+        let mut cb = vec![0; lc.len()];
+        to_morton(a.view(), Op::NoTrans, &la, &mut ab);
+        to_morton(b.view(), Op::NoTrans, &lb, &mut bb);
+        morton_mul(&ab, &bb, &mut cb, layouts);
+        let mut out = Matrix::zeros(lc.rows(), lc.cols());
+        from_morton(&cb, &lc, out.view_mut());
+        assert_eq!(out, naive_product(&a, &b));
+    }
+
+    #[test]
+    fn workspace_len_closed_form_sanity() {
+        // One Strassen level on an 8x8 of 4x4 tiles: qa=qb=qc=16, so
+        // 16+16+32 = 64; children are leaves → 0.
+        let l = MortonLayout::new(4, 4, 1);
+        let layouts = NodeLayouts::new(l, l, l);
+        assert_eq!(workspace_len(layouts, ExecPolicy::default()), 64);
+        // Two levels: 256-quadrants... level 1: qa=qb=qc=64 → 256 total
+        // per-level = 64*4 = 256; plus child level 64.
+        let l2 = MortonLayout::new(4, 4, 2);
+        let layouts2 = NodeLayouts::new(l2, l2, l2);
+        assert_eq!(workspace_len(layouts2, ExecPolicy::default()), 4 * 64 + 64);
+    }
+
+    #[test]
+    fn workspace_zero_when_strassen_disabled() {
+        let l = MortonLayout::new(4, 4, 3);
+        let layouts = NodeLayouts::new(l, l, l);
+        assert_eq!(workspace_len(layouts, ExecPolicy { strassen_min: usize::MAX, ..Default::default() }), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace too small")]
+    fn rejects_undersized_workspace() {
+        let l = MortonLayout::new(4, 4, 1);
+        let layouts = NodeLayouts::new(l, l, l);
+        let a = vec![0.0f64; l.len()];
+        let b = vec![0.0f64; l.len()];
+        let mut c = vec![0.0f64; l.len()];
+        let mut ws = vec![0.0f64; 10];
+        strassen_mul(&a, &b, &mut c, layouts, &mut ws, ExecPolicy::default());
+    }
+
+    #[test]
+    fn original_strassen_variant_is_exact() {
+        let policy = ExecPolicy { variant: Variant::Strassen, ..Default::default() };
+        let a: Matrix<i64> = random_matrix(24, 24, 40);
+        let b: Matrix<i64> = random_matrix(24, 24, 41);
+        let got = run(&a, &b, 3, 3, 3, 3, policy);
+        assert_eq!(got, naive_product(&a, &b));
+        // Rectangular tiles + padding through the original schedule.
+        let a: Matrix<i64> = random_matrix(19, 11, 42);
+        let b: Matrix<i64> = random_matrix(11, 27, 43);
+        let got = run(&a, &b, 5, 3, 7, 2, policy);
+        assert_eq!(got, naive_product(&a, &b));
+    }
+
+    #[test]
+    fn variants_agree_on_floats_within_tolerance() {
+        let a: Matrix<f64> = random_matrix(40, 40, 50);
+        let b: Matrix<f64> = random_matrix(40, 40, 51);
+        let w = run(&a, &b, 5, 5, 5, 3, ExecPolicy::default());
+        let s = run(&a, &b, 5, 5, 5, 3, ExecPolicy { variant: Variant::Strassen, ..Default::default() });
+        assert_matrix_eq(w.view(), s.view(), 40);
+    }
+
+    #[test]
+    fn strassen_and_conventional_agree_on_floats() {
+        let a: Matrix<f64> = random_matrix(48, 48, 30);
+        let b: Matrix<f64> = random_matrix(48, 48, 31);
+        let s = run(&a, &b, 6, 6, 6, 3, ExecPolicy::default());
+        let c = run(&a, &b, 6, 6, 6, 3, ExecPolicy { strassen_min: usize::MAX, ..Default::default() });
+        assert_matrix_eq(s.view(), c.view(), 48);
+    }
+}

@@ -1,0 +1,736 @@
+//! The BLAS-compatible MODGEMM interface (§2.1 / §3.5).
+//!
+//! `modgemm` computes `C ← α·op(A)·op(B) + β·C` on column-major operands
+//! with leading dimensions, exactly like Level-3 BLAS `dgemm`:
+//!
+//! 1. a joint tiling is planned (dynamic truncation point, §3.4) — or the
+//!    problem is split into well-behaved submatrix products when the
+//!    operands are too rectangular (§3.5);
+//! 2. `op(A)` and `op(B)` are packed into Morton buffers (transposition is
+//!    folded into the conversion, so one core routine suffices);
+//! 3. the core routine computes `D ← A·B` over Morton storage;
+//! 4. the result is unpacked with a fused `C ← α·D + β·C` (skipped in the
+//!    common α=1, β=0 case, where the unpack writes `C` directly).
+//!
+//! [`modgemm_timed`] exposes the conversion/compute split of Figure 7;
+//! [`MortonMatrix`] plus [`modgemm_premorton`] expose the "matrices
+//! already in Morton order" mode of Figure 8.
+
+use std::time::{Duration, Instant};
+
+use modgemm_mat::view::{MatMut, MatRef, Op};
+use modgemm_mat::Scalar;
+use modgemm_morton::convert::{from_morton, from_morton_axpby, to_morton};
+use modgemm_morton::par_convert::{par_from_morton, par_to_morton};
+use modgemm_morton::tiling::JointTiling;
+use modgemm_morton::MortonLayout;
+
+use crate::config::ModgemmConfig;
+use crate::exec::{strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
+use crate::parallel::strassen_mul_parallel;
+use crate::rect;
+
+/// Wall-clock breakdown of one MODGEMM call (Figure 7's quantities).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GemmBreakdown {
+    /// Packing `op(A)` and `op(B)` into Morton order.
+    pub convert_in: Duration,
+    /// The Strassen-Winograd computation proper.
+    pub compute: Duration,
+    /// Unpacking the result (including the α/β post-processing).
+    pub convert_out: Duration,
+}
+
+impl GemmBreakdown {
+    /// Total time.
+    pub fn total(&self) -> Duration {
+        self.convert_in + self.compute + self.convert_out
+    }
+
+    /// Conversion (in + out) as a fraction of total.
+    pub fn conversion_fraction(&self) -> f64 {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.convert_in + self.convert_out).as_secs_f64() / t
+        }
+    }
+
+    fn accumulate(&mut self, other: GemmBreakdown) {
+        self.convert_in += other.convert_in;
+        self.compute += other.compute;
+        self.convert_out += other.convert_out;
+    }
+}
+
+/// An owned matrix in Morton order, remembering its logical (unpadded)
+/// dimensions.
+#[derive(Clone, Debug)]
+pub struct MortonMatrix<S> {
+    buf: Vec<S>,
+    layout: MortonLayout,
+    rows: usize,
+    cols: usize,
+}
+
+impl<S: Scalar> MortonMatrix<S> {
+    /// Packs `op(src)` into Morton order under `layout`.
+    #[track_caller]
+    pub fn pack(src: MatRef<'_, S>, op: Op, layout: MortonLayout) -> Self {
+        let (rows, cols) = op.apply_dims(src.rows(), src.cols());
+        let mut buf = vec![S::ZERO; layout.len()];
+        to_morton(src, op, &layout, &mut buf);
+        Self { buf, layout, rows, cols }
+    }
+
+    /// An all-zero Morton matrix with logical dimensions `rows × cols`.
+    #[track_caller]
+    pub fn zeros(rows: usize, cols: usize, layout: MortonLayout) -> Self {
+        assert!(rows <= layout.rows() && cols <= layout.cols(), "logical dims exceed layout");
+        Self { buf: vec![S::ZERO; layout.len()], layout, rows, cols }
+    }
+
+    /// Unpacks the live region into `dst` (must be `rows × cols`).
+    #[track_caller]
+    pub fn unpack_into(&self, dst: MatMut<'_, S>) {
+        assert_eq!(dst.dims(), (self.rows, self.cols), "destination dims mismatch");
+        from_morton(&self.buf, &self.layout, dst);
+    }
+
+    /// Unpacks into an owned column-major matrix.
+    pub fn to_matrix(&self) -> modgemm_mat::Matrix<S> {
+        let mut m = modgemm_mat::Matrix::zeros(self.rows, self.cols);
+        self.unpack_into(m.view_mut());
+        m
+    }
+
+    /// Logical row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> MortonLayout {
+        self.layout
+    }
+
+    /// The raw Morton buffer.
+    pub fn as_slice(&self) -> &[S] {
+        &self.buf
+    }
+
+    /// The raw Morton buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.buf
+    }
+}
+
+/// Layouts implied by a [`JointTiling`].
+pub fn layouts_of(plan: &JointTiling) -> NodeLayouts {
+    NodeLayouts::new(
+        MortonLayout::new(plan.m.tile, plan.k.tile, plan.depth),
+        MortonLayout::new(plan.k.tile, plan.n.tile, plan.depth),
+        MortonLayout::new(plan.m.tile, plan.n.tile, plan.depth),
+    )
+}
+
+/// `C ← α·op(A)·op(B) + β·C` — the paper's MODGEMM with the Level-3 BLAS
+/// calling convention.
+///
+/// ```
+/// use modgemm_core::{modgemm, ModgemmConfig};
+/// use modgemm_mat::{Matrix, Op};
+///
+/// // C ← 2·Aᵀ·B − C on integer matrices (exact).
+/// let a: Matrix<i64> = Matrix::from_fn(3, 2, |i, j| (i + j) as i64);
+/// let b: Matrix<i64> = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as i64);
+/// let mut c: Matrix<i64> = Matrix::from_fn(2, 2, |_, _| 1);
+/// modgemm(2, Op::Trans, a.view(), Op::NoTrans, b.view(), -1,
+///         c.view_mut(), &ModgemmConfig::paper());
+/// // Entry (0,0): 2·(0·0 + 1·2 + 2·4) − 1 = 19.
+/// assert_eq!(c.get(0, 0), 19);
+/// ```
+///
+/// # Panics
+/// On dimension mismatches between `op(A)`, `op(B)`, and `C`.
+#[track_caller]
+pub fn modgemm<S: Scalar>(
+    alpha: S,
+    op_a: Op,
+    a: MatRef<'_, S>,
+    op_b: Op,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+    cfg: &ModgemmConfig,
+) {
+    let _ = modgemm_timed(alpha, op_a, a, op_b, b, beta, c, cfg);
+}
+
+/// Typed error for the fallible interface ([`try_modgemm`]); the plain
+/// [`modgemm`] panics on these conditions like a reference BLAS aborting
+/// on an illegal argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GemmError {
+    /// `op(A).cols != op(B).rows`.
+    InnerDimMismatch {
+        /// Columns of `op(A)`.
+        a_cols: usize,
+        /// Rows of `op(B)`.
+        b_rows: usize,
+    },
+    /// `C` is not `op(A).rows × op(B).cols`.
+    OutputDimMismatch {
+        /// Required dimensions.
+        expected: (usize, usize),
+        /// Actual dimensions of `C`.
+        got: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for GemmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GemmError::InnerDimMismatch { a_cols, b_rows } => {
+                write!(f, "inner dimensions differ: op(A) has {a_cols} columns, op(B) has {b_rows} rows")
+            }
+            GemmError::OutputDimMismatch { expected, got } => {
+                write!(f, "C must be {}x{}, got {}x{}", expected.0, expected.1, got.0, got.1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for GemmError {}
+
+/// Fallible variant of [`modgemm`]: returns a typed error instead of
+/// panicking on dimension mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn try_modgemm<S: Scalar>(
+    alpha: S,
+    op_a: Op,
+    a: MatRef<'_, S>,
+    op_b: Op,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+    cfg: &ModgemmConfig,
+) -> Result<(), GemmError> {
+    let (m, ka) = op_a.apply_dims(a.rows(), a.cols());
+    let (kb, n) = op_b.apply_dims(b.rows(), b.cols());
+    if ka != kb {
+        return Err(GemmError::InnerDimMismatch { a_cols: ka, b_rows: kb });
+    }
+    if c.dims() != (m, n) {
+        return Err(GemmError::OutputDimMismatch { expected: (m, n), got: c.dims() });
+    }
+    modgemm(alpha, op_a, a, op_b, b, beta, c, cfg);
+    Ok(())
+}
+
+/// Reusable buffers for repeated MODGEMM calls: the two Morton operand
+/// buffers, the Morton result buffer, and the Strassen workspace arena.
+/// Amortizes the four allocations of [`modgemm`] across calls of any
+/// (not necessarily identical) shapes — buffers only ever grow.
+#[derive(Clone, Debug, Default)]
+pub struct GemmContext<S> {
+    a_buf: Vec<S>,
+    b_buf: Vec<S>,
+    c_buf: Vec<S>,
+    ws: Vec<S>,
+}
+
+impl<S: Scalar> GemmContext<S> {
+    /// An empty context (buffers grow on first use).
+    pub fn new() -> Self {
+        Self { a_buf: Vec::new(), b_buf: Vec::new(), c_buf: Vec::new(), ws: Vec::new() }
+    }
+
+    /// Pre-sizes the context for an `m × k × n` problem under `cfg`
+    /// (no-op for problems that will be split).
+    pub fn reserve_for(&mut self, m: usize, k: usize, n: usize, cfg: &ModgemmConfig) {
+        if let Some(plan) = cfg.plan(m, k, n) {
+            let layouts = layouts_of(&plan);
+            let policy = ExecPolicy { strassen_min: cfg.strassen_min, variant: cfg.variant };
+            grow(&mut self.a_buf, layouts.a.len());
+            grow(&mut self.b_buf, layouts.b.len());
+            grow(&mut self.c_buf, layouts.c.len());
+            grow(&mut self.ws, workspace_len(layouts, policy));
+        }
+    }
+
+    /// Total elements currently held.
+    pub fn footprint(&self) -> usize {
+        self.a_buf.len() + self.b_buf.len() + self.c_buf.len() + self.ws.len()
+    }
+}
+
+/// Grows `v` to at least `len` elements, zero-filling new space.
+fn grow<S: Scalar>(v: &mut Vec<S>, len: usize) -> &mut [S] {
+    if v.len() < len {
+        v.resize(len, S::ZERO);
+    }
+    &mut v[..len]
+}
+
+/// [`modgemm`] returning the conversion/compute wall-clock breakdown
+/// (the Figure 7 measurement).
+#[track_caller]
+#[allow(clippy::too_many_arguments)]
+pub fn modgemm_timed<S: Scalar>(
+    alpha: S,
+    op_a: Op,
+    a: MatRef<'_, S>,
+    op_b: Op,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+    cfg: &ModgemmConfig,
+) -> GemmBreakdown {
+    let mut ctx = GemmContext::new();
+    modgemm_with_ctx(alpha, op_a, a, op_b, b, beta, c, cfg, &mut ctx)
+}
+
+/// [`modgemm`] reusing the buffers of `ctx` (allocation-free once the
+/// context has warmed up to the problem size).
+#[track_caller]
+#[allow(clippy::too_many_arguments)]
+pub fn modgemm_with_ctx<S: Scalar>(
+    alpha: S,
+    op_a: Op,
+    a: MatRef<'_, S>,
+    op_b: Op,
+    b: MatRef<'_, S>,
+    beta: S,
+    mut c: MatMut<'_, S>,
+    cfg: &ModgemmConfig,
+    ctx: &mut GemmContext<S>,
+) -> GemmBreakdown {
+    let (m, ka) = op_a.apply_dims(a.rows(), a.cols());
+    let (kb, n) = op_b.apply_dims(b.rows(), b.cols());
+    assert_eq!(ka, kb, "inner dimensions differ: {ka} vs {kb}");
+    assert_eq!(c.dims(), (m, n), "C must be {m}x{n}, got {:?}", c.dims());
+    let k = ka;
+
+    if m == 0 || n == 0 {
+        return GemmBreakdown::default();
+    }
+    if k == 0 || alpha == S::ZERO {
+        scale_in_place(beta, &mut c);
+        return GemmBreakdown::default();
+    }
+
+    match cfg.plan(m, k, n) {
+        Some(plan) => execute_plan(alpha, op_a, a, op_b, b, beta, c, cfg, &plan, ctx),
+        None => {
+            // Highly rectangular: split into well-behaved products (the
+            // sub-products reuse the same context sequentially).
+            let mut total = GemmBreakdown::default();
+            rect::split_gemm(alpha, op_a, a, op_b, b, beta, c, cfg, ctx, &mut |bd| {
+                total.accumulate(bd)
+            });
+            total
+        }
+    }
+}
+
+/// In-place `C ← β·C` honoring the BLAS convention that `β = 0` writes
+/// zeros without reading `C`.
+fn scale_in_place<S: Scalar>(beta: S, c: &mut MatMut<'_, S>) {
+    if beta == S::ONE {
+        return;
+    }
+    for j in 0..c.cols() {
+        let col = c.col_mut(j);
+        if beta == S::ZERO {
+            col.fill(S::ZERO);
+        } else {
+            for x in col {
+                *x *= beta;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_plan<S: Scalar>(
+    alpha: S,
+    op_a: Op,
+    a: MatRef<'_, S>,
+    op_b: Op,
+    b: MatRef<'_, S>,
+    beta: S,
+    mut c: MatMut<'_, S>,
+    cfg: &ModgemmConfig,
+    plan: &JointTiling,
+    ctx: &mut GemmContext<S>,
+) -> GemmBreakdown {
+    let layouts = layouts_of(plan);
+    let policy = ExecPolicy { strassen_min: cfg.strassen_min, variant: cfg.variant };
+
+    let t0 = Instant::now();
+    let abuf = grow(&mut ctx.a_buf, layouts.a.len());
+    let bbuf = grow(&mut ctx.b_buf, layouts.b.len());
+    if cfg.parallel_convert {
+        par_to_morton(a, op_a, &layouts.a, abuf);
+        par_to_morton(b, op_b, &layouts.b, bbuf);
+    } else {
+        to_morton(a, op_a, &layouts.a, abuf);
+        to_morton(b, op_b, &layouts.b, bbuf);
+    }
+    let convert_in = t0.elapsed();
+
+    let t1 = Instant::now();
+    let cbuf = grow(&mut ctx.c_buf, layouts.c.len());
+    if cfg.parallel_depth > 0 {
+        strassen_mul_parallel(abuf, bbuf, cbuf, layouts, policy, cfg.parallel_depth);
+    } else {
+        let ws = grow(&mut ctx.ws, workspace_len(layouts, policy));
+        strassen_mul(abuf, bbuf, cbuf, layouts, ws, policy);
+    }
+    let compute = t1.elapsed();
+    let cbuf = &ctx.c_buf[..layouts.c.len()];
+
+    let t2 = Instant::now();
+    if alpha == S::ONE && beta == S::ZERO {
+        if cfg.parallel_convert {
+            par_from_morton(cbuf, &layouts.c, c);
+        } else {
+            from_morton(cbuf, &layouts.c, c);
+        }
+    } else {
+        from_morton_axpby(cbuf, &layouts.c, alpha, beta, c.reborrow());
+    }
+    let convert_out = t2.elapsed();
+
+    GemmBreakdown { convert_in, compute, convert_out }
+}
+
+/// Runs the Morton core (`D ← A·B`) with the configured execution policy.
+pub(crate) fn run_core<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    cfg: &ModgemmConfig,
+) {
+    let policy = ExecPolicy { strassen_min: cfg.strassen_min, variant: cfg.variant };
+    if cfg.parallel_depth > 0 {
+        strassen_mul_parallel(a, b, c, layouts, policy, cfg.parallel_depth);
+    } else {
+        let mut ws = vec![S::ZERO; workspace_len(layouts, policy)];
+        strassen_mul(a, b, c, layouts, &mut ws, policy);
+    }
+}
+
+/// Figure 8 mode: multiply operands that are *already* in Morton order,
+/// skipping all conversion. Computes `C ← A·B` (α = 1, β = 0).
+///
+/// # Panics
+/// If the layouts are incompatible (depths differ or tile dimensions do
+/// not chain) or logical dimensions do not chain.
+#[track_caller]
+pub fn modgemm_premorton<S: Scalar>(
+    a: &MortonMatrix<S>,
+    b: &MortonMatrix<S>,
+    c: &mut MortonMatrix<S>,
+    cfg: &ModgemmConfig,
+) {
+    assert_eq!(a.cols, b.rows, "logical inner dimensions differ");
+    assert_eq!((c.rows, c.cols), (a.rows, b.cols), "C logical dims mismatch");
+    let layouts = NodeLayouts::new(a.layout, b.layout, c.layout);
+    run_core(&a.buf, &b.buf, &mut c.buf, layouts, cfg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Truncation;
+    use modgemm_mat::gen::{random_matrix, random_problem};
+    use modgemm_mat::naive::{naive_gemm, naive_product};
+    use modgemm_mat::norms::assert_matrix_eq;
+    use modgemm_mat::Matrix;
+    use modgemm_morton::tiling::TileRange;
+
+    fn check_full(
+        m: usize,
+        k: usize,
+        n: usize,
+        alpha: f64,
+        beta: f64,
+        op_a: Op,
+        op_b: Op,
+        cfg: &ModgemmConfig,
+        seed: u64,
+    ) {
+        // Stored dims: op(stored) must be m×k / k×n; Trans is involutive.
+        let (ar, ac) = op_a.apply_dims(m, k);
+        let (br, bc) = op_b.apply_dims(k, n);
+        let a: Matrix<f64> = random_matrix(ar, ac, seed);
+        let b: Matrix<f64> = random_matrix(br, bc, seed + 1);
+        let c0: Matrix<f64> = random_matrix(m, n, seed + 2);
+
+        let mut got = c0.clone();
+        modgemm(alpha, op_a, a.view(), op_b, b.view(), beta, got.view_mut(), cfg);
+
+        let mut expect = c0.clone();
+        naive_gemm(alpha, op_a, a.view(), op_b, b.view(), beta, expect.view_mut());
+        assert_matrix_eq(got.view(), expect.view(), k);
+    }
+
+    #[test]
+    fn square_alpha1_beta0() {
+        let cfg = ModgemmConfig::default();
+        for (n, seed) in [(64, 1), (150, 2), (171, 3), (256, 4)] {
+            check_full(n, n, n, 1.0, 0.0, Op::NoTrans, Op::NoTrans, &cfg, seed);
+        }
+    }
+
+    #[test]
+    fn exact_integers_odd_sizes() {
+        let cfg = ModgemmConfig::default();
+        for (n, seed) in [(65usize, 10u64), (100, 11), (129, 12)] {
+            let a: Matrix<i64> = random_matrix(n, n, seed);
+            let b: Matrix<i64> = random_matrix(n, n, seed + 1);
+            let mut c: Matrix<i64> = Matrix::zeros(n, n);
+            modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &cfg);
+            assert_eq!(c, naive_product(&a, &b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn general_alpha_beta() {
+        let cfg = ModgemmConfig::default();
+        check_full(100, 80, 90, 2.5, -1.5, Op::NoTrans, Op::NoTrans, &cfg, 20);
+        check_full(70, 70, 70, -1.0, 1.0, Op::NoTrans, Op::NoTrans, &cfg, 21);
+        check_full(70, 70, 70, 0.5, 0.0, Op::NoTrans, Op::NoTrans, &cfg, 22);
+    }
+
+    #[test]
+    fn transposed_operands() {
+        let cfg = ModgemmConfig::default();
+        check_full(90, 110, 75, 1.0, 0.0, Op::Trans, Op::NoTrans, &cfg, 30);
+        check_full(90, 110, 75, 1.0, 0.0, Op::NoTrans, Op::Trans, &cfg, 31);
+        check_full(90, 110, 75, 2.0, 3.0, Op::Trans, Op::Trans, &cfg, 32);
+    }
+
+    #[test]
+    fn rectangular_within_joint_range() {
+        let cfg = ModgemmConfig::default();
+        check_full(200, 120, 90, 1.0, 0.0, Op::NoTrans, Op::NoTrans, &cfg, 40);
+        check_full(65, 256, 100, 1.0, 0.0, Op::NoTrans, Op::NoTrans, &cfg, 41);
+    }
+
+    #[test]
+    fn highly_rectangular_splits() {
+        // Ratio > 4 forces the Figure 4 submatrix splitting.
+        let cfg = ModgemmConfig::default();
+        check_full(700, 80, 700, 1.0, 0.0, Op::NoTrans, Op::NoTrans, &cfg, 50);
+        check_full(80, 700, 80, 1.0, 0.0, Op::NoTrans, Op::NoTrans, &cfg, 51);
+        check_full(900, 900, 70, 1.0, 2.0, Op::NoTrans, Op::NoTrans, &cfg, 52);
+        check_full(70, 900, 900, -1.0, 0.5, Op::Trans, Op::NoTrans, &cfg, 53);
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        let cfg = ModgemmConfig::default();
+        // k = 0: C ← β·C without reading A/B.
+        let a: Matrix<f64> = Matrix::zeros(4, 0);
+        let b: Matrix<f64> = Matrix::zeros(0, 5);
+        let mut c = Matrix::from_fn(4, 5, |i, j| (i + j) as f64);
+        modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 2.0, c.view_mut(), &cfg);
+        for i in 0..4 {
+            for j in 0..5 {
+                assert_eq!(c.get(i, j), 2.0 * (i + j) as f64);
+            }
+        }
+        // β = 0 wipes even NaN.
+        let mut c = Matrix::from_fn(4, 5, |_, _| f64::NAN);
+        modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg);
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+        // α = 0 never touches A·B.
+        let a: Matrix<f64> = random_matrix(4, 3, 1);
+        let b: Matrix<f64> = random_matrix(3, 5, 2);
+        let mut c = Matrix::from_fn(4, 5, |_, _| 7.0);
+        modgemm(0.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.5, c.view_mut(), &cfg);
+        assert!(c.as_slice().iter().all(|&x| x == 3.5));
+    }
+
+    #[test]
+    fn beta_zero_does_not_read_nan_garbage() {
+        let cfg = ModgemmConfig::default();
+        let a: Matrix<f64> = random_matrix(33, 33, 60);
+        let b: Matrix<f64> = random_matrix(33, 33, 61);
+        let mut c = Matrix::from_fn(33, 33, |_, _| f64::NAN);
+        modgemm(2.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg);
+        assert!(c.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn fixed_truncation_matches() {
+        let cfg = ModgemmConfig { truncation: Truncation::Fixed(32), ..Default::default() };
+        check_full(150, 150, 150, 1.0, 0.0, Op::NoTrans, Op::NoTrans, &cfg, 70);
+        let cfg = ModgemmConfig { truncation: Truncation::Fixed(64), ..Default::default() };
+        check_full(130, 200, 90, 1.5, -0.5, Op::NoTrans, Op::Trans, &cfg, 71);
+    }
+
+    #[test]
+    fn custom_tile_range() {
+        let cfg = ModgemmConfig {
+            truncation: Truncation::MinPadding(TileRange::new(8, 32)),
+            ..Default::default()
+        };
+        check_full(200, 200, 200, 1.0, 0.0, Op::NoTrans, Op::NoTrans, &cfg, 80);
+    }
+
+    #[test]
+    fn timed_breakdown_is_consistent() {
+        let cfg = ModgemmConfig::default();
+        let (a, b, _): (Matrix<f64>, _, _) = random_problem(300, 300, 300, 90);
+        let mut c: Matrix<f64> = Matrix::zeros(300, 300);
+        let bd = modgemm_timed(
+            1.0,
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            0.0,
+            c.view_mut(),
+            &cfg,
+        );
+        assert!(bd.compute > Duration::ZERO);
+        assert!(bd.convert_in > Duration::ZERO);
+        assert!(bd.total() >= bd.compute);
+        let f = bd.conversion_fraction();
+        assert!((0.0..1.0).contains(&f), "fraction {f}");
+        assert_matrix_eq(c.view(), naive_product(&a, &b).view(), 300);
+    }
+
+    #[test]
+    fn premorton_mode_matches_interface_mode() {
+        let cfg = ModgemmConfig::default();
+        let n = 160;
+        let (a, b, _): (Matrix<f64>, _, _) = random_problem(n, n, n, 100);
+        let plan = cfg.plan(n, n, n).unwrap();
+        let layouts = layouts_of(&plan);
+        let am = MortonMatrix::pack(a.view(), Op::NoTrans, layouts.a);
+        let bm = MortonMatrix::pack(b.view(), Op::NoTrans, layouts.b);
+        let mut cm = MortonMatrix::zeros(n, n, layouts.c);
+        modgemm_premorton(&am, &bm, &mut cm, &cfg);
+        let got = cm.to_matrix();
+        assert_matrix_eq(got.view(), naive_product(&a, &b).view(), n);
+    }
+
+    #[test]
+    fn morton_matrix_roundtrip_with_transpose() {
+        let a: Matrix<f64> = random_matrix(50, 70, 110);
+        let layout = MortonLayout::new(18, 13, 2); // 72x52 ≥ 70x50
+        let m = MortonMatrix::pack(a.view(), Op::Trans, layout);
+        assert_eq!((m.rows(), m.cols()), (70, 50));
+        let back = m.to_matrix();
+        assert_eq!(back, a.transposed());
+    }
+
+    #[test]
+    fn try_modgemm_reports_typed_errors() {
+        let cfg = ModgemmConfig::default();
+        let a: Matrix<f64> = Matrix::zeros(4, 5);
+        let b: Matrix<f64> = Matrix::zeros(6, 3);
+        let mut c: Matrix<f64> = Matrix::zeros(4, 3);
+        let err = try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg)
+            .unwrap_err();
+        assert_eq!(err, GemmError::InnerDimMismatch { a_cols: 5, b_rows: 6 });
+        assert!(err.to_string().contains("inner dimensions"));
+
+        let b: Matrix<f64> = Matrix::zeros(5, 3);
+        let mut bad_c: Matrix<f64> = Matrix::zeros(4, 4);
+        let err = try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, bad_c.view_mut(), &cfg)
+            .unwrap_err();
+        assert_eq!(err, GemmError::OutputDimMismatch { expected: (4, 3), got: (4, 4) });
+
+        // And it succeeds (with a correct result) when dims are legal.
+        let a: Matrix<i64> = random_matrix(10, 12, 1);
+        let b: Matrix<i64> = random_matrix(12, 8, 2);
+        let mut c: Matrix<i64> = Matrix::zeros(10, 8);
+        try_modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &cfg).unwrap();
+        assert_eq!(c, naive_product(&a, &b));
+    }
+
+    #[test]
+    fn context_reuse_is_equivalent_and_allocation_stable() {
+        let cfg = ModgemmConfig::default();
+        let mut ctx = GemmContext::<f64>::new();
+        // Mixed shapes, including one that splits (reuses ctx inside).
+        for (m, k, n, seed) in [(100usize, 80usize, 90usize, 1u64), (150, 150, 150, 2), (60, 500, 60, 3), (100, 80, 90, 4)]
+        {
+            let a: Matrix<f64> = random_matrix(m, k, seed);
+            let b: Matrix<f64> = random_matrix(k, n, seed + 10);
+            let mut with_ctx: Matrix<f64> = Matrix::zeros(m, n);
+            modgemm_with_ctx(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                with_ctx.view_mut(),
+                &cfg,
+                &mut ctx,
+            );
+            let mut fresh: Matrix<f64> = Matrix::zeros(m, n);
+            modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, fresh.view_mut(), &cfg);
+            assert_eq!(with_ctx, fresh, "{m}x{k}x{n}");
+        }
+        // Once warm, repeating a shape must not grow the footprint.
+        let before = ctx.footprint();
+        let a: Matrix<f64> = random_matrix(150, 150, 9);
+        let b: Matrix<f64> = random_matrix(150, 150, 10);
+        let mut c: Matrix<f64> = Matrix::zeros(150, 150);
+        modgemm_with_ctx(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg, &mut ctx);
+        assert_eq!(ctx.footprint(), before);
+    }
+
+    #[test]
+    fn reserve_for_pre_sizes_the_context() {
+        let cfg = ModgemmConfig::default();
+        let mut ctx = GemmContext::<f64>::new();
+        ctx.reserve_for(200, 200, 200, &cfg);
+        let reserved = ctx.footprint();
+        assert!(reserved > 0);
+        let a: Matrix<f64> = random_matrix(200, 200, 1);
+        let b: Matrix<f64> = random_matrix(200, 200, 2);
+        let mut c: Matrix<f64> = Matrix::zeros(200, 200);
+        modgemm_with_ctx(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg, &mut ctx);
+        assert_eq!(ctx.footprint(), reserved, "reservation must cover the run");
+    }
+
+    #[test]
+    fn strassen_variant_through_full_interface() {
+        let cfg = ModgemmConfig { variant: crate::schedule::Variant::Strassen, ..Default::default() };
+        let a: Matrix<i64> = random_matrix(100, 100, 1);
+        let b: Matrix<i64> = random_matrix(100, 100, 2);
+        let mut c: Matrix<i64> = Matrix::zeros(100, 100);
+        modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &cfg);
+        assert_eq!(c, naive_product(&a, &b));
+    }
+
+    #[test]
+    fn parallel_config_matches_serial() {
+        let n = 200;
+        let (a, b, _): (Matrix<f64>, _, _) = random_problem(n, n, n, 120);
+        let serial = ModgemmConfig::default();
+        let par = ModgemmConfig { parallel_depth: 2, parallel_convert: true, ..Default::default() };
+        let mut c1: Matrix<f64> = Matrix::zeros(n, n);
+        let mut c2: Matrix<f64> = Matrix::zeros(n, n);
+        modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c1.view_mut(), &serial);
+        modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c2.view_mut(), &par);
+        // Identical schedules ⇒ bitwise identical results.
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # MODGEMM — the SC'98 paper's contribution
+//!
+//! Strassen-Winograd matrix multiplication made memory-friendly by three
+//! interlocking techniques (Thottethodi, Chatterjee, Lebeck, SC 1998):
+//!
+//! 1. **Morton-order internal storage** — quadrants at every recursion
+//!    level are contiguous, so the 15 Winograd additions are single-loop
+//!    flat passes and leaf tiles multiply at stable, size-insensitive
+//!    speed ([`exec`]).
+//! 2. **Dynamic recursion truncation** — the leaf tile size is chosen per
+//!    dimension from a range (default 16–64) to minimize padding
+//!    ([`config`], backed by `modgemm-morton`'s tiling module).
+//! 3. **Cheap static padding** — the pad is bounded by a small constant,
+//!    zero-filled, and multiplied through rather than branched around.
+//!
+//! Entry points:
+//! * [`gemm::modgemm`] — the Level-3 BLAS-compatible interface
+//!   (`C ← α·op(A)·op(B) + β·C`).
+//! * [`gemm::modgemm_timed`] — same, reporting the conversion/compute
+//!   breakdown (Figure 7).
+//! * [`gemm::modgemm_premorton`] — operands already in Morton order
+//!   (Figure 8).
+//! * [`exec::strassen_mul`] / [`exec::morton_mul`] — the raw Morton-buffer
+//!   executors.
+//!
+//! The Winograd recursion step itself lives in [`schedule`] *as data*,
+//! shared by this crate's executor, the DGEFMM baseline, and the
+//! cache-tracing executor, with an executable symbolic proof of
+//! correctness in its tests.
+
+pub mod blas;
+pub mod config;
+pub mod counts;
+pub mod exec;
+pub mod gemm;
+pub mod parallel;
+pub mod rect;
+pub mod schedule;
+pub mod verify;
+
+pub use config::{ModgemmConfig, Truncation};
+pub use schedule::Variant;
+pub use exec::{strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
+pub use gemm::{
+    layouts_of, modgemm, modgemm_premorton, modgemm_timed, modgemm_with_ctx, try_modgemm,
+    GemmBreakdown, GemmContext, GemmError, MortonMatrix,
+};
+pub use rect::{classify, Shape};

@@ -1,0 +1,183 @@
+//! Parallel evaluation of the seven Winograd products.
+//!
+//! The paper's code is sequential; parallelism is the natural extension
+//! its future-work section gestures at. The seven products of one
+//! recursion level are mutually independent *if* each gets its own
+//! destination, so the parallel executor trades the low-memory in-place
+//! schedule for explicit product buffers:
+//!
+//! * `S1..S4` and `T1..T4` are computed up front into eight temporaries,
+//! * the seven products are spawned as scoped threads (four of them still
+//!   write the disjoint `C` quadrants directly; `P1`, `P2`, `P5` get
+//!   temporary buffers),
+//! * the `U`-combinations run after the join, identically to the serial
+//!   schedule's suffix.
+//!
+//! Results are **bitwise identical** to the serial executor: the same
+//! products are computed by the same kernels in the same associativity;
+//! only the evaluation order across independent buffers changes.
+
+use modgemm_mat::addsub::{add_assign_flat, add_flat, sub_flat};
+use modgemm_mat::Scalar;
+
+use crate::exec::{strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
+
+/// `C = A·B` with the top `par_depth` Strassen levels evaluated in
+/// parallel (7 threads per level) and everything below running the serial
+/// in-place executor.
+pub fn strassen_mul_parallel<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    policy: ExecPolicy,
+    par_depth: usize,
+) {
+    assert_eq!(a.len(), layouts.a.len(), "A buffer length mismatch");
+    assert_eq!(b.len(), layouts.b.len(), "B buffer length mismatch");
+    assert_eq!(c.len(), layouts.c.len(), "C buffer length mismatch");
+
+    // The parallel product placement below is derived from the Winograd
+    // recurrences; the original-Strassen variant runs serially.
+    if par_depth == 0
+        || !layouts.uses_strassen(policy)
+        || policy.variant != crate::schedule::Variant::Winograd
+    {
+        let mut ws = vec![S::ZERO; workspace_len(layouts, policy)];
+        strassen_mul(a, b, c, layouts, &mut ws, policy);
+        return;
+    }
+
+    let ch = layouts.child();
+    let (qa, qb, qc) =
+        (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
+    let (a11, a12, a21, a22) = (&a[..qa], &a[qa..2 * qa], &a[2 * qa..3 * qa], &a[3 * qa..]);
+    let (b11, b12, b21, b22) = (&b[..qb], &b[qb..2 * qb], &b[2 * qb..3 * qb], &b[3 * qb..]);
+
+    // S/T operand temporaries (computed serially; they are cheap,
+    // memory-bound flat passes).
+    let mut s1 = vec![S::ZERO; qa];
+    let mut s2 = vec![S::ZERO; qa];
+    let mut s3 = vec![S::ZERO; qa];
+    let mut s4 = vec![S::ZERO; qa];
+    add_flat(&mut s1, a21, a22); // S1 = A21 + A22
+    sub_flat(&mut s2, &s1, a11); // S2 = S1 − A11
+    sub_flat(&mut s3, a11, a21); // S3 = A11 − A21
+    sub_flat(&mut s4, a12, &s2); // S4 = A12 − S2
+
+    let mut t1 = vec![S::ZERO; qb];
+    let mut t2 = vec![S::ZERO; qb];
+    let mut t3 = vec![S::ZERO; qb];
+    let mut t4 = vec![S::ZERO; qb];
+    sub_flat(&mut t1, b12, b11); // T1 = B12 − B11
+    sub_flat(&mut t2, b22, &t1); // T2 = B22 − T1
+    sub_flat(&mut t3, b22, b12); // T3 = B22 − B12
+    sub_flat(&mut t4, b21, &t2); // T4 = B21 − T2
+
+    let (c11, rest) = c.split_at_mut(qc);
+    let (c12, rest) = rest.split_at_mut(qc);
+    let (c21, c22) = rest.split_at_mut(qc);
+
+    let mut p1 = vec![S::ZERO; qc];
+    let mut p2 = vec![S::ZERO; qc];
+    let mut p5 = vec![S::ZERO; qc];
+
+    {
+        // Each task multiplies into its own disjoint destination.
+        let run = |av: &[S], bv: &[S], cv: &mut [S]| {
+            strassen_mul_parallel(av, bv, cv, ch, policy, par_depth - 1)
+        };
+        std::thread::scope(|scope| {
+            scope.spawn(|| run(a11, b11, &mut p1)); // P1
+            scope.spawn(|| run(a12, b21, &mut p2)); // P2
+            scope.spawn(|| run(&s1, &t1, c22)); // P3 → C22
+            scope.spawn(|| run(&s2, &t2, c11)); // P4 → C11
+            scope.spawn(|| run(&s3, &t3, &mut p5)); // P5
+            scope.spawn(|| run(&s4, b22, c12)); // P6 → C12
+            run(a22, &t4, c21); // P7 → C21 (on this thread)
+        });
+    }
+
+    // The serial schedule's combination suffix.
+    add_assign_flat(c11, &p1); // U2 = P1 + P4
+    add_assign_flat(c12, c22); // P6 + P3
+    add_assign_flat(c12, c11); // U7 = U2 + P3 + P6  → C12 done
+    add_assign_flat(c11, &p5); // U3 = U2 + P5
+    add_assign_flat(c21, c11); // U4 = U3 + P7       → C21 done
+    add_assign_flat(c22, c11); // U5 = U3 + P3       → C22 done
+    add_flat(c11, &p1, &p2); // U1 = P1 + P2         → C11 done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modgemm_mat::gen::random_matrix;
+    use modgemm_mat::naive::naive_product;
+    use modgemm_mat::view::Op;
+    use modgemm_mat::Matrix;
+    use modgemm_morton::convert::{from_morton, to_morton};
+    use modgemm_morton::MortonLayout;
+
+    fn run_par(n: usize, tile: usize, depth: usize, par_depth: usize, seed: u64) {
+        let l = MortonLayout::new(tile, tile, depth);
+        let layouts = NodeLayouts::new(l, l, l);
+        let a: Matrix<f64> = random_matrix(n, n, seed);
+        let b: Matrix<f64> = random_matrix(n, n, seed + 1);
+        let mut ab = vec![0.0; l.len()];
+        let mut bb = vec![0.0; l.len()];
+        to_morton(a.view(), Op::NoTrans, &l, &mut ab);
+        to_morton(b.view(), Op::NoTrans, &l, &mut bb);
+
+        let mut c_par = vec![0.0; l.len()];
+        strassen_mul_parallel(&ab, &bb, &mut c_par, layouts, ExecPolicy::default(), par_depth);
+
+        let mut c_ser = vec![0.0; l.len()];
+        let mut ws = vec![0.0; workspace_len(layouts, ExecPolicy::default())];
+        strassen_mul(&ab, &bb, &mut c_ser, layouts, &mut ws, ExecPolicy::default());
+
+        // Same products, same kernels, same associativity ⇒ bitwise equal.
+        assert_eq!(c_par, c_ser, "n = {n} par_depth = {par_depth}");
+
+        let mut out = Matrix::zeros(n, n);
+        from_morton(&c_par, &l, out.view_mut());
+        modgemm_mat::norms::assert_matrix_eq(out.view(), naive_product(&a, &b).view(), n);
+    }
+
+    #[test]
+    fn one_parallel_level() {
+        run_par(64, 8, 3, 1, 1);
+    }
+
+    #[test]
+    fn two_parallel_levels() {
+        run_par(96, 12, 3, 2, 2);
+    }
+
+    #[test]
+    fn par_depth_exceeding_recursion_depth() {
+        run_par(32, 8, 2, 5, 3);
+    }
+
+    #[test]
+    fn par_depth_zero_is_serial() {
+        run_par(32, 8, 2, 0, 4);
+    }
+
+    #[test]
+    fn integers_stay_exact_in_parallel() {
+        let l = MortonLayout::new(4, 4, 3);
+        let layouts = NodeLayouts::new(l, l, l);
+        let n = 32;
+        let a: Matrix<i64> = random_matrix(n, n, 9);
+        let b: Matrix<i64> = random_matrix(n, n, 10);
+        let mut ab = vec![0; l.len()];
+        let mut bb = vec![0; l.len()];
+        to_morton(a.view(), Op::NoTrans, &l, &mut ab);
+        to_morton(b.view(), Op::NoTrans, &l, &mut bb);
+        let mut cb = vec![0; l.len()];
+        strassen_mul_parallel(&ab, &bb, &mut cb, layouts, ExecPolicy::default(), 2);
+        let mut out = Matrix::zeros(n, n);
+        from_morton(&cb, &l, out.view_mut());
+        assert_eq!(out, naive_product(&a, &b));
+    }
+}

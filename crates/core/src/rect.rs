@@ -1,0 +1,255 @@
+//! Handling of highly rectangular operands (§3.5, Figure 4).
+//!
+//! The three GEMM dimensions must share one recursion depth, so each must
+//! admit a tile in the admissible range at that depth. With the paper's
+//! range `[16, 64]` this holds whenever the dimensions are within a factor
+//! of `64/16 = 4` of one another; a *wide* or *lean* operand beyond that
+//! ratio makes the feasible-depth sets disjoint (the paper's
+//! 1024×256-with-fixed-tiles example).
+//!
+//! The fix is the paper's: "the matrix is divided into submatrices such
+//! that all submatrices require the same depth of recursion unfolding for
+//! both dimensions. The matrix product is reconstructed in terms of the
+//! submatrix products." We implement this compositionally: whenever no
+//! shared depth exists, the *largest* dimension is halved —
+//!
+//! * an `m`-split partitions `op(A)` and `C` into top/bottom blocks
+//!   (two independent products),
+//! * an `n`-split partitions `op(B)` and `C` into left/right blocks,
+//! * a `k`-split partitions `op(A)` into left/right and `op(B)` into
+//!   top/bottom, and *accumulates*: `C ← α·A₁B₁ + β·C`, then
+//!   `C ← α·A₂B₂ + 1·C` —
+//!
+//! and the entry point re-plans each half, recursing further if needed.
+//! All nine wide/lean/well-behaved combinations of the paper's taxonomy
+//! reduce to sequences of these three splits.
+
+use modgemm_mat::view::{MatMut, MatRef, Op};
+use modgemm_mat::Scalar;
+use modgemm_morton::tiling::TileRange;
+
+use crate::config::ModgemmConfig;
+use crate::gemm::{modgemm_with_ctx, GemmBreakdown, GemmContext};
+
+/// The paper's shape taxonomy for an operand (§3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// Columns-to-rows ratio exceeds the desired ratio.
+    Wide,
+    /// Rows-to-columns ratio exceeds the desired ratio.
+    Lean,
+    /// Both ratios within bounds.
+    WellBehaved,
+}
+
+/// Classifies a `rows × cols` operand against the admissible aspect
+/// ratio (`range.max / range.min` for the configured tile range).
+pub fn classify(rows: usize, cols: usize, range: TileRange) -> Shape {
+    let ratio = (range.max / range.min).max(1);
+    if cols > rows * ratio {
+        Shape::Wide
+    } else if rows > cols * ratio {
+        Shape::Lean
+    } else {
+        Shape::WellBehaved
+    }
+}
+
+/// Window of the stored matrix corresponding to
+/// `op(X)[i..i+nr, j..j+nc]`.
+pub(crate) fn op_sub<'a, S: Scalar>(
+    x: MatRef<'a, S>,
+    op: Op,
+    i: usize,
+    j: usize,
+    nr: usize,
+    nc: usize,
+) -> MatRef<'a, S> {
+    match op {
+        Op::NoTrans => x.submatrix(i, j, nr, nc),
+        Op::Trans => x.submatrix(j, i, nc, nr),
+    }
+}
+
+/// Splits one over-rectangular GEMM along its largest dimension and
+/// recurses through [`modgemm_with_ctx`] (which re-plans each half).
+/// Breakdowns of the leaf executions are fed to `sink`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn split_gemm<S: Scalar>(
+    alpha: S,
+    op_a: Op,
+    a: MatRef<'_, S>,
+    op_b: Op,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+    cfg: &ModgemmConfig,
+    ctx: &mut GemmContext<S>,
+    sink: &mut dyn FnMut(GemmBreakdown),
+) {
+    let (m, k) = op_a.apply_dims(a.rows(), a.cols());
+    let (_, n) = op_b.apply_dims(b.rows(), b.cols());
+    debug_assert!(m.max(k).max(n) >= 2, "split on degenerate problem");
+
+    if m >= k && m >= n {
+        // Lean A: split op(A) and C into top/bottom halves.
+        let m1 = m / 2;
+        let a1 = op_sub(a, op_a, 0, 0, m1, k);
+        let a2 = op_sub(a, op_a, m1, 0, m - m1, k);
+        let (c1, _, c2, _) = c.split_quad(m1, n);
+        sink(modgemm_with_ctx(alpha, op_a, a1, op_b, b, beta, c1, cfg, ctx));
+        sink(modgemm_with_ctx(alpha, op_a, a2, op_b, b, beta, c2, cfg, ctx));
+    } else if n >= k {
+        // Wide B: split op(B) and C into left/right halves.
+        let n1 = n / 2;
+        let b1 = op_sub(b, op_b, 0, 0, k, n1);
+        let b2 = op_sub(b, op_b, 0, n1, k, n - n1);
+        let (c1, c2, _, _) = c.split_quad(m, n1);
+        sink(modgemm_with_ctx(alpha, op_a, a, op_b, b1, beta, c1, cfg, ctx));
+        sink(modgemm_with_ctx(alpha, op_a, a, op_b, b2, beta, c2, cfg, ctx));
+    } else {
+        // Wide A / lean B: split the inner dimension and accumulate.
+        let k1 = k / 2;
+        let a1 = op_sub(a, op_a, 0, 0, m, k1);
+        let a2 = op_sub(a, op_a, 0, k1, m, k - k1);
+        let b1 = op_sub(b, op_b, 0, 0, k1, n);
+        let b2 = op_sub(b, op_b, k1, 0, k - k1, n);
+        let mut c = c;
+        sink(modgemm_with_ctx(alpha, op_a, a1, op_b, b1, beta, c.reborrow(), cfg, ctx));
+        sink(modgemm_with_ctx(alpha, op_a, a2, op_b, b2, S::ONE, c, cfg, ctx));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modgemm_mat::gen::random_matrix;
+    use modgemm_mat::naive::naive_gemm;
+    use modgemm_mat::norms::assert_matrix_eq;
+    use modgemm_mat::Matrix;
+
+    #[test]
+    fn classification_follows_paper_taxonomy() {
+        let r = TileRange::PAPER; // ratio 4
+        assert_eq!(classify(100, 500, r), Shape::Wide);
+        assert_eq!(classify(500, 100, r), Shape::Lean);
+        assert_eq!(classify(100, 400, r), Shape::WellBehaved);
+        assert_eq!(classify(400, 100, r), Shape::WellBehaved);
+        assert_eq!(classify(256, 256, r), Shape::WellBehaved);
+    }
+
+    #[test]
+    fn op_sub_maps_transposed_windows() {
+        let x: Matrix<i64> = modgemm_mat::gen::coordinate_matrix(6, 8);
+        // op(X) = Xᵀ is 8x6; window rows 2..5, cols 1..4 of Xᵀ equals
+        // stored window rows 1..4, cols 2..5.
+        let w = op_sub(x.view(), Op::Trans, 2, 1, 3, 3);
+        assert_eq!(w.dims(), (3, 3));
+        assert_eq!(w.get(0, 0), x.get(1, 2));
+    }
+
+    /// End-to-end check across all nine wide/lean/well-behaved operand
+    /// combinations of the paper's Figure 4 discussion.
+    #[test]
+    fn all_nine_shape_combinations() {
+        let cfg = ModgemmConfig::default();
+        // (m, k) pairs realizing each A shape, (k, n) realizing each B
+        // shape, sharing k.
+        let cases = [
+            (600usize, 70usize, 600usize), // A lean, B wide
+            (600, 70, 70),                 // A lean, B well-behaved
+            (600, 70, 12),                 // A lean, B lean
+            (70, 600, 70),                 // A wide, B lean
+            (70, 600, 600),                // A wide, B well-behaved
+            (12, 600, 70),                 // A wide (extreme), B lean
+            (70, 70, 600),                 // A well-behaved, B wide
+            (600, 600, 70),                // A wb (square), B lean
+            (70, 600, 4000),               // A wide, B wide
+        ];
+        for (idx, &(m, k, n)) in cases.iter().enumerate() {
+            let a: Matrix<f64> = random_matrix(m, k, 200 + idx as u64);
+            let b: Matrix<f64> = random_matrix(k, n, 300 + idx as u64);
+            let c0: Matrix<f64> = random_matrix(m, n, 400 + idx as u64);
+            let mut got = c0.clone();
+            crate::gemm::modgemm(
+                1.5,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                -0.5,
+                got.view_mut(),
+                &cfg,
+            );
+            let mut expect = c0;
+            naive_gemm(1.5, Op::NoTrans, a.view(), Op::NoTrans, b.view(), -0.5, expect.view_mut());
+            assert_matrix_eq(got.view(), expect.view(), k);
+        }
+    }
+
+    #[test]
+    fn paper_example_1024x256() {
+        // The §3.5 worked example: 1024×256 times 256×1024 is exactly at
+        // ratio 4 and must be *jointly* feasible (no split needed), while
+        // 2048×256 forces a split. Both must be correct.
+        let cfg = ModgemmConfig::default();
+        for (m, k, n, seed) in [(1024usize, 256usize, 256usize, 1u64), (2048, 256, 256, 2)] {
+            let a: Matrix<f64> = random_matrix(m, k, seed);
+            let b: Matrix<f64> = random_matrix(k, n, seed + 10);
+            let mut got: Matrix<f64> = Matrix::zeros(m, n);
+            crate::gemm::modgemm(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                got.view_mut(),
+                &cfg,
+            );
+            let mut expect: Matrix<f64> = Matrix::zeros(m, n);
+            naive_gemm(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                expect.view_mut(),
+            );
+            assert_matrix_eq(got.view(), expect.view(), k);
+        }
+    }
+
+    #[test]
+    fn extreme_vectors_degrade_gracefully() {
+        // Matrix-vector and vector-vector extremes.
+        let cfg = ModgemmConfig::default();
+        for (m, k, n) in [(500usize, 500usize, 1usize), (1, 500, 500), (500, 1, 500), (1, 500, 1)] {
+            let a: Matrix<f64> = random_matrix(m, k, 7);
+            let b: Matrix<f64> = random_matrix(k, n, 8);
+            let mut got: Matrix<f64> = Matrix::zeros(m, n);
+            crate::gemm::modgemm(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                got.view_mut(),
+                &cfg,
+            );
+            let mut expect: Matrix<f64> = Matrix::zeros(m, n);
+            naive_gemm(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                expect.view_mut(),
+            );
+            assert_matrix_eq(got.view(), expect.view(), k);
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! The Strassen-Winograd recursion step encoded **as data**.
+//!
+//! The paper's §2 recurrences:
+//!
+//! ```text
+//! S1 = A21 + A22        T1 = B12 − B11
+//! S2 = S1 − A11         T2 = B22 − T1
+//! S3 = A11 − A21        T3 = B22 − B12
+//! S4 = A12 − S2         T4 = B21 − T2
+//!
+//! P1 = A11·B11   P2 = A12·B21   P3 = S1·T1   P4 = S2·T2
+//! P5 = S3·T3     P6 = S4·B22    P7 = A22·T4
+//!
+//! C11 = U1 = P1 + P2
+//!       U2 = P1 + P4
+//!       U3 = U2 + P5
+//! C21 = U4 = U3 + P7
+//! C22 = U5 = U3 + P3
+//!       U6 = U2 + P3
+//! C12 = U7 = U6 + P6
+//! ```
+//!
+//! 7 multiplications and 15 additions — the minimum for a quadrant-based
+//! recursive algorithm. The step sequence below is a low-memory
+//! *linearization* of these recurrences using one `S`-shaped temporary
+//! (`TS`), one `T`-shaped temporary (`TT`), two product-shaped temporaries
+//! (`TP`, `TQ`), and the four `C` quadrants themselves as product
+//! scratch. It is legal to use `C` quadrants as scratch only when they do
+//! not alias each other — true for Morton storage (quadrants are disjoint
+//! contiguous buffer quarters) and for dynamic peeling (exact even split),
+//! but *not* for dynamic overlap, which is why DGEMMW uses a different
+//! executor.
+//!
+//! Keeping the schedule as data gives one source of truth interpreted by
+//! three executors: the fast Morton executor in [`crate::exec`], the
+//! column-major view executor used by DGEFMM, and the address-tracing
+//! executor in `modgemm-cachesim`. A test in this module *proves* the
+//! schedule correct by symbolic interpretation over exact integer
+//! matrices.
+
+/// Operand slots shaped like a quadrant of `A` (`m/2 × k/2`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ASlot {
+    /// NW quadrant of A.
+    A11,
+    /// NE quadrant of A.
+    A12,
+    /// SW quadrant of A.
+    A21,
+    /// SE quadrant of A.
+    A22,
+    /// The `S`-shaped temporary.
+    TS,
+}
+
+/// Operand slots shaped like a quadrant of `B` (`k/2 × n/2`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BSlot {
+    /// NW quadrant of B.
+    B11,
+    /// NE quadrant of B.
+    B12,
+    /// SW quadrant of B.
+    B21,
+    /// SE quadrant of B.
+    B22,
+    /// The `T`-shaped temporary.
+    TT,
+}
+
+/// Slots shaped like a quadrant of `C` (`m/2 × n/2`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CSlot {
+    /// NW quadrant of C.
+    C11,
+    /// NE quadrant of C.
+    C12,
+    /// SW quadrant of C.
+    C21,
+    /// SE quadrant of C.
+    C22,
+    /// First product-shaped temporary.
+    TP,
+    /// Second product-shaped temporary.
+    TQ,
+}
+
+impl CSlot {
+    /// Index into a six-element slot table `[C11, C12, C21, C22, TP, TQ]`.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            CSlot::C11 => 0,
+            CSlot::C12 => 1,
+            CSlot::C21 => 2,
+            CSlot::C22 => 3,
+            CSlot::TP => 4,
+            CSlot::TQ => 5,
+        }
+    }
+}
+
+/// `dst = lhs + rhs` or `dst = lhs − rhs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AddKind {
+    /// `dst = lhs + rhs`.
+    Add,
+    /// `dst = lhs − rhs`.
+    Sub,
+}
+
+/// One step of the linearized Winograd recursion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// `dst = lhs ± rhs` over `A`-shaped operands (dst is always `TS`).
+    AddA {
+        /// Destination (always [`ASlot::TS`] in the canonical schedule).
+        dst: ASlot,
+        /// Left operand.
+        lhs: ASlot,
+        /// Right operand.
+        rhs: ASlot,
+        /// Add or subtract.
+        kind: AddKind,
+    },
+    /// `dst = lhs ± rhs` over `B`-shaped operands (dst is always `TT`).
+    AddB {
+        /// Destination (always [`BSlot::TT`] in the canonical schedule).
+        dst: BSlot,
+        /// Left operand.
+        lhs: BSlot,
+        /// Right operand.
+        rhs: BSlot,
+        /// Add or subtract.
+        kind: AddKind,
+    },
+    /// `dst = lhs ± rhs` over `C`-shaped slots.
+    AddC {
+        /// Destination slot.
+        dst: CSlot,
+        /// Left operand.
+        lhs: CSlot,
+        /// Right operand.
+        rhs: CSlot,
+        /// Add or subtract.
+        kind: AddKind,
+    },
+    /// `dst = a · b` — a recursive (half-size) multiplication that
+    /// *overwrites* `dst`.
+    Mul {
+        /// `A`-shaped operand.
+        a: ASlot,
+        /// `B`-shaped operand.
+        b: BSlot,
+        /// Destination slot.
+        dst: CSlot,
+    },
+}
+
+use ASlot::*;
+use BSlot::*;
+use CSlot::*;
+use Step::*;
+
+/// The canonical low-memory Winograd schedule: 7 multiplies, 15 additions.
+///
+/// Product placement: `P5→TP, P3→C22, P4→C11, P6→C12, P7→C21, P1→TQ,
+/// P2→TP` (TP is reused once P5 has been consumed).
+pub const WINOGRAD_SCHEDULE: [Step; 22] = [
+    // S3 = A11 − A21, T3 = B22 − B12, P5 = S3·T3 → TP
+    AddA { dst: TS, lhs: A11, rhs: A21, kind: AddKind::Sub },
+    AddB { dst: TT, lhs: B22, rhs: B12, kind: AddKind::Sub },
+    Mul { a: TS, b: TT, dst: TP },
+    // S1 = A21 + A22, T1 = B12 − B11, P3 = S1·T1 → C22
+    AddA { dst: TS, lhs: A21, rhs: A22, kind: AddKind::Add },
+    AddB { dst: TT, lhs: B12, rhs: B11, kind: AddKind::Sub },
+    Mul { a: TS, b: TT, dst: C22 },
+    // S2 = S1 − A11, T2 = B22 − T1, P4 = S2·T2 → C11
+    AddA { dst: TS, lhs: TS, rhs: A11, kind: AddKind::Sub },
+    AddB { dst: TT, lhs: B22, rhs: TT, kind: AddKind::Sub },
+    Mul { a: TS, b: TT, dst: C11 },
+    // S4 = A12 − S2, P6 = S4·B22 → C12
+    AddA { dst: TS, lhs: A12, rhs: TS, kind: AddKind::Sub },
+    Mul { a: TS, b: B22, dst: C12 },
+    // T4 = B21 − T2, P7 = A22·T4 → C21
+    AddB { dst: TT, lhs: B21, rhs: TT, kind: AddKind::Sub },
+    Mul { a: A22, b: TT, dst: C21 },
+    // P1 = A11·B11 → TQ
+    Mul { a: A11, b: B11, dst: TQ },
+    // U2 = P1 + P4 → C11
+    AddC { dst: C11, lhs: C11, rhs: TQ, kind: AddKind::Add },
+    // C12 = U7 = U2 + P3 + P6   (C12 holds P6, C22 holds P3)
+    AddC { dst: C12, lhs: C12, rhs: C22, kind: AddKind::Add },
+    AddC { dst: C12, lhs: C12, rhs: C11, kind: AddKind::Add },
+    // U3 = U2 + P5 → C11
+    AddC { dst: C11, lhs: C11, rhs: TP, kind: AddKind::Add },
+    // C21 = U4 = U3 + P7
+    AddC { dst: C21, lhs: C21, rhs: C11, kind: AddKind::Add },
+    // C22 = U5 = U3 + P3
+    AddC { dst: C22, lhs: C22, rhs: C11, kind: AddKind::Add },
+    // P2 = A12·B21 → TP (TP free), C11 = U1 = P1 + P2
+    Mul { a: A12, b: B21, dst: TP },
+    AddC { dst: C11, lhs: TQ, rhs: TP, kind: AddKind::Add },
+];
+
+/// The original Strassen schedule (the paper's §2, equation block after
+/// (1)): 7 multiplications and 18 additions. Kept for the
+/// Winograd-vs-Strassen ablation; the Winograd variant saves three
+/// additions by reusing common subexpressions, at the price of longer
+/// dependence chains ("worse locality of reference unless special
+/// attention is given", §2).
+///
+/// ```text
+/// P1 = (A11+A22)(B11+B22)   C11 = P1 + P4 − P5 + P7
+/// P2 = (A21+A22)·B11        C12 = P3 + P5
+/// P3 = A11·(B12−B22)        C21 = P2 + P4
+/// P4 = A22·(B21−B11)        C22 = P1 + P3 − P2 + P6
+/// P5 = (A11+A12)·B22
+/// P6 = (A21−A11)(B11+B12)
+/// P7 = (A12−A22)(B21+B22)
+/// ```
+///
+/// Product placement: `P1→TP, P2→C21, P3→TQ, P6→C22, P5→C12, P4→C11,
+/// P7→TQ` (TQ is reused once P3 has been consumed).
+pub const STRASSEN_SCHEDULE: [Step; 25] = [
+    // P1 = (A11+A22)(B11+B22) → TP
+    AddA { dst: TS, lhs: A11, rhs: A22, kind: AddKind::Add },
+    AddB { dst: TT, lhs: B11, rhs: B22, kind: AddKind::Add },
+    Mul { a: TS, b: TT, dst: TP },
+    // P2 = (A21+A22)·B11 → C21
+    AddA { dst: TS, lhs: A21, rhs: A22, kind: AddKind::Add },
+    Mul { a: TS, b: B11, dst: C21 },
+    // P3 = A11·(B12−B22) → TQ
+    AddB { dst: TT, lhs: B12, rhs: B22, kind: AddKind::Sub },
+    Mul { a: A11, b: TT, dst: TQ },
+    // P6 = (A21−A11)(B11+B12) → C22
+    AddA { dst: TS, lhs: A21, rhs: A11, kind: AddKind::Sub },
+    AddB { dst: TT, lhs: B11, rhs: B12, kind: AddKind::Add },
+    Mul { a: TS, b: TT, dst: C22 },
+    // C22 = P6 − P2 + P3 + P1
+    AddC { dst: C22, lhs: C22, rhs: C21, kind: AddKind::Sub },
+    AddC { dst: C22, lhs: C22, rhs: TQ, kind: AddKind::Add },
+    AddC { dst: C22, lhs: C22, rhs: TP, kind: AddKind::Add },
+    // P5 = (A11+A12)·B22 → C12
+    AddA { dst: TS, lhs: A11, rhs: A12, kind: AddKind::Add },
+    Mul { a: TS, b: B22, dst: C12 },
+    // P4 = A22·(B21−B11) → C11
+    AddB { dst: TT, lhs: B21, rhs: B11, kind: AddKind::Sub },
+    Mul { a: A22, b: TT, dst: C11 },
+    // C21 = P2 + P4
+    AddC { dst: C21, lhs: C21, rhs: C11, kind: AddKind::Add },
+    // C11 = P4 − P5 + P1   (P7 added below)
+    AddC { dst: C11, lhs: C11, rhs: C12, kind: AddKind::Sub },
+    AddC { dst: C11, lhs: C11, rhs: TP, kind: AddKind::Add },
+    // C12 = P5 + P3
+    AddC { dst: C12, lhs: C12, rhs: TQ, kind: AddKind::Add },
+    // P7 = (A12−A22)(B21+B22) → TQ (P3 consumed)
+    AddA { dst: TS, lhs: A12, rhs: A22, kind: AddKind::Sub },
+    AddB { dst: TT, lhs: B21, rhs: B22, kind: AddKind::Add },
+    Mul { a: TS, b: TT, dst: TQ },
+    // C11 += P7
+    AddC { dst: C11, lhs: C11, rhs: TQ, kind: AddKind::Add },
+];
+
+/// Which of the two §2 recursion schedules to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Winograd's variant: 7 multiplies, 15 additions (the paper's
+    /// implementation choice).
+    #[default]
+    Winograd,
+    /// Strassen's original construction: 7 multiplies, 18 additions.
+    Strassen,
+}
+
+impl Variant {
+    /// The linearized schedule for this variant.
+    pub fn schedule(self) -> &'static [Step] {
+        match self {
+            Variant::Winograd => &WINOGRAD_SCHEDULE,
+            Variant::Strassen => &STRASSEN_SCHEDULE,
+        }
+    }
+}
+
+/// Counts of the schedule's primitive operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduleCounts {
+    /// Recursive multiplications.
+    pub muls: usize,
+    /// `A`-quadrant-shaped additions.
+    pub adds_a: usize,
+    /// `B`-quadrant-shaped additions.
+    pub adds_b: usize,
+    /// `C`-quadrant-shaped additions.
+    pub adds_c: usize,
+}
+
+impl ScheduleCounts {
+    /// Total additions.
+    pub fn adds(&self) -> usize {
+        self.adds_a + self.adds_b + self.adds_c
+    }
+}
+
+/// Counts multiplications and additions in a schedule.
+pub fn count_ops(schedule: &[Step]) -> ScheduleCounts {
+    let mut c = ScheduleCounts { muls: 0, adds_a: 0, adds_b: 0, adds_c: 0 };
+    for s in schedule {
+        match s {
+            Mul { .. } => c.muls += 1,
+            AddA { .. } => c.adds_a += 1,
+            AddB { .. } => c.adds_b += 1,
+            AddC { .. } => c.adds_c += 1,
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modgemm_mat::gen::random_matrix;
+    use modgemm_mat::naive::naive_product;
+    use modgemm_mat::Matrix;
+
+    /// Interprets a schedule symbolically over owned integer matrices —
+    /// a direct executable proof that the linearization computes `C = A·B`.
+    fn interpret(schedule: &[Step], a: &Matrix<i64>, b: &Matrix<i64>) -> Matrix<i64> {
+        let (m, k) = a.dims();
+        let (_, n) = b.dims();
+        assert!(m % 2 == 0 && k % 2 == 0 && n % 2 == 0);
+        let (m2, k2, n2) = (m / 2, k / 2, n / 2);
+
+        let sub = |x: &Matrix<i64>, i: usize, j: usize, r: usize, c: usize| {
+            Matrix::from_fn(r, c, |ii, jj| x.get(i + ii, j + jj))
+        };
+        let aq = [
+            sub(a, 0, 0, m2, k2),
+            sub(a, 0, k2, m2, k2),
+            sub(a, m2, 0, m2, k2),
+            sub(a, m2, k2, m2, k2),
+        ];
+        let bq = [
+            sub(b, 0, 0, k2, n2),
+            sub(b, 0, n2, k2, n2),
+            sub(b, k2, 0, k2, n2),
+            sub(b, k2, n2, k2, n2),
+        ];
+        let mut ts = Matrix::zeros(m2, k2);
+        let mut tt = Matrix::zeros(k2, n2);
+        let mut cs: Vec<Matrix<i64>> = (0..6).map(|_| Matrix::zeros(m2, n2)).collect();
+
+        let a_val = |slot: ASlot, ts: &Matrix<i64>| match slot {
+            ASlot::A11 => aq[0].clone(),
+            ASlot::A12 => aq[1].clone(),
+            ASlot::A21 => aq[2].clone(),
+            ASlot::A22 => aq[3].clone(),
+            ASlot::TS => ts.clone(),
+        };
+        let b_val = |slot: BSlot, tt: &Matrix<i64>| match slot {
+            BSlot::B11 => bq[0].clone(),
+            BSlot::B12 => bq[1].clone(),
+            BSlot::B21 => bq[2].clone(),
+            BSlot::B22 => bq[3].clone(),
+            BSlot::TT => tt.clone(),
+        };
+        let combine = |l: &Matrix<i64>, r: &Matrix<i64>, kind: AddKind| {
+            Matrix::from_fn(l.rows(), l.cols(), |i, j| match kind {
+                AddKind::Add => l.get(i, j) + r.get(i, j),
+                AddKind::Sub => l.get(i, j) - r.get(i, j),
+            })
+        };
+
+        for &step in schedule {
+            match step {
+                Step::AddA { dst, lhs, rhs, kind } => {
+                    assert_eq!(dst, ASlot::TS, "canonical schedule writes only TS");
+                    ts = combine(&a_val(lhs, &ts), &a_val(rhs, &ts), kind);
+                }
+                Step::AddB { dst, lhs, rhs, kind } => {
+                    assert_eq!(dst, BSlot::TT, "canonical schedule writes only TT");
+                    tt = combine(&b_val(lhs, &tt), &b_val(rhs, &tt), kind);
+                }
+                Step::AddC { dst, lhs, rhs, kind } => {
+                    let v = combine(&cs[lhs.index()], &cs[rhs.index()], kind);
+                    cs[dst.index()] = v;
+                }
+                Step::Mul { a: sa, b: sb, dst } => {
+                    let v = naive_product(&a_val(sa, &ts), &b_val(sb, &tt));
+                    cs[dst.index()] = v;
+                }
+            }
+        }
+
+        Matrix::from_fn(m, n, |i, j| {
+            let q = match (i < m2, j < n2) {
+                (true, true) => &cs[0],
+                (true, false) => &cs[1],
+                (false, true) => &cs[2],
+                (false, false) => &cs[3],
+            };
+            q.get(i % m2, j % n2)
+        })
+    }
+
+    #[test]
+    fn winograd_schedule_computes_exact_product() {
+        for (m, k, n, seed) in [(4, 4, 4, 1), (8, 6, 10, 2), (2, 2, 2, 3), (6, 12, 4, 4)] {
+            let a: Matrix<i64> = random_matrix(m, k, seed);
+            let b: Matrix<i64> = random_matrix(k, n, seed + 100);
+            assert_eq!(interpret(&WINOGRAD_SCHEDULE, &a, &b), naive_product(&a, &b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn strassen_schedule_computes_exact_product() {
+        for (m, k, n, seed) in [(4, 4, 4, 1), (8, 6, 10, 2), (2, 2, 2, 3), (6, 12, 4, 4)] {
+            let a: Matrix<i64> = random_matrix(m, k, seed);
+            let b: Matrix<i64> = random_matrix(k, n, seed + 100);
+            assert_eq!(interpret(&STRASSEN_SCHEDULE, &a, &b), naive_product(&a, &b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn op_counts_match_the_literature() {
+        let w = count_ops(&WINOGRAD_SCHEDULE);
+        assert_eq!(w.muls, 7, "Winograd uses exactly 7 multiplications");
+        assert_eq!(w.adds(), 15, "Winograd uses exactly 15 additions");
+        assert_eq!((w.adds_a, w.adds_b, w.adds_c), (4, 4, 7));
+
+        let s = count_ops(&STRASSEN_SCHEDULE);
+        assert_eq!(s.muls, 7, "Strassen uses exactly 7 multiplications");
+        assert_eq!(s.adds(), 18, "original Strassen uses 18 additions");
+        assert_eq!((s.adds_a, s.adds_b, s.adds_c), (5, 5, 8));
+    }
+
+    #[test]
+    fn variant_selects_schedule() {
+        assert_eq!(Variant::default(), Variant::Winograd);
+        assert_eq!(Variant::Winograd.schedule().len(), 22);
+        assert_eq!(Variant::Strassen.schedule().len(), 25);
+    }
+
+    #[test]
+    fn every_c_quadrant_is_written() {
+        use std::collections::HashSet;
+        for v in [Variant::Winograd, Variant::Strassen] {
+            let mut written: HashSet<usize> = HashSet::new();
+            for s in v.schedule() {
+                match s {
+                    Step::AddC { dst, .. } | Step::Mul { dst, .. } => {
+                        written.insert(dst.index());
+                    }
+                    _ => {}
+                }
+            }
+            for q in 0..4 {
+                assert!(written.contains(&q), "{v:?}: C quadrant {q} never written");
+            }
+        }
+    }
+
+    #[test]
+    fn muls_overwrite_before_c_quadrants_are_read() {
+        // Every C slot must be written (by a Mul) before it is first read
+        // by an AddC — the executor relies on never reading stale C.
+        for v in [Variant::Winograd, Variant::Strassen] {
+            let mut written = [false; 6];
+            for &s in v.schedule() {
+                match s {
+                    Step::Mul { dst, .. } => written[dst.index()] = true,
+                    Step::AddC { dst, lhs, rhs, .. } => {
+                        assert!(written[lhs.index()], "{v:?}: AddC reads unwritten {lhs:?}");
+                        assert!(written[rhs.index()], "{v:?}: AddC reads unwritten {rhs:?}");
+                        written[dst.index()] = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_operands_never_alias_destination_buffers() {
+        // A Mul's destination is C-shaped while its operands are A- or
+        // B-shaped, so aliasing is impossible by construction; this guards
+        // against future schedule edits introducing illegal slot usage.
+        for v in [Variant::Winograd, Variant::Strassen] {
+            for s in v.schedule() {
+                if let Step::Mul { a, b, .. } = s {
+                    assert!(matches!(
+                        a,
+                        ASlot::A11 | ASlot::A12 | ASlot::A21 | ASlot::A22 | ASlot::TS
+                    ));
+                    assert!(matches!(
+                        b,
+                        BSlot::B11 | BSlot::B12 | BSlot::B21 | BSlot::B22 | BSlot::TT
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn addc_never_fully_aliases() {
+        // dst == lhs == rhs would be `x = x ± x`, which the executor's
+        // assign forms do not support.
+        for v in [Variant::Winograd, Variant::Strassen] {
+            for s in v.schedule() {
+                if let Step::AddC { dst, lhs, rhs, .. } = s {
+                    assert!(
+                        !(dst.index() == lhs.index() && dst.index() == rhs.index()),
+                        "{v:?}: fully aliased AddC"
+                    );
+                }
+            }
+        }
+    }
+}

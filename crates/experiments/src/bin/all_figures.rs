@@ -1,0 +1,44 @@
+//! Convenience driver: runs every per-figure experiment in `--quick`
+//! mode by invoking the sibling binaries, so `all_figures` gives a
+//! one-command smoke reproduction of the whole evaluation.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "fig2_padding",
+    "fig3_tiles",
+    "fig5_headline",
+    "fig7_conversion",
+    "fig8_noconv",
+    "fig9_cachesim",
+    "truncation_sweep",
+    "hierarchy_study",
+    "layout_orders",
+    "loop_orders",
+    "replacement_study",
+    "tile_range_study",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+
+    for bin in BINS {
+        println!("\n################ {bin} (--quick) ################");
+        let status = Command::new(bin_dir.join(bin))
+            .arg("--quick")
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        if !status.success() {
+            failures.push(*bin);
+        }
+    }
+
+    if failures.is_empty() {
+        println!("\nall {} experiment drivers completed", BINS.len());
+    } else {
+        eprintln!("\nFAILED drivers: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 2: effect of tile size selection on padding.
+//!
+//! Reproduces the four series of the paper's Figure 2: the original size
+//! `n`, the padded size with the dynamically chosen tile (minimizing
+//! padding over [16, 64]), the padded size with a fixed tile of 32, and
+//! the chosen tile size.
+//!
+//! Expected shape: the dynamic series hugs `n` (padding ≤ 15 across the
+//! paper's range), the fixed-32 series staircases up to nearly `2n` just
+//! past powers of two, and the chosen tile sweeps its range sawtooth-wise.
+
+use modgemm_experiments::Table;
+use modgemm_morton::tiling::{padding_series, TileRange};
+
+fn main() {
+    let range = TileRange::PAPER;
+    let ns: Vec<usize> = (64..=1200).collect();
+    let pts = padding_series(ns.iter().copied(), range);
+
+    let mut table = Table::new(&["n", "padded_dynamic", "pad_dyn", "padded_fixed32", "pad_fix32", "tile"]);
+    for p in pts.iter().filter(|p| p.n % 8 == 0 || [513, 1023, 1025].contains(&p.n)) {
+        table.row(vec![
+            p.n.to_string(),
+            p.padded_dynamic.to_string(),
+            (p.padded_dynamic - p.n).to_string(),
+            p.padded_fixed32.to_string(),
+            (p.padded_fixed32 - p.n).to_string(),
+            p.tile.to_string(),
+        ]);
+    }
+    table.print("Figure 2: padding vs matrix size (dynamic tile in [16,64] vs fixed 32)");
+
+    // Summary statistics over the paper's measured range.
+    let in_range: Vec<_> = pts.iter().filter(|p| (65..=1024).contains(&p.n)).collect();
+    let max_dyn = in_range.iter().map(|p| p.padded_dynamic - p.n).max().unwrap();
+    let max_fix = in_range.iter().map(|p| p.padded_fixed32 - p.n).max().unwrap();
+    let worst_fix = in_range.iter().max_by_key(|p| p.padded_fixed32 - p.n).unwrap();
+    println!("\nSummary over n in [65, 1024]:");
+    println!("  max dynamic padding : {max_dyn} (paper: worst case 15)");
+    println!(
+        "  max fixed-32 padding: {max_fix} at n = {} (paper: ~n in the worst case, e.g. 513→1024)",
+        worst_fix.n
+    );
+    let p513 = pts.iter().find(|p| p.n == 513).unwrap();
+    println!(
+        "  n = 513: dynamic tile {} → padded {} (paper: tile 33 → 528); fixed-32 → {} (paper: 1024)",
+        p513.tile, p513.padded_dynamic, p513.padded_fixed32
+    );
+}

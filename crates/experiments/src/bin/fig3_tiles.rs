@@ -1,0 +1,128 @@
+//! Figure 3: leaf-tile multiply performance vs. leading dimension.
+//!
+//! For tile sizes T ∈ {24, 28, 32}, multiplies T×T submatrices chosen
+//! from a base matrix M exactly as in §3.4: `A[1,1] = M[1,1]`,
+//! `B[1,1] = M[T+1,T+1]`, `C[1,1] = M[2T+1,2T+1]`. Non-contiguous
+//! submatrices inherit the base matrix's leading dimension (the x-axis);
+//! contiguous submatrices use `ld = T`.
+//!
+//! Two instruments are reported:
+//!
+//! 1. **wall-clock MFLOP/s on the host** — on a modern CPU with a highly
+//!    associative L1 the paper's self-interference collapse is muted
+//!    (exactly the platform variability §4 warns about);
+//! 2. **simulated warm-cache miss ratios** on the paper's platforms'
+//!    caches (8 KB direct-mapped — DEC Alpha L1 — and the 16 KB Figure 9
+//!    cache), where the power-of-two collapse and the stability of
+//!    contiguous tiles are architectural facts.
+//!
+//! Expected shape: contiguous flat; non-contiguous unstable with a
+//! pronounced miss-ratio spike at ld = 256 on the direct-mapped caches.
+
+use modgemm_cachesim::{traced_tile_multiply, CacheConfig};
+use modgemm_experiments::{mflops, protocol, Table};
+use modgemm_mat::blocked::blocked_mul;
+use modgemm_mat::gen::random_matrix;
+use modgemm_mat::Matrix;
+
+const TILES: [usize; 3] = [24, 28, 32];
+
+/// Spin the CPU to escape frequency ramp-up before any measurement.
+fn warmup() {
+    let a: Matrix<f64> = random_matrix(128, 128, 99);
+    let b: Matrix<f64> = random_matrix(128, 128, 98);
+    let mut c: Matrix<f64> = Matrix::zeros(128, 128);
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < std::time::Duration::from_millis(300) {
+        blocked_mul(a.view(), b.view(), c.view_mut());
+        std::hint::black_box(c.as_slice());
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut lds: Vec<usize> = if quick {
+        vec![136, 192, 255, 256, 257, 272]
+    } else {
+        let mut v: Vec<usize> = (128..=288).step_by(8).collect();
+        for special in [255, 257] {
+            v.push(special);
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    lds.retain(|&ld| ld > 3 * TILES[2] + 1);
+
+    let inner_reps = if quick { 200u32 } else { 1000 };
+    warmup();
+
+    let mut timing = Table::new(&["ld", "T", "noncontig_mflops", "contig_mflops", "ratio"]);
+    for &t in &TILES {
+        let ac: Matrix<f64> = random_matrix(t, t, 1);
+        let bc: Matrix<f64> = random_matrix(t, t, 2);
+        let mut cc: Matrix<f64> = Matrix::zeros(t, t);
+        let flops = 2 * (t as u64).pow(3);
+        let d_contig = protocol::measure_quick(3, || {
+            for _ in 0..inner_reps {
+                blocked_mul(ac.view(), bc.view(), cc.view_mut());
+                std::hint::black_box(cc.as_slice());
+            }
+        }) / inner_reps;
+        let mf_contig = mflops(flops, d_contig);
+
+        for &ld in &lds {
+            let base: Matrix<f64> = random_matrix(ld, ld, 3);
+            let mut base_out: Matrix<f64> = Matrix::zeros(ld, ld);
+            let av = base.view().submatrix(1, 1, t, t);
+            let bv = base.view().submatrix(t + 1, t + 1, t, t);
+            let d = protocol::measure_quick(3, || {
+                for _ in 0..inner_reps {
+                    let mut om = base_out.view_mut();
+                    let cv = om.submatrix_mut(2 * t + 1, 2 * t + 1, t, t);
+                    blocked_mul(av, bv, cv);
+                    std::hint::black_box(base_out.as_slice());
+                }
+            }) / inner_reps;
+            let mf = mflops(flops, d);
+            timing.row(vec![
+                ld.to_string(),
+                t.to_string(),
+                format!("{mf:.1}"),
+                format!("{mf_contig:.1}"),
+                format!("{:.3}", mf / mf_contig),
+            ]);
+        }
+    }
+    timing.print("Figure 3 (host timing): tile multiply MFLOP/s vs leading dimension");
+
+    // Cache-simulated version on the paper's cache geometries.
+    let mut sim = Table::new(&[
+        "ld",
+        "T",
+        "noncontig_miss_pct_8k",
+        "contig_miss_pct_8k",
+        "noncontig_miss_pct_16k",
+        "contig_miss_pct_16k",
+    ]);
+    for &t in &TILES {
+        let c8 = traced_tile_multiply(t, 0, true, CacheConfig::ALPHA_L1);
+        let c16 = traced_tile_multiply(t, 0, true, CacheConfig::PAPER_FIG9);
+        for &ld in &lds {
+            let n8 = traced_tile_multiply(t, ld, false, CacheConfig::ALPHA_L1);
+            let n16 = traced_tile_multiply(t, ld, false, CacheConfig::PAPER_FIG9);
+            sim.row(vec![
+                ld.to_string(),
+                t.to_string(),
+                format!("{:.2}", 100.0 * n8.miss_ratio()),
+                format!("{:.2}", 100.0 * c8.miss_ratio()),
+                format!("{:.2}", 100.0 * n16.miss_ratio()),
+                format!("{:.2}", 100.0 * c16.miss_ratio()),
+            ]);
+        }
+    }
+    sim.print("Figure 3 (simulated): warm miss ratios on the paper's direct-mapped caches");
+
+    println!("\nExpected shape (paper §3.4): contiguous stable; non-contiguous unstable with a");
+    println!("collapse at the power-of-two leading dimension (256) on direct-mapped caches.");
+}

@@ -1,0 +1,42 @@
+//! Supporting study for §3.1: the empirical recursion truncation point.
+//!
+//! The paper observes that counting arithmetic alone predicts a
+//! truncation point around 16, while the empirically good value is "at
+//! least an order of magnitude higher" (64 for DGEFMM). This driver
+//! sweeps the truncation point of DGEFMM and the `strassen_min` handover
+//! of MODGEMM at a fixed matrix size and prints execution times, plus the
+//! arithmetic-only crossover for contrast.
+
+use modgemm_baselines::{dgefmm, DgefmmConfig};
+use modgemm_core::counts::arithmetic_crossover;
+use modgemm_core::{modgemm, ModgemmConfig};
+use modgemm_experiments::{ms, protocol, Table};
+use modgemm_mat::gen::random_problem;
+use modgemm_mat::{Matrix, Op};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: usize = if quick { 512 } else { 1024 };
+    let (a, b, _) = random_problem::<f64>(n, n, n, 42);
+    let mut c: Matrix<f64> = Matrix::zeros(n, n);
+
+    println!("arithmetic-only crossover (§3.1 model): {} (paper: ~16)", arithmetic_crossover());
+
+    let mut table = Table::new(&["truncation", "dgefmm_ms", "modgemm_strassen_min_ms"]);
+    for t in [8usize, 16, 32, 64, 128, 256] {
+        let fmm_cfg = DgefmmConfig { truncation: t };
+        let t_fmm = protocol::measure_quick(3, || {
+            dgefmm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &fmm_cfg);
+            std::hint::black_box(c.as_slice());
+        });
+        let mod_cfg = ModgemmConfig { strassen_min: t, ..ModgemmConfig::paper() };
+        let t_mod = protocol::measure_quick(3, || {
+            modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &mod_cfg);
+            std::hint::black_box(c.as_slice());
+        });
+        table.row(vec![t.to_string(), ms(t_fmm), ms(t_mod)]);
+        eprintln!("done T = {t}");
+    }
+    table.print(&format!("Truncation point sweep at n = {n}"));
+    println!("\nPaper shape: runtime optimum an order of magnitude above the arithmetic crossover (~16).");
+}

@@ -1,0 +1,221 @@
+#![warn(missing_docs)]
+
+//! Shared machinery for the per-figure experiment drivers.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the SC'98
+//! paper (see DESIGN.md's per-experiment index). This library provides the
+//! paper's measurement protocol (§4), the size sweeps, and plain-text /
+//! CSV emitters.
+
+use std::time::{Duration, Instant};
+
+pub mod protocol {
+    //! The paper's §4 timing protocol: "For matrices less than 500 we
+    //! compute the average of 10 invocations … we execute the above
+    //! experiments three times for each matrix size, and use the minimum
+    //! value."
+
+    use super::*;
+
+    /// Invocations to average for one measurement at size `n`.
+    pub fn reps_for(n: usize) -> u32 {
+        if n < 500 {
+            10
+        } else {
+            1
+        }
+    }
+
+    /// Outer repetitions whose minimum is reported.
+    pub const OUTER_REPS: u32 = 3;
+
+    /// Measures `f` with the paper's protocol at problem size `n`:
+    /// min over [`OUTER_REPS`] of (mean over [`reps_for`]`(n)` calls).
+    pub fn measure(n: usize, mut f: impl FnMut()) -> Duration {
+        let inner = reps_for(n);
+        let mut best = Duration::MAX;
+        for _ in 0..OUTER_REPS {
+            let t0 = Instant::now();
+            for _ in 0..inner {
+                f();
+            }
+            let mean = t0.elapsed() / inner;
+            best = best.min(mean);
+        }
+        best
+    }
+
+    /// A cheaper protocol for quick runs: min of `outer` single calls.
+    pub fn measure_quick(outer: u32, mut f: impl FnMut()) -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..outer {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed());
+        }
+        best
+    }
+}
+
+/// The paper's Figure 5/6 sweep: matrix sizes from 150 to 1024. The exact
+/// grid is not printed in the paper; we use a grid dense enough to show
+/// every crossover, including the power-of-two neighbourhoods where the
+/// implementations differ most.
+pub fn paper_sweep() -> Vec<usize> {
+    let mut v: Vec<usize> = (150..500).step_by(25).collect();
+    v.extend((500..1000).step_by(50));
+    v.extend([1000, 1023, 1024]);
+    v
+}
+
+/// A fast subset for smoke runs (`--quick`).
+pub fn quick_sweep() -> Vec<usize> {
+    vec![150, 200, 255, 256, 300, 400, 500, 513]
+}
+
+/// Parses common CLI options: `--quick`, `--sizes a,b,c`.
+pub struct Cli {
+    /// Use the reduced sweep.
+    pub quick: bool,
+    /// Explicit sizes (overrides sweeps).
+    pub sizes: Option<Vec<usize>>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Self {
+        let mut quick = false;
+        let mut sizes = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--sizes" => {
+                    let v = args
+                        .next()
+                        .expect("--sizes needs a comma-separated list")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad size"))
+                        .collect();
+                    sizes = Some(v);
+                }
+                other => panic!("unknown argument: {other} (supported: --quick, --sizes a,b,c)"),
+            }
+        }
+        Self { quick, sizes }
+    }
+
+    /// The sweep this invocation should run.
+    pub fn sweep(&self) -> Vec<usize> {
+        match (&self.sizes, self.quick) {
+            (Some(s), _) => s.clone(),
+            (None, true) => quick_sweep(),
+            (None, false) => paper_sweep(),
+        }
+    }
+}
+
+/// Prints a header + aligned rows, and the same data as CSV after a
+/// marker line (easy to grep into EXPERIMENTS.md).
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders aligned text followed by a CSV block.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let parts: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+            println!("  {}", parts.join("  "));
+        };
+        line(&self.headers);
+        for row in &self.rows {
+            line(row);
+        }
+        println!("-- csv --");
+        println!("{}", self.headers.join(","));
+        for row in &self.rows {
+            println!("{}", row.join(","));
+        }
+    }
+}
+
+/// Formats a `Duration` in milliseconds with three decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a ratio with three decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// MFLOP/s for `flops` done in `d`.
+pub fn mflops(flops: u64, d: Duration) -> f64 {
+    flops as f64 / d.as_secs_f64() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reps_follow_paper_rule() {
+        assert_eq!(protocol::reps_for(499), 10);
+        assert_eq!(protocol::reps_for(500), 1);
+    }
+
+    #[test]
+    fn measure_returns_positive_duration() {
+        let d = protocol::measure_quick(2, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn sweeps_are_sorted_and_in_range() {
+        let s = paper_sweep();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*s.first().unwrap(), 150);
+        assert_eq!(*s.last().unwrap(), 1024);
+        assert!(quick_sweep().iter().all(|&n| n >= 150));
+    }
+
+    #[test]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(vec!["1".into()]);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.000");
+        assert_eq!(ratio(0.5), "0.500");
+        assert!(mflops(2_000_000, Duration::from_secs(1)) - 2.0 < 1e-9);
+    }
+}

@@ -1,0 +1,246 @@
+//! Elementwise matrix addition/subtraction kernels.
+//!
+//! Two families are provided, mirroring §3.3 of the paper:
+//!
+//! * **strided** (`*_view`) — operate on [`MatRef`]/[`MatMut`] windows and
+//!   need two nested loops (per column, per row);
+//! * **contiguous** (`*_flat`) — operate on plain slices with a *single*
+//!   loop. Morton-order quadrants are contiguous, so the Strassen additions
+//!   in MODGEMM run through these ("the matrix addition operations can be
+//!   performed with a single loop rather than two nested loops").
+
+use crate::scalar::Scalar;
+use crate::view::{MatMut, MatRef};
+
+// ---------------------------------------------------------------------------
+// Contiguous single-loop kernels.
+// ---------------------------------------------------------------------------
+
+/// `dst[i] = a[i] + b[i]`.
+#[track_caller]
+pub fn add_flat<S: Scalar>(dst: &mut [S], a: &[S], b: &[S]) {
+    assert!(dst.len() == a.len() && dst.len() == b.len(), "length mismatch");
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d = x + y;
+    }
+}
+
+/// `dst[i] = a[i] - b[i]`.
+#[track_caller]
+pub fn sub_flat<S: Scalar>(dst: &mut [S], a: &[S], b: &[S]) {
+    assert!(dst.len() == a.len() && dst.len() == b.len(), "length mismatch");
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d = x - y;
+    }
+}
+
+/// `dst[i] += a[i]`.
+#[track_caller]
+pub fn add_assign_flat<S: Scalar>(dst: &mut [S], a: &[S]) {
+    assert_eq!(dst.len(), a.len(), "length mismatch");
+    for (d, &x) in dst.iter_mut().zip(a) {
+        *d += x;
+    }
+}
+
+/// `dst[i] -= a[i]`.
+#[track_caller]
+pub fn sub_assign_flat<S: Scalar>(dst: &mut [S], a: &[S]) {
+    assert_eq!(dst.len(), a.len(), "length mismatch");
+    for (d, &x) in dst.iter_mut().zip(a) {
+        *d -= x;
+    }
+}
+
+/// `dst[i] = a[i] - dst[i]` (reverse subtraction, used by the Winograd
+/// `T2 = B22 - T1` style steps when the destination already holds `T1`).
+#[track_caller]
+pub fn rsub_assign_flat<S: Scalar>(dst: &mut [S], a: &[S]) {
+    assert_eq!(dst.len(), a.len(), "length mismatch");
+    for (d, &x) in dst.iter_mut().zip(a) {
+        *d = x - *d;
+    }
+}
+
+/// `dst[i] = α·src[i] + β·dst[i]` — the post-processing step of §3.5
+/// (`C ← α·D + β·C`).
+#[track_caller]
+pub fn axpby_flat<S: Scalar>(alpha: S, src: &[S], beta: S, dst: &mut [S]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = alpha * s + beta * *d;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strided two-loop kernels.
+// ---------------------------------------------------------------------------
+
+/// `dst = a + b` over views of identical dimensions.
+#[track_caller]
+pub fn add_view<S: Scalar>(mut dst: MatMut<'_, S>, a: MatRef<'_, S>, b: MatRef<'_, S>) {
+    assert!(dst.dims() == a.dims() && dst.dims() == b.dims(), "dimension mismatch");
+    for j in 0..dst.cols() {
+        add_flat(dst.col_mut(j), a.col(j), b.col(j));
+    }
+}
+
+/// `dst = a - b` over views of identical dimensions.
+#[track_caller]
+pub fn sub_view<S: Scalar>(mut dst: MatMut<'_, S>, a: MatRef<'_, S>, b: MatRef<'_, S>) {
+    assert!(dst.dims() == a.dims() && dst.dims() == b.dims(), "dimension mismatch");
+    for j in 0..dst.cols() {
+        sub_flat(dst.col_mut(j), a.col(j), b.col(j));
+    }
+}
+
+/// `dst += a` over views of identical dimensions.
+#[track_caller]
+pub fn add_assign_view<S: Scalar>(mut dst: MatMut<'_, S>, a: MatRef<'_, S>) {
+    assert_eq!(dst.dims(), a.dims(), "dimension mismatch");
+    for j in 0..dst.cols() {
+        add_assign_flat(dst.col_mut(j), a.col(j));
+    }
+}
+
+/// `dst -= a` over views of identical dimensions.
+#[track_caller]
+pub fn sub_assign_view<S: Scalar>(mut dst: MatMut<'_, S>, a: MatRef<'_, S>) {
+    assert_eq!(dst.dims(), a.dims(), "dimension mismatch");
+    for j in 0..dst.cols() {
+        sub_assign_flat(dst.col_mut(j), a.col(j));
+    }
+}
+
+/// `dst = a - dst` over views of identical dimensions (reverse
+/// subtraction; the strided analogue of [`rsub_assign_flat`]).
+#[track_caller]
+pub fn rsub_assign_view<S: Scalar>(mut dst: MatMut<'_, S>, a: MatRef<'_, S>) {
+    assert_eq!(dst.dims(), a.dims(), "dimension mismatch");
+    for j in 0..dst.cols() {
+        rsub_assign_flat(dst.col_mut(j), a.col(j));
+    }
+}
+
+/// `dst = α·src + β·dst` over views of identical dimensions.
+#[track_caller]
+pub fn axpby_view<S: Scalar>(alpha: S, src: MatRef<'_, S>, beta: S, mut dst: MatMut<'_, S>) {
+    assert_eq!(dst.dims(), src.dims(), "dimension mismatch");
+    for j in 0..dst.cols() {
+        axpby_flat(alpha, src.col(j), beta, dst.col_mut(j));
+    }
+}
+
+/// Rank-1 update `C += α · x · yᵀ` where `x` has `C.rows()` elements and
+/// `y` has `C.cols()` elements. This is the fix-up primitive of dynamic
+/// peeling (DGEFMM) and of the dynamic-overlap inner-dimension correction
+/// (DGEMMW).
+#[track_caller]
+pub fn rank1_update<S: Scalar>(mut c: MatMut<'_, S>, alpha: S, x: &[S], y: &[S]) {
+    assert_eq!(x.len(), c.rows(), "x length mismatch");
+    assert_eq!(y.len(), c.cols(), "y length mismatch");
+    for j in 0..c.cols() {
+        let ay = alpha * y[j];
+        let col = c.col_mut(j);
+        for (ci, &xi) in col.iter_mut().zip(x) {
+            *ci += xi * ay;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+    use crate::Matrix;
+
+    #[test]
+    fn flat_ops() {
+        let a = [1i64, 2, 3];
+        let b = [10i64, 20, 30];
+        let mut d = [0i64; 3];
+        add_flat(&mut d, &a, &b);
+        assert_eq!(d, [11, 22, 33]);
+        sub_flat(&mut d, &b, &a);
+        assert_eq!(d, [9, 18, 27]);
+        add_assign_flat(&mut d, &a);
+        assert_eq!(d, [10, 20, 30]);
+        sub_assign_flat(&mut d, &a);
+        assert_eq!(d, [9, 18, 27]);
+        rsub_assign_flat(&mut d, &b);
+        assert_eq!(d, [1, 2, 3]);
+        axpby_flat(2, &a, 3, &mut d);
+        assert_eq!(d, [5, 10, 15]);
+    }
+
+    #[test]
+    fn view_ops_match_flat_on_strided_windows() {
+        let a: Matrix<i64> = random_matrix(6, 6, 1);
+        let b: Matrix<i64> = random_matrix(6, 6, 2);
+        let mut d: Matrix<i64> = Matrix::zeros(6, 6);
+        // Work on the centered 3x3 windows.
+        let av = a.view().submatrix(1, 1, 3, 3);
+        let bv = b.view().submatrix(1, 1, 3, 3);
+        let mut dm = d.view_mut();
+        let dv = dm.submatrix_mut(1, 1, 3, 3);
+        add_view(dv, av, bv);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(d.get(i + 1, j + 1), a.get(i + 1, j + 1) + b.get(i + 1, j + 1));
+            }
+        }
+        // The border must be untouched.
+        assert_eq!(d.get(0, 0), 0);
+        assert_eq!(d.get(5, 5), 0);
+    }
+
+    #[test]
+    fn sub_and_axpby_views() {
+        let a: Matrix<i64> = random_matrix(4, 5, 3);
+        let b: Matrix<i64> = random_matrix(4, 5, 4);
+        let mut d: Matrix<i64> = Matrix::zeros(4, 5);
+        sub_view(d.view_mut(), a.view(), b.view());
+        for i in 0..4 {
+            for j in 0..5 {
+                assert_eq!(d.get(i, j), a.get(i, j) - b.get(i, j));
+            }
+        }
+        let before = d.clone();
+        axpby_view(2, a.view(), -1, d.view_mut());
+        for i in 0..4 {
+            for j in 0..5 {
+                assert_eq!(d.get(i, j), 2 * a.get(i, j) - before.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_assign_views() {
+        let a: Matrix<i64> = random_matrix(3, 3, 5);
+        let mut d: Matrix<i64> = random_matrix(3, 3, 6);
+        let orig = d.clone();
+        add_assign_view(d.view_mut(), a.view());
+        sub_assign_view(d.view_mut(), a.view());
+        assert_eq!(d, orig);
+    }
+
+    #[test]
+    fn rank1_matches_naive_outer_product() {
+        let x = [1i64, 2, 3];
+        let y = [4i64, 5];
+        let mut c: Matrix<i64> = Matrix::zeros(3, 2);
+        rank1_update(c.view_mut(), 2, &x, &y);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(c.get(i, j), 2 * x[i] * y[j]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn flat_length_mismatch_panics() {
+        let mut d = [0i64; 2];
+        add_flat(&mut d, &[1, 2, 3], &[1, 2]);
+    }
+}

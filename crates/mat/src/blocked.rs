@@ -1,0 +1,322 @@
+//! The blocked, register-tiled GEMM kernel.
+//!
+//! This is the *leaf multiply* shared by MODGEMM, DGEFMM, DGEMMW, and the
+//! conventional baseline, standing in for the vendor BLAS/f77 kernels of
+//! the paper. Two properties are deliberate:
+//!
+//! * **No operand packing.** The paper's Figure 3 studies how the leaf
+//!   kernel's performance depends on whether its operands are contiguous
+//!   (`ld == rows`) or strided windows of a larger matrix (`ld == base`),
+//!   including the self-interference collapse at power-of-two leading
+//!   dimensions. A packing kernel would copy operands into contiguous
+//!   buffers and erase exactly the effect under study.
+//! * **Register tiling only at the micro level.** A 4×4 micro-kernel keeps
+//!   16 accumulators in registers; cache-level blocking (`MC/KC/NC`) bounds
+//!   the working set for the large conventional baseline runs.
+//!
+//! All kernels compute with `NoTrans` operands; transposition is handled a
+//! level up (for MODGEMM it is folded into Morton conversion per §3.5, for
+//! the column-major codes by an explicit transpose copy at the interface).
+
+use crate::scalar::Scalar;
+use crate::view::{MatMut, MatRef};
+
+/// Rows per micro-tile.
+pub const MR: usize = 4;
+/// Columns per micro-tile.
+pub const NR: usize = 4;
+/// Cache-blocking factor along `m`.
+pub const MC: usize = 64;
+/// Cache-blocking factor along `k`.
+pub const KC: usize = 64;
+/// Cache-blocking factor along `n`.
+pub const NC: usize = 256;
+
+/// `C += A·B` for an `MR × NR` full micro-tile.
+///
+/// `a` points at `A[i0, p0]`, `b` at `B[p0, j0]`, `c` at `C[i0, j0]`;
+/// `kb` is the depth of this block.
+#[inline(always)]
+unsafe fn micro_kernel_4x4<S: Scalar>(
+    kb: usize,
+    a: *const S,
+    lda: usize,
+    b: *const S,
+    ldb: usize,
+    c: *mut S,
+    ldc: usize,
+) {
+    let mut acc = [[S::ZERO; NR]; MR];
+    let mut ap = a;
+    let mut bp = b;
+    for _ in 0..kb {
+        let a0 = *ap;
+        let a1 = *ap.add(1);
+        let a2 = *ap.add(2);
+        let a3 = *ap.add(3);
+        let b0 = *bp;
+        let b1 = *bp.add(ldb);
+        let b2 = *bp.add(2 * ldb);
+        let b3 = *bp.add(3 * ldb);
+        acc[0][0] += a0 * b0;
+        acc[1][0] += a1 * b0;
+        acc[2][0] += a2 * b0;
+        acc[3][0] += a3 * b0;
+        acc[0][1] += a0 * b1;
+        acc[1][1] += a1 * b1;
+        acc[2][1] += a2 * b1;
+        acc[3][1] += a3 * b1;
+        acc[0][2] += a0 * b2;
+        acc[1][2] += a1 * b2;
+        acc[2][2] += a2 * b2;
+        acc[3][2] += a3 * b2;
+        acc[0][3] += a0 * b3;
+        acc[1][3] += a1 * b3;
+        acc[2][3] += a2 * b3;
+        acc[3][3] += a3 * b3;
+        ap = ap.add(lda);
+        bp = bp.add(1);
+    }
+    for j in 0..NR {
+        let cj = c.add(j * ldc);
+        for (i, row) in acc.iter().enumerate() {
+            *cj.add(i) += row[j];
+        }
+    }
+}
+
+/// `C += A·B` for a partial tile of `mb × nb` (`mb < MR` or `nb < NR`).
+#[inline]
+unsafe fn micro_kernel_edge<S: Scalar>(
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    a: *const S,
+    lda: usize,
+    b: *const S,
+    ldb: usize,
+    c: *mut S,
+    ldc: usize,
+) {
+    for j in 0..nb {
+        for i in 0..mb {
+            let mut acc = S::ZERO;
+            let mut ap = a.add(i);
+            let mut bp = b.add(j * ldb);
+            for _ in 0..kb {
+                acc += *ap * *bp;
+                ap = ap.add(lda);
+                bp = bp.add(1);
+            }
+            *c.add(i + j * ldc) += acc;
+        }
+    }
+}
+
+/// Cache-blocking factors of the outer loops, tunable for the
+/// tile-size-selection studies (§5.3 cites Coleman & McKinley on exactly
+/// this choice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// Rows per cache block.
+    pub mc: usize,
+    /// Depth per cache block.
+    pub kc: usize,
+    /// Columns per cache block.
+    pub nc: usize,
+}
+
+impl Default for BlockSizes {
+    fn default() -> Self {
+        Self { mc: MC, kc: KC, nc: NC }
+    }
+}
+
+/// `C += A·B` over views, with cache blocking. Panics on dimension
+/// mismatch.
+#[track_caller]
+pub fn blocked_mul_add<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>, c: MatMut<'_, S>) {
+    blocked_mul_add_with(a, b, c, BlockSizes::default());
+}
+
+/// [`blocked_mul_add`] with explicit blocking factors.
+#[track_caller]
+pub fn blocked_mul_add_with<S: Scalar>(
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    mut c: MatMut<'_, S>,
+    bs: BlockSizes,
+) {
+    let (m, k) = a.dims();
+    let (kb_, n) = b.dims();
+    assert_eq!(k, kb_, "inner dimension mismatch");
+    assert_eq!(c.dims(), (m, n), "output dimension mismatch");
+    assert!(bs.mc > 0 && bs.kc > 0 && bs.nc > 0, "block sizes must be positive");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let (lda, ldb, ldc) = (a.ld(), b.ld(), c.ld());
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let cp = c.as_mut_ptr();
+
+    let mut jj = 0;
+    while jj < n {
+        let nc = bs.nc.min(n - jj);
+        let mut pp = 0;
+        while pp < k {
+            let kc = bs.kc.min(k - pp);
+            let mut ii = 0;
+            while ii < m {
+                let mc = bs.mc.min(m - ii);
+                // Register-tiled inner block.
+                let mut j = 0;
+                while j < nc {
+                    let nb = NR.min(nc - j);
+                    let mut i = 0;
+                    while i < mc {
+                        let mb = MR.min(mc - i);
+                        // SAFETY: all offsets are within the validated
+                        // windows of a, b, c.
+                        unsafe {
+                            let a_blk = ap.add((ii + i) + pp * lda);
+                            let b_blk = bp.add(pp + (jj + j) * ldb);
+                            let c_blk = cp.add((ii + i) + (jj + j) * ldc);
+                            if mb == MR && nb == NR {
+                                micro_kernel_4x4(kc, a_blk, lda, b_blk, ldb, c_blk, ldc);
+                            } else {
+                                micro_kernel_edge(mb, nb, kc, a_blk, lda, b_blk, ldb, c_blk, ldc);
+                            }
+                        }
+                        i += mb;
+                    }
+                    j += nb;
+                }
+                ii += mc;
+            }
+            pp += kc;
+        }
+        jj += nc;
+    }
+}
+
+/// `C = A·B` (zeroes `C` first).
+#[track_caller]
+pub fn blocked_mul<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>, mut c: MatMut<'_, S>) {
+    c.fill(S::ZERO);
+    blocked_mul_add(a, b, c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+    use crate::naive::naive_product;
+    use crate::norms::assert_matrix_eq;
+    use crate::Matrix;
+
+    fn check(m: usize, k: usize, n: usize, seed: u64) {
+        let a: Matrix<f64> = random_matrix(m, k, seed);
+        let b: Matrix<f64> = random_matrix(k, n, seed + 1);
+        let mut c: Matrix<f64> = Matrix::zeros(m, n);
+        blocked_mul(a.view(), b.view(), c.view_mut());
+        let expect = naive_product(&a, &b);
+        assert_matrix_eq(c.view(), expect.view(), k);
+    }
+
+    #[test]
+    fn exact_multiple_of_tiles() {
+        check(8, 8, 8, 1);
+        check(16, 12, 20, 2);
+    }
+
+    #[test]
+    fn ragged_edges() {
+        check(5, 7, 3, 3);
+        check(13, 17, 11, 4);
+        check(1, 1, 1, 5);
+        check(3, 100, 2, 6);
+    }
+
+    #[test]
+    fn crosses_cache_block_boundaries() {
+        check(MC + 3, KC + 5, NC / 2 + 7, 7);
+        check(2 * MC, 2 * KC, 16, 8);
+    }
+
+    #[test]
+    fn exact_on_integers() {
+        let a: Matrix<i64> = random_matrix(37, 23, 10);
+        let b: Matrix<i64> = random_matrix(23, 41, 11);
+        let mut c: Matrix<i64> = Matrix::zeros(37, 41);
+        blocked_mul(a.view(), b.view(), c.view_mut());
+        assert_eq!(c, naive_product(&a, &b));
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a: Matrix<i64> = random_matrix(9, 9, 12);
+        let b: Matrix<i64> = random_matrix(9, 9, 13);
+        let mut c: Matrix<i64> = random_matrix(9, 9, 14);
+        let orig = c.clone();
+        blocked_mul_add(a.view(), b.view(), c.view_mut());
+        let ab = naive_product(&a, &b);
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(c.get(i, j), orig.get(i, j) + ab.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn strided_operands_match_contiguous() {
+        // Operate on windows of larger base matrices (the Fig. 3 setup).
+        let base_a: Matrix<f64> = random_matrix(40, 40, 20);
+        let base_b: Matrix<f64> = random_matrix(40, 40, 21);
+        let mut base_c: Matrix<f64> = Matrix::zeros(40, 40);
+        let t = 12;
+        let av = base_a.view().submatrix(1, 1, t, t);
+        let bv = base_b.view().submatrix(t + 1, t + 1, t, t);
+        let mut cm = base_c.view_mut();
+        let cv = cm.submatrix_mut(2 * t + 1, 2 * t + 1, t, t);
+        blocked_mul(av, bv, cv);
+
+        let a_copy = Matrix::from_vec(av.to_vec(), t, t);
+        let b_copy = Matrix::from_vec(bv.to_vec(), t, t);
+        let expect = naive_product(&a_copy, &b_copy);
+        let got = base_c.view().submatrix(2 * t + 1, 2 * t + 1, t, t);
+        assert_matrix_eq(got, expect.view(), t);
+    }
+
+    #[test]
+    fn custom_block_sizes_are_equivalent() {
+        let a: Matrix<i64> = random_matrix(70, 50, 30);
+        let b: Matrix<i64> = random_matrix(50, 90, 31);
+        let expect = naive_product(&a, &b);
+        for bs in [
+            BlockSizes { mc: 1, kc: 1, nc: 1 },
+            BlockSizes { mc: 7, kc: 13, nc: 5 },
+            BlockSizes { mc: 1024, kc: 1024, nc: 1024 },
+            BlockSizes::default(),
+        ] {
+            let mut c: Matrix<i64> = Matrix::zeros(70, 90);
+            blocked_mul_add_with(a.view(), b.view(), c.view_mut(), bs);
+            assert_eq!(c, expect, "{bs:?}");
+        }
+    }
+
+    #[test]
+    fn zero_dims_are_noops() {
+        let a: Matrix<f64> = Matrix::zeros(0, 5);
+        let b: Matrix<f64> = Matrix::zeros(5, 4);
+        let mut c: Matrix<f64> = Matrix::zeros(0, 4);
+        blocked_mul_add(a.view(), b.view(), c.view_mut());
+        let a: Matrix<f64> = Matrix::zeros(3, 0);
+        let b: Matrix<f64> = Matrix::zeros(0, 4);
+        let mut c: Matrix<f64> = random_matrix(3, 4, 1);
+        let orig = c.clone();
+        blocked_mul_add(a.view(), b.view(), c.view_mut());
+        assert_eq!(c, orig);
+    }
+}

@@ -1,0 +1,180 @@
+//! Complex double-precision elements (`zgemm` support).
+//!
+//! The Level-3 BLAS family the paper's interface mimics has four
+//! precisions; Strassen's construction is ring-generic, so supporting
+//! `C64` is purely an element-type instantiation — and doubly profitable
+//! in practice, since each complex multiply-add is itself several real
+//! flops. A minimal self-contained complex type is defined here (the
+//! workspace deliberately has no external numerics dependencies).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::scalar::Scalar;
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Creates `re + im·i`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The imaginary unit.
+    pub const I: C64 = C64::new(0.0, 1.0);
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Scalar for C64 {
+    const ZERO: Self = C64::new(0.0, 0.0);
+    const ONE: Self = C64::new(1.0, 0.0);
+
+    /// For tolerance purposes the "absolute value" is the modulus,
+    /// returned on the real axis.
+    #[inline]
+    fn abs_val(self) -> Self {
+        C64::new(self.abs(), 0.0)
+    }
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        C64::new(x, 0.0)
+    }
+
+    /// Projects to the modulus (used by norms and comparisons).
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self.abs()
+    }
+
+    fn epsilon_f64() -> f64 {
+        f64::EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_identities() {
+        let z = C64::new(3.0, -4.0);
+        assert_eq!(z + C64::ZERO, z);
+        assert_eq!(z * C64::ONE, z);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+        assert_eq!(z * z.conj(), C64::new(25.0, 0.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0)); // (1+2i)(3-i) = 3 - i + 6i + 2 = 5 + 5i
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+        c *= b;
+        assert_eq!(c, a * b);
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn scalar_trait_conventions() {
+        assert_eq!(C64::from_f64(2.5), C64::new(2.5, 0.0));
+        assert_eq!(C64::new(3.0, 4.0).to_f64(), 5.0);
+        assert_eq!(C64::new(-3.0, 4.0).abs_val(), C64::new(5.0, 0.0));
+        assert_eq!(C64::ZERO.madd(C64::ONE, C64::I), C64::I);
+    }
+}

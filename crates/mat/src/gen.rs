@@ -1,0 +1,95 @@
+//! Deterministic workload generators.
+//!
+//! The paper times `C ← A·B` on random dense matrices; these helpers make
+//! those workloads reproducible (fixed seeds) across the experiment
+//! binaries, benches, and tests.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Uniform random matrix with entries in `[-1, 1)`, deterministic in
+/// `seed`. For `i64`, entries are drawn from `{-4, …, 4}` so products stay
+/// far from overflow even through Strassen's intermediate sums.
+pub fn random_matrix<S: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<S> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    if S::epsilon_f64() == 0.0 {
+        Matrix::from_fn(rows, cols, |_, _| S::from_f64(rng.gen_range(-4..=4) as f64))
+    } else {
+        Matrix::from_fn(rows, cols, |_, _| S::from_f64(rng.gen_range(-1.0..1.0)))
+    }
+}
+
+/// Uniform random complex matrix with both components in `[-1, 1)`,
+/// deterministic in `seed`.
+pub fn random_complex_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<crate::complex::C64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        crate::complex::C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    })
+}
+
+/// A matrix whose entry `(i, j)` encodes its own coordinates
+/// (`i·cols + j + 1`), handy for layout-conversion tests where you need to
+/// know exactly which element ended up where.
+pub fn coordinate_matrix<S: Scalar>(rows: usize, cols: usize) -> Matrix<S> {
+    Matrix::from_fn(rows, cols, |i, j| S::from_f64((i * cols + j + 1) as f64))
+}
+
+/// Standard GEMM problem: `(A, B, C)` with dimensions `m×k`, `k×n`, `m×n`,
+/// all random and deterministic in `seed`.
+pub fn random_problem<S: Scalar>(
+    m: usize,
+    k: usize,
+    n: usize,
+    seed: u64,
+) -> (Matrix<S>, Matrix<S>, Matrix<S>) {
+    (
+        random_matrix(m, k, seed),
+        random_matrix(k, n, seed.wrapping_add(1)),
+        random_matrix(m, n, seed.wrapping_add(2)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a: Matrix<f64> = random_matrix(17, 13, 42);
+        let b: Matrix<f64> = random_matrix(17, 13, 42);
+        assert_eq!(a, b);
+        let c: Matrix<f64> = random_matrix(17, 13, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn integer_entries_are_small() {
+        let a: Matrix<i64> = random_matrix(50, 50, 7);
+        assert!(a.as_slice().iter().all(|&x| (-4..=4).contains(&x)));
+    }
+
+    #[test]
+    fn float_entries_in_unit_range() {
+        let a: Matrix<f64> = random_matrix(50, 50, 7);
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn coordinate_matrix_encodes_position() {
+        let a: Matrix<i64> = coordinate_matrix(3, 4);
+        assert_eq!(a.get(0, 0), 1);
+        assert_eq!(a.get(2, 3), (2 * 4 + 3 + 1) as i64);
+    }
+
+    #[test]
+    fn problem_dimensions() {
+        let (a, b, c): (Matrix<f64>, _, _) = random_problem(3, 4, 5, 1);
+        assert_eq!(a.dims(), (3, 4));
+        assert_eq!(b.dims(), (4, 5));
+        assert_eq!(c.dims(), (3, 5));
+    }
+}

@@ -1,0 +1,195 @@
+//! Plain-text matrix persistence.
+//!
+//! A minimal, dependency-free format for saving experiment artifacts and
+//! exchanging matrices with plotting scripts:
+//!
+//! ```text
+//! %modgemm-matrix rows cols
+//! a11 a12 ... a1n
+//! ...
+//! am1 am2 ... amn
+//! ```
+//!
+//! Values are written row by row (human-readable) in `{:?}` form, which
+//! round-trips `f64`/`f32` exactly (shortest representation that parses
+//! back to the same bits) and integers trivially.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+use std::str::FromStr;
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Errors from matrix I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or parse failure, with a description.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Serializes `m` to a writer.
+pub fn write_matrix<S: Scalar, W: Write>(m: &Matrix<S>, w: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "%modgemm-matrix {} {}", m.rows(), m.cols())?;
+    for i in 0..m.rows() {
+        let mut first = true;
+        for j in 0..m.cols() {
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{:?}", m.get(i, j))?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a matrix from a reader.
+pub fn read_matrix<S, R>(r: R) -> Result<Matrix<S>, IoError>
+where
+    S: Scalar + FromStr,
+    <S as FromStr>::Err: std::fmt::Display,
+    R: BufRead,
+{
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| IoError::Format("empty input".into()))??;
+    let mut parts = header.split_whitespace();
+    let magic = parts.next().unwrap_or("");
+    if magic != "%modgemm-matrix" {
+        return Err(IoError::Format(format!("bad magic {magic:?}")));
+    }
+    let rows: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| IoError::Format("bad row count".into()))?;
+    let cols: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| IoError::Format("bad column count".into()))?;
+
+    let mut m = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        let line = lines
+            .next()
+            .ok_or_else(|| IoError::Format(format!("missing row {i}")))??;
+        let mut vals = line.split_whitespace();
+        for j in 0..cols {
+            let tok = vals
+                .next()
+                .ok_or_else(|| IoError::Format(format!("row {i} short at column {j}")))?;
+            let v: S = tok
+                .parse()
+                .map_err(|e| IoError::Format(format!("row {i} col {j}: {e}")))?;
+            m.set(i, j, v);
+        }
+        if vals.next().is_some() {
+            return Err(IoError::Format(format!("row {i} has extra values")));
+        }
+    }
+    Ok(m)
+}
+
+/// Saves `m` to a file.
+pub fn save_matrix<S: Scalar>(m: &Matrix<S>, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_matrix(m, std::fs::File::create(path)?)
+}
+
+/// Loads a matrix from a file.
+pub fn load_matrix<S>(path: impl AsRef<Path>) -> Result<Matrix<S>, IoError>
+where
+    S: Scalar + FromStr,
+    <S as FromStr>::Err: std::fmt::Display,
+{
+    read_matrix(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+
+    fn roundtrip<S>(m: &Matrix<S>)
+    where
+        S: Scalar + FromStr,
+        <S as FromStr>::Err: std::fmt::Display,
+    {
+        let mut buf = Vec::new();
+        write_matrix(m, &mut buf).unwrap();
+        let back: Matrix<S> = read_matrix(&buf[..]).unwrap();
+        assert_eq!(&back, m);
+    }
+
+    #[test]
+    fn roundtrips_exactly() {
+        roundtrip(&random_matrix::<f64>(7, 5, 1));
+        roundtrip(&random_matrix::<f32>(3, 9, 2));
+        roundtrip(&random_matrix::<i64>(4, 4, 3));
+        roundtrip(&Matrix::<f64>::zeros(1, 1));
+    }
+
+    #[test]
+    fn roundtrips_awkward_floats() {
+        let m = Matrix::from_vec(
+            vec![0.1, -1.0 / 3.0, f64::MIN_POSITIVE, 1e308, -0.0, 2.5e-17],
+            2,
+            3,
+        );
+        roundtrip(&m);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("modgemm-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.txt");
+        let m: Matrix<f64> = random_matrix(6, 8, 4);
+        save_matrix(&m, &path).unwrap();
+        let back: Matrix<f64> = load_matrix(&path).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_is_human_readable() {
+        let m: Matrix<i64> = Matrix::identity(2);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("%modgemm-matrix 2 2\n"));
+        assert!(text.contains("1 0"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_matrix::<f64, _>(&b""[..]).is_err());
+        assert!(read_matrix::<f64, _>(&b"%wrong 2 2\n1 2\n3 4\n"[..]).is_err());
+        assert!(read_matrix::<f64, _>(&b"%modgemm-matrix 2 2\n1 2\n"[..]).is_err());
+        assert!(read_matrix::<f64, _>(&b"%modgemm-matrix 2 2\n1 2\n3\n"[..]).is_err());
+        assert!(read_matrix::<f64, _>(&b"%modgemm-matrix 2 2\n1 2\n3 4 5\n"[..]).is_err());
+        assert!(read_matrix::<f64, _>(&b"%modgemm-matrix 2 2\n1 x\n3 4\n"[..]).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! The six loop orderings of the conventional triple loop.
+//!
+//! The paper's §5.3 surveys compiler work on loop transformations for the
+//! conventional algorithm; this module makes the raw material of that
+//! discussion concrete. Each ordering performs the identical `2·m·k·n`
+//! flops but with a different access pattern, and therefore very
+//! different cache behaviour on column-major data:
+//!
+//! * the innermost index determines the streaming direction — an
+//!   innermost `i` streams columns of `A` and `C` (unit stride,
+//!   column-major-friendly); an innermost `j` strides by `ld` everywhere;
+//! * the outer pair determines which operand stays resident.
+//!
+//! `jki` (inner `i`, middle `k`) is the classical best order for
+//! column-major storage; `ikj`/`kij` (inner `j`) are the worst.
+
+use crate::scalar::Scalar;
+use crate::view::{MatMut, MatRef};
+
+/// The six permutations of the `(i, j, k)` loop nest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LoopOrder {
+    /// `for i { for j { for k … } }` — dot-product form.
+    Ijk,
+    /// `for i { for k { for j … } }`.
+    Ikj,
+    /// `for j { for i { for k … } }`.
+    Jik,
+    /// `for j { for k { for i … } }` — the column-major sweet spot.
+    Jki,
+    /// `for k { for i { for j … } }`.
+    Kij,
+    /// `for k { for j { for i … } }` — outer-product form.
+    Kji,
+}
+
+impl LoopOrder {
+    /// All six orders, in a stable presentation order.
+    pub const ALL: [LoopOrder; 6] =
+        [LoopOrder::Ijk, LoopOrder::Ikj, LoopOrder::Jik, LoopOrder::Jki, LoopOrder::Kij, LoopOrder::Kji];
+
+    /// The conventional display name ("ijk", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            LoopOrder::Ijk => "ijk",
+            LoopOrder::Ikj => "ikj",
+            LoopOrder::Jik => "jik",
+            LoopOrder::Jki => "jki",
+            LoopOrder::Kij => "kij",
+            LoopOrder::Kji => "kji",
+        }
+    }
+}
+
+/// `C += A·B` with the given loop order (no blocking — this is the
+/// *unblocked* conventional algorithm the §5.3 literature transforms).
+#[track_caller]
+pub fn loop_mul_add<S: Scalar>(
+    order: LoopOrder,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    mut c: MatMut<'_, S>,
+) {
+    let (m, k) = a.dims();
+    let (kb, n) = b.dims();
+    assert_eq!(k, kb, "inner dimension mismatch");
+    assert_eq!(c.dims(), (m, n), "output dimension mismatch");
+
+    match order {
+        LoopOrder::Ijk => {
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = S::ZERO;
+                    for p in 0..k {
+                        acc += a.get(i, p) * b.get(p, j);
+                    }
+                    let old = c.get(i, j);
+                    c.set(i, j, old + acc);
+                }
+            }
+        }
+        LoopOrder::Ikj => {
+            for i in 0..m {
+                for p in 0..k {
+                    let aip = a.get(i, p);
+                    for j in 0..n {
+                        let old = c.get(i, j);
+                        c.set(i, j, old + aip * b.get(p, j));
+                    }
+                }
+            }
+        }
+        LoopOrder::Jik => {
+            for j in 0..n {
+                for i in 0..m {
+                    let mut acc = S::ZERO;
+                    for p in 0..k {
+                        acc += a.get(i, p) * b.get(p, j);
+                    }
+                    let old = c.get(i, j);
+                    c.set(i, j, old + acc);
+                }
+            }
+        }
+        LoopOrder::Jki => {
+            for j in 0..n {
+                for p in 0..k {
+                    let bpj = b.get(p, j);
+                    // Unit-stride axpy over the columns of A and C.
+                    let a_col = a.col(p);
+                    let c_col = c.col_mut(j);
+                    for (ci, &ai) in c_col.iter_mut().zip(a_col) {
+                        *ci += ai * bpj;
+                    }
+                }
+            }
+        }
+        LoopOrder::Kij => {
+            for p in 0..k {
+                for i in 0..m {
+                    let aip = a.get(i, p);
+                    for j in 0..n {
+                        let old = c.get(i, j);
+                        c.set(i, j, old + aip * b.get(p, j));
+                    }
+                }
+            }
+        }
+        LoopOrder::Kji => {
+            for p in 0..k {
+                for j in 0..n {
+                    let bpj = b.get(p, j);
+                    let a_col = a.col(p);
+                    let c_col = c.col_mut(j);
+                    for (ci, &ai) in c_col.iter_mut().zip(a_col) {
+                        *ci += ai * bpj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C = A·B` (zeroing first) with the given loop order.
+#[track_caller]
+pub fn loop_mul<S: Scalar>(order: LoopOrder, a: MatRef<'_, S>, b: MatRef<'_, S>, mut c: MatMut<'_, S>) {
+    c.fill(S::ZERO);
+    loop_mul_add(order, a, b, c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+    use crate::naive::naive_product;
+    use crate::Matrix;
+
+    #[test]
+    fn all_orders_compute_the_same_product() {
+        let a: Matrix<i64> = random_matrix(13, 17, 1);
+        let b: Matrix<i64> = random_matrix(17, 11, 2);
+        let expect = naive_product(&a, &b);
+        for order in LoopOrder::ALL {
+            let mut c: Matrix<i64> = Matrix::zeros(13, 11);
+            loop_mul(order, a.view(), b.view(), c.view_mut());
+            assert_eq!(c, expect, "{}", order.name());
+        }
+    }
+
+    #[test]
+    fn accumulate_form() {
+        let a: Matrix<i64> = random_matrix(5, 5, 3);
+        let b: Matrix<i64> = random_matrix(5, 5, 4);
+        let base: Matrix<i64> = random_matrix(5, 5, 5);
+        let ab = naive_product(&a, &b);
+        for order in LoopOrder::ALL {
+            let mut c = base.clone();
+            loop_mul_add(order, a.view(), b.view(), c.view_mut());
+            for i in 0..5 {
+                for j in 0..5 {
+                    assert_eq!(c.get(i, j), base.get(i, j) + ab.get(i, j), "{}", order.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_strided_views() {
+        let base_a: Matrix<i64> = random_matrix(20, 20, 6);
+        let base_b: Matrix<i64> = random_matrix(20, 20, 7);
+        let av = base_a.view().submatrix(2, 3, 7, 9);
+        let bv = base_b.view().submatrix(1, 4, 9, 6);
+        let a_own = Matrix::from_vec(av.to_vec(), 7, 9);
+        let b_own = Matrix::from_vec(bv.to_vec(), 9, 6);
+        let expect = naive_product(&a_own, &b_own);
+        for order in LoopOrder::ALL {
+            let mut c: Matrix<i64> = Matrix::zeros(7, 6);
+            loop_mul(order, av, bv, c.view_mut());
+            assert_eq!(c, expect, "{}", order.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = LoopOrder::ALL.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

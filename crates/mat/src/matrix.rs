@@ -1,0 +1,274 @@
+//! Owning column-major matrix.
+
+use crate::scalar::Scalar;
+use crate::view::{MatMut, MatRef};
+
+/// An owning, contiguous, column-major `rows × cols` matrix
+/// (`ld == rows`). Views into larger strided storage are represented by
+/// [`MatRef`] / [`MatMut`] instead.
+///
+/// ```
+/// use modgemm_mat::Matrix;
+///
+/// let m: Matrix<f64> = Matrix::from_fn(2, 3, |i, j| (10 * i + j) as f64);
+/// assert_eq!(m.get(1, 2), 12.0);
+/// // Column-major storage: column 0 first.
+/// assert_eq!(&m.as_slice()[..2], &[0.0, 10.0]);
+/// let t = m.transposed();
+/// assert_eq!(t.get(2, 1), 12.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix<S> {
+    data: Vec<S>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<S: Scalar> Matrix<S> {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![S::ZERO; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Self { data, rows, cols }
+    }
+
+    /// Wraps an existing column-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    #[track_caller]
+    pub fn from_vec(data: Vec<S>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { data, rows, cols }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |i, j| if i == j { S::ONE } else { S::ZERO })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Dimensions as a tuple.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    #[track_caller]
+    pub fn get(&self, i: usize, j: usize) -> S {
+        assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows]
+    }
+
+    /// Writes `v` at `(i, j)`.
+    #[inline]
+    #[track_caller]
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
+        assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows] = v;
+    }
+
+    /// Immutable view of the whole matrix.
+    #[inline]
+    pub fn view(&self) -> MatRef<'_, S> {
+        MatRef::from_slice(&self.data, self.rows, self.cols, self.rows.max(1))
+    }
+
+    /// Mutable view of the whole matrix.
+    #[inline]
+    pub fn view_mut(&mut self) -> MatMut<'_, S> {
+        let (rows, cols) = (self.rows, self.cols);
+        MatMut::from_slice(&mut self.data, rows, cols, rows.max(1))
+    }
+
+    /// The underlying column-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    /// The underlying column-major buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the buffer.
+    pub fn into_vec(self) -> Vec<S> {
+        self.data
+    }
+
+    /// An owned transpose.
+    pub fn transposed(&self) -> Self {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Embeds this matrix in the top-left corner of a larger zero matrix —
+    /// the *static padding* operation of the paper's §3.2.
+    #[track_caller]
+    pub fn padded(&self, new_rows: usize, new_cols: usize) -> Self {
+        assert!(new_rows >= self.rows && new_cols >= self.cols, "padding must not shrink");
+        let mut out = Self::zeros(new_rows, new_cols);
+        for j in 0..self.cols {
+            let src = &self.data[j * self.rows..(j + 1) * self.rows];
+            out.data[j * new_rows..j * new_rows + self.rows].copy_from_slice(src);
+        }
+        out
+    }
+}
+
+impl<S: Scalar> core::ops::Add for &Matrix<S> {
+    type Output = Matrix<S>;
+
+    /// Elementwise sum (panics on dimension mismatch).
+    #[track_caller]
+    fn add(self, rhs: &Matrix<S>) -> Matrix<S> {
+        assert_eq!(self.dims(), rhs.dims(), "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        crate::addsub::add_flat(out.as_mut_slice(), self.as_slice(), rhs.as_slice());
+        out
+    }
+}
+
+impl<S: Scalar> core::ops::Sub for &Matrix<S> {
+    type Output = Matrix<S>;
+
+    /// Elementwise difference (panics on dimension mismatch).
+    #[track_caller]
+    fn sub(self, rhs: &Matrix<S>) -> Matrix<S> {
+        assert_eq!(self.dims(), rhs.dims(), "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        crate::addsub::sub_flat(out.as_mut_slice(), self.as_slice(), rhs.as_slice());
+        out
+    }
+}
+
+impl<S: Scalar> core::ops::Mul<S> for &Matrix<S> {
+    type Output = Matrix<S>;
+
+    /// Scaling by a scalar.
+    fn mul(self, rhs: S) -> Matrix<S> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j) * rhs)
+    }
+}
+
+impl<S: Scalar> core::ops::Neg for &Matrix<S> {
+    type Output = Matrix<S>;
+
+    /// Elementwise negation.
+    fn neg(self) -> Matrix<S> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| -self.get(i, j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_is_column_major() {
+        let m: Matrix<f64> = Matrix::from_fn(2, 3, |i, j| (10 * i + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+    }
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let m: Matrix<i64> = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), i64::from(i == j));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m: Matrix<i64> = Matrix::from_fn(3, 5, |i, j| (i * 7 + j * 3) as i64);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().get(4, 2), m.get(2, 4));
+    }
+
+    #[test]
+    fn padded_preserves_live_region_and_zeros_rest() {
+        let m: Matrix<i64> = Matrix::from_fn(2, 2, |i, j| 1 + (i + 2 * j) as i64);
+        let p = m.padded(4, 3);
+        assert_eq!(p.dims(), (4, 3));
+        for i in 0..4 {
+            for j in 0..3 {
+                let expect = if i < 2 && j < 2 { m.get(i, j) } else { 0 };
+                assert_eq!(p.get(i, j), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn view_and_matrix_agree() {
+        let m: Matrix<f64> = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let v = m.view();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(v.get(i, j), m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn operator_sugar() {
+        let a: Matrix<i64> = Matrix::from_fn(2, 3, |i, j| (i + j) as i64);
+        let b: Matrix<i64> = Matrix::from_fn(2, 3, |i, j| (2 * i) as i64 - j as i64);
+        let s = &a + &b;
+        let d = &a - &b;
+        let m2 = &a * 3;
+        let n = -&a;
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(s.get(i, j), a.get(i, j) + b.get(i, j));
+                assert_eq!(d.get(i, j), a.get(i, j) - b.get(i, j));
+                assert_eq!(m2.get(i, j), 3 * a.get(i, j));
+                assert_eq!(n.get(i, j), -a.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn operator_add_rejects_mismatch() {
+        let a: Matrix<i64> = Matrix::zeros(2, 3);
+        let b: Matrix<i64> = Matrix::zeros(3, 2);
+        let _ = &a + &b;
+    }
+
+    #[test]
+    fn zero_dim_matrices() {
+        let m: Matrix<f64> = Matrix::zeros(0, 3);
+        assert_eq!(m.dims(), (0, 3));
+        assert_eq!(m.as_slice().len(), 0);
+        let _ = m.view();
+    }
+}

@@ -1,0 +1,122 @@
+//! Norms and tolerance-aware comparison.
+//!
+//! Strassen-Winograd is backward stable with a larger constant than the
+//! conventional algorithm (Higham), so comparisons use a tolerance scaled
+//! by the inner dimension and the operand magnitudes rather than a fixed
+//! epsilon.
+
+use crate::scalar::Scalar;
+use crate::view::MatRef;
+
+/// Largest absolute entry.
+pub fn max_abs<S: Scalar>(a: MatRef<'_, S>) -> f64 {
+    let mut best = 0.0f64;
+    for j in 0..a.cols() {
+        for &x in a.col(j) {
+            best = best.max(x.abs_val().to_f64());
+        }
+    }
+    best
+}
+
+/// Largest absolute entrywise difference.
+#[track_caller]
+pub fn max_abs_diff<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "dimension mismatch");
+    let mut best = 0.0f64;
+    for j in 0..a.cols() {
+        for (&x, &y) in a.col(j).iter().zip(b.col(j)) {
+            best = best.max((x - y).abs_val().to_f64());
+        }
+    }
+    best
+}
+
+/// Frobenius norm (as `f64`).
+pub fn frob_norm<S: Scalar>(a: MatRef<'_, S>) -> f64 {
+    let mut acc = 0.0f64;
+    for j in 0..a.cols() {
+        for &x in a.col(j) {
+            let v = x.to_f64();
+            acc += v * v;
+        }
+    }
+    acc.sqrt()
+}
+
+/// Absolute tolerance for comparing two results of a multiply with inner
+/// dimension `k` on entries of magnitude ~`scale`.
+///
+/// Strassen-Winograd's error bound grows like `O(k^{log2 6})` in the worst
+/// case; a generous linear-in-`k` bound with a large constant is ample for
+/// the unit-range random workloads used here, while still catching real
+/// algorithmic mistakes (which produce O(1) errors).
+pub fn gemm_tolerance<S: Scalar>(k: usize, scale: f64) -> f64 {
+    let eps = S::epsilon_f64();
+    if eps == 0.0 {
+        0.0
+    } else {
+        64.0 * (k.max(1) as f64) * scale.max(1.0) * eps
+    }
+}
+
+/// Asserts entrywise equality up to [`gemm_tolerance`] for inner dimension
+/// `k`, with a diagnostic message on failure.
+#[track_caller]
+pub fn assert_matrix_eq<S: Scalar>(got: MatRef<'_, S>, expect: MatRef<'_, S>, k: usize) {
+    let scale = max_abs(expect).max(max_abs(got));
+    let tol = gemm_tolerance::<S>(k, scale);
+    let diff = max_abs_diff(got, expect);
+    assert!(
+        diff <= tol,
+        "matrices differ: max |diff| = {diff:.3e} > tol = {tol:.3e} (k = {k}, scale = {scale:.3e})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn norms_of_known_matrix() {
+        let m = Matrix::from_vec(vec![3.0f64, 0.0, 0.0, 4.0], 2, 2);
+        assert_eq!(max_abs(m.view()), 4.0);
+        assert!((frob_norm(m.view()) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_detects_single_entry() {
+        let a: Matrix<f64> = Matrix::zeros(3, 3);
+        let mut b: Matrix<f64> = Matrix::zeros(3, 3);
+        b.set(2, 1, 1e-3);
+        assert_eq!(max_abs_diff(a.view(), b.view()), 1e-3);
+    }
+
+    #[test]
+    fn integer_tolerance_is_zero() {
+        assert_eq!(gemm_tolerance::<i64>(1000, 1e6), 0.0);
+    }
+
+    #[test]
+    fn float_tolerance_scales_with_k() {
+        assert!(gemm_tolerance::<f64>(1000, 1.0) > gemm_tolerance::<f64>(10, 1.0));
+        assert!(gemm_tolerance::<f32>(10, 1.0) > gemm_tolerance::<f64>(10, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "matrices differ")]
+    fn assert_matrix_eq_fails_on_real_error() {
+        let a: Matrix<f64> = Matrix::zeros(2, 2);
+        let mut b: Matrix<f64> = Matrix::zeros(2, 2);
+        b.set(0, 0, 0.5);
+        assert_matrix_eq(a.view(), b.view(), 4);
+    }
+
+    #[test]
+    fn assert_matrix_eq_accepts_roundoff() {
+        let a = Matrix::from_vec(vec![1.0f64; 4], 2, 2);
+        let b = Matrix::from_vec(vec![1.0 + 1e-14; 4], 2, 2);
+        assert_matrix_eq(a.view(), b.view(), 100);
+    }
+}

@@ -1,0 +1,551 @@
+//! Borrowed matrix views with a BLAS-style leading dimension.
+//!
+//! A view describes an `rows × cols` window into column-major storage whose
+//! columns are `ld` elements apart. This is exactly the submatrix model of
+//! the Level-3 BLAS interface the paper adopts (§2.1): element `(i, j)`
+//! lives at linear offset `i + j·ld`.
+//!
+//! # Why raw pointers
+//!
+//! Splitting a column-major matrix into quadrants produces four windows
+//! whose underlying *address ranges interleave* (a column of the NW quadrant
+//! is followed in memory by the same column of the SW quadrant), so four
+//! `&mut [S]` slices cannot represent them. Views therefore hold a raw
+//! pointer plus a lifetime marker, exactly like production Rust linear
+//! algebra libraries. Soundness rests on the invariant that the *element
+//! sets* of views produced by the splitting API are pairwise disjoint, even
+//! though their address ranges overlap. All constructors from safe slices
+//! check bounds; element access carries `debug_assert!` bounds checks.
+
+use core::marker::PhantomData;
+
+use crate::scalar::Scalar;
+
+/// Whether an operand is used as itself or transposed, mirroring the
+/// `op(X)` parameter of the BLAS `dgemm` interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Use the matrix as stored.
+    NoTrans,
+    /// Use the transpose of the stored matrix.
+    Trans,
+}
+
+impl Op {
+    /// Dimensions of `op(X)` given the stored dimensions of `X`.
+    #[inline]
+    pub fn apply_dims(self, rows: usize, cols: usize) -> (usize, usize) {
+        match self {
+            Op::NoTrans => (rows, cols),
+            Op::Trans => (cols, rows),
+        }
+    }
+
+    /// The flipped op.
+    #[inline]
+    pub fn flip(self) -> Op {
+        match self {
+            Op::NoTrans => Op::Trans,
+            Op::Trans => Op::NoTrans,
+        }
+    }
+}
+
+/// Immutable column-major matrix view.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a, S> {
+    ptr: *const S,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    _marker: PhantomData<&'a [S]>,
+}
+
+// SAFETY: a MatRef is semantically a shared reference to its elements.
+unsafe impl<S: Sync> Send for MatRef<'_, S> {}
+unsafe impl<S: Sync> Sync for MatRef<'_, S> {}
+
+/// Mutable column-major matrix view.
+pub struct MatMut<'a, S> {
+    ptr: *mut S,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    _marker: PhantomData<&'a mut [S]>,
+}
+
+// SAFETY: a MatMut is semantically an exclusive reference to its elements;
+// distinct views produced by the splitting API are element-disjoint.
+unsafe impl<S: Send> Send for MatMut<'_, S> {}
+unsafe impl<S: Sync> Sync for MatMut<'_, S> {}
+
+/// Checks the slice-length invariant for an `(rows, cols, ld)` window.
+#[inline]
+fn required_len(rows: usize, cols: usize, ld: usize) -> usize {
+    if rows == 0 || cols == 0 {
+        0
+    } else {
+        (cols - 1) * ld + rows
+    }
+}
+
+impl<'a, S: Scalar> MatRef<'a, S> {
+    /// Creates a view over `data` interpreted as `rows × cols` column-major
+    /// with leading dimension `ld`.
+    ///
+    /// # Panics
+    /// If `ld < rows` (columns would overlap) or `data` is too short.
+    #[track_caller]
+    pub fn from_slice(data: &'a [S], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= rows.max(1), "leading dimension {ld} < rows {rows}");
+        assert!(
+            data.len() >= required_len(rows, cols, ld),
+            "slice of length {} too short for {rows}x{cols} view with ld {ld}",
+            data.len()
+        );
+        Self {
+            ptr: data.as_ptr(),
+            rows,
+            cols,
+            ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a view from a raw pointer.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for reads of the whole window for `'a`, and no
+    /// exclusive reference to any element of the window may exist for `'a`.
+    pub unsafe fn from_raw_parts(ptr: *const S, rows: usize, cols: usize, ld: usize) -> Self {
+        debug_assert!(ld >= rows.max(1));
+        Self {
+            ptr,
+            rows,
+            cols,
+            ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension (column stride).
+    #[inline(always)]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// True when the view is contiguous in memory (`ld == rows`).
+    #[inline(always)]
+    pub fn is_contiguous(&self) -> bool {
+        self.ld == self.rows || self.cols <= 1
+    }
+
+    /// Raw pointer to element (0, 0).
+    #[inline(always)]
+    pub fn as_ptr(&self) -> *const S {
+        self.ptr
+    }
+
+    /// Element at `(i, j)`.
+    #[inline(always)]
+    #[track_caller]
+    pub fn get(&self, i: usize, j: usize) -> S {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        // SAFETY: construction guarantees the window is readable; the
+        // debug_assert guards the in-window condition during testing.
+        unsafe { *self.ptr.add(i + j * self.ld) }
+    }
+
+    /// Column `j` as a contiguous slice of length `rows`.
+    #[inline]
+    #[track_caller]
+    pub fn col(&self, j: usize) -> &'a [S] {
+        assert!(j < self.cols, "column {j} out of bounds");
+        // SAFETY: a single column is contiguous and within the window.
+        unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.ld), self.rows) }
+    }
+
+    /// A sub-window starting at `(i, j)` with dimensions `nr × nc`.
+    #[track_caller]
+    pub fn submatrix(&self, i: usize, j: usize, nr: usize, nc: usize) -> MatRef<'a, S> {
+        assert!(i + nr <= self.rows && j + nc <= self.cols, "submatrix out of bounds");
+        MatRef {
+            ptr: unsafe { self.ptr.add(i + j * self.ld) },
+            rows: nr,
+            cols: nc,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Splits into four quadrants at `(row_mid, col_mid)`:
+    /// `(NW, NE, SW, SE)` — the paper's `(X11, X12, X21, X22)`.
+    #[track_caller]
+    pub fn split_quad(
+        &self,
+        row_mid: usize,
+        col_mid: usize,
+    ) -> (MatRef<'a, S>, MatRef<'a, S>, MatRef<'a, S>, MatRef<'a, S>) {
+        assert!(row_mid <= self.rows && col_mid <= self.cols);
+        (
+            self.submatrix(0, 0, row_mid, col_mid),
+            self.submatrix(0, col_mid, row_mid, self.cols - col_mid),
+            self.submatrix(row_mid, 0, self.rows - row_mid, col_mid),
+            self.submatrix(row_mid, col_mid, self.rows - row_mid, self.cols - col_mid),
+        )
+    }
+
+    /// Copies the view into an owned column-major `Vec` (contiguous,
+    /// `ld == rows`).
+    pub fn to_vec(&self) -> Vec<S> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for j in 0..self.cols {
+            out.extend_from_slice(self.col(j));
+        }
+        out
+    }
+
+    /// Dimensions as a tuple.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+impl<'a, S: Scalar> MatMut<'a, S> {
+    /// Creates a mutable view over `data` (column-major, leading dimension
+    /// `ld`).
+    ///
+    /// # Panics
+    /// If `ld < rows` or `data` is too short.
+    #[track_caller]
+    pub fn from_slice(data: &'a mut [S], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= rows.max(1), "leading dimension {ld} < rows {rows}");
+        assert!(
+            data.len() >= required_len(rows, cols, ld),
+            "slice of length {} too short for {rows}x{cols} view with ld {ld}",
+            data.len()
+        );
+        Self {
+            ptr: data.as_mut_ptr(),
+            rows,
+            cols,
+            ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a mutable view from a raw pointer.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for reads and writes of the whole window for
+    /// `'a`, and the window's elements must not be aliased by any other
+    /// live reference for `'a`.
+    pub unsafe fn from_raw_parts(ptr: *mut S, rows: usize, cols: usize, ld: usize) -> Self {
+        debug_assert!(ld >= rows.max(1));
+        Self {
+            ptr,
+            rows,
+            cols,
+            ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension (column stride).
+    #[inline(always)]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// True when the view is contiguous in memory (`ld == rows`).
+    #[inline(always)]
+    pub fn is_contiguous(&self) -> bool {
+        self.ld == self.rows || self.cols <= 1
+    }
+
+    /// Raw pointer to element (0, 0).
+    #[inline(always)]
+    pub fn as_mut_ptr(&mut self) -> *mut S {
+        self.ptr
+    }
+
+    /// Element at `(i, j)`.
+    #[inline(always)]
+    #[track_caller]
+    pub fn get(&self, i: usize, j: usize) -> S {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        unsafe { *self.ptr.add(i + j * self.ld) }
+    }
+
+    /// Writes `v` at `(i, j)`.
+    #[inline(always)]
+    #[track_caller]
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        unsafe { *self.ptr.add(i + j * self.ld) = v }
+    }
+
+    /// Column `j` as a contiguous mutable slice of length `rows`.
+    #[inline]
+    #[track_caller]
+    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
+        assert!(j < self.cols, "column {j} out of bounds");
+        // SAFETY: a single column is contiguous and within the window; the
+        // borrow of self prevents overlapping use.
+        unsafe { core::slice::from_raw_parts_mut(self.ptr.add(j * self.ld), self.rows) }
+    }
+
+    /// Column `j` as a contiguous immutable slice of length `rows`.
+    #[inline]
+    #[track_caller]
+    pub fn col(&self, j: usize) -> &[S] {
+        assert!(j < self.cols, "column {j} out of bounds");
+        unsafe { core::slice::from_raw_parts(self.ptr.add(j * self.ld), self.rows) }
+    }
+
+    /// Reborrows as an immutable view.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_, S> {
+        MatRef {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Reborrows as a shorter-lived mutable view.
+    #[inline]
+    pub fn reborrow(&mut self) -> MatMut<'_, S> {
+        MatMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// A mutable sub-window starting at `(i, j)` with dimensions `nr × nc`,
+    /// consuming the view (use [`Self::reborrow`] first to keep it).
+    #[track_caller]
+    pub fn into_submatrix(self, i: usize, j: usize, nr: usize, nc: usize) -> MatMut<'a, S> {
+        assert!(i + nr <= self.rows && j + nc <= self.cols, "submatrix out of bounds");
+        MatMut {
+            ptr: unsafe { self.ptr.add(i + j * self.ld) },
+            rows: nr,
+            cols: nc,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// A mutable sub-window borrowed from `self`.
+    #[track_caller]
+    pub fn submatrix_mut(&mut self, i: usize, j: usize, nr: usize, nc: usize) -> MatMut<'_, S> {
+        self.reborrow().into_submatrix(i, j, nr, nc)
+    }
+
+    /// Splits into four *element-disjoint* mutable quadrants at
+    /// `(row_mid, col_mid)`: `(NW, NE, SW, SE)`.
+    ///
+    /// The quadrants' address ranges interleave, but no element belongs to
+    /// two of them, so handing out four mutable views is sound.
+    #[track_caller]
+    #[allow(clippy::type_complexity)]
+    pub fn split_quad(
+        self,
+        row_mid: usize,
+        col_mid: usize,
+    ) -> (MatMut<'a, S>, MatMut<'a, S>, MatMut<'a, S>, MatMut<'a, S>) {
+        assert!(row_mid <= self.rows && col_mid <= self.cols);
+        let (rows, cols, ld, ptr) = (self.rows, self.cols, self.ld, self.ptr);
+        let quad = |i: usize, j: usize, nr: usize, nc: usize| MatMut {
+            // SAFETY: each quadrant window is in-bounds; the four windows
+            // are element-disjoint by construction.
+            ptr: unsafe { ptr.add(i + j * ld) },
+            rows: nr,
+            cols: nc,
+            ld,
+            _marker: PhantomData,
+        };
+        (
+            quad(0, 0, row_mid, col_mid),
+            quad(0, col_mid, row_mid, cols - col_mid),
+            quad(row_mid, 0, rows - row_mid, col_mid),
+            quad(row_mid, col_mid, rows - row_mid, cols - col_mid),
+        )
+    }
+
+    /// Fills the whole window with `v`.
+    pub fn fill(&mut self, v: S) {
+        for j in 0..self.cols {
+            self.col_mut(j).fill(v);
+        }
+    }
+
+    /// Copies `src` (same dimensions) into this window.
+    #[track_caller]
+    pub fn copy_from(&mut self, src: MatRef<'_, S>) {
+        assert_eq!(self.dims(), src.dims(), "copy_from dimension mismatch");
+        for j in 0..self.cols {
+            self.col_mut(j).copy_from_slice(src.col(j));
+        }
+    }
+
+    /// Dimensions as a tuple.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numbered(rows: usize, cols: usize) -> Vec<f64> {
+        (0..rows * cols).map(|x| x as f64).collect()
+    }
+
+    #[test]
+    fn element_addressing_is_column_major() {
+        let data = numbered(3, 4);
+        let v = MatRef::from_slice(&data, 3, 4, 3);
+        assert_eq!(v.get(0, 0), 0.0);
+        assert_eq!(v.get(2, 0), 2.0);
+        assert_eq!(v.get(0, 1), 3.0);
+        assert_eq!(v.get(2, 3), 11.0);
+    }
+
+    #[test]
+    fn leading_dimension_skips_rows() {
+        // 2x3 window inside a 4-row base matrix.
+        let data = numbered(4, 3);
+        let v = MatRef::from_slice(&data, 2, 3, 4);
+        assert_eq!(v.get(1, 2), 9.0);
+        assert!(!v.is_contiguous());
+        let w = MatRef::from_slice(&data, 4, 3, 4);
+        assert!(w.is_contiguous());
+    }
+
+    #[test]
+    fn submatrix_offsets() {
+        let data = numbered(4, 4);
+        let v = MatRef::from_slice(&data, 4, 4, 4);
+        let s = v.submatrix(1, 2, 2, 2);
+        assert_eq!(s.get(0, 0), v.get(1, 2));
+        assert_eq!(s.get(1, 1), v.get(2, 3));
+        assert_eq!(s.ld(), 4);
+    }
+
+    #[test]
+    fn split_quad_covers_everything_disjointly() {
+        let mut data = vec![0.0f64; 6 * 6];
+        let m = MatMut::from_slice(&mut data, 6, 6, 6);
+        let (mut nw, mut ne, mut sw, mut se) = m.split_quad(3, 3);
+        nw.fill(1.0);
+        ne.fill(2.0);
+        sw.fill(3.0);
+        se.fill(4.0);
+        let v = MatRef::from_slice(&data, 6, 6, 6);
+        for i in 0..6 {
+            for j in 0..6 {
+                let expect = match (i < 3, j < 3) {
+                    (true, true) => 1.0,
+                    (true, false) => 2.0,
+                    (false, true) => 3.0,
+                    (false, false) => 4.0,
+                };
+                assert_eq!(v.get(i, j), expect, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_split_dimensions() {
+        let mut data = vec![0.0f64; 5 * 7];
+        let m = MatMut::from_slice(&mut data, 5, 7, 5);
+        let (nw, ne, sw, se) = m.split_quad(2, 4);
+        assert_eq!(nw.dims(), (2, 4));
+        assert_eq!(ne.dims(), (2, 3));
+        assert_eq!(sw.dims(), (3, 4));
+        assert_eq!(se.dims(), (3, 3));
+    }
+
+    #[test]
+    fn copy_from_respects_strides() {
+        let src_data = numbered(4, 4);
+        let src = MatRef::from_slice(&src_data, 2, 2, 4);
+        let mut dst_data = vec![0.0f64; 9];
+        let mut dst = MatMut::from_slice(&mut dst_data, 2, 2, 3);
+        dst.copy_from(src);
+        assert_eq!(dst.get(0, 0), 0.0);
+        assert_eq!(dst.get(1, 0), 1.0);
+        assert_eq!(dst.get(0, 1), 4.0);
+        assert_eq!(dst.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn to_vec_is_contiguous_column_major() {
+        let data = numbered(4, 3);
+        let v = MatRef::from_slice(&data, 2, 2, 4).to_vec();
+        assert_eq!(v, vec![0.0, 1.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "leading dimension")]
+    fn rejects_ld_smaller_than_rows() {
+        let data = numbered(4, 4);
+        let _ = MatRef::from_slice(&data, 4, 4, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_short_slice() {
+        let data = numbered(2, 2);
+        let _ = MatRef::from_slice(&data, 4, 4, 4);
+    }
+
+    #[test]
+    fn op_dims() {
+        assert_eq!(Op::NoTrans.apply_dims(3, 5), (3, 5));
+        assert_eq!(Op::Trans.apply_dims(3, 5), (5, 3));
+        assert_eq!(Op::Trans.flip(), Op::NoTrans);
+    }
+
+    #[test]
+    fn zero_sized_views_are_fine() {
+        let data: Vec<f64> = vec![];
+        let v = MatRef::from_slice(&data, 0, 0, 1);
+        assert_eq!(v.dims(), (0, 0));
+        let v = MatRef::from_slice(&data, 0, 5, 1);
+        assert_eq!(v.dims(), (0, 5));
+    }
+}

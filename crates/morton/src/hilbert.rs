@@ -1,0 +1,341 @@
+//! Hilbert-order tile layout — an alternative hierarchical ordering.
+//!
+//! The paper chooses Morton (Z-) order because its quadrant structure
+//! matches Strassen's recursion exactly; the related-work literature it
+//! cites (space-filling curves for locality, Pilkington & Baden) suggests
+//! the obvious question: *would a Hilbert curve's better spatial locality
+//! help?* This module provides a Hilbert-ordered tile layout so that
+//! question can be answered empirically (see the `layout_orders`
+//! experiment).
+//!
+//! Key contrast with [`crate::layout::MortonLayout`]:
+//!
+//! * **Hilbert**: consecutive tiles in the buffer are always *grid
+//!   neighbours* (Manhattan distance exactly 1) — ideal streaming
+//!   locality;
+//! * **Morton**: consecutive tiles are usually neighbours but jump at
+//!   quadrant boundaries (distance up to the grid diameter); in exchange,
+//!   every aligned 2×2 quadrant block is a *contiguous* buffer range,
+//!   which is the property Strassen's recursion needs. Hilbert quadrants
+//!   are contiguous too, but appear in an orientation-dependent order, so
+//!   using them under Strassen would thread rotation state through the
+//!   recursion; we use the Hilbert layout for layout studies only.
+
+use modgemm_mat::view::{MatMut, MatRef, Op};
+use modgemm_mat::Scalar;
+
+/// Maps a Hilbert-curve index `d` to grid coordinates `(x, y)` on a
+/// `2^order × 2^order` grid.
+pub fn hilbert_d2xy(order: usize, d: usize) -> (usize, usize) {
+    let n = 1usize << order;
+    debug_assert!(d < n * n);
+    let (mut x, mut y) = (0usize, 0usize);
+    let mut t = d;
+    let mut s = 1usize;
+    while s < n {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        // Rotate the s×s sub-grid.
+        if ry == 0 {
+            if rx == 1 {
+                x = s - 1 - x;
+                y = s - 1 - y;
+            }
+            core::mem::swap(&mut x, &mut y);
+        }
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// Maps grid coordinates `(x, y)` to the Hilbert-curve index on a
+/// `2^order × 2^order` grid. Inverse of [`hilbert_d2xy`].
+pub fn hilbert_xy2d(order: usize, mut x: usize, mut y: usize) -> usize {
+    let n = 1usize << order;
+    debug_assert!(x < n && y < n);
+    let mut d = 0usize;
+    let mut s = n / 2;
+    while s > 0 {
+        let rx = usize::from(x & s > 0);
+        let ry = usize::from(y & s > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate the (conceptually full-size) frame.
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            core::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// A Hilbert-ordered tile layout: `2^depth × 2^depth` leaf tiles of
+/// `tile_rows × tile_cols`, tiles sequenced along the Hilbert curve,
+/// column-major within each tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HilbertLayout {
+    /// Rows of a leaf tile.
+    pub tile_rows: usize,
+    /// Columns of a leaf tile.
+    pub tile_cols: usize,
+    /// Curve order (grid is `2^depth` tiles per side).
+    pub depth: usize,
+}
+
+impl HilbertLayout {
+    /// Creates a layout; tiles must be non-empty.
+    #[track_caller]
+    pub fn new(tile_rows: usize, tile_cols: usize, depth: usize) -> Self {
+        assert!(tile_rows > 0 && tile_cols > 0, "empty tile");
+        assert!(depth <= 28, "depth {depth} unreasonably large");
+        Self { tile_rows, tile_cols, depth }
+    }
+
+    /// Total rows of the padded matrix.
+    pub fn rows(&self) -> usize {
+        self.tile_rows << self.depth
+    }
+
+    /// Total columns of the padded matrix.
+    pub fn cols(&self) -> usize {
+        self.tile_cols << self.depth
+    }
+
+    /// Tiles per side.
+    pub fn grid(&self) -> usize {
+        1 << self.depth
+    }
+
+    /// Elements per tile.
+    pub fn tile_len(&self) -> usize {
+        self.tile_rows * self.tile_cols
+    }
+
+    /// Total buffer length.
+    pub fn len(&self) -> usize {
+        self.tile_len() << (2 * self.depth)
+    }
+
+    /// True iff the layout holds no elements (never, per the constructor
+    /// invariant).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Curve position of the tile at grid `(tr, tc)` (row ↦ x, col ↦ y).
+    pub fn tile_code(&self, tr: usize, tc: usize) -> usize {
+        hilbert_xy2d(self.depth, tr, tc)
+    }
+
+    /// Buffer offset of the tile at grid `(tr, tc)`.
+    pub fn tile_offset(&self, tr: usize, tc: usize) -> usize {
+        self.tile_code(tr, tc) * self.tile_len()
+    }
+
+    /// Buffer offset of logical element `(i, j)`.
+    pub fn elem_offset(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.rows() && j < self.cols());
+        let (tr, ti) = (i / self.tile_rows, i % self.tile_rows);
+        let (tc, tj) = (j / self.tile_cols, j % self.tile_cols);
+        self.tile_offset(tr, tc) + ti + tj * self.tile_rows
+    }
+}
+
+/// Packs `op(src)` into Hilbert order under `layout`, zero-filling
+/// padding (mirror of [`crate::convert::to_morton`]).
+#[track_caller]
+pub fn to_hilbert<S: Scalar>(src: MatRef<'_, S>, op: Op, layout: &HilbertLayout, dst: &mut [S]) {
+    let (lr, lc) = op.apply_dims(src.rows(), src.cols());
+    assert_eq!(dst.len(), layout.len(), "destination buffer length mismatch");
+    assert!(lr <= layout.rows() && lc <= layout.cols(), "logical matrix does not fit");
+    let (tm, tn) = (layout.tile_rows, layout.tile_cols);
+    let tile_len = layout.tile_len();
+
+    for (d, tile) in dst.chunks_exact_mut(tile_len).enumerate() {
+        let (tr, tc) = hilbert_d2xy(layout.depth, d);
+        let row0 = tr * tm;
+        let col0 = tc * tn;
+        let live_r = lr.saturating_sub(row0).min(tm);
+        let live_c = lc.saturating_sub(col0).min(tn);
+        if live_r == 0 || live_c == 0 {
+            tile.fill(S::ZERO);
+            continue;
+        }
+        for jj in 0..tn {
+            let dst_col = &mut tile[jj * tm..(jj + 1) * tm];
+            if jj < live_c {
+                for (ii, dv) in dst_col.iter_mut().enumerate() {
+                    *dv = if ii < live_r {
+                        match op {
+                            Op::NoTrans => src.get(row0 + ii, col0 + jj),
+                            Op::Trans => src.get(col0 + jj, row0 + ii),
+                        }
+                    } else {
+                        S::ZERO
+                    };
+                }
+            } else {
+                dst_col.fill(S::ZERO);
+            }
+        }
+    }
+}
+
+/// Unpacks the live region from a Hilbert buffer into a column-major
+/// view.
+#[track_caller]
+pub fn from_hilbert<S: Scalar>(src: &[S], layout: &HilbertLayout, mut dst: MatMut<'_, S>) {
+    let (lr, lc) = dst.dims();
+    assert_eq!(src.len(), layout.len(), "source buffer length mismatch");
+    assert!(lr <= layout.rows() && lc <= layout.cols(), "destination exceeds padded matrix");
+    let (tm, tn) = (layout.tile_rows, layout.tile_cols);
+    let tile_len = layout.tile_len();
+
+    for (d, tile) in src.chunks_exact(tile_len).enumerate() {
+        let (tr, tc) = hilbert_d2xy(layout.depth, d);
+        let row0 = tr * tm;
+        let col0 = tc * tn;
+        let live_r = lr.saturating_sub(row0).min(tm);
+        let live_c = lc.saturating_sub(col0).min(tn);
+        if live_r == 0 {
+            continue;
+        }
+        for jj in 0..live_c {
+            let src_col = &tile[jj * tm..jj * tm + live_r];
+            dst.col_mut(col0 + jj)[row0..row0 + live_r].copy_from_slice(src_col);
+        }
+    }
+}
+
+/// Mean Manhattan distance between the grid positions of consecutive
+/// buffer tiles — the streaming-locality figure of merit (1.0 is optimal
+/// and is achieved exactly by the Hilbert curve).
+pub fn tile_order_locality(codes_to_grid: impl Fn(usize) -> (usize, usize), tiles: usize) -> f64 {
+    if tiles < 2 {
+        return 0.0;
+    }
+    let mut total = 0usize;
+    let mut prev = codes_to_grid(0);
+    for d in 1..tiles {
+        let cur = codes_to_grid(d);
+        total += prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1);
+        prev = cur;
+    }
+    total as f64 / (tiles - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{deinterleave2, MortonLayout};
+    use modgemm_mat::gen::coordinate_matrix;
+    use modgemm_mat::Matrix;
+
+    #[test]
+    fn curve_is_a_bijection() {
+        for order in 0..=5 {
+            let n = 1usize << order;
+            let mut seen = vec![false; n * n];
+            for d in 0..n * n {
+                let (x, y) = hilbert_d2xy(order, d);
+                assert!(x < n && y < n);
+                let idx = x * n + y;
+                assert!(!seen[idx], "order {order}: ({x},{y}) visited twice");
+                seen[idx] = true;
+                assert_eq!(hilbert_xy2d(order, x, y), d, "inverse mismatch at d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_curve_points_are_grid_neighbours() {
+        // The defining Hilbert property — and a strong correctness oracle.
+        for order in 1..=6 {
+            let n = 1usize << order;
+            let mut prev = hilbert_d2xy(order, 0);
+            for d in 1..n * n {
+                let cur = hilbert_d2xy(order, d);
+                let dist = prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1);
+                assert_eq!(dist, 1, "order {order}: jump of {dist} at d = {d}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_locality_beats_morton() {
+        let depth = 4;
+        let tiles = 1usize << (2 * depth);
+        let h = tile_order_locality(|d| hilbert_d2xy(depth, d), tiles);
+        let m = tile_order_locality(|d| deinterleave2(d, depth), tiles);
+        assert_eq!(h, 1.0, "Hilbert is unit-stride on the grid");
+        assert!(m > 1.0, "Morton jumps at quadrant boundaries: {m}");
+    }
+
+    #[test]
+    fn layout_offsets_are_a_permutation() {
+        let l = HilbertLayout::new(3, 2, 2);
+        let mut seen = vec![false; l.len()];
+        for i in 0..l.rows() {
+            for j in 0..l.cols() {
+                let o = l.elem_offset(i, j);
+                assert!(!seen[o], "duplicate offset {o}");
+                seen[o] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn conversion_roundtrip_with_padding() {
+        for (rows, cols, l) in [
+            (8usize, 8usize, HilbertLayout::new(4, 4, 1)),
+            (7, 6, HilbertLayout::new(4, 4, 1)),
+            (21, 19, HilbertLayout::new(3, 5, 3)),
+            (1, 1, HilbertLayout::new(4, 4, 2)),
+        ] {
+            let m: Matrix<i64> = coordinate_matrix(rows, cols);
+            let mut buf = vec![-7i64; l.len()];
+            to_hilbert(m.view(), Op::NoTrans, &l, &mut buf);
+            let mut out: Matrix<i64> = Matrix::zeros(rows, cols);
+            from_hilbert(&buf, &l, out.view_mut());
+            assert_eq!(out, m, "{rows}x{cols} {l:?}");
+        }
+    }
+
+    #[test]
+    fn transpose_fused_into_pack() {
+        let m: Matrix<i64> = coordinate_matrix(6, 9);
+        let l = HilbertLayout::new(5, 4, 1); // holds 9x6
+        let mut buf = vec![0i64; l.len()];
+        to_hilbert(m.view(), Op::Trans, &l, &mut buf);
+        for i in 0..9 {
+            for j in 0..6 {
+                assert_eq!(buf[l.elem_offset(i, j)], m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_and_morton_hold_the_same_elements() {
+        let m: Matrix<i64> = coordinate_matrix(12, 12);
+        let hl = HilbertLayout::new(3, 3, 2);
+        let ml = MortonLayout::new(3, 3, 2);
+        let mut hb = vec![0i64; hl.len()];
+        let mut mb = vec![0i64; ml.len()];
+        to_hilbert(m.view(), Op::NoTrans, &hl, &mut hb);
+        crate::convert::to_morton(m.view(), Op::NoTrans, &ml, &mut mb);
+        let mut hs = hb.clone();
+        let mut ms = mb.clone();
+        hs.sort_unstable();
+        ms.sort_unstable();
+        assert_eq!(hs, ms, "same multiset of elements, different order");
+        assert_ne!(hb, mb, "orders genuinely differ");
+    }
+}

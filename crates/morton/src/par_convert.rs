@@ -1,0 +1,211 @@
+//! Multi-threaded Morton conversion.
+//!
+//! Figure 7 of the paper shows conversion costing 5–15% of total execution
+//! time; since tiles are independent, the conversion parallelizes
+//! trivially. The pack parallelizes over contiguous chunks of the Morton
+//! buffer (each worker owns a disjoint range of tiles); the unpack
+//! parallelizes over tile *columns* so each worker owns a disjoint block
+//! of destination columns.
+
+use modgemm_mat::view::{MatMut, MatRef, Op};
+use modgemm_mat::Scalar;
+
+use crate::convert;
+use crate::layout::{deinterleave2, MortonLayout};
+
+/// Minimum per-worker element count below which threading is not worth
+/// spawning.
+const PAR_THRESHOLD: usize = 64 * 1024;
+
+fn worker_count(total_elems: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(total_elems / PAR_THRESHOLD).max(1)
+}
+
+/// Parallel version of [`convert::to_morton`].
+#[track_caller]
+pub fn par_to_morton<S: Scalar>(src: MatRef<'_, S>, op: Op, layout: &MortonLayout, dst: &mut [S]) {
+    let (lr, lc) = op.apply_dims(src.rows(), src.cols());
+    assert_eq!(dst.len(), layout.len(), "destination buffer length mismatch");
+    assert!(lr <= layout.rows() && lc <= layout.cols(), "logical matrix does not fit");
+
+    let workers = worker_count(layout.len());
+    if workers <= 1 {
+        convert::to_morton(src, op, layout, dst);
+        return;
+    }
+
+    let tile_len = layout.tile_len();
+    let tiles = layout.len() / tile_len;
+    let tiles_per = tiles.div_ceil(workers);
+    let (tm, tn) = (layout.tile_rows, layout.tile_cols);
+
+    std::thread::scope(|scope| {
+        for (w, chunk) in dst.chunks_mut(tiles_per * tile_len).enumerate() {
+            let src = src; // MatRef is Copy + Sync.
+            scope.spawn(move || {
+                let z0 = w * tiles_per;
+                for (dz, tile) in chunk.chunks_exact_mut(tile_len).enumerate() {
+                    let (tr, tc) = deinterleave2(z0 + dz, layout.depth);
+                    let row0 = tr * tm;
+                    let col0 = tc * tn;
+                    let live_r = lr.saturating_sub(row0).min(tm);
+                    let live_c = lc.saturating_sub(col0).min(tn);
+                    if live_r == 0 || live_c == 0 {
+                        tile.fill(S::ZERO);
+                        continue;
+                    }
+                    match op {
+                        Op::NoTrans => {
+                            for jj in 0..live_c {
+                                let dst_col = &mut tile[jj * tm..(jj + 1) * tm];
+                                dst_col[..live_r]
+                                    .copy_from_slice(&src.col(col0 + jj)[row0..row0 + live_r]);
+                                dst_col[live_r..].fill(S::ZERO);
+                            }
+                        }
+                        Op::Trans => {
+                            for jj in 0..live_c {
+                                let dst_col = &mut tile[jj * tm..(jj + 1) * tm];
+                                for (ii, d) in dst_col.iter_mut().enumerate().take(live_r) {
+                                    *d = src.get(col0 + jj, row0 + ii);
+                                }
+                                dst_col[live_r..].fill(S::ZERO);
+                            }
+                        }
+                    }
+                    if live_c < tn {
+                        tile[live_c * tm..].fill(S::ZERO);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Parallel version of [`convert::from_morton`]: workers own disjoint
+/// column blocks of the destination.
+#[track_caller]
+pub fn par_from_morton<S: Scalar>(src: &[S], layout: &MortonLayout, mut dst: MatMut<'_, S>) {
+    let (lr, lc) = dst.dims();
+    assert_eq!(src.len(), layout.len(), "source buffer length mismatch");
+    assert!(lr <= layout.rows() && lc <= layout.cols(), "destination exceeds padded matrix");
+
+    let workers = worker_count(layout.len());
+    if workers <= 1 {
+        convert::from_morton(src, layout, dst);
+        return;
+    }
+
+    let tn = layout.tile_cols;
+    let tile_cols_total = layout.grid();
+    let tcs_per = tile_cols_total.div_ceil(workers);
+
+    // Carve the destination into disjoint column blocks, one per worker.
+    let mut blocks: Vec<(usize, MatMut<'_, S>)> = Vec::new();
+    let mut rest = dst.reborrow();
+    let mut col0 = 0usize;
+    for w in 0..workers {
+        let tc0 = w * tcs_per;
+        if tc0 >= tile_cols_total || col0 >= lc {
+            break;
+        }
+        let width = ((tc0 + tcs_per) * tn).min(lc) - col0;
+        if width == 0 {
+            break;
+        }
+        let (blk, r) = split_cols(rest, width);
+        blocks.push((tc0, blk));
+        rest = r;
+        col0 += width;
+    }
+
+    std::thread::scope(|scope| {
+        for (tc0, mut blk) in blocks {
+            scope.spawn(move || {
+                let (tm, tn) = (layout.tile_rows, layout.tile_cols);
+                let (br, bc) = blk.dims();
+                for tc in tc0.. {
+                    let blk_col0 = tc * tn - tc0 * tn;
+                    if blk_col0 >= bc {
+                        break;
+                    }
+                    for tr in 0..layout.grid() {
+                        let row0 = tr * tm;
+                        let live_r = br.saturating_sub(row0).min(tm);
+                        if live_r == 0 {
+                            break;
+                        }
+                        let live_c = bc.saturating_sub(blk_col0).min(tn);
+                        let tile0 = layout.tile_offset(tr, tc);
+                        for jj in 0..live_c {
+                            let src_col = &src[tile0 + jj * tm..tile0 + jj * tm + live_r];
+                            blk.col_mut(blk_col0 + jj)[row0..row0 + live_r]
+                                .copy_from_slice(src_col);
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Splits a mutable view into its first `width` columns and the rest.
+fn split_cols<S: Scalar>(v: MatMut<'_, S>, width: usize) -> (MatMut<'_, S>, MatMut<'_, S>) {
+    let (rows, cols) = v.dims();
+    assert!(width <= cols);
+    let (nw, ne, _, _) = v.split_quad(rows, width);
+    (nw, ne)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modgemm_mat::gen::coordinate_matrix;
+    use modgemm_mat::Matrix;
+
+    #[test]
+    fn parallel_pack_matches_serial() {
+        // Big enough to actually engage multiple workers.
+        let m: Matrix<f64> = coordinate_matrix(600, 600);
+        let layout = MortonLayout::new(38, 38, 4); // 608x608 padded.
+        let mut serial = vec![0.0; layout.len()];
+        convert::to_morton(m.view(), Op::NoTrans, &layout, &mut serial);
+        let mut par = vec![1.0; layout.len()];
+        par_to_morton(m.view(), Op::NoTrans, &layout, &mut par);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn parallel_pack_with_transpose() {
+        let m: Matrix<f64> = coordinate_matrix(500, 600);
+        let layout = MortonLayout::new(38, 32, 4); // 608x512 padded, holds 600x500.
+        let mut serial = vec![0.0; layout.len()];
+        convert::to_morton(m.view(), Op::Trans, &layout, &mut serial);
+        let mut par = vec![1.0; layout.len()];
+        par_to_morton(m.view(), Op::Trans, &layout, &mut par);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn parallel_unpack_matches_serial() {
+        let m: Matrix<f64> = coordinate_matrix(600, 600);
+        let layout = MortonLayout::new(38, 38, 4);
+        let mut buf = vec![0.0; layout.len()];
+        convert::to_morton(m.view(), Op::NoTrans, &layout, &mut buf);
+        let mut out: Matrix<f64> = Matrix::zeros(600, 600);
+        par_from_morton(&buf, &layout, out.view_mut());
+        assert_eq!(out, m);
+    }
+
+    #[test]
+    fn small_problems_fall_back_to_serial() {
+        let m: Matrix<f64> = coordinate_matrix(10, 10);
+        let layout = MortonLayout::new(5, 5, 1);
+        let mut buf = vec![0.0; layout.len()];
+        par_to_morton(m.view(), Op::NoTrans, &layout, &mut buf);
+        let mut out: Matrix<f64> = Matrix::zeros(10, 10);
+        par_from_morton(&buf, &layout, out.view_mut());
+        assert_eq!(out, m);
+    }
+}

@@ -1,0 +1,60 @@
+//! Visualize the Morton layout: the Figure 1 tile-numbering grid, the
+//! quadrant structure, and the dynamic tile-size selection of Figure 2.
+//!
+//! ```sh
+//! cargo run --release --example layout_explorer           # defaults
+//! cargo run --release --example layout_explorer 513       # explain one n
+//! ```
+
+use modgemm::morton::layout::tile_number_grid;
+use modgemm::morton::tiling::{choose_dim_tiling, feasible_depths, fixed_tile_tiling, TileRange};
+use modgemm::morton::MortonLayout;
+
+fn main() {
+    // --- Figure 1: the 8x8 tile grid ------------------------------------
+    let layout = MortonLayout::new(4, 4, 3);
+    println!("Figure 1 — Morton tile numbering (8x8 tiles, NW,NE,SW,SE order):");
+    for row in tile_number_grid(&layout) {
+        let cells: Vec<String> = row.iter().map(|z| format!("{z:>3}")).collect();
+        println!("  {}", cells.join(" "));
+    }
+
+    // --- Quadrant contiguity --------------------------------------------
+    println!("\nQuadrant buffer regions (each contiguous — the property MODGEMM exploits):");
+    let q = layout.quadrant_len();
+    for (name, off) in [("NW/X11", 0), ("NE/X12", q), ("SW/X21", 2 * q), ("SE/X22", 3 * q)] {
+        println!("  {name}: offsets {off}..{}", off + q);
+    }
+
+    // --- Tile selection for a given n ------------------------------------
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(513);
+    let range = TileRange::PAPER;
+    println!("\nDynamic truncation-point selection for n = {n} (range [{}, {}]):", range.min, range.max);
+    for d in feasible_depths(n, range) {
+        let t = modgemm::morton::tiling::tile_at_depth(n, d, range);
+        let padded = t << d;
+        println!(
+            "  depth {d}: tile {t:>3} → padded {padded:>5} (padding {:>4}){}",
+            padded - n,
+            if choose_dim_tiling(n, range).depth == d { "   ← chosen" } else { "" }
+        );
+    }
+    let fixed = fixed_tile_tiling(n, 32);
+    println!(
+        "  fixed tile 32 would need depth {} → padded {} (padding {})",
+        fixed.depth,
+        fixed.padded,
+        fixed.padded - n
+    );
+
+    let chosen = choose_dim_tiling(n, range);
+    let l = MortonLayout::new(chosen.tile, chosen.tile, chosen.depth);
+    println!(
+        "\nChosen layout: {} tiles of {}x{} = {} elements ({} bytes per f64 tile — L1-resident)",
+        l.grid() * l.grid(),
+        l.tile_rows,
+        l.tile_cols,
+        l.len(),
+        l.tile_len() * 8
+    );
+}

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Render the paper-style figures from the CSV blocks in results/*.txt.
+
+Usage:
+    python3 scripts/plot_figures.py [results_dir] [out_dir]
+
+Each experiment driver prints an aligned table followed by a `-- csv --`
+block; this script extracts the CSV and produces one PNG per figure,
+styled after the paper's plots (normalized-time curves, miss-ratio
+curves, padding staircases). Requires matplotlib.
+"""
+
+import csv
+import io
+import pathlib
+import sys
+
+
+def read_csv_blocks(path: pathlib.Path):
+    """Returns the list of CSV blocks (as lists of dicts) in a results file."""
+    blocks, current = [], []
+    in_csv = False
+    for line in path.read_text().splitlines():
+        if line.strip() == "-- csv --":
+            in_csv = True
+            current = []
+            continue
+        if in_csv:
+            if line and (line[0].isdigit() or ("," in line and not current)):
+                current.append(line)
+            else:
+                if current:
+                    blocks.append(current)
+                in_csv = False
+    if in_csv and current:
+        blocks.append(current)
+    out = []
+    for block in blocks:
+        reader = csv.DictReader(io.StringIO("\n".join(block)))
+        out.append(list(reader))
+    return out
+
+
+def main():
+    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    outdir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "results/plots")
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    def save(fig, name):
+        fig.tight_layout()
+        fig.savefig(outdir / name, dpi = 150)
+        plt.close(fig)
+        print(f"wrote {outdir / name}")
+
+    # Figure 2: padding vs n.
+    f = results / "fig2_padding.txt"
+    if f.exists():
+        rows = read_csv_blocks(f)[0]
+        n = [int(r["n"]) for r in rows]
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        ax.plot(n, n, label="original n", lw=1, color="gray")
+        ax.plot(n, [int(r["padded_dynamic"]) for r in rows], label="padded (dynamic tile)")
+        ax.plot(n, [int(r["padded_fixed32"]) for r in rows], label="padded (fixed 32)")
+        ax.plot(n, [int(r["tile"]) for r in rows], label="chosen tile", ls="--")
+        ax.set(xlabel="matrix size n", ylabel="elements", title="Figure 2: padding vs matrix size")
+        ax.legend()
+        save(fig, "fig2_padding.png")
+
+    # Figures 5/6: normalized execution time.
+    f = results / "fig5_headline.txt"
+    if f.exists():
+        rows = read_csv_blocks(f)[0]
+        n = [int(r["n"]) for r in rows]
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        for col, label in [
+            ("modgemm/dgefmm", "MODGEMM / DGEFMM"),
+            ("dgemmw/dgefmm", "DGEMMW / DGEFMM"),
+            ("bailey/dgefmm", "Bailey / DGEFMM"),
+            ("conv/dgefmm", "conventional / DGEFMM"),
+        ]:
+            if col in rows[0]:
+                ax.plot(n, [float(r[col]) for r in rows], marker=".", label=label)
+        ax.axhline(1.0, color="gray", lw=1)
+        ax.set(xlabel="matrix size n", ylabel="time / DGEFMM",
+               title="Figures 5/6: normalized execution time")
+        ax.legend()
+        save(fig, "fig56_normalized.png")
+
+    # Figure 7: conversion share.
+    f = results / "fig7_conversion.txt"
+    if f.exists():
+        rows = read_csv_blocks(f)[0]
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        ax.plot([int(r["n"]) for r in rows], [float(r["conversion_pct"]) for r in rows], marker=".")
+        ax.set(xlabel="matrix size n", ylabel="conversion % of total",
+               title="Figure 7: Morton conversion share", ylim=(0, None))
+        save(fig, "fig7_conversion.png")
+
+    # Figure 8: no-conversion ratio.
+    f = results / "fig8_noconv.txt"
+    if f.exists():
+        rows = read_csv_blocks(f)[0]
+        n = [int(r["n"]) for r in rows]
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        ax.plot(n, [float(r["noconv/dgefmm"]) for r in rows], marker=".", label="MODGEMM (no conversion)")
+        ax.plot(n, [float(r["conv/dgefmm"]) for r in rows], marker=".", label="MODGEMM (with conversion)")
+        ax.axhline(1.0, color="gray", lw=1)
+        ax.set(xlabel="matrix size n", ylabel="time / DGEFMM",
+               title="Figure 8: MODGEMM without conversion")
+        ax.legend()
+        save(fig, "fig8_noconv.png")
+
+    # Figure 9: miss ratios.
+    f = results / "fig9_cachesim.txt"
+    if f.exists():
+        rows = read_csv_blocks(f)[0]
+        n = [int(r["n"]) for r in rows]
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        for col, label in [
+            ("modgemm_miss_pct", "MODGEMM"),
+            ("dgefmm_miss_pct", "DGEFMM"),
+            ("dgemmw_miss_pct", "DGEMMW"),
+            ("conv_miss_pct", "conventional"),
+        ]:
+            if col in rows[0]:
+                ax.plot(n, [float(r[col]) for r in rows], marker=".", label=label)
+        ax.set(xlabel="matrix size n", ylabel="miss ratio (%)",
+               title="Figure 9: 16KB direct-mapped miss ratios", ylim=(0, None))
+        ax.legend()
+        save(fig, "fig9_missratio.png")
+
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+//! Cross-implementation agreement: MODGEMM, DGEFMM, DGEMMW, and the
+//! conventional baseline must compute the same product (up to
+//! Strassen-grade roundoff) for the same inputs — the precondition for
+//! every comparison in the paper's §4.
+
+use modgemm::baselines::{conventional_gemm, dgefmm, dgemmw, DgefmmConfig, DgemmwConfig};
+use modgemm::core::{modgemm, ModgemmConfig};
+use modgemm::mat::gen::random_matrix;
+use modgemm::mat::naive::naive_gemm;
+use modgemm::mat::norms::assert_matrix_eq;
+use modgemm::mat::{Matrix, Op};
+
+fn check_all(m: usize, k: usize, n: usize, alpha: f64, beta: f64, op_a: Op, op_b: Op, seed: u64) {
+    let (ar, ac) = op_a.apply_dims(m, k);
+    let (br, bc) = op_b.apply_dims(k, n);
+    let a: Matrix<f64> = random_matrix(ar, ac, seed);
+    let b: Matrix<f64> = random_matrix(br, bc, seed + 1);
+    let c0: Matrix<f64> = random_matrix(m, n, seed + 2);
+
+    let mut oracle = c0.clone();
+    naive_gemm(alpha, op_a, a.view(), op_b, b.view(), beta, oracle.view_mut());
+
+    let mut c = c0.clone();
+    modgemm(alpha, op_a, a.view(), op_b, b.view(), beta, c.view_mut(), &ModgemmConfig::paper());
+    assert_matrix_eq(c.view(), oracle.view(), k);
+
+    let mut c = c0.clone();
+    dgefmm(alpha, op_a, a.view(), op_b, b.view(), beta, c.view_mut(), &DgefmmConfig { truncation: 16 });
+    assert_matrix_eq(c.view(), oracle.view(), k);
+
+    let mut c = c0.clone();
+    dgemmw(alpha, op_a, a.view(), op_b, b.view(), beta, c.view_mut(), &DgemmwConfig { truncation: 16 });
+    assert_matrix_eq(c.view(), oracle.view(), k);
+
+    let mut c = c0.clone();
+    conventional_gemm(alpha, op_a, a.view(), op_b, b.view(), beta, c.view_mut());
+    assert_matrix_eq(c.view(), oracle.view(), k);
+}
+
+#[test]
+fn square_sizes_from_paper_sweep() {
+    for (n, seed) in [(150usize, 1u64), (171, 2), (200, 3), (255, 4)] {
+        check_all(n, n, n, 1.0, 0.0, Op::NoTrans, Op::NoTrans, seed);
+    }
+}
+
+#[test]
+fn sizes_around_powers_of_two() {
+    for (n, seed) in [(127usize, 10u64), (128, 11), (129, 12)] {
+        check_all(n, n, n, 1.0, 0.0, Op::NoTrans, Op::NoTrans, seed);
+    }
+}
+
+#[test]
+fn general_parameters_and_transposes() {
+    check_all(120, 90, 160, 2.0, -0.5, Op::Trans, Op::NoTrans, 20);
+    check_all(77, 133, 99, -1.0, 1.0, Op::NoTrans, Op::Trans, 21);
+    check_all(101, 101, 101, 0.5, 0.25, Op::Trans, Op::Trans, 22);
+}
+
+#[test]
+fn all_implementations_on_integers_are_exact() {
+    // Integer workloads make agreement exact, not just within tolerance.
+    let (m, k, n) = (73, 85, 61);
+    let a: Matrix<i64> = random_matrix(m, k, 30);
+    let b: Matrix<i64> = random_matrix(k, n, 31);
+    let mut expect: Matrix<i64> = Matrix::zeros(m, n);
+    naive_gemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, expect.view_mut());
+
+    let mut c: Matrix<i64> = Matrix::zeros(m, n);
+    modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &ModgemmConfig::paper());
+    assert_eq!(c, expect, "modgemm");
+
+    let mut c: Matrix<i64> = Matrix::zeros(m, n);
+    dgefmm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &DgefmmConfig { truncation: 8 });
+    assert_eq!(c, expect, "dgefmm");
+
+    let mut c: Matrix<i64> = Matrix::zeros(m, n);
+    dgemmw(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &DgemmwConfig { truncation: 8 });
+    assert_eq!(c, expect, "dgemmw");
+}

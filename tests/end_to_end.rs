@@ -1,0 +1,117 @@
+//! End-to-end scenarios a downstream user would actually run: iterative
+//! numerical kernels built on the `modgemm` public API.
+
+use modgemm::core::{modgemm, ModgemmConfig};
+use modgemm::mat::gen::random_matrix;
+use modgemm::mat::naive::naive_product;
+use modgemm::mat::norms::{assert_matrix_eq, frob_norm, max_abs_diff};
+use modgemm::mat::{Matrix, Op};
+
+fn mm(a: &Matrix<f64>, b: &Matrix<f64>, cfg: &ModgemmConfig) -> Matrix<f64> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), cfg);
+    c
+}
+
+#[test]
+fn matrix_power_via_repeated_squaring() {
+    // Compute M^8 by squaring three times and compare against the naive
+    // chain — errors compound across calls, a realistic usage pattern.
+    let n = 120;
+    let cfg = ModgemmConfig::paper();
+    // Scale entries down so powers stay well-conditioned.
+    let m0: Matrix<f64> = {
+        let r: Matrix<f64> = random_matrix(n, n, 1);
+        Matrix::from_fn(n, n, |i, j| r.get(i, j) / n as f64)
+    };
+
+    let mut fast = m0.clone();
+    for _ in 0..3 {
+        fast = mm(&fast, &fast, &cfg);
+    }
+
+    let mut slow = m0.clone();
+    for _ in 0..7 {
+        slow = naive_product(&slow, &m0);
+    }
+
+    let scale = frob_norm(slow.view()).max(1e-30);
+    let diff = max_abs_diff(fast.view(), slow.view());
+    assert!(diff / scale < 1e-10, "relative drift {:.3e}", diff / scale);
+}
+
+#[test]
+fn gram_matrix_with_transpose_interface() {
+    // G = Aᵀ·A must be symmetric (up to roundoff) and PSD-diagonal.
+    let (m, n) = (150, 90);
+    let a: Matrix<f64> = random_matrix(m, n, 2);
+    let cfg = ModgemmConfig::paper();
+    let mut g: Matrix<f64> = Matrix::zeros(n, n);
+    modgemm(1.0, Op::Trans, a.view(), Op::NoTrans, a.view(), 0.0, g.view_mut(), &cfg);
+
+    for i in 0..n {
+        assert!(g.get(i, i) >= 0.0, "diagonal must be nonnegative");
+        for j in 0..n {
+            assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-10, "asymmetry at ({i},{j})");
+        }
+    }
+    let expect = naive_product(&a.transposed(), &a);
+    assert_matrix_eq(g.view(), expect.view(), m);
+}
+
+#[test]
+fn accumulating_block_products() {
+    // C = Σ_i A_i · B_i via β = 1 accumulation (the k-split pattern).
+    let (m, k, n, blocks) = (64, 48, 80, 4);
+    let cfg = ModgemmConfig::paper();
+    let aa: Vec<Matrix<f64>> = (0..blocks).map(|i| random_matrix(m, k, 10 + i as u64)).collect();
+    let bb: Vec<Matrix<f64>> = (0..blocks).map(|i| random_matrix(k, n, 20 + i as u64)).collect();
+
+    let mut c: Matrix<f64> = Matrix::zeros(m, n);
+    for (a, b) in aa.iter().zip(&bb) {
+        modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 1.0, c.view_mut(), &cfg);
+    }
+
+    let mut expect: Matrix<f64> = Matrix::zeros(m, n);
+    for (a, b) in aa.iter().zip(&bb) {
+        let p = naive_product(a, b);
+        for i in 0..m {
+            for j in 0..n {
+                expect.set(i, j, expect.get(i, j) + p.get(i, j));
+            }
+        }
+    }
+    assert_matrix_eq(c.view(), expect.view(), k * blocks);
+}
+
+#[test]
+fn power_iteration_dominant_eigenvalue() {
+    // Power iteration on a symmetric PSD matrix: modgemm drives the
+    // matrix-matrix steps; the dominant eigenvalue must match a naive
+    // run to high precision.
+    let n = 100;
+    let cfg = ModgemmConfig::paper();
+    let a: Matrix<f64> = random_matrix(n, n, 3);
+    // S = AᵀA is symmetric PSD.
+    let mut s: Matrix<f64> = Matrix::zeros(n, n);
+    modgemm(1.0, Op::Trans, a.view(), Op::NoTrans, a.view(), 0.0, s.view_mut(), &cfg);
+
+    // Iterate on an n×1 block (matrix-vector through the same interface).
+    let mut v: Matrix<f64> = random_matrix(n, 1, 4);
+    let mut lambda = 0.0f64;
+    for _ in 0..400 {
+        let mut w: Matrix<f64> = Matrix::zeros(n, 1);
+        modgemm(1.0, Op::NoTrans, s.view(), Op::NoTrans, v.view(), 0.0, w.view_mut(), &cfg);
+        let norm = frob_norm(w.view());
+        lambda = norm / frob_norm(v.view()).max(1e-300);
+        v = Matrix::from_fn(n, 1, |i, _| w.get(i, 0) / norm);
+    }
+
+    // Rayleigh quotient check: ‖S·v − λ·v‖ small.
+    let mut sv: Matrix<f64> = Matrix::zeros(n, 1);
+    modgemm(1.0, Op::NoTrans, s.view(), Op::NoTrans, v.view(), 0.0, sv.view_mut(), &cfg);
+    let resid = (0..n)
+        .map(|i| (sv.get(i, 0) - lambda * v.get(i, 0)).abs())
+        .fold(0.0f64, f64::max);
+    assert!(resid < 1e-5 * lambda.max(1.0), "residual {resid:.3e} for lambda {lambda:.3e}");
+}

@@ -1,0 +1,111 @@
+//! Numerical behaviour of the fast algorithms.
+//!
+//! The paper defers numerical analysis to Higham; these tests pin down
+//! what a user can rely on: Strassen-Winograd's error grows faster than
+//! the conventional algorithm's but stays within the classical
+//! `O(k·scale·ε)`-style envelope our tolerance model encodes, and special
+//! values behave sanely.
+
+use modgemm::baselines::conventional_gemm;
+use modgemm::core::{modgemm, ModgemmConfig};
+use modgemm::mat::gen::random_matrix;
+use modgemm::mat::naive::naive_product;
+use modgemm::mat::norms::{frob_norm, gemm_tolerance, max_abs_diff};
+use modgemm::mat::{Matrix, Op};
+
+fn strassen_error(n: usize, seed: u64) -> f64 {
+    let a: Matrix<f64> = random_matrix(n, n, seed);
+    let b: Matrix<f64> = random_matrix(n, n, seed + 1);
+    let mut c: Matrix<f64> = Matrix::zeros(n, n);
+    modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &ModgemmConfig::paper());
+    let expect = naive_product(&a, &b);
+    max_abs_diff(c.view(), expect.view())
+}
+
+#[test]
+fn error_within_tolerance_model_across_sizes() {
+    for n in [64usize, 150, 256, 333] {
+        let err = strassen_error(n, 7);
+        let tol = gemm_tolerance::<f64>(n, 1.0);
+        assert!(err <= tol, "n = {n}: err {err:.3e} > tol {tol:.3e}");
+        // And the error is not trivially zero — we really do reassociate.
+        if n >= 150 {
+            assert!(err > 0.0, "n = {n}: suspiciously exact");
+        }
+    }
+}
+
+#[test]
+fn identity_products_are_accurate_but_not_exact() {
+    // A·I is NOT bitwise exact under Winograd: intermediate sums like
+    // S2 = A21 + A22 − A11 round before their contributions cancel. It
+    // must still land within a few ulps; exactness is checked separately
+    // on the integer instantiation, where no rounding exists.
+    let n = 130;
+    let a: Matrix<f64> = random_matrix(n, n, 9);
+    let id: Matrix<f64> = Matrix::identity(n);
+    let mut c: Matrix<f64> = Matrix::zeros(n, n);
+    modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, id.view(), 0.0, c.view_mut(), &ModgemmConfig::paper());
+    assert!(max_abs_diff(c.view(), a.view()) < 64.0 * f64::EPSILON);
+    modgemm(1.0, Op::NoTrans, id.view(), Op::NoTrans, a.view(), 0.0, c.view_mut(), &ModgemmConfig::paper());
+    assert!(max_abs_diff(c.view(), a.view()) < 64.0 * f64::EPSILON);
+
+    let ai: Matrix<i64> = random_matrix(n, n, 9);
+    let idi: Matrix<i64> = Matrix::identity(n);
+    let mut ci: Matrix<i64> = Matrix::zeros(n, n);
+    modgemm(1, Op::NoTrans, ai.view(), Op::NoTrans, idi.view(), 0, ci.view_mut(), &ModgemmConfig::paper());
+    assert_eq!(ci, ai, "integer identity product must be exact");
+}
+
+#[test]
+fn zero_matrices_stay_zero() {
+    let n = 100;
+    let a: Matrix<f64> = Matrix::zeros(n, n);
+    let b: Matrix<f64> = random_matrix(n, n, 11);
+    let mut c: Matrix<f64> = Matrix::zeros(n, n);
+    modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &ModgemmConfig::paper());
+    assert!(c.as_slice().iter().all(|&x| x == 0.0));
+}
+
+#[test]
+fn scaling_linearity_is_respected() {
+    // gemm(α·A, B) must equal α·gemm(A, B) up to roundoff.
+    let n = 96;
+    let a: Matrix<f64> = random_matrix(n, n, 13);
+    let b: Matrix<f64> = random_matrix(n, n, 14);
+    let cfg = ModgemmConfig::paper();
+
+    let mut c1: Matrix<f64> = Matrix::zeros(n, n);
+    modgemm(2.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c1.view_mut(), &cfg);
+
+    let a2 = Matrix::from_fn(n, n, |i, j| 2.0 * a.get(i, j));
+    let mut c2: Matrix<f64> = Matrix::zeros(n, n);
+    modgemm(1.0, Op::NoTrans, a2.view(), Op::NoTrans, b.view(), 0.0, c2.view_mut(), &cfg);
+
+    let diff = max_abs_diff(c1.view(), c2.view());
+    assert!(diff <= gemm_tolerance::<f64>(n, 2.0), "diff {diff:.3e}");
+}
+
+#[test]
+fn strassen_error_comparable_scale_to_conventional() {
+    // Both algorithms' deviation from the naive oracle should sit well
+    // inside the tolerance envelope; Strassen may be a small constant
+    // factor worse, not orders of magnitude.
+    let n = 256;
+    let a: Matrix<f64> = random_matrix(n, n, 15);
+    let b: Matrix<f64> = random_matrix(n, n, 16);
+    let oracle = naive_product(&a, &b);
+
+    let mut cs: Matrix<f64> = Matrix::zeros(n, n);
+    modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cs.view_mut(), &ModgemmConfig::paper());
+    let err_s = max_abs_diff(cs.view(), oracle.view());
+
+    let mut cc: Matrix<f64> = Matrix::zeros(n, n);
+    conventional_gemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cc.view_mut());
+    let err_c = max_abs_diff(cc.view(), oracle.view());
+
+    let scale = frob_norm(oracle.view()) / n as f64;
+    assert!(err_s <= 1e-11 * scale.max(1.0) * n as f64, "strassen err {err_s:.3e}");
+    // Guard the "orders of magnitude" claim with a generous factor.
+    assert!(err_s <= 1e4 * err_c.max(f64::EPSILON), "strassen {err_s:.3e} vs conventional {err_c:.3e}");
+}

@@ -1,0 +1,52 @@
+//! The `modgemm::prelude` surface: everything a typical caller needs,
+//! importable with one line.
+
+use modgemm::prelude::*;
+
+#[test]
+fn prelude_covers_the_typical_call() {
+    let a: Matrix<f64> = Matrix::from_fn(20, 30, |i, j| (i + 2 * j) as f64 / 10.0);
+    let b: Matrix<f64> = Matrix::from_fn(30, 10, |i, j| (3 * i + j) as f64 / 10.0);
+    let mut c: Matrix<f64> = Matrix::zeros(20, 10);
+    let cfg = ModgemmConfig::paper();
+    modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg);
+
+    let mut expect: Matrix<f64> = Matrix::zeros(20, 10);
+    modgemm::mat::naive::naive_mul(a.view(), b.view(), expect.view_mut());
+    modgemm::mat::norms::assert_matrix_eq(c.view(), expect.view(), 30);
+}
+
+#[test]
+fn prelude_exposes_configuration_types() {
+    let cfg = ModgemmConfig {
+        truncation: Truncation::MinPadding(TileRange::new(8, 32)),
+        variant: Variant::Strassen,
+        ..ModgemmConfig::paper()
+    };
+    assert!(cfg.plan(100, 100, 100).is_some());
+
+    let layout = MortonLayout::new(16, 16, 2);
+    assert_eq!(layout.rows(), 64);
+
+    let mut ctx: GemmContext<f64> = GemmContext::new();
+    ctx.reserve_for(64, 64, 64, &cfg);
+    assert!(ctx.footprint() > 0);
+}
+
+#[test]
+fn prelude_fallible_entry_point() {
+    let a: Matrix<f64> = Matrix::zeros(3, 4);
+    let b: Matrix<f64> = Matrix::zeros(5, 2);
+    let mut c: Matrix<f64> = Matrix::zeros(3, 2);
+    assert!(try_modgemm(
+        1.0,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0.0,
+        c.view_mut(),
+        &ModgemmConfig::paper()
+    )
+    .is_err());
+}

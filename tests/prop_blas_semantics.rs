@@ -1,0 +1,116 @@
+//! Property-based tests: for arbitrary dimensions, scalars, and operand
+//! ops, every implementation obeys the BLAS `gemm` contract. Integer
+//! elements make the properties exact (no tolerance juggling), which is
+//! precisely why the element trait has an `i64` instance.
+
+use modgemm::baselines::{dgefmm, dgemmw, DgefmmConfig, DgemmwConfig};
+use modgemm::core::{modgemm, ModgemmConfig, Truncation};
+use modgemm::mat::gen::random_matrix;
+use modgemm::mat::naive::naive_gemm;
+use modgemm::mat::{Matrix, Op};
+use modgemm::morton::tiling::TileRange;
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![Just(Op::NoTrans), Just(Op::Trans)]
+}
+
+/// Small tile range so small proptest cases still exercise real Strassen
+/// recursion (depth ≥ 1 needs min dim ≥ 2·Tmin = 8).
+fn small_cfg() -> ModgemmConfig {
+    ModgemmConfig {
+        truncation: Truncation::MinPadding(TileRange::new(4, 16)),
+        ..ModgemmConfig::paper()
+    }
+}
+
+fn oracle(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: i64,
+    beta: i64,
+    op_a: Op,
+    op_b: Op,
+    seed: u64,
+) -> (Matrix<i64>, Matrix<i64>, Matrix<i64>, Matrix<i64>) {
+    let (ar, ac) = op_a.apply_dims(m, k);
+    let (br, bc) = op_b.apply_dims(k, n);
+    let a: Matrix<i64> = random_matrix(ar, ac, seed);
+    let b: Matrix<i64> = random_matrix(br, bc, seed + 1);
+    let c0: Matrix<i64> = random_matrix(m, n, seed + 2);
+    let mut expect = c0.clone();
+    naive_gemm(alpha, op_a, a.view(), op_b, b.view(), beta, expect.view_mut());
+    (a, b, c0, expect)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn modgemm_obeys_gemm_contract(
+        m in 1usize..80,
+        k in 1usize..80,
+        n in 1usize..80,
+        alpha in -3i64..=3,
+        beta in -3i64..=3,
+        op_a in op_strategy(),
+        op_b in op_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let (a, b, c0, expect) = oracle(m, k, n, alpha, beta, op_a, op_b, seed);
+        let mut c = c0;
+        modgemm(alpha, op_a, a.view(), op_b, b.view(), beta, c.view_mut(), &small_cfg());
+        prop_assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn dgefmm_obeys_gemm_contract(
+        m in 1usize..80,
+        k in 1usize..80,
+        n in 1usize..80,
+        alpha in -3i64..=3,
+        beta in -3i64..=3,
+        op_a in op_strategy(),
+        op_b in op_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let (a, b, c0, expect) = oracle(m, k, n, alpha, beta, op_a, op_b, seed);
+        let mut c = c0;
+        dgefmm(alpha, op_a, a.view(), op_b, b.view(), beta, c.view_mut(),
+               &DgefmmConfig { truncation: 4 });
+        prop_assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn dgemmw_obeys_gemm_contract(
+        m in 1usize..80,
+        k in 1usize..80,
+        n in 1usize..80,
+        alpha in -3i64..=3,
+        beta in -3i64..=3,
+        op_a in op_strategy(),
+        op_b in op_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let (a, b, c0, expect) = oracle(m, k, n, alpha, beta, op_a, op_b, seed);
+        let mut c = c0;
+        dgemmw(alpha, op_a, a.view(), op_b, b.view(), beta, c.view_mut(),
+               &DgemmwConfig { truncation: 4 });
+        prop_assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn rectangular_splitting_is_exact(
+        m in 1usize..40,
+        k in 200usize..400,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        // Force the wide-A/lean-B split path (k much larger than m, n).
+        let (a, b, c0, expect) = oracle(m, k, n, 1, 1, Op::NoTrans, Op::NoTrans, seed);
+        let mut c = c0;
+        modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 1, c.view_mut(), &small_cfg());
+        prop_assert_eq!(c, expect);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests on the Morton layout and tiling invariants.
+
+use modgemm::mat::gen::coordinate_matrix;
+use modgemm::mat::{Matrix, Op};
+use modgemm::morton::convert::{from_morton, morton_get, to_morton};
+use modgemm::morton::tiling::{choose_dim_tiling, choose_joint_tiling, TileRange};
+use modgemm::morton::MortonLayout;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tiling_covers_and_minimizes(
+        x in 1usize..5000,
+        tmin in 2usize..20,
+        extra in 0usize..60,
+    ) {
+        let range = TileRange::new(tmin, tmin + extra);
+        let t = choose_dim_tiling(x, range);
+        // Covers.
+        prop_assert!(t.padded >= x);
+        prop_assert_eq!(t.padded, t.tile << t.depth);
+        // Tile legal: inside range unless a single depth-0 tile.
+        if t.depth > 0 {
+            prop_assert!(t.tile >= range.min && t.tile <= range.max);
+            // Minimal for its depth: one smaller tile would not cover.
+            prop_assert!((t.tile - 1) << t.depth < x);
+        }
+    }
+
+    #[test]
+    fn joint_tiling_shares_depth_and_covers(
+        m in 1usize..2000,
+        k in 1usize..2000,
+        n in 1usize..2000,
+    ) {
+        if let Some(j) = choose_joint_tiling(m, k, n, TileRange::PAPER) {
+            prop_assert_eq!(j.m.depth, j.depth);
+            prop_assert_eq!(j.k.depth, j.depth);
+            prop_assert_eq!(j.n.depth, j.depth);
+            prop_assert!(j.m.padded >= m && j.k.padded >= k && j.n.padded >= n);
+        }
+    }
+
+    #[test]
+    fn morton_offsets_are_a_bijection(
+        tr in 1usize..6,
+        tc in 1usize..6,
+        depth in 0usize..4,
+    ) {
+        let l = MortonLayout::new(tr, tc, depth);
+        let mut seen = vec![false; l.len()];
+        for i in 0..l.rows() {
+            for j in 0..l.cols() {
+                let o = l.elem_offset(i, j);
+                prop_assert!(!seen[o], "offset {} hit twice", o);
+                seen[o] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn conversion_roundtrips_any_live_region(
+        rows in 1usize..60,
+        cols in 1usize..60,
+        tr in 2usize..9,
+        tc in 2usize..9,
+        depth in 0usize..4,
+        transpose in any::<bool>(),
+    ) {
+        let l = MortonLayout::new(tr, tc, depth);
+        // Shrink the live region to fit the padded matrix.
+        let (rows, cols) = (rows.min(l.rows()), cols.min(l.cols()));
+        let op = if transpose { Op::Trans } else { Op::NoTrans };
+        // Stored matrix such that op(stored) is rows x cols.
+        let (sr, sc) = op.apply_dims(rows, cols);
+        let src: Matrix<i64> = coordinate_matrix(sr, sc);
+        let mut buf = vec![-1i64; l.len()];
+        to_morton(src.view(), op, &l, &mut buf);
+
+        // Every live element is where elem_offset says; padding is zero.
+        for i in 0..l.rows() {
+            for j in 0..l.cols() {
+                let v = morton_get(&buf, &l, i, j);
+                if i < rows && j < cols {
+                    let expect = match op {
+                        Op::NoTrans => src.get(i, j),
+                        Op::Trans => src.get(j, i),
+                    };
+                    prop_assert_eq!(v, expect);
+                } else {
+                    prop_assert_eq!(v, 0);
+                }
+            }
+        }
+
+        // Roundtrip.
+        let mut out: Matrix<i64> = Matrix::zeros(rows, cols);
+        from_morton(&buf, &l, out.view_mut());
+        for i in 0..rows {
+            for j in 0..cols {
+                let expect = match op {
+                    Op::NoTrans => src.get(i, j),
+                    Op::Trans => src.get(j, i),
+                };
+                prop_assert_eq!(out.get(i, j), expect);
+            }
+        }
+    }
+}
