@@ -36,6 +36,7 @@ fn pad_to(x: usize, levels: usize) -> usize {
 }
 
 /// `C ← α·op(A)·op(B) + β·C` with static padding and fixed unfolding.
+#[allow(clippy::too_many_arguments)]
 #[track_caller]
 pub fn bailey_gemm<S: Scalar>(
     alpha: S,

@@ -41,11 +41,17 @@ pub fn scale_view<S: Scalar>(beta: S, c: &mut MatMut<'_, S>) {
     }
 }
 
+/// An overwrite multiply callback: computes `D ← A·B` into its third
+/// argument. [`blas_wrap`] wraps one into full GEMM semantics;
+/// [`winograd_step_views`] recurses through one.
+pub type MulCore<'a, S> = dyn FnMut(MatRef<'_, S>, MatRef<'_, S>, MatMut<'_, S>) + 'a;
+
 /// Wraps a `D ← A·B` overwrite core into the full
 /// `C ← α·op(A)·op(B) + β·C` interface.
 ///
 /// # Panics
 /// On dimension mismatch between `op(A)`, `op(B)`, and `C`.
+#[allow(clippy::too_many_arguments)]
 #[track_caller]
 pub fn blas_wrap<S: Scalar>(
     alpha: S,
@@ -55,7 +61,7 @@ pub fn blas_wrap<S: Scalar>(
     b: MatRef<'_, S>,
     beta: S,
     mut c: MatMut<'_, S>,
-    core: &mut dyn FnMut(MatRef<'_, S>, MatRef<'_, S>, MatMut<'_, S>),
+    core: &mut MulCore<'_, S>,
 ) {
     let (m, ka) = op_a.apply_dims(a.rows(), a.cols());
     let (kb, n) = op_b.apply_dims(b.rows(), b.cols());
@@ -108,7 +114,7 @@ pub fn winograd_step_views<S: Scalar>(
     a: MatRef<'_, S>,
     b: MatRef<'_, S>,
     c: MatMut<'_, S>,
-    recurse: &mut dyn FnMut(MatRef<'_, S>, MatRef<'_, S>, MatMut<'_, S>),
+    recurse: &mut MulCore<'_, S>,
 ) {
     use modgemm_mat::addsub::{
         add_assign_view, add_view, rsub_assign_view, sub_assign_view, sub_view,
@@ -159,8 +165,7 @@ pub fn gemv_overwrite<S: Scalar>(a: MatRef<'_, S>, x: &[S], y: &mut [S]) {
     assert_eq!(x.len(), a.cols(), "x length mismatch");
     assert_eq!(y.len(), a.rows(), "y length mismatch");
     y.fill(S::ZERO);
-    for p in 0..a.cols() {
-        let xp = x[p];
+    for (p, &xp) in x.iter().enumerate() {
         for (yi, &ai) in y.iter_mut().zip(a.col(p)) {
             *yi += ai * xp;
         }
@@ -261,8 +266,8 @@ mod tests {
         let a: Matrix<i64> = modgemm_mat::gen::coordinate_matrix(4, 6);
         let r = gather_row(a.view(), 2);
         assert_eq!(r.len(), 6);
-        for j in 0..6 {
-            assert_eq!(r[j], a.get(2, j));
+        for (j, &rj) in r.iter().enumerate() {
+            assert_eq!(rj, a.get(2, j));
         }
     }
 

@@ -50,6 +50,7 @@ impl Default for DgefmmConfig {
 }
 
 /// `C ← α·op(A)·op(B) + β·C` with dynamic peeling.
+#[allow(clippy::too_many_arguments)]
 #[track_caller]
 pub fn dgefmm<S: Scalar>(
     alpha: S,

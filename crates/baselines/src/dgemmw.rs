@@ -49,6 +49,7 @@ impl Default for DgemmwConfig {
 }
 
 /// `C ← α·op(A)·op(B) + β·C` with dynamic overlap.
+#[allow(clippy::too_many_arguments)]
 #[track_caller]
 pub fn dgemmw<S: Scalar>(
     alpha: S,

@@ -271,6 +271,7 @@ fn t_blocked_mul_add(a: View<'_>, b: View<'_>, c: &mut ViewMut<'_>, ctx: &mut Tr
                             for (r, slot) in av.iter_mut().enumerate().take(mb) {
                                 *slot = a.get(ii + i + r, pp + p, ctx);
                             }
+                            #[allow(clippy::needless_range_loop)] // cidx also offsets the B trace
                             for cidx in 0..nb {
                                 let bv = b.get(pp + p, jj + j + cidx, ctx);
                                 for (r, &ar) in av.iter().enumerate().take(mb) {

@@ -8,23 +8,80 @@
 //! dimension bookkeeping (`op(A)` is `m × k`, so the *stored* `A` is
 //! `m × k` or `k × m` depending on `transa`).
 
-use modgemm_mat::view::{MatMut, MatRef, Op};
+use modgemm_mat::view::{required_len, MatMut, MatRef, Op};
 use modgemm_mat::Scalar;
 
 use crate::config::ModgemmConfig;
-use crate::gemm::modgemm;
+use crate::error::{GemmError, Operand};
+use crate::gemm::try_modgemm;
 
-/// Generic raw-slice GEMM: `C ← α·op(A)·op(B) + β·C`.
+/// Validates one raw-slice operand's `(rows, cols, ld)` window against
+/// its backing slice length — the reference-BLAS illegal-argument checks,
+/// as data.
+fn check_operand(
+    operand: Operand,
+    data_len: usize,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+) -> Result<(), GemmError> {
+    let min = rows.max(1);
+    if ld < min {
+        return Err(GemmError::BadLeadingDim { operand, ld, min });
+    }
+    let needed = required_len(rows, cols, ld);
+    if data_len < needed {
+        return Err(GemmError::SliceTooShort { operand, needed, got: data_len });
+    }
+    Ok(())
+}
+
+/// Fallible generic raw-slice GEMM: `C ← α·op(A)·op(B) + β·C`, reporting
+/// every illegal argument as a typed [`GemmError`] instead of panicking.
 ///
 /// `a` must hold a column-major `m × k` matrix when `transa` is
 /// [`Op::NoTrans`] (leading dimension `lda ≥ m`) or `k × m` when
 /// [`Op::Trans`] (`lda ≥ k`); analogously for `b` (`k × n` / `n × k`)
 /// and `c` (always `m × n`, `ldc ≥ m`).
+#[allow(clippy::too_many_arguments)]
+pub fn try_gemm<S: Scalar>(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: S,
+    a: &[S],
+    lda: usize,
+    b: &[S],
+    ldb: usize,
+    beta: S,
+    c: &mut [S],
+    ldc: usize,
+    cfg: &ModgemmConfig,
+) -> Result<(), GemmError> {
+    // Stored dimensions of A and B (op(stored) has the logical dims).
+    let (ar, ac) = transa.apply_dims(m, k);
+    let (br, bc) = transb.apply_dims(k, n);
+    check_operand(Operand::A, a.len(), ar, ac, lda)?;
+    check_operand(Operand::B, b.len(), br, bc, ldb)?;
+    check_operand(Operand::C, c.len(), m, n, ldc)?;
+    // The checks above establish exactly the invariants the view
+    // constructors assert, so these cannot panic.
+    let av = MatRef::from_slice(a, ar, ac, lda);
+    let bv = MatRef::from_slice(b, br, bc, ldb);
+    let cv = MatMut::from_slice(c, m, n, ldc);
+    try_modgemm(alpha, transa, av, transb, bv, beta, cv, cfg)
+}
+
+/// Generic raw-slice GEMM: `C ← α·op(A)·op(B) + β·C`.
+///
+/// See [`try_gemm`] for the operand layout contract.
 ///
 /// # Panics
 /// If a leading dimension is smaller than its matrix's row count or a
 /// slice is too short — the same conditions a reference BLAS treats as
-/// illegal arguments.
+/// illegal arguments ([`try_gemm`] reports them as errors).
 #[allow(clippy::too_many_arguments)]
 #[track_caller]
 pub fn gemm<S: Scalar>(
@@ -43,13 +100,30 @@ pub fn gemm<S: Scalar>(
     ldc: usize,
     cfg: &ModgemmConfig,
 ) {
-    // Stored dimensions of A and B (op(stored) has the logical dims).
-    let (ar, ac) = transa.apply_dims(m, k);
-    let (br, bc) = transb.apply_dims(k, n);
-    let av = MatRef::from_slice(a, ar, ac, lda);
-    let bv = MatRef::from_slice(b, br, bc, ldb);
-    let cv = MatMut::from_slice(c, m, n, ldc);
-    modgemm(alpha, transa, av, transb, bv, beta, cv, cfg);
+    if let Err(e) = try_gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible double-precision raw-slice GEMM.
+#[allow(clippy::too_many_arguments)]
+pub fn try_dgemm(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+    cfg: &ModgemmConfig,
+) -> Result<(), GemmError> {
+    try_gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg)
 }
 
 /// Double-precision raw-slice GEMM (the paper's `dgemm` interface).
@@ -72,6 +146,27 @@ pub fn dgemm(
     cfg: &ModgemmConfig,
 ) {
     gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg)
+}
+
+/// Fallible complex double-precision raw-slice GEMM.
+#[allow(clippy::too_many_arguments)]
+pub fn try_zgemm(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: modgemm_mat::complex::C64,
+    a: &[modgemm_mat::complex::C64],
+    lda: usize,
+    b: &[modgemm_mat::complex::C64],
+    ldb: usize,
+    beta: modgemm_mat::complex::C64,
+    c: &mut [modgemm_mat::complex::C64],
+    ldc: usize,
+    cfg: &ModgemmConfig,
+) -> Result<(), GemmError> {
+    try_gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg)
 }
 
 /// Complex double-precision raw-slice GEMM (Strassen's construction is
@@ -97,6 +192,27 @@ pub fn zgemm(
     gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg)
 }
 
+/// Fallible single-precision raw-slice GEMM.
+#[allow(clippy::too_many_arguments)]
+pub fn try_sgemm(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+    cfg: &ModgemmConfig,
+) -> Result<(), GemmError> {
+    try_gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg)
+}
+
 /// Single-precision raw-slice GEMM.
 #[allow(clippy::too_many_arguments)]
 #[track_caller]
@@ -119,11 +235,59 @@ pub fn sgemm(
     gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg)
 }
 
+/// Fallible batched GEMM: validates the batch lengths and every entry's
+/// buffer before computing, reporting the first problem as a typed error.
+#[allow(clippy::too_many_arguments)]
+pub fn try_gemm_batch<S: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: S,
+    beta: S,
+    a_batch: &[&[S]],
+    b_batch: &[&[S]],
+    c_batch: &mut [&mut [S]],
+    cfg: &ModgemmConfig,
+) -> Result<(), GemmError> {
+    if a_batch.len() != b_batch.len() || a_batch.len() != c_batch.len() {
+        return Err(GemmError::BatchLenMismatch {
+            a: a_batch.len(),
+            b: b_batch.len(),
+            c: c_batch.len(),
+        });
+    }
+    let mut ctx = crate::GemmContext::new();
+    ctx.try_reserve_for(m, k, n, cfg)?;
+    for ((a, b), c) in a_batch.iter().zip(b_batch).zip(c_batch.iter_mut()) {
+        check_operand(Operand::A, a.len(), m, k, m.max(1))?;
+        check_operand(Operand::B, b.len(), k, n, k.max(1))?;
+        check_operand(Operand::C, c.len(), m, n, m.max(1))?;
+        let av = MatRef::from_slice(a, m, k, m.max(1));
+        let bv = MatRef::from_slice(b, k, n, k.max(1));
+        let cv = MatMut::from_slice(c, m, n, m.max(1));
+        crate::gemm::try_modgemm_with_ctx(
+            alpha,
+            Op::NoTrans,
+            av,
+            Op::NoTrans,
+            bv,
+            beta,
+            cv,
+            cfg,
+            &mut ctx,
+        )?;
+    }
+    Ok(())
+}
+
 /// Batched GEMM: applies the same `(α, β)` to a sequence of independent
 /// `m × k × n` problems given as contiguous column-major buffers,
 /// reusing one [`crate::GemmContext`] across the batch so packing and
 /// workspace memory is allocated once. Entries run sequentially;
 /// intra-problem parallelism comes from `cfg.parallel_depth`.
+///
+/// # Panics
+/// On the conditions [`try_gemm_batch`] reports as errors.
 #[allow(clippy::too_many_arguments)]
 #[track_caller]
 pub fn gemm_batch<S: Scalar>(
@@ -137,15 +301,8 @@ pub fn gemm_batch<S: Scalar>(
     c_batch: &mut [&mut [S]],
     cfg: &ModgemmConfig,
 ) {
-    assert_eq!(a_batch.len(), b_batch.len(), "batch length mismatch");
-    assert_eq!(a_batch.len(), c_batch.len(), "batch length mismatch");
-    let mut ctx = crate::GemmContext::new();
-    ctx.reserve_for(m, k, n, cfg);
-    for ((a, b), c) in a_batch.iter().zip(b_batch).zip(c_batch.iter_mut()) {
-        let av = MatRef::from_slice(a, m, k, m.max(1));
-        let bv = MatRef::from_slice(b, k, n, k.max(1));
-        let cv = MatMut::from_slice(c, m, n, m.max(1));
-        crate::gemm::modgemm_with_ctx(alpha, Op::NoTrans, av, Op::NoTrans, bv, beta, cv, cfg, &mut ctx);
+    if let Err(e) = try_gemm_batch(m, n, k, alpha, beta, a_batch, b_batch, c_batch, cfg) {
+        panic!("{e}");
     }
 }
 
@@ -366,5 +523,80 @@ mod tests {
         let b = vec![0.0f64; 100];
         let mut c = vec![0.0f64; 100];
         dgemm(Op::NoTrans, Op::NoTrans, 10, 10, 10, 1.0, &a, 9, &b, 10, 0.0, &mut c, 10, &cfg);
+    }
+
+    #[test]
+    fn try_dgemm_reports_typed_argument_errors() {
+        use crate::error::{GemmError, Operand};
+        let cfg = ModgemmConfig::paper();
+        let a = vec![0.0f64; 100];
+        let b = vec![0.0f64; 100];
+        let mut c = vec![0.0f64; 100];
+        // lda < stored rows.
+        assert_eq!(
+            try_dgemm(Op::NoTrans, Op::NoTrans, 10, 10, 10, 1.0, &a, 9, &b, 10, 0.0, &mut c, 10, &cfg),
+            Err(GemmError::BadLeadingDim { operand: Operand::A, ld: 9, min: 10 })
+        );
+        // ldb only has to cover B's *stored* rows: with transb = Trans the
+        // stored matrix is n×k, so ldb ≥ n.
+        assert_eq!(
+            try_dgemm(Op::NoTrans, Op::Trans, 10, 10, 10, 1.0, &a, 10, &b, 9, 0.0, &mut c, 10, &cfg),
+            Err(GemmError::BadLeadingDim { operand: Operand::B, ld: 9, min: 10 })
+        );
+        // Short C slice: 10 columns at ldc 12 need 9·12 + 10 = 118.
+        assert_eq!(
+            try_dgemm(Op::NoTrans, Op::NoTrans, 10, 10, 10, 1.0, &a, 10, &b, 10, 0.0, &mut c, 12, &cfg),
+            Err(GemmError::SliceTooShort { operand: Operand::C, needed: 118, got: 100 })
+        );
+        // Legal arguments compute.
+        try_dgemm(Op::NoTrans, Op::NoTrans, 10, 10, 10, 1.0, &a, 10, &b, 10, 0.0, &mut c, 10, &cfg)
+            .unwrap();
+    }
+
+    #[test]
+    fn try_variants_cover_all_precisions() {
+        let cfg = ModgemmConfig::paper();
+        let n = 8;
+        let af: Vec<f32> = (0..n * n).map(|x| x as f32).collect();
+        let mut cf = vec![0.0f32; n * n];
+        try_sgemm(Op::NoTrans, Op::NoTrans, n, n, n, 1.0, &af, n, &af, n, 0.0, &mut cf, n, &cfg)
+            .unwrap();
+        use modgemm_mat::complex::C64;
+        let az: Vec<C64> = (0..n * n).map(|x| C64::new(x as f64, 1.0)).collect();
+        let mut cz = vec![C64::ZERO; n * n];
+        try_zgemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            n,
+            n,
+            n,
+            C64::ONE,
+            &az,
+            n,
+            &az,
+            n,
+            C64::ZERO,
+            &mut cz,
+            n,
+            &cfg,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn try_batch_reports_length_mismatch() {
+        use crate::error::GemmError;
+        let cfg = ModgemmConfig::paper();
+        let a = vec![0.0f64; 4];
+        let b = vec![0.0f64; 4];
+        let mut c1 = vec![0.0f64; 4];
+        let mut c2 = vec![0.0f64; 4];
+        let a_refs: Vec<&[f64]> = vec![&a];
+        let b_refs: Vec<&[f64]> = vec![&b];
+        let mut c_refs: Vec<&mut [f64]> = vec![&mut c1, &mut c2];
+        assert_eq!(
+            try_gemm_batch(2, 2, 2, 1.0, 0.0, &a_refs, &b_refs, &mut c_refs, &cfg),
+            Err(GemmError::BatchLenMismatch { a: 1, b: 1, c: 2 })
+        );
     }
 }

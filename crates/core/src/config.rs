@@ -4,6 +4,8 @@ use modgemm_morton::tiling::{
     choose_joint_tiling, fixed_tile_tiling, JointTiling, TileRange,
 };
 
+use crate::error::GemmError;
+
 /// How the recursion truncation point (leaf tile size) is chosen — the
 /// central knob of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,6 +25,77 @@ impl Default for Truncation {
     }
 }
 
+/// A cap on the extra memory the Strassen recursion may claim beyond the
+/// three Morton operand buffers — the axis Boyer et al. (arXiv:0707.2347)
+/// optimize schedules for.
+///
+/// The budget degrades *gracefully*: instead of failing, the executor
+/// drops Strassen recursion levels (each dropped level hands a deeper
+/// slice of the tree to the workspace-free conventional Morton recursion)
+/// until the workspace fits. With a budget of zero the whole multiply
+/// runs conventionally and still returns the right product.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MemoryBudget {
+    /// No cap (the paper's setting): full-depth Strassen workspace,
+    /// roughly `(mk + kn + 2mn)/3` elements.
+    #[default]
+    Unlimited,
+    /// At most this many **bytes** of Strassen workspace. The recursion
+    /// depth shrinks toward the conventional path as needed.
+    MaxWorkspaceBytes(usize),
+}
+
+impl MemoryBudget {
+    /// Largest workspace (in elements of `elem_size` bytes) the budget
+    /// admits.
+    pub fn max_elements(self, elem_size: usize) -> usize {
+        match self {
+            MemoryBudget::Unlimited => usize::MAX,
+            MemoryBudget::MaxWorkspaceBytes(bytes) => bytes / elem_size.max(1),
+        }
+    }
+}
+
+/// What to do when an operand contains `NaN` or `±Inf`.
+///
+/// This matters more for Strassen-Winograd than for conventional GEMM:
+/// the 15 pre-additions can manufacture `Inf − Inf = NaN` in an
+/// intermediate operand whose product then poisons *several* output
+/// quadrants — entries a conventional multiply would have computed as
+/// finite (or as `Inf` of a defensible sign).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NonFinitePolicy {
+    /// No scanning (the paper's setting): non-finite values flow through
+    /// the fast path with Strassen's (reassociated) semantics.
+    #[default]
+    Propagate,
+    /// Scan operands up front and return
+    /// [`GemmError::NonFiniteInput`] instead of computing.
+    Reject,
+    /// Scan operands up front; on a non-finite value, compute with the
+    /// conventional algorithm so IEEE semantics match a reference BLAS.
+    FallbackConventional,
+}
+
+/// Result verification mode for the fallible pipeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// No verification (the paper's setting).
+    #[default]
+    Off,
+    /// Run the Freivalds check ([`crate::verify::verify_gemm`]) after the
+    /// fast path. On failure, recompute once with the conventional
+    /// baseline and re-verify; only if that also fails does the call
+    /// report [`GemmError::VerificationFailed`].
+    Freivalds {
+        /// Verification rounds; a wrong product escapes detection with
+        /// probability at most `2^-rounds`.
+        rounds: u32,
+        /// RNG seed for the probe vectors.
+        seed: u64,
+    },
+}
+
 /// Full MODGEMM configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ModgemmConfig {
@@ -39,6 +112,12 @@ pub struct ModgemmConfig {
     pub parallel_depth: usize,
     /// Use multi-threaded Morton conversion.
     pub parallel_convert: bool,
+    /// Cap on the Strassen workspace; recursion depth degrades to fit.
+    pub memory_budget: MemoryBudget,
+    /// Handling of `NaN`/`Inf` operand values on the fallible path.
+    pub non_finite: NonFinitePolicy,
+    /// Post-hoc result verification on the fallible path.
+    pub verify: VerifyMode,
 }
 
 impl Default for ModgemmConfig {
@@ -49,6 +128,9 @@ impl Default for ModgemmConfig {
             strassen_min: 0,
             parallel_depth: 0,
             parallel_convert: false,
+            memory_budget: MemoryBudget::Unlimited,
+            non_finite: NonFinitePolicy::Propagate,
+            verify: VerifyMode::Off,
         }
     }
 }
@@ -57,6 +139,37 @@ impl ModgemmConfig {
     /// The configuration used for the paper's headline experiments.
     pub fn paper() -> Self {
         Self::default()
+    }
+
+    /// Checks the configuration for self-contradictions. Every `try_*`
+    /// entry point validates before computing, so a bad configuration
+    /// surfaces as [`GemmError::InvalidConfig`] instead of a downstream
+    /// panic or a silent wrong plan.
+    pub fn validate(&self) -> Result<(), GemmError> {
+        match self.truncation {
+            Truncation::Fixed(0) => {
+                return Err(GemmError::InvalidConfig { reason: "fixed tile size must be nonzero" })
+            }
+            Truncation::MinPadding(range) => {
+                if range.min == 0 {
+                    return Err(GemmError::InvalidConfig {
+                        reason: "tile range minimum must be nonzero",
+                    });
+                }
+                if range.min > range.max {
+                    return Err(GemmError::InvalidConfig {
+                        reason: "tile range minimum exceeds maximum",
+                    });
+                }
+            }
+            Truncation::Fixed(_) => {}
+        }
+        if let VerifyMode::Freivalds { rounds: 0, .. } = self.verify {
+            return Err(GemmError::InvalidConfig {
+                reason: "Freivalds verification needs at least one round",
+            });
+        }
+        Ok(())
     }
 
     /// Plans the joint tiling for a `(m, k, n)` problem, or `None` when
@@ -121,5 +234,48 @@ mod tests {
     fn fixed_plan_never_fails() {
         let c = ModgemmConfig { truncation: Truncation::Fixed(64), ..Default::default() };
         assert!(c.plan(10000, 3, 10000).is_some());
+    }
+
+    #[test]
+    fn default_policies_preserve_paper_behavior() {
+        let c = ModgemmConfig::default();
+        assert_eq!(c.memory_budget, MemoryBudget::Unlimited);
+        assert_eq!(c.non_finite, NonFinitePolicy::Propagate);
+        assert_eq!(c.verify, VerifyMode::Off);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_contradictions() {
+        let bad = [
+            ModgemmConfig { truncation: Truncation::Fixed(0), ..Default::default() },
+            ModgemmConfig {
+                truncation: Truncation::MinPadding(TileRange { min: 0, max: 8 }),
+                ..Default::default()
+            },
+            ModgemmConfig {
+                truncation: Truncation::MinPadding(TileRange { min: 9, max: 8 }),
+                ..Default::default()
+            },
+            ModgemmConfig {
+                verify: VerifyMode::Freivalds { rounds: 0, seed: 1 },
+                ..Default::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(
+                matches!(cfg.validate(), Err(GemmError::InvalidConfig { .. })),
+                "{cfg:?} should be invalid"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_converts_bytes_to_elements() {
+        assert_eq!(MemoryBudget::Unlimited.max_elements(8), usize::MAX);
+        assert_eq!(MemoryBudget::MaxWorkspaceBytes(64).max_elements(8), 8);
+        assert_eq!(MemoryBudget::MaxWorkspaceBytes(0).max_elements(8), 0);
+        // Degenerate element size must not divide by zero.
+        assert_eq!(MemoryBudget::MaxWorkspaceBytes(64).max_elements(0), 64);
     }
 }

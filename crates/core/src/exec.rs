@@ -25,6 +25,7 @@ use modgemm_mat::view::{MatMut, MatRef};
 use modgemm_mat::Scalar;
 use modgemm_morton::MortonLayout;
 
+use crate::error::{GemmError, Operand};
 use crate::schedule::{ASlot, AddKind, BSlot, Step, Variant};
 
 /// Controls where the Strassen recursion hands over to the conventional
@@ -106,6 +107,39 @@ pub fn workspace_len(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
     per_level + workspace_len(layouts.child(), policy)
 }
 
+/// Deepest policy whose [`workspace_len`] fits in `max_ws_elems`
+/// elements — the graceful-degradation rule of the memory budget
+/// ([`crate::config::MemoryBudget`]).
+///
+/// Each candidate raises `strassen_min` by one padded recursion level, so
+/// one more level of the tree runs the workspace-free conventional Morton
+/// recursion instead of the Strassen step. `workspace_len` is monotone
+/// non-increasing in `strassen_min`, so the first fit is the deepest.
+/// With `max_ws_elems == 0` the returned policy disables the Strassen
+/// step entirely (still a correct multiply, just conventional).
+pub fn budget_capped_policy(
+    layouts: NodeLayouts,
+    base: ExecPolicy,
+    max_ws_elems: usize,
+) -> ExecPolicy {
+    if workspace_len(layouts, base) <= max_ws_elems {
+        return base;
+    }
+    let (m, k, n) = layouts.dims();
+    let dmin = m.min(k).min(n);
+    // Permitting exactly `lv` Strassen levels: the node at level `j` has
+    // minimum dimension `dmin >> j` (padded dims are `tile << depth`), so
+    // `strassen_min = dmin >> lv` admits levels `0..lv` and hands level
+    // `lv` and below to the conventional recursion.
+    for lv in (1..=layouts.a.depth).rev() {
+        let policy = ExecPolicy { strassen_min: base.strassen_min.max(dmin >> lv), ..base };
+        if workspace_len(layouts, policy) <= max_ws_elems {
+            return policy;
+        }
+    }
+    ExecPolicy { strassen_min: usize::MAX, ..base }
+}
+
 /// Wraps a contiguous Morton leaf tile as a column-major view.
 #[inline]
 fn tile_ref<'t, S: Scalar>(buf: &'t [S], l: &MortonLayout) -> MatRef<'t, S> {
@@ -162,11 +196,57 @@ pub fn morton_mul<S: Scalar>(a: &[S], b: &[S], c: &mut [S], layouts: NodeLayouts
     morton_mul_add(a, b, c, layouts);
 }
 
+/// Fallible core of [`strassen_mul`]: `C = A·B` over Morton buffers with
+/// the Strassen-Winograd recursion truncated per `policy`, reporting
+/// malformed buffers as typed errors instead of panicking.
+///
+/// `ws` must have at least [`workspace_len`] elements
+/// ([`GemmError::WorkspaceTooSmall`] otherwise); its contents are
+/// clobbered.
+pub fn try_strassen_mul<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    ws: &mut [S],
+    policy: ExecPolicy,
+) -> Result<(), GemmError> {
+    check_buffers(a.len(), b.len(), c.len(), layouts)?;
+    let needed = workspace_len(layouts, policy);
+    if ws.len() < needed {
+        return Err(GemmError::WorkspaceTooSmall { needed, got: ws.len() });
+    }
+    node(a, b, c, layouts, ws, policy);
+    Ok(())
+}
+
+/// Validates the three Morton buffer lengths against `layouts`.
+pub(crate) fn check_buffers(
+    a_len: usize,
+    b_len: usize,
+    c_len: usize,
+    layouts: NodeLayouts,
+) -> Result<(), GemmError> {
+    for (operand, needed, got) in [
+        (Operand::A, layouts.a.len(), a_len),
+        (Operand::B, layouts.b.len(), b_len),
+        (Operand::C, layouts.c.len(), c_len),
+    ] {
+        if needed != got {
+            return Err(GemmError::BufferLenMismatch { operand, needed, got });
+        }
+    }
+    Ok(())
+}
+
 /// `C = A·B` over Morton buffers with the Strassen-Winograd recursion
 /// truncated per `policy`.
 ///
 /// `ws` must have at least [`workspace_len`] elements; its contents are
 /// clobbered.
+///
+/// # Panics
+/// On the conditions [`try_strassen_mul`] reports as errors.
 #[track_caller]
 pub fn strassen_mul<S: Scalar>(
     a: &[S],
@@ -176,11 +256,9 @@ pub fn strassen_mul<S: Scalar>(
     ws: &mut [S],
     policy: ExecPolicy,
 ) {
-    assert_eq!(a.len(), layouts.a.len(), "A buffer length mismatch");
-    assert_eq!(b.len(), layouts.b.len(), "B buffer length mismatch");
-    assert_eq!(c.len(), layouts.c.len(), "C buffer length mismatch");
-    assert!(ws.len() >= workspace_len(layouts, policy), "workspace too small");
-    node(a, b, c, layouts, ws, policy);
+    if let Err(e) = try_strassen_mul(a, b, c, layouts, ws, policy) {
+        panic!("{e}");
+    }
 }
 
 fn node<S: Scalar>(
@@ -475,6 +553,80 @@ mod tests {
         let mut c = vec![0.0f64; l.len()];
         let mut ws = vec![0.0f64; 10];
         strassen_mul(&a, &b, &mut c, layouts, &mut ws, ExecPolicy::default());
+    }
+
+    #[test]
+    fn try_strassen_mul_reports_typed_errors() {
+        let l = MortonLayout::new(4, 4, 1);
+        let layouts = NodeLayouts::new(l, l, l);
+        let a = vec![0.0f64; l.len()];
+        let b = vec![0.0f64; l.len()];
+        let mut c = vec![0.0f64; l.len()];
+        let mut ws = vec![0.0f64; 10];
+        assert_eq!(
+            try_strassen_mul(&a, &b, &mut c, layouts, &mut ws, ExecPolicy::default()),
+            Err(GemmError::WorkspaceTooSmall { needed: 64, got: 10 })
+        );
+        let short_a = vec![0.0f64; l.len() - 1];
+        let mut ws = vec![0.0f64; 64];
+        assert_eq!(
+            try_strassen_mul(&short_a, &b, &mut c, layouts, &mut ws, ExecPolicy::default()),
+            Err(GemmError::BufferLenMismatch {
+                operand: Operand::A,
+                needed: l.len(),
+                got: l.len() - 1
+            })
+        );
+        assert_eq!(
+            try_strassen_mul(&a, &b, &mut c, layouts, &mut ws, ExecPolicy::default()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn budget_capping_drops_levels_until_it_fits() {
+        let l = MortonLayout::new(4, 4, 3); // 32x32 of 4x4 tiles
+        let layouts = NodeLayouts::new(l, l, l);
+        let base = ExecPolicy::default();
+        let full = workspace_len(layouts, base);
+        assert!(full > 0);
+
+        // Unlimited budget: the base policy unchanged.
+        assert_eq!(budget_capped_policy(layouts, base, usize::MAX), base);
+        assert_eq!(budget_capped_policy(layouts, base, full), base);
+
+        // One element short of full: exactly one level must drop, and the
+        // capped workspace must actually fit.
+        let capped = budget_capped_policy(layouts, base, full - 1);
+        assert!(capped.strassen_min > base.strassen_min);
+        assert!(workspace_len(layouts, capped) < full);
+        assert!(workspace_len(layouts, capped) > 0, "should keep some Strassen levels");
+
+        // Zero budget: Strassen fully disabled, workspace-free.
+        let none = budget_capped_policy(layouts, base, 0);
+        assert_eq!(workspace_len(layouts, none), 0);
+
+        // Every possible budget yields a fitting policy (monotone sweep).
+        for budget in 0..=full {
+            let p = budget_capped_policy(layouts, base, budget);
+            assert!(workspace_len(layouts, p) <= budget, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn budget_capped_policies_stay_correct() {
+        let l = MortonLayout::new(4, 4, 3);
+        let layouts = NodeLayouts::new(l, l, l);
+        let base = ExecPolicy::default();
+        let full = workspace_len(layouts, base);
+        let a: Matrix<i64> = random_matrix(32, 32, 77);
+        let b: Matrix<i64> = random_matrix(32, 32, 78);
+        let expect = naive_product(&a, &b);
+        for budget in [0, full / 4, full / 2, full] {
+            let policy = budget_capped_policy(layouts, base, budget);
+            let got = run(&a, &b, 4, 4, 4, 3, policy);
+            assert_eq!(got, expect, "budget {budget}");
+        }
     }
 
     #[test]

@@ -18,17 +18,24 @@
 
 use std::time::{Duration, Instant};
 
+use modgemm_mat::naive::naive_gemm;
 use modgemm_mat::view::{MatMut, MatRef, Op};
-use modgemm_mat::Scalar;
+use modgemm_mat::{Matrix, Scalar};
 use modgemm_morton::convert::{from_morton, from_morton_axpby, to_morton};
 use modgemm_morton::par_convert::{par_from_morton, par_to_morton};
 use modgemm_morton::tiling::JointTiling;
 use modgemm_morton::MortonLayout;
 
-use crate::config::ModgemmConfig;
-use crate::exec::{strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
-use crate::parallel::strassen_mul_parallel;
+use crate::config::{ModgemmConfig, NonFinitePolicy, VerifyMode};
+use crate::error::{try_grow, try_zeroed_vec, Operand};
+use crate::exec::{
+    budget_capped_policy, strassen_mul, try_strassen_mul, workspace_len, ExecPolicy, NodeLayouts,
+};
+use crate::parallel::{strassen_mul_parallel, try_strassen_mul_parallel};
 use crate::rect;
+use crate::verify::verify_gemm;
+
+pub use crate::error::GemmError;
 
 /// Wall-clock breakdown of one MODGEMM call (Figure 7's quantities).
 #[derive(Clone, Copy, Debug, Default)]
@@ -159,6 +166,7 @@ pub fn layouts_of(plan: &JointTiling) -> NodeLayouts {
 ///
 /// # Panics
 /// On dimension mismatches between `op(A)`, `op(B)`, and `C`.
+#[allow(clippy::too_many_arguments)]
 #[track_caller]
 pub fn modgemm<S: Scalar>(
     alpha: S,
@@ -173,44 +181,11 @@ pub fn modgemm<S: Scalar>(
     let _ = modgemm_timed(alpha, op_a, a, op_b, b, beta, c, cfg);
 }
 
-/// Typed error for the fallible interface ([`try_modgemm`]); the plain
-/// [`modgemm`] panics on these conditions like a reference BLAS aborting
-/// on an illegal argument.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum GemmError {
-    /// `op(A).cols != op(B).rows`.
-    InnerDimMismatch {
-        /// Columns of `op(A)`.
-        a_cols: usize,
-        /// Rows of `op(B)`.
-        b_rows: usize,
-    },
-    /// `C` is not `op(A).rows × op(B).cols`.
-    OutputDimMismatch {
-        /// Required dimensions.
-        expected: (usize, usize),
-        /// Actual dimensions of `C`.
-        got: (usize, usize),
-    },
-}
-
-impl std::fmt::Display for GemmError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            GemmError::InnerDimMismatch { a_cols, b_rows } => {
-                write!(f, "inner dimensions differ: op(A) has {a_cols} columns, op(B) has {b_rows} rows")
-            }
-            GemmError::OutputDimMismatch { expected, got } => {
-                write!(f, "C must be {}x{}, got {}x{}", expected.0, expected.1, got.0, got.1)
-            }
-        }
-    }
-}
-
-impl std::error::Error for GemmError {}
-
-/// Fallible variant of [`modgemm`]: returns a typed error instead of
-/// panicking on dimension mismatches.
+/// Fallible variant of [`modgemm`]: every illegal argument, resource
+/// failure, rejected non-finite operand, and verification failure comes
+/// back as a typed [`GemmError`] instead of a panic, and the configured
+/// [`crate::config::MemoryBudget`] degrades the recursion depth
+/// gracefully instead of failing.
 #[allow(clippy::too_many_arguments)]
 pub fn try_modgemm<S: Scalar>(
     alpha: S,
@@ -222,16 +197,8 @@ pub fn try_modgemm<S: Scalar>(
     c: MatMut<'_, S>,
     cfg: &ModgemmConfig,
 ) -> Result<(), GemmError> {
-    let (m, ka) = op_a.apply_dims(a.rows(), a.cols());
-    let (kb, n) = op_b.apply_dims(b.rows(), b.cols());
-    if ka != kb {
-        return Err(GemmError::InnerDimMismatch { a_cols: ka, b_rows: kb });
-    }
-    if c.dims() != (m, n) {
-        return Err(GemmError::OutputDimMismatch { expected: (m, n), got: c.dims() });
-    }
-    modgemm(alpha, op_a, a, op_b, b, beta, c, cfg);
-    Ok(())
+    let mut ctx = GemmContext::new();
+    try_modgemm_with_ctx(alpha, op_a, a, op_b, b, beta, c, cfg, &mut ctx).map(|_| ())
 }
 
 /// Reusable buffers for repeated MODGEMM calls: the two Morton operand
@@ -254,29 +221,49 @@ impl<S: Scalar> GemmContext<S> {
 
     /// Pre-sizes the context for an `m × k × n` problem under `cfg`
     /// (no-op for problems that will be split).
+    ///
+    /// # Panics
+    /// On allocation failure; [`Self::try_reserve_for`] reports it.
+    #[track_caller]
     pub fn reserve_for(&mut self, m: usize, k: usize, n: usize, cfg: &ModgemmConfig) {
+        if let Err(e) = self.try_reserve_for(m, k, n, cfg) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`Self::reserve_for`]: surfaces allocation failure as
+    /// [`GemmError::Allocation`]. Sizing honors the configured memory
+    /// budget, matching what execution will actually use.
+    pub fn try_reserve_for(
+        &mut self,
+        m: usize,
+        k: usize,
+        n: usize,
+        cfg: &ModgemmConfig,
+    ) -> Result<(), GemmError> {
         if let Some(plan) = cfg.plan(m, k, n) {
             let layouts = layouts_of(&plan);
-            let policy = ExecPolicy { strassen_min: cfg.strassen_min, variant: cfg.variant };
-            grow(&mut self.a_buf, layouts.a.len());
-            grow(&mut self.b_buf, layouts.b.len());
-            grow(&mut self.c_buf, layouts.c.len());
-            grow(&mut self.ws, workspace_len(layouts, policy));
+            let policy = capped_policy::<S>(layouts, cfg);
+            try_grow(&mut self.a_buf, layouts.a.len())?;
+            try_grow(&mut self.b_buf, layouts.b.len())?;
+            try_grow(&mut self.c_buf, layouts.c.len())?;
+            try_grow(&mut self.ws, workspace_len(layouts, policy))?;
         }
+        Ok(())
     }
 
     /// Total elements currently held.
     pub fn footprint(&self) -> usize {
         self.a_buf.len() + self.b_buf.len() + self.c_buf.len() + self.ws.len()
     }
-}
 
-/// Grows `v` to at least `len` elements, zero-filling new space.
-fn grow<S: Scalar>(v: &mut Vec<S>, len: usize) -> &mut [S] {
-    if v.len() < len {
-        v.resize(len, S::ZERO);
+    /// Elements held by the Strassen workspace alone — the part of
+    /// [`Self::footprint`] that [`crate::config::MemoryBudget`] caps
+    /// (the three Morton conversion buffers are sized by the operands
+    /// and are not subject to the budget).
+    pub fn workspace_footprint(&self) -> usize {
+        self.ws.len()
     }
-    &mut v[..len]
 }
 
 /// [`modgemm`] returning the conversion/compute wall-clock breakdown
@@ -299,6 +286,9 @@ pub fn modgemm_timed<S: Scalar>(
 
 /// [`modgemm`] reusing the buffers of `ctx` (allocation-free once the
 /// context has warmed up to the problem size).
+///
+/// # Panics
+/// On the conditions [`try_modgemm_with_ctx`] reports as errors.
 #[track_caller]
 #[allow(clippy::too_many_arguments)]
 pub fn modgemm_with_ctx<S: Scalar>(
@@ -308,36 +298,129 @@ pub fn modgemm_with_ctx<S: Scalar>(
     op_b: Op,
     b: MatRef<'_, S>,
     beta: S,
-    mut c: MatMut<'_, S>,
+    c: MatMut<'_, S>,
     cfg: &ModgemmConfig,
     ctx: &mut GemmContext<S>,
 ) -> GemmBreakdown {
+    match try_modgemm_with_ctx(alpha, op_a, a, op_b, b, beta, c, cfg, ctx) {
+        Ok(bd) => bd,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// True when some stored entry of `x` is `NaN` or `±Inf` (by magnitude,
+/// so one scan covers real and complex scalars; exact integer types can
+/// never trip it).
+fn has_non_finite<S: Scalar>(x: MatRef<'_, S>) -> bool {
+    (0..x.cols()).any(|j| x.col(j).iter().any(|v| !v.abs_val().to_f64().is_finite()))
+}
+
+/// The fallible pipeline behind every entry point.
+///
+/// Order of operations: configuration validation, dimension checks,
+/// degenerate-case early outs, the [`NonFinitePolicy`] operand scan, the
+/// budget-capped fast computation (planned, or split when the operands
+/// are too rectangular), and finally the [`VerifyMode`] Freivalds check
+/// with one conventional-recompute retry.
+#[allow(clippy::too_many_arguments)]
+pub fn try_modgemm_with_ctx<S: Scalar>(
+    alpha: S,
+    op_a: Op,
+    a: MatRef<'_, S>,
+    op_b: Op,
+    b: MatRef<'_, S>,
+    beta: S,
+    mut c: MatMut<'_, S>,
+    cfg: &ModgemmConfig,
+    ctx: &mut GemmContext<S>,
+) -> Result<GemmBreakdown, GemmError> {
+    cfg.validate()?;
     let (m, ka) = op_a.apply_dims(a.rows(), a.cols());
     let (kb, n) = op_b.apply_dims(b.rows(), b.cols());
-    assert_eq!(ka, kb, "inner dimensions differ: {ka} vs {kb}");
-    assert_eq!(c.dims(), (m, n), "C must be {m}x{n}, got {:?}", c.dims());
+    if ka != kb {
+        return Err(GemmError::InnerDimMismatch { a_cols: ka, b_rows: kb });
+    }
+    if c.dims() != (m, n) {
+        return Err(GemmError::OutputDimMismatch { expected: (m, n), got: c.dims() });
+    }
     let k = ka;
 
     if m == 0 || n == 0 {
-        return GemmBreakdown::default();
+        return Ok(GemmBreakdown::default());
     }
     if k == 0 || alpha == S::ZERO {
         scale_in_place(beta, &mut c);
-        return GemmBreakdown::default();
+        return Ok(GemmBreakdown::default());
     }
 
-    match cfg.plan(m, k, n) {
-        Some(plan) => execute_plan(alpha, op_a, a, op_b, b, beta, c, cfg, &plan, ctx),
+    if cfg.non_finite != NonFinitePolicy::Propagate {
+        let bad = if has_non_finite(a) {
+            Some(Operand::A)
+        } else if has_non_finite(b) {
+            Some(Operand::B)
+        } else {
+            None
+        };
+        if let Some(operand) = bad {
+            return match cfg.non_finite {
+                NonFinitePolicy::Reject => Err(GemmError::NonFiniteInput { operand }),
+                // IEEE semantics of the conventional inner products, with
+                // none of Strassen's NaN-manufacturing reassociation.
+                NonFinitePolicy::FallbackConventional => {
+                    naive_gemm(alpha, op_a, a, op_b, b, beta, c);
+                    Ok(GemmBreakdown::default())
+                }
+                NonFinitePolicy::Propagate => unreachable!("checked above"),
+            };
+        }
+    }
+
+    // Snapshot C₀ before the fast path clobbers it: the Freivalds check
+    // verifies against it, and the conventional retry restarts from it.
+    let c0: Option<Matrix<S>> = if matches!(cfg.verify, VerifyMode::Freivalds { .. }) {
+        let buf = try_zeroed_vec::<S>(m * n)?;
+        let mut snap = Matrix::from_vec(buf, m, n);
+        snap.view_mut().copy_from(c.as_ref());
+        Some(snap)
+    } else {
+        None
+    };
+
+    // Sub-products of a rectangular split skip the per-call scans; this
+    // level already scanned the whole operands and verifies the whole C.
+    let inner_cfg = ModgemmConfig {
+        verify: VerifyMode::Off,
+        non_finite: NonFinitePolicy::Propagate,
+        ..*cfg
+    };
+    let bd = match cfg.plan(m, k, n) {
+        Some(plan) => {
+            try_execute_plan(alpha, op_a, a, op_b, b, beta, c.reborrow(), &inner_cfg, &plan, ctx)?
+        }
         None => {
             // Highly rectangular: split into well-behaved products (the
             // sub-products reuse the same context sequentially).
             let mut total = GemmBreakdown::default();
-            rect::split_gemm(alpha, op_a, a, op_b, b, beta, c, cfg, ctx, &mut |bd| {
+            rect::split_gemm(alpha, op_a, a, op_b, b, beta, c.reborrow(), &inner_cfg, ctx, &mut |bd| {
                 total.accumulate(bd)
-            });
+            })?;
             total
         }
+    };
+
+    if let VerifyMode::Freivalds { rounds, seed } = cfg.verify {
+        let c0 = c0.as_ref().expect("snapshot exists when verification is on");
+        if !verify_gemm(alpha, op_a, a, op_b, b, beta, c0.view(), c.as_ref(), rounds, seed) {
+            // Verified retry: restore C₀, recompute with the conventional
+            // baseline, and re-check before giving up.
+            c.copy_from(c0.view());
+            naive_gemm(alpha, op_a, a, op_b, b, beta, c.reborrow());
+            if !verify_gemm(alpha, op_a, a, op_b, b, beta, c0.view(), c.as_ref(), rounds, seed) {
+                return Err(GemmError::VerificationFailed { rounds });
+            }
+        }
     }
+    Ok(bd)
 }
 
 /// In-place `C ← β·C` honoring the BLAS convention that `β = 0` writes
@@ -358,8 +441,16 @@ fn scale_in_place<S: Scalar>(beta: S, c: &mut MatMut<'_, S>) {
     }
 }
 
+/// The execution policy `cfg` implies for a node of `layouts`, with the
+/// memory budget applied: recursion depth degrades toward the
+/// conventional path until the workspace fits.
+fn capped_policy<S: Scalar>(layouts: NodeLayouts, cfg: &ModgemmConfig) -> ExecPolicy {
+    let base = ExecPolicy { strassen_min: cfg.strassen_min, variant: cfg.variant };
+    budget_capped_policy(layouts, base, cfg.memory_budget.max_elements(core::mem::size_of::<S>()))
+}
+
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn execute_plan<S: Scalar>(
+pub(crate) fn try_execute_plan<S: Scalar>(
     alpha: S,
     op_a: Op,
     a: MatRef<'_, S>,
@@ -370,13 +461,13 @@ pub(crate) fn execute_plan<S: Scalar>(
     cfg: &ModgemmConfig,
     plan: &JointTiling,
     ctx: &mut GemmContext<S>,
-) -> GemmBreakdown {
+) -> Result<GemmBreakdown, GemmError> {
     let layouts = layouts_of(plan);
-    let policy = ExecPolicy { strassen_min: cfg.strassen_min, variant: cfg.variant };
+    let policy = capped_policy::<S>(layouts, cfg);
 
     let t0 = Instant::now();
-    let abuf = grow(&mut ctx.a_buf, layouts.a.len());
-    let bbuf = grow(&mut ctx.b_buf, layouts.b.len());
+    let abuf = try_grow(&mut ctx.a_buf, layouts.a.len())?;
+    let bbuf = try_grow(&mut ctx.b_buf, layouts.b.len())?;
     if cfg.parallel_convert {
         par_to_morton(a, op_a, &layouts.a, abuf);
         par_to_morton(b, op_b, &layouts.b, bbuf);
@@ -387,12 +478,12 @@ pub(crate) fn execute_plan<S: Scalar>(
     let convert_in = t0.elapsed();
 
     let t1 = Instant::now();
-    let cbuf = grow(&mut ctx.c_buf, layouts.c.len());
+    let cbuf = try_grow(&mut ctx.c_buf, layouts.c.len())?;
     if cfg.parallel_depth > 0 {
-        strassen_mul_parallel(abuf, bbuf, cbuf, layouts, policy, cfg.parallel_depth);
+        try_strassen_mul_parallel(abuf, bbuf, cbuf, layouts, policy, cfg.parallel_depth)?;
     } else {
-        let ws = grow(&mut ctx.ws, workspace_len(layouts, policy));
-        strassen_mul(abuf, bbuf, cbuf, layouts, ws, policy);
+        let ws = try_grow(&mut ctx.ws, workspace_len(layouts, policy))?;
+        try_strassen_mul(abuf, bbuf, cbuf, layouts, ws, policy)?;
     }
     let compute = t1.elapsed();
     let cbuf = &ctx.c_buf[..layouts.c.len()];
@@ -409,10 +500,11 @@ pub(crate) fn execute_plan<S: Scalar>(
     }
     let convert_out = t2.elapsed();
 
-    GemmBreakdown { convert_in, compute, convert_out }
+    Ok(GemmBreakdown { convert_in, compute, convert_out })
 }
 
-/// Runs the Morton core (`D ← A·B`) with the configured execution policy.
+/// Runs the Morton core (`D ← A·B`) with the configured execution policy
+/// (memory budget applied).
 pub(crate) fn run_core<S: Scalar>(
     a: &[S],
     b: &[S],
@@ -420,7 +512,7 @@ pub(crate) fn run_core<S: Scalar>(
     layouts: NodeLayouts,
     cfg: &ModgemmConfig,
 ) {
-    let policy = ExecPolicy { strassen_min: cfg.strassen_min, variant: cfg.variant };
+    let policy = capped_policy::<S>(layouts, cfg);
     if cfg.parallel_depth > 0 {
         strassen_mul_parallel(a, b, c, layouts, policy, cfg.parallel_depth);
     } else {
@@ -458,6 +550,7 @@ mod tests {
     use modgemm_mat::Matrix;
     use modgemm_morton::tiling::TileRange;
 
+    #[allow(clippy::too_many_arguments)]
     fn check_full(
         m: usize,
         k: usize,
@@ -660,6 +753,135 @@ mod tests {
         let mut c: Matrix<i64> = Matrix::zeros(10, 8);
         try_modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &cfg).unwrap();
         assert_eq!(c, naive_product(&a, &b));
+    }
+
+    #[test]
+    fn memory_budget_degrades_gracefully_and_stays_correct() {
+        use crate::config::MemoryBudget;
+        let n = 150;
+        let a: Matrix<f64> = random_matrix(n, n, 130);
+        let b: Matrix<f64> = random_matrix(n, n, 131);
+        let expect = naive_product(&a, &b);
+        // From unlimited down to zero extra bytes: always a correct
+        // product, never an error.
+        for budget in [
+            MemoryBudget::Unlimited,
+            MemoryBudget::MaxWorkspaceBytes(64 * 1024),
+            MemoryBudget::MaxWorkspaceBytes(4 * 1024),
+            MemoryBudget::MaxWorkspaceBytes(0),
+        ] {
+            let cfg = ModgemmConfig { memory_budget: budget, ..Default::default() };
+            let mut c: Matrix<f64> = Matrix::zeros(n, n);
+            try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg)
+                .unwrap();
+            assert_matrix_eq(c.view(), expect.view(), n);
+        }
+    }
+
+    #[test]
+    fn memory_budget_caps_the_context_workspace() {
+        use crate::config::MemoryBudget;
+        let cfg = ModgemmConfig {
+            memory_budget: MemoryBudget::MaxWorkspaceBytes(4 * 1024),
+            ..Default::default()
+        };
+        let mut ctx = GemmContext::<f64>::new();
+        ctx.try_reserve_for(200, 200, 200, &cfg).unwrap();
+        assert!(
+            ctx.ws.len() * core::mem::size_of::<f64>() <= 4 * 1024,
+            "workspace {} elements exceeds the 4 KiB budget",
+            ctx.ws.len()
+        );
+        // And executing under the same config must not grow it.
+        let a: Matrix<f64> = random_matrix(200, 200, 140);
+        let b: Matrix<f64> = random_matrix(200, 200, 141);
+        let mut c: Matrix<f64> = Matrix::zeros(200, 200);
+        modgemm_with_ctx(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg, &mut ctx);
+        assert!(ctx.ws.len() * core::mem::size_of::<f64>() <= 4 * 1024);
+        assert_matrix_eq(c.view(), naive_product(&a, &b).view(), 200);
+    }
+
+    #[test]
+    fn non_finite_policies() {
+        use crate::config::NonFinitePolicy;
+        let n = 40;
+        let mut a: Matrix<f64> = random_matrix(n, n, 150);
+        let b: Matrix<f64> = random_matrix(n, n, 151);
+        a.set(3, 7, f64::NAN);
+
+        // Reject: typed error naming the poisoned operand.
+        let cfg = ModgemmConfig { non_finite: NonFinitePolicy::Reject, ..Default::default() };
+        let mut c: Matrix<f64> = Matrix::zeros(n, n);
+        let err = try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg)
+            .unwrap_err();
+        assert_eq!(err, GemmError::NonFiniteInput { operand: Operand::A });
+
+        // FallbackConventional: bitwise identical to the naive baseline
+        // (same algorithm, same order), NaN only where IEEE says so.
+        let cfg =
+            ModgemmConfig { non_finite: NonFinitePolicy::FallbackConventional, ..Default::default() };
+        let mut c: Matrix<f64> = Matrix::zeros(n, n);
+        try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg)
+            .unwrap();
+        let mut expect: Matrix<f64> = Matrix::zeros(n, n);
+        naive_gemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, expect.view_mut());
+        for i in 0..n {
+            for j in 0..n {
+                let (x, y) = (c.get(i, j), expect.get(i, j));
+                assert!(x == y || (x.is_nan() && y.is_nan()), "({i},{j}): {x} vs {y}");
+            }
+        }
+
+        // Propagate (the default): computes without complaint.
+        let cfg = ModgemmConfig::default();
+        let mut c: Matrix<f64> = Matrix::zeros(n, n);
+        try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg)
+            .unwrap();
+        // Finite operands under Reject still compute.
+        let cfg = ModgemmConfig { non_finite: NonFinitePolicy::Reject, ..Default::default() };
+        let af: Matrix<f64> = random_matrix(n, n, 152);
+        let mut c: Matrix<f64> = Matrix::zeros(n, n);
+        try_modgemm(1.0, Op::NoTrans, af.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg)
+            .unwrap();
+        assert_matrix_eq(c.view(), naive_product(&af, &b).view(), n);
+    }
+
+    #[test]
+    fn verified_mode_accepts_good_results() {
+        use crate::config::VerifyMode;
+        let cfg = ModgemmConfig {
+            verify: VerifyMode::Freivalds { rounds: 8, seed: 42 },
+            ..Default::default()
+        };
+        // Through the planned path and the rectangular-split path, with
+        // general α/β.
+        for (m, k, n, seed) in [(100usize, 80usize, 90usize, 160u64), (600, 70, 600, 161)] {
+            let a: Matrix<f64> = random_matrix(m, k, seed);
+            let b: Matrix<f64> = random_matrix(k, n, seed + 1);
+            let c0: Matrix<f64> = random_matrix(m, n, seed + 2);
+            let mut c = c0.clone();
+            try_modgemm(1.5, Op::NoTrans, a.view(), Op::NoTrans, b.view(), -0.5, c.view_mut(), &cfg)
+                .unwrap();
+            let mut expect = c0;
+            naive_gemm(1.5, Op::NoTrans, a.view(), Op::NoTrans, b.view(), -0.5, expect.view_mut());
+            assert_matrix_eq(c.view(), expect.view(), k);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_up_front() {
+        use crate::config::VerifyMode;
+        let cfg = ModgemmConfig {
+            verify: VerifyMode::Freivalds { rounds: 0, seed: 0 },
+            ..Default::default()
+        };
+        let a: Matrix<f64> = random_matrix(8, 8, 170);
+        let b: Matrix<f64> = random_matrix(8, 8, 171);
+        let mut c: Matrix<f64> = Matrix::zeros(8, 8);
+        assert!(matches!(
+            try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg),
+            Err(GemmError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

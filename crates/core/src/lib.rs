@@ -33,6 +33,7 @@
 pub mod blas;
 pub mod config;
 pub mod counts;
+pub mod error;
 pub mod exec;
 pub mod gemm;
 pub mod parallel;
@@ -40,11 +41,16 @@ pub mod rect;
 pub mod schedule;
 pub mod verify;
 
-pub use config::{ModgemmConfig, Truncation};
+pub use config::{MemoryBudget, ModgemmConfig, NonFinitePolicy, Truncation, VerifyMode};
+pub use error::{GemmError, Operand};
 pub use schedule::Variant;
-pub use exec::{strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
+pub use exec::{
+    budget_capped_policy, strassen_mul, try_strassen_mul, workspace_len, ExecPolicy, NodeLayouts,
+};
 pub use gemm::{
     layouts_of, modgemm, modgemm_premorton, modgemm_timed, modgemm_with_ctx, try_modgemm,
-    GemmBreakdown, GemmContext, GemmError, MortonMatrix,
+    try_modgemm_with_ctx, GemmBreakdown, GemmContext, MortonMatrix,
 };
+pub use parallel::{strassen_mul_parallel, try_strassen_mul_parallel};
 pub use rect::{classify, Shape};
+pub use verify::{verify_gemm, verify_product};

@@ -17,25 +17,31 @@
 //! products are computed by the same kernels in the same associativity;
 //! only the evaluation order across independent buffers changes.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use modgemm_mat::addsub::{add_assign_flat, add_flat, sub_flat};
 use modgemm_mat::Scalar;
 
-use crate::exec::{strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
+use crate::error::{panic_message, try_zeroed_vec, GemmError};
+use crate::exec::{check_buffers, try_strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
 
-/// `C = A·B` with the top `par_depth` Strassen levels evaluated in
-/// parallel (7 threads per level) and everything below running the serial
-/// in-place executor.
-pub fn strassen_mul_parallel<S: Scalar>(
+/// Fallible core of [`strassen_mul_parallel`]: `C = A·B` with the top
+/// `par_depth` Strassen levels evaluated in parallel.
+///
+/// A panicking worker thread is contained with `catch_unwind` and
+/// surfaced as [`GemmError::WorkerPanic`] after all siblings have joined,
+/// so one poisoned product can never abort the caller or leak a detached
+/// thread. On any error `C` may hold partial products and must be treated
+/// as garbage.
+pub fn try_strassen_mul_parallel<S: Scalar>(
     a: &[S],
     b: &[S],
     c: &mut [S],
     layouts: NodeLayouts,
     policy: ExecPolicy,
     par_depth: usize,
-) {
-    assert_eq!(a.len(), layouts.a.len(), "A buffer length mismatch");
-    assert_eq!(b.len(), layouts.b.len(), "B buffer length mismatch");
-    assert_eq!(c.len(), layouts.c.len(), "C buffer length mismatch");
+) -> Result<(), GemmError> {
+    check_buffers(a.len(), b.len(), c.len(), layouts)?;
 
     // The parallel product placement below is derived from the Winograd
     // recurrences; the original-Strassen variant runs serially.
@@ -43,9 +49,8 @@ pub fn strassen_mul_parallel<S: Scalar>(
         || !layouts.uses_strassen(policy)
         || policy.variant != crate::schedule::Variant::Winograd
     {
-        let mut ws = vec![S::ZERO; workspace_len(layouts, policy)];
-        strassen_mul(a, b, c, layouts, &mut ws, policy);
-        return;
+        let mut ws = try_zeroed_vec::<S>(workspace_len(layouts, policy))?;
+        return try_strassen_mul(a, b, c, layouts, &mut ws, policy);
     }
 
     let ch = layouts.child();
@@ -56,19 +61,19 @@ pub fn strassen_mul_parallel<S: Scalar>(
 
     // S/T operand temporaries (computed serially; they are cheap,
     // memory-bound flat passes).
-    let mut s1 = vec![S::ZERO; qa];
-    let mut s2 = vec![S::ZERO; qa];
-    let mut s3 = vec![S::ZERO; qa];
-    let mut s4 = vec![S::ZERO; qa];
+    let mut s1 = try_zeroed_vec::<S>(qa)?;
+    let mut s2 = try_zeroed_vec::<S>(qa)?;
+    let mut s3 = try_zeroed_vec::<S>(qa)?;
+    let mut s4 = try_zeroed_vec::<S>(qa)?;
     add_flat(&mut s1, a21, a22); // S1 = A21 + A22
     sub_flat(&mut s2, &s1, a11); // S2 = S1 − A11
     sub_flat(&mut s3, a11, a21); // S3 = A11 − A21
     sub_flat(&mut s4, a12, &s2); // S4 = A12 − S2
 
-    let mut t1 = vec![S::ZERO; qb];
-    let mut t2 = vec![S::ZERO; qb];
-    let mut t3 = vec![S::ZERO; qb];
-    let mut t4 = vec![S::ZERO; qb];
+    let mut t1 = try_zeroed_vec::<S>(qb)?;
+    let mut t2 = try_zeroed_vec::<S>(qb)?;
+    let mut t3 = try_zeroed_vec::<S>(qb)?;
+    let mut t4 = try_zeroed_vec::<S>(qb)?;
     sub_flat(&mut t1, b12, b11); // T1 = B12 − B11
     sub_flat(&mut t2, b22, &t1); // T2 = B22 − T1
     sub_flat(&mut t3, b22, b12); // T3 = B22 − B12
@@ -78,24 +83,57 @@ pub fn strassen_mul_parallel<S: Scalar>(
     let (c12, rest) = rest.split_at_mut(qc);
     let (c21, c22) = rest.split_at_mut(qc);
 
-    let mut p1 = vec![S::ZERO; qc];
-    let mut p2 = vec![S::ZERO; qc];
-    let mut p5 = vec![S::ZERO; qc];
+    let mut p1 = try_zeroed_vec::<S>(qc)?;
+    let mut p2 = try_zeroed_vec::<S>(qc)?;
+    let mut p5 = try_zeroed_vec::<S>(qc)?;
 
+    let mut first_err: Option<GemmError> = None;
     {
-        // Each task multiplies into its own disjoint destination.
+        // Each task multiplies into its own disjoint destination, wrapped
+        // in catch_unwind so a panic is contained to its product.
         let run = |av: &[S], bv: &[S], cv: &mut [S]| {
-            strassen_mul_parallel(av, bv, cv, ch, policy, par_depth - 1)
+            catch_unwind(AssertUnwindSafe(|| {
+                try_strassen_mul_parallel(av, bv, cv, ch, policy, par_depth - 1)
+            }))
+        };
+        let mut fold = |outcome: std::thread::Result<Result<(), GemmError>>| match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+            Err(payload) => {
+                if first_err.is_none() {
+                    first_err = Some(GemmError::WorkerPanic {
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
         };
         std::thread::scope(|scope| {
-            scope.spawn(|| run(a11, b11, &mut p1)); // P1
-            scope.spawn(|| run(a12, b21, &mut p2)); // P2
-            scope.spawn(|| run(&s1, &t1, c22)); // P3 → C22
-            scope.spawn(|| run(&s2, &t2, c11)); // P4 → C11
-            scope.spawn(|| run(&s3, &t3, &mut p5)); // P5
-            scope.spawn(|| run(&s4, b22, c12)); // P6 → C12
-            run(a22, &t4, c21); // P7 → C21 (on this thread)
+            let handles = [
+                scope.spawn(|| run(a11, b11, &mut p1)), // P1
+                scope.spawn(|| run(a12, b21, &mut p2)), // P2
+                scope.spawn(|| run(&s1, &t1, c22)),     // P3 → C22
+                scope.spawn(|| run(&s2, &t2, c11)),     // P4 → C11
+                scope.spawn(|| run(&s3, &t3, &mut p5)), // P5
+                scope.spawn(|| run(&s4, b22, c12)),     // P6 → C12
+            ];
+            let inline = run(a22, &t4, c21); // P7 → C21 (on this thread)
+            for h in handles {
+                // The closure catches its own unwinds, so join itself can
+                // only fail on a non-unwinding abort; flatten both paths.
+                match h.join() {
+                    Ok(outcome) => fold(outcome),
+                    Err(payload) => fold(Err(payload)),
+                }
+            }
+            fold(inline);
         });
+    }
+    if let Some(e) = first_err {
+        return Err(e);
     }
 
     // The serial schedule's combination suffix.
@@ -106,11 +144,34 @@ pub fn strassen_mul_parallel<S: Scalar>(
     add_assign_flat(c21, c11); // U4 = U3 + P7       → C21 done
     add_assign_flat(c22, c11); // U5 = U3 + P3       → C22 done
     add_flat(c11, &p1, &p2); // U1 = P1 + P2         → C11 done
+    Ok(())
+}
+
+/// `C = A·B` with the top `par_depth` Strassen levels evaluated in
+/// parallel (7 threads per level) and everything below running the serial
+/// in-place executor.
+///
+/// # Panics
+/// On the conditions [`try_strassen_mul_parallel`] reports as errors
+/// (including a contained worker panic, re-raised here with its message).
+#[track_caller]
+pub fn strassen_mul_parallel<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    policy: ExecPolicy,
+    par_depth: usize,
+) {
+    if let Err(e) = try_strassen_mul_parallel(a, b, c, layouts, policy, par_depth) {
+        panic!("{e}");
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::strassen_mul;
     use modgemm_mat::gen::random_matrix;
     use modgemm_mat::naive::naive_product;
     use modgemm_mat::view::Op;
@@ -161,6 +222,43 @@ mod tests {
     #[test]
     fn par_depth_zero_is_serial() {
         run_par(32, 8, 2, 0, 4);
+    }
+
+    #[test]
+    fn try_parallel_reports_buffer_mismatch() {
+        use crate::error::{GemmError, Operand};
+        let l = MortonLayout::new(4, 4, 2);
+        let layouts = NodeLayouts::new(l, l, l);
+        let a = vec![0.0f64; l.len()];
+        let b = vec![0.0f64; l.len() + 3];
+        let mut c = vec![0.0f64; l.len()];
+        assert_eq!(
+            try_strassen_mul_parallel(&a, &b, &mut c, layouts, ExecPolicy::default(), 1),
+            Err(GemmError::BufferLenMismatch {
+                operand: Operand::B,
+                needed: l.len(),
+                got: l.len() + 3
+            })
+        );
+    }
+
+    #[test]
+    fn try_parallel_succeeds_and_matches_serial() {
+        let l = MortonLayout::new(8, 8, 2);
+        let layouts = NodeLayouts::new(l, l, l);
+        let a: Matrix<f64> = random_matrix(32, 32, 21);
+        let b: Matrix<f64> = random_matrix(32, 32, 22);
+        let mut ab = vec![0.0; l.len()];
+        let mut bb = vec![0.0; l.len()];
+        to_morton(a.view(), Op::NoTrans, &l, &mut ab);
+        to_morton(b.view(), Op::NoTrans, &l, &mut bb);
+        let mut c_par = vec![0.0; l.len()];
+        try_strassen_mul_parallel(&ab, &bb, &mut c_par, layouts, ExecPolicy::default(), 1)
+            .unwrap();
+        let mut c_ser = vec![0.0; l.len()];
+        let mut ws = vec![0.0; workspace_len(layouts, ExecPolicy::default())];
+        strassen_mul(&ab, &bb, &mut c_ser, layouts, &mut ws, ExecPolicy::default());
+        assert_eq!(c_par, c_ser);
     }
 
     #[test]

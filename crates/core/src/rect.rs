@@ -29,7 +29,8 @@ use modgemm_mat::Scalar;
 use modgemm_morton::tiling::TileRange;
 
 use crate::config::ModgemmConfig;
-use crate::gemm::{modgemm_with_ctx, GemmBreakdown, GemmContext};
+use crate::error::GemmError;
+use crate::gemm::{try_modgemm_with_ctx, GemmBreakdown, GemmContext};
 
 /// The paper's shape taxonomy for an operand (§3.5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,8 +73,10 @@ pub(crate) fn op_sub<'a, S: Scalar>(
 }
 
 /// Splits one over-rectangular GEMM along its largest dimension and
-/// recurses through [`modgemm_with_ctx`] (which re-plans each half).
-/// Breakdowns of the leaf executions are fed to `sink`.
+/// recurses through [`try_modgemm_with_ctx`] (which re-plans each half).
+/// Breakdowns of the leaf executions are fed to `sink`; the first error
+/// aborts the remaining halves (`C` is then partial garbage, like any
+/// failed GEMM).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn split_gemm<S: Scalar>(
     alpha: S,
@@ -86,7 +89,7 @@ pub(crate) fn split_gemm<S: Scalar>(
     cfg: &ModgemmConfig,
     ctx: &mut GemmContext<S>,
     sink: &mut dyn FnMut(GemmBreakdown),
-) {
+) -> Result<(), GemmError> {
     let (m, k) = op_a.apply_dims(a.rows(), a.cols());
     let (_, n) = op_b.apply_dims(b.rows(), b.cols());
     debug_assert!(m.max(k).max(n) >= 2, "split on degenerate problem");
@@ -97,16 +100,16 @@ pub(crate) fn split_gemm<S: Scalar>(
         let a1 = op_sub(a, op_a, 0, 0, m1, k);
         let a2 = op_sub(a, op_a, m1, 0, m - m1, k);
         let (c1, _, c2, _) = c.split_quad(m1, n);
-        sink(modgemm_with_ctx(alpha, op_a, a1, op_b, b, beta, c1, cfg, ctx));
-        sink(modgemm_with_ctx(alpha, op_a, a2, op_b, b, beta, c2, cfg, ctx));
+        sink(try_modgemm_with_ctx(alpha, op_a, a1, op_b, b, beta, c1, cfg, ctx)?);
+        sink(try_modgemm_with_ctx(alpha, op_a, a2, op_b, b, beta, c2, cfg, ctx)?);
     } else if n >= k {
         // Wide B: split op(B) and C into left/right halves.
         let n1 = n / 2;
         let b1 = op_sub(b, op_b, 0, 0, k, n1);
         let b2 = op_sub(b, op_b, 0, n1, k, n - n1);
         let (c1, c2, _, _) = c.split_quad(m, n1);
-        sink(modgemm_with_ctx(alpha, op_a, a, op_b, b1, beta, c1, cfg, ctx));
-        sink(modgemm_with_ctx(alpha, op_a, a, op_b, b2, beta, c2, cfg, ctx));
+        sink(try_modgemm_with_ctx(alpha, op_a, a, op_b, b1, beta, c1, cfg, ctx)?);
+        sink(try_modgemm_with_ctx(alpha, op_a, a, op_b, b2, beta, c2, cfg, ctx)?);
     } else {
         // Wide A / lean B: split the inner dimension and accumulate.
         let k1 = k / 2;
@@ -115,9 +118,10 @@ pub(crate) fn split_gemm<S: Scalar>(
         let b1 = op_sub(b, op_b, 0, 0, k1, n);
         let b2 = op_sub(b, op_b, k1, 0, k - k1, n);
         let mut c = c;
-        sink(modgemm_with_ctx(alpha, op_a, a1, op_b, b1, beta, c.reborrow(), cfg, ctx));
-        sink(modgemm_with_ctx(alpha, op_a, a2, op_b, b2, S::ONE, c, cfg, ctx));
+        sink(try_modgemm_with_ctx(alpha, op_a, a1, op_b, b1, beta, c.reborrow(), cfg, ctx)?);
+        sink(try_modgemm_with_ctx(alpha, op_a, a2, op_b, b2, S::ONE, c, cfg, ctx)?);
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -82,6 +82,7 @@ fn main() {
 
     for (depth, t) in [(4usize, 16usize), (5, 8), (3, 32)] {
         let g = 1usize << depth;
+        #[allow(clippy::type_complexity)]
         let orders: [(&str, Box<dyn Fn(usize) -> (usize, usize)>); 3] = [
             ("morton", Box::new(move |d| deinterleave2(d, depth))),
             ("hilbert", Box::new(move |d| hilbert_d2xy(depth, d))),

@@ -139,8 +139,8 @@ pub fn axpby_view<S: Scalar>(alpha: S, src: MatRef<'_, S>, beta: S, mut dst: Mat
 pub fn rank1_update<S: Scalar>(mut c: MatMut<'_, S>, alpha: S, x: &[S], y: &[S]) {
     assert_eq!(x.len(), c.rows(), "x length mismatch");
     assert_eq!(y.len(), c.cols(), "y length mismatch");
-    for j in 0..c.cols() {
-        let ay = alpha * y[j];
+    for (j, &yj) in y.iter().enumerate() {
+        let ay = alpha * yj;
         let col = c.col_mut(j);
         for (ci, &xi) in col.iter_mut().zip(x) {
             *ci += xi * ay;
@@ -230,9 +230,9 @@ mod tests {
         let y = [4i64, 5];
         let mut c: Matrix<i64> = Matrix::zeros(3, 2);
         rank1_update(c.view_mut(), 2, &x, &y);
-        for i in 0..3 {
-            for j in 0..2 {
-                assert_eq!(c.get(i, j), 2 * x[i] * y[j]);
+        for (i, &xi) in x.iter().enumerate() {
+            for (j, &yj) in y.iter().enumerate() {
+                assert_eq!(c.get(i, j), 2 * xi * yj);
             }
         }
     }

@@ -86,6 +86,7 @@ unsafe fn micro_kernel_4x4<S: Scalar>(
 }
 
 /// `C += A·B` for a partial tile of `mb × nb` (`mb < MR` or `nb < NR`).
+#[allow(clippy::too_many_arguments)] // raw kernel: dims + three (ptr, ld) pairs
 #[inline]
 unsafe fn micro_kernel_edge<S: Scalar>(
     mb: usize,

@@ -136,6 +136,7 @@ impl Scalar for i64 {
 mod tests {
     use super::*;
 
+    #[allow(clippy::eq_op)] // `a - a == 0` is the law under test
     fn ring_laws<S: Scalar>(a: S, b: S, c: S) {
         assert_eq!(a + S::ZERO, a);
         assert_eq!(a * S::ONE, a);

@@ -79,9 +79,12 @@ pub struct MatMut<'a, S> {
 unsafe impl<S: Send> Send for MatMut<'_, S> {}
 unsafe impl<S: Sync> Sync for MatMut<'_, S> {}
 
-/// Checks the slice-length invariant for an `(rows, cols, ld)` window.
+/// Minimum slice length backing an `(rows, cols, ld)` column-major
+/// window: `(cols − 1)·ld + rows`, or `0` for an empty window. Exposed so
+/// fallible raw-slice entry points can validate lengths without
+/// constructing (and thus panicking inside) a view.
 #[inline]
-fn required_len(rows: usize, cols: usize, ld: usize) -> usize {
+pub fn required_len(rows: usize, cols: usize, ld: usize) -> usize {
     if rows == 0 || cols == 0 {
         0
     } else {

@@ -42,7 +42,7 @@ pub fn par_to_morton<S: Scalar>(src: MatRef<'_, S>, op: Op, layout: &MortonLayou
 
     std::thread::scope(|scope| {
         for (w, chunk) in dst.chunks_mut(tiles_per * tile_len).enumerate() {
-            let src = src; // MatRef is Copy + Sync.
+            // MatRef is Copy + Sync, so each move closure gets its own copy.
             scope.spawn(move || {
                 let z0 = w * tiles_per;
                 for (dz, tile) in chunk.chunks_exact_mut(tile_len).enumerate() {

@@ -10,6 +10,7 @@ use modgemm::mat::naive::naive_gemm;
 use modgemm::mat::norms::assert_matrix_eq;
 use modgemm::mat::{Matrix, Op};
 
+#[allow(clippy::too_many_arguments)]
 fn check_all(m: usize, k: usize, n: usize, alpha: f64, beta: f64, op_a: Op, op_b: Op, seed: u64) {
     let (ar, ac) = op_a.apply_dims(m, k);
     let (br, bc) = op_b.apply_dims(k, n);

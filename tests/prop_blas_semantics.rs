@@ -24,6 +24,7 @@ fn small_cfg() -> ModgemmConfig {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn oracle(
     m: usize,
     k: usize,

@@ -1,0 +1,312 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of criterion's surface its benches use: [`Criterion`] with
+//! the builder knobs, [`BenchmarkGroup`]s with [`Throughput`] annotation,
+//! `bench_function`/`bench_with_input`, the [`Bencher::iter`] timing loop,
+//! [`black_box`], and [`BenchmarkId`]. Measurement is a straightforward
+//! median-of-samples wall clock — adequate for the relative comparisons
+//! the figure-reproduction benches make, with none of real criterion's
+//! statistics machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's conventional rendering.
+    pub fn new<P: Display>(name: impl Into<String>, parameter: P) -> Self {
+        Self { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// A bare parameter id (`from_parameter` in real criterion).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Work-per-iteration annotation; turns times into rates in the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up evaluation, then grow the batch until a sample takes
+        // ≥ ~1 ms so timer resolution stays below 0.1%.
+        black_box(f());
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t.elapsed().as_secs_f64() / batch as f64;
+            if per_iter * batch as f64 >= 1e-3 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let budget = self.measurement.as_secs_f64();
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        let start = Instant::now();
+        for _ in 0..self.samples.max(1) {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            times.push(t.elapsed().as_secs_f64() / batch as f64);
+            // Cap at the measurement window so slow benches stay bounded.
+            if start.elapsed().as_secs_f64() > budget {
+                break;
+            }
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        self.median_ns = times[times.len() / 2] * 1e9;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(group: &str, id: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.1} Melem/s", n as f64 / median_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:.1} MiB/s", n as f64 / median_ns * 1e3 / 1.048_576)
+        }
+        None => String::new(),
+    };
+    println!("{group}/{id}: median {}{}", human_time(median_ns), rate);
+}
+
+/// A named collection of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work annotation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group (accepted, unused beyond
+    /// the criterion-wide setting in this subset).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let _ = n;
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        let _ = d;
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            measurement: self.criterion.measurement,
+            median_ns: f64::NAN,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, b.median_ns, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report-flush point in real criterion; no-op here).
+    pub fn finish(self) {}
+}
+
+/// The bench harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement: Duration::from_secs(2),
+            warm_up: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up window (accepted; warm-up here is one evaluation).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Applies command-line overrides (no-op in this subset; accepts the
+    /// call so harness `main`s keep criterion's conventional shape).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement: self.measurement,
+            median_ns: f64::NAN,
+        };
+        f(&mut b);
+        report("bench", id, b.median_ns, None);
+        self
+    }
+
+    /// Prints the final summary (per-bench lines were already printed).
+    pub fn final_summary(&mut self) {
+        let _ = self.warm_up;
+    }
+}
+
+/// Declares a group of benchmark functions (real criterion's shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("sum_in", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+        c.final_summary();
+    }
+
+    #[test]
+    fn ids_render_name_slash_parameter() {
+        let id = BenchmarkId::new("kernel", 513);
+        assert_eq!(id.id, "kernel/513");
+    }
+}
