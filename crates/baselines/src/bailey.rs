@@ -49,14 +49,17 @@ pub fn bailey_gemm<S: Scalar>(
     cfg: &BaileyConfig,
 ) {
     let levels = cfg.levels;
-    blas_wrap(alpha, op_a, a, op_b, b, beta, c, &mut |x, y, z| {
-        bailey_core(x, y, z, levels)
-    });
+    blas_wrap(alpha, op_a, a, op_b, b, beta, c, &mut |x, y, z| bailey_core(x, y, z, levels));
 }
 
 /// The overwrite core: pad, multiply with exactly `levels` Winograd
 /// unfoldings, copy the live region back.
-pub fn bailey_core<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>, mut c: MatMut<'_, S>, levels: usize) {
+pub fn bailey_core<S: Scalar>(
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    mut c: MatMut<'_, S>,
+    levels: usize,
+) {
     let (m, k) = a.dims();
     let (_, n) = b.dims();
     debug_assert_eq!(b.rows(), k);

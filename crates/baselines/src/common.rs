@@ -17,9 +17,7 @@ use modgemm_mat::{Matrix, Scalar};
 fn materialize_op<S: Scalar>(x: MatRef<'_, S>, op: Op) -> Option<Matrix<S>> {
     match op {
         Op::NoTrans => None,
-        Op::Trans => {
-            Some(Matrix::from_fn(x.cols(), x.rows(), |i, j| x.get(j, i)))
-        }
+        Op::Trans => Some(Matrix::from_fn(x.cols(), x.rows(), |i, j| x.get(j, i))),
     }
 }
 

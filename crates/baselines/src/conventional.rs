@@ -50,7 +50,15 @@ mod tests {
                 got.view_mut(),
             );
             let mut expect = c0;
-            naive_gemm(alpha, Op::NoTrans, a.view(), Op::NoTrans, b.view(), beta, expect.view_mut());
+            naive_gemm(
+                alpha,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                beta,
+                expect.view_mut(),
+            );
             assert_matrix_eq(got.view(), expect.view(), k);
         }
     }

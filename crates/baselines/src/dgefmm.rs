@@ -28,9 +28,7 @@ use modgemm_mat::blocked::blocked_mul;
 use modgemm_mat::view::{MatMut, MatRef, Op};
 use modgemm_mat::Scalar;
 
-use crate::common::{
-    blas_wrap, gather_row, gemv_overwrite, gevm_overwrite, winograd_step_views,
-};
+use crate::common::{blas_wrap, gather_row, gemv_overwrite, gevm_overwrite, winograd_step_views};
 
 /// DGEFMM configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,7 +66,12 @@ pub fn dgefmm<S: Scalar>(
 }
 
 /// The overwrite core: `C ← A·B` with per-level peeling.
-pub fn dgefmm_core<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>, mut c: MatMut<'_, S>, trunc: usize) {
+pub fn dgefmm_core<S: Scalar>(
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    mut c: MatMut<'_, S>,
+    trunc: usize,
+) {
     let (m, k) = a.dims();
     let (_, n) = b.dims();
     debug_assert_eq!(b.rows(), k);
@@ -87,9 +90,7 @@ pub fn dgefmm_core<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>, mut c: MatMut<
         let a_core = a.submatrix(0, 0, me, ke);
         let b_core = b.submatrix(0, 0, ke, ne);
         let c_core = c.submatrix_mut(0, 0, me, ne);
-        winograd_step_views(a_core, b_core, c_core, &mut |x, y, z| {
-            dgefmm_core(x, y, z, trunc)
-        });
+        winograd_step_views(a_core, b_core, c_core, &mut |x, y, z| dgefmm_core(x, y, z, trunc));
     }
 
     // Fix-up 1: odd k — rank-1 update of the even core.

@@ -67,7 +67,12 @@ pub fn dgemmw<S: Scalar>(
 }
 
 /// The overwrite core: `C ← A·B` with per-level overlap.
-pub fn dgemmw_core<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>, mut c: MatMut<'_, S>, trunc: usize) {
+pub fn dgemmw_core<S: Scalar>(
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    mut c: MatMut<'_, S>,
+    trunc: usize,
+) {
     let (m, k) = a.dims();
     let (_, n) = b.dims();
     debug_assert_eq!(b.rows(), k);

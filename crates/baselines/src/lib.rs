@@ -34,8 +34,12 @@ pub mod common;
 pub mod conventional;
 pub mod dgefmm;
 pub mod dgemmw;
+pub mod instrumented;
 
 pub use bailey::{bailey_gemm, BaileyConfig};
 pub use conventional::conventional_gemm;
 pub use dgefmm::{dgefmm, DgefmmConfig};
 pub use dgemmw::{dgemmw, DgemmwConfig};
+pub use instrumented::{
+    bailey_gemm_with_sink, conventional_gemm_with_sink, dgefmm_with_sink, dgemmw_with_sink,
+};

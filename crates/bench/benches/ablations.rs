@@ -26,18 +26,21 @@ fn bench_truncation(c: &mut Criterion) {
     g.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
     for (label, cfg) in [
         ("dynamic_16_64", ModgemmConfig::paper()),
-        (
-            "fixed_32",
-            ModgemmConfig { truncation: Truncation::Fixed(32), ..ModgemmConfig::paper() },
-        ),
-        (
-            "fixed_64",
-            ModgemmConfig { truncation: Truncation::Fixed(64), ..ModgemmConfig::paper() },
-        ),
+        ("fixed_32", ModgemmConfig { truncation: Truncation::Fixed(32), ..ModgemmConfig::paper() }),
+        ("fixed_64", ModgemmConfig { truncation: Truncation::Fixed(64), ..ModgemmConfig::paper() }),
     ] {
         g.bench_function(BenchmarkId::new(label, n), |bch| {
             bch.iter(|| {
-                modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cm.view_mut(), &cfg);
+                modgemm(
+                    1.0,
+                    Op::NoTrans,
+                    a.view(),
+                    Op::NoTrans,
+                    b.view(),
+                    0.0,
+                    cm.view_mut(),
+                    &cfg,
+                );
                 black_box(cm.as_slice());
             })
         });
@@ -55,7 +58,16 @@ fn bench_strassen_min(c: &mut Criterion) {
         let cfg = ModgemmConfig { strassen_min: smin, ..ModgemmConfig::paper() };
         g.bench_with_input(BenchmarkId::new("strassen_min", smin), &smin, |bch, _| {
             bch.iter(|| {
-                modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cm.view_mut(), &cfg);
+                modgemm(
+                    1.0,
+                    Op::NoTrans,
+                    a.view(),
+                    Op::NoTrans,
+                    b.view(),
+                    0.0,
+                    cm.view_mut(),
+                    &cfg,
+                );
                 black_box(cm.as_slice());
             })
         });
@@ -110,7 +122,16 @@ fn bench_parallel(c: &mut Criterion) {
         };
         g.bench_with_input(BenchmarkId::new("parallel_depth", depth), &depth, |bch, _| {
             bch.iter(|| {
-                modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cm.view_mut(), &cfg);
+                modgemm(
+                    1.0,
+                    Op::NoTrans,
+                    a.view(),
+                    Op::NoTrans,
+                    b.view(),
+                    0.0,
+                    cm.view_mut(),
+                    &cfg,
+                );
                 black_box(cm.as_slice());
             })
         });
@@ -131,7 +152,16 @@ fn bench_variant(c: &mut Criterion) {
         let cfg = ModgemmConfig { variant, ..ModgemmConfig::paper() };
         g.bench_function(BenchmarkId::new(label, n), |bch| {
             bch.iter(|| {
-                modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cm.view_mut(), &cfg);
+                modgemm(
+                    1.0,
+                    Op::NoTrans,
+                    a.view(),
+                    Op::NoTrans,
+                    b.view(),
+                    0.0,
+                    cm.view_mut(),
+                    &cfg,
+                );
                 black_box(cm.as_slice());
             })
         });
@@ -182,7 +212,16 @@ fn bench_precision(c: &mut Criterion) {
     let mut c64: Matrix<f64> = Matrix::zeros(n, n);
     g.bench_function("dgemm_f64_512", |bch| {
         bch.iter(|| {
-            modgemm(1.0, Op::NoTrans, a64.view(), Op::NoTrans, b64.view(), 0.0, c64.view_mut(), &cfg);
+            modgemm(
+                1.0,
+                Op::NoTrans,
+                a64.view(),
+                Op::NoTrans,
+                b64.view(),
+                0.0,
+                c64.view_mut(),
+                &cfg,
+            );
             black_box(c64.as_slice());
         })
     });
@@ -191,7 +230,16 @@ fn bench_precision(c: &mut Criterion) {
     let mut c32: Matrix<f32> = Matrix::zeros(n, n);
     g.bench_function("sgemm_f32_512", |bch| {
         bch.iter(|| {
-            modgemm(1.0f32, Op::NoTrans, a32.view(), Op::NoTrans, b32.view(), 0.0, c32.view_mut(), &cfg);
+            modgemm(
+                1.0f32,
+                Op::NoTrans,
+                a32.view(),
+                Op::NoTrans,
+                b32.view(),
+                0.0,
+                c32.view_mut(),
+                &cfg,
+            );
             black_box(c32.as_slice());
         })
     });

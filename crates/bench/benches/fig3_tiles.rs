@@ -28,20 +28,16 @@ fn bench(c: &mut Criterion) {
         for ld in [255usize, 256] {
             let base: Matrix<f64> = random_matrix(ld, ld, 3);
             let mut out: Matrix<f64> = Matrix::zeros(ld, ld);
-            g.bench_with_input(
-                BenchmarkId::new(format!("noncontig_ld{ld}"), t),
-                &t,
-                |bch, _| {
-                    bch.iter(|| {
-                        let av = base.view().submatrix(1, 1, t, t);
-                        let bv = base.view().submatrix(t + 1, t + 1, t, t);
-                        let mut om = out.view_mut();
-                        let cv = om.submatrix_mut(2 * t + 1, 2 * t + 1, t, t);
-                        blocked_mul(av, bv, cv);
-                        black_box(out.as_slice());
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("noncontig_ld{ld}"), t), &t, |bch, _| {
+                bch.iter(|| {
+                    let av = base.view().submatrix(1, 1, t, t);
+                    let bv = base.view().submatrix(t + 1, t + 1, t, t);
+                    let mut om = out.view_mut();
+                    let cv = om.submatrix_mut(2 * t + 1, 2 * t + 1, t, t);
+                    blocked_mul(av, bv, cv);
+                    black_box(out.as_slice());
+                })
+            });
         }
     }
     g.finish();

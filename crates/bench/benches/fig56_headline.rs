@@ -20,25 +20,60 @@ fn bench(c: &mut Criterion) {
         g.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
         g.bench_with_input(BenchmarkId::new("modgemm", n), &n, |bch, _| {
             bch.iter(|| {
-                modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cmat.view_mut(), &mod_cfg);
+                modgemm(
+                    1.0,
+                    Op::NoTrans,
+                    a.view(),
+                    Op::NoTrans,
+                    b.view(),
+                    0.0,
+                    cmat.view_mut(),
+                    &mod_cfg,
+                );
                 black_box(cmat.as_slice());
             })
         });
         g.bench_with_input(BenchmarkId::new("dgefmm", n), &n, |bch, _| {
             bch.iter(|| {
-                dgefmm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cmat.view_mut(), &fmm_cfg);
+                dgefmm(
+                    1.0,
+                    Op::NoTrans,
+                    a.view(),
+                    Op::NoTrans,
+                    b.view(),
+                    0.0,
+                    cmat.view_mut(),
+                    &fmm_cfg,
+                );
                 black_box(cmat.as_slice());
             })
         });
         g.bench_with_input(BenchmarkId::new("dgemmw", n), &n, |bch, _| {
             bch.iter(|| {
-                dgemmw(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cmat.view_mut(), &mmw_cfg);
+                dgemmw(
+                    1.0,
+                    Op::NoTrans,
+                    a.view(),
+                    Op::NoTrans,
+                    b.view(),
+                    0.0,
+                    cmat.view_mut(),
+                    &mmw_cfg,
+                );
                 black_box(cmat.as_slice());
             })
         });
         g.bench_with_input(BenchmarkId::new("conventional", n), &n, |bch, _| {
             bch.iter(|| {
-                conventional_gemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cmat.view_mut());
+                conventional_gemm(
+                    1.0,
+                    Op::NoTrans,
+                    a.view(),
+                    Op::NoTrans,
+                    b.view(),
+                    0.0,
+                    cmat.view_mut(),
+                );
                 black_box(cmat.as_slice());
             })
         });

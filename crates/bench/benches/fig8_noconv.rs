@@ -32,13 +32,31 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("modgemm_with_conv", n), &n, |bch, _| {
             bch.iter(|| {
-                modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cmat.view_mut(), &mod_cfg);
+                modgemm(
+                    1.0,
+                    Op::NoTrans,
+                    a.view(),
+                    Op::NoTrans,
+                    b.view(),
+                    0.0,
+                    cmat.view_mut(),
+                    &mod_cfg,
+                );
                 black_box(cmat.as_slice());
             })
         });
         g.bench_with_input(BenchmarkId::new("dgefmm", n), &n, |bch, _| {
             bch.iter(|| {
-                dgefmm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cmat.view_mut(), &fmm_cfg);
+                dgefmm(
+                    1.0,
+                    Op::NoTrans,
+                    a.view(),
+                    Op::NoTrans,
+                    b.view(),
+                    0.0,
+                    cmat.view_mut(),
+                    &fmm_cfg,
+                );
                 black_box(cmat.as_slice());
             })
         });

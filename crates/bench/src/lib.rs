@@ -7,6 +7,8 @@
 
 use criterion::Criterion;
 
+pub mod report;
+
 /// A Criterion instance tuned so the full `cargo bench --workspace` run
 /// finishes in minutes: small sample counts, short measurement windows.
 pub fn criterion() -> Criterion {

@@ -464,10 +464,8 @@ mod tests {
 
     #[test]
     fn policy_hierarchies() {
-        let mut h = Hierarchy::with_policy(
-            &[CacheConfig { size: 128, block: 16, assoc: 2 }],
-            Policy::Fifo,
-        );
+        let mut h =
+            Hierarchy::with_policy(&[CacheConfig { size: 128, block: 16, assoc: 2 }], Policy::Fifo);
         h.access(0);
         h.access(0);
         assert_eq!(h.stats(0).misses, 1);

@@ -43,6 +43,16 @@ pub struct TraceReport {
 }
 
 impl TraceReport {
+    /// Feeds this report's totals into a metrics sink
+    /// ([`modgemm_core::metrics`]): cache hit/miss counts from the
+    /// innermost level's counters, so simulated runs land in the same
+    /// [`modgemm_core::metrics::ExecMetrics`] vocabulary the fast
+    /// executors report through.
+    pub fn record_into<K: modgemm_core::metrics::MetricsSink>(&self, sink: &mut K) {
+        let hits = self.stats.accesses.saturating_sub(self.stats.misses);
+        sink.record_cache(hits, self.stats.misses);
+    }
+
     fn from_ctx(ctx: TraceCtx, result: Matrix<f64>) -> Self {
         Self {
             stats: ctx.stats(),
@@ -206,7 +216,11 @@ impl<'a> ViewMut<'a> {
     }
 
     /// Element-disjoint quadrants (NW, NE, SW, SE) with correct bases.
-    fn split_quad(self, rm: usize, cm: usize) -> (ViewMut<'a>, ViewMut<'a>, ViewMut<'a>, ViewMut<'a>) {
+    fn split_quad(
+        self,
+        rm: usize,
+        cm: usize,
+    ) -> (ViewMut<'a>, ViewMut<'a>, ViewMut<'a>, ViewMut<'a>) {
         let ld = self.m.ld();
         let base = self.base;
         let (nw, ne, sw, se) = self.m.split_quad(rm, cm);
@@ -314,10 +328,7 @@ pub fn traced_tile_multiply(
     let mut ctx = TraceCtx::new(cache_cfg);
     let mut space = AddressSpace::default_layout();
 
-    let run = |ctx: &mut TraceCtx,
-               a: View<'_>,
-               b: View<'_>,
-               c: &mut ViewMut<'_>| {
+    let run = |ctx: &mut TraceCtx, a: View<'_>, b: View<'_>, c: &mut ViewMut<'_>| {
         t_blocked_mul_add(a, b, c, ctx);
     };
 
@@ -366,7 +377,13 @@ fn flat_as_tile_mut<'x>(f: &'x mut FlatMut<'_>, l: &MortonLayout) -> ViewMut<'x>
 /// Traced `C += A·B` by Morton quadrant recursion (mirrors
 /// `modgemm_core::exec::morton_mul_add`, including the Frens-Wise call
 /// order).
-fn t_morton_mul_add(a: &Flat<'_>, b: &Flat<'_>, c: &mut FlatMut<'_>, l: NodeLayouts, ctx: &mut TraceCtx) {
+fn t_morton_mul_add(
+    a: &Flat<'_>,
+    b: &Flat<'_>,
+    c: &mut FlatMut<'_>,
+    l: NodeLayouts,
+    ctx: &mut TraceCtx,
+) {
     if l.a.depth == 0 {
         let av = flat_as_tile(a, &l.a);
         let bv = flat_as_tile(b, &l.b);
@@ -386,7 +403,13 @@ fn t_morton_mul_add(a: &Flat<'_>, b: &Flat<'_>, c: &mut FlatMut<'_>, l: NodeLayo
     t_morton_mul_add(&a.quarter(2), &b.quarter(0), &mut c21, ch, ctx);
 }
 
-fn t_morton_mul(a: &Flat<'_>, b: &Flat<'_>, c: &mut FlatMut<'_>, l: NodeLayouts, ctx: &mut TraceCtx) {
+fn t_morton_mul(
+    a: &Flat<'_>,
+    b: &Flat<'_>,
+    c: &mut FlatMut<'_>,
+    l: NodeLayouts,
+    ctx: &mut TraceCtx,
+) {
     t_fill_zero(c, ctx);
     t_morton_mul_add(a, b, c, l, ctx);
 }
@@ -649,15 +672,15 @@ impl OwnedTemp {
     }
 
     fn view(&self) -> View<'_> {
-        View { m: MatRef::from_slice(&self.d, self.rows, self.cols, self.rows.max(1)), base: self.base }
+        View {
+            m: MatRef::from_slice(&self.d, self.rows, self.cols, self.rows.max(1)),
+            base: self.base,
+        }
     }
 
     fn view_mut(&mut self) -> ViewMut<'_> {
         let base = self.base;
-        ViewMut {
-            m: MatMut::from_slice(&mut self.d, self.rows, self.cols, self.rows.max(1)),
-            base,
-        }
+        ViewMut { m: MatMut::from_slice(&mut self.d, self.rows, self.cols, self.rows.max(1)), base }
     }
 }
 
@@ -949,14 +972,15 @@ fn t_dgemmw_core(
     t_zip_view(&mut r11.view_mut(), tq.view(), tp.view(), ctx, f_add); // U1
 
     // Copy quadrant results out (overlaps rewritten with equal values).
-    let copy_out = |r: &OwnedTemp, i0: usize, j0: usize, ctx: &mut TraceCtx, c: &mut ViewMut<'_>| {
-        for j in 0..n1 {
-            for i in 0..m1 {
-                let v = r.view().get(i, j, ctx);
-                c.set(i0 + i, j0 + j, v, ctx);
+    let copy_out =
+        |r: &OwnedTemp, i0: usize, j0: usize, ctx: &mut TraceCtx, c: &mut ViewMut<'_>| {
+            for j in 0..n1 {
+                for i in 0..m1 {
+                    let v = r.view().get(i, j, ctx);
+                    c.set(i0 + i, j0 + j, v, ctx);
+                }
             }
-        }
-    };
+        };
     copy_out(&r11, 0, 0, ctx, c);
     copy_out(&r12, 0, n - n1, ctx, c);
     copy_out(&r21, m - m1, 0, ctx, c);
@@ -1146,7 +1170,13 @@ mod tests {
         assert_eq!(rep.levels[1].accesses, rep.levels[0].misses);
         assert!(rep.levels[1].misses <= rep.levels[1].accesses);
         // Same computation as the single-level run.
-        let flat = traced_modgemm(&a, &b, &cfg, CacheConfig { size: 16 * 1024, block: 32, assoc: 1 }, true);
+        let flat = traced_modgemm(
+            &a,
+            &b,
+            &cfg,
+            CacheConfig { size: 16 * 1024, block: 32, assoc: 1 },
+            true,
+        );
         assert_eq!(rep.result, flat.result);
         assert_eq!(rep.flops, flat.flops);
 

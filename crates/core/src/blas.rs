@@ -442,8 +442,10 @@ mod tests {
     fn batch_matches_individual_calls() {
         let (m, n, k, count) = (33, 29, 31, 5);
         let cfg = ModgemmConfig::paper();
-        let aas: Vec<Matrix<f64>> = (0..count).map(|i| random_matrix(m, k, 10 + i as u64)).collect();
-        let bbs: Vec<Matrix<f64>> = (0..count).map(|i| random_matrix(k, n, 20 + i as u64)).collect();
+        let aas: Vec<Matrix<f64>> =
+            (0..count).map(|i| random_matrix(m, k, 10 + i as u64)).collect();
+        let bbs: Vec<Matrix<f64>> =
+            (0..count).map(|i| random_matrix(k, n, 20 + i as u64)).collect();
         let mut cc: Vec<Matrix<f64>> = (0..count).map(|_| Matrix::zeros(m, n)).collect();
 
         {
@@ -534,18 +536,63 @@ mod tests {
         let mut c = vec![0.0f64; 100];
         // lda < stored rows.
         assert_eq!(
-            try_dgemm(Op::NoTrans, Op::NoTrans, 10, 10, 10, 1.0, &a, 9, &b, 10, 0.0, &mut c, 10, &cfg),
+            try_dgemm(
+                Op::NoTrans,
+                Op::NoTrans,
+                10,
+                10,
+                10,
+                1.0,
+                &a,
+                9,
+                &b,
+                10,
+                0.0,
+                &mut c,
+                10,
+                &cfg
+            ),
             Err(GemmError::BadLeadingDim { operand: Operand::A, ld: 9, min: 10 })
         );
         // ldb only has to cover B's *stored* rows: with transb = Trans the
         // stored matrix is n×k, so ldb ≥ n.
         assert_eq!(
-            try_dgemm(Op::NoTrans, Op::Trans, 10, 10, 10, 1.0, &a, 10, &b, 9, 0.0, &mut c, 10, &cfg),
+            try_dgemm(
+                Op::NoTrans,
+                Op::Trans,
+                10,
+                10,
+                10,
+                1.0,
+                &a,
+                10,
+                &b,
+                9,
+                0.0,
+                &mut c,
+                10,
+                &cfg
+            ),
             Err(GemmError::BadLeadingDim { operand: Operand::B, ld: 9, min: 10 })
         );
         // Short C slice: 10 columns at ldc 12 need 9·12 + 10 = 118.
         assert_eq!(
-            try_dgemm(Op::NoTrans, Op::NoTrans, 10, 10, 10, 1.0, &a, 10, &b, 10, 0.0, &mut c, 12, &cfg),
+            try_dgemm(
+                Op::NoTrans,
+                Op::NoTrans,
+                10,
+                10,
+                10,
+                1.0,
+                &a,
+                10,
+                &b,
+                10,
+                0.0,
+                &mut c,
+                12,
+                &cfg
+            ),
             Err(GemmError::SliceTooShort { operand: Operand::C, needed: 118, got: 100 })
         );
         // Legal arguments compute.

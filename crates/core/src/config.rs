@@ -1,8 +1,6 @@
 //! Configuration of the MODGEMM algorithm.
 
-use modgemm_morton::tiling::{
-    choose_joint_tiling, fixed_tile_tiling, JointTiling, TileRange,
-};
+use modgemm_morton::tiling::{choose_joint_tiling, fixed_tile_tiling, JointTiling, TileRange};
 
 use crate::error::GemmError;
 

@@ -33,6 +33,18 @@ pub fn strassen_flops(layouts: NodeLayouts, policy: ExecPolicy) -> u64 {
     adds + ops.muls as u64 * strassen_flops(layouts.child(), policy)
 }
 
+/// Number of recursion levels that take the Strassen step under
+/// `policy` (0 = fully conventional). The level below the last Strassen
+/// level — and everything under it — runs the conventional Morton
+/// recursion.
+pub fn strassen_levels(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
+    if layouts.uses_strassen(policy) {
+        1 + strassen_levels(layouts.child(), policy)
+    } else {
+        0
+    }
+}
+
 /// The arithmetic-count model of §3.1: the recursion is profitable (by
 /// operation count alone) down to the size where one Strassen step stops
 /// saving flops. For square `n`, one step costs
@@ -100,6 +112,18 @@ mod tests {
         let conv = strassen_flops(l, ExecPolicy { strassen_min: usize::MAX, ..Default::default() });
         assert!(full < trunc && trunc < conv);
         assert_eq!(conv, conventional_flops(1024, 1024, 1024));
+    }
+
+    #[test]
+    fn strassen_levels_follow_policy() {
+        let l = square(4, 3); // 32 = 4·2³
+        assert_eq!(strassen_levels(l, ExecPolicy::default()), 3);
+        assert_eq!(strassen_levels(l, ExecPolicy { strassen_min: 16, ..Default::default() }), 1);
+        assert_eq!(
+            strassen_levels(l, ExecPolicy { strassen_min: usize::MAX, ..Default::default() }),
+            0
+        );
+        assert_eq!(strassen_levels(square(4, 0), ExecPolicy::default()), 0);
     }
 
     #[test]

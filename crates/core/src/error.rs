@@ -253,18 +253,9 @@ mod tests {
         // older should_panic tests and downstream log-scrapers match on.
         let cases: [(GemmError, &str); 6] = [
             (GemmError::InnerDimMismatch { a_cols: 5, b_rows: 6 }, "inner dimensions"),
-            (
-                GemmError::OutputDimMismatch { expected: (4, 3), got: (4, 4) },
-                "C must be 4x3",
-            ),
-            (
-                GemmError::BadLeadingDim { operand: Operand::A, ld: 9, min: 10 },
-                "leading dimension",
-            ),
-            (
-                GemmError::SliceTooShort { operand: Operand::B, needed: 100, got: 9 },
-                "too short",
-            ),
+            (GemmError::OutputDimMismatch { expected: (4, 3), got: (4, 4) }, "C must be 4x3"),
+            (GemmError::BadLeadingDim { operand: Operand::A, ld: 9, min: 10 }, "leading dimension"),
+            (GemmError::SliceTooShort { operand: Operand::B, needed: 100, got: 9 }, "too short"),
             (GemmError::WorkspaceTooSmall { needed: 64, got: 10 }, "workspace too small"),
             (
                 GemmError::BufferLenMismatch { operand: Operand::A, needed: 64, got: 63 },

@@ -17,15 +17,16 @@
 //! (`TS`, `TT`, `TP`, `TQ`). Workspace is allocated once, sized by
 //! [`workspace_len`], and consumed stack-wise down the recursion.
 
-use modgemm_mat::addsub::{
-    add_assign_flat, add_flat, rsub_assign_flat, sub_assign_flat, sub_flat,
-};
+use modgemm_mat::addsub::{add_assign_flat, add_flat, rsub_assign_flat, sub_assign_flat, sub_flat};
 use modgemm_mat::blocked::blocked_mul_add;
 use modgemm_mat::view::{MatMut, MatRef};
 use modgemm_mat::Scalar;
 use modgemm_morton::MortonLayout;
 
+use std::time::{Duration, Instant};
+
 use crate::error::{GemmError, Operand};
+use crate::metrics::{MetricsSink, NoopSink, PlanFacts};
 use crate::schedule::{ASlot, AddKind, BSlot, Step, Variant};
 
 /// Controls where the Strassen recursion hands over to the conventional
@@ -101,9 +102,8 @@ pub fn workspace_len(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
     if !layouts.uses_strassen(policy) {
         return 0;
     }
-    let per_level = layouts.a.quadrant_len()
-        + layouts.b.quadrant_len()
-        + 2 * layouts.c.quadrant_len();
+    let per_level =
+        layouts.a.quadrant_len() + layouts.b.quadrant_len() + 2 * layouts.c.quadrant_len();
     per_level + workspace_len(layouts.child(), policy)
 }
 
@@ -153,12 +153,7 @@ fn tile_ref<'t, S: Scalar>(buf: &'t [S], l: &MortonLayout) -> MatRef<'t, S> {
 /// The eight recursive calls follow the operand-reuse ordering of Frens &
 /// Wise (PPoPP'97): consecutive calls share either an `A` or a `B`
 /// operand, improving cache reuse of the just-touched subtree.
-pub fn morton_mul_add<S: Scalar>(
-    a: &[S],
-    b: &[S],
-    c: &mut [S],
-    layouts: NodeLayouts,
-) {
+pub fn morton_mul_add<S: Scalar>(a: &[S], b: &[S], c: &mut [S], layouts: NodeLayouts) {
     debug_assert_eq!(a.len(), layouts.a.len());
     debug_assert_eq!(b.len(), layouts.b.len());
     debug_assert_eq!(c.len(), layouts.c.len());
@@ -166,13 +161,15 @@ pub fn morton_mul_add<S: Scalar>(
     if layouts.a.depth == 0 {
         let av = tile_ref(a, &layouts.a);
         let bv = tile_ref(b, &layouts.b);
-        let cv = MatMut::from_slice(c, layouts.c.tile_rows, layouts.c.tile_cols, layouts.c.tile_rows);
+        let cv =
+            MatMut::from_slice(c, layouts.c.tile_rows, layouts.c.tile_cols, layouts.c.tile_rows);
         blocked_mul_add(av, bv, cv);
         return;
     }
 
     let ch = layouts.child();
-    let (qa, qb, qc) = (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
+    let (qa, qb, qc) =
+        (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
     let aq = |i: usize| &a[i * qa..(i + 1) * qa];
     let bq = |i: usize| &b[i * qb..(i + 1) * qb];
     let (c11, rest) = c.split_at_mut(qc);
@@ -211,12 +208,40 @@ pub fn try_strassen_mul<S: Scalar>(
     ws: &mut [S],
     policy: ExecPolicy,
 ) -> Result<(), GemmError> {
+    try_strassen_mul_with_sink(a, b, c, layouts, ws, policy, &mut NoopSink)
+}
+
+/// [`try_strassen_mul`] reporting execution metrics through `sink`
+/// (see [`crate::metrics`]): plan facts (modeled flops, levels taken),
+/// the workspace reservation, and exclusive per-level wall time. With
+/// [`NoopSink`] the instrumentation compiles out entirely and the
+/// product is bit-identical.
+pub fn try_strassen_mul_with_sink<S: Scalar, K: MetricsSink>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    ws: &mut [S],
+    policy: ExecPolicy,
+    sink: &mut K,
+) -> Result<(), GemmError> {
     check_buffers(a.len(), b.len(), c.len(), layouts)?;
     let needed = workspace_len(layouts, policy);
     if ws.len() < needed {
         return Err(GemmError::WorkspaceTooSmall { needed, got: ws.len() });
     }
-    node(a, b, c, layouts, ws, policy);
+    if K::ENABLED {
+        let (m, k, n) = layouts.dims();
+        sink.record_plan(PlanFacts {
+            padded: (m, k, n),
+            depth: layouts.a.depth,
+            strassen_levels: crate::counts::strassen_levels(layouts, policy),
+            flops: crate::counts::strassen_flops(layouts, policy),
+            conventional_flops: crate::counts::conventional_flops(m, k, n),
+        });
+        sink.record_workspace(needed, needed * core::mem::size_of::<S>());
+    }
+    node(a, b, c, layouts, ws, policy, 0, sink);
     Ok(())
 }
 
@@ -261,21 +286,31 @@ pub fn strassen_mul<S: Scalar>(
     }
 }
 
-fn node<S: Scalar>(
+#[allow(clippy::too_many_arguments)]
+fn node<S: Scalar, K: MetricsSink>(
     a: &[S],
     b: &[S],
     c: &mut [S],
     layouts: NodeLayouts,
     ws: &mut [S],
     policy: ExecPolicy,
+    level: usize,
+    sink: &mut K,
 ) {
     if !layouts.uses_strassen(policy) {
-        morton_mul(a, b, c, layouts);
+        if K::ENABLED {
+            let t0 = Instant::now();
+            morton_mul(a, b, c, layouts);
+            sink.record_level_time(level, t0.elapsed());
+        } else {
+            morton_mul(a, b, c, layouts);
+        }
         return;
     }
 
     let ch = layouts.child();
-    let (qa, qb, qc) = (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
+    let (qa, qb, qc) =
+        (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
 
     let aq: [&[S]; 4] = [&a[..qa], &a[qa..2 * qa], &a[2 * qa..3 * qa], &a[3 * qa..]];
     let bq: [&[S]; 4] = [&b[..qb], &b[qb..2 * qb], &b[2 * qb..3 * qb], &b[3 * qb..]];
@@ -311,7 +346,15 @@ fn node<S: Scalar>(
         core::slice::from_raw_parts(t[i].0 as *const S, t[i].1)
     }
 
+    // Exclusive per-level time: the additions of this level's schedule
+    // (the recursive multiplies attribute their own time to `level + 1`).
+    let mut add_time = Duration::ZERO;
     for &step in policy.variant.schedule() {
+        let t0 = if K::ENABLED && !matches!(step, Step::Mul { .. }) {
+            Some(Instant::now())
+        } else {
+            None
+        };
         match step {
             Step::AddA { dst, lhs, rhs, kind } => {
                 debug_assert_eq!(dst, ASlot::TS);
@@ -399,9 +442,15 @@ fn node<S: Scalar>(
                 // SAFETY: the destination is disjoint from every possible
                 // operand (A/B buffers and the TS/TT workspace ranges).
                 let cd = unsafe { slot_mut(&mut cslots, dst.index()) };
-                node(av, bv, cd, ch, child_ws, policy);
+                node(av, bv, cd, ch, child_ws, policy, level + 1, sink);
             }
         }
+        if let Some(t0) = t0 {
+            add_time += t0.elapsed();
+        }
+    }
+    if K::ENABLED {
+        sink.record_level_time(level, add_time);
     }
 }
 
@@ -484,7 +533,8 @@ mod tests {
         let got = run(&a, &b, 4, 4, 4, 3, ExecPolicy { strassen_min: 16, ..Default::default() });
         assert_eq!(got, naive_product(&a, &b));
         // strassen_min huge: pure conventional path.
-        let got = run(&a, &b, 4, 4, 4, 3, ExecPolicy { strassen_min: 1 << 20, ..Default::default() });
+        let got =
+            run(&a, &b, 4, 4, 4, 3, ExecPolicy { strassen_min: 1 << 20, ..Default::default() });
         assert_eq!(got, naive_product(&a, &b));
     }
 
@@ -540,7 +590,10 @@ mod tests {
     fn workspace_zero_when_strassen_disabled() {
         let l = MortonLayout::new(4, 4, 3);
         let layouts = NodeLayouts::new(l, l, l);
-        assert_eq!(workspace_len(layouts, ExecPolicy { strassen_min: usize::MAX, ..Default::default() }), 0);
+        assert_eq!(
+            workspace_len(layouts, ExecPolicy { strassen_min: usize::MAX, ..Default::default() }),
+            0
+        );
     }
 
     #[test]
@@ -648,7 +701,15 @@ mod tests {
         let a: Matrix<f64> = random_matrix(40, 40, 50);
         let b: Matrix<f64> = random_matrix(40, 40, 51);
         let w = run(&a, &b, 5, 5, 5, 3, ExecPolicy::default());
-        let s = run(&a, &b, 5, 5, 5, 3, ExecPolicy { variant: Variant::Strassen, ..Default::default() });
+        let s = run(
+            &a,
+            &b,
+            5,
+            5,
+            5,
+            3,
+            ExecPolicy { variant: Variant::Strassen, ..Default::default() },
+        );
         assert_matrix_eq(w.view(), s.view(), 40);
     }
 
@@ -657,7 +718,8 @@ mod tests {
         let a: Matrix<f64> = random_matrix(48, 48, 30);
         let b: Matrix<f64> = random_matrix(48, 48, 31);
         let s = run(&a, &b, 6, 6, 6, 3, ExecPolicy::default());
-        let c = run(&a, &b, 6, 6, 6, 3, ExecPolicy { strassen_min: usize::MAX, ..Default::default() });
+        let c =
+            run(&a, &b, 6, 6, 6, 3, ExecPolicy { strassen_min: usize::MAX, ..Default::default() });
         assert_matrix_eq(s.view(), c.view(), 48);
     }
 }

@@ -29,16 +29,18 @@ use modgemm_morton::MortonLayout;
 use crate::config::{ModgemmConfig, NonFinitePolicy, VerifyMode};
 use crate::error::{try_grow, try_zeroed_vec, Operand};
 use crate::exec::{
-    budget_capped_policy, strassen_mul, try_strassen_mul, workspace_len, ExecPolicy, NodeLayouts,
+    budget_capped_policy, strassen_mul, try_strassen_mul_with_sink, workspace_len, ExecPolicy,
+    NodeLayouts,
 };
-use crate::parallel::{strassen_mul_parallel, try_strassen_mul_parallel};
+use crate::metrics::{MetricsSink, NoopSink};
+use crate::parallel::{strassen_mul_parallel, try_strassen_mul_parallel_with_sink};
 use crate::rect;
 use crate::verify::verify_gemm;
 
 pub use crate::error::GemmError;
 
 /// Wall-clock breakdown of one MODGEMM call (Figure 7's quantities).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct GemmBreakdown {
     /// Packing `op(A)` and `op(B)` into Morton order.
     pub convert_in: Duration,
@@ -330,9 +332,31 @@ pub fn try_modgemm_with_ctx<S: Scalar>(
     op_b: Op,
     b: MatRef<'_, S>,
     beta: S,
+    c: MatMut<'_, S>,
+    cfg: &ModgemmConfig,
+    ctx: &mut GemmContext<S>,
+) -> Result<GemmBreakdown, GemmError> {
+    try_modgemm_with_metrics(alpha, op_a, a, op_b, b, beta, c, cfg, ctx, &mut NoopSink)
+}
+
+/// [`try_modgemm_with_ctx`] reporting execution metrics through `sink`
+/// (see [`crate::metrics`]): the logical problem, per-plan facts (flops,
+/// padding, levels taken), the workspace reservation, per-level times
+/// from the executor, and the conversion/compute breakdown. With
+/// [`NoopSink`] this *is* `try_modgemm_with_ctx` — the instrumentation
+/// compiles out and the product is bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn try_modgemm_with_metrics<S: Scalar, K: MetricsSink>(
+    alpha: S,
+    op_a: Op,
+    a: MatRef<'_, S>,
+    op_b: Op,
+    b: MatRef<'_, S>,
+    beta: S,
     mut c: MatMut<'_, S>,
     cfg: &ModgemmConfig,
     ctx: &mut GemmContext<S>,
+    sink: &mut K,
 ) -> Result<GemmBreakdown, GemmError> {
     cfg.validate()?;
     let (m, ka) = op_a.apply_dims(a.rows(), a.cols());
@@ -344,6 +368,9 @@ pub fn try_modgemm_with_ctx<S: Scalar>(
         return Err(GemmError::OutputDimMismatch { expected: (m, n), got: c.dims() });
     }
     let k = ka;
+    if K::ENABLED {
+        sink.record_problem(m, k, n);
+    }
 
     if m == 0 || n == 0 {
         return Ok(GemmBreakdown::default());
@@ -388,22 +415,47 @@ pub fn try_modgemm_with_ctx<S: Scalar>(
 
     // Sub-products of a rectangular split skip the per-call scans; this
     // level already scanned the whole operands and verifies the whole C.
-    let inner_cfg = ModgemmConfig {
-        verify: VerifyMode::Off,
-        non_finite: NonFinitePolicy::Propagate,
-        ..*cfg
-    };
+    let inner_cfg =
+        ModgemmConfig { verify: VerifyMode::Off, non_finite: NonFinitePolicy::Propagate, ..*cfg };
     let bd = match cfg.plan(m, k, n) {
         Some(plan) => {
-            try_execute_plan(alpha, op_a, a, op_b, b, beta, c.reborrow(), &inner_cfg, &plan, ctx)?
+            let bd = try_execute_plan(
+                alpha,
+                op_a,
+                a,
+                op_b,
+                b,
+                beta,
+                c.reborrow(),
+                &inner_cfg,
+                &plan,
+                ctx,
+                sink,
+            )?;
+            if K::ENABLED {
+                sink.record_breakdown(&bd);
+            }
+            bd
         }
         None => {
             // Highly rectangular: split into well-behaved products (the
             // sub-products reuse the same context sequentially).
             let mut total = GemmBreakdown::default();
-            rect::split_gemm(alpha, op_a, a, op_b, b, beta, c.reborrow(), &inner_cfg, ctx, &mut |bd| {
-                total.accumulate(bd)
-            })?;
+            rect::split_gemm(
+                alpha,
+                op_a,
+                a,
+                op_b,
+                b,
+                beta,
+                c.reborrow(),
+                &inner_cfg,
+                ctx,
+                sink,
+                &mut |bd| total.accumulate(bd),
+            )?;
+            // Sub-products each recorded their own breakdown through
+            // `sink`; only the aggregate is returned here.
             total
         }
     };
@@ -450,7 +502,7 @@ fn capped_policy<S: Scalar>(layouts: NodeLayouts, cfg: &ModgemmConfig) -> ExecPo
 }
 
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn try_execute_plan<S: Scalar>(
+pub(crate) fn try_execute_plan<S: Scalar, K: MetricsSink>(
     alpha: S,
     op_a: Op,
     a: MatRef<'_, S>,
@@ -461,6 +513,7 @@ pub(crate) fn try_execute_plan<S: Scalar>(
     cfg: &ModgemmConfig,
     plan: &JointTiling,
     ctx: &mut GemmContext<S>,
+    sink: &mut K,
 ) -> Result<GemmBreakdown, GemmError> {
     let layouts = layouts_of(plan);
     let policy = capped_policy::<S>(layouts, cfg);
@@ -480,10 +533,18 @@ pub(crate) fn try_execute_plan<S: Scalar>(
     let t1 = Instant::now();
     let cbuf = try_grow(&mut ctx.c_buf, layouts.c.len())?;
     if cfg.parallel_depth > 0 {
-        try_strassen_mul_parallel(abuf, bbuf, cbuf, layouts, policy, cfg.parallel_depth)?;
+        try_strassen_mul_parallel_with_sink(
+            abuf,
+            bbuf,
+            cbuf,
+            layouts,
+            policy,
+            cfg.parallel_depth,
+            sink,
+        )?;
     } else {
         let ws = try_grow(&mut ctx.ws, workspace_len(layouts, policy))?;
-        try_strassen_mul(abuf, bbuf, cbuf, layouts, ws, policy)?;
+        try_strassen_mul_with_sink(abuf, bbuf, cbuf, layouts, ws, policy, sink)?;
     }
     let compute = t1.elapsed();
     let cbuf = &ctx.c_buf[..layouts.c.len()];
@@ -736,22 +797,33 @@ mod tests {
         let a: Matrix<f64> = Matrix::zeros(4, 5);
         let b: Matrix<f64> = Matrix::zeros(6, 3);
         let mut c: Matrix<f64> = Matrix::zeros(4, 3);
-        let err = try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg)
-            .unwrap_err();
+        let err =
+            try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg)
+                .unwrap_err();
         assert_eq!(err, GemmError::InnerDimMismatch { a_cols: 5, b_rows: 6 });
         assert!(err.to_string().contains("inner dimensions"));
 
         let b: Matrix<f64> = Matrix::zeros(5, 3);
         let mut bad_c: Matrix<f64> = Matrix::zeros(4, 4);
-        let err = try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, bad_c.view_mut(), &cfg)
-            .unwrap_err();
+        let err = try_modgemm(
+            1.0,
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            0.0,
+            bad_c.view_mut(),
+            &cfg,
+        )
+        .unwrap_err();
         assert_eq!(err, GemmError::OutputDimMismatch { expected: (4, 3), got: (4, 4) });
 
         // And it succeeds (with a correct result) when dims are legal.
         let a: Matrix<i64> = random_matrix(10, 12, 1);
         let b: Matrix<i64> = random_matrix(12, 8, 2);
         let mut c: Matrix<i64> = Matrix::zeros(10, 8);
-        try_modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &cfg).unwrap();
+        try_modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &cfg)
+            .unwrap();
         assert_eq!(c, naive_product(&a, &b));
     }
 
@@ -796,7 +868,17 @@ mod tests {
         let a: Matrix<f64> = random_matrix(200, 200, 140);
         let b: Matrix<f64> = random_matrix(200, 200, 141);
         let mut c: Matrix<f64> = Matrix::zeros(200, 200);
-        modgemm_with_ctx(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg, &mut ctx);
+        modgemm_with_ctx(
+            1.0,
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            0.0,
+            c.view_mut(),
+            &cfg,
+            &mut ctx,
+        );
         assert!(ctx.ws.len() * core::mem::size_of::<f64>() <= 4 * 1024);
         assert_matrix_eq(c.view(), naive_product(&a, &b).view(), 200);
     }
@@ -812,14 +894,17 @@ mod tests {
         // Reject: typed error naming the poisoned operand.
         let cfg = ModgemmConfig { non_finite: NonFinitePolicy::Reject, ..Default::default() };
         let mut c: Matrix<f64> = Matrix::zeros(n, n);
-        let err = try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg)
-            .unwrap_err();
+        let err =
+            try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg)
+                .unwrap_err();
         assert_eq!(err, GemmError::NonFiniteInput { operand: Operand::A });
 
         // FallbackConventional: bitwise identical to the naive baseline
         // (same algorithm, same order), NaN only where IEEE says so.
-        let cfg =
-            ModgemmConfig { non_finite: NonFinitePolicy::FallbackConventional, ..Default::default() };
+        let cfg = ModgemmConfig {
+            non_finite: NonFinitePolicy::FallbackConventional,
+            ..Default::default()
+        };
         let mut c: Matrix<f64> = Matrix::zeros(n, n);
         try_modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg)
             .unwrap();
@@ -860,8 +945,17 @@ mod tests {
             let b: Matrix<f64> = random_matrix(k, n, seed + 1);
             let c0: Matrix<f64> = random_matrix(m, n, seed + 2);
             let mut c = c0.clone();
-            try_modgemm(1.5, Op::NoTrans, a.view(), Op::NoTrans, b.view(), -0.5, c.view_mut(), &cfg)
-                .unwrap();
+            try_modgemm(
+                1.5,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                -0.5,
+                c.view_mut(),
+                &cfg,
+            )
+            .unwrap();
             let mut expect = c0;
             naive_gemm(1.5, Op::NoTrans, a.view(), Op::NoTrans, b.view(), -0.5, expect.view_mut());
             assert_matrix_eq(c.view(), expect.view(), k);
@@ -889,8 +983,12 @@ mod tests {
         let cfg = ModgemmConfig::default();
         let mut ctx = GemmContext::<f64>::new();
         // Mixed shapes, including one that splits (reuses ctx inside).
-        for (m, k, n, seed) in [(100usize, 80usize, 90usize, 1u64), (150, 150, 150, 2), (60, 500, 60, 3), (100, 80, 90, 4)]
-        {
+        for (m, k, n, seed) in [
+            (100usize, 80usize, 90usize, 1u64),
+            (150, 150, 150, 2),
+            (60, 500, 60, 3),
+            (100, 80, 90, 4),
+        ] {
             let a: Matrix<f64> = random_matrix(m, k, seed);
             let b: Matrix<f64> = random_matrix(k, n, seed + 10);
             let mut with_ctx: Matrix<f64> = Matrix::zeros(m, n);
@@ -914,7 +1012,17 @@ mod tests {
         let a: Matrix<f64> = random_matrix(150, 150, 9);
         let b: Matrix<f64> = random_matrix(150, 150, 10);
         let mut c: Matrix<f64> = Matrix::zeros(150, 150);
-        modgemm_with_ctx(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg, &mut ctx);
+        modgemm_with_ctx(
+            1.0,
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            0.0,
+            c.view_mut(),
+            &cfg,
+            &mut ctx,
+        );
         assert_eq!(ctx.footprint(), before);
     }
 
@@ -928,13 +1036,24 @@ mod tests {
         let a: Matrix<f64> = random_matrix(200, 200, 1);
         let b: Matrix<f64> = random_matrix(200, 200, 2);
         let mut c: Matrix<f64> = Matrix::zeros(200, 200);
-        modgemm_with_ctx(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg, &mut ctx);
+        modgemm_with_ctx(
+            1.0,
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            0.0,
+            c.view_mut(),
+            &cfg,
+            &mut ctx,
+        );
         assert_eq!(ctx.footprint(), reserved, "reservation must cover the run");
     }
 
     #[test]
     fn strassen_variant_through_full_interface() {
-        let cfg = ModgemmConfig { variant: crate::schedule::Variant::Strassen, ..Default::default() };
+        let cfg =
+            ModgemmConfig { variant: crate::schedule::Variant::Strassen, ..Default::default() };
         let a: Matrix<i64> = random_matrix(100, 100, 1);
         let b: Matrix<i64> = random_matrix(100, 100, 2);
         let mut c: Matrix<i64> = Matrix::zeros(100, 100);

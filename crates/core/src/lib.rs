@@ -36,6 +36,7 @@ pub mod counts;
 pub mod error;
 pub mod exec;
 pub mod gemm;
+pub mod metrics;
 pub mod parallel;
 pub mod rect;
 pub mod schedule;
@@ -43,14 +44,18 @@ pub mod verify;
 
 pub use config::{MemoryBudget, ModgemmConfig, NonFinitePolicy, Truncation, VerifyMode};
 pub use error::{GemmError, Operand};
-pub use schedule::Variant;
 pub use exec::{
-    budget_capped_policy, strassen_mul, try_strassen_mul, workspace_len, ExecPolicy, NodeLayouts,
+    budget_capped_policy, strassen_mul, try_strassen_mul, try_strassen_mul_with_sink,
+    workspace_len, ExecPolicy, NodeLayouts,
 };
 pub use gemm::{
     layouts_of, modgemm, modgemm_premorton, modgemm_timed, modgemm_with_ctx, try_modgemm,
-    try_modgemm_with_ctx, GemmBreakdown, GemmContext, MortonMatrix,
+    try_modgemm_with_ctx, try_modgemm_with_metrics, GemmBreakdown, GemmContext, MortonMatrix,
 };
-pub use parallel::{strassen_mul_parallel, try_strassen_mul_parallel};
+pub use metrics::{CacheTotals, CollectingSink, ExecMetrics, MetricsSink, NoopSink, PlanFacts};
+pub use parallel::{
+    strassen_mul_parallel, try_strassen_mul_parallel, try_strassen_mul_parallel_with_sink,
+};
 pub use rect::{classify, Shape};
+pub use schedule::Variant;
 pub use verify::{verify_gemm, verify_product};

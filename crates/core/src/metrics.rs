@@ -1,0 +1,369 @@
+//! Execution metrics — the observability vocabulary of the reproduction.
+//!
+//! The paper's argument is quantitative: MODGEMM wins because its Morton
+//! layout and dynamic truncation reduce misses and padding overhead.
+//! Every executor in the workspace therefore reports through one shared
+//! vocabulary, the [`MetricsSink`] trait:
+//!
+//! * [`NoopSink`] — the zero-cost default. Its [`MetricsSink::ENABLED`]
+//!   constant is `false`, so instrumented code paths skip even the
+//!   `Instant::now()` calls; the product is bit-identical to an
+//!   uninstrumented run (asserted by tests).
+//! * [`CollectingSink`] — accumulates everything into an [`ExecMetrics`]
+//!   snapshot: recursion depth taken, per-level wall time, modeled
+//!   Strassen vs conventional flops (from [`crate::counts`]), peak
+//!   workspace actually reserved, temporary allocations, padding
+//!   overhead, the conversion/compute breakdown, and — when fed from a
+//!   `modgemm-cachesim` traced run — cache hit/miss totals.
+//!
+//! Entry points accepting a sink: [`crate::exec::try_strassen_mul_with_sink`],
+//! [`crate::parallel::try_strassen_mul_parallel_with_sink`], and
+//! [`crate::gemm::try_modgemm_with_metrics`]. The baselines mirror them in
+//! `modgemm-baselines::instrumented`.
+
+use std::time::Duration;
+
+use crate::gemm::GemmBreakdown;
+
+/// Static facts about one planned executor invocation, recorded once per
+/// top-level call (and once per sub-product when a rectangular problem is
+/// split, §3.5 — the accumulating sink sums them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanFacts {
+    /// Padded GEMM dimensions `(m, k, n)` the executor actually runs.
+    pub padded: (usize, usize, usize),
+    /// Morton recursion depth of the plan.
+    pub depth: usize,
+    /// Levels that take the Strassen step (the rest run conventionally).
+    pub strassen_levels: usize,
+    /// Modeled flops the executor performs
+    /// ([`crate::counts::strassen_flops`] — exact, see its tests).
+    pub flops: u64,
+    /// Modeled flops a conventional multiply of the padded problem would
+    /// perform ([`crate::counts::conventional_flops`]).
+    pub conventional_flops: u64,
+}
+
+/// Cache-simulation totals (fed from `modgemm-cachesim` traced runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheTotals {
+    /// Accesses that hit in the (innermost) simulated cache.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheTotals {
+    /// Miss ratio, or 0 when no accesses were recorded.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// The event vocabulary every instrumented executor reports through.
+///
+/// All methods have empty default bodies, so a sink implements only what
+/// it cares about. Executors are generic over the sink and consult
+/// [`Self::ENABLED`] before doing instrumentation-only work (timing
+/// syscalls in particular), so the [`NoopSink`] paths compile to exactly
+/// the uninstrumented code.
+pub trait MetricsSink {
+    /// `false` only for sinks that discard everything; lets executors
+    /// skip instrumentation-only work at compile time.
+    const ENABLED: bool = true;
+
+    /// Logical (unpadded) problem dimensions `(m, k, n)`, recorded once
+    /// at the top of the GEMM pipeline.
+    fn record_problem(&mut self, m: usize, k: usize, n: usize) {
+        let _ = (m, k, n);
+    }
+
+    /// Plan-level facts of one executor invocation.
+    fn record_plan(&mut self, facts: PlanFacts) {
+        let _ = facts;
+    }
+
+    /// Strassen workspace reserved for one invocation (the quantity
+    /// [`crate::config::MemoryBudget`] caps).
+    fn record_workspace(&mut self, elems: usize, bytes: usize) {
+        let _ = (elems, bytes);
+    }
+
+    /// `count` temporary buffers totalling `elems` elements were
+    /// allocated outside the pre-reserved workspace (the parallel
+    /// executor's product temporaries, internal scratch, …).
+    fn record_temp_allocs(&mut self, count: u64, elems: u64) {
+        let _ = (count, elems);
+    }
+
+    /// Wall time attributed exclusively to recursion level `level`
+    /// (additions at Strassen nodes; the whole conventional subtree at
+    /// the handover level).
+    fn record_level_time(&mut self, level: usize, elapsed: Duration) {
+        let _ = (level, elapsed);
+    }
+
+    /// The conversion/compute wall-clock split of one GEMM call.
+    fn record_breakdown(&mut self, bd: &GemmBreakdown) {
+        let _ = bd;
+    }
+
+    /// Cache hit/miss totals from a simulated run.
+    fn record_cache(&mut self, hits: u64, misses: u64) {
+        let _ = (hits, misses);
+    }
+}
+
+/// The zero-cost default sink: ignores everything, and its
+/// [`MetricsSink::ENABLED`] constant lets executors compile the
+/// instrumentation out entirely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl MetricsSink for NoopSink {
+    const ENABLED: bool = false;
+}
+
+/// One executed-metrics snapshot — everything a [`CollectingSink`]
+/// gathered over one or more instrumented calls.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecMetrics {
+    /// Logical problem dims `(m, k, n)` (first recorded call).
+    pub problem: Option<(usize, usize, usize)>,
+    /// Executor invocations observed (> 1 when a rectangular problem was
+    /// split into sub-products).
+    pub plans: u64,
+    /// Deepest Morton recursion depth across plans.
+    pub depth: usize,
+    /// Deepest count of levels that took the Strassen step.
+    pub strassen_levels: usize,
+    /// Modeled flops executed, summed across plans.
+    pub flops: u64,
+    /// Modeled conventional-cost flops of the same padded problems.
+    pub conventional_flops: u64,
+    /// Sum over plans of the padded volume `m·k·n` (for
+    /// [`Self::padding_ratio`]).
+    pub padded_volume: u128,
+    /// Peak Strassen workspace reserved by any single invocation, in
+    /// elements.
+    pub peak_workspace_elems: usize,
+    /// Peak Strassen workspace in bytes.
+    pub peak_workspace_bytes: usize,
+    /// Temporary buffers allocated outside the workspace arena.
+    pub temp_allocations: u64,
+    /// Total elements across those temporaries.
+    pub temp_alloc_elems: u64,
+    /// Exclusive wall time per recursion level (index = level; grown on
+    /// demand).
+    pub level_times: Vec<Duration>,
+    /// Accumulated conversion/compute breakdown.
+    pub breakdown: GemmBreakdown,
+    /// Cache totals, present only when a traced run reported them.
+    pub cache: Option<CacheTotals>,
+}
+
+impl ExecMetrics {
+    /// Fresh, empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recursion depth actually taken by the Strassen step (alias of
+    /// [`Self::strassen_levels`], the ISSUE vocabulary).
+    pub fn depth_taken(&self) -> usize {
+        self.strassen_levels
+    }
+
+    /// `padded volume / logical volume` — the padding overhead the
+    /// paper's dynamic truncation minimizes (Figure 2). `1.0` means no
+    /// padding; returns 0 when no problem was recorded.
+    pub fn padding_ratio(&self) -> f64 {
+        match self.problem {
+            Some((m, k, n)) if m * k * n > 0 => {
+                self.padded_volume as f64 / (m as u128 * k as u128 * n as u128) as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Modeled arithmetic saving of the Strassen recursion:
+    /// `flops / conventional_flops` (< 1 when the recursion saves work).
+    pub fn flop_ratio(&self) -> f64 {
+        if self.conventional_flops == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.conventional_flops as f64
+        }
+    }
+
+    /// Effective flops of the *logical* problem (`2·m·k·n`) — the
+    /// conventional-equivalent count benchmarks normalize by, so
+    /// Strassen's savings show up as higher effective GFLOP/s rather
+    /// than a different denominator.
+    pub fn effective_flops(&self) -> u64 {
+        match self.problem {
+            Some((m, k, n)) => crate::counts::conventional_flops(m, k, n),
+            None => 0,
+        }
+    }
+
+    /// Effective GFLOP/s for this problem completed in `elapsed`.
+    pub fn effective_gflops(&self, elapsed: Duration) -> f64 {
+        let s = elapsed.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.effective_flops() as f64 / s / 1e9
+        }
+    }
+
+    /// Total exclusive per-level time (≈ compute time when instrumented
+    /// through the serial executor).
+    pub fn level_time_total(&self) -> Duration {
+        self.level_times.iter().sum()
+    }
+}
+
+/// A [`MetricsSink`] that accumulates every event into an
+/// [`ExecMetrics`]. Repeated records accumulate (sums / maxima), so one
+/// sink can observe a whole rectangular-split pipeline or a batch of
+/// calls.
+#[derive(Clone, Debug, Default)]
+pub struct CollectingSink {
+    /// The snapshot accumulated so far.
+    pub metrics: ExecMetrics,
+}
+
+impl CollectingSink {
+    /// A sink with an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the sink, returning the snapshot.
+    pub fn into_metrics(self) -> ExecMetrics {
+        self.metrics
+    }
+}
+
+impl MetricsSink for CollectingSink {
+    fn record_problem(&mut self, m: usize, k: usize, n: usize) {
+        if self.metrics.problem.is_none() {
+            self.metrics.problem = Some((m, k, n));
+        }
+    }
+
+    fn record_plan(&mut self, facts: PlanFacts) {
+        let m = &mut self.metrics;
+        m.plans += 1;
+        m.depth = m.depth.max(facts.depth);
+        m.strassen_levels = m.strassen_levels.max(facts.strassen_levels);
+        m.flops += facts.flops;
+        m.conventional_flops += facts.conventional_flops;
+        let (pm, pk, pn) = facts.padded;
+        m.padded_volume += pm as u128 * pk as u128 * pn as u128;
+    }
+
+    fn record_workspace(&mut self, elems: usize, bytes: usize) {
+        let m = &mut self.metrics;
+        m.peak_workspace_elems = m.peak_workspace_elems.max(elems);
+        m.peak_workspace_bytes = m.peak_workspace_bytes.max(bytes);
+    }
+
+    fn record_temp_allocs(&mut self, count: u64, elems: u64) {
+        self.metrics.temp_allocations += count;
+        self.metrics.temp_alloc_elems += elems;
+    }
+
+    fn record_level_time(&mut self, level: usize, elapsed: Duration) {
+        let lt = &mut self.metrics.level_times;
+        if lt.len() <= level {
+            lt.resize(level + 1, Duration::ZERO);
+        }
+        lt[level] += elapsed;
+    }
+
+    fn record_breakdown(&mut self, bd: &GemmBreakdown) {
+        self.metrics.breakdown.convert_in += bd.convert_in;
+        self.metrics.breakdown.compute += bd.compute;
+        self.metrics.breakdown.convert_out += bd.convert_out;
+    }
+
+    fn record_cache(&mut self, hits: u64, misses: u64) {
+        let c = self.metrics.cache.get_or_insert(CacheTotals::default());
+        c.hits += hits;
+        c.misses += misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Compile-time pins: NoopSink must stay the zero-cost default and
+    // CollectingSink the enabled one.
+    const _: () = assert!(!NoopSink::ENABLED);
+    const _: () = assert!(CollectingSink::ENABLED);
+
+    #[test]
+    fn collecting_sink_accumulates() {
+        let mut sink = CollectingSink::new();
+        sink.record_problem(10, 20, 30);
+        sink.record_problem(99, 99, 99); // ignored: first wins
+        sink.record_plan(PlanFacts {
+            padded: (16, 32, 32),
+            depth: 2,
+            strassen_levels: 2,
+            flops: 100,
+            conventional_flops: 200,
+        });
+        sink.record_plan(PlanFacts {
+            padded: (16, 16, 16),
+            depth: 1,
+            strassen_levels: 1,
+            flops: 10,
+            conventional_flops: 20,
+        });
+        sink.record_workspace(50, 400);
+        sink.record_workspace(30, 240);
+        sink.record_temp_allocs(3, 90);
+        sink.record_level_time(1, Duration::from_millis(5));
+        sink.record_level_time(1, Duration::from_millis(5));
+        sink.record_level_time(0, Duration::from_millis(1));
+        sink.record_cache(70, 30);
+
+        let m = sink.into_metrics();
+        assert_eq!(m.problem, Some((10, 20, 30)));
+        assert_eq!(m.plans, 2);
+        assert_eq!(m.depth, 2);
+        assert_eq!(m.strassen_levels, 2);
+        assert_eq!(m.flops, 110);
+        assert_eq!(m.conventional_flops, 220);
+        assert_eq!(m.padded_volume, (16 * 32 * 32 + 16 * 16 * 16) as u128);
+        assert_eq!(m.peak_workspace_elems, 50);
+        assert_eq!(m.peak_workspace_bytes, 400);
+        assert_eq!(m.temp_allocations, 3);
+        assert_eq!(m.temp_alloc_elems, 90);
+        assert_eq!(m.level_times.len(), 2);
+        assert_eq!(m.level_times[1], Duration::from_millis(10));
+        assert_eq!(m.flop_ratio(), 0.5);
+        assert_eq!(m.cache.unwrap().miss_ratio(), 0.3);
+        assert!(m.padding_ratio() > 1.0);
+        assert_eq!(m.effective_flops(), 2 * 10 * 20 * 30);
+    }
+
+    #[test]
+    fn empty_metrics_are_benign() {
+        let m = ExecMetrics::new();
+        assert_eq!(m.padding_ratio(), 0.0);
+        assert_eq!(m.flop_ratio(), 0.0);
+        assert_eq!(m.effective_flops(), 0);
+        assert_eq!(m.level_time_total(), Duration::ZERO);
+        assert_eq!(m.effective_gflops(Duration::ZERO), 0.0);
+    }
+}

@@ -24,6 +24,7 @@ use modgemm_mat::Scalar;
 
 use crate::error::{panic_message, try_zeroed_vec, GemmError};
 use crate::exec::{check_buffers, try_strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
+use crate::metrics::{MetricsSink, PlanFacts};
 
 /// Fallible core of [`strassen_mul_parallel`]: `C = A·B` with the top
 /// `par_depth` Strassen levels evaluated in parallel.
@@ -105,9 +106,8 @@ pub fn try_strassen_mul_parallel<S: Scalar>(
             }
             Err(payload) => {
                 if first_err.is_none() {
-                    first_err = Some(GemmError::WorkerPanic {
-                        message: panic_message(payload.as_ref()),
-                    });
+                    first_err =
+                        Some(GemmError::WorkerPanic { message: panic_message(payload.as_ref()) });
                 }
             }
         };
@@ -144,6 +144,70 @@ pub fn try_strassen_mul_parallel<S: Scalar>(
     add_assign_flat(c21, c11); // U4 = U3 + P7       → C21 done
     add_assign_flat(c22, c11); // U5 = U3 + P3       → C22 done
     add_flat(c11, &p1, &p2); // U1 = P1 + P2         → C11 done
+    Ok(())
+}
+
+/// Modeled temporary allocations of the parallel executor: per parallel
+/// Winograd level, each node allocates 8 operand temporaries
+/// (`S1..S4`, `T1..T4`) and 3 product temporaries (`P1`, `P2`, `P5`);
+/// at the serial handover each of the `7^d` subtrees allocates one
+/// Strassen workspace. Returns `(allocation count, total elements)`.
+pub fn parallel_temp_allocs(
+    layouts: NodeLayouts,
+    policy: ExecPolicy,
+    par_depth: usize,
+) -> (u64, u64) {
+    if par_depth == 0
+        || !layouts.uses_strassen(policy)
+        || policy.variant != crate::schedule::Variant::Winograd
+    {
+        let ws = workspace_len(layouts, policy);
+        return if ws > 0 { (1, ws as u64) } else { (0, 0) };
+    }
+    let per_node = (4 * layouts.a.quadrant_len()
+        + 4 * layouts.b.quadrant_len()
+        + 3 * layouts.c.quadrant_len()) as u64;
+    let (child_count, child_elems) = parallel_temp_allocs(layouts.child(), policy, par_depth - 1);
+    (11 + 7 * child_count, per_node + 7 * child_elems)
+}
+
+/// [`try_strassen_mul_parallel`] reporting through a [`MetricsSink`]
+/// (see [`crate::metrics`]).
+///
+/// The parallel executor cannot share one `&mut` sink across its scoped
+/// worker threads, so instrumentation is coarser than the serial
+/// executor's: plan facts and temporary allocations are *modeled*
+/// (exactly — the allocation sites are deterministic), the whole call's
+/// wall time is attributed to level 0, and the modeled temporary total is
+/// recorded as the workspace reservation (it is what the call actually
+/// allocates beyond the operand buffers).
+pub fn try_strassen_mul_parallel_with_sink<S: Scalar, K: MetricsSink>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    policy: ExecPolicy,
+    par_depth: usize,
+    sink: &mut K,
+) -> Result<(), GemmError> {
+    if !K::ENABLED {
+        return try_strassen_mul_parallel(a, b, c, layouts, policy, par_depth);
+    }
+    let t0 = std::time::Instant::now();
+    try_strassen_mul_parallel(a, b, c, layouts, policy, par_depth)?;
+    let elapsed = t0.elapsed();
+    let (m, k, n) = layouts.dims();
+    sink.record_plan(PlanFacts {
+        padded: (m, k, n),
+        depth: layouts.a.depth,
+        strassen_levels: crate::counts::strassen_levels(layouts, policy),
+        flops: crate::counts::strassen_flops(layouts, policy),
+        conventional_flops: crate::counts::conventional_flops(m, k, n),
+    });
+    let (count, elems) = parallel_temp_allocs(layouts, policy, par_depth);
+    sink.record_temp_allocs(count, elems);
+    sink.record_workspace(elems as usize, elems as usize * core::mem::size_of::<S>());
+    sink.record_level_time(0, elapsed);
     Ok(())
 }
 
@@ -253,8 +317,7 @@ mod tests {
         to_morton(a.view(), Op::NoTrans, &l, &mut ab);
         to_morton(b.view(), Op::NoTrans, &l, &mut bb);
         let mut c_par = vec![0.0; l.len()];
-        try_strassen_mul_parallel(&ab, &bb, &mut c_par, layouts, ExecPolicy::default(), 1)
-            .unwrap();
+        try_strassen_mul_parallel(&ab, &bb, &mut c_par, layouts, ExecPolicy::default(), 1).unwrap();
         let mut c_ser = vec![0.0; l.len()];
         let mut ws = vec![0.0; workspace_len(layouts, ExecPolicy::default())];
         strassen_mul(&ab, &bb, &mut c_ser, layouts, &mut ws, ExecPolicy::default());

@@ -30,7 +30,8 @@ use modgemm_morton::tiling::TileRange;
 
 use crate::config::ModgemmConfig;
 use crate::error::GemmError;
-use crate::gemm::{try_modgemm_with_ctx, GemmBreakdown, GemmContext};
+use crate::gemm::{try_modgemm_with_metrics, GemmBreakdown, GemmContext};
+use crate::metrics::MetricsSink;
 
 /// The paper's shape taxonomy for an operand (§3.5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,12 +74,13 @@ pub(crate) fn op_sub<'a, S: Scalar>(
 }
 
 /// Splits one over-rectangular GEMM along its largest dimension and
-/// recurses through [`try_modgemm_with_ctx`] (which re-plans each half).
-/// Breakdowns of the leaf executions are fed to `sink`; the first error
-/// aborts the remaining halves (`C` is then partial garbage, like any
-/// failed GEMM).
+/// recurses through [`try_modgemm_with_metrics`] (which re-plans each
+/// half). Each sub-product reports its plan and timings through
+/// `metrics`; breakdowns of the leaf executions are fed to
+/// `on_breakdown`. The first error aborts the remaining halves (`C` is
+/// then partial garbage, like any failed GEMM).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn split_gemm<S: Scalar>(
+pub(crate) fn split_gemm<S: Scalar, K: MetricsSink>(
     alpha: S,
     op_a: Op,
     a: MatRef<'_, S>,
@@ -88,11 +90,23 @@ pub(crate) fn split_gemm<S: Scalar>(
     c: MatMut<'_, S>,
     cfg: &ModgemmConfig,
     ctx: &mut GemmContext<S>,
-    sink: &mut dyn FnMut(GemmBreakdown),
+    metrics: &mut K,
+    on_breakdown: &mut dyn FnMut(GemmBreakdown),
 ) -> Result<(), GemmError> {
     let (m, k) = op_a.apply_dims(a.rows(), a.cols());
     let (_, n) = op_b.apply_dims(b.rows(), b.cols());
     debug_assert!(m.max(k).max(n) >= 2, "split on degenerate problem");
+
+    let run = |alpha: S,
+               a: MatRef<'_, S>,
+               b: MatRef<'_, S>,
+               beta: S,
+               c: MatMut<'_, S>,
+               ctx: &mut GemmContext<S>,
+               metrics: &mut K|
+     -> Result<GemmBreakdown, GemmError> {
+        try_modgemm_with_metrics(alpha, op_a, a, op_b, b, beta, c, cfg, ctx, metrics)
+    };
 
     if m >= k && m >= n {
         // Lean A: split op(A) and C into top/bottom halves.
@@ -100,16 +114,16 @@ pub(crate) fn split_gemm<S: Scalar>(
         let a1 = op_sub(a, op_a, 0, 0, m1, k);
         let a2 = op_sub(a, op_a, m1, 0, m - m1, k);
         let (c1, _, c2, _) = c.split_quad(m1, n);
-        sink(try_modgemm_with_ctx(alpha, op_a, a1, op_b, b, beta, c1, cfg, ctx)?);
-        sink(try_modgemm_with_ctx(alpha, op_a, a2, op_b, b, beta, c2, cfg, ctx)?);
+        on_breakdown(run(alpha, a1, b, beta, c1, ctx, metrics)?);
+        on_breakdown(run(alpha, a2, b, beta, c2, ctx, metrics)?);
     } else if n >= k {
         // Wide B: split op(B) and C into left/right halves.
         let n1 = n / 2;
         let b1 = op_sub(b, op_b, 0, 0, k, n1);
         let b2 = op_sub(b, op_b, 0, n1, k, n - n1);
         let (c1, c2, _, _) = c.split_quad(m, n1);
-        sink(try_modgemm_with_ctx(alpha, op_a, a, op_b, b1, beta, c1, cfg, ctx)?);
-        sink(try_modgemm_with_ctx(alpha, op_a, a, op_b, b2, beta, c2, cfg, ctx)?);
+        on_breakdown(run(alpha, a, b1, beta, c1, ctx, metrics)?);
+        on_breakdown(run(alpha, a, b2, beta, c2, ctx, metrics)?);
     } else {
         // Wide A / lean B: split the inner dimension and accumulate.
         let k1 = k / 2;
@@ -118,8 +132,8 @@ pub(crate) fn split_gemm<S: Scalar>(
         let b1 = op_sub(b, op_b, 0, 0, k1, n);
         let b2 = op_sub(b, op_b, k1, 0, k - k1, n);
         let mut c = c;
-        sink(try_modgemm_with_ctx(alpha, op_a, a1, op_b, b1, beta, c.reborrow(), cfg, ctx)?);
-        sink(try_modgemm_with_ctx(alpha, op_a, a2, op_b, b2, S::ONE, c, cfg, ctx)?);
+        on_breakdown(run(alpha, a1, b1, beta, c.reborrow(), ctx, metrics)?);
+        on_breakdown(run(alpha, a2, b2, S::ONE, c, ctx, metrics)?);
     }
     Ok(())
 }
@@ -212,15 +226,7 @@ mod tests {
                 &cfg,
             );
             let mut expect: Matrix<f64> = Matrix::zeros(m, n);
-            naive_gemm(
-                1.0,
-                Op::NoTrans,
-                a.view(),
-                Op::NoTrans,
-                b.view(),
-                0.0,
-                expect.view_mut(),
-            );
+            naive_gemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, expect.view_mut());
             assert_matrix_eq(got.view(), expect.view(), k);
         }
     }
@@ -244,15 +250,7 @@ mod tests {
                 &cfg,
             );
             let mut expect: Matrix<f64> = Matrix::zeros(m, n);
-            naive_gemm(
-                1.0,
-                Op::NoTrans,
-                a.view(),
-                Op::NoTrans,
-                b.view(),
-                0.0,
-                expect.view_mut(),
-            );
+            naive_gemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, expect.view_mut());
             assert_matrix_eq(got.view(), expect.view(), k);
         }
     }

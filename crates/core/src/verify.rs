@@ -136,7 +136,16 @@ mod tests {
         let a: Matrix<f64> = random_matrix(n, n, 3);
         let b: Matrix<f64> = random_matrix(n, n, 4);
         let mut c: Matrix<f64> = Matrix::zeros(n, n);
-        modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &ModgemmConfig::paper());
+        modgemm(
+            1.0,
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            0.0,
+            c.view_mut(),
+            &ModgemmConfig::paper(),
+        );
         assert!(verify_product(a.view(), b.view(), c.view(), 8, 100));
     }
 
@@ -180,7 +189,16 @@ mod tests {
         let b: Matrix<f64> = random_matrix(k, n, 11);
         let c0: Matrix<f64> = random_matrix(m, n, 12);
         let mut c = c0.clone();
-        modgemm(2.0, Op::Trans, a.view(), Op::NoTrans, b.view(), -0.5, c.view_mut(), &ModgemmConfig::paper());
+        modgemm(
+            2.0,
+            Op::Trans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            -0.5,
+            c.view_mut(),
+            &ModgemmConfig::paper(),
+        );
         assert!(verify_gemm(
             2.0,
             Op::Trans,

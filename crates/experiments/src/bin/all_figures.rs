@@ -1,7 +1,16 @@
 //! Convenience driver: runs every per-figure experiment in `--quick`
 //! mode by invoking the sibling binaries, so `all_figures` gives a
 //! one-command smoke reproduction of the whole evaluation.
+//!
+//! Each driver's stdout is captured to `results/<bin>.txt` and its
+//! stderr (progress lines) to `results/<bin>.err`, next to the
+//! `<bin>.json` artifact the driver writes itself. A driver that fails —
+//! including one that cannot be spawned because it was not built — gets
+//! its exit status recorded in the `.err` file and makes the whole run
+//! exit nonzero, so CI cannot report a green smoke reproduction over
+//! broken figures.
 
+use std::path::PathBuf;
 use std::process::Command;
 
 const BINS: &[&str] = &[
@@ -19,26 +28,47 @@ const BINS: &[&str] = &[
     "tile_range_study",
 ];
 
+fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("MODGEMM_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()))
+}
+
 fn main() {
     let self_path = std::env::current_exe().expect("own path");
     let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let out_dir = results_dir();
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
     let mut failures = Vec::new();
 
     for bin in BINS {
         println!("\n################ {bin} (--quick) ################");
-        let status = Command::new(bin_dir.join(bin))
-            .arg("--quick")
-            .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-        if !status.success() {
+        let err_path = out_dir.join(format!("{bin}.err"));
+
+        let output = match Command::new(bin_dir.join(bin)).arg("--quick").output() {
+            Ok(o) => o,
+            Err(e) => {
+                let msg = format!("failed to spawn {bin}: {e}\n");
+                eprint!("{msg}");
+                std::fs::write(&err_path, msg).expect("write .err");
+                failures.push(*bin);
+                continue;
+            }
+        };
+
+        print!("{}", String::from_utf8_lossy(&output.stdout));
+        std::fs::write(out_dir.join(format!("{bin}.txt")), &output.stdout).expect("write .txt");
+        let mut err = output.stderr.clone();
+        if !output.status.success() {
+            err.extend_from_slice(format!("{bin}: exited with {}\n", output.status).as_bytes());
             failures.push(*bin);
         }
+        eprint!("{}", String::from_utf8_lossy(&err));
+        std::fs::write(&err_path, err).expect("write .err");
     }
 
     if failures.is_empty() {
         println!("\nall {} experiment drivers completed", BINS.len());
     } else {
-        eprintln!("\nFAILED drivers: {failures:?}");
+        eprintln!("\nFAILED drivers: {failures:?} (stderr kept under {})", out_dir.display());
         std::process::exit(1);
     }
 }

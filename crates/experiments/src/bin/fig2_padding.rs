@@ -9,15 +9,17 @@
 //! paper's range), the fixed-32 series staircases up to nearly `2n` just
 //! past powers of two, and the chosen tile sweeps its range sawtooth-wise.
 
-use modgemm_experiments::Table;
+use modgemm_experiments::{JsonArtifact, Table};
 use modgemm_morton::tiling::{padding_series, TileRange};
 
 fn main() {
+    let mut art = JsonArtifact::new("fig2_padding");
     let range = TileRange::PAPER;
     let ns: Vec<usize> = (64..=1200).collect();
     let pts = padding_series(ns.iter().copied(), range);
 
-    let mut table = Table::new(&["n", "padded_dynamic", "pad_dyn", "padded_fixed32", "pad_fix32", "tile"]);
+    let mut table =
+        Table::new(&["n", "padded_dynamic", "pad_dyn", "padded_fixed32", "pad_fix32", "tile"]);
     for p in pts.iter().filter(|p| p.n % 8 == 0 || [513, 1023, 1025].contains(&p.n)) {
         table.row(vec![
             p.n.to_string(),
@@ -28,7 +30,11 @@ fn main() {
             p.tile.to_string(),
         ]);
     }
-    table.print("Figure 2: padding vs matrix size (dynamic tile in [16,64] vs fixed 32)");
+    art.print_table(
+        "Figure 2: padding vs matrix size (dynamic tile in [16,64] vs fixed 32)",
+        &table,
+    );
+    art.finish();
 
     // Summary statistics over the paper's measured range.
     let in_range: Vec<_> = pts.iter().filter(|p| (65..=1024).contains(&p.n)).collect();

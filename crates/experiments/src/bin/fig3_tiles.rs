@@ -20,7 +20,7 @@
 //! pronounced miss-ratio spike at ld = 256 on the direct-mapped caches.
 
 use modgemm_cachesim::{traced_tile_multiply, CacheConfig};
-use modgemm_experiments::{mflops, protocol, Table};
+use modgemm_experiments::{mflops, protocol, JsonArtifact, Table};
 use modgemm_mat::blocked::blocked_mul;
 use modgemm_mat::gen::random_matrix;
 use modgemm_mat::Matrix;
@@ -40,6 +40,7 @@ fn warmup() {
 }
 
 fn main() {
+    let mut art = JsonArtifact::new("fig3_tiles");
     let quick = std::env::args().any(|a| a == "--quick");
     let mut lds: Vec<usize> = if quick {
         vec![136, 192, 255, 256, 257, 272]
@@ -94,7 +95,7 @@ fn main() {
             ]);
         }
     }
-    timing.print("Figure 3 (host timing): tile multiply MFLOP/s vs leading dimension");
+    art.print_table("Figure 3 (host timing): tile multiply MFLOP/s vs leading dimension", &timing);
 
     // Cache-simulated version on the paper's cache geometries.
     let mut sim = Table::new(&[
@@ -121,8 +122,13 @@ fn main() {
             ]);
         }
     }
-    sim.print("Figure 3 (simulated): warm miss ratios on the paper's direct-mapped caches");
+    art.print_table(
+        "Figure 3 (simulated): warm miss ratios on the paper's direct-mapped caches",
+        &sim,
+    );
 
     println!("\nExpected shape (paper §3.4): contiguous stable; non-contiguous unstable with a");
     println!("collapse at the power-of-two leading dimension (256) on direct-mapped caches.");
+
+    art.finish();
 }

@@ -16,11 +16,12 @@ use modgemm_baselines::{
     bailey_gemm, conventional_gemm, dgefmm, dgemmw, BaileyConfig, DgefmmConfig, DgemmwConfig,
 };
 use modgemm_core::{modgemm, ModgemmConfig};
-use modgemm_experiments::{ms, protocol, ratio, Cli, Table};
+use modgemm_experiments::{ms, protocol, ratio, Cli, JsonArtifact, Table};
 use modgemm_mat::gen::random_problem;
 use modgemm_mat::{Matrix, Op};
 
 fn main() {
+    let mut art = JsonArtifact::new("fig5_headline");
     let cli = Cli::parse();
     let sizes = cli.sweep();
 
@@ -59,7 +60,16 @@ fn main() {
             std::hint::black_box(c.as_slice());
         });
         let t_bly = protocol::measure(n, || {
-            bailey_gemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &bly_cfg);
+            bailey_gemm(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                c.view_mut(),
+                &bly_cfg,
+            );
             std::hint::black_box(c.as_slice());
         });
         let t_conv = protocol::measure(n, || {
@@ -83,6 +93,11 @@ fn main() {
         eprintln!("done n = {n}");
     }
 
-    table.print("Figures 5/6: normalized execution time (host platform), alpha=1 beta=0");
+    art.print_table(
+        "Figures 5/6: normalized execution time (host platform), alpha=1 beta=0",
+        &table,
+    );
     println!("\nPaper shape: MODGEMM/DGEFMM in ~[0.75, 1.3], best for n >= 500; DGEMMW varies by platform.");
+
+    art.finish();
 }

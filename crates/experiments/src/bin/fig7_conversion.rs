@@ -5,11 +5,12 @@
 //! (conversion is O(n²) against O(n^2.8) compute).
 
 use modgemm_core::{modgemm_timed, GemmBreakdown, ModgemmConfig};
-use modgemm_experiments::{ms, protocol, Cli, Table};
+use modgemm_experiments::{ms, protocol, Cli, JsonArtifact, Table};
 use modgemm_mat::gen::random_problem;
 use modgemm_mat::{Matrix, Op};
 
 fn main() {
+    let mut art = JsonArtifact::new("fig7_conversion");
     let cli = Cli::parse();
     let sizes = cli.sweep();
     let cfg = ModgemmConfig::paper();
@@ -60,6 +61,8 @@ fn main() {
         eprintln!("done n = {n}");
     }
 
-    table.print("Figure 7: Morton conversion as % of total execution time");
+    art.print_table("Figure 7: Morton conversion as % of total execution time", &table);
     println!("\nPaper shape: ~15% at small n falling to ~5% at large n.");
+
+    art.finish();
 }

@@ -10,11 +10,12 @@
 
 use modgemm_baselines::{dgefmm, DgefmmConfig};
 use modgemm_core::{layouts_of, modgemm, modgemm_premorton, ModgemmConfig, MortonMatrix};
-use modgemm_experiments::{ms, protocol, ratio, Cli, Table};
+use modgemm_experiments::{ms, protocol, ratio, Cli, JsonArtifact, Table};
 use modgemm_mat::gen::random_problem;
 use modgemm_mat::{Matrix, Op};
 
 fn main() {
+    let mut art = JsonArtifact::new("fig8_noconv");
     let cli = Cli::parse();
     let sizes = cli.sweep();
     let mod_cfg = ModgemmConfig::paper();
@@ -66,6 +67,8 @@ fn main() {
         eprintln!("done n = {n}");
     }
 
-    table.print("Figure 8: MODGEMM without conversion vs DGEFMM");
+    art.print_table("Figure 8: MODGEMM without conversion vs DGEFMM", &table);
     println!("\nPaper shape: without conversion, MODGEMM <= DGEFMM at nearly all sizes.");
+
+    art.finish();
 }

@@ -11,10 +11,11 @@ use modgemm_cachesim::{
     traced_conventional, traced_dgefmm, traced_dgemmw, traced_modgemm, CacheConfig,
 };
 use modgemm_core::ModgemmConfig;
-use modgemm_experiments::{Cli, Table};
+use modgemm_experiments::{Cli, JsonArtifact, Table};
 use modgemm_mat::gen::random_problem;
 
 fn main() {
+    let mut art = JsonArtifact::new("fig9_cachesim");
     let cli = Cli::parse();
     let sizes: Vec<usize> = match &cli.sizes {
         Some(s) => s.clone(),
@@ -62,6 +63,8 @@ fn main() {
         ]);
     }
 
-    table.print("Figure 9: miss ratios, 16KB direct-mapped, 32B blocks");
+    art.print_table("Figure 9: miss ratios, 16KB direct-mapped, 32B blocks", &table);
     println!("\nPaper shape: MODGEMM 2-6% < DGEFMM ~8%; MODGEMM dip at n = 513.");
+
+    art.finish();
 }

@@ -5,10 +5,11 @@
 
 use modgemm_cachesim::{traced_dgefmm_hier, traced_modgemm_hier, Hierarchy};
 use modgemm_core::ModgemmConfig;
-use modgemm_experiments::{Cli, Table};
+use modgemm_experiments::{Cli, JsonArtifact, Table};
 use modgemm_mat::gen::random_problem;
 
 fn main() {
+    let mut art = JsonArtifact::new("hierarchy_study");
     let cli = Cli::parse();
     let sizes: Vec<usize> = match &cli.sizes {
         Some(s) => s.clone(),
@@ -52,7 +53,9 @@ fn main() {
         eprintln!("dgefmm  n = {n} done");
     }
 
-    table.print("Extension: two-level (Ultra 60-like) hierarchy miss ratios");
+    art.print_table("Extension: two-level (Ultra 60-like) hierarchy miss ratios", &table);
     println!("\nExpected: L1 ordering mirrors Figure 9; both codes' working sets fit L2, so L2");
     println!("miss ratios are small and dominated by cold misses (memory traffic per kflop).");
+
+    art.finish();
 }

@@ -20,7 +20,7 @@
 //! sweeping.
 
 use modgemm_cachesim::{Cache, CacheConfig};
-use modgemm_experiments::Table;
+use modgemm_experiments::{JsonArtifact, Table};
 use modgemm_morton::hilbert::{hilbert_d2xy, tile_order_locality};
 use modgemm_morton::layout::deinterleave2;
 
@@ -70,6 +70,7 @@ fn panel_sweep_miss_ratio(
 }
 
 fn main() {
+    let mut art = JsonArtifact::new("layout_orders");
     let mut table = Table::new(&[
         "grid",
         "tile",
@@ -103,7 +104,7 @@ fn main() {
         }
     }
 
-    table.print("Extension: tile orderings — locality and panel-sweep miss ratios");
+    art.print_table("Extension: tile orderings — locality and panel-sweep miss ratios", &table);
     println!("\nFindings: Hilbert achieves the optimal mean jump of 1.0 and always at");
     println!("least matches Morton on the sweep. Row-major wins this *panel-major*");
     println!("sweep whenever one operand panel fits in cache (it pins the A panel for");
@@ -113,4 +114,6 @@ fn main() {
     println!("ablation benches for the full-recursion picture). Morton's remaining");
     println!("edge over Hilbert is structural: aligned quadrants are contiguous in");
     println!("buffer order, which is what Strassen's recursion consumes (§3.3).");
+
+    art.finish();
 }

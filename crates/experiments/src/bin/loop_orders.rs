@@ -10,7 +10,7 @@
 //! implementation in this repository bottoms out in it.
 
 use modgemm_cachesim::{Cache, CacheConfig};
-use modgemm_experiments::{mflops, protocol, Table};
+use modgemm_experiments::{mflops, protocol, JsonArtifact, Table};
 use modgemm_mat::blocked::blocked_mul;
 use modgemm_mat::gen::random_matrix;
 use modgemm_mat::loops::{loop_mul, LoopOrder};
@@ -102,6 +102,7 @@ fn traced_loop_miss_ratio(order: LoopOrder, n: usize, cache_cfg: CacheConfig) ->
 }
 
 fn main() {
+    let mut art = JsonArtifact::new("loop_orders");
     let quick = std::env::args().any(|a| a == "--quick");
     let n_time = if quick { 128 } else { 256 };
     let n_sim = 128;
@@ -131,16 +132,14 @@ fn main() {
         blocked_mul(a.view(), b.view(), c.view_mut());
         std::hint::black_box(c.as_slice());
     });
-    table.row(vec![
-        "blocked".into(),
-        format!("{:.1}", mflops(flops, d)),
-        "-".into(),
-        "-".into(),
-    ]);
+    table.row(vec!["blocked".into(), format!("{:.1}", mflops(flops, d)), "-".into(), "-".into()]);
 
-    table.print(&format!(
-        "Loop-order study (host n = {n_time}, simulated n = {n_sim}, column-major)"
-    ));
+    art.print_table(
+        &format!("Loop-order study (host n = {n_time}, simulated n = {n_sim}, column-major)"),
+        &table,
+    );
     println!("\nExpected: jki/kji (unit-stride inner loop) are the best unblocked orders");
     println!("on column-major data; ikj/kij the worst; blocking beats all six.");
+
+    art.finish();
 }

@@ -11,10 +11,11 @@
 
 use modgemm_cachesim::{traced_dgefmm_hier, traced_modgemm_hier, CacheConfig, Hierarchy, Policy};
 use modgemm_core::ModgemmConfig;
-use modgemm_experiments::{Cli, Table};
+use modgemm_experiments::{Cli, JsonArtifact, Table};
 use modgemm_mat::gen::random_problem;
 
 fn main() {
+    let mut art = JsonArtifact::new("replacement_study");
     let cli = Cli::parse();
     let sizes: Vec<usize> = match &cli.sizes {
         Some(s) => s.clone(),
@@ -23,13 +24,7 @@ fn main() {
     };
     let cfg = ModgemmConfig::paper();
 
-    let mut table = Table::new(&[
-        "n",
-        "assoc",
-        "policy",
-        "modgemm_miss_pct",
-        "dgefmm_miss_pct",
-    ]);
+    let mut table = Table::new(&["n", "assoc", "policy", "modgemm_miss_pct", "dgefmm_miss_pct"]);
 
     for &n in &sizes {
         let (a, b, _) = random_problem::<f64>(n, n, n, 42);
@@ -45,8 +40,7 @@ fn main() {
                     Hierarchy::with_policy(&[geom], policy),
                     true,
                 );
-                let rf =
-                    traced_dgefmm_hier(&a, &b, 64, Hierarchy::with_policy(&[geom], policy));
+                let rf = traced_dgefmm_hier(&a, &b, 64, Hierarchy::with_policy(&[geom], policy));
                 table.row(vec![
                     n.to_string(),
                     assoc.to_string(),
@@ -62,7 +56,9 @@ fn main() {
         }
     }
 
-    table.print("Extension: replacement-policy sensitivity (16KB, 32B blocks)");
+    art.print_table("Extension: replacement-policy sensitivity (16KB, 32B blocks)", &table);
     println!("\nExpected: associativity removes most of the §4.2 conflict misses; among");
     println!("policies, LRU ≤ FIFO ≈ random for these blocked access patterns.");
+
+    art.finish();
 }

@@ -8,13 +8,14 @@
 //! makes minimum-padding selection safe).
 
 use modgemm_core::{modgemm, ModgemmConfig, Truncation};
-use modgemm_experiments::{ms, protocol, Table};
+use modgemm_experiments::{ms, protocol, JsonArtifact, Table};
 use modgemm_mat::blocked::{blocked_mul_add_with, BlockSizes};
 use modgemm_mat::gen::random_problem;
 use modgemm_mat::{Matrix, Op};
 use modgemm_morton::tiling::TileRange;
 
 fn main() {
+    let mut art = JsonArtifact::new("tile_range_study");
     let quick = std::env::args().any(|a| a == "--quick");
     let n: usize = if quick { 300 } else { 513 };
     let (a, b, _) = random_problem::<f64>(n, n, n, 42);
@@ -24,12 +25,19 @@ fn main() {
     let mut t1 = Table::new(&["range", "chosen_tile", "depth", "padded", "time_ms"]);
     for (lo, hi) in [(8usize, 32usize), (16, 64), (32, 128), (64, 256), (16, 16), (64, 64)] {
         let range = TileRange::new(lo, hi);
-        let cfg = ModgemmConfig { truncation: Truncation::MinPadding(range), ..ModgemmConfig::paper() };
+        let cfg =
+            ModgemmConfig { truncation: Truncation::MinPadding(range), ..ModgemmConfig::paper() };
         // Degenerate single-size ranges may admit no depth at all for this
         // n (e.g. no d with ceil(513/2^d) = 16) — the planner then splits,
         // which is not what this sweep studies; skip those rows.
         let Some(plan) = cfg.plan(n, n, n) else {
-            t1.row(vec![format!("[{lo},{hi}]"), "-".into(), "-".into(), "-".into(), "infeasible".into()]);
+            t1.row(vec![
+                format!("[{lo},{hi}]"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "infeasible".into(),
+            ]);
             continue;
         };
         let d = protocol::measure_quick(3, || {
@@ -45,16 +53,20 @@ fn main() {
         ]);
         eprintln!("range [{lo},{hi}] done");
     }
-    t1.print(&format!("Tile-range sweep for MODGEMM at n = {n}"));
+    art.print_table(&format!("Tile-range sweep for MODGEMM at n = {n}"), &t1);
 
     // Part 2: leaf-kernel cache-blocking factors (Coleman-McKinley-style).
     let nk = if quick { 256 } else { 512 };
     let (ak, bk, _) = random_problem::<f64>(nk, nk, nk, 7);
     let mut ck: Matrix<f64> = Matrix::zeros(nk, nk);
     let mut t2 = Table::new(&["mc", "kc", "nc", "time_ms"]);
-    for (mc, kc, nc) in
-        [(16usize, 16usize, 64usize), (32, 32, 128), (64, 64, 256), (128, 128, 512), (256, 256, 512)]
-    {
+    for (mc, kc, nc) in [
+        (16usize, 16usize, 64usize),
+        (32, 32, 128),
+        (64, 64, 256),
+        (128, 128, 512),
+        (256, 256, 512),
+    ] {
         let bs = BlockSizes { mc, kc, nc };
         let d = protocol::measure_quick(3, || {
             ck.view_mut().fill(0.0);
@@ -63,8 +75,10 @@ fn main() {
         });
         t2.row(vec![mc.to_string(), kc.to_string(), nc.to_string(), ms(d)]);
     }
-    t2.print(&format!("Leaf-kernel blocking-factor sweep at n = {nk}"));
+    art.print_table(&format!("Leaf-kernel blocking-factor sweep at n = {nk}"), &t2);
 
     println!("\nExpected: a broad plateau across mid ranges (the stability that justifies");
     println!("choosing the truncation point by padding, §3.4), degrading at the extremes.");
+
+    art.finish();
 }

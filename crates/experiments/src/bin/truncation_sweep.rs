@@ -10,11 +10,12 @@
 use modgemm_baselines::{dgefmm, DgefmmConfig};
 use modgemm_core::counts::arithmetic_crossover;
 use modgemm_core::{modgemm, ModgemmConfig};
-use modgemm_experiments::{ms, protocol, Table};
+use modgemm_experiments::{ms, protocol, JsonArtifact, Table};
 use modgemm_mat::gen::random_problem;
 use modgemm_mat::{Matrix, Op};
 
 fn main() {
+    let mut art = JsonArtifact::new("truncation_sweep");
     let quick = std::env::args().any(|a| a == "--quick");
     let n: usize = if quick { 512 } else { 1024 };
     let (a, b, _) = random_problem::<f64>(n, n, n, 42);
@@ -37,6 +38,8 @@ fn main() {
         table.row(vec![t.to_string(), ms(t_fmm), ms(t_mod)]);
         eprintln!("done T = {t}");
     }
-    table.print(&format!("Truncation point sweep at n = {n}"));
+    art.print_table(&format!("Truncation point sweep at n = {n}"), &table);
     println!("\nPaper shape: runtime optimum an order of magnitude above the arithmetic crossover (~16).");
+
+    art.finish();
 }

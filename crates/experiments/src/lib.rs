@@ -9,6 +9,8 @@
 
 use std::time::{Duration, Instant};
 
+pub mod json;
+
 pub mod protocol {
     //! The paper's §4 timing protocol: "For matrices less than 500 we
     //! compute the average of 10 invocations … we execute the above
@@ -158,6 +160,78 @@ impl Table {
             println!("{}", row.join(","));
         }
     }
+
+    /// The table as a JSON object: `{"title", "headers", "rows"}`. Cells
+    /// that parse as numbers are emitted as JSON numbers.
+    pub fn to_json(&self, title: &str) -> json::Value {
+        let cell = |c: &String| match c.parse::<f64>() {
+            Ok(x) if x.is_finite() => json::Value::Num(x),
+            _ => json::Value::Str(c.clone()),
+        };
+        json::Value::object()
+            .with("title", title)
+            .with(
+                "headers",
+                self.headers.iter().map(|h| json::Value::from(h.as_str())).collect::<Vec<_>>(),
+            )
+            .with(
+                "rows",
+                self.rows
+                    .iter()
+                    .map(|r| json::Value::Arr(r.iter().map(cell).collect()))
+                    .collect::<Vec<_>>(),
+            )
+    }
+}
+
+/// Collects the tables a driver prints and writes them as one JSON file
+/// next to the text output, so downstream tooling does not have to scrape
+/// the `-- csv --` blocks.
+pub struct JsonArtifact {
+    driver: String,
+    tables: Vec<json::Value>,
+}
+
+impl JsonArtifact {
+    /// Starts an artifact for the named driver (the binary name).
+    pub fn new(driver: &str) -> Self {
+        Self { driver: driver.to_string(), tables: Vec::new() }
+    }
+
+    /// Adds one rendered table under `title`.
+    pub fn add_table(&mut self, title: &str, table: &Table) {
+        self.tables.push(table.to_json(title));
+    }
+
+    /// Prints the table (text + CSV) and records it in the artifact —
+    /// the one-liner the figure drivers use for every table they show.
+    pub fn print_table(&mut self, title: &str, table: &Table) {
+        table.print(title);
+        self.add_table(title, table);
+    }
+
+    /// Writes the artifact and announces the path. Panics on I/O errors
+    /// so a driver that cannot leave its JSON behind fails visibly
+    /// (all_figures turns that into a red smoke run).
+    pub fn finish(&self) {
+        let path = self.write().expect("write JSON artifact");
+        println!("(json: {})", path.display());
+    }
+
+    /// Writes `<dir>/<driver>.json` where `<dir>` is `$MODGEMM_RESULTS_DIR`
+    /// or `results`, creating the directory if needed. Returns the path.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::env::var("MODGEMM_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)?;
+        let doc = json::Value::object()
+            .with("schema_version", 1u64)
+            .with("driver", self.driver.as_str())
+            .with("tables", self.tables.clone());
+        let path = dir.join(format!("{}.json", self.driver));
+        std::fs::write(&path, doc.to_json_pretty())?;
+        Ok(path)
+    }
 }
 
 /// Formats a `Duration` in milliseconds with three decimals.
@@ -210,6 +284,21 @@ mod tests {
             t.row(vec!["1".into()]);
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn table_to_json_types_cells() {
+        let mut t = Table::new(&["n", "algo", "ms"]);
+        t.row(vec!["256".into(), "modgemm".into(), "1.500".into()]);
+        let v = t.to_json("demo");
+        assert_eq!(v.get("title").unwrap().as_str(), Some("demo"));
+        let rows = v.get("rows").unwrap().as_array().unwrap();
+        let cells = rows[0].as_array().unwrap();
+        assert_eq!(cells[0].as_f64(), Some(256.0));
+        assert_eq!(cells[1].as_str(), Some("modgemm"));
+        assert_eq!(cells[2].as_f64(), Some(1.5));
+        let text = v.to_json_pretty();
+        assert_eq!(json::parse(&text).unwrap(), v);
     }
 
     #[test]

@@ -74,9 +74,7 @@ where
     R: BufRead,
 {
     let mut lines = r.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| IoError::Format("empty input".into()))??;
+    let header = lines.next().ok_or_else(|| IoError::Format("empty input".into()))??;
     let mut parts = header.split_whitespace();
     let magic = parts.next().unwrap_or("");
     if magic != "%modgemm-matrix" {
@@ -93,17 +91,13 @@ where
 
     let mut m = Matrix::zeros(rows, cols);
     for i in 0..rows {
-        let line = lines
-            .next()
-            .ok_or_else(|| IoError::Format(format!("missing row {i}")))??;
+        let line = lines.next().ok_or_else(|| IoError::Format(format!("missing row {i}")))??;
         let mut vals = line.split_whitespace();
         for j in 0..cols {
             let tok = vals
                 .next()
                 .ok_or_else(|| IoError::Format(format!("row {i} short at column {j}")))?;
-            let v: S = tok
-                .parse()
-                .map_err(|e| IoError::Format(format!("row {i} col {j}: {e}")))?;
+            let v: S = tok.parse().map_err(|e| IoError::Format(format!("row {i} col {j}: {e}")))?;
             m.set(i, j, v);
         }
         if vals.next().is_some() {
@@ -153,11 +147,8 @@ mod tests {
 
     #[test]
     fn roundtrips_awkward_floats() {
-        let m = Matrix::from_vec(
-            vec![0.1, -1.0 / 3.0, f64::MIN_POSITIVE, 1e308, -0.0, 2.5e-17],
-            2,
-            3,
-        );
+        let m =
+            Matrix::from_vec(vec![0.1, -1.0 / 3.0, f64::MIN_POSITIVE, 1e308, -0.0, 2.5e-17], 2, 3);
         roundtrip(&m);
     }
 

@@ -36,8 +36,14 @@ pub enum LoopOrder {
 
 impl LoopOrder {
     /// All six orders, in a stable presentation order.
-    pub const ALL: [LoopOrder; 6] =
-        [LoopOrder::Ijk, LoopOrder::Ikj, LoopOrder::Jik, LoopOrder::Jki, LoopOrder::Kij, LoopOrder::Kji];
+    pub const ALL: [LoopOrder; 6] = [
+        LoopOrder::Ijk,
+        LoopOrder::Ikj,
+        LoopOrder::Jik,
+        LoopOrder::Jki,
+        LoopOrder::Kij,
+        LoopOrder::Kji,
+    ];
 
     /// The conventional display name ("ijk", …).
     pub fn name(self) -> &'static str {
@@ -143,7 +149,12 @@ pub fn loop_mul_add<S: Scalar>(
 
 /// `C = A·B` (zeroing first) with the given loop order.
 #[track_caller]
-pub fn loop_mul<S: Scalar>(order: LoopOrder, a: MatRef<'_, S>, b: MatRef<'_, S>, mut c: MatMut<'_, S>) {
+pub fn loop_mul<S: Scalar>(
+    order: LoopOrder,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    mut c: MatMut<'_, S>,
+) {
     c.fill(S::ZERO);
     loop_mul_add(order, a, b, c);
 }

@@ -27,11 +27,7 @@ pub struct Matrix<S> {
 impl<S: Scalar> Matrix<S> {
     /// An all-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            data: vec![S::ZERO; rows * cols],
-            rows,
-            cols,
-        }
+        Self { data: vec![S::ZERO; rows * cols], rows, cols }
     }
 
     /// Builds a matrix from a function of `(row, col)`.

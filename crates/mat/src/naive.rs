@@ -55,10 +55,7 @@ pub fn naive_mul<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>, c: MatMut<'_, S>
 }
 
 /// Owned-result convenience over [`naive_gemm`] used pervasively in tests.
-pub fn naive_product<S: Scalar>(
-    a: &crate::Matrix<S>,
-    b: &crate::Matrix<S>,
-) -> crate::Matrix<S> {
+pub fn naive_product<S: Scalar>(a: &crate::Matrix<S>, b: &crate::Matrix<S>) -> crate::Matrix<S> {
     let mut c = crate::Matrix::zeros(a.rows(), b.cols());
     naive_mul(a.view(), b.view(), c.view_mut());
     c

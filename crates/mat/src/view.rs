@@ -106,13 +106,7 @@ impl<'a, S: Scalar> MatRef<'a, S> {
             "slice of length {} too short for {rows}x{cols} view with ld {ld}",
             data.len()
         );
-        Self {
-            ptr: data.as_ptr(),
-            rows,
-            cols,
-            ld,
-            _marker: PhantomData,
-        }
+        Self { ptr: data.as_ptr(), rows, cols, ld, _marker: PhantomData }
     }
 
     /// Creates a view from a raw pointer.
@@ -122,13 +116,7 @@ impl<'a, S: Scalar> MatRef<'a, S> {
     /// exclusive reference to any element of the window may exist for `'a`.
     pub unsafe fn from_raw_parts(ptr: *const S, rows: usize, cols: usize, ld: usize) -> Self {
         debug_assert!(ld >= rows.max(1));
-        Self {
-            ptr,
-            rows,
-            cols,
-            ld,
-            _marker: PhantomData,
-        }
+        Self { ptr, rows, cols, ld, _marker: PhantomData }
     }
 
     /// Number of rows.
@@ -241,13 +229,7 @@ impl<'a, S: Scalar> MatMut<'a, S> {
             "slice of length {} too short for {rows}x{cols} view with ld {ld}",
             data.len()
         );
-        Self {
-            ptr: data.as_mut_ptr(),
-            rows,
-            cols,
-            ld,
-            _marker: PhantomData,
-        }
+        Self { ptr: data.as_mut_ptr(), rows, cols, ld, _marker: PhantomData }
     }
 
     /// Creates a mutable view from a raw pointer.
@@ -258,13 +240,7 @@ impl<'a, S: Scalar> MatMut<'a, S> {
     /// live reference for `'a`.
     pub unsafe fn from_raw_parts(ptr: *mut S, rows: usize, cols: usize, ld: usize) -> Self {
         debug_assert!(ld >= rows.max(1));
-        Self {
-            ptr,
-            rows,
-            cols,
-            ld,
-            _marker: PhantomData,
-        }
+        Self { ptr, rows, cols, ld, _marker: PhantomData }
     }
 
     /// Number of rows.

@@ -146,9 +146,7 @@ pub fn deinterleave2(z: usize, depth: usize) -> (usize, usize) {
 /// entry `(tr, tc)` is the tile's position in the buffer.
 pub fn tile_number_grid(layout: &MortonLayout) -> Vec<Vec<usize>> {
     let g = layout.grid();
-    (0..g)
-        .map(|tr| (0..g).map(|tc| layout.tile_code(tr, tc)).collect())
-        .collect()
+    (0..g).map(|tr| (0..g).map(|tc| layout.tile_code(tr, tc)).collect()).collect()
 }
 
 /// Allocates a zeroed buffer for `layout`.

@@ -34,6 +34,6 @@ pub mod par_convert;
 pub mod tiling;
 
 pub use convert::{from_morton, from_morton_axpby, to_morton};
-pub use par_convert::{par_from_morton, par_to_morton};
 pub use layout::MortonLayout;
+pub use par_convert::{par_from_morton, par_to_morton};
 pub use tiling::{choose_dim_tiling, choose_joint_tiling, DimTiling, JointTiling, TileRange};

@@ -205,12 +205,7 @@ pub fn padding_series(ns: impl IntoIterator<Item = usize>, range: TileRange) -> 
         .map(|n| {
             let dy = choose_dim_tiling(n, range);
             let fx = fixed_tile_tiling(n, 32);
-            PaddingPoint {
-                n,
-                padded_dynamic: dy.padded,
-                padded_fixed32: fx.padded,
-                tile: dy.tile,
-            }
+            PaddingPoint { n, padded_dynamic: dy.padded, padded_fixed32: fx.padded, tile: dy.tile }
         })
         .collect()
 }

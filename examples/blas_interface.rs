@@ -47,7 +47,15 @@ fn main() {
         }),
         ("conventional", {
             let mut c = c0.clone();
-            conventional_gemm(alpha, Op::Trans, a.view(), Op::NoTrans, b.view(), beta, c.view_mut());
+            conventional_gemm(
+                alpha,
+                Op::Trans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                beta,
+                c.view_mut(),
+            );
             c
         }),
     ];

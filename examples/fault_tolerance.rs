@@ -34,10 +34,9 @@ fn main() {
     let am: Matrix<f64> = Matrix::zeros(3, 4);
     let bm: Matrix<f64> = Matrix::zeros(5, 2);
     let mut cm: Matrix<f64> = Matrix::zeros(3, 2);
-    let err = try_modgemm(
-        1.0, Op::NoTrans, am.view(), Op::NoTrans, bm.view(), 0.0, cm.view_mut(), &cfg,
-    )
-    .unwrap_err();
+    let err =
+        try_modgemm(1.0, Op::NoTrans, am.view(), Op::NoTrans, bm.view(), 0.0, cm.view_mut(), &cfg)
+            .unwrap_err();
     println!("  {:<14} -> {err}", "k mismatch");
 
     // ── 2. Memory-budget degradation ─────────────────────────────────
@@ -59,7 +58,15 @@ fn main() {
         let mut c: Matrix<f64> = Matrix::zeros(n, n);
         let t0 = std::time::Instant::now();
         try_modgemm_with_ctx(
-            1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg, &mut ctx,
+            1.0,
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            0.0,
+            c.view_mut(),
+            &cfg,
+            &mut ctx,
         )
         .expect("budgeted multiply");
         let dt = t0.elapsed();
@@ -83,7 +90,14 @@ fn main() {
     let reject = ModgemmConfig { non_finite: NonFinitePolicy::Reject, ..ModgemmConfig::paper() };
     let mut c: Matrix<f64> = Matrix::zeros(n, n);
     let err = try_modgemm(
-        1.0, Op::NoTrans, poisoned.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &reject,
+        1.0,
+        Op::NoTrans,
+        poisoned.view(),
+        Op::NoTrans,
+        b.view(),
+        0.0,
+        c.view_mut(),
+        &reject,
     )
     .unwrap_err();
     println!("  Reject               -> {err}");
@@ -92,11 +106,20 @@ fn main() {
         ..ModgemmConfig::paper()
     };
     try_modgemm(
-        1.0, Op::NoTrans, poisoned.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &fallback,
+        1.0,
+        Op::NoTrans,
+        poisoned.view(),
+        Op::NoTrans,
+        b.view(),
+        0.0,
+        c.view_mut(),
+        &fallback,
     )
     .expect("fallback runs conventionally");
     let nans = c.as_slice().iter().filter(|x| x.is_nan()).count();
-    println!("  FallbackConventional -> conventional product, {nans} NaN entries (one poisoned row)");
+    println!(
+        "  FallbackConventional -> conventional product, {nans} NaN entries (one poisoned row)"
+    );
 
     // ── 4. Verified retry (Freivalds) ────────────────────────────────
     println!("\n== verified multiply ==");

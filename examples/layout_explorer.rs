@@ -29,7 +29,10 @@ fn main() {
     // --- Tile selection for a given n ------------------------------------
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(513);
     let range = TileRange::PAPER;
-    println!("\nDynamic truncation-point selection for n = {n} (range [{}, {}]):", range.min, range.max);
+    println!(
+        "\nDynamic truncation-point selection for n = {n} (range [{}, {}]):",
+        range.min, range.max
+    );
     for d in feasible_depths(n, range) {
         let t = modgemm::morton::tiling::tile_at_depth(n, d, range);
         let padded = t << d;

@@ -37,7 +37,10 @@ fn main() {
 
     let expect = naive_product(&a, &b);
     let err = max_abs_diff(c.view(), expect.view());
-    println!("multiplied {n}x{n} in {:.1} ms, max |error| vs naive = {err:.2e}", dt.as_secs_f64() * 1e3);
+    println!(
+        "multiplied {n}x{n} in {:.1} ms, max |error| vs naive = {err:.2e}",
+        dt.as_secs_f64() * 1e3
+    );
     assert!(err < 1e-9, "unexpected numerical error");
     println!("OK");
 }

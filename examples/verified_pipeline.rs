@@ -35,7 +35,17 @@ fn main() {
 
     let mut c: Matrix<f64> = Matrix::zeros(n, n);
     let t0 = std::time::Instant::now();
-    modgemm_with_ctx(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &cfg, &mut ctx);
+    modgemm_with_ctx(
+        1.0,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0.0,
+        c.view_mut(),
+        &cfg,
+        &mut ctx,
+    );
     let t_mul = t0.elapsed();
 
     let t1 = std::time::Instant::now();

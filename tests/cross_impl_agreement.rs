@@ -26,11 +26,29 @@ fn check_all(m: usize, k: usize, n: usize, alpha: f64, beta: f64, op_a: Op, op_b
     assert_matrix_eq(c.view(), oracle.view(), k);
 
     let mut c = c0.clone();
-    dgefmm(alpha, op_a, a.view(), op_b, b.view(), beta, c.view_mut(), &DgefmmConfig { truncation: 16 });
+    dgefmm(
+        alpha,
+        op_a,
+        a.view(),
+        op_b,
+        b.view(),
+        beta,
+        c.view_mut(),
+        &DgefmmConfig { truncation: 16 },
+    );
     assert_matrix_eq(c.view(), oracle.view(), k);
 
     let mut c = c0.clone();
-    dgemmw(alpha, op_a, a.view(), op_b, b.view(), beta, c.view_mut(), &DgemmwConfig { truncation: 16 });
+    dgemmw(
+        alpha,
+        op_a,
+        a.view(),
+        op_b,
+        b.view(),
+        beta,
+        c.view_mut(),
+        &DgemmwConfig { truncation: 16 },
+    );
     assert_matrix_eq(c.view(), oracle.view(), k);
 
     let mut c = c0.clone();
@@ -69,14 +87,41 @@ fn all_implementations_on_integers_are_exact() {
     naive_gemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, expect.view_mut());
 
     let mut c: Matrix<i64> = Matrix::zeros(m, n);
-    modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &ModgemmConfig::paper());
+    modgemm(
+        1,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0,
+        c.view_mut(),
+        &ModgemmConfig::paper(),
+    );
     assert_eq!(c, expect, "modgemm");
 
     let mut c: Matrix<i64> = Matrix::zeros(m, n);
-    dgefmm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &DgefmmConfig { truncation: 8 });
+    dgefmm(
+        1,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0,
+        c.view_mut(),
+        &DgefmmConfig { truncation: 8 },
+    );
     assert_eq!(c, expect, "dgefmm");
 
     let mut c: Matrix<i64> = Matrix::zeros(m, n);
-    dgemmw(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &DgemmwConfig { truncation: 8 });
+    dgemmw(
+        1,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0,
+        c.view_mut(),
+        &DgemmwConfig { truncation: 8 },
+    );
     assert_eq!(c, expect, "dgemmw");
 }

@@ -110,8 +110,6 @@ fn power_iteration_dominant_eigenvalue() {
     // Rayleigh quotient check: ‖S·v − λ·v‖ small.
     let mut sv: Matrix<f64> = Matrix::zeros(n, 1);
     modgemm(1.0, Op::NoTrans, s.view(), Op::NoTrans, v.view(), 0.0, sv.view_mut(), &cfg);
-    let resid = (0..n)
-        .map(|i| (sv.get(i, 0) - lambda * v.get(i, 0)).abs())
-        .fold(0.0f64, f64::max);
+    let resid = (0..n).map(|i| (sv.get(i, 0) - lambda * v.get(i, 0)).abs()).fold(0.0f64, f64::max);
     assert!(resid < 1e-5 * lambda.max(1.0), "residual {resid:.3e} for lambda {lambda:.3e}");
 }

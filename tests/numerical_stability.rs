@@ -17,7 +17,16 @@ fn strassen_error(n: usize, seed: u64) -> f64 {
     let a: Matrix<f64> = random_matrix(n, n, seed);
     let b: Matrix<f64> = random_matrix(n, n, seed + 1);
     let mut c: Matrix<f64> = Matrix::zeros(n, n);
-    modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &ModgemmConfig::paper());
+    modgemm(
+        1.0,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0.0,
+        c.view_mut(),
+        &ModgemmConfig::paper(),
+    );
     let expect = naive_product(&a, &b);
     max_abs_diff(c.view(), expect.view())
 }
@@ -45,15 +54,42 @@ fn identity_products_are_accurate_but_not_exact() {
     let a: Matrix<f64> = random_matrix(n, n, 9);
     let id: Matrix<f64> = Matrix::identity(n);
     let mut c: Matrix<f64> = Matrix::zeros(n, n);
-    modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, id.view(), 0.0, c.view_mut(), &ModgemmConfig::paper());
+    modgemm(
+        1.0,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        id.view(),
+        0.0,
+        c.view_mut(),
+        &ModgemmConfig::paper(),
+    );
     assert!(max_abs_diff(c.view(), a.view()) < 64.0 * f64::EPSILON);
-    modgemm(1.0, Op::NoTrans, id.view(), Op::NoTrans, a.view(), 0.0, c.view_mut(), &ModgemmConfig::paper());
+    modgemm(
+        1.0,
+        Op::NoTrans,
+        id.view(),
+        Op::NoTrans,
+        a.view(),
+        0.0,
+        c.view_mut(),
+        &ModgemmConfig::paper(),
+    );
     assert!(max_abs_diff(c.view(), a.view()) < 64.0 * f64::EPSILON);
 
     let ai: Matrix<i64> = random_matrix(n, n, 9);
     let idi: Matrix<i64> = Matrix::identity(n);
     let mut ci: Matrix<i64> = Matrix::zeros(n, n);
-    modgemm(1, Op::NoTrans, ai.view(), Op::NoTrans, idi.view(), 0, ci.view_mut(), &ModgemmConfig::paper());
+    modgemm(
+        1,
+        Op::NoTrans,
+        ai.view(),
+        Op::NoTrans,
+        idi.view(),
+        0,
+        ci.view_mut(),
+        &ModgemmConfig::paper(),
+    );
     assert_eq!(ci, ai, "integer identity product must be exact");
 }
 
@@ -63,7 +99,16 @@ fn zero_matrices_stay_zero() {
     let a: Matrix<f64> = Matrix::zeros(n, n);
     let b: Matrix<f64> = random_matrix(n, n, 11);
     let mut c: Matrix<f64> = Matrix::zeros(n, n);
-    modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &ModgemmConfig::paper());
+    modgemm(
+        1.0,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0.0,
+        c.view_mut(),
+        &ModgemmConfig::paper(),
+    );
     assert!(c.as_slice().iter().all(|&x| x == 0.0));
 }
 
@@ -97,7 +142,16 @@ fn strassen_error_comparable_scale_to_conventional() {
     let oracle = naive_product(&a, &b);
 
     let mut cs: Matrix<f64> = Matrix::zeros(n, n);
-    modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, cs.view_mut(), &ModgemmConfig::paper());
+    modgemm(
+        1.0,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0.0,
+        cs.view_mut(),
+        &ModgemmConfig::paper(),
+    );
     let err_s = max_abs_diff(cs.view(), oracle.view());
 
     let mut cc: Matrix<f64> = Matrix::zeros(n, n);
@@ -107,5 +161,8 @@ fn strassen_error_comparable_scale_to_conventional() {
     let scale = frob_norm(oracle.view()) / n as f64;
     assert!(err_s <= 1e-11 * scale.max(1.0) * n as f64, "strassen err {err_s:.3e}");
     // Guard the "orders of magnitude" claim with a generous factor.
-    assert!(err_s <= 1e4 * err_c.max(f64::EPSILON), "strassen {err_s:.3e} vs conventional {err_c:.3e}");
+    assert!(
+        err_s <= 1e4 * err_c.max(f64::EPSILON),
+        "strassen {err_s:.3e} vs conventional {err_c:.3e}"
+    );
 }

@@ -4,9 +4,7 @@
 //! must all realize the same mathematical product on the awkward sizes
 //! they were invented for.
 
-use modgemm::baselines::{
-    bailey_gemm, dgefmm, dgemmw, BaileyConfig, DgefmmConfig, DgemmwConfig,
-};
+use modgemm::baselines::{bailey_gemm, dgefmm, dgemmw, BaileyConfig, DgefmmConfig, DgemmwConfig};
 use modgemm::core::{modgemm, ModgemmConfig};
 use modgemm::mat::gen::random_matrix;
 use modgemm::mat::naive::naive_product;
@@ -19,19 +17,55 @@ fn check_all_exact(m: usize, k: usize, n: usize, seed: u64) {
     let expect = naive_product(&a, &b);
 
     let mut c: Matrix<i64> = Matrix::zeros(m, n);
-    modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &ModgemmConfig::paper());
+    modgemm(
+        1,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0,
+        c.view_mut(),
+        &ModgemmConfig::paper(),
+    );
     assert_eq!(c, expect, "modgemm {m}x{k}x{n}");
 
     let mut c: Matrix<i64> = Matrix::zeros(m, n);
-    dgefmm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &DgefmmConfig { truncation: 8 });
+    dgefmm(
+        1,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0,
+        c.view_mut(),
+        &DgefmmConfig { truncation: 8 },
+    );
     assert_eq!(c, expect, "dgefmm {m}x{k}x{n}");
 
     let mut c: Matrix<i64> = Matrix::zeros(m, n);
-    dgemmw(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &DgemmwConfig { truncation: 8 });
+    dgemmw(
+        1,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0,
+        c.view_mut(),
+        &DgemmwConfig { truncation: 8 },
+    );
     assert_eq!(c, expect, "dgemmw {m}x{k}x{n}");
 
     let mut c: Matrix<i64> = Matrix::zeros(m, n);
-    bailey_gemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &BaileyConfig { levels: 2 });
+    bailey_gemm(
+        1,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0,
+        c.view_mut(),
+        &BaileyConfig { levels: 2 },
+    );
     assert_eq!(c, expect, "bailey {m}x{k}x{n}");
 }
 
@@ -87,7 +121,16 @@ fn the_papers_pivotal_513() {
         c
     };
     let mut c: Matrix<f64> = Matrix::zeros(n, n);
-    modgemm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &ModgemmConfig::paper());
+    modgemm(
+        1.0,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0.0,
+        c.view_mut(),
+        &ModgemmConfig::paper(),
+    );
     modgemm::mat::norms::assert_matrix_eq(c.view(), expect.view(), n);
     // Freivalds agrees too (O(n²)).
     assert!(modgemm::core::verify::verify_product(a.view(), b.view(), c.view(), 8, 22));

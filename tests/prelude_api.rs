@@ -81,8 +81,7 @@ fn prelude_covers_the_raw_slice_entry_points() {
     let a = vec![1.0f64; 6];
     let b = vec![1.0f64; 6];
     let mut c = vec![0.0f64; 4];
-    try_dgemm(Op::NoTrans, Op::NoTrans, 2, 2, 3, 1.0, &a, 2, &b, 3, 0.0, &mut c, 2, &cfg)
-        .unwrap();
+    try_dgemm(Op::NoTrans, Op::NoTrans, 2, 2, 3, 1.0, &a, 2, &b, 3, 0.0, &mut c, 2, &cfg).unwrap();
     assert_eq!(c, vec![3.0; 4]);
 
     let af = vec![1.0f32; 6];

@@ -289,9 +289,7 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut c = Criterion::default()
-            .sample_size(3)
-            .measurement_time(Duration::from_millis(50));
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(50));
         let mut g = c.benchmark_group("smoke");
         g.throughput(Throughput::Elements(100));
         g.bench_function(BenchmarkId::new("sum", 100), |b| {

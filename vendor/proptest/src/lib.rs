@@ -246,10 +246,7 @@ pub mod test_runner {
         /// Next raw 64 bits.
         #[allow(clippy::should_implement_trait)] // matches rand-style RNG naming, not Iterator
         pub fn next(&mut self) -> u64 {
-            let result = self.s[0]
-                .wrapping_add(self.s[3])
-                .rotate_left(23)
-                .wrapping_add(self.s[0]);
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
