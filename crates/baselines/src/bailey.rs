@@ -10,9 +10,8 @@
 //! designed to avoid — included as the fourth comparator so the harness
 //! can show all four odd-size strategies side by side.
 
-use modgemm_mat::blocked::blocked_mul;
 use modgemm_mat::view::{MatMut, MatRef, Op};
-use modgemm_mat::{Matrix, Scalar};
+use modgemm_mat::{KernelKind, LeafKernel, Matrix, Scalar};
 
 use crate::common::{blas_wrap, winograd_step_views};
 
@@ -21,11 +20,13 @@ use crate::common::{blas_wrap, winograd_step_views};
 pub struct BaileyConfig {
     /// Fixed number of Winograd unfolding levels (Bailey used 2).
     pub levels: usize,
+    /// Leaf-multiply kernel (same selector the MODGEMM plan uses).
+    pub kernel: KernelKind,
 }
 
 impl Default for BaileyConfig {
     fn default() -> Self {
-        Self { levels: 2 }
+        Self { levels: 2, kernel: KernelKind::Blocked }
     }
 }
 
@@ -48,17 +49,26 @@ pub fn bailey_gemm<S: Scalar>(
     c: MatMut<'_, S>,
     cfg: &BaileyConfig,
 ) {
-    let levels = cfg.levels;
-    blas_wrap(alpha, op_a, a, op_b, b, beta, c, &mut |x, y, z| bailey_core(x, y, z, levels));
+    let (levels, kernel) = (cfg.levels, cfg.kernel);
+    blas_wrap(alpha, op_a, a, op_b, b, beta, c, &mut |x, y, z| {
+        bailey_core_with(x, y, z, levels, kernel)
+    });
 }
 
-/// The overwrite core: pad, multiply with exactly `levels` Winograd
-/// unfoldings, copy the live region back.
-pub fn bailey_core<S: Scalar>(
+/// The overwrite core with the default ([`KernelKind::Blocked`]) leaf
+/// kernel: pad, multiply with exactly `levels` Winograd unfoldings, copy
+/// the live region back.
+pub fn bailey_core<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>, c: MatMut<'_, S>, levels: usize) {
+    bailey_core_with(a, b, c, levels, KernelKind::Blocked)
+}
+
+/// [`bailey_core`] with an explicit leaf kernel.
+pub fn bailey_core_with<S: Scalar>(
     a: MatRef<'_, S>,
     b: MatRef<'_, S>,
     mut c: MatMut<'_, S>,
     levels: usize,
+    kernel: KernelKind,
 ) {
     let (m, k) = a.dims();
     let (_, n) = b.dims();
@@ -68,7 +78,7 @@ pub fn bailey_core<S: Scalar>(
     let (mp, kp, np) = (pad_to(m, levels), pad_to(k, levels), pad_to(n, levels));
     if (mp, kp, np) == (m, k, n) {
         // Already divisible: no copies needed.
-        fixed_unfold(a, b, c, levels);
+        fixed_unfold(a, b, c, levels, kernel);
         return;
     }
 
@@ -79,20 +89,26 @@ pub fn bailey_core<S: Scalar>(
     ap.view_mut().submatrix_mut(0, 0, m, k).copy_from(a);
     bp.view_mut().submatrix_mut(0, 0, k, n).copy_from(b);
     let mut cp: Matrix<S> = Matrix::zeros(mp, np);
-    fixed_unfold(ap.view(), bp.view(), cp.view_mut(), levels);
+    fixed_unfold(ap.view(), bp.view(), cp.view_mut(), levels, kernel);
     c.copy_from(cp.view().submatrix(0, 0, m, n));
 }
 
-/// Applies the Winograd step exactly `levels` times, then the blocked
-/// conventional kernel.
-fn fixed_unfold<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>, c: MatMut<'_, S>, levels: usize) {
+/// Applies the Winograd step exactly `levels` times, then the selected
+/// conventional leaf kernel.
+fn fixed_unfold<S: Scalar>(
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    c: MatMut<'_, S>,
+    levels: usize,
+    kernel: KernelKind,
+) {
     let (m, k) = a.dims();
     let n = b.cols();
     if levels == 0 || m % 2 != 0 || k % 2 != 0 || n % 2 != 0 || m.min(k).min(n) < 2 {
-        blocked_mul(a, b, c);
+        kernel.mul(a, b, c);
         return;
     }
-    winograd_step_views(a, b, c, &mut |x, y, z| fixed_unfold(x, y, z, levels - 1));
+    winograd_step_views(a, b, c, &mut |x, y, z| fixed_unfold(x, y, z, levels - 1, kernel));
 }
 
 #[cfg(test)]

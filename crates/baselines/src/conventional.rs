@@ -1,8 +1,7 @@
 //! The conventional `O(n³)` baseline behind a full `gemm` interface.
 
-use modgemm_mat::blocked::blocked_mul;
 use modgemm_mat::view::{MatMut, MatRef, Op};
-use modgemm_mat::Scalar;
+use modgemm_mat::{KernelKind, LeafKernel, Scalar};
 
 use crate::common::blas_wrap;
 
@@ -17,7 +16,24 @@ pub fn conventional_gemm<S: Scalar>(
     beta: S,
     c: MatMut<'_, S>,
 ) {
-    blas_wrap(alpha, op_a, a, op_b, b, beta, c, &mut |x, y, z| blocked_mul(x, y, z));
+    conventional_gemm_with(alpha, op_a, a, op_b, b, beta, c, KernelKind::Blocked)
+}
+
+/// [`conventional_gemm`] with an explicit leaf kernel (the whole multiply
+/// is one "leaf" here).
+#[allow(clippy::too_many_arguments)]
+#[track_caller]
+pub fn conventional_gemm_with<S: Scalar>(
+    alpha: S,
+    op_a: Op,
+    a: MatRef<'_, S>,
+    op_b: Op,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+    kernel: KernelKind,
+) {
+    blas_wrap(alpha, op_a, a, op_b, b, beta, c, &mut |x, y, z| kernel.mul(x, y, z));
 }
 
 #[cfg(test)]

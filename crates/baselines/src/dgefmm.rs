@@ -24,9 +24,8 @@
 //! with per-level temporaries.
 
 use modgemm_mat::addsub::rank1_update;
-use modgemm_mat::blocked::blocked_mul;
 use modgemm_mat::view::{MatMut, MatRef, Op};
-use modgemm_mat::Scalar;
+use modgemm_mat::{KernelKind, LeafKernel, Scalar};
 
 use crate::common::{blas_wrap, gather_row, gemv_overwrite, gevm_overwrite, winograd_step_views};
 
@@ -37,13 +36,15 @@ pub struct DgefmmConfig {
     /// `min(m, k, n)` exceeds this. The paper uses the empirically
     /// determined value 64 for its measurements.
     pub truncation: usize,
+    /// Leaf-multiply kernel (same selector the MODGEMM plan uses).
+    pub kernel: KernelKind,
 }
 
 impl Default for DgefmmConfig {
     fn default() -> Self {
         // §4: "For DGEFMM we use the empirically determined recursion
         // truncation point of 64."
-        Self { truncation: 64 }
+        Self { truncation: 64, kernel: KernelKind::Blocked }
     }
 }
 
@@ -61,16 +62,23 @@ pub fn dgefmm<S: Scalar>(
     cfg: &DgefmmConfig,
 ) {
     blas_wrap(alpha, op_a, a, op_b, b, beta, c, &mut |x, y, z| {
-        dgefmm_core(x, y, z, cfg.truncation)
+        dgefmm_core_with(x, y, z, cfg.truncation, cfg.kernel)
     });
 }
 
-/// The overwrite core: `C ← A·B` with per-level peeling.
-pub fn dgefmm_core<S: Scalar>(
+/// The overwrite core: `C ← A·B` with per-level peeling and the default
+/// ([`KernelKind::Blocked`]) leaf kernel.
+pub fn dgefmm_core<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>, c: MatMut<'_, S>, trunc: usize) {
+    dgefmm_core_with(a, b, c, trunc, KernelKind::Blocked)
+}
+
+/// [`dgefmm_core`] with an explicit leaf kernel.
+pub fn dgefmm_core_with<S: Scalar>(
     a: MatRef<'_, S>,
     b: MatRef<'_, S>,
     mut c: MatMut<'_, S>,
     trunc: usize,
+    kernel: KernelKind,
 ) {
     let (m, k) = a.dims();
     let (_, n) = b.dims();
@@ -78,7 +86,7 @@ pub fn dgefmm_core<S: Scalar>(
     debug_assert_eq!(c.dims(), (m, n));
 
     if m.min(k).min(n) <= trunc.max(1) {
-        blocked_mul(a, b, c);
+        kernel.mul(a, b, c);
         return;
     }
 
@@ -90,7 +98,9 @@ pub fn dgefmm_core<S: Scalar>(
         let a_core = a.submatrix(0, 0, me, ke);
         let b_core = b.submatrix(0, 0, ke, ne);
         let c_core = c.submatrix_mut(0, 0, me, ne);
-        winograd_step_views(a_core, b_core, c_core, &mut |x, y, z| dgefmm_core(x, y, z, trunc));
+        winograd_step_views(a_core, b_core, c_core, &mut |x, y, z| {
+            dgefmm_core_with(x, y, z, trunc, kernel)
+        });
     }
 
     // Fix-up 1: odd k — rank-1 update of the even core.
@@ -161,7 +171,7 @@ mod tests {
 
     #[test]
     fn full_interface_matches_oracle() {
-        let cfg = DgefmmConfig { truncation: 16 };
+        let cfg = DgefmmConfig { truncation: 16, ..Default::default() };
         for (m, k, n, alpha, beta, op_a, op_b, seed) in [
             (65usize, 65usize, 65usize, 1.0f64, 0.0f64, Op::NoTrans, Op::NoTrans, 10u64),
             (100, 81, 77, 2.0, -1.0, Op::Trans, Op::NoTrans, 11),

@@ -29,9 +29,8 @@
 use modgemm_mat::addsub::{
     add_assign_view, add_view, rank1_update, rsub_assign_view, sub_assign_view, sub_view,
 };
-use modgemm_mat::blocked::blocked_mul;
 use modgemm_mat::view::{MatMut, MatRef, Op};
-use modgemm_mat::{Matrix, Scalar};
+use modgemm_mat::{KernelKind, LeafKernel, Matrix, Scalar};
 
 use crate::common::{blas_wrap, gather_row};
 
@@ -40,11 +39,13 @@ use crate::common::{blas_wrap, gather_row};
 pub struct DgemmwConfig {
     /// Recursion truncation point (same meaning as DGEFMM's).
     pub truncation: usize,
+    /// Leaf-multiply kernel (same selector the MODGEMM plan uses).
+    pub kernel: KernelKind,
 }
 
 impl Default for DgemmwConfig {
     fn default() -> Self {
-        Self { truncation: 64 }
+        Self { truncation: 64, kernel: KernelKind::Blocked }
     }
 }
 
@@ -62,16 +63,23 @@ pub fn dgemmw<S: Scalar>(
     cfg: &DgemmwConfig,
 ) {
     blas_wrap(alpha, op_a, a, op_b, b, beta, c, &mut |x, y, z| {
-        dgemmw_core(x, y, z, cfg.truncation)
+        dgemmw_core_with(x, y, z, cfg.truncation, cfg.kernel)
     });
 }
 
-/// The overwrite core: `C ← A·B` with per-level overlap.
-pub fn dgemmw_core<S: Scalar>(
+/// The overwrite core: `C ← A·B` with per-level overlap and the default
+/// ([`KernelKind::Blocked`]) leaf kernel.
+pub fn dgemmw_core<S: Scalar>(a: MatRef<'_, S>, b: MatRef<'_, S>, c: MatMut<'_, S>, trunc: usize) {
+    dgemmw_core_with(a, b, c, trunc, KernelKind::Blocked)
+}
+
+/// [`dgemmw_core`] with an explicit leaf kernel.
+pub fn dgemmw_core_with<S: Scalar>(
     a: MatRef<'_, S>,
     b: MatRef<'_, S>,
     mut c: MatMut<'_, S>,
     trunc: usize,
+    kernel: KernelKind,
 ) {
     let (m, k) = a.dims();
     let (_, n) = b.dims();
@@ -79,7 +87,7 @@ pub fn dgemmw_core<S: Scalar>(
     debug_assert_eq!(c.dims(), (m, n));
 
     if m.min(k).min(n) <= trunc.max(1) {
-        blocked_mul(a, b, c);
+        kernel.mul(a, b, c);
         return;
     }
 
@@ -113,25 +121,25 @@ pub fn dgemmw_core<S: Scalar>(
     // of the C quadrants.
     sub_view(ts.view_mut(), a11, a21); // S3
     sub_view(tt.view_mut(), b22, b12); // T3
-    dgemmw_core(ts.view(), tt.view(), tp.view_mut(), trunc); // P5 → TP
+    dgemmw_core_with(ts.view(), tt.view(), tp.view_mut(), trunc, kernel); // P5 → TP
     add_view(ts.view_mut(), a21, a22); // S1
     sub_view(tt.view_mut(), b12, b11); // T1
-    dgemmw_core(ts.view(), tt.view(), r22.view_mut(), trunc); // P3 → R22
+    dgemmw_core_with(ts.view(), tt.view(), r22.view_mut(), trunc, kernel); // P3 → R22
     sub_assign_view(ts.view_mut(), a11); // S2
     rsub_assign_view(tt.view_mut(), b22); // T2
-    dgemmw_core(ts.view(), tt.view(), r11.view_mut(), trunc); // P4 → R11
+    dgemmw_core_with(ts.view(), tt.view(), r11.view_mut(), trunc, kernel); // P4 → R11
     rsub_assign_view(ts.view_mut(), a12); // S4
-    dgemmw_core(ts.view(), b22, r12.view_mut(), trunc); // P6 → R12
+    dgemmw_core_with(ts.view(), b22, r12.view_mut(), trunc, kernel); // P6 → R12
     rsub_assign_view(tt.view_mut(), b21); // T4
-    dgemmw_core(a22, tt.view(), r21.view_mut(), trunc); // P7 → R21
-    dgemmw_core(a11, b11, tq.view_mut(), trunc); // P1 → TQ
+    dgemmw_core_with(a22, tt.view(), r21.view_mut(), trunc, kernel); // P7 → R21
+    dgemmw_core_with(a11, b11, tq.view_mut(), trunc, kernel); // P1 → TQ
     add_assign_view(r11.view_mut(), tq.view()); // U2
     add_assign_view(r12.view_mut(), r22.view()); // P6 + P3
     add_assign_view(r12.view_mut(), r11.view()); // U7 → R12 done
     add_assign_view(r11.view_mut(), tp.view()); // U3
     add_assign_view(r21.view_mut(), r11.view()); // U4 → R21 done
     add_assign_view(r22.view_mut(), r11.view()); // U5 → R22 done
-    dgemmw_core(a12, b21, tp.view_mut(), trunc); // P2 → TP
+    dgemmw_core_with(a12, b21, tp.view_mut(), trunc, kernel); // P2 → TP
     add_view(r11.view_mut(), tq.view(), tp.view()); // U1 → R11 done
 
     // Write the quadrant results out. Overlapped rows/columns are written
@@ -190,7 +198,7 @@ mod tests {
 
     #[test]
     fn full_interface_matches_oracle() {
-        let cfg = DgemmwConfig { truncation: 16 };
+        let cfg = DgemmwConfig { truncation: 16, ..Default::default() };
         for (m, k, n, alpha, beta, op_a, op_b, seed) in [
             (65usize, 65usize, 65usize, 1.0f64, 0.0f64, Op::NoTrans, Op::NoTrans, 10u64),
             (100, 81, 77, 2.0, -1.0, Op::Trans, Op::NoTrans, 11),

@@ -80,7 +80,7 @@ pub fn conventional_gemm_with_sink<S: Scalar, K: MetricsSink>(
     instrumented(op_a, a, op_b, b, 0, sink, || conventional_gemm(alpha, op_a, a, op_b, b, beta, c));
 }
 
-/// [`dgefmm`] (dynamic peeling) reporting through `sink`.
+/// [`fn@dgefmm`] (dynamic peeling) reporting through `sink`.
 #[allow(clippy::too_many_arguments)]
 pub fn dgefmm_with_sink<S: Scalar, K: MetricsSink>(
     alpha: S,
@@ -99,7 +99,7 @@ pub fn dgefmm_with_sink<S: Scalar, K: MetricsSink>(
     instrumented(op_a, a, op_b, b, levels, sink, || dgefmm(alpha, op_a, a, op_b, b, beta, c, cfg));
 }
 
-/// [`dgemmw`] (dynamic overlap) reporting through `sink`.
+/// [`fn@dgemmw`] (dynamic overlap) reporting through `sink`.
 #[allow(clippy::too_many_arguments)]
 pub fn dgemmw_with_sink<S: Scalar, K: MetricsSink>(
     alpha: S,
@@ -190,7 +190,7 @@ mod tests {
             b.view(),
             0.0,
             c.view_mut(),
-            &DgefmmConfig { truncation: 32 },
+            &DgefmmConfig { truncation: 32, ..Default::default() },
             &mut sink,
         );
         assert_matrix_eq(c.view(), expect.view(), n);

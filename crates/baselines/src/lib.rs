@@ -4,17 +4,20 @@
 //!
 //! The paper measures MODGEMM against two earlier Strassen-Winograd codes
 //! and implicitly against the conventional algorithm; all three are
-//! reimplemented here, sharing the *same* leaf kernel
-//! ([`modgemm_mat::blocked`]) so that the comparison isolates the
-//! odd-size / layout *strategy*, exactly as in the paper (which linked all
-//! codes against the same vendor kernels):
+//! reimplemented here, sharing the *same* pluggable leaf kernel
+//! ([`modgemm_mat::kernel`], [`modgemm_mat::blocked`] by default) so that
+//! the comparison isolates the odd-size / layout *strategy*, exactly as in
+//! the paper (which linked all codes against the same vendor kernels).
+//! Each configuration carries a [`modgemm_mat::KernelKind`] — the same
+//! selector MODGEMM's `GemmPlan` uses — so kernel effects can be separated
+//! from schedule effects across every implementation:
 //!
-//! * [`dgefmm`] — **dynamic peeling** (Huss-Lederman, Jacobson, Johnson,
+//! * [`fn@dgefmm`] — **dynamic peeling** (Huss-Lederman, Jacobson, Johnson,
 //!   Tsao, Turnbull — SC'96). Odd dimensions lose one row/column before
 //!   each division; the peel is restored by rank-1 and matrix-vector
 //!   fix-ups. Column-major throughout, fixed truncation point
 //!   (empirically 64 in the paper).
-//! * [`dgemmw`] — **dynamic overlap** (Douglas, Heroux, Slishman, Smith —
+//! * [`fn@dgemmw`] — **dynamic overlap** (Douglas, Heroux, Slishman, Smith —
 //!   JCP'94). Odd dimensions split into ceil-halves that overlap by one
 //!   row/column; overlapped output is computed redundantly and the
 //!   double-counted inner-dimension term is removed by a rank-1
@@ -36,10 +39,10 @@ pub mod dgefmm;
 pub mod dgemmw;
 pub mod instrumented;
 
-pub use bailey::{bailey_gemm, BaileyConfig};
-pub use conventional::conventional_gemm;
-pub use dgefmm::{dgefmm, DgefmmConfig};
-pub use dgemmw::{dgemmw, DgemmwConfig};
+pub use bailey::{bailey_core_with, bailey_gemm, BaileyConfig};
+pub use conventional::{conventional_gemm, conventional_gemm_with};
+pub use dgefmm::{dgefmm, dgefmm_core_with, DgefmmConfig};
+pub use dgemmw::{dgemmw, dgemmw_core_with, DgemmwConfig};
 pub use instrumented::{
     bailey_gemm_with_sink, conventional_gemm_with_sink, dgefmm_with_sink, dgemmw_with_sink,
 };

@@ -10,10 +10,13 @@
 //! The declared suite covers the paper's axes: GEMM at 256 (power of
 //! two) and 513 (worst-case padding), a truncation sweep
 //! (`strassen_min` 16/64), conversion cost (Morton pack/unpack fraction),
-//! and parallel speedup (`parallel_depth 2`). `--quick` runs the same
-//! cases with fewer repetitions and names the suite `smoke` so CI
-//! baselines stay comparable. Exit codes: 0 ok, 1 regression, 2 usage or
-//! I/O error. See EXPERIMENTS.md for the schema and baseline workflow.
+//! parallel speedup (`parallel_depth 2`), and plan amortization (a
+//! `GemmPlan` built once and executed 32 times per repetition, the
+//! amortized counterpart of the one-shot cases at the same sizes).
+//! `--quick` runs the same cases with fewer repetitions and names the
+//! suite `smoke` so CI baselines stay comparable. Exit codes: 0 ok, 1
+//! regression, 2 usage or I/O error. See EXPERIMENTS.md for the schema
+//! and baseline workflow.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -22,7 +25,7 @@ use modgemm_baselines::conventional_gemm_with_sink;
 use modgemm_bench::report::{
     compare_reports, median, CompareMetric, SCHEMA_VERSION, SCORE_REFERENCE_CASE,
 };
-use modgemm_core::metrics::CollectingSink;
+use modgemm_core::metrics::{CollectingSink, MetricsSink};
 use modgemm_core::{try_modgemm_with_metrics, GemmContext, ModgemmConfig};
 use modgemm_experiments::json::{parse, Value};
 use modgemm_mat::gen::random_matrix;
@@ -37,10 +40,20 @@ struct Case {
 }
 
 enum Algo {
-    /// MODGEMM under the given configuration.
+    /// MODGEMM under the given configuration (plan built per call).
     Modgemm(ModgemmConfig),
     /// The conventional blocked baseline (the `score` reference).
     Conventional,
+    /// A `GemmPlan` compiled once for the case, then executed `execs`
+    /// times per timed repetition on a warm context. Reported times are
+    /// per execution, so the gap to the one-shot `Modgemm` case at the
+    /// same size is the plan-amortization win.
+    PlanReuse {
+        /// Configuration the plan is compiled from.
+        cfg: ModgemmConfig,
+        /// Executions per timed repetition.
+        execs: u32,
+    },
 }
 
 fn suite_cases() -> Vec<Case> {
@@ -55,6 +68,8 @@ fn suite_cases() -> Vec<Case> {
         Case { name: "modgemm_256_trunc64", n: 256, algo: Algo::Modgemm(trunc(64)) },
         Case { name: "modgemm_513_conversion", n: 513, algo: Algo::Modgemm(base) },
         Case { name: "modgemm_256_par2", n: 256, algo: Algo::Modgemm(par) },
+        Case { name: "plan_reuse_256", n: 256, algo: Algo::PlanReuse { cfg: base, execs: 32 } },
+        Case { name: "plan_reuse_513", n: 513, algo: Algo::PlanReuse { cfg: base, execs: 32 } },
     ]
 }
 
@@ -68,10 +83,20 @@ fn run_case(case: &Case, reps: u32) -> (Vec<f64>, modgemm_core::ExecMetrics) {
     let mut ctx = GemmContext::new();
     let mut secs = Vec::with_capacity(reps as usize);
     let mut last = CollectingSink::new();
+    // PlanReuse cases compile their plan once, outside the timed loop.
+    let plan = match &case.algo {
+        Algo::PlanReuse { cfg, .. } => Some(modgemm_core::plan::plan::<f64>(n, n, n, cfg)),
+        _ => None,
+    };
     // One untimed warmup rep sizes the context buffers and pages in the
     // operands, keeping first-touch cost out of the sample.
     for rep in 0..=reps {
         let mut sink = CollectingSink::new();
+        // PlanReuse times each execution individually so its median is
+        // comparable to the single-execution cases' median (a mean over
+        // the burst would absorb scheduler-tail outliers the other
+        // cases' medians discard).
+        let mut per_exec: Vec<f64> = Vec::new();
         let t0 = Instant::now();
         match &case.algo {
             Algo::Modgemm(cfg) => {
@@ -101,9 +126,35 @@ fn run_case(case: &Case, reps: u32) -> (Vec<f64>, modgemm_core::ExecMetrics) {
                     &mut sink,
                 );
             }
+            Algo::PlanReuse { execs, .. } => {
+                // Account the (shared) compile so the plans_built /
+                // plan_executions amortization ratio is visible.
+                sink.record_plan_built();
+                let plan = plan.as_ref().expect("plan built above");
+                for _ in 0..*execs {
+                    let te = Instant::now();
+                    plan.try_execute_with_metrics(
+                        1.0,
+                        Op::NoTrans,
+                        a.view(),
+                        Op::NoTrans,
+                        b.view(),
+                        0.0,
+                        c.view_mut(),
+                        &mut ctx,
+                        &mut sink,
+                    )
+                    .expect("bench case failed");
+                    per_exec.push(te.elapsed().as_secs_f64());
+                }
+            }
         }
         if rep > 0 {
-            secs.push(t0.elapsed().as_secs_f64());
+            if per_exec.is_empty() {
+                secs.push(t0.elapsed().as_secs_f64());
+            } else {
+                secs.extend(per_exec);
+            }
         }
         last = sink;
     }
@@ -120,6 +171,10 @@ fn metrics_json(m: &modgemm_core::ExecMetrics) -> Value {
         .with("padding_ratio", m.padding_ratio())
         .with("peak_workspace_bytes", m.peak_workspace_bytes)
         .with("temp_allocations", m.temp_allocations)
+        .with("temp_alloc_bytes", m.temp_alloc_bytes)
+        .with("plans_built", m.plans_built)
+        .with("plan_executions", m.plan_executions)
+        .with("arena_bytes", m.arena_bytes)
         .with("conversion_fraction", m.breakdown.conversion_fraction())
 }
 

@@ -237,6 +237,12 @@ pub fn sgemm(
 
 /// Fallible batched GEMM: validates the batch lengths and every entry's
 /// buffer before computing, reporting the first problem as a typed error.
+///
+/// All entries share one `m × k × n` shape, so the truncation-point
+/// search, layout tree, and arena sizing are compiled **once** into a
+/// [`crate::plan::GemmPlan`]; each entry then executes the plan against a
+/// shared [`crate::GemmContext`], making every multiply after the first
+/// allocation-free.
 #[allow(clippy::too_many_arguments)]
 pub fn try_gemm_batch<S: Scalar>(
     m: usize,
@@ -256,6 +262,7 @@ pub fn try_gemm_batch<S: Scalar>(
             c: c_batch.len(),
         });
     }
+    let plan = crate::plan::GemmPlan::<S>::try_new(m, k, n, cfg)?;
     let mut ctx = crate::GemmContext::new();
     ctx.try_reserve_for(m, k, n, cfg)?;
     for ((a, b), c) in a_batch.iter().zip(b_batch).zip(c_batch.iter_mut()) {
@@ -265,17 +272,7 @@ pub fn try_gemm_batch<S: Scalar>(
         let av = MatRef::from_slice(a, m, k, m.max(1));
         let bv = MatRef::from_slice(b, k, n, k.max(1));
         let cv = MatMut::from_slice(c, m, n, m.max(1));
-        crate::gemm::try_modgemm_with_ctx(
-            alpha,
-            Op::NoTrans,
-            av,
-            Op::NoTrans,
-            bv,
-            beta,
-            cv,
-            cfg,
-            &mut ctx,
-        )?;
+        plan.try_execute(alpha, Op::NoTrans, av, Op::NoTrans, bv, beta, cv, &mut ctx)?;
     }
     Ok(())
 }

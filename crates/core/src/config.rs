@@ -116,6 +116,9 @@ pub struct ModgemmConfig {
     pub non_finite: NonFinitePolicy,
     /// Post-hoc result verification on the fallible path.
     pub verify: VerifyMode,
+    /// Leaf-multiply kernel selected at plan time (see
+    /// [`modgemm_mat::kernel`]). `Blocked` reproduces the paper.
+    pub leaf_kernel: modgemm_mat::KernelKind,
 }
 
 impl Default for ModgemmConfig {
@@ -129,6 +132,7 @@ impl Default for ModgemmConfig {
             memory_budget: MemoryBudget::Unlimited,
             non_finite: NonFinitePolicy::Propagate,
             verify: VerifyMode::Off,
+            leaf_kernel: modgemm_mat::KernelKind::Blocked,
         }
     }
 }
@@ -240,6 +244,7 @@ mod tests {
         assert_eq!(c.memory_budget, MemoryBudget::Unlimited);
         assert_eq!(c.non_finite, NonFinitePolicy::Propagate);
         assert_eq!(c.verify, VerifyMode::Off);
+        assert_eq!(c.leaf_kernel, modgemm_mat::KernelKind::Blocked);
         assert!(c.validate().is_ok());
     }
 

@@ -133,6 +133,14 @@ pub enum GemmError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// Operands handed to a planned execution do not match the `m × k × n`
+    /// shape the [`crate::plan::GemmPlan`] was compiled for.
+    PlanShapeMismatch {
+        /// The problem shape the plan was built for.
+        planned: (usize, usize, usize),
+        /// The shape implied by the operands of this call.
+        got: (usize, usize, usize),
+    },
     /// An operand contains a non-finite value and the configured
     /// [`crate::config::NonFinitePolicy`] is `Reject`.
     NonFiniteInput {
@@ -189,6 +197,11 @@ impl fmt::Display for GemmError {
                 write!(f, "allocation of {elements} elements failed")
             }
             GemmError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            GemmError::PlanShapeMismatch { planned, got } => write!(
+                f,
+                "plan compiled for {}x{}x{} cannot execute a {}x{}x{} problem",
+                planned.0, planned.1, planned.2, got.0, got.1, got.2
+            ),
             GemmError::NonFiniteInput { operand } => {
                 write!(f, "operand {operand} contains a non-finite value")
             }

@@ -17,20 +17,18 @@
 //! (`TS`, `TT`, `TP`, `TQ`). Workspace is allocated once, sized by
 //! [`workspace_len`], and consumed stack-wise down the recursion.
 
-use modgemm_mat::addsub::{add_assign_flat, add_flat, rsub_assign_flat, sub_assign_flat, sub_flat};
-use modgemm_mat::blocked::blocked_mul_add;
 use modgemm_mat::view::{MatMut, MatRef};
-use modgemm_mat::Scalar;
+use modgemm_mat::{KernelKind, LeafKernel, Scalar};
 use modgemm_morton::MortonLayout;
-
-use std::time::{Duration, Instant};
 
 use crate::error::{GemmError, Operand};
 use crate::metrics::{MetricsSink, NoopSink, PlanFacts};
-use crate::schedule::{ASlot, AddKind, BSlot, Step, Variant};
+use crate::plan::{fill_levels, LevelPlan, MAX_LEVELS};
+use crate::schedule::Variant;
 
 /// Controls where the Strassen recursion hands over to the conventional
-/// algorithm, and which §2 schedule it runs.
+/// algorithm, which §2 schedule it runs, and which leaf kernel multiplies
+/// the truncated tiles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExecPolicy {
     /// Apply the Strassen step only while `min(m, k, n)` of the current
@@ -40,11 +38,14 @@ pub struct ExecPolicy {
     pub strassen_min: usize,
     /// Winograd (the paper's choice) or original Strassen recurrences.
     pub variant: Variant,
+    /// Leaf multiply kernel ([`KernelKind::Blocked`] by default, matching
+    /// the paper's blocked vendor-BLAS stand-in).
+    pub kernel: KernelKind,
 }
 
 impl Default for ExecPolicy {
     fn default() -> Self {
-        Self { strassen_min: 0, variant: Variant::Winograd }
+        Self { strassen_min: 0, variant: Variant::Winograd, kernel: KernelKind::Blocked }
     }
 }
 
@@ -147,13 +148,19 @@ fn tile_ref<'t, S: Scalar>(buf: &'t [S], l: &MortonLayout) -> MatRef<'t, S> {
     MatRef::from_slice(buf, l.tile_rows, l.tile_cols, l.tile_rows)
 }
 
-/// `C += A·B` by quadrant recursion over Morton buffers — the
-/// conventional-arithmetic multiply used below the truncation point.
+/// [`morton_mul_add`] with an explicit leaf kernel — the form the
+/// plan/execute machinery threads its plan-time [`KernelKind`] through.
 ///
 /// The eight recursive calls follow the operand-reuse ordering of Frens &
 /// Wise (PPoPP'97): consecutive calls share either an `A` or a `B`
 /// operand, improving cache reuse of the just-touched subtree.
-pub fn morton_mul_add<S: Scalar>(a: &[S], b: &[S], c: &mut [S], layouts: NodeLayouts) {
+pub fn morton_mul_add_with<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    kernel: KernelKind,
+) {
     debug_assert_eq!(a.len(), layouts.a.len());
     debug_assert_eq!(b.len(), layouts.b.len());
     debug_assert_eq!(c.len(), layouts.c.len());
@@ -163,7 +170,7 @@ pub fn morton_mul_add<S: Scalar>(a: &[S], b: &[S], c: &mut [S], layouts: NodeLay
         let bv = tile_ref(b, &layouts.b);
         let cv =
             MatMut::from_slice(c, layouts.c.tile_rows, layouts.c.tile_cols, layouts.c.tile_rows);
-        blocked_mul_add(av, bv, cv);
+        kernel.mul_add(av, bv, cv);
         return;
     }
 
@@ -177,20 +184,38 @@ pub fn morton_mul_add<S: Scalar>(a: &[S], b: &[S], c: &mut [S], layouts: NodeLay
     let (c21, c22) = rest.split_at_mut(qc);
 
     // Quadrant indices: 0 = NW(11), 1 = NE(12), 2 = SW(21), 3 = SE(22).
-    morton_mul_add(aq(0), bq(0), c11, ch); // C11 += A11·B11
-    morton_mul_add(aq(0), bq(1), c12, ch); // C12 += A11·B12
-    morton_mul_add(aq(1), bq(3), c12, ch); // C12 += A12·B22
-    morton_mul_add(aq(1), bq(2), c11, ch); // C11 += A12·B21
-    morton_mul_add(aq(3), bq(2), c21, ch); // C21 += A22·B21
-    morton_mul_add(aq(3), bq(3), c22, ch); // C22 += A22·B22
-    morton_mul_add(aq(2), bq(1), c22, ch); // C22 += A21·B12
-    morton_mul_add(aq(2), bq(0), c21, ch); // C21 += A21·B11
+    morton_mul_add_with(aq(0), bq(0), c11, ch, kernel); // C11 += A11·B11
+    morton_mul_add_with(aq(0), bq(1), c12, ch, kernel); // C12 += A11·B12
+    morton_mul_add_with(aq(1), bq(3), c12, ch, kernel); // C12 += A12·B22
+    morton_mul_add_with(aq(1), bq(2), c11, ch, kernel); // C11 += A12·B21
+    morton_mul_add_with(aq(3), bq(2), c21, ch, kernel); // C21 += A22·B21
+    morton_mul_add_with(aq(3), bq(3), c22, ch, kernel); // C22 += A22·B22
+    morton_mul_add_with(aq(2), bq(1), c22, ch, kernel); // C22 += A21·B12
+    morton_mul_add_with(aq(2), bq(0), c21, ch, kernel); // C21 += A21·B11
+}
+
+/// `C += A·B` by quadrant recursion over Morton buffers with the default
+/// blocked leaf kernel — the conventional-arithmetic multiply used below
+/// the truncation point.
+pub fn morton_mul_add<S: Scalar>(a: &[S], b: &[S], c: &mut [S], layouts: NodeLayouts) {
+    morton_mul_add_with(a, b, c, layouts, KernelKind::Blocked);
+}
+
+/// [`morton_mul`] with an explicit leaf kernel.
+pub fn morton_mul_with<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    kernel: KernelKind,
+) {
+    c.fill(S::ZERO);
+    morton_mul_add_with(a, b, c, layouts, kernel);
 }
 
 /// `C = A·B` (overwrite) by conventional quadrant recursion.
 pub fn morton_mul<S: Scalar>(a: &[S], b: &[S], c: &mut [S], layouts: NodeLayouts) {
-    c.fill(S::ZERO);
-    morton_mul_add(a, b, c, layouts);
+    morton_mul_with(a, b, c, layouts, KernelKind::Blocked);
 }
 
 /// Fallible core of [`strassen_mul`]: `C = A·B` over Morton buffers with
@@ -216,6 +241,10 @@ pub fn try_strassen_mul<S: Scalar>(
 /// the workspace reservation, and exclusive per-level wall time. With
 /// [`NoopSink`] the instrumentation compiles out entirely and the
 /// product is bit-identical.
+///
+/// Internally this flattens the per-level schedule into a stack-held
+/// [`LevelPlan`] list and runs the shared [`mod@crate::plan`] interpreter —
+/// the same code path a precompiled [`crate::GemmPlan`] executes.
 pub fn try_strassen_mul_with_sink<S: Scalar, K: MetricsSink>(
     a: &[S],
     b: &[S],
@@ -241,7 +270,9 @@ pub fn try_strassen_mul_with_sink<S: Scalar, K: MetricsSink>(
         });
         sink.record_workspace(needed, needed * core::mem::size_of::<S>());
     }
-    node(a, b, c, layouts, ws, policy, 0, sink);
+    let mut buf = [LevelPlan::EMPTY; MAX_LEVELS];
+    let count = fill_levels(&mut buf, layouts, policy);
+    crate::plan::exec_levels(a, b, c, layouts, &buf[..count], 0, &mut ws[..needed], policy, sink);
     Ok(())
 }
 
@@ -283,174 +314,6 @@ pub fn strassen_mul<S: Scalar>(
 ) {
     if let Err(e) = try_strassen_mul(a, b, c, layouts, ws, policy) {
         panic!("{e}");
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn node<S: Scalar, K: MetricsSink>(
-    a: &[S],
-    b: &[S],
-    c: &mut [S],
-    layouts: NodeLayouts,
-    ws: &mut [S],
-    policy: ExecPolicy,
-    level: usize,
-    sink: &mut K,
-) {
-    if !layouts.uses_strassen(policy) {
-        if K::ENABLED {
-            let t0 = Instant::now();
-            morton_mul(a, b, c, layouts);
-            sink.record_level_time(level, t0.elapsed());
-        } else {
-            morton_mul(a, b, c, layouts);
-        }
-        return;
-    }
-
-    let ch = layouts.child();
-    let (qa, qb, qc) =
-        (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
-
-    let aq: [&[S]; 4] = [&a[..qa], &a[qa..2 * qa], &a[2 * qa..3 * qa], &a[3 * qa..]];
-    let bq: [&[S]; 4] = [&b[..qb], &b[qb..2 * qb], &b[2 * qb..3 * qb], &b[3 * qb..]];
-
-    let (c11, rest) = c.split_at_mut(qc);
-    let (c12, rest) = rest.split_at_mut(qc);
-    let (c21, c22) = rest.split_at_mut(qc);
-
-    let (ts, rest_ws) = ws.split_at_mut(qa);
-    let (tt, rest_ws) = rest_ws.split_at_mut(qb);
-    let (tp, rest_ws) = rest_ws.split_at_mut(qc);
-    let (tq, child_ws) = rest_ws.split_at_mut(qc);
-
-    // Raw table of the six pairwise-disjoint C-shaped buffers, indexed by
-    // `CSlot::index()`. Access goes exclusively through this table below;
-    // the named locals are not used again.
-    let mut cslots: [(*mut S, usize); 6] = [
-        (c11.as_mut_ptr(), qc),
-        (c12.as_mut_ptr(), qc),
-        (c21.as_mut_ptr(), qc),
-        (c22.as_mut_ptr(), qc),
-        (tp.as_mut_ptr(), qc),
-        (tq.as_mut_ptr(), qc),
-    ];
-
-    // SAFETY helpers: the six buffers are disjoint `&mut` reborrows above,
-    // so creating one mutable and up to two shared slices is sound as long
-    // as the indices differ — which every call site checks.
-    unsafe fn slot_mut<'x, S>(t: &mut [(*mut S, usize); 6], i: usize) -> &'x mut [S] {
-        core::slice::from_raw_parts_mut(t[i].0, t[i].1)
-    }
-    unsafe fn slot_ref<'x, S>(t: &[(*mut S, usize); 6], i: usize) -> &'x [S] {
-        core::slice::from_raw_parts(t[i].0 as *const S, t[i].1)
-    }
-
-    // Exclusive per-level time: the additions of this level's schedule
-    // (the recursive multiplies attribute their own time to `level + 1`).
-    let mut add_time = Duration::ZERO;
-    for &step in policy.variant.schedule() {
-        let t0 = if K::ENABLED && !matches!(step, Step::Mul { .. }) {
-            Some(Instant::now())
-        } else {
-            None
-        };
-        match step {
-            Step::AddA { dst, lhs, rhs, kind } => {
-                debug_assert_eq!(dst, ASlot::TS);
-                let of = |s: ASlot| match s {
-                    ASlot::A11 => aq[0],
-                    ASlot::A12 => aq[1],
-                    ASlot::A21 => aq[2],
-                    ASlot::A22 => aq[3],
-                    ASlot::TS => unreachable!("TS operand handled by assign forms"),
-                };
-                match (lhs, rhs, kind) {
-                    (ASlot::TS, r, AddKind::Add) => add_assign_flat(ts, of(r)),
-                    (ASlot::TS, r, AddKind::Sub) => sub_assign_flat(ts, of(r)),
-                    (l, ASlot::TS, AddKind::Add) => add_assign_flat(ts, of(l)),
-                    (l, ASlot::TS, AddKind::Sub) => rsub_assign_flat(ts, of(l)),
-                    (l, r, AddKind::Add) => add_flat(ts, of(l), of(r)),
-                    (l, r, AddKind::Sub) => sub_flat(ts, of(l), of(r)),
-                }
-            }
-            Step::AddB { dst, lhs, rhs, kind } => {
-                debug_assert_eq!(dst, BSlot::TT);
-                let of = |s: BSlot| match s {
-                    BSlot::B11 => bq[0],
-                    BSlot::B12 => bq[1],
-                    BSlot::B21 => bq[2],
-                    BSlot::B22 => bq[3],
-                    BSlot::TT => unreachable!("TT operand handled by assign forms"),
-                };
-                match (lhs, rhs, kind) {
-                    (BSlot::TT, r, AddKind::Add) => add_assign_flat(tt, of(r)),
-                    (BSlot::TT, r, AddKind::Sub) => sub_assign_flat(tt, of(r)),
-                    (l, BSlot::TT, AddKind::Add) => add_assign_flat(tt, of(l)),
-                    (l, BSlot::TT, AddKind::Sub) => rsub_assign_flat(tt, of(l)),
-                    (l, r, AddKind::Add) => add_flat(tt, of(l), of(r)),
-                    (l, r, AddKind::Sub) => sub_flat(tt, of(l), of(r)),
-                }
-            }
-            Step::AddC { dst, lhs, rhs, kind } => {
-                let (d, l, r) = (dst.index(), lhs.index(), rhs.index());
-                debug_assert!(!(d == l && d == r), "fully-aliased AddC");
-                // SAFETY: buffers are pairwise disjoint; aliasing occurs
-                // only when indices coincide, and those cases take the
-                // assign forms which hold a single mutable reference.
-                unsafe {
-                    if d == l {
-                        let dst_s = slot_mut(&mut cslots, d);
-                        let rhs_s = slot_ref(&cslots, r);
-                        match kind {
-                            AddKind::Add => add_assign_flat(dst_s, rhs_s),
-                            AddKind::Sub => sub_assign_flat(dst_s, rhs_s),
-                        }
-                    } else if d == r {
-                        let dst_s = slot_mut(&mut cslots, d);
-                        let lhs_s = slot_ref(&cslots, l);
-                        match kind {
-                            AddKind::Add => add_assign_flat(dst_s, lhs_s),
-                            AddKind::Sub => rsub_assign_flat(dst_s, lhs_s),
-                        }
-                    } else {
-                        let dst_s = slot_mut(&mut cslots, d);
-                        let lhs_s = slot_ref(&cslots, l);
-                        let rhs_s = slot_ref(&cslots, r);
-                        match kind {
-                            AddKind::Add => add_flat(dst_s, lhs_s, rhs_s),
-                            AddKind::Sub => sub_flat(dst_s, lhs_s, rhs_s),
-                        }
-                    }
-                }
-            }
-            Step::Mul { a: sa, b: sb, dst } => {
-                let av: &[S] = match sa {
-                    ASlot::A11 => aq[0],
-                    ASlot::A12 => aq[1],
-                    ASlot::A21 => aq[2],
-                    ASlot::A22 => aq[3],
-                    ASlot::TS => &*ts,
-                };
-                let bv: &[S] = match sb {
-                    BSlot::B11 => bq[0],
-                    BSlot::B12 => bq[1],
-                    BSlot::B21 => bq[2],
-                    BSlot::B22 => bq[3],
-                    BSlot::TT => &*tt,
-                };
-                // SAFETY: the destination is disjoint from every possible
-                // operand (A/B buffers and the TS/TT workspace ranges).
-                let cd = unsafe { slot_mut(&mut cslots, dst.index()) };
-                node(av, bv, cd, ch, child_ws, policy, level + 1, sink);
-            }
-        }
-        if let Some(t0) = t0 {
-            add_time += t0.elapsed();
-        }
-    }
-    if K::ENABLED {
-        sink.record_level_time(level, add_time);
     }
 }
 

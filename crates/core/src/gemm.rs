@@ -16,26 +16,20 @@
 //! [`MortonMatrix`] plus [`modgemm_premorton`] expose the "matrices
 //! already in Morton order" mode of Figure 8.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use modgemm_mat::naive::naive_gemm;
 use modgemm_mat::view::{MatMut, MatRef, Op};
-use modgemm_mat::{Matrix, Scalar};
-use modgemm_morton::convert::{from_morton, from_morton_axpby, to_morton};
-use modgemm_morton::par_convert::{par_from_morton, par_to_morton};
+use modgemm_mat::Scalar;
+use modgemm_morton::convert::{from_morton, to_morton};
 use modgemm_morton::tiling::JointTiling;
 use modgemm_morton::MortonLayout;
 
-use crate::config::{ModgemmConfig, NonFinitePolicy, VerifyMode};
-use crate::error::{try_grow, try_zeroed_vec, Operand};
-use crate::exec::{
-    budget_capped_policy, strassen_mul, try_strassen_mul_with_sink, workspace_len, ExecPolicy,
-    NodeLayouts,
-};
+use crate::config::ModgemmConfig;
+use crate::error::try_grow;
+use crate::exec::{budget_capped_policy, strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
 use crate::metrics::{MetricsSink, NoopSink};
-use crate::parallel::{strassen_mul_parallel, try_strassen_mul_parallel_with_sink};
-use crate::rect;
-use crate::verify::verify_gemm;
+use crate::parallel::{parallel_slab_len, strassen_mul_parallel};
+use crate::plan::GemmPlan;
 
 pub use crate::error::GemmError;
 
@@ -66,7 +60,7 @@ impl GemmBreakdown {
         }
     }
 
-    fn accumulate(&mut self, other: GemmBreakdown) {
+    pub(crate) fn accumulate(&mut self, other: GemmBreakdown) {
         self.convert_in += other.convert_in;
         self.compute += other.compute;
         self.convert_out += other.convert_out;
@@ -204,15 +198,41 @@ pub fn try_modgemm<S: Scalar>(
 }
 
 /// Reusable buffers for repeated MODGEMM calls: the two Morton operand
-/// buffers, the Morton result buffer, and the Strassen workspace arena.
+/// buffers, the Morton result buffer, and the Strassen workspace arena
+/// (which doubles as the per-worker slab pool of the parallel executor).
 /// Amortizes the four allocations of [`modgemm`] across calls of any
-/// (not necessarily identical) shapes — buffers only ever grow.
+/// (not necessarily identical) shapes — buffers only ever grow during
+/// execution; [`Self::shrink_to`] releases memory explicitly.
 #[derive(Clone, Debug, Default)]
 pub struct GemmContext<S> {
-    a_buf: Vec<S>,
-    b_buf: Vec<S>,
-    c_buf: Vec<S>,
-    ws: Vec<S>,
+    pub(crate) a_buf: Vec<S>,
+    pub(crate) b_buf: Vec<S>,
+    pub(crate) c_buf: Vec<S>,
+    pub(crate) ws: Vec<S>,
+}
+
+/// Buffer sizes (`a`, `b`, `c`, workspace, in elements) an `m × k × n`
+/// problem under `cfg` will carve from a context, or `None` for
+/// degenerate or split problems (which size themselves per sub-product).
+fn buffer_needs<S: Scalar>(
+    m: usize,
+    k: usize,
+    n: usize,
+    cfg: &ModgemmConfig,
+) -> Option<(usize, usize, usize, usize)> {
+    if m == 0 || k == 0 || n == 0 {
+        return None;
+    }
+    cfg.plan(m, k, n).map(|plan| {
+        let layouts = layouts_of(&plan);
+        let policy = capped_policy::<S>(layouts, cfg);
+        let ws = if cfg.parallel_depth > 0 {
+            parallel_slab_len(layouts, policy, cfg.parallel_depth)
+        } else {
+            workspace_len(layouts, policy)
+        };
+        (layouts.a.len(), layouts.b.len(), layouts.c.len(), ws)
+    })
 }
 
 impl<S: Scalar> GemmContext<S> {
@@ -235,7 +255,8 @@ impl<S: Scalar> GemmContext<S> {
 
     /// Fallible [`Self::reserve_for`]: surfaces allocation failure as
     /// [`GemmError::Allocation`]. Sizing honors the configured memory
-    /// budget, matching what execution will actually use.
+    /// budget and parallelism, matching what execution will actually use
+    /// (the parallel executor's worker slabs included).
     pub fn try_reserve_for(
         &mut self,
         m: usize,
@@ -243,28 +264,45 @@ impl<S: Scalar> GemmContext<S> {
         n: usize,
         cfg: &ModgemmConfig,
     ) -> Result<(), GemmError> {
-        if let Some(plan) = cfg.plan(m, k, n) {
-            let layouts = layouts_of(&plan);
-            let policy = capped_policy::<S>(layouts, cfg);
-            try_grow(&mut self.a_buf, layouts.a.len())?;
-            try_grow(&mut self.b_buf, layouts.b.len())?;
-            try_grow(&mut self.c_buf, layouts.c.len())?;
-            try_grow(&mut self.ws, workspace_len(layouts, policy))?;
+        if let Some((a, b, c, ws)) = buffer_needs::<S>(m, k, n, cfg) {
+            try_grow(&mut self.a_buf, a)?;
+            try_grow(&mut self.b_buf, b)?;
+            try_grow(&mut self.c_buf, c)?;
+            try_grow(&mut self.ws, ws)?;
         }
         Ok(())
     }
 
-    /// Total elements currently held.
-    pub fn footprint(&self) -> usize {
-        self.a_buf.len() + self.b_buf.len() + self.c_buf.len() + self.ws.len()
+    /// Shrinks the context to what an `m × k × n` problem under `cfg`
+    /// actually needs, returning excess capacity to the allocator — the
+    /// inverse of [`Self::reserve_for`] for traffic that moved from large
+    /// shapes to small ones. Degenerate or split shapes release
+    /// everything (sub-products of a split re-grow on demand).
+    pub fn shrink_to(&mut self, m: usize, k: usize, n: usize, cfg: &ModgemmConfig) {
+        let (a, b, c, ws) = buffer_needs::<S>(m, k, n, cfg).unwrap_or((0, 0, 0, 0));
+        for (buf, need) in
+            [(&mut self.a_buf, a), (&mut self.b_buf, b), (&mut self.c_buf, c), (&mut self.ws, ws)]
+        {
+            buf.truncate(need);
+            buf.shrink_to_fit();
+        }
     }
 
-    /// Elements held by the Strassen workspace alone — the part of
-    /// [`Self::footprint`] that [`crate::config::MemoryBudget`] caps
-    /// (the three Morton conversion buffers are sized by the operands
-    /// and are not subject to the budget).
+    /// Total elements of memory the context actually holds (buffer
+    /// *capacities*, so over-allocation from amortized growth is counted,
+    /// not hidden).
+    pub fn footprint(&self) -> usize {
+        self.a_buf.capacity() + self.b_buf.capacity() + self.c_buf.capacity() + self.ws.capacity()
+    }
+
+    /// Elements held by the Strassen workspace arena alone — the part of
+    /// [`Self::footprint`] that [`crate::config::MemoryBudget`] caps on
+    /// the serial path (the three Morton conversion buffers are sized by
+    /// the operands and are not subject to the budget; the parallel
+    /// executor's slab pool lives here too and may exceed the budget,
+    /// exactly like the per-node temporaries it replaced).
     pub fn workspace_footprint(&self) -> usize {
-        self.ws.len()
+        self.ws.capacity()
     }
 }
 
@@ -313,16 +351,16 @@ pub fn modgemm_with_ctx<S: Scalar>(
 /// True when some stored entry of `x` is `NaN` or `±Inf` (by magnitude,
 /// so one scan covers real and complex scalars; exact integer types can
 /// never trip it).
-fn has_non_finite<S: Scalar>(x: MatRef<'_, S>) -> bool {
+pub(crate) fn has_non_finite<S: Scalar>(x: MatRef<'_, S>) -> bool {
     (0..x.cols()).any(|j| x.col(j).iter().any(|v| !v.abs_val().to_f64().is_finite()))
 }
 
 /// The fallible pipeline behind every entry point.
 ///
 /// Order of operations: configuration validation, dimension checks,
-/// degenerate-case early outs, the [`NonFinitePolicy`] operand scan, the
+/// degenerate-case early outs, the [`crate::config::NonFinitePolicy`] operand scan, the
 /// budget-capped fast computation (planned, or split when the operands
-/// are too rectangular), and finally the [`VerifyMode`] Freivalds check
+/// are too rectangular), and finally the [`crate::config::VerifyMode`] Freivalds check
 /// with one conventional-recompute retry.
 #[allow(clippy::too_many_arguments)]
 pub fn try_modgemm_with_ctx<S: Scalar>(
@@ -342,9 +380,14 @@ pub fn try_modgemm_with_ctx<S: Scalar>(
 /// [`try_modgemm_with_ctx`] reporting execution metrics through `sink`
 /// (see [`crate::metrics`]): the logical problem, per-plan facts (flops,
 /// padding, levels taken), the workspace reservation, per-level times
-/// from the executor, and the conversion/compute breakdown. With
-/// [`NoopSink`] this *is* `try_modgemm_with_ctx` — the instrumentation
-/// compiles out and the product is bit-identical.
+/// from the executor, plan-reuse counters, and the conversion/compute
+/// breakdown. With [`NoopSink`] this *is* `try_modgemm_with_ctx` — the
+/// instrumentation compiles out and the product is bit-identical.
+///
+/// This one-shot entry point builds a throwaway [`GemmPlan`] per call
+/// (each call records one plan built and one execution); callers with
+/// repeated traffic of one shape should build the plan once and call
+/// [`GemmPlan::try_execute_with_metrics`] instead.
 #[allow(clippy::too_many_arguments)]
 pub fn try_modgemm_with_metrics<S: Scalar, K: MetricsSink>(
     alpha: S,
@@ -353,131 +396,30 @@ pub fn try_modgemm_with_metrics<S: Scalar, K: MetricsSink>(
     op_b: Op,
     b: MatRef<'_, S>,
     beta: S,
-    mut c: MatMut<'_, S>,
+    c: MatMut<'_, S>,
     cfg: &ModgemmConfig,
     ctx: &mut GemmContext<S>,
     sink: &mut K,
 ) -> Result<GemmBreakdown, GemmError> {
-    cfg.validate()?;
     let (m, ka) = op_a.apply_dims(a.rows(), a.cols());
     let (kb, n) = op_b.apply_dims(b.rows(), b.cols());
+    // Plan construction validates the configuration; the inner-dimension
+    // check stays ahead of execution so the error order of the legacy
+    // pipeline is preserved (InvalidConfig, then InnerDimMismatch, then
+    // OutputDimMismatch).
+    let plan = GemmPlan::<S>::try_new(m, ka, n, cfg)?;
     if ka != kb {
         return Err(GemmError::InnerDimMismatch { a_cols: ka, b_rows: kb });
     }
-    if c.dims() != (m, n) {
-        return Err(GemmError::OutputDimMismatch { expected: (m, n), got: c.dims() });
-    }
-    let k = ka;
     if K::ENABLED {
-        sink.record_problem(m, k, n);
+        sink.record_plan_built();
     }
-
-    if m == 0 || n == 0 {
-        return Ok(GemmBreakdown::default());
-    }
-    if k == 0 || alpha == S::ZERO {
-        scale_in_place(beta, &mut c);
-        return Ok(GemmBreakdown::default());
-    }
-
-    if cfg.non_finite != NonFinitePolicy::Propagate {
-        let bad = if has_non_finite(a) {
-            Some(Operand::A)
-        } else if has_non_finite(b) {
-            Some(Operand::B)
-        } else {
-            None
-        };
-        if let Some(operand) = bad {
-            return match cfg.non_finite {
-                NonFinitePolicy::Reject => Err(GemmError::NonFiniteInput { operand }),
-                // IEEE semantics of the conventional inner products, with
-                // none of Strassen's NaN-manufacturing reassociation.
-                NonFinitePolicy::FallbackConventional => {
-                    naive_gemm(alpha, op_a, a, op_b, b, beta, c);
-                    Ok(GemmBreakdown::default())
-                }
-                NonFinitePolicy::Propagate => unreachable!("checked above"),
-            };
-        }
-    }
-
-    // Snapshot C₀ before the fast path clobbers it: the Freivalds check
-    // verifies against it, and the conventional retry restarts from it.
-    let c0: Option<Matrix<S>> = if matches!(cfg.verify, VerifyMode::Freivalds { .. }) {
-        let buf = try_zeroed_vec::<S>(m * n)?;
-        let mut snap = Matrix::from_vec(buf, m, n);
-        snap.view_mut().copy_from(c.as_ref());
-        Some(snap)
-    } else {
-        None
-    };
-
-    // Sub-products of a rectangular split skip the per-call scans; this
-    // level already scanned the whole operands and verifies the whole C.
-    let inner_cfg =
-        ModgemmConfig { verify: VerifyMode::Off, non_finite: NonFinitePolicy::Propagate, ..*cfg };
-    let bd = match cfg.plan(m, k, n) {
-        Some(plan) => {
-            let bd = try_execute_plan(
-                alpha,
-                op_a,
-                a,
-                op_b,
-                b,
-                beta,
-                c.reborrow(),
-                &inner_cfg,
-                &plan,
-                ctx,
-                sink,
-            )?;
-            if K::ENABLED {
-                sink.record_breakdown(&bd);
-            }
-            bd
-        }
-        None => {
-            // Highly rectangular: split into well-behaved products (the
-            // sub-products reuse the same context sequentially).
-            let mut total = GemmBreakdown::default();
-            rect::split_gemm(
-                alpha,
-                op_a,
-                a,
-                op_b,
-                b,
-                beta,
-                c.reborrow(),
-                &inner_cfg,
-                ctx,
-                sink,
-                &mut |bd| total.accumulate(bd),
-            )?;
-            // Sub-products each recorded their own breakdown through
-            // `sink`; only the aggregate is returned here.
-            total
-        }
-    };
-
-    if let VerifyMode::Freivalds { rounds, seed } = cfg.verify {
-        let c0 = c0.as_ref().expect("snapshot exists when verification is on");
-        if !verify_gemm(alpha, op_a, a, op_b, b, beta, c0.view(), c.as_ref(), rounds, seed) {
-            // Verified retry: restore C₀, recompute with the conventional
-            // baseline, and re-check before giving up.
-            c.copy_from(c0.view());
-            naive_gemm(alpha, op_a, a, op_b, b, beta, c.reborrow());
-            if !verify_gemm(alpha, op_a, a, op_b, b, beta, c0.view(), c.as_ref(), rounds, seed) {
-                return Err(GemmError::VerificationFailed { rounds });
-            }
-        }
-    }
-    Ok(bd)
+    plan.try_execute_with_metrics(alpha, op_a, a, op_b, b, beta, c, ctx, sink)
 }
 
 /// In-place `C ← β·C` honoring the BLAS convention that `β = 0` writes
 /// zeros without reading `C`.
-fn scale_in_place<S: Scalar>(beta: S, c: &mut MatMut<'_, S>) {
+pub(crate) fn scale_in_place<S: Scalar>(beta: S, c: &mut MatMut<'_, S>) {
     if beta == S::ONE {
         return;
     }
@@ -496,72 +438,13 @@ fn scale_in_place<S: Scalar>(beta: S, c: &mut MatMut<'_, S>) {
 /// The execution policy `cfg` implies for a node of `layouts`, with the
 /// memory budget applied: recursion depth degrades toward the
 /// conventional path until the workspace fits.
-fn capped_policy<S: Scalar>(layouts: NodeLayouts, cfg: &ModgemmConfig) -> ExecPolicy {
-    let base = ExecPolicy { strassen_min: cfg.strassen_min, variant: cfg.variant };
+pub(crate) fn capped_policy<S: Scalar>(layouts: NodeLayouts, cfg: &ModgemmConfig) -> ExecPolicy {
+    let base = ExecPolicy {
+        strassen_min: cfg.strassen_min,
+        variant: cfg.variant,
+        kernel: cfg.leaf_kernel,
+    };
     budget_capped_policy(layouts, base, cfg.memory_budget.max_elements(core::mem::size_of::<S>()))
-}
-
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn try_execute_plan<S: Scalar, K: MetricsSink>(
-    alpha: S,
-    op_a: Op,
-    a: MatRef<'_, S>,
-    op_b: Op,
-    b: MatRef<'_, S>,
-    beta: S,
-    mut c: MatMut<'_, S>,
-    cfg: &ModgemmConfig,
-    plan: &JointTiling,
-    ctx: &mut GemmContext<S>,
-    sink: &mut K,
-) -> Result<GemmBreakdown, GemmError> {
-    let layouts = layouts_of(plan);
-    let policy = capped_policy::<S>(layouts, cfg);
-
-    let t0 = Instant::now();
-    let abuf = try_grow(&mut ctx.a_buf, layouts.a.len())?;
-    let bbuf = try_grow(&mut ctx.b_buf, layouts.b.len())?;
-    if cfg.parallel_convert {
-        par_to_morton(a, op_a, &layouts.a, abuf);
-        par_to_morton(b, op_b, &layouts.b, bbuf);
-    } else {
-        to_morton(a, op_a, &layouts.a, abuf);
-        to_morton(b, op_b, &layouts.b, bbuf);
-    }
-    let convert_in = t0.elapsed();
-
-    let t1 = Instant::now();
-    let cbuf = try_grow(&mut ctx.c_buf, layouts.c.len())?;
-    if cfg.parallel_depth > 0 {
-        try_strassen_mul_parallel_with_sink(
-            abuf,
-            bbuf,
-            cbuf,
-            layouts,
-            policy,
-            cfg.parallel_depth,
-            sink,
-        )?;
-    } else {
-        let ws = try_grow(&mut ctx.ws, workspace_len(layouts, policy))?;
-        try_strassen_mul_with_sink(abuf, bbuf, cbuf, layouts, ws, policy, sink)?;
-    }
-    let compute = t1.elapsed();
-    let cbuf = &ctx.c_buf[..layouts.c.len()];
-
-    let t2 = Instant::now();
-    if alpha == S::ONE && beta == S::ZERO {
-        if cfg.parallel_convert {
-            par_from_morton(cbuf, &layouts.c, c);
-        } else {
-            from_morton(cbuf, &layouts.c, c);
-        }
-    } else {
-        from_morton_axpby(cbuf, &layouts.c, alpha, beta, c.reborrow());
-    }
-    let convert_out = t2.elapsed();
-
-    Ok(GemmBreakdown { convert_in, compute, convert_out })
 }
 
 /// Runs the Morton core (`D ← A·B`) with the configured execution policy
@@ -605,6 +488,7 @@ pub fn modgemm_premorton<S: Scalar>(
 mod tests {
     use super::*;
     use crate::config::Truncation;
+    use crate::error::Operand;
     use modgemm_mat::gen::{random_matrix, random_problem};
     use modgemm_mat::naive::{naive_gemm, naive_product};
     use modgemm_mat::norms::assert_matrix_eq;
@@ -1048,6 +932,70 @@ mod tests {
             &mut ctx,
         );
         assert_eq!(ctx.footprint(), reserved, "reservation must cover the run");
+    }
+
+    #[test]
+    fn shrink_to_releases_stale_capacity_and_context_stays_reusable() {
+        let cfg = ModgemmConfig::default();
+        let mut ctx = GemmContext::<f64>::new();
+
+        // A big reservation followed by small traffic leaves a stale
+        // oversized footprint; footprint() must report it (capacities,
+        // not lengths) and shrink_to must release it.
+        ctx.reserve_for(512, 512, 512, &cfg);
+        let big = ctx.footprint();
+        let a: Matrix<f64> = random_matrix(64, 64, 11);
+        let b: Matrix<f64> = random_matrix(64, 64, 12);
+        let mut c: Matrix<f64> = Matrix::zeros(64, 64);
+        let run = |ctx: &mut GemmContext<f64>, c: &mut Matrix<f64>| {
+            modgemm_with_ctx(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                c.view_mut(),
+                &cfg,
+                ctx,
+            );
+        };
+        run(&mut ctx, &mut c);
+        assert_eq!(ctx.footprint(), big, "small traffic must not hide the stale reservation");
+
+        ctx.shrink_to(64, 64, 64, &cfg);
+        let small = ctx.footprint();
+        assert!(small < big, "shrink_to must release capacity ({small} !< {big})");
+        let mut ctx_fresh = GemmContext::<f64>::new();
+        ctx_fresh.reserve_for(64, 64, 64, &cfg);
+        assert_eq!(small, ctx_fresh.footprint(), "shrunk context matches a fresh reservation");
+
+        // Shrink-then-grow: the context stays correct and re-grows on
+        // demand when large traffic returns.
+        let mut c_small = Matrix::zeros(64, 64);
+        run(&mut ctx, &mut c_small);
+        assert_eq!(c_small, c, "post-shrink result must be identical");
+        let a2: Matrix<f64> = random_matrix(300, 300, 13);
+        let b2: Matrix<f64> = random_matrix(300, 300, 14);
+        let mut c2: Matrix<f64> = Matrix::zeros(300, 300);
+        modgemm_with_ctx(
+            1.0,
+            Op::NoTrans,
+            a2.view(),
+            Op::NoTrans,
+            b2.view(),
+            0.0,
+            c2.view_mut(),
+            &cfg,
+            &mut ctx,
+        );
+        assert!(ctx.footprint() > small, "large traffic must re-grow the context");
+        assert_matrix_eq(c2.view(), naive_product(&a2, &b2).view(), 300);
+
+        // Degenerate/split shapes release everything.
+        ctx.shrink_to(0, 10, 10, &cfg);
+        assert_eq!(ctx.footprint(), 0);
+        assert_eq!(ctx.workspace_footprint(), 0);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   (Figure 8).
 //! * [`exec::strassen_mul`] / [`exec::morton_mul`] — the raw Morton-buffer
 //!   executors.
+//! * [`plan::plan`] / [`plan::execute`] — the plan/execute split: compile
+//!   a [`plan::GemmPlan`] once (truncation search, layout tree, flattened
+//!   schedule, arena offsets), then execute it repeatedly with zero hot-path
+//!   allocations on a warm [`gemm::GemmContext`].
 //!
 //! The Winograd recursion step itself lives in [`schedule`] *as data*,
 //! shared by this crate's executor, the DGEFMM baseline, and the
@@ -38,6 +42,7 @@ pub mod exec;
 pub mod gemm;
 pub mod metrics;
 pub mod parallel;
+pub mod plan;
 pub mod rect;
 pub mod schedule;
 pub mod verify;
@@ -54,8 +59,10 @@ pub use gemm::{
 };
 pub use metrics::{CacheTotals, CollectingSink, ExecMetrics, MetricsSink, NoopSink, PlanFacts};
 pub use parallel::{
-    strassen_mul_parallel, try_strassen_mul_parallel, try_strassen_mul_parallel_with_sink,
+    parallel_slab_len, strassen_mul_parallel, try_strassen_mul_parallel,
+    try_strassen_mul_parallel_in, try_strassen_mul_parallel_with_sink,
 };
+pub use plan::{execute, plan, GemmPlan, LevelPlan};
 pub use rect::{classify, Shape};
 pub use schedule::Variant;
 pub use verify::{verify_gemm, verify_product};

@@ -94,11 +94,26 @@ pub trait MetricsSink {
         let _ = (elems, bytes);
     }
 
-    /// `count` temporary buffers totalling `elems` elements were
-    /// allocated outside the pre-reserved workspace (the parallel
-    /// executor's product temporaries, internal scratch, …).
-    fn record_temp_allocs(&mut self, count: u64, elems: u64) {
-        let _ = (count, elems);
+    /// `count` temporary buffers totalling `elems` elements (`bytes`
+    /// bytes) were allocated outside the pre-reserved workspace (the
+    /// parallel executor's self-allocated slab, cold [`crate::GemmContext`]
+    /// buffer growth, internal scratch, …). A planned execution on a warm
+    /// context records nothing here — that is the "allocation-free hot
+    /// path" acceptance criterion (`temp_alloc_bytes == 0`).
+    fn record_temp_allocs(&mut self, count: u64, elems: u64, bytes: u64) {
+        let _ = (count, elems, bytes);
+    }
+
+    /// One [`crate::GemmPlan`] was compiled (truncation search, layout
+    /// tree, flattened schedule, arena offsets). The one-shot wrappers
+    /// build a plan per call; a reusing caller records this once.
+    fn record_plan_built(&mut self) {}
+
+    /// One execution of a prepared plan, whose workspace arena spans
+    /// `arena_bytes` bytes. The ratio `plan_executions / plans_built`
+    /// is the amortization factor the plan/execute split buys.
+    fn record_plan_execution(&mut self, arena_bytes: u64) {
+        let _ = arena_bytes;
     }
 
     /// Wall time attributed exclusively to recursion level `level`
@@ -158,6 +173,17 @@ pub struct ExecMetrics {
     pub temp_allocations: u64,
     /// Total elements across those temporaries.
     pub temp_alloc_elems: u64,
+    /// Total bytes across those temporaries. Zero on a planned execution
+    /// with a warm [`crate::GemmContext`] — the allocation-free hot path.
+    pub temp_alloc_bytes: u64,
+    /// [`crate::GemmPlan`]s compiled (one per call through the one-shot
+    /// wrappers; once for a reusing caller).
+    pub plans_built: u64,
+    /// Executions of prepared plans. `plan_executions / plans_built` is
+    /// the amortization factor of plan reuse.
+    pub plan_executions: u64,
+    /// Peak workspace-arena span of any executed plan, in bytes.
+    pub arena_bytes: u64,
     /// Exclusive wall time per recursion level (index = level; grown on
     /// demand).
     pub level_times: Vec<Duration>,
@@ -275,9 +301,19 @@ impl MetricsSink for CollectingSink {
         m.peak_workspace_bytes = m.peak_workspace_bytes.max(bytes);
     }
 
-    fn record_temp_allocs(&mut self, count: u64, elems: u64) {
+    fn record_temp_allocs(&mut self, count: u64, elems: u64, bytes: u64) {
         self.metrics.temp_allocations += count;
         self.metrics.temp_alloc_elems += elems;
+        self.metrics.temp_alloc_bytes += bytes;
+    }
+
+    fn record_plan_built(&mut self) {
+        self.metrics.plans_built += 1;
+    }
+
+    fn record_plan_execution(&mut self, arena_bytes: u64) {
+        self.metrics.plan_executions += 1;
+        self.metrics.arena_bytes = self.metrics.arena_bytes.max(arena_bytes);
     }
 
     fn record_level_time(&mut self, level: usize, elapsed: Duration) {
@@ -331,7 +367,10 @@ mod tests {
         });
         sink.record_workspace(50, 400);
         sink.record_workspace(30, 240);
-        sink.record_temp_allocs(3, 90);
+        sink.record_temp_allocs(3, 90, 720);
+        sink.record_plan_built();
+        sink.record_plan_execution(4096);
+        sink.record_plan_execution(2048); // arena_bytes keeps the peak
         sink.record_level_time(1, Duration::from_millis(5));
         sink.record_level_time(1, Duration::from_millis(5));
         sink.record_level_time(0, Duration::from_millis(1));
@@ -349,6 +388,10 @@ mod tests {
         assert_eq!(m.peak_workspace_bytes, 400);
         assert_eq!(m.temp_allocations, 3);
         assert_eq!(m.temp_alloc_elems, 90);
+        assert_eq!(m.temp_alloc_bytes, 720);
+        assert_eq!(m.plans_built, 1);
+        assert_eq!(m.plan_executions, 2);
+        assert_eq!(m.arena_bytes, 4096);
         assert_eq!(m.level_times.len(), 2);
         assert_eq!(m.level_times[1], Duration::from_millis(10));
         assert_eq!(m.flop_ratio(), 0.5);

@@ -13,6 +13,16 @@
 //! * the `U`-combinations run after the join, identically to the serial
 //!   schedule's suffix.
 //!
+//! All of those buffers — the per-node temporaries *and* the per-worker
+//! serial workspaces at the handover depth — are carved from **one
+//! contiguous slab** whose size [`parallel_slab_len`] computes in closed
+//! form at plan time. [`try_strassen_mul_parallel_in`] runs on a
+//! caller-provided slab (the [`crate::gemm::GemmContext`] workspace, via a
+//! [`crate::plan::GemmPlan`]) and performs no allocation at all;
+//! [`try_strassen_mul_parallel`] is the one-shot form that allocates the
+//! slab itself — a single allocation where the old per-node `vec!`
+//! temporaries made `11 + 7·(child)` of them.
+//!
 //! Results are **bitwise identical** to the serial executor: the same
 //! products are computed by the same kernels in the same associativity;
 //! only the evaluation order across independent buffers changes.
@@ -26,8 +36,29 @@ use crate::error::{panic_message, try_zeroed_vec, GemmError};
 use crate::exec::{check_buffers, try_strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
 use crate::metrics::{MetricsSink, PlanFacts};
 
+/// Closed-form size (in elements) of the slab the parallel executor
+/// carves for a node of `layouts` under `policy` with `par_depth`
+/// parallel levels: per parallel Winograd level, 8 operand temporaries
+/// (`S1..S4` of `qa` elements, `T1..T4` of `qb`) plus 3 product
+/// temporaries (`P1`, `P2`, `P5` of `qc`), then seven child slabs; at the
+/// serial handover, one [`workspace_len`] arena per subtree.
+pub fn parallel_slab_len(layouts: NodeLayouts, policy: ExecPolicy, par_depth: usize) -> usize {
+    if par_depth == 0
+        || !layouts.uses_strassen(policy)
+        || policy.variant != crate::schedule::Variant::Winograd
+    {
+        return workspace_len(layouts, policy);
+    }
+    let per_node =
+        4 * layouts.a.quadrant_len() + 4 * layouts.b.quadrant_len() + 3 * layouts.c.quadrant_len();
+    per_node + 7 * parallel_slab_len(layouts.child(), policy, par_depth - 1)
+}
+
 /// Fallible core of [`strassen_mul_parallel`]: `C = A·B` with the top
 /// `par_depth` Strassen levels evaluated in parallel.
+///
+/// One-shot form: allocates the [`parallel_slab_len`] slab itself (a
+/// single allocation) and delegates to [`try_strassen_mul_parallel_in`].
 ///
 /// A panicking worker thread is contained with `catch_unwind` and
 /// surfaced as [`GemmError::WorkerPanic`] after all siblings have joined,
@@ -43,6 +74,45 @@ pub fn try_strassen_mul_parallel<S: Scalar>(
     par_depth: usize,
 ) -> Result<(), GemmError> {
     check_buffers(a.len(), b.len(), c.len(), layouts)?;
+    let mut slab = try_zeroed_vec::<S>(parallel_slab_len(layouts, policy, par_depth))?;
+    try_strassen_mul_parallel_in(a, b, c, layouts, policy, par_depth, &mut slab)
+}
+
+/// [`try_strassen_mul_parallel`] on a caller-provided slab of at least
+/// [`parallel_slab_len`] elements — the allocation-free form used by
+/// planned execution. The slab need not be zeroed: every temporary is
+/// fully written before it is read.
+#[allow(clippy::too_many_arguments)]
+pub fn try_strassen_mul_parallel_in<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    policy: ExecPolicy,
+    par_depth: usize,
+    slab: &mut [S],
+) -> Result<(), GemmError> {
+    check_buffers(a.len(), b.len(), c.len(), layouts)?;
+    let needed = parallel_slab_len(layouts, policy, par_depth);
+    if slab.len() < needed {
+        return Err(GemmError::WorkspaceTooSmall { needed, got: slab.len() });
+    }
+    par_node(a, b, c, layouts, policy, par_depth, &mut slab[..needed])
+}
+
+/// The recursive worker: `slab` is exactly this subtree's
+/// [`parallel_slab_len`] slice.
+#[allow(clippy::too_many_arguments)]
+fn par_node<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    policy: ExecPolicy,
+    par_depth: usize,
+    slab: &mut [S],
+) -> Result<(), GemmError> {
+    debug_assert_eq!(slab.len(), parallel_slab_len(layouts, policy, par_depth));
 
     // The parallel product placement below is derived from the Winograd
     // recurrences; the original-Strassen variant runs serially.
@@ -50,8 +120,7 @@ pub fn try_strassen_mul_parallel<S: Scalar>(
         || !layouts.uses_strassen(policy)
         || policy.variant != crate::schedule::Variant::Winograd
     {
-        let mut ws = try_zeroed_vec::<S>(workspace_len(layouts, policy))?;
-        return try_strassen_mul(a, b, c, layouts, &mut ws, policy);
+        return try_strassen_mul(a, b, c, layouts, slab, policy);
     }
 
     let ch = layouts.child();
@@ -60,42 +129,51 @@ pub fn try_strassen_mul_parallel<S: Scalar>(
     let (a11, a12, a21, a22) = (&a[..qa], &a[qa..2 * qa], &a[2 * qa..3 * qa], &a[3 * qa..]);
     let (b11, b12, b21, b22) = (&b[..qb], &b[qb..2 * qb], &b[2 * qb..3 * qb], &b[3 * qb..]);
 
-    // S/T operand temporaries (computed serially; they are cheap,
-    // memory-bound flat passes).
-    let mut s1 = try_zeroed_vec::<S>(qa)?;
-    let mut s2 = try_zeroed_vec::<S>(qa)?;
-    let mut s3 = try_zeroed_vec::<S>(qa)?;
-    let mut s4 = try_zeroed_vec::<S>(qa)?;
-    add_flat(&mut s1, a21, a22); // S1 = A21 + A22
-    sub_flat(&mut s2, &s1, a11); // S2 = S1 − A11
-    sub_flat(&mut s3, a11, a21); // S3 = A11 − A21
-    sub_flat(&mut s4, a12, &s2); // S4 = A12 − S2
+    // Carve this node's temporaries and the seven child slabs from the
+    // front of the slab. `split_at_mut` chains (not `chunks_mut`) because
+    // a fully-conventional child slab is legitimately zero-length.
+    let child_len = parallel_slab_len(ch, policy, par_depth - 1);
+    let (s1, rest) = slab.split_at_mut(qa);
+    let (s2, rest) = rest.split_at_mut(qa);
+    let (s3, rest) = rest.split_at_mut(qa);
+    let (s4, rest) = rest.split_at_mut(qa);
+    let (t1, rest) = rest.split_at_mut(qb);
+    let (t2, rest) = rest.split_at_mut(qb);
+    let (t3, rest) = rest.split_at_mut(qb);
+    let (t4, rest) = rest.split_at_mut(qb);
+    let (p1, rest) = rest.split_at_mut(qc);
+    let (p2, rest) = rest.split_at_mut(qc);
+    let (p5, rest) = rest.split_at_mut(qc);
+    let (w1, rest) = rest.split_at_mut(child_len);
+    let (w2, rest) = rest.split_at_mut(child_len);
+    let (w3, rest) = rest.split_at_mut(child_len);
+    let (w4, rest) = rest.split_at_mut(child_len);
+    let (w5, rest) = rest.split_at_mut(child_len);
+    let (w6, w7) = rest.split_at_mut(child_len);
 
-    let mut t1 = try_zeroed_vec::<S>(qb)?;
-    let mut t2 = try_zeroed_vec::<S>(qb)?;
-    let mut t3 = try_zeroed_vec::<S>(qb)?;
-    let mut t4 = try_zeroed_vec::<S>(qb)?;
-    sub_flat(&mut t1, b12, b11); // T1 = B12 − B11
-    sub_flat(&mut t2, b22, &t1); // T2 = B22 − T1
-    sub_flat(&mut t3, b22, b12); // T3 = B22 − B12
-    sub_flat(&mut t4, b21, &t2); // T4 = B21 − T2
+    // S/T operand temporaries (computed serially; they are cheap,
+    // memory-bound flat passes that fully overwrite their slots).
+    add_flat(s1, a21, a22); // S1 = A21 + A22
+    sub_flat(s2, s1, a11); // S2 = S1 − A11
+    sub_flat(s3, a11, a21); // S3 = A11 − A21
+    sub_flat(s4, a12, s2); // S4 = A12 − S2
+
+    sub_flat(t1, b12, b11); // T1 = B12 − B11
+    sub_flat(t2, b22, t1); // T2 = B22 − T1
+    sub_flat(t3, b22, b12); // T3 = B22 − B12
+    sub_flat(t4, b21, t2); // T4 = B21 − T2
 
     let (c11, rest) = c.split_at_mut(qc);
     let (c12, rest) = rest.split_at_mut(qc);
     let (c21, c22) = rest.split_at_mut(qc);
 
-    let mut p1 = try_zeroed_vec::<S>(qc)?;
-    let mut p2 = try_zeroed_vec::<S>(qc)?;
-    let mut p5 = try_zeroed_vec::<S>(qc)?;
-
     let mut first_err: Option<GemmError> = None;
     {
-        // Each task multiplies into its own disjoint destination, wrapped
-        // in catch_unwind so a panic is contained to its product.
-        let run = |av: &[S], bv: &[S], cv: &mut [S]| {
-            catch_unwind(AssertUnwindSafe(|| {
-                try_strassen_mul_parallel(av, bv, cv, ch, policy, par_depth - 1)
-            }))
+        // Each task multiplies into its own disjoint destination with its
+        // own slab slice, wrapped in catch_unwind so a panic is contained
+        // to its product.
+        let run = |av: &[S], bv: &[S], cv: &mut [S], wv: &mut [S]| {
+            catch_unwind(AssertUnwindSafe(|| par_node(av, bv, cv, ch, policy, par_depth - 1, wv)))
         };
         let mut fold = |outcome: std::thread::Result<Result<(), GemmError>>| match outcome {
             Ok(Ok(())) => {}
@@ -113,14 +191,14 @@ pub fn try_strassen_mul_parallel<S: Scalar>(
         };
         std::thread::scope(|scope| {
             let handles = [
-                scope.spawn(|| run(a11, b11, &mut p1)), // P1
-                scope.spawn(|| run(a12, b21, &mut p2)), // P2
-                scope.spawn(|| run(&s1, &t1, c22)),     // P3 → C22
-                scope.spawn(|| run(&s2, &t2, c11)),     // P4 → C11
-                scope.spawn(|| run(&s3, &t3, &mut p5)), // P5
-                scope.spawn(|| run(&s4, b22, c12)),     // P6 → C12
+                scope.spawn(|| run(a11, b11, &mut *p1, &mut *w1)), // P1
+                scope.spawn(|| run(a12, b21, &mut *p2, &mut *w2)), // P2
+                scope.spawn(|| run(&*s1, &*t1, &mut *c22, &mut *w3)), // P3 → C22
+                scope.spawn(|| run(&*s2, &*t2, &mut *c11, &mut *w4)), // P4 → C11
+                scope.spawn(|| run(&*s3, &*t3, &mut *p5, &mut *w5)), // P5
+                scope.spawn(|| run(&*s4, b22, &mut *c12, &mut *w6)), // P6 → C12
             ];
-            let inline = run(a22, &t4, c21); // P7 → C21 (on this thread)
+            let inline = run(a22, t4, &mut *c21, &mut *w7); // P7 → C21 (on this thread)
             for h in handles {
                 // The closure catches its own unwinds, so join itself can
                 // only fail on a non-unwinding abort; flatten both paths.
@@ -137,38 +215,34 @@ pub fn try_strassen_mul_parallel<S: Scalar>(
     }
 
     // The serial schedule's combination suffix.
-    add_assign_flat(c11, &p1); // U2 = P1 + P4
+    add_assign_flat(c11, p1); // U2 = P1 + P4
     add_assign_flat(c12, c22); // P6 + P3
     add_assign_flat(c12, c11); // U7 = U2 + P3 + P6  → C12 done
-    add_assign_flat(c11, &p5); // U3 = U2 + P5
+    add_assign_flat(c11, p5); // U3 = U2 + P5
     add_assign_flat(c21, c11); // U4 = U3 + P7       → C21 done
     add_assign_flat(c22, c11); // U5 = U3 + P3       → C22 done
-    add_flat(c11, &p1, &p2); // U1 = P1 + P2         → C11 done
+    add_flat(c11, p1, p2); // U1 = P1 + P2           → C11 done
     Ok(())
 }
 
-/// Modeled temporary allocations of the parallel executor: per parallel
-/// Winograd level, each node allocates 8 operand temporaries
-/// (`S1..S4`, `T1..T4`) and 3 product temporaries (`P1`, `P2`, `P5`);
-/// at the serial handover each of the `7^d` subtrees allocates one
-/// Strassen workspace. Returns `(allocation count, total elements)`.
+/// Modeled temporary allocations of the one-shot parallel executor
+/// ([`try_strassen_mul_parallel`]): a single [`parallel_slab_len`] slab
+/// covering every per-node temporary and handover workspace. Returns
+/// `(allocation count, total elements)` — `(1, slab)` when the slab is
+/// nonempty, `(0, 0)` otherwise. Planned execution
+/// ([`try_strassen_mul_parallel_in`] on a warm context) allocates
+/// nothing and is accounted by the context-growth metrics instead.
 pub fn parallel_temp_allocs(
     layouts: NodeLayouts,
     policy: ExecPolicy,
     par_depth: usize,
 ) -> (u64, u64) {
-    if par_depth == 0
-        || !layouts.uses_strassen(policy)
-        || policy.variant != crate::schedule::Variant::Winograd
-    {
-        let ws = workspace_len(layouts, policy);
-        return if ws > 0 { (1, ws as u64) } else { (0, 0) };
+    let slab = parallel_slab_len(layouts, policy, par_depth);
+    if slab > 0 {
+        (1, slab as u64)
+    } else {
+        (0, 0)
     }
-    let per_node = (4 * layouts.a.quadrant_len()
-        + 4 * layouts.b.quadrant_len()
-        + 3 * layouts.c.quadrant_len()) as u64;
-    let (child_count, child_elems) = parallel_temp_allocs(layouts.child(), policy, par_depth - 1);
-    (11 + 7 * child_count, per_node + 7 * child_elems)
 }
 
 /// [`try_strassen_mul_parallel`] reporting through a [`MetricsSink`]
@@ -176,11 +250,11 @@ pub fn parallel_temp_allocs(
 ///
 /// The parallel executor cannot share one `&mut` sink across its scoped
 /// worker threads, so instrumentation is coarser than the serial
-/// executor's: plan facts and temporary allocations are *modeled*
-/// (exactly — the allocation sites are deterministic), the whole call's
-/// wall time is attributed to level 0, and the modeled temporary total is
-/// recorded as the workspace reservation (it is what the call actually
-/// allocates beyond the operand buffers).
+/// executor's: plan facts and the slab allocation are *modeled* (exactly
+/// — the allocation site is deterministic), the whole call's wall time is
+/// attributed to level 0, and the slab size is recorded as the workspace
+/// reservation (it is what the call actually allocates beyond the
+/// operand buffers).
 pub fn try_strassen_mul_parallel_with_sink<S: Scalar, K: MetricsSink>(
     a: &[S],
     b: &[S],
@@ -205,7 +279,9 @@ pub fn try_strassen_mul_parallel_with_sink<S: Scalar, K: MetricsSink>(
         conventional_flops: crate::counts::conventional_flops(m, k, n),
     });
     let (count, elems) = parallel_temp_allocs(layouts, policy, par_depth);
-    sink.record_temp_allocs(count, elems);
+    if count > 0 {
+        sink.record_temp_allocs(count, elems, elems * core::mem::size_of::<S>() as u64);
+    }
     sink.record_workspace(elems as usize, elems as usize * core::mem::size_of::<S>());
     sink.record_level_time(0, elapsed);
     Ok(())
@@ -304,6 +380,53 @@ mod tests {
                 got: l.len() + 3
             })
         );
+    }
+
+    #[test]
+    fn slab_form_rejects_short_slabs_and_matches_oneshot() {
+        let l = MortonLayout::new(8, 8, 2);
+        let layouts = NodeLayouts::new(l, l, l);
+        let policy = ExecPolicy::default();
+        let needed = parallel_slab_len(layouts, policy, 1);
+        assert!(needed > 0);
+
+        let a: Matrix<f64> = random_matrix(32, 32, 41);
+        let b: Matrix<f64> = random_matrix(32, 32, 42);
+        let mut ab = vec![0.0; l.len()];
+        let mut bb = vec![0.0; l.len()];
+        to_morton(a.view(), Op::NoTrans, &l, &mut ab);
+        to_morton(b.view(), Op::NoTrans, &l, &mut bb);
+
+        let mut c1 = vec![0.0; l.len()];
+        let mut short = vec![0.0; needed - 1];
+        assert_eq!(
+            try_strassen_mul_parallel_in(&ab, &bb, &mut c1, layouts, policy, 1, &mut short),
+            Err(GemmError::WorkspaceTooSmall { needed, got: needed - 1 })
+        );
+
+        // A dirty, oversized slab must still give the bitwise result.
+        let mut dirty = vec![f64::NAN; needed + 13];
+        try_strassen_mul_parallel_in(&ab, &bb, &mut c1, layouts, policy, 1, &mut dirty).unwrap();
+        let mut c2 = vec![0.0; l.len()];
+        try_strassen_mul_parallel(&ab, &bb, &mut c2, layouts, policy, 1).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn slab_model_matches_legacy_temp_total() {
+        // The slab is exactly the sum the old per-node `vec!` temporaries
+        // added up to: 4qa + 4qb + 3qc per parallel Winograd level, times
+        // 7 per child, plus one serial workspace per handover subtree.
+        let l = MortonLayout::new(8, 8, 3);
+        let layouts = NodeLayouts::new(l, l, l);
+        let policy = ExecPolicy::default();
+        let (qa, qb, qc) = (l.quadrant_len(), l.quadrant_len(), l.quadrant_len());
+        let per_node = 4 * qa + 4 * qb + 3 * qc;
+        let child = layouts.child();
+        let expect = per_node + 7 * (workspace_len(child, policy));
+        assert_eq!(parallel_slab_len(layouts, policy, 1), expect);
+        // Handover cases degenerate to the serial workspace.
+        assert_eq!(parallel_slab_len(layouts, policy, 0), workspace_len(layouts, policy));
     }
 
     #[test]

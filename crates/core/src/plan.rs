@@ -1,0 +1,980 @@
+//! The plan/execute split: compile the multiply once, run it many times.
+//!
+//! The paper's whole premise is that MODGEMM's memory behavior is decided
+//! *before* the multiply: the truncation search fixes the tile sizes and
+//! recursion depth, which fix the [`NodeLayouts`] tree, which fixes every
+//! workspace slot the Strassen-Winograd recursion will ever touch. A
+//! [`GemmPlan`] materializes that decision as data:
+//!
+//! * the truncation-point search result (or the verdict that the problem
+//!   must be split, §3.5);
+//! * the budget-capped [`ExecPolicy`] — truncation, schedule variant, and
+//!   leaf kernel ([`modgemm_mat::KernelKind`]) are all plan-time choices;
+//! * the per-level schedule, flattened into a [`LevelPlan`] list (one
+//!   entry per Strassen level, each pointing at the variant's step list);
+//! * a single workspace **arena** with precomputed slot offsets — the
+//!   `TS/TT/TP/TQ` temporaries of every level laid out back to back, so
+//!   execution carves slices instead of allocating.
+//!
+//! [`GemmPlan::execute`] then runs the compiled recipe against a
+//! [`GemmContext`]: on a warm context the hot path performs **zero** heap
+//! allocations (asserted via the temp-allocation accounting — see
+//! `ExecMetrics::temp_alloc_bytes`). The legacy one-shot entry points
+//! ([`crate::gemm::try_modgemm_with_metrics`] and friends) are thin
+//! wrappers that build a throwaway plan per call, so both paths execute
+//! the same interpreter (`exec_levels`) and produce bit-identical
+//! results.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+use modgemm_mat::addsub::{add_assign_flat, add_flat, rsub_assign_flat, sub_assign_flat, sub_flat};
+use modgemm_mat::naive::naive_gemm;
+use modgemm_mat::view::{MatMut, MatRef, Op};
+use modgemm_mat::{Matrix, Scalar};
+use modgemm_morton::convert::{from_morton, from_morton_axpby, to_morton};
+use modgemm_morton::par_convert::{par_from_morton, par_to_morton};
+
+use crate::config::{ModgemmConfig, NonFinitePolicy, VerifyMode};
+use crate::error::{try_grow, try_zeroed_vec, GemmError, Operand};
+use crate::exec::{check_buffers, morton_mul_with, workspace_len, ExecPolicy, NodeLayouts};
+use crate::gemm::{
+    capped_policy, has_non_finite, layouts_of, scale_in_place, GemmBreakdown, GemmContext,
+};
+use crate::metrics::{MetricsSink, NoopSink, PlanFacts};
+use crate::parallel::parallel_slab_len;
+use crate::rect;
+use crate::schedule::{ASlot, AddKind, BSlot, Step};
+use crate::verify::verify_gemm;
+
+/// Upper bound on Strassen levels a plan can hold in stack storage.
+///
+/// Padded dimensions are `tile << depth`, so `depth < usize::BITS` and 64
+/// levels can never be reached on any address width; the one-shot path
+/// uses this to keep its [`LevelPlan`] list off the heap.
+pub const MAX_LEVELS: usize = 64;
+
+/// The compiled form of one Strassen recursion level: quadrant sizes, the
+/// arena slot this level owns, and the schedule it interprets.
+///
+/// A level's arena slot holds its four temporaries back to back —
+/// `TS` (`qa` elements), `TT` (`qb`), `TP` (`qc`), `TQ` (`qc`) — at
+/// `arena_offset`; the child level's slot follows immediately, so the
+/// whole recursion consumes one contiguous arena of
+/// [`workspace_len`] elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelPlan {
+    /// Elements of one `A` quadrant at this level (the `TS` slot size).
+    pub qa: usize,
+    /// Elements of one `B` quadrant at this level (the `TT` slot size).
+    pub qb: usize,
+    /// Elements of one `C` quadrant at this level (the `TP`/`TQ` slot
+    /// size, each).
+    pub qc: usize,
+    /// Total elements of this level's arena slot: `qa + qb + 2·qc`.
+    pub slot_len: usize,
+    /// Offset of this level's slot from the arena start (prefix sum of
+    /// the shallower levels' `slot_len`s).
+    pub arena_offset: usize,
+    /// The linearized schedule this level interprets
+    /// ([`crate::schedule::WINOGRAD_SCHEDULE`] or
+    /// [`crate::schedule::STRASSEN_SCHEDULE`]).
+    pub steps: &'static [Step],
+}
+
+impl LevelPlan {
+    /// The all-zero placeholder used to initialize fixed-size level
+    /// buffers before `fill_levels` overwrites the live prefix.
+    pub const EMPTY: LevelPlan =
+        LevelPlan { qa: 0, qb: 0, qc: 0, slot_len: 0, arena_offset: 0, steps: &[] };
+}
+
+/// Flattens the Strassen levels of `layouts` under `policy` into `out`,
+/// returning how many levels take the Strassen step (the rest of the tree
+/// runs the conventional Morton recursion).
+///
+/// Debug builds assert, at every level, that the arena layout agrees with
+/// the closed-form [`workspace_len`]/[`crate::counts`] model — the
+/// metrics model can never drift from the allocator.
+pub(crate) fn fill_levels(
+    out: &mut [LevelPlan],
+    layouts: NodeLayouts,
+    policy: ExecPolicy,
+) -> usize {
+    let mut l = layouts;
+    let mut off = 0usize;
+    let mut count = 0usize;
+    while l.uses_strassen(policy) {
+        let (qa, qb, qc) = (l.a.quadrant_len(), l.b.quadrant_len(), l.c.quadrant_len());
+        let slot_len = qa + qb + 2 * qc;
+        debug_assert_eq!(
+            workspace_len(l, policy),
+            slot_len + workspace_len(l.child(), policy),
+            "arena slot at level {count} disagrees with the workspace model"
+        );
+        out[count] =
+            LevelPlan { qa, qb, qc, slot_len, arena_offset: off, steps: policy.variant.schedule() };
+        off += slot_len;
+        count += 1;
+        l = l.child();
+    }
+    debug_assert_eq!(
+        off,
+        workspace_len(layouts, policy),
+        "arena length disagrees with workspace_len"
+    );
+    debug_assert_eq!(
+        count,
+        crate::counts::strassen_levels(layouts, policy),
+        "flattened level count disagrees with counts::strassen_levels"
+    );
+    count
+}
+
+/// The shared schedule interpreter: executes `levels[li..]` over the
+/// Morton buffers, carving each level's `TS/TT/TP/TQ` temporaries from
+/// the front of `arena` and handing the tail to the recursion. Past the
+/// last flattened level the conventional Morton recursion takes over with
+/// the plan's leaf kernel.
+///
+/// `arena` must be exactly the remaining levels' combined slot length
+/// (callers pass `workspace_len(layouts, policy)` at the root).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_levels<S: Scalar, K: MetricsSink>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    levels: &[LevelPlan],
+    li: usize,
+    arena: &mut [S],
+    policy: ExecPolicy,
+    sink: &mut K,
+) {
+    debug_assert_eq!(
+        arena.len(),
+        levels[li..].iter().map(|l| l.slot_len).sum::<usize>(),
+        "arena does not match the remaining levels' slots"
+    );
+    if li == levels.len() {
+        debug_assert!(!layouts.uses_strassen(policy), "levels list ended early");
+        if K::ENABLED {
+            let t0 = Instant::now();
+            morton_mul_with(a, b, c, layouts, policy.kernel);
+            sink.record_level_time(li, t0.elapsed());
+        } else {
+            morton_mul_with(a, b, c, layouts, policy.kernel);
+        }
+        return;
+    }
+    let lp = &levels[li];
+
+    let ch = layouts.child();
+    let (qa, qb, qc) =
+        (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
+    debug_assert_eq!((lp.qa, lp.qb, lp.qc), (qa, qb, qc), "level plan drifted from the layouts");
+
+    let aq: [&[S]; 4] = [&a[..qa], &a[qa..2 * qa], &a[2 * qa..3 * qa], &a[3 * qa..]];
+    let bq: [&[S]; 4] = [&b[..qb], &b[qb..2 * qb], &b[2 * qb..3 * qb], &b[3 * qb..]];
+
+    let (c11, rest) = c.split_at_mut(qc);
+    let (c12, rest) = rest.split_at_mut(qc);
+    let (c21, c22) = rest.split_at_mut(qc);
+
+    let (this_ws, child_ws) = arena.split_at_mut(lp.slot_len);
+    let (ts, rest_ws) = this_ws.split_at_mut(qa);
+    let (tt, rest_ws) = rest_ws.split_at_mut(qb);
+    let (tp, tq) = rest_ws.split_at_mut(qc);
+
+    // Raw table of the six pairwise-disjoint C-shaped buffers, indexed by
+    // `CSlot::index()`. Access goes exclusively through this table below;
+    // the named locals are not used again.
+    let mut cslots: [(*mut S, usize); 6] = [
+        (c11.as_mut_ptr(), qc),
+        (c12.as_mut_ptr(), qc),
+        (c21.as_mut_ptr(), qc),
+        (c22.as_mut_ptr(), qc),
+        (tp.as_mut_ptr(), qc),
+        (tq.as_mut_ptr(), qc),
+    ];
+
+    // SAFETY helpers: the six buffers are disjoint `&mut` reborrows above,
+    // so creating one mutable and up to two shared slices is sound as long
+    // as the indices differ — which every call site checks.
+    unsafe fn slot_mut<'x, S>(t: &mut [(*mut S, usize); 6], i: usize) -> &'x mut [S] {
+        core::slice::from_raw_parts_mut(t[i].0, t[i].1)
+    }
+    unsafe fn slot_ref<'x, S>(t: &[(*mut S, usize); 6], i: usize) -> &'x [S] {
+        core::slice::from_raw_parts(t[i].0 as *const S, t[i].1)
+    }
+
+    // Exclusive per-level time: the additions of this level's schedule
+    // (the recursive multiplies attribute their own time to `li + 1`).
+    let mut add_time = Duration::ZERO;
+    for &step in lp.steps {
+        let t0 = if K::ENABLED && !matches!(step, Step::Mul { .. }) {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        match step {
+            Step::AddA { dst, lhs, rhs, kind } => {
+                debug_assert_eq!(dst, ASlot::TS);
+                let of = |s: ASlot| match s {
+                    ASlot::A11 => aq[0],
+                    ASlot::A12 => aq[1],
+                    ASlot::A21 => aq[2],
+                    ASlot::A22 => aq[3],
+                    ASlot::TS => unreachable!("TS operand handled by assign forms"),
+                };
+                match (lhs, rhs, kind) {
+                    (ASlot::TS, r, AddKind::Add) => add_assign_flat(ts, of(r)),
+                    (ASlot::TS, r, AddKind::Sub) => sub_assign_flat(ts, of(r)),
+                    (l, ASlot::TS, AddKind::Add) => add_assign_flat(ts, of(l)),
+                    (l, ASlot::TS, AddKind::Sub) => rsub_assign_flat(ts, of(l)),
+                    (l, r, AddKind::Add) => add_flat(ts, of(l), of(r)),
+                    (l, r, AddKind::Sub) => sub_flat(ts, of(l), of(r)),
+                }
+            }
+            Step::AddB { dst, lhs, rhs, kind } => {
+                debug_assert_eq!(dst, BSlot::TT);
+                let of = |s: BSlot| match s {
+                    BSlot::B11 => bq[0],
+                    BSlot::B12 => bq[1],
+                    BSlot::B21 => bq[2],
+                    BSlot::B22 => bq[3],
+                    BSlot::TT => unreachable!("TT operand handled by assign forms"),
+                };
+                match (lhs, rhs, kind) {
+                    (BSlot::TT, r, AddKind::Add) => add_assign_flat(tt, of(r)),
+                    (BSlot::TT, r, AddKind::Sub) => sub_assign_flat(tt, of(r)),
+                    (l, BSlot::TT, AddKind::Add) => add_assign_flat(tt, of(l)),
+                    (l, BSlot::TT, AddKind::Sub) => rsub_assign_flat(tt, of(l)),
+                    (l, r, AddKind::Add) => add_flat(tt, of(l), of(r)),
+                    (l, r, AddKind::Sub) => sub_flat(tt, of(l), of(r)),
+                }
+            }
+            Step::AddC { dst, lhs, rhs, kind } => {
+                let (d, l, r) = (dst.index(), lhs.index(), rhs.index());
+                debug_assert!(!(d == l && d == r), "fully-aliased AddC");
+                // SAFETY: buffers are pairwise disjoint; aliasing occurs
+                // only when indices coincide, and those cases take the
+                // assign forms which hold a single mutable reference.
+                unsafe {
+                    if d == l {
+                        let dst_s = slot_mut(&mut cslots, d);
+                        let rhs_s = slot_ref(&cslots, r);
+                        match kind {
+                            AddKind::Add => add_assign_flat(dst_s, rhs_s),
+                            AddKind::Sub => sub_assign_flat(dst_s, rhs_s),
+                        }
+                    } else if d == r {
+                        let dst_s = slot_mut(&mut cslots, d);
+                        let lhs_s = slot_ref(&cslots, l);
+                        match kind {
+                            AddKind::Add => add_assign_flat(dst_s, lhs_s),
+                            AddKind::Sub => rsub_assign_flat(dst_s, lhs_s),
+                        }
+                    } else {
+                        let dst_s = slot_mut(&mut cslots, d);
+                        let lhs_s = slot_ref(&cslots, l);
+                        let rhs_s = slot_ref(&cslots, r);
+                        match kind {
+                            AddKind::Add => add_flat(dst_s, lhs_s, rhs_s),
+                            AddKind::Sub => sub_flat(dst_s, lhs_s, rhs_s),
+                        }
+                    }
+                }
+            }
+            Step::Mul { a: sa, b: sb, dst } => {
+                let av: &[S] = match sa {
+                    ASlot::A11 => aq[0],
+                    ASlot::A12 => aq[1],
+                    ASlot::A21 => aq[2],
+                    ASlot::A22 => aq[3],
+                    ASlot::TS => &*ts,
+                };
+                let bv: &[S] = match sb {
+                    BSlot::B11 => bq[0],
+                    BSlot::B12 => bq[1],
+                    BSlot::B21 => bq[2],
+                    BSlot::B22 => bq[3],
+                    BSlot::TT => &*tt,
+                };
+                // SAFETY: the destination is disjoint from every possible
+                // operand (A/B buffers and the TS/TT workspace ranges).
+                let cd = unsafe { slot_mut(&mut cslots, dst.index()) };
+                exec_levels(av, bv, cd, ch, levels, li + 1, child_ws, policy, sink);
+            }
+        }
+        if let Some(t0) = t0 {
+            add_time += t0.elapsed();
+        }
+    }
+    if K::ENABLED {
+        sink.record_level_time(li, add_time);
+    }
+}
+
+/// The tiled (non-split) execution strategy of a [`GemmPlan`]: the fixed
+/// layout tree, budget-capped policy, flattened level list, and the arena
+/// sizes the executors will carve.
+#[derive(Clone, Debug)]
+struct TiledPlan {
+    layouts: NodeLayouts,
+    policy: ExecPolicy,
+    levels: Vec<LevelPlan>,
+    /// Serial workspace arena, in elements ([`workspace_len`]).
+    arena_len: usize,
+    /// Parallel workspace slab, in elements ([`parallel_slab_len`]);
+    /// `0` when the plan is serial.
+    slab_len: usize,
+    facts: PlanFacts,
+}
+
+/// A precompiled MODGEMM execution plan for one `m × k × n` problem
+/// shape under one [`ModgemmConfig`].
+///
+/// Build once with [`plan`] / [`GemmPlan::try_new`], execute repeatedly
+/// with [`GemmPlan::execute`] / [`GemmPlan::try_execute`]: planning runs
+/// the truncation-point search, fixes the layout tree, flattens the
+/// schedule, and sizes the workspace arena; execution against a warm
+/// [`GemmContext`] is then allocation-free on the hot path. The type
+/// parameter is the scalar the plan will execute over — the memory budget
+/// caps the recursion depth in *bytes*, so the element size is a
+/// plan-time input.
+#[derive(Clone, Debug)]
+pub struct GemmPlan<S> {
+    m: usize,
+    k: usize,
+    n: usize,
+    cfg: ModgemmConfig,
+    /// `None` when the problem is degenerate (a zero dimension) or too
+    /// rectangular for a joint tiling; execution then early-outs or runs
+    /// the §3.5 submatrix split (each sub-product planning itself).
+    strategy: Option<TiledPlan>,
+    _marker: PhantomData<fn() -> S>,
+}
+
+/// Builds a [`GemmPlan`] for an `m × k × n` problem under `cfg` — the
+/// plan half of the plan/execute split.
+///
+/// # Panics
+/// On an invalid configuration; [`GemmPlan::try_new`] reports it.
+#[track_caller]
+pub fn plan<S: Scalar>(m: usize, k: usize, n: usize, cfg: &ModgemmConfig) -> GemmPlan<S> {
+    match GemmPlan::try_new(m, k, n, cfg) {
+        Ok(p) => p,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+impl<S: Scalar> GemmPlan<S> {
+    /// Fallible [`plan`]: validates `cfg`, runs the truncation-point
+    /// search, and compiles the layout tree, flattened schedule, and
+    /// arena offsets.
+    pub fn try_new(m: usize, k: usize, n: usize, cfg: &ModgemmConfig) -> Result<Self, GemmError> {
+        cfg.validate()?;
+        let strategy = if m == 0 || k == 0 || n == 0 {
+            // Degenerate problems never reach an executor; the early-outs
+            // in `try_execute_with_metrics` handle them.
+            None
+        } else {
+            cfg.plan(m, k, n).map(|tiling| {
+                let layouts = layouts_of(&tiling);
+                let policy = capped_policy::<S>(layouts, cfg);
+                let mut levels = vec![LevelPlan::EMPTY; MAX_LEVELS];
+                let count = fill_levels(&mut levels, layouts, policy);
+                levels.truncate(count);
+                let arena_len = workspace_len(layouts, policy);
+                let slab_len = if cfg.parallel_depth > 0 {
+                    parallel_slab_len(layouts, policy, cfg.parallel_depth)
+                } else {
+                    0
+                };
+                let (pm, pk, pn) = layouts.dims();
+                let facts = PlanFacts {
+                    padded: (pm, pk, pn),
+                    depth: layouts.a.depth,
+                    strassen_levels: count,
+                    flops: crate::counts::strassen_flops(layouts, policy),
+                    conventional_flops: crate::counts::conventional_flops(pm, pk, pn),
+                };
+                TiledPlan { layouts, policy, levels, arena_len, slab_len, facts }
+            })
+        };
+        Ok(Self { m, k, n, cfg: *cfg, strategy, _marker: PhantomData })
+    }
+
+    /// The logical problem dimensions `(m, k, n)` this plan was compiled
+    /// for.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.m, self.k, self.n)
+    }
+
+    /// The configuration the plan was compiled under.
+    pub fn config(&self) -> &ModgemmConfig {
+        &self.cfg
+    }
+
+    /// True when no joint tiling exists and execution will run the §3.5
+    /// submatrix split (each sub-product plans itself per call).
+    pub fn is_split(&self) -> bool {
+        self.strategy.is_none() && self.m > 0 && self.k > 0 && self.n > 0
+    }
+
+    /// Elements of the workspace arena an execution will carve from the
+    /// context: the serial arena, or the parallel slab when
+    /// `parallel_depth > 0`. Zero for split or degenerate plans.
+    pub fn arena_len(&self) -> usize {
+        match &self.strategy {
+            Some(tp) => tp.arena_len.max(tp.slab_len),
+            None => 0,
+        }
+    }
+
+    /// Strassen levels the compiled recursion takes (zero for split,
+    /// degenerate, or fully conventional plans).
+    pub fn strassen_levels(&self) -> usize {
+        self.strategy.as_ref().map_or(0, |tp| tp.levels.len())
+    }
+
+    fn arena_bytes(&self) -> u64 {
+        (self.arena_len() * core::mem::size_of::<S>()) as u64
+    }
+
+    /// `C = A·B` through the plan (`α = 1`, `β = 0`, untransposed
+    /// operands) — the hot-path signature of the plan/execute split.
+    ///
+    /// # Panics
+    /// On the conditions [`GemmPlan::try_execute`] reports as errors
+    /// (including operands whose dimensions differ from the planned
+    /// shape).
+    #[track_caller]
+    pub fn execute(
+        &self,
+        a: MatRef<'_, S>,
+        b: MatRef<'_, S>,
+        c: MatMut<'_, S>,
+        ctx: &mut GemmContext<S>,
+    ) {
+        if let Err(e) = self.try_execute(S::ONE, Op::NoTrans, a, Op::NoTrans, b, S::ZERO, c, ctx) {
+            panic!("{e}");
+        }
+    }
+
+    /// Full-generality fallible execution:
+    /// `C ← α·op(A)·op(B) + β·C` through the plan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_execute(
+        &self,
+        alpha: S,
+        op_a: Op,
+        a: MatRef<'_, S>,
+        op_b: Op,
+        b: MatRef<'_, S>,
+        beta: S,
+        c: MatMut<'_, S>,
+        ctx: &mut GemmContext<S>,
+    ) -> Result<GemmBreakdown, GemmError> {
+        self.try_execute_with_metrics(alpha, op_a, a, op_b, b, beta, c, ctx, &mut NoopSink)
+    }
+
+    /// [`GemmPlan::try_execute`] reporting execution metrics through
+    /// `sink` (see [`crate::metrics`]): the problem, the plan-execution
+    /// event (arena bytes), plan facts, per-level times, temp-allocation
+    /// accounting (zero on a warm context — the allocation-free hot
+    /// path), and the conversion/compute breakdown.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_execute_with_metrics<K: MetricsSink>(
+        &self,
+        alpha: S,
+        op_a: Op,
+        a: MatRef<'_, S>,
+        op_b: Op,
+        b: MatRef<'_, S>,
+        beta: S,
+        mut c: MatMut<'_, S>,
+        ctx: &mut GemmContext<S>,
+        sink: &mut K,
+    ) -> Result<GemmBreakdown, GemmError> {
+        let (m, ka) = op_a.apply_dims(a.rows(), a.cols());
+        let (kb, n) = op_b.apply_dims(b.rows(), b.cols());
+        if ka != kb {
+            return Err(GemmError::InnerDimMismatch { a_cols: ka, b_rows: kb });
+        }
+        if c.dims() != (m, n) {
+            return Err(GemmError::OutputDimMismatch { expected: (m, n), got: c.dims() });
+        }
+        if (m, ka, n) != (self.m, self.k, self.n) {
+            return Err(GemmError::PlanShapeMismatch {
+                planned: (self.m, self.k, self.n),
+                got: (m, ka, n),
+            });
+        }
+        let k = ka;
+        if K::ENABLED {
+            sink.record_problem(m, k, n);
+            sink.record_plan_execution(self.arena_bytes());
+        }
+
+        if m == 0 || n == 0 {
+            return Ok(GemmBreakdown::default());
+        }
+        if k == 0 || alpha == S::ZERO {
+            scale_in_place(beta, &mut c);
+            return Ok(GemmBreakdown::default());
+        }
+
+        if self.cfg.non_finite != NonFinitePolicy::Propagate {
+            let bad = if has_non_finite(a) {
+                Some(Operand::A)
+            } else if has_non_finite(b) {
+                Some(Operand::B)
+            } else {
+                None
+            };
+            if let Some(operand) = bad {
+                return match self.cfg.non_finite {
+                    NonFinitePolicy::Reject => Err(GemmError::NonFiniteInput { operand }),
+                    // IEEE semantics of the conventional inner products,
+                    // with none of Strassen's NaN-manufacturing
+                    // reassociation.
+                    NonFinitePolicy::FallbackConventional => {
+                        naive_gemm(alpha, op_a, a, op_b, b, beta, c);
+                        Ok(GemmBreakdown::default())
+                    }
+                    NonFinitePolicy::Propagate => unreachable!("checked above"),
+                };
+            }
+        }
+
+        // Snapshot C₀ before the fast path clobbers it: the Freivalds
+        // check verifies against it, and the conventional retry restarts
+        // from it.
+        let c0: Option<Matrix<S>> = if matches!(self.cfg.verify, VerifyMode::Freivalds { .. }) {
+            let buf = try_zeroed_vec::<S>(m * n)?;
+            let mut snap = Matrix::from_vec(buf, m, n);
+            snap.view_mut().copy_from(c.as_ref());
+            Some(snap)
+        } else {
+            None
+        };
+
+        // Sub-products of a rectangular split skip the per-call scans;
+        // this level already scanned the whole operands and verifies the
+        // whole C.
+        let inner_cfg = ModgemmConfig {
+            verify: VerifyMode::Off,
+            non_finite: NonFinitePolicy::Propagate,
+            ..self.cfg
+        };
+        let bd = match &self.strategy {
+            Some(tp) => {
+                let bd = self.execute_tiled(
+                    tp,
+                    &inner_cfg,
+                    alpha,
+                    op_a,
+                    a,
+                    op_b,
+                    b,
+                    beta,
+                    c.reborrow(),
+                    ctx,
+                    sink,
+                )?;
+                if K::ENABLED {
+                    sink.record_breakdown(&bd);
+                }
+                bd
+            }
+            None => {
+                // Highly rectangular: split into well-behaved products
+                // (each sub-product builds its own one-shot plan and
+                // reuses the same context sequentially).
+                let mut total = GemmBreakdown::default();
+                rect::split_gemm(
+                    alpha,
+                    op_a,
+                    a,
+                    op_b,
+                    b,
+                    beta,
+                    c.reborrow(),
+                    &inner_cfg,
+                    ctx,
+                    sink,
+                    &mut |bd| total.accumulate(bd),
+                )?;
+                // Sub-products each recorded their own breakdown through
+                // `sink`; only the aggregate is returned here.
+                total
+            }
+        };
+
+        if let VerifyMode::Freivalds { rounds, seed } = self.cfg.verify {
+            let c0 = c0.as_ref().expect("snapshot exists when verification is on");
+            if !verify_gemm(alpha, op_a, a, op_b, b, beta, c0.view(), c.as_ref(), rounds, seed) {
+                // Verified retry: restore C₀, recompute with the
+                // conventional baseline, and re-check before giving up.
+                c.copy_from(c0.view());
+                naive_gemm(alpha, op_a, a, op_b, b, beta, c.reborrow());
+                if !verify_gemm(alpha, op_a, a, op_b, b, beta, c0.view(), c.as_ref(), rounds, seed)
+                {
+                    return Err(GemmError::VerificationFailed { rounds });
+                }
+            }
+        }
+        Ok(bd)
+    }
+
+    /// The tiled fast path: pack, run the compiled level list (or the
+    /// parallel executor on its slab), unpack. All buffers come from
+    /// `ctx`; any growth is recorded as temp allocations, so a warm
+    /// context records none — the allocation-free hot path.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_tiled<K: MetricsSink>(
+        &self,
+        tp: &TiledPlan,
+        cfg: &ModgemmConfig,
+        alpha: S,
+        op_a: Op,
+        a: MatRef<'_, S>,
+        op_b: Op,
+        b: MatRef<'_, S>,
+        beta: S,
+        mut c: MatMut<'_, S>,
+        ctx: &mut GemmContext<S>,
+        sink: &mut K,
+    ) -> Result<GemmBreakdown, GemmError> {
+        let layouts = tp.layouts;
+        let ws_need = if cfg.parallel_depth > 0 { tp.slab_len } else { tp.arena_len };
+        let old_lens = [ctx.a_buf.len(), ctx.b_buf.len(), ctx.c_buf.len(), ctx.ws.len()];
+
+        let t0 = Instant::now();
+        let abuf = try_grow(&mut ctx.a_buf, layouts.a.len())?;
+        let bbuf = try_grow(&mut ctx.b_buf, layouts.b.len())?;
+        if cfg.parallel_convert {
+            par_to_morton(a, op_a, &layouts.a, abuf);
+            par_to_morton(b, op_b, &layouts.b, bbuf);
+        } else {
+            to_morton(a, op_a, &layouts.a, abuf);
+            to_morton(b, op_b, &layouts.b, bbuf);
+        }
+        let convert_in = t0.elapsed();
+
+        let t1 = Instant::now();
+        let cbuf = try_grow(&mut ctx.c_buf, layouts.c.len())?;
+        let ws = try_grow(&mut ctx.ws, ws_need)?;
+        check_buffers(abuf.len(), bbuf.len(), cbuf.len(), layouts)?;
+        if K::ENABLED {
+            sink.record_plan(tp.facts);
+            sink.record_workspace(ws_need, ws_need * core::mem::size_of::<S>());
+        }
+        if cfg.parallel_depth > 0 {
+            crate::parallel::try_strassen_mul_parallel_in(
+                abuf,
+                bbuf,
+                cbuf,
+                layouts,
+                tp.policy,
+                cfg.parallel_depth,
+                ws,
+            )?;
+            if K::ENABLED {
+                sink.record_level_time(0, t1.elapsed());
+            }
+        } else {
+            exec_levels(abuf, bbuf, cbuf, layouts, &tp.levels, 0, ws, tp.policy, sink);
+        }
+        let compute = t1.elapsed();
+
+        if K::ENABLED {
+            // Cold-path accounting: every element the context buffers grew
+            // by during this call was a heap allocation the plan could not
+            // avoid. A warm context records nothing here.
+            let new_lens = [ctx.a_buf.len(), ctx.b_buf.len(), ctx.c_buf.len(), ctx.ws.len()];
+            let grown: Vec<u64> = new_lens
+                .iter()
+                .zip(old_lens)
+                .map(|(&new, old)| new.saturating_sub(old) as u64)
+                .collect();
+            let count = grown.iter().filter(|&&g| g > 0).count() as u64;
+            if count > 0 {
+                let elems: u64 = grown.iter().sum();
+                sink.record_temp_allocs(count, elems, elems * core::mem::size_of::<S>() as u64);
+            }
+        }
+
+        let cbuf = &ctx.c_buf[..layouts.c.len()];
+        let t2 = Instant::now();
+        if alpha == S::ONE && beta == S::ZERO {
+            if cfg.parallel_convert {
+                par_from_morton(cbuf, &layouts.c, c);
+            } else {
+                from_morton(cbuf, &layouts.c, c);
+            }
+        } else {
+            from_morton_axpby(cbuf, &layouts.c, alpha, beta, c.reborrow());
+        }
+        let convert_out = t2.elapsed();
+
+        Ok(GemmBreakdown { convert_in, compute, convert_out })
+    }
+}
+
+/// Free-function form of [`GemmPlan::execute`]: `C = A·B` through a
+/// prebuilt plan (`α = 1`, `β = 0`, untransposed operands).
+///
+/// # Panics
+/// On the conditions [`GemmPlan::try_execute`] reports as errors.
+#[track_caller]
+pub fn execute<S: Scalar>(
+    plan: &GemmPlan<S>,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    c: MatMut<'_, S>,
+    ctx: &mut GemmContext<S>,
+) {
+    plan.execute(a, b, c, ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Truncation;
+    use crate::gemm::modgemm;
+    use crate::metrics::CollectingSink;
+    use modgemm_mat::gen::random_matrix;
+    use modgemm_mat::naive::naive_product;
+    use modgemm_mat::KernelKind;
+    use modgemm_morton::MortonLayout;
+
+    #[test]
+    fn arena_layout_matches_closed_form_model() {
+        // Satellite check: the flattened arena and the closed-form
+        // counts/workspace model agree at every recursion level.
+        for (tile, depth, strassen_min) in
+            [(4usize, 3usize, 0usize), (4, 3, 8), (33, 4, 0), (5, 2, 1 << 20), (16, 1, 0)]
+        {
+            let l = MortonLayout::new(tile, tile, depth);
+            let layouts = NodeLayouts::new(l, l, l);
+            let policy = ExecPolicy { strassen_min, ..ExecPolicy::default() };
+            let mut buf = [LevelPlan::EMPTY; MAX_LEVELS];
+            let count = fill_levels(&mut buf, layouts, policy);
+            assert_eq!(count, crate::counts::strassen_levels(layouts, policy));
+
+            let mut off = 0usize;
+            let mut node = layouts;
+            for lp in &buf[..count] {
+                assert_eq!(lp.arena_offset, off, "offsets must be the prefix sums");
+                assert_eq!(
+                    lp.slot_len,
+                    node.a.quadrant_len() + node.b.quadrant_len() + 2 * node.c.quadrant_len()
+                );
+                off += lp.slot_len;
+                node = node.child();
+            }
+            assert_eq!(off, workspace_len(layouts, policy), "arena must equal workspace_len");
+        }
+    }
+
+    #[test]
+    fn planned_execute_matches_one_shot_exactly() {
+        let cfg = ModgemmConfig::default();
+        for (m, k, n, seed) in
+            [(64usize, 64usize, 64usize, 1u64), (100, 80, 90, 2), (129, 65, 97, 3)]
+        {
+            let a: Matrix<i64> = random_matrix(m, k, seed);
+            let b: Matrix<i64> = random_matrix(k, n, seed + 10);
+            let p: GemmPlan<i64> = plan(m, k, n, &cfg);
+            let mut ctx = GemmContext::new();
+            let mut c_planned: Matrix<i64> = Matrix::zeros(m, n);
+            p.execute(a.view(), b.view(), c_planned.view_mut(), &mut ctx);
+            let mut c_oneshot: Matrix<i64> = Matrix::zeros(m, n);
+            modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c_oneshot.view_mut(), &cfg);
+            assert_eq!(c_planned, c_oneshot, "{m}x{k}x{n}");
+            assert_eq!(c_planned, naive_product(&a, &b));
+        }
+    }
+
+    #[test]
+    fn second_execution_on_warm_context_is_allocation_free() {
+        // The acceptance criterion: temp_alloc_bytes == 0 on the second
+        // execution with a reused GemmContext.
+        let cfg = ModgemmConfig::default();
+        let (m, k, n) = (150usize, 150usize, 150usize);
+        let a: Matrix<f64> = random_matrix(m, k, 5);
+        let b: Matrix<f64> = random_matrix(k, n, 6);
+        let p: GemmPlan<f64> = plan(m, k, n, &cfg);
+        let mut ctx = GemmContext::new();
+        let mut c: Matrix<f64> = Matrix::zeros(m, n);
+
+        // Cold run: the context grows, which must be *reported*.
+        let mut cold = CollectingSink::new();
+        p.try_execute_with_metrics(
+            1.0,
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            0.0,
+            c.view_mut(),
+            &mut ctx,
+            &mut cold,
+        )
+        .unwrap();
+        assert!(cold.metrics.temp_alloc_bytes > 0, "cold run must report its allocations");
+
+        // Warm run: zero heap traffic on the hot path.
+        let mut warm = CollectingSink::new();
+        p.try_execute_with_metrics(
+            1.0,
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            0.0,
+            c.view_mut(),
+            &mut ctx,
+            &mut warm,
+        )
+        .unwrap();
+        assert_eq!(warm.metrics.temp_alloc_bytes, 0, "warm execution must be allocation-free");
+        assert_eq!(warm.metrics.temp_allocations, 0);
+        assert_eq!(warm.metrics.plan_executions, 1);
+        assert_eq!(warm.metrics.arena_bytes, p.arena_len() as u64 * 8);
+    }
+
+    #[test]
+    fn warm_parallel_execution_is_allocation_free_too() {
+        let cfg = ModgemmConfig { parallel_depth: 2, ..Default::default() };
+        let (m, k, n) = (96usize, 96usize, 96usize);
+        let a: Matrix<f64> = random_matrix(m, k, 7);
+        let b: Matrix<f64> = random_matrix(k, n, 8);
+        let p: GemmPlan<f64> = plan(m, k, n, &cfg);
+        let mut ctx = GemmContext::new();
+        let mut c: Matrix<f64> = Matrix::zeros(m, n);
+        p.execute(a.view(), b.view(), c.view_mut(), &mut ctx);
+        let mut warm = CollectingSink::new();
+        p.try_execute_with_metrics(
+            1.0,
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            0.0,
+            c.view_mut(),
+            &mut ctx,
+            &mut warm,
+        )
+        .unwrap();
+        assert_eq!(warm.metrics.temp_alloc_bytes, 0, "parallel slab must come from the context");
+
+        // And the result still matches the serial one-shot path bitwise.
+        let mut serial: Matrix<f64> = Matrix::zeros(m, n);
+        modgemm(
+            1.0,
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            0.0,
+            serial.view_mut(),
+            &ModgemmConfig::default(),
+        );
+        assert_eq!(c, serial);
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_operands() {
+        let cfg = ModgemmConfig::default();
+        let p: GemmPlan<f64> = plan(64, 64, 64, &cfg);
+        let a: Matrix<f64> = Matrix::zeros(32, 32);
+        let b: Matrix<f64> = Matrix::zeros(32, 32);
+        let mut c: Matrix<f64> = Matrix::zeros(32, 32);
+        let mut ctx = GemmContext::new();
+        assert_eq!(
+            p.try_execute(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                c.view_mut(),
+                &mut ctx
+            ),
+            Err(GemmError::PlanShapeMismatch { planned: (64, 64, 64), got: (32, 32, 32) })
+        );
+    }
+
+    #[test]
+    fn split_and_degenerate_plans_execute_correctly() {
+        let cfg = ModgemmConfig::default();
+        // Too rectangular for a joint tiling: the plan records the split
+        // verdict and execution runs the §3.5 decomposition.
+        let p: GemmPlan<f64> = plan(600, 70, 600, &cfg);
+        assert!(p.is_split());
+        assert_eq!(p.arena_len(), 0);
+        let a: Matrix<f64> = random_matrix(600, 70, 20);
+        let b: Matrix<f64> = random_matrix(70, 600, 21);
+        let mut ctx = GemmContext::new();
+        let mut c: Matrix<f64> = Matrix::zeros(600, 600);
+        p.execute(a.view(), b.view(), c.view_mut(), &mut ctx);
+        modgemm_mat::norms::assert_matrix_eq(c.view(), naive_product(&a, &b).view(), 70);
+
+        // k = 0 degenerates to C ← β·C.
+        let p: GemmPlan<f64> = plan(4, 0, 5, &cfg);
+        assert!(!p.is_split());
+        let a: Matrix<f64> = Matrix::zeros(4, 0);
+        let b: Matrix<f64> = Matrix::zeros(0, 5);
+        let mut c = Matrix::from_fn(4, 5, |i, j| (i + j) as f64);
+        p.try_execute(
+            1.0,
+            Op::NoTrans,
+            a.view(),
+            Op::NoTrans,
+            b.view(),
+            2.0,
+            c.view_mut(),
+            &mut ctx,
+        )
+        .unwrap();
+        for i in 0..4 {
+            for j in 0..5 {
+                assert_eq!(c.get(i, j), 2.0 * (i + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_accessors_reflect_the_compilation() {
+        let cfg = ModgemmConfig { truncation: Truncation::Fixed(32), ..Default::default() };
+        let p: GemmPlan<f64> = plan(256, 256, 256, &cfg);
+        assert_eq!(p.dims(), (256, 256, 256));
+        assert_eq!(p.config(), &cfg);
+        assert!(!p.is_split());
+        assert_eq!(p.strassen_levels(), 3); // 256 = 32 << 3
+        assert!(p.arena_len() > 0);
+    }
+
+    #[test]
+    fn micro_kernel_plans_stay_correct() {
+        let cfg = ModgemmConfig { leaf_kernel: KernelKind::Micro, ..Default::default() };
+        let (m, k, n) = (96usize, 64usize, 80usize);
+        let a: Matrix<i64> = random_matrix(m, k, 30);
+        let b: Matrix<i64> = random_matrix(k, n, 31);
+        let p: GemmPlan<i64> = plan(m, k, n, &cfg);
+        let mut ctx = GemmContext::new();
+        let mut c: Matrix<i64> = Matrix::zeros(m, n);
+        p.execute(a.view(), b.view(), c.view_mut(), &mut ctx);
+        assert_eq!(c, naive_product(&a, &b));
+
+        let naive_cfg = ModgemmConfig { leaf_kernel: KernelKind::Naive, ..Default::default() };
+        let mut c2: Matrix<i64> = Matrix::zeros(m, n);
+        modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c2.view_mut(), &naive_cfg);
+        assert_eq!(c2, naive_product(&a, &b));
+    }
+}

@@ -25,7 +25,7 @@ fn main() {
 
     let mut table = Table::new(&["truncation", "dgefmm_ms", "modgemm_strassen_min_ms"]);
     for t in [8usize, 16, 32, 64, 128, 256] {
-        let fmm_cfg = DgefmmConfig { truncation: t };
+        let fmm_cfg = DgefmmConfig { truncation: t, ..Default::default() };
         let t_fmm = protocol::measure_quick(3, || {
             dgefmm(1.0, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0.0, c.view_mut(), &fmm_cfg);
             std::hint::black_box(c.as_slice());

@@ -1,0 +1,236 @@
+//! Pluggable leaf-multiply kernels behind one interface.
+//!
+//! Every Strassen implementation in the workspace bottoms out in a leaf
+//! multiply over column-major views. Historically that call was hard-wired
+//! to [`blocked_mul_add`]; the plan/execute split makes the kernel a
+//! *plan-time decision* instead: a [`KernelKind`] is chosen when a plan is
+//! built and threaded — via the [`LeafKernel`] trait — through the serial
+//! executor, the parallel executor, and the four baseline codes, so every
+//! executor multiplies leaves through the same interface.
+//!
+//! Three kernel objects are provided:
+//!
+//! * [`Naive`] — the textbook triple loop ([`naive_gemm`]). The oracle;
+//!   useful to isolate kernel effects from schedule effects.
+//! * [`Blocked`] — the cache-blocked, register-tiled kernel
+//!   ([`blocked_mul_add`]). The default, matching the paper's setup.
+//! * [`Micro`] — an unrolled column-major axpy kernel: for each column of
+//!   `C` it streams columns of `A` scaled by one element of `B`, with the
+//!   row loop unrolled by four. No cache blocking at all — it isolates
+//!   what register-level unrolling alone buys, the counterpoint to
+//!   [`Blocked`]'s `MC/KC/NC` loop nest.
+//!
+//! All kernels compute `C += A·B` with `NoTrans` operands; transposition
+//! is handled a level up, exactly as for [`blocked_mul_add`].
+
+use crate::blocked::blocked_mul_add;
+use crate::naive::naive_gemm;
+use crate::scalar::Scalar;
+use crate::view::{MatMut, MatRef, Op};
+
+/// The leaf-multiply interface: `C += op-free A·B` over column-major
+/// views. Implementations must panic on dimension mismatch (the callers
+/// validate shapes before the hot loop, so a mismatch here is a bug).
+pub trait LeafKernel<S: Scalar> {
+    /// `C += A·B`.
+    ///
+    /// # Panics
+    /// On dimension mismatch.
+    fn mul_add(&self, a: MatRef<'_, S>, b: MatRef<'_, S>, c: MatMut<'_, S>);
+
+    /// `C = A·B` (zeroes `C` first).
+    ///
+    /// # Panics
+    /// On dimension mismatch.
+    fn mul(&self, a: MatRef<'_, S>, b: MatRef<'_, S>, mut c: MatMut<'_, S>) {
+        c.fill(S::ZERO);
+        self.mul_add(a, b, c);
+    }
+}
+
+/// The textbook triple-loop kernel ([`naive_gemm`] with `α = β = 1`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Naive;
+
+impl<S: Scalar> LeafKernel<S> for Naive {
+    fn mul_add(&self, a: MatRef<'_, S>, b: MatRef<'_, S>, c: MatMut<'_, S>) {
+        naive_gemm(S::ONE, Op::NoTrans, a, Op::NoTrans, b, S::ONE, c);
+    }
+}
+
+/// The cache-blocked, register-tiled kernel ([`blocked_mul_add`]) — the
+/// default leaf multiply, standing in for the paper's vendor BLAS kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Blocked;
+
+impl<S: Scalar> LeafKernel<S> for Blocked {
+    fn mul_add(&self, a: MatRef<'_, S>, b: MatRef<'_, S>, c: MatMut<'_, S>) {
+        blocked_mul_add(a, b, c);
+    }
+}
+
+/// An unrolled column-major axpy kernel: `C[:, j] += A[:, p] · B[p, j]`
+/// with the row loop unrolled by four. Deliberately has **no** cache
+/// blocking — it streams whole columns — so comparing it against
+/// [`Blocked`] separates register-tiling gains from cache-blocking gains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Micro;
+
+impl<S: Scalar> LeafKernel<S> for Micro {
+    #[track_caller]
+    fn mul_add(&self, a: MatRef<'_, S>, b: MatRef<'_, S>, mut c: MatMut<'_, S>) {
+        let (m, k) = a.dims();
+        let (kb, n) = b.dims();
+        assert_eq!(k, kb, "inner dimension mismatch");
+        assert_eq!(c.dims(), (m, n), "output dimension mismatch");
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let (lda, ldb, ldc) = (a.ld(), b.ld(), c.ld());
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let cp = c.as_mut_ptr();
+        for j in 0..n {
+            // SAFETY: all offsets stay within the validated windows of
+            // a (m×k, stride lda), b (k×n, stride ldb), c (m×n, stride
+            // ldc); the dimension asserts above establish the bounds.
+            unsafe {
+                let cj = cp.add(j * ldc);
+                for p in 0..k {
+                    let bpj = *bp.add(p + j * ldb);
+                    let acol = ap.add(p * lda);
+                    let mut i = 0;
+                    while i + 4 <= m {
+                        *cj.add(i) += *acol.add(i) * bpj;
+                        *cj.add(i + 1) += *acol.add(i + 1) * bpj;
+                        *cj.add(i + 2) += *acol.add(i + 2) * bpj;
+                        *cj.add(i + 3) += *acol.add(i + 3) * bpj;
+                        i += 4;
+                    }
+                    while i < m {
+                        *cj.add(i) += *acol.add(i) * bpj;
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Plan-time kernel selector: a plain enum (so configurations stay `Copy`
+/// and comparable) that dispatches to the three kernel objects.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// The triple-loop reference kernel ([`Naive`]).
+    Naive,
+    /// The cache-blocked, register-tiled kernel ([`Blocked`]) — the
+    /// default, matching the paper's setup.
+    #[default]
+    Blocked,
+    /// The unrolled column-major axpy kernel ([`Micro`]).
+    Micro,
+}
+
+impl<S: Scalar> LeafKernel<S> for KernelKind {
+    fn mul_add(&self, a: MatRef<'_, S>, b: MatRef<'_, S>, c: MatMut<'_, S>) {
+        match self {
+            KernelKind::Naive => Naive.mul_add(a, b, c),
+            KernelKind::Blocked => Blocked.mul_add(a, b, c),
+            KernelKind::Micro => Micro.mul_add(a, b, c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+    use crate::naive::naive_product;
+    use crate::norms::assert_matrix_eq;
+    use crate::Matrix;
+
+    const KINDS: [KernelKind; 3] = [KernelKind::Naive, KernelKind::Blocked, KernelKind::Micro];
+
+    #[test]
+    fn all_kernels_are_exact_on_integers() {
+        let a: Matrix<i64> = random_matrix(13, 9, 1);
+        let b: Matrix<i64> = random_matrix(9, 17, 2);
+        let expect = naive_product(&a, &b);
+        for kind in KINDS {
+            let mut c: Matrix<i64> = Matrix::zeros(13, 17);
+            kind.mul(a.view(), b.view(), c.view_mut());
+            assert_eq!(c, expect, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn mul_add_accumulates() {
+        let a: Matrix<i64> = random_matrix(8, 8, 3);
+        let b: Matrix<i64> = random_matrix(8, 8, 4);
+        let base: Matrix<i64> = random_matrix(8, 8, 5);
+        let ab = naive_product(&a, &b);
+        for kind in KINDS {
+            let mut c = base.clone();
+            kind.mul_add(a.view(), b.view(), c.view_mut());
+            for i in 0..8 {
+                for j in 0..8 {
+                    assert_eq!(c.get(i, j), base.get(i, j) + ab.get(i, j), "{kind:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_overwrites_prior_contents() {
+        let a: Matrix<f64> = random_matrix(6, 5, 6);
+        let b: Matrix<f64> = random_matrix(5, 7, 7);
+        let expect = naive_product(&a, &b);
+        for kind in KINDS {
+            let mut c: Matrix<f64> = random_matrix(6, 7, 8);
+            kind.mul(a.view(), b.view(), c.view_mut());
+            assert_matrix_eq(c.view(), expect.view(), 5);
+        }
+    }
+
+    #[test]
+    fn micro_handles_strided_views_and_ragged_rows() {
+        // Windows of larger bases exercise ld != rows; m = 7 exercises
+        // both the unrolled body and the scalar tail.
+        let base_a: Matrix<f64> = random_matrix(20, 20, 9);
+        let base_b: Matrix<f64> = random_matrix(20, 20, 10);
+        let mut base_c: Matrix<f64> = Matrix::zeros(20, 20);
+        let (m, k, n) = (7, 6, 5);
+        let av = base_a.view().submatrix(2, 3, m, k);
+        let bv = base_b.view().submatrix(4, 5, k, n);
+        let mut cm = base_c.view_mut();
+        let cv = cm.submatrix_mut(1, 1, m, n);
+        Micro.mul(av, bv, cv);
+
+        let a_copy = Matrix::from_vec(av.to_vec(), m, k);
+        let b_copy = Matrix::from_vec(bv.to_vec(), k, n);
+        let expect = naive_product(&a_copy, &b_copy);
+        let got = base_c.view().submatrix(1, 1, m, n);
+        assert_matrix_eq(got, expect.view(), k);
+    }
+
+    #[test]
+    fn zero_dims_are_noops() {
+        for kind in KINDS {
+            let a: Matrix<f64> = Matrix::zeros(3, 0);
+            let b: Matrix<f64> = Matrix::zeros(0, 4);
+            let mut c: Matrix<f64> = random_matrix(3, 4, 11);
+            let orig = c.clone();
+            kind.mul_add(a.view(), b.view(), c.view_mut());
+            assert_eq!(c, orig, "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn micro_rejects_mismatched_inner_dims() {
+        let a: Matrix<f64> = Matrix::zeros(3, 4);
+        let b: Matrix<f64> = Matrix::zeros(5, 2);
+        let mut c: Matrix<f64> = Matrix::zeros(3, 2);
+        Micro.mul_add(a.view(), b.view(), c.view_mut());
+    }
+}

@@ -15,12 +15,15 @@
 //!   base matrix's column stride).
 //! * [`naive::naive_gemm`] — the `O(n³)` reference oracle with full
 //!   `C ← α·op(A)·op(B) + β·C` semantics.
-//! * [`blocked::blocked_gemm`] — the cache-blocked, register-tiled kernel
-//!   used as the *leaf multiply* by every Strassen implementation in the
-//!   workspace. It deliberately does **not** pack its operands: the paper's
-//!   Figure 3 measures precisely how an unpacked kernel's performance
+//! * [`blocked::blocked_mul_add`] — the cache-blocked, register-tiled kernel
+//!   used as the default *leaf multiply* by every Strassen implementation in
+//!   the workspace. It deliberately does **not** pack its operands: the
+//!   paper's Figure 3 measures precisely how an unpacked kernel's performance
 //!   depends on operand contiguity, so packing would erase the effect under
 //!   study.
+//! * [`kernel`] — the [`LeafKernel`] trait and the [`KernelKind`] selector
+//!   that let executors choose the leaf multiply (naive / blocked / micro)
+//!   at plan time instead of hard-wiring it.
 //! * [`addsub`] — elementwise add/sub kernels, in both two-loop (strided
 //!   view) and single-loop (contiguous buffer) forms. The single-loop form
 //!   is the "secondary benefit" of Morton storage noted in §3.3 of the
@@ -31,6 +34,7 @@ pub mod blocked;
 pub mod complex;
 pub mod gen;
 pub mod io;
+pub mod kernel;
 pub mod loops;
 pub mod matrix;
 pub mod naive;
@@ -38,6 +42,7 @@ pub mod norms;
 pub mod scalar;
 pub mod view;
 
+pub use kernel::{KernelKind, LeafKernel};
 pub use matrix::Matrix;
 pub use scalar::Scalar;
 pub use view::{MatMut, MatRef, Op};

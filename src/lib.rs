@@ -51,11 +51,11 @@ pub use modgemm_morton as morton;
 pub mod prelude {
     pub use modgemm_core::blas::{try_dgemm, try_gemm, try_gemm_batch, try_sgemm, try_zgemm};
     pub use modgemm_core::{
-        modgemm, modgemm_premorton, modgemm_timed, modgemm_with_ctx, try_modgemm,
+        execute, modgemm, modgemm_premorton, modgemm_timed, modgemm_with_ctx, plan, try_modgemm,
         try_modgemm_with_ctx, try_modgemm_with_metrics, CollectingSink, ExecMetrics, GemmContext,
-        GemmError, MemoryBudget, MetricsSink, ModgemmConfig, MortonMatrix, NonFinitePolicy,
-        NoopSink, Operand, Truncation, Variant, VerifyMode,
+        GemmError, GemmPlan, MemoryBudget, MetricsSink, ModgemmConfig, MortonMatrix,
+        NonFinitePolicy, NoopSink, Operand, Truncation, Variant, VerifyMode,
     };
-    pub use modgemm_mat::{MatMut, MatRef, Matrix, Op, Scalar};
+    pub use modgemm_mat::{KernelKind, LeafKernel, MatMut, MatRef, Matrix, Op, Scalar};
     pub use modgemm_morton::{MortonLayout, TileRange};
 }

@@ -3,12 +3,14 @@
 //! Strassen-grade roundoff) for the same inputs — the precondition for
 //! every comparison in the paper's §4.
 
-use modgemm::baselines::{conventional_gemm, dgefmm, dgemmw, DgefmmConfig, DgemmwConfig};
+use modgemm::baselines::{
+    bailey_gemm, conventional_gemm, dgefmm, dgemmw, BaileyConfig, DgefmmConfig, DgemmwConfig,
+};
 use modgemm::core::{modgemm, ModgemmConfig};
 use modgemm::mat::gen::random_matrix;
 use modgemm::mat::naive::naive_gemm;
 use modgemm::mat::norms::assert_matrix_eq;
-use modgemm::mat::{Matrix, Op};
+use modgemm::mat::{KernelKind, Matrix, Op};
 
 #[allow(clippy::too_many_arguments)]
 fn check_all(m: usize, k: usize, n: usize, alpha: f64, beta: f64, op_a: Op, op_b: Op, seed: u64) {
@@ -34,7 +36,7 @@ fn check_all(m: usize, k: usize, n: usize, alpha: f64, beta: f64, op_a: Op, op_b
         b.view(),
         beta,
         c.view_mut(),
-        &DgefmmConfig { truncation: 16 },
+        &DgefmmConfig { truncation: 16, ..Default::default() },
     );
     assert_matrix_eq(c.view(), oracle.view(), k);
 
@@ -47,7 +49,7 @@ fn check_all(m: usize, k: usize, n: usize, alpha: f64, beta: f64, op_a: Op, op_b
         b.view(),
         beta,
         c.view_mut(),
-        &DgemmwConfig { truncation: 16 },
+        &DgemmwConfig { truncation: 16, ..Default::default() },
     );
     assert_matrix_eq(c.view(), oracle.view(), k);
 
@@ -108,7 +110,7 @@ fn all_implementations_on_integers_are_exact() {
         b.view(),
         0,
         c.view_mut(),
-        &DgefmmConfig { truncation: 8 },
+        &DgefmmConfig { truncation: 8, ..Default::default() },
     );
     assert_eq!(c, expect, "dgefmm");
 
@@ -121,7 +123,40 @@ fn all_implementations_on_integers_are_exact() {
         b.view(),
         0,
         c.view_mut(),
-        &DgemmwConfig { truncation: 8 },
+        &DgemmwConfig { truncation: 8, ..Default::default() },
     );
     assert_eq!(c, expect, "dgemmw");
+}
+
+#[test]
+fn every_leaf_kernel_agrees_across_implementations() {
+    // The kernel selector threads through MODGEMM's plan and all four
+    // baselines; integer workloads make agreement exact for each choice.
+    let (m, k, n) = (53, 47, 61);
+    let a: Matrix<i64> = random_matrix(m, k, 40);
+    let b: Matrix<i64> = random_matrix(k, n, 41);
+    let mut expect: Matrix<i64> = Matrix::zeros(m, n);
+    naive_gemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, expect.view_mut());
+
+    for kernel in [KernelKind::Naive, KernelKind::Blocked, KernelKind::Micro] {
+        let mut c: Matrix<i64> = Matrix::zeros(m, n);
+        let cfg = ModgemmConfig { leaf_kernel: kernel, ..Default::default() };
+        modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &cfg);
+        assert_eq!(c, expect, "modgemm {kernel:?}");
+
+        let mut c: Matrix<i64> = Matrix::zeros(m, n);
+        let cfg = DgefmmConfig { truncation: 8, kernel };
+        dgefmm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &cfg);
+        assert_eq!(c, expect, "dgefmm {kernel:?}");
+
+        let mut c: Matrix<i64> = Matrix::zeros(m, n);
+        let cfg = DgemmwConfig { truncation: 8, kernel };
+        dgemmw(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &cfg);
+        assert_eq!(c, expect, "dgemmw {kernel:?}");
+
+        let mut c: Matrix<i64> = Matrix::zeros(m, n);
+        let cfg = BaileyConfig { levels: 2, kernel };
+        bailey_gemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &cfg);
+        assert_eq!(c, expect, "bailey {kernel:?}");
+    }
 }

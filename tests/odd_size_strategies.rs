@@ -38,7 +38,7 @@ fn check_all_exact(m: usize, k: usize, n: usize, seed: u64) {
         b.view(),
         0,
         c.view_mut(),
-        &DgefmmConfig { truncation: 8 },
+        &DgefmmConfig { truncation: 8, ..Default::default() },
     );
     assert_eq!(c, expect, "dgefmm {m}x{k}x{n}");
 
@@ -51,7 +51,7 @@ fn check_all_exact(m: usize, k: usize, n: usize, seed: u64) {
         b.view(),
         0,
         c.view_mut(),
-        &DgemmwConfig { truncation: 8 },
+        &DgemmwConfig { truncation: 8, ..Default::default() },
     );
     assert_eq!(c, expect, "dgemmw {m}x{k}x{n}");
 
@@ -64,7 +64,7 @@ fn check_all_exact(m: usize, k: usize, n: usize, seed: u64) {
         b.view(),
         0,
         c.view_mut(),
-        &BaileyConfig { levels: 2 },
+        &BaileyConfig { levels: 2, ..Default::default() },
     );
     assert_eq!(c, expect, "bailey {m}x{k}x{n}");
 }

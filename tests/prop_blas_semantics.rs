@@ -79,7 +79,7 @@ proptest! {
         let (a, b, c0, expect) = oracle(m, k, n, alpha, beta, op_a, op_b, seed);
         let mut c = c0;
         dgefmm(alpha, op_a, a.view(), op_b, b.view(), beta, c.view_mut(),
-               &DgefmmConfig { truncation: 4 });
+               &DgefmmConfig { truncation: 4, ..Default::default() });
         prop_assert_eq!(c, expect);
     }
 
@@ -97,7 +97,7 @@ proptest! {
         let (a, b, c0, expect) = oracle(m, k, n, alpha, beta, op_a, op_b, seed);
         let mut c = c0;
         dgemmw(alpha, op_a, a.view(), op_b, b.view(), beta, c.view_mut(),
-               &DgemmwConfig { truncation: 4 });
+               &DgemmwConfig { truncation: 4, ..Default::default() });
         prop_assert_eq!(c, expect);
     }
 

@@ -174,7 +174,8 @@ proptest! {
         let plan = choose_joint_tiling(dim, dim, dim, TileRange::new(4, 16))
             .expect("square problems always admit a joint tiling");
         let layouts = layouts_of(&plan);
-        let policy = ExecPolicy { strassen_min: 8, variant: Variant::Winograd };
+        let policy =
+            ExecPolicy { strassen_min: 8, variant: Variant::Winograd, ..ExecPolicy::default() };
         let need = modgemm::core::workspace_len(layouts, policy);
         let a = fill(layouts.a.len(), seed);
         let b = fill(layouts.b.len(), seed + 1);

@@ -63,6 +63,7 @@ proptest! {
         let policy = ExecPolicy {
             strassen_min,
             variant: if winograd { Variant::Winograd } else { Variant::Strassen },
+            ..ExecPolicy::default()
         };
         let got = run_exec(&a, &b, tm, tk, tn, depth, policy);
         prop_assert_eq!(got, naive_product(&a, &b));
