@@ -1,0 +1,65 @@
+//! Every baseline shares the pluggable leaf-kernel selector, so the
+//! packed SIMD kernel (and `Auto`) must drop into all four without
+//! changing results: bit-identical on `i64` (integer adds are
+//! associative regardless of the accumulation order the packing
+//! microkernel uses), tolerance-checked on `f64`.
+
+use modgemm_baselines::{
+    bailey_core_with, conventional_gemm_with, dgefmm_core_with, dgemmw_core_with,
+};
+use modgemm_mat::gen::random_matrix;
+use modgemm_mat::naive::{naive_gemm, naive_product};
+use modgemm_mat::norms::assert_matrix_eq;
+use modgemm_mat::view::Op;
+use modgemm_mat::{KernelKind, Matrix};
+
+const KERNELS: [KernelKind; 2] = [KernelKind::Packed, KernelKind::Auto];
+
+#[test]
+fn strassen_baselines_are_exact_with_packed_kernels_on_i64() {
+    for kernel in KERNELS {
+        for (m, k, n, seed) in [(48usize, 48usize, 48usize, 1u64), (50, 49, 47, 2), (33, 40, 29, 3)]
+        {
+            let a: Matrix<i64> = random_matrix(m, k, seed);
+            let b: Matrix<i64> = random_matrix(k, n, seed + 1);
+            let expect = naive_product(&a, &b);
+
+            let mut c = Matrix::zeros(m, n);
+            dgefmm_core_with(a.view(), b.view(), c.view_mut(), 16, kernel);
+            assert_eq!(c, expect, "dgefmm {kernel} {m}x{k}x{n}");
+
+            let mut c = Matrix::zeros(m, n);
+            dgemmw_core_with(a.view(), b.view(), c.view_mut(), 16, kernel);
+            assert_eq!(c, expect, "dgemmw {kernel} {m}x{k}x{n}");
+
+            let mut c = Matrix::zeros(m, n);
+            bailey_core_with(a.view(), b.view(), c.view_mut(), 2, kernel);
+            assert_eq!(c, expect, "bailey {kernel} {m}x{k}x{n}");
+        }
+    }
+}
+
+#[test]
+fn conventional_gemm_with_packed_kernels_matches_oracle_on_f64() {
+    for kernel in KERNELS {
+        let (m, k, n) = (65usize, 58usize, 71usize);
+        let a: Matrix<f64> = random_matrix(m, k, 10);
+        let b: Matrix<f64> = random_matrix(n, k, 11); // transposed operand
+        let c0: Matrix<f64> = random_matrix(m, n, 12);
+
+        let mut got = c0.clone();
+        conventional_gemm_with(
+            1.5,
+            Op::NoTrans,
+            a.view(),
+            Op::Trans,
+            b.view(),
+            -0.5,
+            got.view_mut(),
+            kernel,
+        );
+        let mut expect = c0;
+        naive_gemm(1.5, Op::NoTrans, a.view(), Op::Trans, b.view(), -0.5, expect.view_mut());
+        assert_matrix_eq(got.view(), expect.view(), k);
+    }
+}

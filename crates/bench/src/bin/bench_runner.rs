@@ -2,7 +2,7 @@
 //! plus the `compare` regression gate.
 //!
 //! ```text
-//! bench_runner [--quick] [--out PATH]          run the suite, write JSON
+//! bench_runner [--quick] [--out PATH] [--kernel NAME]   run the suite
 //! bench_runner compare OLD NEW
 //!              [--threshold 0.25] [--metric gflops|score]
 //! ```
@@ -10,13 +10,17 @@
 //! The declared suite covers the paper's axes: GEMM at 256 (power of
 //! two) and 513 (worst-case padding), a truncation sweep
 //! (`strassen_min` 16/64), conversion cost (Morton pack/unpack fraction),
-//! parallel speedup (`parallel_depth 2`), and plan amortization (a
+//! parallel speedup (`parallel_depth 2`), plan amortization (a
 //! `GemmPlan` built once and executed 32 times per repetition, the
-//! amortized counterpart of the one-shot cases at the same sizes).
-//! `--quick` runs the same cases with fewer repetitions and names the
-//! suite `smoke` so CI baselines stay comparable. Exit codes: 0 ok, 1
-//! regression, 2 usage or I/O error. See EXPERIMENTS.md for the schema
-//! and baseline workflow.
+//! amortized counterpart of the one-shot cases at the same sizes), and a
+//! leaf-kernel sweep (`kernel_<name>_512` for every [`KernelKind`] at
+//! n = 512, isolating the kernel axis from the schedule axes).
+//! `--kernel <naive|blocked|micro|packed|auto>` forces that leaf kernel
+//! into every MODGEMM case and restricts the sweep to it — the quick way
+//! to A/B one kernel. `--quick` runs the same cases with fewer
+//! repetitions and names the suite `smoke` so CI baselines stay
+//! comparable. Exit codes: 0 ok, 1 regression, 2 usage or I/O error.
+//! See EXPERIMENTS.md for the schema and baseline workflow.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -30,11 +34,11 @@ use modgemm_core::{try_modgemm_with_metrics, GemmContext, ModgemmConfig};
 use modgemm_experiments::json::{parse, Value};
 use modgemm_mat::gen::random_matrix;
 use modgemm_mat::view::Op;
-use modgemm_mat::Matrix;
+use modgemm_mat::{KernelKind, Matrix};
 
 /// One declared benchmark case.
 struct Case {
-    name: &'static str,
+    name: String,
     n: usize,
     algo: Algo,
 }
@@ -56,21 +60,41 @@ enum Algo {
     },
 }
 
-fn suite_cases() -> Vec<Case> {
+fn suite_cases(kernel: Option<KernelKind>) -> Vec<Case> {
     let base = ModgemmConfig::default();
     let trunc = |strassen_min| ModgemmConfig { strassen_min, ..ModgemmConfig::default() };
     let par = ModgemmConfig { parallel_depth: 2, ..ModgemmConfig::default() };
-    vec![
-        Case { name: "modgemm_256", n: 256, algo: Algo::Modgemm(base) },
-        Case { name: "modgemm_513", n: 513, algo: Algo::Modgemm(base) },
-        Case { name: SCORE_REFERENCE_CASE, n: 256, algo: Algo::Conventional },
-        Case { name: "modgemm_256_trunc16", n: 256, algo: Algo::Modgemm(trunc(16)) },
-        Case { name: "modgemm_256_trunc64", n: 256, algo: Algo::Modgemm(trunc(64)) },
-        Case { name: "modgemm_513_conversion", n: 513, algo: Algo::Modgemm(base) },
-        Case { name: "modgemm_256_par2", n: 256, algo: Algo::Modgemm(par) },
-        Case { name: "plan_reuse_256", n: 256, algo: Algo::PlanReuse { cfg: base, execs: 32 } },
-        Case { name: "plan_reuse_513", n: 513, algo: Algo::PlanReuse { cfg: base, execs: 32 } },
-    ]
+    let case = |name: &str, n, algo| Case { name: name.to_string(), n, algo };
+    let mut cases = vec![
+        case("modgemm_256", 256, Algo::Modgemm(base)),
+        case("modgemm_513", 513, Algo::Modgemm(base)),
+        case(SCORE_REFERENCE_CASE, 256, Algo::Conventional),
+        case("modgemm_256_trunc16", 256, Algo::Modgemm(trunc(16))),
+        case("modgemm_256_trunc64", 256, Algo::Modgemm(trunc(64))),
+        case("modgemm_513_conversion", 513, Algo::Modgemm(base)),
+        case("modgemm_256_par2", 256, Algo::Modgemm(par)),
+        case("plan_reuse_256", 256, Algo::PlanReuse { cfg: base, execs: 32 }),
+        case("plan_reuse_513", 513, Algo::PlanReuse { cfg: base, execs: 32 }),
+    ];
+    // The leaf-kernel sweep: same schedule, same size, only the kernel
+    // axis varies. With --kernel, only that kernel's sweep case runs.
+    for kind in KernelKind::ALL {
+        if kernel.map_or(true, |k| k == kind) {
+            let cfg = ModgemmConfig { leaf_kernel: kind, ..ModgemmConfig::default() };
+            cases.push(case(&format!("kernel_{kind}_512"), 512, Algo::Modgemm(cfg)));
+        }
+    }
+    // --kernel also forces the leaf kernel into every MODGEMM case so the
+    // whole report reflects one kernel choice.
+    if let Some(k) = kernel {
+        for c in &mut cases {
+            match &mut c.algo {
+                Algo::Modgemm(cfg) | Algo::PlanReuse { cfg, .. } => cfg.leaf_kernel = k,
+                Algo::Conventional => {}
+            }
+        }
+    }
+    cases
 }
 
 /// Runs one case `reps` times; returns per-rep seconds and the metrics
@@ -176,6 +200,11 @@ fn metrics_json(m: &modgemm_core::ExecMetrics) -> Value {
         .with("plan_executions", m.plan_executions)
         .with("arena_bytes", m.arena_bytes)
         .with("conversion_fraction", m.breakdown.conversion_fraction())
+        .with(
+            "kernel_selected",
+            m.kernel_selected.map(|k| k.to_string()).unwrap_or_else(|| "none".to_string()),
+        )
+        .with("bytes_packed", m.bytes_packed)
 }
 
 fn git_sha() -> String {
@@ -202,12 +231,12 @@ fn machine_json() -> Value {
         .with("num_cpus", cpus)
 }
 
-fn run_suite(quick: bool, out: Option<String>) -> ExitCode {
+fn run_suite(quick: bool, out: Option<String>, kernel: Option<KernelKind>) -> ExitCode {
     let suite = if quick { "smoke" } else { "full" };
     let reps = if quick { 5 } else { 9 };
     eprintln!("bench_runner: suite={suite} reps={reps}");
 
-    let cases = suite_cases();
+    let cases = suite_cases(kernel);
     let mut measured = Vec::new();
     for case in &cases {
         eprint!("  {} (n={}) ... ", case.name, case.n);
@@ -236,7 +265,7 @@ fn run_suite(quick: bool, out: Option<String>) -> ExitCode {
             let gflops_median = flops / secs_median / 1e9;
             let gflops_min = flops / secs_min.max(f64::MIN_POSITIVE) / 1e9;
             Value::object()
-                .with("name", case.name)
+                .with("name", case.name.as_str())
                 .with("m", m)
                 .with("k", k)
                 .with("n", n)
@@ -334,7 +363,7 @@ fn run_compare(args: &[String]) -> ExitCode {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("bench_runner: {msg}");
     eprintln!(
-        "usage: bench_runner [--quick] [--out PATH]\n       \
+        "usage: bench_runner [--quick] [--out PATH] [--kernel naive|blocked|micro|packed|auto]\n       \
          bench_runner compare OLD NEW [--threshold 0.25] [--metric gflops|score]"
     );
     ExitCode::from(2)
@@ -347,6 +376,7 @@ fn main() -> ExitCode {
     }
     let mut quick = false;
     let mut out = None;
+    let mut kernel = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -355,8 +385,13 @@ fn main() -> ExitCode {
                 Some(p) => out = Some(p.clone()),
                 None => return usage("--out needs a path"),
             },
+            "--kernel" => match it.next().map(|s| s.parse::<KernelKind>()) {
+                Some(Ok(k)) => kernel = Some(k),
+                Some(Err(e)) => return usage(&e.to_string()),
+                None => return usage("--kernel needs a name"),
+            },
             other => return usage(&format!("unknown option {other}")),
         }
     }
-    run_suite(quick, out)
+    run_suite(quick, out, kernel)
 }

@@ -117,7 +117,11 @@ pub struct ModgemmConfig {
     /// Post-hoc result verification on the fallible path.
     pub verify: VerifyMode,
     /// Leaf-multiply kernel selected at plan time (see
-    /// [`modgemm_mat::kernel`]). `Blocked` reproduces the paper.
+    /// [`modgemm_mat::kernel`]). `Blocked` reproduces the paper;
+    /// `Packed` adds Goto-style panel packing with runtime-dispatched
+    /// SIMD microkernels (panel buffers carved from the plan arena);
+    /// `Auto` picks `Packed` or `Blocked` from the detected CPU features
+    /// and the planned leaf tile, resolved once per plan.
     pub leaf_kernel: modgemm_mat::KernelKind,
 }
 

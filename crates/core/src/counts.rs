@@ -45,6 +45,32 @@ pub fn strassen_levels(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
     }
 }
 
+/// Number of leaf multiplies the executor performs under `policy`:
+/// each Strassen level spawns the schedule's `muls` (7) recursive
+/// products, and every remaining conventional Morton level spawns 8.
+pub fn leaf_muls(layouts: NodeLayouts, policy: ExecPolicy) -> u64 {
+    if layouts.uses_strassen(policy) {
+        let ops = crate::schedule::count_ops(policy.variant.schedule());
+        ops.muls as u64 * leaf_muls(layouts.child(), policy)
+    } else {
+        8u64.pow(layouts.a.depth as u32)
+    }
+}
+
+/// Modeled bytes moved into packing buffers over one execution: the
+/// per-leaf panel footprint ([`modgemm_mat::KernelKind::pack_len`], in
+/// elements, zero for non-packing kernels) times [`leaf_muls`] times the
+/// element size. This is the `bytes_packed` figure surfaced in
+/// [`crate::metrics::ExecMetrics`].
+pub fn packed_bytes(layouts: NodeLayouts, policy: ExecPolicy, elem_bytes: usize) -> u64 {
+    let (m, k, n) = (layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols);
+    let per_leaf = policy.kernel.pack_len(m, k, n) as u64;
+    if per_leaf == 0 {
+        return 0;
+    }
+    leaf_muls(layouts, policy) * per_leaf * elem_bytes as u64
+}
+
 /// The arithmetic-count model of §3.1: the recursion is profitable (by
 /// operation count alone) down to the size where one Strassen step stops
 /// saving flops. For square `n`, one step costs
@@ -124,6 +150,34 @@ mod tests {
             0
         );
         assert_eq!(strassen_levels(square(4, 0), ExecPolicy::default()), 0);
+    }
+
+    #[test]
+    fn leaf_muls_mixes_strassen_and_conventional_branching() {
+        use modgemm_mat::KernelKind;
+        let l = square(4, 3); // 32 = 4·2³
+                              // Full Strassen: 7 per level.
+        assert_eq!(leaf_muls(l, ExecPolicy::default()), 7 * 7 * 7);
+        // One Strassen level, two conventional: 7·8².
+        let one = ExecPolicy { strassen_min: 16, ..Default::default() };
+        assert_eq!(leaf_muls(l, one), 7 * 8 * 8);
+        // Fully conventional: 8³.
+        let conv = ExecPolicy { strassen_min: usize::MAX, ..Default::default() };
+        assert_eq!(leaf_muls(l, conv), 8 * 8 * 8);
+        // Leaf node: exactly one multiply.
+        assert_eq!(leaf_muls(square(4, 0), ExecPolicy::default()), 1);
+
+        // packed_bytes: zero for non-packing kernels; for Packed it is
+        // leaves × per-leaf panel footprint × element size.
+        assert_eq!(packed_bytes(l, ExecPolicy::default(), 8), 0);
+        let packed = ExecPolicy { kernel: KernelKind::Packed, ..Default::default() };
+        let per_leaf = KernelKind::Packed.pack_len(4, 4, 4) as u64;
+        assert!(per_leaf > 0);
+        assert_eq!(packed_bytes(l, packed, 8), 7 * 7 * 7 * per_leaf * 8);
+        // Auto resolves inside pack_len; on a tiny 4-wide tile it falls
+        // back to Blocked, which packs nothing.
+        let auto = ExecPolicy { kernel: KernelKind::Auto, ..Default::default() };
+        assert_eq!(packed_bytes(l, auto, 8), 0);
     }
 
     #[test]

@@ -95,13 +95,31 @@ impl NodeLayouts {
     }
 }
 
+/// Packing workspace (elements) the leaf kernel needs for **one** leaf
+/// tile multiply of `layouts` under `policy` — nonzero only when the
+/// plan's kernel packs its operands
+/// ([`modgemm_mat::KernelKind::pack_len`]). Leaf tile dimensions are the
+/// same at every node of the recursion, and the conventional Morton
+/// recursion below the handover runs its leaves sequentially, so one
+/// slot — placed at the arena's tail by [`workspace_len`] — serves every
+/// leaf of a serial subtree.
+pub fn leaf_pack_len(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
+    policy.kernel.pack_len(layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols)
+}
+
 /// Workspace (in elements) needed by [`strassen_mul`] for `layouts` under
 /// `policy`: `|TS| + |TT| + |TP| + |TQ|` per Strassen level, summed down
 /// the recursion (children run sequentially, so one child workspace
-/// suffices). Roughly `(mk + kn + 2mn)/3` elements in total.
+/// suffices) — roughly `(mk + kn + 2mn)/3` elements — plus, when the
+/// plan's kernel packs its operands, one [`leaf_pack_len`] slot at the
+/// tail for the panel buffers of the (sequential) leaf multiplies.
+///
+/// Deliberately scalar-type-independent: all terms are element counts,
+/// so non-generic callers (the cache simulator, the closed-form tests)
+/// share the same model the allocator uses.
 pub fn workspace_len(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
     if !layouts.uses_strassen(policy) {
-        return 0;
+        return leaf_pack_len(layouts, policy);
     }
     let per_level =
         layouts.a.quadrant_len() + layouts.b.quadrant_len() + 2 * layouts.c.quadrant_len();
@@ -138,7 +156,14 @@ pub fn budget_capped_policy(
             return policy;
         }
     }
-    ExecPolicy { strassen_min: usize::MAX, ..base }
+    let conventional = ExecPolicy { strassen_min: usize::MAX, ..base };
+    if workspace_len(layouts, conventional) <= max_ws_elems {
+        return conventional;
+    }
+    // Even the single leaf packing slot of a fully conventional run
+    // exceeds the budget: the last rung of the degradation ladder swaps
+    // the kernel for the workspace-free blocked multiply.
+    ExecPolicy { kernel: KernelKind::Blocked, ..conventional }
 }
 
 /// Wraps a contiguous Morton leaf tile as a column-major view.
@@ -148,18 +173,23 @@ fn tile_ref<'t, S: Scalar>(buf: &'t [S], l: &MortonLayout) -> MatRef<'t, S> {
     MatRef::from_slice(buf, l.tile_rows, l.tile_cols, l.tile_rows)
 }
 
-/// [`morton_mul_add`] with an explicit leaf kernel — the form the
-/// plan/execute machinery threads its plan-time [`KernelKind`] through.
+/// [`morton_mul_add_with`] on a caller-provided leaf packing workspace —
+/// the allocation-free form the plan interpreter calls with the arena's
+/// tail slot. `ws` must hold at least the kernel's
+/// [`modgemm_mat::KernelKind::pack_len`] for the leaf tile shape (zero
+/// for non-packing kernels); its contents are clobbered. The leaves run
+/// sequentially, so one slot is reused by every leaf of the subtree.
 ///
 /// The eight recursive calls follow the operand-reuse ordering of Frens &
 /// Wise (PPoPP'97): consecutive calls share either an `A` or a `B`
 /// operand, improving cache reuse of the just-touched subtree.
-pub fn morton_mul_add_with<S: Scalar>(
+pub fn morton_mul_add_with_ws<S: Scalar>(
     a: &[S],
     b: &[S],
     c: &mut [S],
     layouts: NodeLayouts,
     kernel: KernelKind,
+    ws: &mut [S],
 ) {
     debug_assert_eq!(a.len(), layouts.a.len());
     debug_assert_eq!(b.len(), layouts.b.len());
@@ -170,7 +200,7 @@ pub fn morton_mul_add_with<S: Scalar>(
         let bv = tile_ref(b, &layouts.b);
         let cv =
             MatMut::from_slice(c, layouts.c.tile_rows, layouts.c.tile_cols, layouts.c.tile_rows);
-        kernel.mul_add(av, bv, cv);
+        kernel.mul_add_in(av, bv, cv, ws);
         return;
     }
 
@@ -184,14 +214,34 @@ pub fn morton_mul_add_with<S: Scalar>(
     let (c21, c22) = rest.split_at_mut(qc);
 
     // Quadrant indices: 0 = NW(11), 1 = NE(12), 2 = SW(21), 3 = SE(22).
-    morton_mul_add_with(aq(0), bq(0), c11, ch, kernel); // C11 += A11·B11
-    morton_mul_add_with(aq(0), bq(1), c12, ch, kernel); // C12 += A11·B12
-    morton_mul_add_with(aq(1), bq(3), c12, ch, kernel); // C12 += A12·B22
-    morton_mul_add_with(aq(1), bq(2), c11, ch, kernel); // C11 += A12·B21
-    morton_mul_add_with(aq(3), bq(2), c21, ch, kernel); // C21 += A22·B21
-    morton_mul_add_with(aq(3), bq(3), c22, ch, kernel); // C22 += A22·B22
-    morton_mul_add_with(aq(2), bq(1), c22, ch, kernel); // C22 += A21·B12
-    morton_mul_add_with(aq(2), bq(0), c21, ch, kernel); // C21 += A21·B11
+    morton_mul_add_with_ws(aq(0), bq(0), c11, ch, kernel, ws); // C11 += A11·B11
+    morton_mul_add_with_ws(aq(0), bq(1), c12, ch, kernel, ws); // C12 += A11·B12
+    morton_mul_add_with_ws(aq(1), bq(3), c12, ch, kernel, ws); // C12 += A12·B22
+    morton_mul_add_with_ws(aq(1), bq(2), c11, ch, kernel, ws); // C11 += A12·B21
+    morton_mul_add_with_ws(aq(3), bq(2), c21, ch, kernel, ws); // C21 += A22·B21
+    morton_mul_add_with_ws(aq(3), bq(3), c22, ch, kernel, ws); // C22 += A22·B22
+    morton_mul_add_with_ws(aq(2), bq(1), c22, ch, kernel, ws); // C22 += A21·B12
+    morton_mul_add_with_ws(aq(2), bq(0), c21, ch, kernel, ws); // C21 += A21·B11
+}
+
+/// [`morton_mul_add`] with an explicit leaf kernel — the form the
+/// plan/execute machinery threads its plan-time [`KernelKind`] through.
+/// One-shot form: allocates the leaf packing slot itself when the kernel
+/// needs one (planned execution uses [`morton_mul_add_with_ws`] on the
+/// arena tail instead).
+pub fn morton_mul_add_with<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    kernel: KernelKind,
+) {
+    let mut pack =
+        vec![
+            S::ZERO;
+            kernel.pack_len(layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols)
+        ];
+    morton_mul_add_with_ws(a, b, c, layouts, kernel, &mut pack);
 }
 
 /// `C += A·B` by quadrant recursion over Morton buffers with the default
@@ -201,7 +251,8 @@ pub fn morton_mul_add<S: Scalar>(a: &[S], b: &[S], c: &mut [S], layouts: NodeLay
     morton_mul_add_with(a, b, c, layouts, KernelKind::Blocked);
 }
 
-/// [`morton_mul`] with an explicit leaf kernel.
+/// [`morton_mul`] with an explicit leaf kernel (allocates the leaf
+/// packing slot itself when the kernel needs one).
 pub fn morton_mul_with<S: Scalar>(
     a: &[S],
     b: &[S],
@@ -211,6 +262,20 @@ pub fn morton_mul_with<S: Scalar>(
 ) {
     c.fill(S::ZERO);
     morton_mul_add_with(a, b, c, layouts, kernel);
+}
+
+/// [`morton_mul_with`] on a caller-provided leaf packing workspace (see
+/// [`morton_mul_add_with_ws`]) — the allocation-free overwrite form.
+pub fn morton_mul_with_ws<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    kernel: KernelKind,
+    ws: &mut [S],
+) {
+    c.fill(S::ZERO);
+    morton_mul_add_with_ws(a, b, c, layouts, kernel, ws);
 }
 
 /// `C = A·B` (overwrite) by conventional quadrant recursion.
@@ -269,6 +334,13 @@ pub fn try_strassen_mul_with_sink<S: Scalar, K: MetricsSink>(
             conventional_flops: crate::counts::conventional_flops(m, k, n),
         });
         sink.record_workspace(needed, needed * core::mem::size_of::<S>());
+        let (tm, tk, tn) = (layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols);
+        sink.record_kernel(policy.kernel.resolve(tm, tk, tn));
+        sink.record_bytes_packed(crate::counts::packed_bytes(
+            layouts,
+            policy,
+            core::mem::size_of::<S>(),
+        ));
     }
     let mut buf = [LevelPlan::EMPTY; MAX_LEVELS];
     let count = fill_levels(&mut buf, layouts, policy);
@@ -457,6 +529,64 @@ mod tests {
             workspace_len(layouts, ExecPolicy { strassen_min: usize::MAX, ..Default::default() }),
             0
         );
+    }
+
+    #[test]
+    fn workspace_includes_leaf_packing_slot_for_packed_kernels() {
+        let l = MortonLayout::new(8, 8, 2);
+        let layouts = NodeLayouts::new(l, l, l);
+        let blocked = ExecPolicy::default();
+        let packed = ExecPolicy { kernel: KernelKind::Packed, ..Default::default() };
+        let pack = leaf_pack_len(layouts, packed);
+        assert_eq!(pack, KernelKind::Packed.pack_len(8, 8, 8));
+        assert!(pack > 0);
+        // The packing slot rides at the arena tail, at every truncation.
+        for strassen_min in [0, 16, usize::MAX] {
+            let b = ExecPolicy { strassen_min, ..blocked };
+            let p = ExecPolicy { strassen_min, ..packed };
+            assert_eq!(workspace_len(layouts, p), workspace_len(layouts, b) + pack);
+        }
+        assert_eq!(leaf_pack_len(layouts, blocked), 0, "non-packing kernels add nothing");
+    }
+
+    #[test]
+    fn packed_kernel_policies_stay_exact() {
+        let a: Matrix<i64> = random_matrix(24, 24, 60);
+        let b: Matrix<i64> = random_matrix(24, 24, 61);
+        for kernel in [KernelKind::Packed, KernelKind::Auto] {
+            for strassen_min in [0, 16, usize::MAX] {
+                let policy = ExecPolicy { kernel, strassen_min, ..Default::default() };
+                let got = run(&a, &b, 3, 3, 3, 3, policy);
+                assert_eq!(got, naive_product(&a, &b), "{kernel} min {strassen_min}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_kernel_stays_within_tolerance_on_floats() {
+        // Tile 8 = one full register tile, so the vectorized body (when
+        // the host has one) covers the whole leaf.
+        let a: Matrix<f64> = random_matrix(64, 64, 62);
+        let b: Matrix<f64> = random_matrix(64, 64, 63);
+        let policy = ExecPolicy { kernel: KernelKind::Packed, ..Default::default() };
+        let got = run(&a, &b, 8, 8, 8, 3, policy);
+        assert_matrix_eq(got.view(), naive_product(&a, &b).view(), 64);
+    }
+
+    #[test]
+    fn budget_degrades_packed_kernel_to_blocked_as_last_resort() {
+        let l = MortonLayout::new(8, 8, 2);
+        let layouts = NodeLayouts::new(l, l, l);
+        let base = ExecPolicy { kernel: KernelKind::Packed, ..Default::default() };
+        let capped = budget_capped_policy(layouts, base, 0);
+        assert_eq!(capped.kernel, KernelKind::Blocked);
+        assert_eq!(capped.strassen_min, usize::MAX);
+        assert_eq!(workspace_len(layouts, capped), 0);
+        // A budget that fits the packing slot keeps the packed kernel.
+        let pack = leaf_pack_len(layouts, base);
+        let capped = budget_capped_policy(layouts, base, pack);
+        assert_eq!(capped.kernel, KernelKind::Packed);
+        assert_eq!(workspace_len(layouts, capped), pack);
     }
 
     #[test]

@@ -439,10 +439,13 @@ pub(crate) fn scale_in_place<S: Scalar>(beta: S, c: &mut MatMut<'_, S>) {
 /// memory budget applied: recursion depth degrades toward the
 /// conventional path until the workspace fits.
 pub(crate) fn capped_policy<S: Scalar>(layouts: NodeLayouts, cfg: &ModgemmConfig) -> ExecPolicy {
+    // Auto resolves here, once per plan: the stored policy always carries
+    // a concrete kernel, so execution and arena sizing agree.
+    let (tm, tk, tn) = (layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols);
     let base = ExecPolicy {
         strassen_min: cfg.strassen_min,
         variant: cfg.variant,
-        kernel: cfg.leaf_kernel,
+        kernel: cfg.leaf_kernel.resolve(tm, tk, tn),
     };
     budget_capped_policy(layouts, base, cfg.memory_budget.max_elements(core::mem::size_of::<S>()))
 }

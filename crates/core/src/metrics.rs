@@ -23,6 +23,8 @@
 
 use std::time::Duration;
 
+use modgemm_mat::KernelKind;
+
 use crate::gemm::GemmBreakdown;
 
 /// Static facts about one planned executor invocation, recorded once per
@@ -132,6 +134,19 @@ pub trait MetricsSink {
     fn record_cache(&mut self, hits: u64, misses: u64) {
         let _ = (hits, misses);
     }
+
+    /// The concrete leaf kernel an executor ran with. `Auto` policies
+    /// resolve before reaching the sink, so recorded kinds are always
+    /// concrete.
+    fn record_kernel(&mut self, kernel: KernelKind) {
+        let _ = kernel;
+    }
+
+    /// Modeled bytes copied into packing buffers by one invocation
+    /// ([`crate::counts::packed_bytes`]; zero for non-packing kernels).
+    fn record_bytes_packed(&mut self, bytes: u64) {
+        let _ = bytes;
+    }
 }
 
 /// The zero-cost default sink: ignores everything, and its
@@ -191,6 +206,13 @@ pub struct ExecMetrics {
     pub breakdown: GemmBreakdown,
     /// Cache totals, present only when a traced run reported them.
     pub cache: Option<CacheTotals>,
+    /// The concrete leaf kernel that ran (last recorded invocation;
+    /// `None` until an executor reports one). Never [`KernelKind::Auto`]:
+    /// auto-selection resolves at plan time.
+    pub kernel_selected: Option<KernelKind>,
+    /// Modeled bytes copied into packing buffers, summed across
+    /// invocations ([`crate::counts::packed_bytes`]).
+    pub bytes_packed: u64,
 }
 
 impl ExecMetrics {
@@ -335,6 +357,14 @@ impl MetricsSink for CollectingSink {
         c.hits += hits;
         c.misses += misses;
     }
+
+    fn record_kernel(&mut self, kernel: KernelKind) {
+        self.metrics.kernel_selected = Some(kernel);
+    }
+
+    fn record_bytes_packed(&mut self, bytes: u64) {
+        self.metrics.bytes_packed += bytes;
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +405,10 @@ mod tests {
         sink.record_level_time(1, Duration::from_millis(5));
         sink.record_level_time(0, Duration::from_millis(1));
         sink.record_cache(70, 30);
+        sink.record_kernel(KernelKind::Blocked);
+        sink.record_kernel(KernelKind::Packed); // last wins
+        sink.record_bytes_packed(1000);
+        sink.record_bytes_packed(24); // accumulates
 
         let m = sink.into_metrics();
         assert_eq!(m.problem, Some((10, 20, 30)));
@@ -398,6 +432,8 @@ mod tests {
         assert_eq!(m.cache.unwrap().miss_ratio(), 0.3);
         assert!(m.padding_ratio() > 1.0);
         assert_eq!(m.effective_flops(), 2 * 10 * 20 * 30);
+        assert_eq!(m.kernel_selected, Some(KernelKind::Packed));
+        assert_eq!(m.bytes_packed, 1024);
     }
 
     #[test]

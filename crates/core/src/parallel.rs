@@ -284,6 +284,13 @@ pub fn try_strassen_mul_parallel_with_sink<S: Scalar, K: MetricsSink>(
     }
     sink.record_workspace(elems as usize, elems as usize * core::mem::size_of::<S>());
     sink.record_level_time(0, elapsed);
+    let (tm, tk, tn) = (layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols);
+    sink.record_kernel(policy.kernel.resolve(tm, tk, tn));
+    sink.record_bytes_packed(crate::counts::packed_bytes(
+        layouts,
+        policy,
+        core::mem::size_of::<S>(),
+    ));
     Ok(())
 }
 
@@ -357,6 +364,39 @@ mod tests {
     #[test]
     fn par_depth_exceeding_recursion_depth() {
         run_par(32, 8, 2, 5, 3);
+    }
+
+    #[test]
+    fn parallel_packed_kernel_matches_serial_and_reports_it() {
+        use modgemm_mat::KernelKind;
+        let l = MortonLayout::new(16, 16, 2);
+        let layouts = NodeLayouts::new(l, l, l);
+        let policy = ExecPolicy { kernel: KernelKind::Packed, ..Default::default() };
+        let a: Matrix<f64> = random_matrix(64, 64, 51);
+        let b: Matrix<f64> = random_matrix(64, 64, 52);
+        let mut ab = vec![0.0; l.len()];
+        let mut bb = vec![0.0; l.len()];
+        to_morton(a.view(), Op::NoTrans, &l, &mut ab);
+        to_morton(b.view(), Op::NoTrans, &l, &mut bb);
+
+        // Each worker's slab share carries its own packing slot, so the
+        // parallel run must be bitwise identical to the serial one.
+        let mut sink = crate::metrics::CollectingSink::new();
+        let mut c_par = vec![0.0; l.len()];
+        try_strassen_mul_parallel_with_sink(&ab, &bb, &mut c_par, layouts, policy, 1, &mut sink)
+            .unwrap();
+        let mut c_ser = vec![0.0; l.len()];
+        let mut ws = vec![0.0; workspace_len(layouts, policy)];
+        strassen_mul(&ab, &bb, &mut c_ser, layouts, &mut ws, policy);
+        assert_eq!(c_par, c_ser);
+
+        let m = sink.into_metrics();
+        assert_eq!(m.kernel_selected, Some(KernelKind::Packed));
+        assert_eq!(
+            m.bytes_packed,
+            crate::counts::packed_bytes(layouts, policy, core::mem::size_of::<f64>())
+        );
+        assert!(m.bytes_packed > 0);
     }
 
     #[test]

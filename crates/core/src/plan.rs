@@ -37,7 +37,9 @@ use modgemm_morton::par_convert::{par_from_morton, par_to_morton};
 
 use crate::config::{ModgemmConfig, NonFinitePolicy, VerifyMode};
 use crate::error::{try_grow, try_zeroed_vec, GemmError, Operand};
-use crate::exec::{check_buffers, morton_mul_with, workspace_len, ExecPolicy, NodeLayouts};
+use crate::exec::{
+    check_buffers, leaf_pack_len, morton_mul_with_ws, workspace_len, ExecPolicy, NodeLayouts,
+};
 use crate::gemm::{
     capped_policy, has_non_finite, layouts_of, scale_in_place, GemmBreakdown, GemmContext,
 };
@@ -119,9 +121,9 @@ pub(crate) fn fill_levels(
         l = l.child();
     }
     debug_assert_eq!(
-        off,
+        off + leaf_pack_len(layouts, policy),
         workspace_len(layouts, policy),
-        "arena length disagrees with workspace_len"
+        "arena length disagrees with workspace_len (slots + leaf packing tail)"
     );
     debug_assert_eq!(
         count,
@@ -135,10 +137,13 @@ pub(crate) fn fill_levels(
 /// Morton buffers, carving each level's `TS/TT/TP/TQ` temporaries from
 /// the front of `arena` and handing the tail to the recursion. Past the
 /// last flattened level the conventional Morton recursion takes over with
-/// the plan's leaf kernel.
+/// the plan's leaf kernel — what remains of the arena at that point is
+/// exactly the [`leaf_pack_len`] tail, which packing kernels use as
+/// their panel buffer (other kernels ignore it).
 ///
 /// `arena` must be exactly the remaining levels' combined slot length
-/// (callers pass `workspace_len(layouts, policy)` at the root).
+/// plus the leaf packing tail (callers pass
+/// `workspace_len(layouts, policy)` at the root).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_levels<S: Scalar, K: MetricsSink>(
     a: &[S],
@@ -153,17 +158,17 @@ pub(crate) fn exec_levels<S: Scalar, K: MetricsSink>(
 ) {
     debug_assert_eq!(
         arena.len(),
-        levels[li..].iter().map(|l| l.slot_len).sum::<usize>(),
-        "arena does not match the remaining levels' slots"
+        levels[li..].iter().map(|l| l.slot_len).sum::<usize>() + leaf_pack_len(layouts, policy),
+        "arena does not match the remaining levels' slots plus the packing tail"
     );
     if li == levels.len() {
         debug_assert!(!layouts.uses_strassen(policy), "levels list ended early");
         if K::ENABLED {
             let t0 = Instant::now();
-            morton_mul_with(a, b, c, layouts, policy.kernel);
+            morton_mul_with_ws(a, b, c, layouts, policy.kernel, arena);
             sink.record_level_time(li, t0.elapsed());
         } else {
-            morton_mul_with(a, b, c, layouts, policy.kernel);
+            morton_mul_with_ws(a, b, c, layouts, policy.kernel, arena);
         }
         return;
     }
@@ -671,6 +676,13 @@ impl<S: Scalar> GemmPlan<S> {
         if K::ENABLED {
             sink.record_plan(tp.facts);
             sink.record_workspace(ws_need, ws_need * core::mem::size_of::<S>());
+            // Auto was resolved at plan time; the stored kind is concrete.
+            sink.record_kernel(tp.policy.kernel);
+            sink.record_bytes_packed(crate::counts::packed_bytes(
+                layouts,
+                tp.policy,
+                core::mem::size_of::<S>(),
+            ));
         }
         if cfg.parallel_depth > 0 {
             crate::parallel::try_strassen_mul_parallel_in(
@@ -802,49 +814,71 @@ mod tests {
     #[test]
     fn second_execution_on_warm_context_is_allocation_free() {
         // The acceptance criterion: temp_alloc_bytes == 0 on the second
-        // execution with a reused GemmContext.
-        let cfg = ModgemmConfig::default();
-        let (m, k, n) = (150usize, 150usize, 150usize);
-        let a: Matrix<f64> = random_matrix(m, k, 5);
-        let b: Matrix<f64> = random_matrix(k, n, 6);
-        let p: GemmPlan<f64> = plan(m, k, n, &cfg);
-        let mut ctx = GemmContext::new();
-        let mut c: Matrix<f64> = Matrix::zeros(m, n);
+        // execution with a reused GemmContext — for every leaf kernel,
+        // including Packed (whose panel buffers must come from the plan
+        // arena, never a fresh allocation) and Auto.
+        for leaf_kernel in [KernelKind::Blocked, KernelKind::Packed, KernelKind::Auto] {
+            let cfg = ModgemmConfig { leaf_kernel, ..Default::default() };
+            let (m, k, n) = (150usize, 150usize, 150usize);
+            let a: Matrix<f64> = random_matrix(m, k, 5);
+            let b: Matrix<f64> = random_matrix(k, n, 6);
+            let p: GemmPlan<f64> = plan(m, k, n, &cfg);
+            let mut ctx = GemmContext::new();
+            let mut c: Matrix<f64> = Matrix::zeros(m, n);
 
-        // Cold run: the context grows, which must be *reported*.
-        let mut cold = CollectingSink::new();
-        p.try_execute_with_metrics(
-            1.0,
-            Op::NoTrans,
-            a.view(),
-            Op::NoTrans,
-            b.view(),
-            0.0,
-            c.view_mut(),
-            &mut ctx,
-            &mut cold,
-        )
-        .unwrap();
-        assert!(cold.metrics.temp_alloc_bytes > 0, "cold run must report its allocations");
+            // Cold run: the context grows, which must be *reported*.
+            let mut cold = CollectingSink::new();
+            p.try_execute_with_metrics(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                c.view_mut(),
+                &mut ctx,
+                &mut cold,
+            )
+            .unwrap();
+            assert!(
+                cold.metrics.temp_alloc_bytes > 0,
+                "{leaf_kernel}: cold run must report its allocations"
+            );
 
-        // Warm run: zero heap traffic on the hot path.
-        let mut warm = CollectingSink::new();
-        p.try_execute_with_metrics(
-            1.0,
-            Op::NoTrans,
-            a.view(),
-            Op::NoTrans,
-            b.view(),
-            0.0,
-            c.view_mut(),
-            &mut ctx,
-            &mut warm,
-        )
-        .unwrap();
-        assert_eq!(warm.metrics.temp_alloc_bytes, 0, "warm execution must be allocation-free");
-        assert_eq!(warm.metrics.temp_allocations, 0);
-        assert_eq!(warm.metrics.plan_executions, 1);
-        assert_eq!(warm.metrics.arena_bytes, p.arena_len() as u64 * 8);
+            // Warm run: zero heap traffic on the hot path.
+            let mut warm = CollectingSink::new();
+            p.try_execute_with_metrics(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                c.view_mut(),
+                &mut ctx,
+                &mut warm,
+            )
+            .unwrap();
+            assert_eq!(
+                warm.metrics.temp_alloc_bytes, 0,
+                "{leaf_kernel}: warm execution must be allocation-free"
+            );
+            assert_eq!(warm.metrics.temp_allocations, 0);
+            assert_eq!(warm.metrics.plan_executions, 1);
+            assert_eq!(warm.metrics.arena_bytes, p.arena_len() as u64 * 8);
+
+            // The sink reports the concrete kernel that ran and, for a
+            // packing kernel, its modeled panel traffic.
+            let selected = warm.metrics.kernel_selected.expect("kernel must be recorded");
+            assert_ne!(selected, KernelKind::Auto, "Auto must resolve at plan time");
+            if leaf_kernel == KernelKind::Packed {
+                assert_eq!(selected, KernelKind::Packed);
+                assert!(warm.metrics.bytes_packed > 0, "packed runs report packing traffic");
+            }
+            if selected != KernelKind::Packed {
+                assert_eq!(warm.metrics.bytes_packed, 0);
+            }
+        }
     }
 
     #[test]

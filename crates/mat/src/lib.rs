@@ -22,8 +22,13 @@
 //!   depends on operand contiguity, so packing would erase the effect under
 //!   study.
 //! * [`kernel`] — the [`LeafKernel`] trait and the [`KernelKind`] selector
-//!   that let executors choose the leaf multiply (naive / blocked / micro)
-//!   at plan time instead of hard-wiring it.
+//!   that let executors choose the leaf multiply (naive / blocked / micro /
+//!   packed, or `Auto`) at plan time instead of hard-wiring it.
+//! * [`pack`] / [`simd`] — the Goto/BLIS-style panel packing and the
+//!   runtime-dispatched SIMD microkernels behind
+//!   [`kernel::Packed`]. Packing buffers are sized in closed form
+//!   ([`pack::packed_len`]) so planned executions carve them from the
+//!   workspace arena instead of allocating.
 //! * [`addsub`] — elementwise add/sub kernels, in both two-loop (strided
 //!   view) and single-loop (contiguous buffer) forms. The single-loop form
 //!   is the "secondary benefit" of Morton storage noted in §3.3 of the
@@ -39,7 +44,9 @@ pub mod loops;
 pub mod matrix;
 pub mod naive;
 pub mod norms;
+pub mod pack;
 pub mod scalar;
+pub mod simd;
 pub mod view;
 
 pub use kernel::{KernelKind, LeafKernel};

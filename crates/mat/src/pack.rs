@@ -1,0 +1,320 @@
+//! Goto/BLIS-style panel packing for the [`crate::kernel::Packed`] leaf
+//! kernel.
+//!
+//! The packed kernel copies its operands into two panel buffers before
+//! multiplying:
+//!
+//! * **A** is packed into *row panels* of [`PACK_MR`] rows each. Panel
+//!   `i` holds rows `i·MR .. i·MR+MR`, stored k-major: element
+//!   `(i_local, p)` lives at `panel_base + p·MR + i_local`, so one
+//!   microkernel step reads `MR` consecutive elements.
+//! * **B** is packed into *column panels* of [`PACK_NR`] columns each,
+//!   also k-major: element `(p, j_local)` at `panel_base + p·NR +
+//!   j_local`.
+//!
+//! Ragged tails are **zero-padded** to the full panel width, so the
+//! microkernel always sees complete `MR × k` / `NR × k` panels and only
+//! the write-back to `C` has to honor the logical `m × n` bounds. After
+//! packing, the inner loop walks both panels with unit stride regardless
+//! of the original leading dimensions — the same argument the paper makes
+//! for Morton leaves, applied one level deeper.
+//!
+//! Buffer sizes ([`packed_a_len`] / [`packed_b_len`] / [`packed_len`])
+//! are closed-form in the tile dimensions and deliberately
+//! **scalar-type-independent** (element counts, not bytes), so the
+//! plan-arena sizing in `modgemm-core` stays non-generic.
+
+use crate::scalar::Scalar;
+use crate::view::{MatMut, MatRef};
+
+/// Rows per packed A panel — the microkernel's register-tile height.
+/// `8` fills one AVX2 register pair (or four NEON registers) of `f64`.
+pub const PACK_MR: usize = 8;
+
+/// Columns per packed B panel — the microkernel's register-tile width.
+pub const PACK_NR: usize = 4;
+
+/// Elements of the packed form of an `m × k` A operand:
+/// `ceil(m / MR) · MR · k` (ragged row panels are zero-padded).
+pub const fn packed_a_len(m: usize, k: usize) -> usize {
+    m.div_ceil(PACK_MR) * PACK_MR * k
+}
+
+/// Elements of the packed form of a `k × n` B operand:
+/// `ceil(n / NR) · NR · k` (ragged column panels are zero-padded).
+pub const fn packed_b_len(k: usize, n: usize) -> usize {
+    n.div_ceil(PACK_NR) * PACK_NR * k
+}
+
+/// Total packing workspace (elements) of one `m × k × n` leaf multiply:
+/// the A panels followed by the B panels.
+pub const fn packed_len(m: usize, k: usize, n: usize) -> usize {
+    packed_a_len(m, k) + packed_b_len(k, n)
+}
+
+/// Packs `a` (`m × k`, any leading dimension) into `buf` in MR-row-panel
+/// order, zero-padding the last panel's missing rows.
+///
+/// # Panics
+/// When `buf` is shorter than [`packed_a_len`].
+#[track_caller]
+pub fn pack_a<S: Scalar>(a: MatRef<'_, S>, buf: &mut [S]) {
+    let (m, k) = a.dims();
+    let need = packed_a_len(m, k);
+    assert!(buf.len() >= need, "pack_a buffer too small: {} < {need}", buf.len());
+    for pi in 0..m.div_ceil(PACK_MR) {
+        let i0 = pi * PACK_MR;
+        let mb = PACK_MR.min(m - i0);
+        let base = pi * PACK_MR * k;
+        for p in 0..k {
+            let src = &a.col(p)[i0..i0 + mb];
+            let dst = &mut buf[base + p * PACK_MR..base + (p + 1) * PACK_MR];
+            dst[..mb].copy_from_slice(src);
+            dst[mb..].fill(S::ZERO);
+        }
+    }
+}
+
+/// Packs `b` (`k × n`, any leading dimension) into `buf` in
+/// NR-column-panel order, zero-padding the last panel's missing columns.
+///
+/// # Panics
+/// When `buf` is shorter than [`packed_b_len`].
+#[track_caller]
+pub fn pack_b<S: Scalar>(b: MatRef<'_, S>, buf: &mut [S]) {
+    let (k, n) = b.dims();
+    let need = packed_b_len(k, n);
+    assert!(buf.len() >= need, "pack_b buffer too small: {} < {need}", buf.len());
+    for pj in 0..n.div_ceil(PACK_NR) {
+        let j0 = pj * PACK_NR;
+        let nb = PACK_NR.min(n - j0);
+        let base = pj * PACK_NR * k;
+        for jl in 0..PACK_NR {
+            if jl < nb {
+                let col = b.col(j0 + jl);
+                for p in 0..k {
+                    buf[base + p * PACK_NR + jl] = col[p];
+                }
+            } else {
+                for p in 0..k {
+                    buf[base + p * PACK_NR + jl] = S::ZERO;
+                }
+            }
+        }
+    }
+}
+
+/// The portable microkernel: accumulates the `MR × NR` product of one A
+/// panel and one B panel into `PACK_MR · PACK_NR` local accumulators and
+/// writes back only the logical `mb × nb` window of `c` (a column-major
+/// slice starting at the tile's top-left element, leading dimension
+/// `ldc`). The compiler unrolls the fixed-size accumulator loops; this is
+/// also the body Miri exercises and the reference the SIMD bodies are
+/// tested against.
+///
+/// # Panics
+/// In debug builds, on undersized panels; out-of-bounds `c` indexing
+/// panics in all builds (the slice bounds are the safety boundary).
+pub fn microkernel_generic<S: Scalar>(
+    k: usize,
+    a_panel: &[S],
+    b_panel: &[S],
+    c: &mut [S],
+    ldc: usize,
+    mb: usize,
+    nb: usize,
+) {
+    debug_assert!(a_panel.len() >= PACK_MR * k);
+    debug_assert!(b_panel.len() >= PACK_NR * k);
+    debug_assert!(mb <= PACK_MR && nb <= PACK_NR && mb > 0 && nb > 0);
+    let mut acc = [[S::ZERO; PACK_MR]; PACK_NR];
+    for p in 0..k {
+        let ac = &a_panel[p * PACK_MR..(p + 1) * PACK_MR];
+        let br = &b_panel[p * PACK_NR..(p + 1) * PACK_NR];
+        for (col, &bv) in acc.iter_mut().zip(br) {
+            for (x, &av) in col.iter_mut().zip(ac) {
+                *x = av.madd(bv, *x);
+            }
+        }
+    }
+    for (j, col) in acc.iter().take(nb).enumerate() {
+        let cj = &mut c[j * ldc..j * ldc + mb];
+        for (x, &v) in cj.iter_mut().zip(col) {
+            *x += v;
+        }
+    }
+}
+
+/// `C += A·B` through the packed pipeline: pack both operands into `ws`,
+/// then drive the register-tile microkernel (the vectorized body from
+/// [`crate::simd`] on full interior tiles when the host has one, the
+/// portable [`microkernel_generic`] on ragged edges and everywhere else)
+/// over the panels.
+///
+/// `ws` must hold at least [`packed_len`]`(m, k, n)` elements; its
+/// contents are clobbered. Callers on the planned hot path hand in an
+/// arena slice so this function never allocates.
+///
+/// # Panics
+/// On dimension mismatch or an undersized `ws`.
+#[track_caller]
+pub fn packed_mul_add_in<S: Scalar>(
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    mut c: MatMut<'_, S>,
+    ws: &mut [S],
+) {
+    let (m, k) = a.dims();
+    let (kb, n) = b.dims();
+    assert_eq!(k, kb, "inner dimension mismatch");
+    assert_eq!(c.dims(), (m, n), "output dimension mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let need = packed_len(m, k, n);
+    assert!(ws.len() >= need, "packing workspace too small: {} < {need}", ws.len());
+    let (abuf, rest) = ws.split_at_mut(packed_a_len(m, k));
+    let bbuf = &mut rest[..packed_b_len(k, n)];
+    pack_a(a, abuf);
+    pack_b(b, bbuf);
+
+    let mk = S::packed_microkernel();
+    let ldc = c.ld();
+    let cp = c.as_mut_ptr();
+    for pj in 0..n.div_ceil(PACK_NR) {
+        let j0 = pj * PACK_NR;
+        let nb = PACK_NR.min(n - j0);
+        let bp = &bbuf[pj * PACK_NR * k..(pj + 1) * PACK_NR * k];
+        for pi in 0..m.div_ceil(PACK_MR) {
+            let i0 = pi * PACK_MR;
+            let mb = PACK_MR.min(m - i0);
+            let ap = &abuf[pi * PACK_MR * k..(pi + 1) * PACK_MR * k];
+            match mk {
+                // SAFETY: a full interior tile — the MR×NR window at
+                // (i0, j0) lies inside the validated m×n view of `c`
+                // (stride ldc ≥ m ≥ i0 + MR), the panels are exactly
+                // MR·k / NR·k elements, and `mk` was handed out by the
+                // runtime feature detector.
+                Some(f) if mb == PACK_MR && nb == PACK_NR => unsafe {
+                    f(k, ap.as_ptr(), bp.as_ptr(), cp.add(i0 + j0 * ldc), ldc);
+                },
+                _ => {
+                    // Ragged edge (or no vector body): the portable
+                    // kernel accumulates the padded tile locally and
+                    // writes back only mb × nb.
+                    // SAFETY: the window starts inside `c`'s buffer and
+                    // `(nb-1)·ldc + mb` elements from (i0, j0) stay
+                    // within `required_len(m, n, ldc)`.
+                    let cw = unsafe {
+                        core::slice::from_raw_parts_mut(cp.add(i0 + j0 * ldc), (nb - 1) * ldc + mb)
+                    };
+                    microkernel_generic(k, ap, bp, cw, ldc, mb, nb);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_matrix;
+    use crate::naive::naive_product;
+    use crate::norms::assert_matrix_eq;
+    use crate::Matrix;
+
+    #[test]
+    fn packed_lengths_closed_form() {
+        assert_eq!(packed_a_len(8, 5), 8 * 5);
+        assert_eq!(packed_a_len(9, 5), 16 * 5); // one ragged row panel
+        assert_eq!(packed_b_len(5, 4), 4 * 5);
+        assert_eq!(packed_b_len(5, 6), 8 * 5); // one ragged column panel
+        assert_eq!(packed_len(9, 5, 6), 16 * 5 + 8 * 5);
+        assert_eq!(packed_len(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn pack_a_layout_and_zero_padding() {
+        // 3×2: one panel of 8 rows, 5 of them padding.
+        let a = Matrix::from_fn(3, 2, |i, j| (10 * i + j) as i64);
+        let mut buf = vec![-1i64; packed_a_len(3, 2)];
+        pack_a(a.view(), &mut buf);
+        for p in 0..2 {
+            for i in 0..PACK_MR {
+                let want = if i < 3 { (10 * i + p) as i64 } else { 0 };
+                assert_eq!(buf[p * PACK_MR + i], want, "p={p} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_layout_and_zero_padding() {
+        // 2×5: two column panels, the second 3 columns short.
+        let b = Matrix::from_fn(2, 5, |i, j| (10 * i + j) as i64);
+        let mut buf = vec![-1i64; packed_b_len(2, 5)];
+        pack_b(b.view(), &mut buf);
+        for p in 0..2 {
+            for j in 0..PACK_NR {
+                assert_eq!(buf[p * PACK_NR + j], (10 * p + j) as i64);
+                let second = buf[PACK_NR * 2 + p * PACK_NR + j];
+                let want = if j < 1 { (10 * p + j + 4) as i64 } else { 0 };
+                assert_eq!(second, want, "p={p} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn packing_respects_strided_views() {
+        let base: Matrix<i64> = random_matrix(12, 12, 3);
+        let v = base.view().submatrix(2, 1, 7, 6); // ld = 12 != rows
+        let mut strided = vec![0i64; packed_a_len(7, 6)];
+        pack_a(v, &mut strided);
+        let copy = Matrix::from_vec(v.to_vec(), 7, 6);
+        let mut contiguous = vec![0i64; packed_a_len(7, 6)];
+        pack_a(copy.view(), &mut contiguous);
+        assert_eq!(strided, contiguous);
+    }
+
+    #[test]
+    fn packed_mul_matches_naive_over_shapes() {
+        // Shapes hit full tiles, ragged row tails, ragged column tails,
+        // and sub-register sizes.
+        for (m, k, n) in [(8, 4, 4), (16, 8, 12), (7, 6, 5), (9, 9, 9), (1, 1, 1), (23, 17, 10)] {
+            let a: Matrix<i64> = random_matrix(m, k, (m + k) as u64);
+            let b: Matrix<i64> = random_matrix(k, n, (k + n) as u64);
+            let mut c: Matrix<i64> = Matrix::zeros(m, n);
+            let mut ws = vec![0i64; packed_len(m, k, n)];
+            packed_mul_add_in(a.view(), b.view(), c.view_mut(), &mut ws);
+            assert_eq!(c, naive_product(&a, &b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn packed_mul_accumulates_into_c() {
+        let (m, k, n) = (10, 6, 7);
+        let a: Matrix<f64> = random_matrix(m, k, 5);
+        let b: Matrix<f64> = random_matrix(k, n, 6);
+        let base: Matrix<f64> = random_matrix(m, n, 7);
+        let mut c = base.clone();
+        let mut ws = vec![0.0; packed_len(m, k, n)];
+        packed_mul_add_in(a.view(), b.view(), c.view_mut(), &mut ws);
+        let mut want = naive_product(&a, &b);
+        for j in 0..n {
+            for i in 0..m {
+                let v = want.get(i, j) + base.get(i, j);
+                want.set(i, j, v);
+            }
+        }
+        assert_matrix_eq(c.view(), want.view(), k);
+    }
+
+    #[test]
+    #[should_panic(expected = "packing workspace too small")]
+    fn packed_mul_rejects_short_workspace() {
+        let a: Matrix<f64> = Matrix::zeros(8, 8);
+        let b: Matrix<f64> = Matrix::zeros(8, 8);
+        let mut c: Matrix<f64> = Matrix::zeros(8, 8);
+        let mut ws = vec![0.0; 3];
+        packed_mul_add_in(a.view(), b.view(), c.view_mut(), &mut ws);
+    }
+}

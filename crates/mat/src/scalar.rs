@@ -58,6 +58,17 @@ pub trait Scalar:
     /// Machine epsilon as `f64` (`0.0` for exact types). Drives the scaled
     /// tolerances in [`crate::norms`].
     fn epsilon_f64() -> f64;
+
+    /// The vectorized packed-panel microkernel for this scalar on the
+    /// current host, or `None` when only the portable fallback applies
+    /// (exact types, complex, or hosts without a detected vector unit).
+    /// The default is `None`; `f32`/`f64` override it with the runtime
+    /// selectors in [`crate::simd`]. Detection is cached process-wide, so
+    /// calling this per leaf multiply costs one atomic load.
+    #[inline]
+    fn packed_microkernel() -> Option<crate::simd::MicroKernelFn<Self>> {
+        None
+    }
 }
 
 impl Scalar for f64 {
@@ -82,6 +93,11 @@ impl Scalar for f64 {
     fn epsilon_f64() -> f64 {
         f64::EPSILON
     }
+
+    #[inline]
+    fn packed_microkernel() -> Option<crate::simd::MicroKernelFn<Self>> {
+        crate::simd::microkernel_f64()
+    }
 }
 
 impl Scalar for f32 {
@@ -105,6 +121,11 @@ impl Scalar for f32 {
 
     fn epsilon_f64() -> f64 {
         f32::EPSILON as f64
+    }
+
+    #[inline]
+    fn packed_microkernel() -> Option<crate::simd::MicroKernelFn<Self>> {
+        crate::simd::microkernel_f32()
     }
 }
 

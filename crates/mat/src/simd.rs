@@ -1,0 +1,285 @@
+//! Runtime SIMD dispatch for the packed microkernel.
+//!
+//! The packed kernel ([`crate::pack`]) reduces every leaf multiply to one
+//! inner shape: an `MR × NR` register tile updated from zero-padded
+//! panels. That shape is what vendor BLAS microkernels are written for,
+//! and this module provides the vectorized bodies:
+//!
+//! * **x86_64** — AVX2 + FMA kernels for `f64` (`8×4` over four pairs of
+//!   256-bit accumulators) and `f32` (`8×4` over four 256-bit
+//!   accumulators), selected with [`is_x86_feature_detected!`];
+//! * **aarch64** — NEON kernels of the same shape, selected with
+//!   `is_aarch64_feature_detected!`;
+//! * everywhere else (and for every scalar type without a vector body,
+//!   e.g. `i64` or complex) — the portable unrolled fallback in
+//!   [`crate::pack`].
+//!
+//! Detection runs **once** per process (cached in a [`OnceLock`]); plan
+//! construction resolves [`crate::KernelKind::Auto`] against the cached
+//! [`SimdLevel`] so the hot loop never re-detects. Under Miri the
+//! detected level is forced to [`SimdLevel::None`]: the vendor intrinsics
+//! are not interpretable, and forcing the portable path means the Miri CI
+//! job checks exactly the `unsafe` packing/pointer code that runs on
+//! hosts without vector units.
+
+use std::sync::OnceLock;
+
+/// A vectorized microkernel body: accumulates the full
+/// `MR × NR` product of two packed panels into `c` (column-major, leading
+/// dimension `ldc`), i.e. `C[0..MR, 0..NR] += Apanel · Bpanel`.
+///
+/// # Safety
+/// * `a` must point at `MR·k` readable elements (one packed A panel),
+/// * `b` must point at `NR·k` readable elements (one packed B panel),
+/// * `c` must point at a column-major `MR × NR` window with leading
+///   dimension `ldc ≥ MR`, fully writable,
+/// * the CPU must support the features the body was compiled for (the
+///   selectors below only hand out pointers after runtime detection).
+pub type MicroKernelFn<S> = unsafe fn(k: usize, a: *const S, b: *const S, c: *mut S, ldc: usize);
+
+/// The vector instruction family detected on this host, in the order the
+/// selectors consult them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// No usable vector unit (or running under Miri): portable fallback.
+    None,
+    /// x86_64 with AVX2 and FMA.
+    Avx2Fma,
+    /// aarch64 with NEON (Advanced SIMD).
+    Neon,
+}
+
+fn detect() -> SimdLevel {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return SimdLevel::Avx2Fma;
+        }
+    }
+    #[cfg(all(target_arch = "aarch64", not(miri)))]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return SimdLevel::Neon;
+        }
+    }
+    SimdLevel::None
+}
+
+/// The host's [`SimdLevel`], detected once and cached for the process
+/// lifetime. Plan-time [`crate::KernelKind::Auto`] resolution and the
+/// microkernel selectors below all read this cache.
+pub fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(detect)
+}
+
+/// The vectorized `f64` microkernel for this host, or `None` when only
+/// the portable fallback applies.
+pub fn microkernel_f64() -> Option<MicroKernelFn<f64>> {
+    match simd_level() {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        SimdLevel::Avx2Fma => Some(x86::mk_f64_avx2fma as MicroKernelFn<f64>),
+        #[cfg(all(target_arch = "aarch64", not(miri)))]
+        SimdLevel::Neon => Some(neon::mk_f64_neon as MicroKernelFn<f64>),
+        _ => None,
+    }
+}
+
+/// The vectorized `f32` microkernel for this host, or `None` when only
+/// the portable fallback applies.
+pub fn microkernel_f32() -> Option<MicroKernelFn<f32>> {
+    match simd_level() {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        SimdLevel::Avx2Fma => Some(x86::mk_f32_avx2fma as MicroKernelFn<f32>),
+        #[cfg(all(target_arch = "aarch64", not(miri)))]
+        SimdLevel::Neon => Some(neon::mk_f32_neon as MicroKernelFn<f32>),
+        _ => None,
+    }
+}
+
+/// True when [`crate::Scalar::packed_microkernel`] returns a vector body for at
+/// least one supported scalar — the signal [`crate::KernelKind::Auto`]
+/// keys its Packed-vs-Blocked choice on.
+pub fn has_vector_unit() -> bool {
+    simd_level() != SimdLevel::None
+}
+
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    use crate::pack::{PACK_MR, PACK_NR};
+
+    // Both kernels keep the full MR×NR tile in registers: f64 uses eight
+    // 256-bit accumulators (4 lanes × 2 per column), f32 four (8 lanes
+    // each). Loads are unaligned — panels live inside a larger arena.
+
+    /// AVX2+FMA `8×4` `f64` microkernel. Safety contract:
+    /// [`super::MicroKernelFn`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn mk_f64_avx2fma(k: usize, a: *const f64, b: *const f64, c: *mut f64, ldc: usize) {
+        debug_assert_eq!((PACK_MR, PACK_NR), (8, 4));
+        let mut acc_lo = [_mm256_setzero_pd(); PACK_NR];
+        let mut acc_hi = [_mm256_setzero_pd(); PACK_NR];
+        for p in 0..k {
+            let a_lo = _mm256_loadu_pd(a.add(p * PACK_MR));
+            let a_hi = _mm256_loadu_pd(a.add(p * PACK_MR + 4));
+            for j in 0..PACK_NR {
+                let bj = _mm256_set1_pd(*b.add(p * PACK_NR + j));
+                acc_lo[j] = _mm256_fmadd_pd(a_lo, bj, acc_lo[j]);
+                acc_hi[j] = _mm256_fmadd_pd(a_hi, bj, acc_hi[j]);
+            }
+        }
+        for (j, (lo, hi)) in acc_lo.into_iter().zip(acc_hi).enumerate() {
+            let cj = c.add(j * ldc);
+            _mm256_storeu_pd(cj, _mm256_add_pd(_mm256_loadu_pd(cj), lo));
+            _mm256_storeu_pd(cj.add(4), _mm256_add_pd(_mm256_loadu_pd(cj.add(4)), hi));
+        }
+    }
+
+    /// AVX2+FMA `8×4` `f32` microkernel. Safety contract:
+    /// [`super::MicroKernelFn`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn mk_f32_avx2fma(k: usize, a: *const f32, b: *const f32, c: *mut f32, ldc: usize) {
+        debug_assert_eq!((PACK_MR, PACK_NR), (8, 4));
+        let mut acc = [_mm256_setzero_ps(); PACK_NR];
+        for p in 0..k {
+            let ap = _mm256_loadu_ps(a.add(p * PACK_MR));
+            for (j, aj) in acc.iter_mut().enumerate() {
+                let bj = _mm256_set1_ps(*b.add(p * PACK_NR + j));
+                *aj = _mm256_fmadd_ps(ap, bj, *aj);
+            }
+        }
+        for (j, aj) in acc.into_iter().enumerate() {
+            let cj = c.add(j * ldc);
+            _mm256_storeu_ps(cj, _mm256_add_ps(_mm256_loadu_ps(cj), aj));
+        }
+    }
+}
+
+#[cfg(all(target_arch = "aarch64", not(miri)))]
+mod neon {
+    use core::arch::aarch64::*;
+
+    use crate::pack::{PACK_MR, PACK_NR};
+
+    // Same register tiles as the x86 bodies: f64 in 2-lane vectors (4 per
+    // column), f32 in 4-lane vectors (2 per column).
+
+    /// NEON `8×4` `f64` microkernel. Safety contract:
+    /// [`super::MicroKernelFn`].
+    #[target_feature(enable = "neon")]
+    pub unsafe fn mk_f64_neon(k: usize, a: *const f64, b: *const f64, c: *mut f64, ldc: usize) {
+        debug_assert_eq!((PACK_MR, PACK_NR), (8, 4));
+        let mut acc = [[vdupq_n_f64(0.0); 4]; PACK_NR];
+        for p in 0..k {
+            let av = [
+                vld1q_f64(a.add(p * PACK_MR)),
+                vld1q_f64(a.add(p * PACK_MR + 2)),
+                vld1q_f64(a.add(p * PACK_MR + 4)),
+                vld1q_f64(a.add(p * PACK_MR + 6)),
+            ];
+            for (j, aj) in acc.iter_mut().enumerate() {
+                let bj = vdupq_n_f64(*b.add(p * PACK_NR + j));
+                for (lane, a_lane) in av.into_iter().enumerate() {
+                    aj[lane] = vfmaq_f64(aj[lane], a_lane, bj);
+                }
+            }
+        }
+        for (j, aj) in acc.into_iter().enumerate() {
+            let cj = c.add(j * ldc);
+            for (lane, v) in aj.into_iter().enumerate() {
+                let off = cj.add(2 * lane);
+                vst1q_f64(off, vaddq_f64(vld1q_f64(off), v));
+            }
+        }
+    }
+
+    /// NEON `8×4` `f32` microkernel. Safety contract:
+    /// [`super::MicroKernelFn`].
+    #[target_feature(enable = "neon")]
+    pub unsafe fn mk_f32_neon(k: usize, a: *const f32, b: *const f32, c: *mut f32, ldc: usize) {
+        debug_assert_eq!((PACK_MR, PACK_NR), (8, 4));
+        let mut acc = [[vdupq_n_f32(0.0); 2]; PACK_NR];
+        for p in 0..k {
+            let av = [vld1q_f32(a.add(p * PACK_MR)), vld1q_f32(a.add(p * PACK_MR + 4))];
+            for (j, aj) in acc.iter_mut().enumerate() {
+                let bj = vdupq_n_f32(*b.add(p * PACK_NR + j));
+                for (lane, a_lane) in av.into_iter().enumerate() {
+                    aj[lane] = vfmaq_f32(aj[lane], a_lane, bj);
+                }
+            }
+        }
+        for (j, aj) in acc.into_iter().enumerate() {
+            let cj = c.add(j * ldc);
+            for (lane, v) in aj.into_iter().enumerate() {
+                let off = cj.add(4 * lane);
+                vst1q_f32(off, vaddq_f32(vld1q_f32(off), v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{PACK_MR, PACK_NR};
+    use crate::scalar::Scalar;
+
+    #[test]
+    fn detection_is_cached_and_stable() {
+        assert_eq!(simd_level(), simd_level());
+        assert_eq!(has_vector_unit(), simd_level() != SimdLevel::None);
+        #[cfg(miri)]
+        assert_eq!(simd_level(), SimdLevel::None, "Miri must take the portable path");
+    }
+
+    #[test]
+    fn selectors_agree_with_the_detected_level() {
+        let vec_unit = has_vector_unit();
+        assert_eq!(microkernel_f64().is_some(), vec_unit);
+        assert_eq!(microkernel_f32().is_some(), vec_unit);
+    }
+
+    /// Runs `mk` and the portable reference over the same packed panels
+    /// and compares within an accumulation-order tolerance (the vector
+    /// bodies contract multiply-add into FMA; the reference does not).
+    fn check_against_reference<S: Scalar>(mk: MicroKernelFn<S>, k: usize, tol: f64) {
+        let a: Vec<S> =
+            (0..PACK_MR * k).map(|i| S::from_f64(((i * 7 + 3) % 23) as f64 / 4.0 - 2.0)).collect();
+        let b: Vec<S> =
+            (0..PACK_NR * k).map(|i| S::from_f64(((i * 5 + 1) % 19) as f64 / 4.0 - 2.0)).collect();
+        let ldc = PACK_MR + 3; // non-trivial leading dimension
+        let init: Vec<S> = (0..ldc * PACK_NR).map(|i| S::from_f64((i % 7) as f64)).collect();
+
+        let mut got = init.clone();
+        // SAFETY: the panels are exactly MR·k / NR·k long, the C window is
+        // MR×NR with ldc ≥ MR, and `mk` came from a runtime selector.
+        unsafe { mk(k, a.as_ptr(), b.as_ptr(), got.as_mut_ptr(), ldc) };
+
+        let mut want = init;
+        crate::pack::microkernel_generic(k, &a, &b, &mut want, ldc, PACK_MR, PACK_NR);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            let diff = (g.to_f64() - w.to_f64()).abs();
+            assert!(diff <= tol, "index {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn vector_f64_matches_portable_reference() {
+        if let Some(mk) = microkernel_f64() {
+            for k in [0, 1, 2, 7, 32] {
+                check_against_reference::<f64>(mk, k, 1e-12 * (k.max(1) as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn vector_f32_matches_portable_reference() {
+        if let Some(mk) = microkernel_f32() {
+            for k in [0, 1, 2, 7, 32] {
+                check_against_reference::<f32>(mk, k, 1e-4 * (k.max(1) as f64));
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the packed SIMD leaf kernel.
+//!
+//! The packed kernel reorders nothing arithmetically that matters over a
+//! commutative, associative scalar: on **integers** it must be
+//! bit-identical to the naive triple loop, whatever the SIMD dispatch
+//! picked (integer leaves always take the portable microkernel, and
+//! integer addition is associative, so panel traversal order is
+//! invisible). On **floats** the SIMD microkernel reassociates the
+//! `k`-loop across register lanes, so agreement is required only within
+//! the standard backward-error envelope.
+
+use modgemm::mat::gen::random_matrix;
+use modgemm::mat::kernel::{Naive, Packed};
+use modgemm::mat::norms::assert_matrix_eq;
+use modgemm::mat::{KernelKind, LeafKernel, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Packed ≡ Naive, bit for bit, on integer matrices — including
+    /// ragged shapes that exercise the zero-padded panel tails.
+    #[test]
+    fn packed_is_bit_identical_to_naive_on_i64(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let a: Matrix<i64> = random_matrix(m, k, seed);
+        let b: Matrix<i64> = random_matrix(k, n, seed + 1);
+        let c0: Matrix<i64> = random_matrix(m, n, seed + 2);
+
+        let mut c_naive = c0.clone();
+        Naive.mul_add(a.view(), b.view(), c_naive.view_mut());
+        let mut c_packed = c0.clone();
+        Packed.mul_add(a.view(), b.view(), c_packed.view_mut());
+        prop_assert_eq!(&c_packed, &c_naive);
+
+        // Auto resolves to Packed or Blocked; both are exact on i64.
+        let mut c_auto = c0.clone();
+        KernelKind::Auto.mul_add(a.view(), b.view(), c_auto.view_mut());
+        prop_assert_eq!(&c_auto, &c_naive);
+    }
+
+    /// Packed agrees with Naive on `f64` within the standard `k`-scaled
+    /// roundoff tolerance (the SIMD body reassociates the inner product
+    /// across lanes, so bitwise equality is not expected).
+    #[test]
+    fn packed_matches_naive_within_tolerance_on_f64(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let a: Matrix<f64> = random_matrix(m, k, seed);
+        let b: Matrix<f64> = random_matrix(k, n, seed + 1);
+        let c0: Matrix<f64> = random_matrix(m, n, seed + 2);
+
+        let mut c_naive = c0.clone();
+        Naive.mul_add(a.view(), b.view(), c_naive.view_mut());
+        let mut c_packed = c0;
+        Packed.mul_add(a.view(), b.view(), c_packed.view_mut());
+        assert_matrix_eq(c_packed.view(), c_naive.view(), k);
+    }
+}

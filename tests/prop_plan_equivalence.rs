@@ -34,11 +34,7 @@ fn decode_truncation(selector: bool, lo: usize, width: usize) -> Truncation {
 }
 
 fn decode_kernel(selector: usize) -> KernelKind {
-    match selector % 3 {
-        0 => KernelKind::Naive,
-        1 => KernelKind::Blocked,
-        _ => KernelKind::Micro,
-    }
+    KernelKind::ALL[selector % KernelKind::ALL.len()]
 }
 
 proptest! {
@@ -60,7 +56,7 @@ proptest! {
         trunc_kind in any::<bool>(),
         trunc_lo in 2usize..8,
         trunc_width in 4usize..20,
-        kernel_sel in 0usize..3,
+        kernel_sel in 0usize..5,
         strassen_min in 0usize..12,
         seed in 0u64..1000,
     ) {
