@@ -2,7 +2,7 @@
 //! plus the `compare` regression gate.
 //!
 //! ```text
-//! bench_runner [--quick] [--out PATH] [--kernel NAME]   run the suite
+//! bench_runner [--quick] [--out PATH] [--kernel NAME] [--threads N]
 //! bench_runner compare OLD NEW
 //!              [--threshold 0.25] [--metric gflops|score]
 //! ```
@@ -15,9 +15,15 @@
 //! amortized counterpart of the one-shot cases at the same sizes), and a
 //! leaf-kernel sweep (`kernel_<name>_512` for every [`KernelKind`] at
 //! n = 512, isolating the kernel axis from the schedule axes).
+//! A thread sweep (`threads_{1,2,4,8}_1024`) runs the work-stealing DAG
+//! executor at fixed worker counts on n = 1024, so multi-core scaling of
+//! the pooled executor is tracked case-by-case (the `threads_1` case is
+//! the serial-degradation control).
 //! `--kernel <naive|blocked|micro|packed|auto>` forces that leaf kernel
 //! into every MODGEMM case and restricts the sweep to it — the quick way
-//! to A/B one kernel. `--quick` runs the same cases with fewer
+//! to A/B one kernel. `--threads <n>` likewise forces the pool worker
+//! count into every MODGEMM case (the `threads_*` sweep keeps its
+//! declared counts). `--quick` runs the same cases with fewer
 //! repetitions and names the suite `smoke` so CI baselines stay
 //! comparable. Exit codes: 0 ok, 1 regression, 2 usage or I/O error.
 //! See EXPERIMENTS.md for the schema and baseline workflow.
@@ -60,7 +66,7 @@ enum Algo {
     },
 }
 
-fn suite_cases(kernel: Option<KernelKind>) -> Vec<Case> {
+fn suite_cases(kernel: Option<KernelKind>, threads: Option<usize>) -> Vec<Case> {
     let base = ModgemmConfig::default();
     let trunc = |strassen_min| ModgemmConfig { strassen_min, ..ModgemmConfig::default() };
     let par = ModgemmConfig { parallel_depth: 2, ..ModgemmConfig::default() };
@@ -84,12 +90,31 @@ fn suite_cases(kernel: Option<KernelKind>) -> Vec<Case> {
             cases.push(case(&format!("kernel_{kind}_512"), 512, Algo::Modgemm(cfg)));
         }
     }
+    // The thread sweep: the pooled DAG executor at fixed worker counts,
+    // n = 1024, parallel_depth 2. `threads_1` degrades to the serial
+    // executor and anchors the scaling curve.
+    for t in [1usize, 2, 4, 8] {
+        let cfg = ModgemmConfig { parallel_depth: 2, threads: t, ..ModgemmConfig::default() };
+        cases.push(case(&format!("threads_{t}_1024"), 1024, Algo::Modgemm(cfg)));
+    }
     // --kernel also forces the leaf kernel into every MODGEMM case so the
-    // whole report reflects one kernel choice.
-    if let Some(k) = kernel {
+    // whole report reflects one kernel choice; --threads does the same
+    // for the pool worker count (sweep cases keep their declared counts).
+    if kernel.is_some() || threads.is_some() {
         for c in &mut cases {
+            let sweep_case = c.name.starts_with("threads_");
             match &mut c.algo {
-                Algo::Modgemm(cfg) | Algo::PlanReuse { cfg, .. } => cfg.leaf_kernel = k,
+                Algo::Modgemm(cfg) | Algo::PlanReuse { cfg, .. } => {
+                    if let Some(k) = kernel {
+                        cfg.leaf_kernel = k;
+                    }
+                    if let (Some(t), false) = (threads, sweep_case) {
+                        cfg.threads = t;
+                        if cfg.parallel_depth == 0 {
+                            cfg.parallel_depth = 2;
+                        }
+                    }
+                }
                 Algo::Conventional => {}
             }
         }
@@ -205,6 +230,10 @@ fn metrics_json(m: &modgemm_core::ExecMetrics) -> Value {
             m.kernel_selected.map(|k| k.to_string()).unwrap_or_else(|| "none".to_string()),
         )
         .with("bytes_packed", m.bytes_packed)
+        .with("pool_workers", m.pool.map_or(0, |p| p.workers))
+        .with("pool_tasks", m.pool.map_or(0, |p| p.tasks_executed))
+        .with("pool_steals", m.pool.map_or(0, |p| p.steals))
+        .with("pool_idle_secs", m.pool.map_or(0.0, |p| p.idle.as_secs_f64()))
 }
 
 fn git_sha() -> String {
@@ -231,12 +260,17 @@ fn machine_json() -> Value {
         .with("num_cpus", cpus)
 }
 
-fn run_suite(quick: bool, out: Option<String>, kernel: Option<KernelKind>) -> ExitCode {
+fn run_suite(
+    quick: bool,
+    out: Option<String>,
+    kernel: Option<KernelKind>,
+    threads: Option<usize>,
+) -> ExitCode {
     let suite = if quick { "smoke" } else { "full" };
     let reps = if quick { 5 } else { 9 };
     eprintln!("bench_runner: suite={suite} reps={reps}");
 
-    let cases = suite_cases(kernel);
+    let cases = suite_cases(kernel, threads);
     let mut measured = Vec::new();
     for case in &cases {
         eprint!("  {} (n={}) ... ", case.name, case.n);
@@ -363,7 +397,7 @@ fn run_compare(args: &[String]) -> ExitCode {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("bench_runner: {msg}");
     eprintln!(
-        "usage: bench_runner [--quick] [--out PATH] [--kernel naive|blocked|micro|packed|auto]\n       \
+        "usage: bench_runner [--quick] [--out PATH] [--kernel naive|blocked|micro|packed|auto] [--threads N]\n       \
          bench_runner compare OLD NEW [--threshold 0.25] [--metric gflops|score]"
     );
     ExitCode::from(2)
@@ -377,6 +411,7 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut out = None;
     let mut kernel = None;
+    let mut threads = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -390,8 +425,12 @@ fn main() -> ExitCode {
                 Some(Err(e)) => return usage(&e.to_string()),
                 None => return usage("--kernel needs a name"),
             },
+            "--threads" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(t) if t > 0 => threads = Some(t),
+                _ => return usage("--threads needs a positive worker count"),
+            },
             other => return usage(&format!("unknown option {other}")),
         }
     }
-    run_suite(quick, out, kernel)
+    run_suite(quick, out, kernel, threads)
 }

@@ -108,6 +108,12 @@ pub struct ModgemmConfig {
     /// Evaluate the seven products of the top `parallel_depth` recursion
     /// levels on separate threads (`0` = serial, the paper's setting).
     pub parallel_depth: usize,
+    /// Worker count for the work-stealing pool (calling thread included).
+    /// `0` (default) resolves via the `MODGEMM_THREADS` environment
+    /// variable, falling back to `std::thread::available_parallelism`
+    /// (see [`crate::pool::resolve_threads`]). Takes effect only when
+    /// `parallel_depth > 0`; a resolved count of 1 runs serially.
+    pub threads: usize,
     /// Use multi-threaded Morton conversion.
     pub parallel_convert: bool,
     /// Cap on the Strassen workspace; recursion depth degrades to fit.
@@ -132,6 +138,7 @@ impl Default for ModgemmConfig {
             variant: crate::schedule::Variant::Winograd,
             strassen_min: 0,
             parallel_depth: 0,
+            threads: 0,
             parallel_convert: false,
             memory_budget: MemoryBudget::Unlimited,
             non_finite: NonFinitePolicy::Propagate,
@@ -209,6 +216,7 @@ mod tests {
         assert_eq!(c.truncation, Truncation::MinPadding(TileRange::PAPER));
         assert_eq!(c.strassen_min, 0);
         assert_eq!(c.parallel_depth, 0);
+        assert_eq!(c.threads, 0); // 0 = auto (MODGEMM_THREADS / CPU count)
     }
 
     #[test]

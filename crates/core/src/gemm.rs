@@ -28,8 +28,11 @@ use crate::config::ModgemmConfig;
 use crate::error::try_grow;
 use crate::exec::{budget_capped_policy, strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
 use crate::metrics::{MetricsSink, NoopSink};
-use crate::parallel::{parallel_slab_len, strassen_mul_parallel};
+use crate::parallel::{
+    effective_par_depth, parallel_slab_len, try_strassen_mul_parallel_in_threads,
+};
 use crate::plan::GemmPlan;
+use crate::pool::resolve_threads;
 
 pub use crate::error::GemmError;
 
@@ -209,6 +212,10 @@ pub struct GemmContext<S> {
     pub(crate) b_buf: Vec<S>,
     pub(crate) c_buf: Vec<S>,
     pub(crate) ws: Vec<S>,
+    /// Work-stealing pool scratch (dependency counters, worker queues,
+    /// metric shards), reset in place per pooled execution so a warm
+    /// context keeps the hot path allocation-free.
+    pub(crate) pool: crate::pool::PoolScratch,
 }
 
 /// Buffer sizes (`a`, `b`, `c`, workspace, in elements) an `m × k × n`
@@ -226,10 +233,14 @@ fn buffer_needs<S: Scalar>(
     cfg.plan(m, k, n).map(|plan| {
         let layouts = layouts_of(&plan);
         let policy = capped_policy::<S>(layouts, cfg);
-        let ws = if cfg.parallel_depth > 0 {
-            parallel_slab_len(layouts, policy, cfg.parallel_depth)
-        } else {
-            workspace_len(layouts, policy)
+        // Mirror plan arena sizing exactly: the pooled slab when the DAG
+        // executor will run (budget-capped depth), the serial arena
+        // otherwise — and never less than the serial arena, which the
+        // degradation path reuses.
+        let serial = workspace_len(layouts, policy);
+        let ws = match effective_par_depth::<S>(layouts, policy, cfg) {
+            Some(depth) => serial.max(parallel_slab_len(layouts, policy, depth)),
+            None => serial,
         };
         (layouts.a.len(), layouts.b.len(), layouts.c.len(), ws)
     })
@@ -238,7 +249,7 @@ fn buffer_needs<S: Scalar>(
 impl<S: Scalar> GemmContext<S> {
     /// An empty context (buffers grow on first use).
     pub fn new() -> Self {
-        Self { a_buf: Vec::new(), b_buf: Vec::new(), c_buf: Vec::new(), ws: Vec::new() }
+        Self::default()
     }
 
     /// Pre-sizes the context for an `m × k × n` problem under `cfg`
@@ -460,11 +471,26 @@ pub(crate) fn run_core<S: Scalar>(
     cfg: &ModgemmConfig,
 ) {
     let policy = capped_policy::<S>(layouts, cfg);
-    if cfg.parallel_depth > 0 {
-        strassen_mul_parallel(a, b, c, layouts, policy, cfg.parallel_depth);
-    } else {
-        let mut ws = vec![S::ZERO; workspace_len(layouts, policy)];
-        strassen_mul(a, b, c, layouts, &mut ws, policy);
+    match effective_par_depth::<S>(layouts, policy, cfg) {
+        Some(depth) => {
+            let mut slab = vec![S::ZERO; parallel_slab_len(layouts, policy, depth)];
+            if let Err(e) = try_strassen_mul_parallel_in_threads(
+                a,
+                b,
+                c,
+                layouts,
+                policy,
+                depth,
+                resolve_threads(cfg.threads),
+                &mut slab,
+            ) {
+                panic!("{e}");
+            }
+        }
+        None => {
+            let mut ws = vec![S::ZERO; workspace_len(layouts, policy)];
+            strassen_mul(a, b, c, layouts, &mut ws, policy);
+        }
     }
 }
 

@@ -43,6 +43,7 @@ pub mod gemm;
 pub mod metrics;
 pub mod parallel;
 pub mod plan;
+pub mod pool;
 pub mod rect;
 pub mod schedule;
 pub mod verify;
@@ -57,12 +58,16 @@ pub use gemm::{
     layouts_of, modgemm, modgemm_premorton, modgemm_timed, modgemm_with_ctx, try_modgemm,
     try_modgemm_with_ctx, try_modgemm_with_metrics, GemmBreakdown, GemmContext, MortonMatrix,
 };
-pub use metrics::{CacheTotals, CollectingSink, ExecMetrics, MetricsSink, NoopSink, PlanFacts};
+pub use metrics::{
+    CacheTotals, CollectingSink, ExecMetrics, MetricsSink, NoopSink, PlanFacts, PoolStats,
+};
 pub use parallel::{
     parallel_slab_len, strassen_mul_parallel, try_strassen_mul_parallel,
-    try_strassen_mul_parallel_in, try_strassen_mul_parallel_with_sink,
+    try_strassen_mul_parallel_in, try_strassen_mul_parallel_in_threads,
+    try_strassen_mul_parallel_with_sink,
 };
 pub use plan::{execute, plan, GemmPlan, LevelPlan};
+pub use pool::{resolve_threads, ThreadPool, MODGEMM_THREADS_ENV};
 pub use rect::{classify, Shape};
 pub use schedule::Variant;
 pub use verify::{verify_gemm, verify_product};

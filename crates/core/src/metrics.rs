@@ -67,6 +67,20 @@ impl CacheTotals {
     }
 }
 
+/// Counters from one work-stealing pool run, merged from the per-worker
+/// metric shards at the join (see [`crate::pool`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers the run was scheduled across (calling thread included).
+    pub workers: usize,
+    /// DAG tasks executed, summed over workers.
+    pub tasks_executed: u64,
+    /// Tasks a worker popped from *another* worker's queue.
+    pub steals: u64,
+    /// Total time workers spent parked waiting for ready tasks.
+    pub idle: Duration,
+}
+
 /// The event vocabulary every instrumented executor reports through.
 ///
 /// All methods have empty default bodies, so a sink implements only what
@@ -147,6 +161,13 @@ pub trait MetricsSink {
     fn record_bytes_packed(&mut self, bytes: u64) {
         let _ = bytes;
     }
+
+    /// Work-stealing pool counters of one parallel execution (merged from
+    /// the per-worker shards at the join). Serial executions record
+    /// nothing here.
+    fn record_pool(&mut self, stats: PoolStats) {
+        let _ = stats;
+    }
 }
 
 /// The zero-cost default sink: ignores everything, and its
@@ -213,6 +234,10 @@ pub struct ExecMetrics {
     /// Modeled bytes copied into packing buffers, summed across
     /// invocations ([`crate::counts::packed_bytes`]).
     pub bytes_packed: u64,
+    /// Work-stealing pool counters, present only when an execution ran on
+    /// the pool. Counters accumulate across runs; `workers` keeps the
+    /// maximum.
+    pub pool: Option<PoolStats>,
 }
 
 impl ExecMetrics {
@@ -365,6 +390,14 @@ impl MetricsSink for CollectingSink {
     fn record_bytes_packed(&mut self, bytes: u64) {
         self.metrics.bytes_packed += bytes;
     }
+
+    fn record_pool(&mut self, stats: PoolStats) {
+        let p = self.metrics.pool.get_or_insert(PoolStats::default());
+        p.workers = p.workers.max(stats.workers);
+        p.tasks_executed += stats.tasks_executed;
+        p.steals += stats.steals;
+        p.idle += stats.idle;
+    }
 }
 
 #[cfg(test)]
@@ -409,6 +442,18 @@ mod tests {
         sink.record_kernel(KernelKind::Packed); // last wins
         sink.record_bytes_packed(1000);
         sink.record_bytes_packed(24); // accumulates
+        sink.record_pool(PoolStats {
+            workers: 4,
+            tasks_executed: 10,
+            steals: 2,
+            idle: Duration::from_millis(3),
+        });
+        sink.record_pool(PoolStats {
+            workers: 2, // workers keeps the max, counters accumulate
+            tasks_executed: 5,
+            steals: 1,
+            idle: Duration::from_millis(1),
+        });
 
         let m = sink.into_metrics();
         assert_eq!(m.problem, Some((10, 20, 30)));
@@ -434,6 +479,11 @@ mod tests {
         assert_eq!(m.effective_flops(), 2 * 10 * 20 * 30);
         assert_eq!(m.kernel_selected, Some(KernelKind::Packed));
         assert_eq!(m.bytes_packed, 1024);
+        let pool = m.pool.unwrap();
+        assert_eq!(pool.workers, 4);
+        assert_eq!(pool.tasks_executed, 15);
+        assert_eq!(pool.steals, 3);
+        assert_eq!(pool.idle, Duration::from_millis(4));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Parallel evaluation of the seven Winograd products.
+//! Parallel evaluation of the Strassen-Winograd recursion on the
+//! persistent work-stealing pool.
 //!
 //! The paper's code is sequential; parallelism is the natural extension
 //! its future-work section gestures at. The seven products of one
@@ -6,35 +7,46 @@
 //! destination, so the parallel executor trades the low-memory in-place
 //! schedule for explicit product buffers:
 //!
-//! * `S1..S4` and `T1..T4` are computed up front into eight temporaries,
-//! * the seven products are spawned as scoped threads (four of them still
+//! * `S1..S4` and `T1..T4` are computed into eight temporaries,
+//! * the seven products run as independent tasks (four of them still
 //!   write the disjoint `C` quadrants directly; `P1`, `P2`, `P5` get
 //!   temporary buffers),
-//! * the `U`-combinations run after the join, identically to the serial
-//!   schedule's suffix.
+//! * the `U`-combinations run once all seven products of the node are
+//!   done, identically to the serial schedule's suffix.
 //!
-//! All of those buffers — the per-node temporaries *and* the per-worker
-//! serial workspaces at the handover depth — are carved from **one
-//! contiguous slab** whose size [`parallel_slab_len`] computes in closed
-//! form at plan time. [`try_strassen_mul_parallel_in`] runs on a
-//! caller-provided slab (the [`crate::gemm::GemmContext`] workspace, via a
-//! [`crate::plan::GemmPlan`]) and performs no allocation at all;
-//! [`try_strassen_mul_parallel`] is the one-shot form that allocates the
-//! slab itself — a single allocation where the old per-node `vec!`
-//! temporaries made `11 + 7·(child)` of them.
+//! Historically each Winograd node spawned seven scoped OS threads and
+//! everything below the top level ran serially. The executor now lowers
+//! the whole `par_depth`-deep recursion into a dependency-counted task
+//! DAG ([`crate::plan`]'s lowering) and schedules it on the persistent
+//! [`crate::pool::ThreadPool`]: S/T pre-addition passes, every product
+//! at every parallel level, and the post-addition merges all become
+//! stealable tasks, so the pool overlaps sibling subtrees across levels
+//! instead of capping out at seven-way parallelism — and no OS thread is
+//! ever spawned past the first call at a given worker count.
+//!
+//! All buffers — the per-node temporaries *and* the per-subtree serial
+//! workspaces at the handover depth — are carved from **one contiguous
+//! slab** whose size [`parallel_slab_len`] computes in closed form at
+//! plan time. [`try_strassen_mul_parallel_in`] runs on a caller-provided
+//! slab (the [`crate::gemm::GemmContext`] workspace, via a
+//! [`crate::plan::GemmPlan`]); [`try_strassen_mul_parallel`] is the
+//! one-shot form that allocates the slab itself — a single allocation
+//! where the old per-node `vec!` temporaries made `11 + 7·(child)` of
+//! them.
 //!
 //! Results are **bitwise identical** to the serial executor: the same
 //! products are computed by the same kernels in the same associativity;
 //! only the evaluation order across independent buffers changes.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-
-use modgemm_mat::addsub::{add_assign_flat, add_flat, sub_flat};
 use modgemm_mat::Scalar;
 
-use crate::error::{panic_message, try_zeroed_vec, GemmError};
-use crate::exec::{check_buffers, try_strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
-use crate::metrics::{MetricsSink, PlanFacts};
+use crate::config::ModgemmConfig;
+use crate::error::{try_zeroed_vec, GemmError};
+use crate::exec::{check_buffers, workspace_len, ExecPolicy, NodeLayouts};
+use crate::metrics::{MetricsSink, NoopSink, PlanFacts};
+use crate::plan::{fill_levels, lower_dag, LevelPlan, MAX_LEVELS};
+use crate::pool::{resolve_threads, run_graph, PoolScratch};
+use crate::schedule::Variant;
 
 /// Closed-form size (in elements) of the slab the parallel executor
 /// carves for a node of `layouts` under `policy` with `par_depth`
@@ -54,17 +66,49 @@ pub fn parallel_slab_len(layouts: NodeLayouts, policy: ExecPolicy, par_depth: us
     per_node + 7 * parallel_slab_len(layouts.child(), policy, par_depth - 1)
 }
 
+/// The parallel DAG depth a plan will actually execute with under `cfg`
+/// — `None` means "run serially".
+///
+/// This is where the memory budget meets the parallel slab: the serial
+/// recursion depth was already budget-capped by
+/// [`crate::exec::budget_capped_policy`] against [`workspace_len`], but
+/// parallel execution multiplies workspace across concurrent subtrees
+/// ([`parallel_slab_len`]). A tight budget therefore caps the *DAG
+/// depth* (worker parallelism) first, stepping `par_depth` down until
+/// the slab fits, and only falls back to fully-serial execution — never
+/// to a shallower Strassen recursion — when even one parallel level is
+/// too big.
+pub(crate) fn effective_par_depth<S: Scalar>(
+    layouts: NodeLayouts,
+    policy: ExecPolicy,
+    cfg: &ModgemmConfig,
+) -> Option<usize> {
+    if cfg.parallel_depth == 0 || resolve_threads(cfg.threads) < 2 {
+        return None;
+    }
+    if policy.variant != Variant::Winograd || !layouts.uses_strassen(policy) {
+        return None;
+    }
+    let budget = cfg.memory_budget.max_elements(core::mem::size_of::<S>());
+    let mut depth = cfg.parallel_depth.min(crate::counts::strassen_levels(layouts, policy));
+    while depth > 0 && parallel_slab_len(layouts, policy, depth) > budget {
+        depth -= 1;
+    }
+    (depth > 0).then_some(depth)
+}
+
 /// Fallible core of [`strassen_mul_parallel`]: `C = A·B` with the top
-/// `par_depth` Strassen levels evaluated in parallel.
+/// `par_depth` Strassen levels lowered to a task DAG and executed on the
+/// work-stealing pool at the default worker count
+/// ([`crate::pool::resolve_threads`]`(0)`).
 ///
 /// One-shot form: allocates the [`parallel_slab_len`] slab itself (a
 /// single allocation) and delegates to [`try_strassen_mul_parallel_in`].
 ///
-/// A panicking worker thread is contained with `catch_unwind` and
-/// surfaced as [`GemmError::WorkerPanic`] after all siblings have joined,
-/// so one poisoned product can never abort the caller or leak a detached
-/// thread. On any error `C` may hold partial products and must be treated
-/// as garbage.
+/// A panicking worker task is contained with `catch_unwind` and surfaced
+/// as [`GemmError::WorkerPanic`] after the join, so one poisoned product
+/// can never abort the caller or leak a detached thread. On any error
+/// `C` may hold partial products and must be treated as garbage.
 pub fn try_strassen_mul_parallel<S: Scalar>(
     a: &[S],
     b: &[S],
@@ -92,137 +136,96 @@ pub fn try_strassen_mul_parallel_in<S: Scalar>(
     par_depth: usize,
     slab: &mut [S],
 ) -> Result<(), GemmError> {
-    check_buffers(a.len(), b.len(), c.len(), layouts)?;
-    let needed = parallel_slab_len(layouts, policy, par_depth);
-    if slab.len() < needed {
-        return Err(GemmError::WorkspaceTooSmall { needed, got: slab.len() });
-    }
-    par_node(a, b, c, layouts, policy, par_depth, &mut slab[..needed])
+    try_strassen_mul_parallel_in_threads(
+        a,
+        b,
+        c,
+        layouts,
+        policy,
+        par_depth,
+        resolve_threads(0),
+        slab,
+    )
 }
 
-/// The recursive worker: `slab` is exactly this subtree's
-/// [`parallel_slab_len`] slice.
+/// [`try_strassen_mul_parallel_in`] with an explicit worker count
+/// (`threads` CPUs total: the calling thread plus `threads − 1` pool
+/// threads). `threads < 2` or `par_depth == 0` runs the serial executor
+/// on the same slab — bitwise-identically.
 #[allow(clippy::too_many_arguments)]
-fn par_node<S: Scalar>(
+pub fn try_strassen_mul_parallel_in_threads<S: Scalar>(
     a: &[S],
     b: &[S],
     c: &mut [S],
     layouts: NodeLayouts,
     policy: ExecPolicy,
     par_depth: usize,
+    threads: usize,
     slab: &mut [S],
 ) -> Result<(), GemmError> {
-    debug_assert_eq!(slab.len(), parallel_slab_len(layouts, policy, par_depth));
+    run_parallel(a, b, c, layouts, policy, par_depth, threads, slab, &mut NoopSink)
+}
 
-    // The parallel product placement below is derived from the Winograd
-    // recurrences; the original-Strassen variant runs serially.
+/// Shared implementation of the one-shot pooled entry points: validates
+/// buffers, compiles the level list and DAG per call (the plan/execute
+/// split amortizes this; the one-shot forms pay it), and runs the pool.
+#[allow(clippy::too_many_arguments)]
+fn run_parallel<S: Scalar, K: MetricsSink>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    policy: ExecPolicy,
+    par_depth: usize,
+    threads: usize,
+    slab: &mut [S],
+    sink: &mut K,
+) -> Result<(), GemmError> {
+    check_buffers(a.len(), b.len(), c.len(), layouts)?;
+    let needed = parallel_slab_len(layouts, policy, par_depth);
+    if slab.len() < needed {
+        return Err(GemmError::WorkspaceTooSmall { needed, got: slab.len() });
+    }
+    let mut levels_buf = [LevelPlan::EMPTY; MAX_LEVELS];
+    let count = fill_levels(&mut levels_buf, layouts, policy);
+    let levels = &levels_buf[..count];
     if par_depth == 0
+        || threads < 2
         || !layouts.uses_strassen(policy)
-        || policy.variant != crate::schedule::Variant::Winograd
+        || policy.variant != Variant::Winograd
     {
-        return try_strassen_mul(a, b, c, layouts, slab, policy);
+        // Serial degradation on the same slab (`parallel_slab_len` ≥
+        // `workspace_len` always). Runs the flattened schedule directly so
+        // the sink sees level times without re-recording plan facts.
+        let serial = workspace_len(layouts, policy);
+        crate::plan::exec_levels(a, b, c, layouts, levels, 0, &mut slab[..serial], policy, sink);
+        return Ok(());
     }
-
-    let ch = layouts.child();
-    let (qa, qb, qc) =
-        (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
-    let (a11, a12, a21, a22) = (&a[..qa], &a[qa..2 * qa], &a[2 * qa..3 * qa], &a[3 * qa..]);
-    let (b11, b12, b21, b22) = (&b[..qb], &b[qb..2 * qb], &b[2 * qb..3 * qb], &b[3 * qb..]);
-
-    // Carve this node's temporaries and the seven child slabs from the
-    // front of the slab. `split_at_mut` chains (not `chunks_mut`) because
-    // a fully-conventional child slab is legitimately zero-length.
-    let child_len = parallel_slab_len(ch, policy, par_depth - 1);
-    let (s1, rest) = slab.split_at_mut(qa);
-    let (s2, rest) = rest.split_at_mut(qa);
-    let (s3, rest) = rest.split_at_mut(qa);
-    let (s4, rest) = rest.split_at_mut(qa);
-    let (t1, rest) = rest.split_at_mut(qb);
-    let (t2, rest) = rest.split_at_mut(qb);
-    let (t3, rest) = rest.split_at_mut(qb);
-    let (t4, rest) = rest.split_at_mut(qb);
-    let (p1, rest) = rest.split_at_mut(qc);
-    let (p2, rest) = rest.split_at_mut(qc);
-    let (p5, rest) = rest.split_at_mut(qc);
-    let (w1, rest) = rest.split_at_mut(child_len);
-    let (w2, rest) = rest.split_at_mut(child_len);
-    let (w3, rest) = rest.split_at_mut(child_len);
-    let (w4, rest) = rest.split_at_mut(child_len);
-    let (w5, rest) = rest.split_at_mut(child_len);
-    let (w6, w7) = rest.split_at_mut(child_len);
-
-    // S/T operand temporaries (computed serially; they are cheap,
-    // memory-bound flat passes that fully overwrite their slots).
-    add_flat(s1, a21, a22); // S1 = A21 + A22
-    sub_flat(s2, s1, a11); // S2 = S1 − A11
-    sub_flat(s3, a11, a21); // S3 = A11 − A21
-    sub_flat(s4, a12, s2); // S4 = A12 − S2
-
-    sub_flat(t1, b12, b11); // T1 = B12 − B11
-    sub_flat(t2, b22, t1); // T2 = B22 − T1
-    sub_flat(t3, b22, b12); // T3 = B22 − B12
-    sub_flat(t4, b21, t2); // T4 = B21 − T2
-
-    let (c11, rest) = c.split_at_mut(qc);
-    let (c12, rest) = rest.split_at_mut(qc);
-    let (c21, c22) = rest.split_at_mut(qc);
-
-    let mut first_err: Option<GemmError> = None;
-    {
-        // Each task multiplies into its own disjoint destination with its
-        // own slab slice, wrapped in catch_unwind so a panic is contained
-        // to its product.
-        let run = |av: &[S], bv: &[S], cv: &mut [S], wv: &mut [S]| {
-            catch_unwind(AssertUnwindSafe(|| par_node(av, bv, cv, ch, policy, par_depth - 1, wv)))
-        };
-        let mut fold = |outcome: std::thread::Result<Result<(), GemmError>>| match outcome {
-            Ok(Ok(())) => {}
-            Ok(Err(e)) => {
-                if first_err.is_none() {
-                    first_err = Some(e);
-                }
-            }
-            Err(payload) => {
-                if first_err.is_none() {
-                    first_err =
-                        Some(GemmError::WorkerPanic { message: panic_message(payload.as_ref()) });
-                }
-            }
-        };
-        std::thread::scope(|scope| {
-            let handles = [
-                scope.spawn(|| run(a11, b11, &mut *p1, &mut *w1)), // P1
-                scope.spawn(|| run(a12, b21, &mut *p2, &mut *w2)), // P2
-                scope.spawn(|| run(&*s1, &*t1, &mut *c22, &mut *w3)), // P3 → C22
-                scope.spawn(|| run(&*s2, &*t2, &mut *c11, &mut *w4)), // P4 → C11
-                scope.spawn(|| run(&*s3, &*t3, &mut *p5, &mut *w5)), // P5
-                scope.spawn(|| run(&*s4, b22, &mut *c12, &mut *w6)), // P6 → C12
-            ];
-            let inline = run(a22, t4, &mut *c21, &mut *w7); // P7 → C21 (on this thread)
-            for h in handles {
-                // The closure catches its own unwinds, so join itself can
-                // only fail on a non-unwinding abort; flatten both paths.
-                match h.join() {
-                    Ok(outcome) => fold(outcome),
-                    Err(payload) => fold(Err(payload)),
-                }
-            }
-            fold(inline);
-        });
+    let depth = par_depth.min(crate::counts::strassen_levels(layouts, policy)).min(count);
+    let graph = lower_dag(layouts, policy, depth);
+    let mut level_layouts = [layouts; MAX_LEVELS + 1];
+    let mut l = layouts;
+    for (i, slot) in level_layouts.iter_mut().enumerate().take(depth + 1) {
+        *slot = l;
+        if i < depth {
+            // Never step past the leaf (depth can reach it).
+            l = l.child();
+        }
     }
-    if let Some(e) = first_err {
-        return Err(e);
-    }
-
-    // The serial schedule's combination suffix.
-    add_assign_flat(c11, p1); // U2 = P1 + P4
-    add_assign_flat(c12, c22); // P6 + P3
-    add_assign_flat(c12, c11); // U7 = U2 + P3 + P6  → C12 done
-    add_assign_flat(c11, p5); // U3 = U2 + P5
-    add_assign_flat(c21, c11); // U4 = U3 + P7       → C21 done
-    add_assign_flat(c22, c11); // U5 = U3 + P3       → C22 done
-    add_flat(c11, p1, p2); // U1 = P1 + P2           → C11 done
-    Ok(())
+    let mut scratch = PoolScratch::default();
+    run_graph(
+        &graph,
+        levels,
+        &level_layouts[..depth + 1],
+        policy,
+        threads,
+        a,
+        b,
+        c,
+        &mut slab[..graph.slab_len],
+        &mut scratch,
+        sink,
+    )
 }
 
 /// Modeled temporary allocations of the one-shot parallel executor
@@ -248,13 +251,15 @@ pub fn parallel_temp_allocs(
 /// [`try_strassen_mul_parallel`] reporting through a [`MetricsSink`]
 /// (see [`crate::metrics`]).
 ///
-/// The parallel executor cannot share one `&mut` sink across its scoped
-/// worker threads, so instrumentation is coarser than the serial
-/// executor's: plan facts and the slab allocation are *modeled* (exactly
-/// — the allocation site is deterministic), the whole call's wall time is
-/// attributed to level 0, and the slab size is recorded as the workspace
-/// reservation (it is what the call actually allocates beyond the
-/// operand buffers).
+/// Instrumentation parity with the serial executor: plan facts and the
+/// slab allocation are modeled (exactly — the allocation site is
+/// deterministic), while per-level wall times come from the per-worker
+/// metric shards the pool merges at the join (each worker books its
+/// tasks' exclusive times against their recursion level), alongside the
+/// pool counters (`ExecMetrics::pool`). Serial and pooled runs of the
+/// same problem therefore report identical plan/flop facts and the same
+/// per-level time vocabulary — the old "coarser than serial" caveat is
+/// gone.
 pub fn try_strassen_mul_parallel_with_sink<S: Scalar, K: MetricsSink>(
     a: &[S],
     b: &[S],
@@ -267,9 +272,8 @@ pub fn try_strassen_mul_parallel_with_sink<S: Scalar, K: MetricsSink>(
     if !K::ENABLED {
         return try_strassen_mul_parallel(a, b, c, layouts, policy, par_depth);
     }
-    let t0 = std::time::Instant::now();
-    try_strassen_mul_parallel(a, b, c, layouts, policy, par_depth)?;
-    let elapsed = t0.elapsed();
+    check_buffers(a.len(), b.len(), c.len(), layouts)?;
+    let mut slab = try_zeroed_vec::<S>(parallel_slab_len(layouts, policy, par_depth))?;
     let (m, k, n) = layouts.dims();
     sink.record_plan(PlanFacts {
         padded: (m, k, n),
@@ -283,7 +287,6 @@ pub fn try_strassen_mul_parallel_with_sink<S: Scalar, K: MetricsSink>(
         sink.record_temp_allocs(count, elems, elems * core::mem::size_of::<S>() as u64);
     }
     sink.record_workspace(elems as usize, elems as usize * core::mem::size_of::<S>());
-    sink.record_level_time(0, elapsed);
     let (tm, tk, tn) = (layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols);
     sink.record_kernel(policy.kernel.resolve(tm, tk, tn));
     sink.record_bytes_packed(crate::counts::packed_bytes(
@@ -291,12 +294,12 @@ pub fn try_strassen_mul_parallel_with_sink<S: Scalar, K: MetricsSink>(
         policy,
         core::mem::size_of::<S>(),
     ));
-    Ok(())
+    run_parallel(a, b, c, layouts, policy, par_depth, resolve_threads(0), &mut slab, sink)
 }
 
-/// `C = A·B` with the top `par_depth` Strassen levels evaluated in
-/// parallel (7 threads per level) and everything below running the serial
-/// in-place executor.
+/// `C = A·B` with the top `par_depth` Strassen levels scheduled as a
+/// task DAG on the work-stealing pool and everything below running the
+/// serial in-place executor.
 ///
 /// # Panics
 /// On the conditions [`try_strassen_mul_parallel`] reports as errors
@@ -345,6 +348,26 @@ mod tests {
 
         // Same products, same kernels, same associativity ⇒ bitwise equal.
         assert_eq!(c_par, c_ser, "n = {n} par_depth = {par_depth}");
+
+        // The pooled executor at several explicit worker counts must also
+        // be bitwise identical, whatever the machine's own parallelism.
+        for threads in [2, 3, 7] {
+            let mut c_pool = vec![f64::NAN; l.len()];
+            let mut slab =
+                vec![f64::NAN; parallel_slab_len(layouts, ExecPolicy::default(), par_depth)];
+            try_strassen_mul_parallel_in_threads(
+                &ab,
+                &bb,
+                &mut c_pool,
+                layouts,
+                ExecPolicy::default(),
+                par_depth,
+                threads,
+                &mut slab,
+            )
+            .unwrap();
+            assert_eq!(c_pool, c_ser, "n = {n} par_depth = {par_depth} threads = {threads}");
+        }
 
         let mut out = Matrix::zeros(n, n);
         from_morton(&c_par, &l, out.view_mut());
@@ -503,5 +526,22 @@ mod tests {
         let mut out = Matrix::zeros(n, n);
         from_morton(&cb, &l, out.view_mut());
         assert_eq!(out, naive_product(&a, &b));
+
+        // Pooled DAG execution stays exact (and bitwise serial-equal) at
+        // a worker count well above one level's task count.
+        let mut c_pool = vec![0; l.len()];
+        let mut slab = vec![0; parallel_slab_len(layouts, ExecPolicy::default(), 2)];
+        try_strassen_mul_parallel_in_threads(
+            &ab,
+            &bb,
+            &mut c_pool,
+            layouts,
+            ExecPolicy::default(),
+            2,
+            16,
+            &mut slab,
+        )
+        .unwrap();
+        assert_eq!(c_pool, cb);
     }
 }

@@ -33,7 +33,7 @@ use modgemm_mat::naive::naive_gemm;
 use modgemm_mat::view::{MatMut, MatRef, Op};
 use modgemm_mat::{Matrix, Scalar};
 use modgemm_morton::convert::{from_morton, from_morton_axpby, to_morton};
-use modgemm_morton::par_convert::{par_from_morton, par_to_morton};
+use modgemm_morton::par_convert::{par_from_morton_with, par_to_morton_with};
 
 use crate::config::{ModgemmConfig, NonFinitePolicy, VerifyMode};
 use crate::error::{try_grow, try_zeroed_vec, GemmError, Operand};
@@ -44,7 +44,8 @@ use crate::gemm::{
     capped_policy, has_non_finite, layouts_of, scale_in_place, GemmBreakdown, GemmContext,
 };
 use crate::metrics::{MetricsSink, NoopSink, PlanFacts};
-use crate::parallel::parallel_slab_len;
+use crate::parallel::{effective_par_depth, parallel_slab_len};
+use crate::pool::{PoolTiles, ThreadPool};
 use crate::rect;
 use crate::schedule::{ASlot, AddKind, BSlot, Step};
 use crate::verify::verify_gemm;
@@ -321,6 +322,236 @@ pub(crate) fn exec_levels<S: Scalar, K: MetricsSink>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Task-DAG lowering (the compile side of the work-stealing executor)
+// ---------------------------------------------------------------------------
+
+/// Where a task operand or destination region lives: in the parallel
+/// slab (`in_slab`) or at `off` in the corresponding Morton-packed
+/// operand buffer (A regions resolve against the packed A buffer, B
+/// against B, C against C).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Place {
+    /// `true`: `off` indexes the slab; `false`: the operand's buffer.
+    pub in_slab: bool,
+    /// Element offset of the region start.
+    pub off: usize,
+}
+
+/// The four task flavors of the lowered DAG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TaskKind {
+    /// `S1..S4` operand pre-additions of one Winograd node.
+    SPre,
+    /// `T1..T4` operand pre-additions of one Winograd node.
+    TPre,
+    /// The node's combination suffix (the `U` passes), gated on all
+    /// seven product completions.
+    Post,
+    /// A serial subtree at the handover depth: `exec_levels` on the
+    /// subtree's own slab share.
+    Leaf,
+}
+
+/// One dependency-counted task of the compiled DAG.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TaskDesc {
+    pub kind: TaskKind,
+    /// Index into [`TaskGraph::nodes`].
+    pub node: u32,
+    /// Tasks that must complete before this one may run (the refcount
+    /// the executor counts down).
+    pub dep_count: u32,
+    /// This task's dependents: `TaskGraph::dependents[dep_start..dep_start + dep_len]`.
+    pub dep_start: u32,
+    pub dep_len: u32,
+}
+
+/// One node of the parallel recursion: operand/destination regions plus
+/// this node's slab share.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct NodeDesc {
+    /// Recursion level (= DAG depth); indexes the per-level layouts.
+    pub level: u32,
+    pub a: Place,
+    pub b: Place,
+    pub c: Place,
+    /// Expanded nodes: start of the node's `S/T/P` temporaries (children
+    /// slabs follow). Leaves: start of the subtree's serial arena.
+    pub slab_off: usize,
+    /// Leaves: the serial arena length ([`workspace_len`] of the
+    /// subtree). Unused (0) for expanded nodes.
+    pub ws_len: usize,
+}
+
+/// A [`GemmPlan`]'s flattened schedule lowered into dependency-counted
+/// tasks spanning every parallel recursion level — the unit the
+/// work-stealing pool executes. Compiled once at plan time; execution
+/// only resets refcounts.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TaskGraph {
+    pub tasks: Vec<TaskDesc>,
+    pub nodes: Vec<NodeDesc>,
+    /// Flat dependents array, indexed via `TaskDesc::{dep_start,dep_len}`.
+    pub dependents: Vec<u32>,
+    /// Tasks with no dependencies, in deterministic (DFS) order.
+    pub roots: Vec<u32>,
+    /// Slab elements the graph's places span ([`parallel_slab_len`]).
+    pub slab_len: usize,
+}
+
+struct DagBuilder {
+    /// `(kind, node, dep_count)` per task; edges resolved in `finish`.
+    tasks: Vec<(TaskKind, u32, u32)>,
+    nodes: Vec<NodeDesc>,
+    /// `(task, dependent)` edges.
+    edges: Vec<(u32, u32)>,
+    policy: ExecPolicy,
+}
+
+impl DagBuilder {
+    fn task(&mut self, kind: TaskKind, node: u32, deps: &[Option<u32>]) -> u32 {
+        let id = self.tasks.len() as u32;
+        let mut count = 0;
+        for &dep in deps.iter().flatten() {
+            self.edges.push((dep, id));
+            count += 1;
+        }
+        self.tasks.push((kind, node, count));
+        id
+    }
+
+    /// Lowers the subtree at `layouts` with `rem` parallel levels left.
+    /// `a_ready`/`b_ready` gate the operand regions (None = ready at
+    /// submit, e.g. the packed root operands); returns the task whose
+    /// completion means the subtree's `c` region holds its product.
+    #[allow(clippy::too_many_arguments)]
+    fn build_node(
+        &mut self,
+        layouts: NodeLayouts,
+        level: u32,
+        rem: usize,
+        a: Place,
+        b: Place,
+        c: Place,
+        slab_off: usize,
+        a_ready: Option<u32>,
+        b_ready: Option<u32>,
+    ) -> u32 {
+        if rem == 0 || !layouts.uses_strassen(self.policy) {
+            let ws_len = workspace_len(layouts, self.policy);
+            let node = self.nodes.len() as u32;
+            self.nodes.push(NodeDesc { level, a, b, c, slab_off, ws_len });
+            return self.task(TaskKind::Leaf, node, &[a_ready, b_ready]);
+        }
+        let ch = layouts.child();
+        let (qa, qb, qc) =
+            (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
+        let node = self.nodes.len() as u32;
+        self.nodes.push(NodeDesc { level, a, b, c, slab_off, ws_len: 0 });
+        let spre = self.task(TaskKind::SPre, node, &[a_ready]);
+        let tpre = self.task(TaskKind::TPre, node, &[b_ready]);
+
+        // Slab carving, byte-identical to the closed-form
+        // [`parallel_slab_len`] model: s1..s4, t1..t4, p1/p2/p5, then the
+        // seven child slabs in product order.
+        let per_node = 4 * qa + 4 * qb + 3 * qc;
+        let child_len = parallel_slab_len(ch, self.policy, rem - 1);
+        let slab = |off: usize| Place { in_slab: true, off };
+        let sq = |i: usize| slab(slab_off + i * qa);
+        let tq = |i: usize| slab(slab_off + 4 * qa + i * qb);
+        let pq = |i: usize| slab(slab_off + 4 * qa + 4 * qb + i * qc);
+        let aq = |i: usize| Place { in_slab: a.in_slab, off: a.off + i * qa };
+        let bq = |i: usize| Place { in_slab: b.in_slab, off: b.off + i * qb };
+        let cq = |i: usize| Place { in_slab: c.in_slab, off: c.off + i * qc };
+        let wj = |j: usize| slab_off + per_node + j * child_len;
+
+        // The seven products with the same placement as the scoped-thread
+        // executor had (P1/P2/P5 into slab temporaries, the rest straight
+        // into the C quadrants), each gated on exactly the tasks that
+        // write its operands.
+        let children = [
+            (aq(0), bq(0), pq(0), a_ready, b_ready),       // P1 = A11·B11
+            (aq(1), bq(2), pq(1), a_ready, b_ready),       // P2 = A12·B21
+            (sq(0), tq(0), cq(3), Some(spre), Some(tpre)), // P3 = S1·T1 → C22
+            (sq(1), tq(1), cq(0), Some(spre), Some(tpre)), // P4 = S2·T2 → C11
+            (sq(2), tq(2), pq(2), Some(spre), Some(tpre)), // P5 = S3·T3
+            (sq(3), bq(3), cq(1), Some(spre), b_ready),    // P6 = S4·B22 → C12
+            (aq(3), tq(3), cq(2), a_ready, Some(tpre)),    // P7 = A22·T4 → C21
+        ];
+        let mut products = [None; 7];
+        for (j, (ca, cb, cc, ra, rb)) in children.into_iter().enumerate() {
+            products[j] = Some(self.build_node(ch, level + 1, rem - 1, ca, cb, cc, wj(j), ra, rb));
+        }
+        self.task(TaskKind::Post, node, &products)
+    }
+
+    fn finish(self) -> TaskGraph {
+        let n = self.tasks.len();
+        let mut dep_lens = vec![0u32; n];
+        for &(from, _) in &self.edges {
+            dep_lens[from as usize] += 1;
+        }
+        let mut starts = vec![0u32; n];
+        let mut acc = 0u32;
+        for (start, len) in starts.iter_mut().zip(&dep_lens) {
+            *start = acc;
+            acc += len;
+        }
+        let mut dependents = vec![0u32; self.edges.len()];
+        let mut cursors = starts.clone();
+        for &(from, to) in &self.edges {
+            let c = &mut cursors[from as usize];
+            dependents[*c as usize] = to;
+            *c += 1;
+        }
+        let tasks: Vec<TaskDesc> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, node, dep_count))| TaskDesc {
+                kind,
+                node,
+                dep_count,
+                dep_start: starts[i],
+                dep_len: dep_lens[i],
+            })
+            .collect();
+        let roots: Vec<u32> = tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.dep_count == 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        TaskGraph { tasks, nodes: self.nodes, dependents, roots, slab_len: 0 }
+    }
+}
+
+/// Lowers `depth` parallel Winograd levels of `layouts` under `policy`
+/// into a [`TaskGraph`] whose slab places match [`parallel_slab_len`]'s
+/// carving exactly.
+pub(crate) fn lower_dag(layouts: NodeLayouts, policy: ExecPolicy, depth: usize) -> TaskGraph {
+    let mut b = DagBuilder { tasks: Vec::new(), nodes: Vec::new(), edges: Vec::new(), policy };
+    let buffer = Place { in_slab: false, off: 0 };
+    b.build_node(layouts, 0, depth, buffer, buffer, buffer, 0, None, None);
+    let mut graph = b.finish();
+    graph.slab_len = parallel_slab_len(layouts, policy, depth);
+    graph
+}
+
+/// The parallel half of a [`TiledPlan`]: the effective DAG depth (the
+/// memory budget may cap it below `cfg.parallel_depth` — worker
+/// parallelism degrades before recursion depth does), the compiled task
+/// graph, and the slab it partitions.
+#[derive(Clone, Debug)]
+struct ParPlan {
+    graph: TaskGraph,
+    /// Slab elements ([`parallel_slab_len`] at the effective depth).
+    slab_len: usize,
+    /// Layouts per DAG level, indexed by [`NodeDesc::level`].
+    level_layouts: Vec<NodeLayouts>,
+}
+
 /// The tiled (non-split) execution strategy of a [`GemmPlan`]: the fixed
 /// layout tree, budget-capped policy, flattened level list, and the arena
 /// sizes the executors will carve.
@@ -331,9 +562,13 @@ struct TiledPlan {
     levels: Vec<LevelPlan>,
     /// Serial workspace arena, in elements ([`workspace_len`]).
     arena_len: usize,
-    /// Parallel workspace slab, in elements ([`parallel_slab_len`]);
-    /// `0` when the plan is serial.
-    slab_len: usize,
+    /// Resolved worker count ([`crate::pool::resolve_threads`] at plan
+    /// time) — drives both the compute DAG and pooled conversion.
+    threads: usize,
+    /// The compiled task DAG; `None` when the plan executes serially
+    /// (`parallel_depth == 0`, one thread, a non-Winograd schedule, or a
+    /// budget that only admits the serial arena).
+    par: Option<ParPlan>,
     facts: PlanFacts,
 }
 
@@ -392,11 +627,20 @@ impl<S: Scalar> GemmPlan<S> {
                 let count = fill_levels(&mut levels, layouts, policy);
                 levels.truncate(count);
                 let arena_len = workspace_len(layouts, policy);
-                let slab_len = if cfg.parallel_depth > 0 {
-                    parallel_slab_len(layouts, policy, cfg.parallel_depth)
-                } else {
-                    0
-                };
+                let threads = crate::pool::resolve_threads(cfg.threads);
+                let par = effective_par_depth::<S>(layouts, policy, cfg).map(|depth| {
+                    let graph = lower_dag(layouts, policy, depth);
+                    let mut level_layouts = Vec::with_capacity(depth + 1);
+                    let mut l = layouts;
+                    for i in 0..=depth {
+                        level_layouts.push(l);
+                        if i < depth {
+                            // Never step past the leaf (depth can reach it).
+                            l = l.child();
+                        }
+                    }
+                    ParPlan { slab_len: graph.slab_len, graph, level_layouts }
+                });
                 let (pm, pk, pn) = layouts.dims();
                 let facts = PlanFacts {
                     padded: (pm, pk, pn),
@@ -405,7 +649,7 @@ impl<S: Scalar> GemmPlan<S> {
                     flops: crate::counts::strassen_flops(layouts, policy),
                     conventional_flops: crate::counts::conventional_flops(pm, pk, pn),
                 };
-                TiledPlan { layouts, policy, levels, arena_len, slab_len, facts }
+                TiledPlan { layouts, policy, levels, arena_len, threads, par, facts }
             })
         };
         Ok(Self { m, k, n, cfg: *cfg, strategy, _marker: PhantomData })
@@ -433,9 +677,30 @@ impl<S: Scalar> GemmPlan<S> {
     /// `parallel_depth > 0`. Zero for split or degenerate plans.
     pub fn arena_len(&self) -> usize {
         match &self.strategy {
-            Some(tp) => tp.arena_len.max(tp.slab_len),
+            Some(tp) => tp.arena_len.max(tp.par.as_ref().map_or(0, |p| p.slab_len)),
             None => 0,
         }
+    }
+
+    /// Effective parallel recursion depth the compiled plan will execute
+    /// with — `0` when execution is serial. May be lower than the
+    /// configured [`crate::ModgemmConfig::parallel_depth`] when the
+    /// memory budget caps the parallel slab (worker parallelism degrades
+    /// before recursion depth does) or when only one thread is resolved.
+    pub fn parallel_depth(&self) -> usize {
+        self.strategy
+            .as_ref()
+            .and_then(|tp| tp.par.as_ref())
+            .map_or(0, |p| p.level_layouts.len().saturating_sub(1))
+    }
+
+    /// Worker count the plan resolved at compile time
+    /// ([`crate::pool::resolve_threads`] over
+    /// [`crate::ModgemmConfig::threads`]).
+    pub fn threads(&self) -> usize {
+        self.strategy
+            .as_ref()
+            .map_or_else(|| crate::pool::resolve_threads(self.cfg.threads), |tp| tp.threads)
     }
 
     /// Strassen levels the compiled recursion takes (zero for split,
@@ -654,15 +919,19 @@ impl<S: Scalar> GemmPlan<S> {
         sink: &mut K,
     ) -> Result<GemmBreakdown, GemmError> {
         let layouts = tp.layouts;
-        let ws_need = if cfg.parallel_depth > 0 { tp.slab_len } else { tp.arena_len };
+        let ws_need = tp.par.as_ref().map_or(tp.arena_len, |p| p.slab_len.max(tp.arena_len));
+        // Conversion tiling runs on the same pool as the compute DAG,
+        // under the same resolved thread count.
+        let pooled_convert = cfg.parallel_convert && tp.threads >= 2;
         let old_lens = [ctx.a_buf.len(), ctx.b_buf.len(), ctx.c_buf.len(), ctx.ws.len()];
 
         let t0 = Instant::now();
         let abuf = try_grow(&mut ctx.a_buf, layouts.a.len())?;
         let bbuf = try_grow(&mut ctx.b_buf, layouts.b.len())?;
-        if cfg.parallel_convert {
-            par_to_morton(a, op_a, &layouts.a, abuf);
-            par_to_morton(b, op_b, &layouts.b, bbuf);
+        if pooled_convert {
+            let tiles = PoolTiles(ThreadPool::global(tp.threads));
+            par_to_morton_with(&tiles, tp.threads, a, op_a, &layouts.a, abuf);
+            par_to_morton_with(&tiles, tp.threads, b, op_b, &layouts.b, bbuf);
         } else {
             to_morton(a, op_a, &layouts.a, abuf);
             to_morton(b, op_b, &layouts.b, bbuf);
@@ -684,19 +953,24 @@ impl<S: Scalar> GemmPlan<S> {
                 core::mem::size_of::<S>(),
             ));
         }
-        if cfg.parallel_depth > 0 {
-            crate::parallel::try_strassen_mul_parallel_in(
+        if let Some(pp) = &tp.par {
+            // The pooled executor reports the same per-level time
+            // vocabulary as the serial interpreter (each worker books its
+            // tasks' exclusive times, merged per level at the join), plus
+            // the pool counters — no coarser-than-serial caveat.
+            crate::pool::run_graph(
+                &pp.graph,
+                &tp.levels,
+                &pp.level_layouts,
+                tp.policy,
+                tp.threads,
                 abuf,
                 bbuf,
                 cbuf,
-                layouts,
-                tp.policy,
-                cfg.parallel_depth,
-                ws,
+                &mut ws[..pp.slab_len],
+                &mut ctx.pool,
+                sink,
             )?;
-            if K::ENABLED {
-                sink.record_level_time(0, t1.elapsed());
-            }
         } else {
             exec_levels(abuf, bbuf, cbuf, layouts, &tp.levels, 0, ws, tp.policy, sink);
         }
@@ -722,8 +996,9 @@ impl<S: Scalar> GemmPlan<S> {
         let cbuf = &ctx.c_buf[..layouts.c.len()];
         let t2 = Instant::now();
         if alpha == S::ONE && beta == S::ZERO {
-            if cfg.parallel_convert {
-                par_from_morton(cbuf, &layouts.c, c);
+            if pooled_convert {
+                let tiles = PoolTiles(ThreadPool::global(tp.threads));
+                par_from_morton_with(&tiles, tp.threads, cbuf, &layouts.c, c);
             } else {
                 from_morton(cbuf, &layouts.c, c);
             }
@@ -883,30 +1158,157 @@ mod tests {
 
     #[test]
     fn warm_parallel_execution_is_allocation_free_too() {
-        let cfg = ModgemmConfig { parallel_depth: 2, ..Default::default() };
-        let (m, k, n) = (96usize, 96usize, 96usize);
-        let a: Matrix<f64> = random_matrix(m, k, 7);
-        let b: Matrix<f64> = random_matrix(k, n, 8);
-        let p: GemmPlan<f64> = plan(m, k, n, &cfg);
+        // threads = 0 resolves from the machine (may degrade to serial on
+        // one core); threads = 3 forces the pooled DAG executor whatever
+        // the machine's own parallelism — both must keep the warm hot
+        // path allocation-free.
+        for threads in [0usize, 3] {
+            let cfg = ModgemmConfig { parallel_depth: 2, threads, ..Default::default() };
+            let (m, k, n) = (96usize, 96usize, 96usize);
+            let a: Matrix<f64> = random_matrix(m, k, 7);
+            let b: Matrix<f64> = random_matrix(k, n, 8);
+            let p: GemmPlan<f64> = plan(m, k, n, &cfg);
+            let mut ctx = GemmContext::new();
+            let mut c: Matrix<f64> = Matrix::zeros(m, n);
+            p.execute(a.view(), b.view(), c.view_mut(), &mut ctx);
+            let mut warm = CollectingSink::new();
+            p.try_execute_with_metrics(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                c.view_mut(),
+                &mut ctx,
+                &mut warm,
+            )
+            .unwrap();
+            assert_eq!(
+                warm.metrics.temp_alloc_bytes, 0,
+                "threads = {threads}: parallel slab must come from the context"
+            );
+            if threads == 3 {
+                assert!(p.parallel_depth() >= 1, "explicit threads must engage the DAG");
+                let pool = warm.metrics.pool.expect("pooled run must report pool counters");
+                assert_eq!(pool.workers, 3);
+                assert!(pool.tasks_executed > 0);
+            }
+
+            // And the result still matches the serial one-shot path bitwise.
+            let mut serial: Matrix<f64> = Matrix::zeros(m, n);
+            modgemm(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                serial.view_mut(),
+                &ModgemmConfig::default(),
+            );
+            assert_eq!(c, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn serial_and_pooled_runs_report_identical_plan_facts() {
+        // The old parallel instrumentation was "coarser than serial":
+        // whole-run wall time booked against level 0 and no per-level
+        // split. Pin the fix: a serial and a pooled execution of the same
+        // problem report identical plans_built / flop / level counts, and
+        // both report per-level wall times.
+        let (m, k, n) = (128usize, 128usize, 128usize);
+        let a: Matrix<f64> = random_matrix(m, k, 31);
+        let b: Matrix<f64> = random_matrix(k, n, 32);
+        let run = |cfg: &ModgemmConfig| {
+            let p: GemmPlan<f64> = plan(m, k, n, cfg);
+            let mut ctx = GemmContext::new();
+            let mut c: Matrix<f64> = Matrix::zeros(m, n);
+            let mut sink = CollectingSink::new();
+            sink.record_plan_built();
+            p.try_execute_with_metrics(
+                1.0,
+                Op::NoTrans,
+                a.view(),
+                Op::NoTrans,
+                b.view(),
+                0.0,
+                c.view_mut(),
+                &mut ctx,
+                &mut sink,
+            )
+            .unwrap();
+            (sink.into_metrics(), c)
+        };
+        let (serial, c_serial) = run(&ModgemmConfig::default());
+        let pooled_cfg = ModgemmConfig { parallel_depth: 2, threads: 4, ..Default::default() };
+        let (pooled, c_pooled) = run(&pooled_cfg);
+
+        assert_eq!(c_serial, c_pooled, "pooled result must be bitwise serial");
+        assert_eq!(pooled.plans_built, serial.plans_built);
+        assert_eq!(pooled.plans, serial.plans);
+        assert_eq!(pooled.flops, serial.flops);
+        assert_eq!(pooled.conventional_flops, serial.conventional_flops);
+        assert_eq!(pooled.strassen_levels, serial.strassen_levels);
+        assert_eq!(pooled.depth, serial.depth);
+        // Both executors attribute wall time to recursion levels now.
+        assert!(serial.level_time_total() > Duration::ZERO);
+        assert!(pooled.level_time_total() > Duration::ZERO);
+        assert!(
+            pooled.level_times.iter().filter(|t| **t > Duration::ZERO).count() > 1,
+            "pooled run must report a per-level split, not one coarse bucket: {:?}",
+            pooled.level_times
+        );
+        assert!(serial.pool.is_none(), "serial runs report no pool counters");
+        let pool = pooled.pool.expect("pooled runs report pool counters");
+        assert_eq!(pool.workers, 4);
+        assert!(pool.tasks_executed > 0);
+    }
+
+    #[test]
+    fn tight_budget_caps_parallel_depth_before_recursion_depth() {
+        // The budget bugfix: a budget that admits the serial workspace but
+        // not the depth-2 parallel slab must degrade *worker parallelism*
+        // (DAG depth 2 → 1), leaving the Strassen recursion at full depth.
+        let cfg0 = ModgemmConfig {
+            truncation: Truncation::Fixed(16),
+            parallel_depth: 2,
+            threads: 4,
+            ..Default::default()
+        };
+        let (m, k, n) = (128usize, 128usize, 128usize);
+        let free: GemmPlan<f64> = plan(m, k, n, &cfg0);
+        assert_eq!(free.parallel_depth(), 2, "unlimited budget keeps the configured depth");
+        let full_levels = free.strassen_levels();
+        assert!(full_levels >= 2);
+
+        // Squeeze the budget to exactly the depth-1 slab.
+        let slab1 = {
+            let l = MortonLayout::new(16, 16, 3); // 128 = 16·2^3
+            let layouts = NodeLayouts::new(l, l, l);
+            let policy = crate::gemm::capped_policy::<f64>(layouts, &cfg0);
+            crate::parallel::parallel_slab_len(layouts, policy, 1)
+        };
+        let cfg1 = ModgemmConfig {
+            memory_budget: crate::config::MemoryBudget::MaxWorkspaceBytes(slab1 * 8),
+            ..cfg0
+        };
+        let capped: GemmPlan<f64> = plan(m, k, n, &cfg1);
+        assert_eq!(capped.parallel_depth(), 1, "budget must cap the DAG depth first");
+        assert_eq!(
+            capped.strassen_levels(),
+            full_levels,
+            "recursion depth must survive the parallel-slab cap"
+        );
+        assert!(capped.arena_len() * 8 <= slab1 * 8, "reserved arena must respect the budget");
+
+        // The capped plan still produces the bitwise-serial product.
+        let a: Matrix<f64> = random_matrix(m, k, 33);
+        let b: Matrix<f64> = random_matrix(k, n, 34);
         let mut ctx = GemmContext::new();
         let mut c: Matrix<f64> = Matrix::zeros(m, n);
-        p.execute(a.view(), b.view(), c.view_mut(), &mut ctx);
-        let mut warm = CollectingSink::new();
-        p.try_execute_with_metrics(
-            1.0,
-            Op::NoTrans,
-            a.view(),
-            Op::NoTrans,
-            b.view(),
-            0.0,
-            c.view_mut(),
-            &mut ctx,
-            &mut warm,
-        )
-        .unwrap();
-        assert_eq!(warm.metrics.temp_alloc_bytes, 0, "parallel slab must come from the context");
-
-        // And the result still matches the serial one-shot path bitwise.
+        capped.execute(a.view(), b.view(), c.view_mut(), &mut ctx);
         let mut serial: Matrix<f64> = Matrix::zeros(m, n);
         modgemm(
             1.0,
@@ -916,7 +1318,7 @@ mod tests {
             b.view(),
             0.0,
             serial.view_mut(),
-            &ModgemmConfig::default(),
+            &ModgemmConfig { truncation: Truncation::Fixed(16), ..Default::default() },
         );
         assert_eq!(c, serial);
     }

@@ -1,0 +1,865 @@
+//! Persistent work-stealing thread-pool executor.
+//!
+//! The scoped-thread parallel path re-spawned seven OS threads at every
+//! Winograd node on every call, so plan reuse amortized planning but not
+//! thread startup, and only one recursion level ever ran in parallel.
+//! This module replaces that with a **persistent** pool: worker threads
+//! are spawned once per distinct worker count ([`ThreadPool::global`]),
+//! parked on a condvar between jobs, and reused across `execute()` calls
+//! and whole [`crate::blas::try_gemm_batch`] batches.
+//!
+//! Jobs are whole task DAGs compiled from a [`crate::GemmPlan`]'s
+//! flattened schedule ([`crate::plan`]'s lowering): every S/T
+//! pre-addition pass, every one of the seven quadrant products at
+//! *every* parallel recursion level, and every post-addition merge pass
+//! is a dependency-counted task. Workers pull from their own LIFO deque
+//! and steal FIFO from siblings, so sibling subtrees overlap across all
+//! levels instead of capping out at seven-way parallelism.
+//!
+//! Design notes:
+//!
+//! * **One job at a time.** The pool runs a single job slot (the
+//!   OpenBLAS discipline): concurrent submitters serialize at the slot.
+//!   The submitting thread participates as worker 0, so `threads = n`
+//!   means `n` CPUs working: `n − 1` pool threads plus the caller.
+//! * **No allocation on workers.** The mutable run state (dependency
+//!   counters, deques, metric shards) lives in a [`PoolScratch`] owned
+//!   by the caller's [`crate::GemmContext`] and is reset — not
+//!   reallocated — per run; task bodies carve slices out of the plan's
+//!   slab exactly like the serial executor does.
+//! * **Panic containment.** Task bodies run under `catch_unwind`; the
+//!   first panic cancels the remaining task bodies (the completion
+//!   cascade still drains, so the join never hangs) and surfaces as
+//!   [`GemmError::WorkerPanic`], preserving the `try_*` totality
+//!   discipline.
+//! * **Mutex-protected deques.** Tasks are quadrant products and whole
+//!   add passes — microseconds to milliseconds each — so an uncontended
+//!   lock per pop is noise. The simple protocol is straightforwardly
+//!   data-race-free (and ThreadSanitizer-checked in CI), which a
+//!   hand-rolled Chase-Lev deque would not be.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use modgemm_mat::addsub::{add_assign_flat, add_flat, sub_flat};
+use modgemm_mat::Scalar;
+
+use crate::error::{panic_message, GemmError};
+use crate::exec::{ExecPolicy, NodeLayouts};
+use crate::metrics::{MetricsSink, PoolStats};
+use crate::plan::{exec_levels, LevelPlan, Place, TaskGraph, TaskKind, MAX_LEVELS};
+
+/// Environment variable consulted when [`crate::ModgemmConfig::threads`]
+/// is `0`: a positive integer fixes the worker count, anything else
+/// falls back to [`std::thread::available_parallelism`].
+pub const MODGEMM_THREADS_ENV: &str = "MODGEMM_THREADS";
+
+/// Upper bound on resolved worker counts — a guard against typos in the
+/// environment variable, far above any sensible configuration.
+const MAX_WORKERS: usize = 512;
+
+/// Resolves a configured thread count to the effective one: an explicit
+/// `configured > 0` wins; otherwise the cached `MODGEMM_THREADS`
+/// environment override; otherwise [`std::thread::available_parallelism`].
+/// Always at least 1. A result of 1 means "run serially" — no pool is
+/// created.
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured > 0 {
+        return configured.min(MAX_WORKERS);
+    }
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if let Ok(raw) = std::env::var(MODGEMM_THREADS_ENV) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n.min(MAX_WORKERS);
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(MAX_WORKERS)
+    })
+}
+
+/// Locks a mutex, tolerating poisoning: pool state is only ever mutated
+/// under short, panic-free critical sections (user code runs outside the
+/// locks, under `catch_unwind`), so a poisoned lock's data is still
+/// consistent and recovery is always safe.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A unit of pool-schedulable work. The pool hands every participating
+/// thread to [`Job::work`]; implementations return from `work` only when
+/// the job cannot use that thread any more (normally: when the whole job
+/// has completed).
+trait Job: Send + Sync {
+    /// Contribute the calling thread to the job as worker `worker`
+    /// (0 = the submitting thread, `1..` = pool threads).
+    fn work(&self, worker: usize);
+    /// Blocks until every thread that ever entered [`Job::work`] has
+    /// left it. After this returns, no worker touches the job's borrowed
+    /// state again.
+    fn quiesce(&self);
+}
+
+/// The state shared between a pool's submitter side and its workers:
+/// the single job slot plus the condvar both sides park on.
+struct PoolShared {
+    slot: Mutex<JobSlot>,
+    /// Signals both "a new job was published" (to workers) and "the slot
+    /// was cleared" (to queued submitters).
+    job_cv: Condvar,
+}
+
+struct JobSlot {
+    job: Option<Arc<dyn Job>>,
+    /// Bumped on every publish so a worker never re-enters a job it
+    /// already finished working on.
+    seq: u64,
+}
+
+/// A persistent pool of parked worker threads. Created lazily per
+/// distinct worker count by [`ThreadPool::global`] and kept for the
+/// process lifetime; between jobs the workers sleep on a condvar and
+/// cost nothing.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    /// Pool threads actually spawned (spawn failures degrade the pool
+    /// rather than failing the GEMM: the submitting thread always works
+    /// too, so even zero spawned threads still makes progress).
+    spawned: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("spawned", &self.spawned).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads − 1` worker threads (the submitting
+    /// thread is worker 0 of every job).
+    fn new(threads: usize) -> Arc<ThreadPool> {
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(JobSlot { job: None, seq: 0 }),
+            job_cv: Condvar::new(),
+        });
+        let mut spawned = 0;
+        for ix in 0..threads.saturating_sub(1) {
+            let sh = Arc::clone(&shared);
+            let spawn = std::thread::Builder::new()
+                .name(format!("modgemm-pool-{}", ix + 1))
+                .spawn(move || worker_main(sh, ix + 1));
+            if spawn.is_ok() {
+                spawned += 1;
+            }
+        }
+        Arc::new(ThreadPool { shared, spawned })
+    }
+
+    /// The process-wide pool serving jobs of `threads` workers. Pools
+    /// are keyed by worker count, created on first use, and live for the
+    /// process lifetime (their parked threads are detached).
+    pub fn global(threads: usize) -> Arc<ThreadPool> {
+        type Registry = Mutex<Vec<(usize, Arc<ThreadPool>)>>;
+        static POOLS: OnceLock<Registry> = OnceLock::new();
+        let registry = POOLS.get_or_init(|| Mutex::new(Vec::new()));
+        let mut pools = lock(registry);
+        if let Some((_, pool)) = pools.iter().find(|(n, _)| *n == threads) {
+            return Arc::clone(pool);
+        }
+        let pool = ThreadPool::new(threads);
+        pools.push((threads, Arc::clone(&pool)));
+        pool
+    }
+
+    /// Worker threads this pool actually runs (excluding the submitter).
+    pub fn spawned_workers(&self) -> usize {
+        self.spawned
+    }
+
+    /// Publishes `job` to the pool workers, drives it on the calling
+    /// thread as worker 0, and returns once the job has quiesced (no
+    /// thread will touch its borrowed state again). Concurrent callers
+    /// serialize on the single job slot.
+    fn run(&self, job: Arc<dyn Job>) {
+        {
+            let mut slot = lock(&self.shared.slot);
+            while slot.job.is_some() {
+                slot = self.shared.job_cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+            }
+            slot.job = Some(Arc::clone(&job));
+            slot.seq = slot.seq.wrapping_add(1);
+            self.shared.job_cv.notify_all();
+        }
+        job.work(0);
+        job.quiesce();
+        let mut slot = lock(&self.shared.slot);
+        let finished = matches!(&slot.job, Some(cur) if Arc::ptr_eq(cur, &job));
+        if finished {
+            slot.job = None;
+            self.shared.job_cv.notify_all();
+        }
+    }
+}
+
+/// The parked-worker loop: wait for a fresh job seq, contribute to it,
+/// clear the slot when done, park again.
+fn worker_main(shared: Arc<PoolShared>, worker: usize) {
+    let mut last_seq = 0u64;
+    loop {
+        let (job, seq) = {
+            let mut slot = lock(&shared.slot);
+            loop {
+                if let Some(j) = &slot.job {
+                    if slot.seq != last_seq {
+                        break (Arc::clone(j), slot.seq);
+                    }
+                }
+                slot = shared.job_cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        last_seq = seq;
+        job.work(worker);
+        // First thread done clears the slot so the next submit can land;
+        // the seq guard keeps a slow worker from clearing a newer job.
+        let mut slot = lock(&shared.slot);
+        if slot.seq == seq && slot.job.is_some() {
+            slot.job = None;
+            shared.job_cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-run scratch (owned by the GemmContext, reset — not reallocated — per run)
+// ---------------------------------------------------------------------------
+
+/// Per-worker metrics shard, written without synchronization by exactly
+/// one worker and merged into the caller's sink after the join.
+#[derive(Clone, Copy)]
+pub(crate) struct WorkerShard {
+    pub tasks: u64,
+    pub steals: u64,
+    pub idle_nanos: u64,
+    pub level_nanos: [u64; MAX_LEVELS + 1],
+}
+
+impl WorkerShard {
+    const ZERO: WorkerShard =
+        WorkerShard { tasks: 0, steals: 0, idle_nanos: 0, level_nanos: [0; MAX_LEVELS + 1] };
+}
+
+/// A [`WorkerShard`] cell sharable across the job. Exclusivity is by
+/// worker index: worker `w` is the only thread that ever touches shard
+/// `w` while the job runs, and the caller reads them only after
+/// [`Job::quiesce`].
+struct ShardCell(std::cell::UnsafeCell<WorkerShard>);
+
+// SAFETY: see `ShardCell` — access is partitioned by worker index during
+// the run and exclusive to the caller afterwards.
+unsafe impl Sync for ShardCell {}
+
+/// The reusable mutable state of one pooled execution: dependency
+/// counters, per-worker deques, and per-worker metric shards. Owned by
+/// the [`crate::GemmContext`] so a warm context resets it in place and
+/// the steady-state pooled path allocates nothing.
+#[derive(Default)]
+pub struct PoolScratch {
+    deps: Vec<AtomicU32>,
+    queues: Vec<Mutex<VecDeque<u32>>>,
+    shards: Vec<ShardCell>,
+}
+
+impl std::fmt::Debug for PoolScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolScratch")
+            .field("tasks", &self.deps.len())
+            .field("workers", &self.queues.len())
+            .finish()
+    }
+}
+
+impl Clone for PoolScratch {
+    /// Scratch is run-local: a cloned context starts with fresh (empty)
+    /// scratch rather than a copy of another run's counters.
+    fn clone(&self) -> Self {
+        PoolScratch::default()
+    }
+}
+
+impl PoolScratch {
+    /// Capacity (queue slots per worker) that [`reset`](Self::reset)
+    /// guarantees: every task could in principle sit in one deque.
+    fn reset(&mut self, graph: &TaskGraph, workers: usize) {
+        let tasks = graph.tasks.len();
+        if self.deps.len() < tasks {
+            self.deps.resize_with(tasks, || AtomicU32::new(0));
+        }
+        for (slot, task) in self.deps.iter().zip(&graph.tasks) {
+            slot.store(task.dep_count, Ordering::Relaxed);
+        }
+        if self.queues.len() < workers {
+            self.queues.resize_with(workers, || Mutex::new(VecDeque::new()));
+        }
+        for q in self.queues.iter_mut() {
+            let q = q.get_mut().unwrap_or_else(|p| p.into_inner());
+            q.clear();
+            if q.capacity() < tasks {
+                q.reserve(tasks - q.len());
+            }
+        }
+        if self.shards.len() < workers {
+            self.shards
+                .resize_with(workers, || ShardCell(std::cell::UnsafeCell::new(WorkerShard::ZERO)));
+        }
+        for s in self.shards.iter_mut() {
+            *s.0.get_mut() = WorkerShard::ZERO;
+        }
+        // Seed the ready roots round-robin so workers start with local
+        // work instead of all stealing from one deque.
+        for (i, &root) in graph.roots.iter().enumerate() {
+            let q = self.queues[i % workers].get_mut().unwrap_or_else(|p| p.into_inner());
+            q.push_back(root);
+        }
+    }
+
+    /// Shard of worker `w` (exclusive access: only valid outside a run).
+    fn shard_mut(&mut self, w: usize) -> &mut WorkerShard {
+        self.shards[w].0.get_mut()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The DAG job
+// ---------------------------------------------------------------------------
+
+/// A raw shared-slice view smuggled across the `'static` bound of
+/// [`Job`].
+///
+/// SAFETY CONTRACT: the pointee must stay valid and unaliased-for-writes
+/// (shared views) or exclusively-owned-by-the-job (mut views) until the
+/// submitting call returns — which [`ThreadPool::run`] guarantees by
+/// quiescing the job before returning, while task-body disjointness is
+/// guaranteed by the DAG's dependency edges exactly as in the serial
+/// schedule.
+struct RawView<T> {
+    ptr: *const T,
+    len: usize,
+}
+
+struct RawViewMut<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Sync> Send for RawView<T> {}
+unsafe impl<T: Sync> Sync for RawView<T> {}
+unsafe impl<T: Send> Send for RawViewMut<T> {}
+unsafe impl<T: Send> Sync for RawViewMut<T> {}
+
+impl<T> RawView<T> {
+    fn new(s: &[T]) -> Self {
+        Self { ptr: s.as_ptr(), len: s.len() }
+    }
+    /// SAFETY: caller upholds the [`RawView`] contract.
+    unsafe fn get(&self, off: usize, len: usize) -> &[T] {
+        debug_assert!(off + len <= self.len);
+        std::slice::from_raw_parts(self.ptr.add(off), len)
+    }
+}
+
+impl<T> RawViewMut<T> {
+    fn new(s: &mut [T]) -> Self {
+        Self { ptr: s.as_mut_ptr(), len: s.len() }
+    }
+    /// SAFETY: caller upholds the [`RawViewMut`] contract *and* the
+    /// disjointness of concurrently outstanding ranges.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, off: usize, len: usize) -> &mut [T] {
+        debug_assert!(off + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(off), len)
+    }
+    /// SAFETY: as [`Self::get_mut`], for read-only uses of a region no
+    /// task is concurrently writing.
+    unsafe fn get(&self, off: usize, len: usize) -> &[T] {
+        debug_assert!(off + len <= self.len);
+        std::slice::from_raw_parts(self.ptr.add(off), len)
+    }
+}
+
+/// One pooled execution of a compiled [`TaskGraph`]: the borrowed
+/// buffers and graph as raw views, plus the job-lifetime atomics.
+///
+/// A fresh (small, fixed-size) `GraphJob` is built per run; the bulky
+/// mutable state lives in the caller's [`PoolScratch`]. A stale pool
+/// worker that enters [`Job::work`] after the run completed only ever
+/// reads `pending` (its own `Arc` keeps the `GraphJob` alive) — it never
+/// touches the raw views, because `pending` is already 0.
+struct GraphJob<S> {
+    graph: RawView<TaskGraph>,
+    levels: RawView<LevelPlan>,
+    level_layouts: RawView<NodeLayouts>,
+    a: RawView<S>,
+    b: RawView<S>,
+    c: RawViewMut<S>,
+    slab: RawViewMut<S>,
+    deps: RawView<AtomicU32>,
+    queues: RawView<Mutex<VecDeque<u32>>>,
+    shards: RawView<ShardCell>,
+    workers: usize,
+    policy: ExecPolicy,
+    metrics_on: bool,
+    /// Tasks whose completion cascade has not run yet. The run is done
+    /// when this hits 0 — and it always does, even under cancellation,
+    /// because cancelled tasks skip their *body* but still cascade.
+    pending: AtomicUsize,
+    /// Tasks sitting in some deque; lets idle workers avoid parking when
+    /// work is available (checked under `sync` for wakeup safety).
+    ready: AtomicUsize,
+    cancelled: AtomicBool,
+    /// Threads currently inside [`Job::work`].
+    active: AtomicUsize,
+    error: Mutex<Option<GemmError>>,
+    sync: Mutex<()>,
+    cv: Condvar,
+}
+
+// SAFETY: all raw views uphold the RawView contract (see `run_graph`);
+// everything else is Sync by construction.
+unsafe impl<S: Scalar> Send for GraphJob<S> {}
+unsafe impl<S: Scalar> Sync for GraphJob<S> {}
+
+/// Sink that books the serial executor's per-level times into a worker
+/// shard, so pooled leaf tasks report the same per-level wall-time
+/// vocabulary as the serial path (summed across workers at the merge).
+struct ShardLevelSink<'a> {
+    level_nanos: &'a mut [u64; MAX_LEVELS + 1],
+}
+
+impl MetricsSink for ShardLevelSink<'_> {
+    fn record_level_time(&mut self, level: usize, elapsed: Duration) {
+        self.level_nanos[level.min(MAX_LEVELS)] += elapsed.as_nanos() as u64;
+    }
+}
+
+impl<S: Scalar> GraphJob<S> {
+    fn graph(&self) -> &TaskGraph {
+        // SAFETY: the graph outlives the run (RawView contract).
+        unsafe { self.graph.get(0, 1) }.first().expect("graph view")
+    }
+
+    /// Resolves an operand place against its base buffer or the slab.
+    /// SAFETY: region disjointness per the DAG's edges.
+    unsafe fn src<'a>(&'a self, base: &'a RawView<S>, p: Place, len: usize) -> &'a [S] {
+        if p.in_slab {
+            self.slab.get(p.off, len)
+        } else {
+            base.get(p.off, len)
+        }
+    }
+
+    /// SAFETY: as [`RawViewMut::get_mut`] — the DAG's edges guarantee no
+    /// other task holds this region while the caller writes it.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn dst(&self, p: Place, len: usize) -> &mut [S] {
+        if p.in_slab {
+            self.slab.get_mut(p.off, len)
+        } else {
+            self.c.get_mut(p.off, len)
+        }
+    }
+
+    fn enqueue(&self, task: u32, worker: usize) {
+        // SAFETY: queue storage outlives the run; Mutex makes the push safe.
+        let queues = unsafe { self.queues.get(0, self.workers) };
+        lock(&queues[worker]).push_back(task);
+        // Release so an idle worker that observes the count also observes
+        // the push (the queue mutex already orders same-queue access).
+        self.ready.fetch_add(1, Ordering::Release);
+    }
+
+    /// Pops local work (LIFO) or steals (FIFO) from a sibling.
+    fn grab(&self, worker: usize, shard: &mut WorkerShard) -> Option<u32> {
+        // SAFETY: queue storage outlives the run.
+        let queues = unsafe { self.queues.get(0, self.workers) };
+        if let Some(t) = lock(&queues[worker]).pop_back() {
+            self.ready.fetch_sub(1, Ordering::AcqRel);
+            return Some(t);
+        }
+        for j in 1..self.workers {
+            let victim = (worker + j) % self.workers;
+            if let Some(t) = lock(&queues[victim]).pop_front() {
+                self.ready.fetch_sub(1, Ordering::AcqRel);
+                shard.steals += 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn fail(&self, e: GemmError) {
+        self.cancelled.store(true, Ordering::Relaxed);
+        let mut slot = lock(&self.error);
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    /// Runs one task body (no scheduling bookkeeping).
+    ///
+    /// SAFETY: called with `task` owned by this worker (popped exactly
+    /// once) and all its dependency tasks completed, so every region it
+    /// touches is either private to it or no longer written.
+    unsafe fn run_body(&self, task_ix: u32, shard: &mut WorkerShard) {
+        let graph = self.graph();
+        let task = graph.tasks[task_ix as usize];
+        let node = graph.nodes[task.node as usize];
+        let layouts = self.level_layouts.get(0, self.level_layouts.len)[node.level as usize];
+        let (qa, qb, qc) =
+            (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
+        match task.kind {
+            TaskKind::SPre => {
+                let a = self.src(&self.a, node.a, 4 * qa);
+                let (a11, a12, a21, a22) =
+                    (&a[..qa], &a[qa..2 * qa], &a[2 * qa..3 * qa], &a[3 * qa..]);
+                let s = self.slab.get_mut(node.slab_off, 4 * qa);
+                let (s1, rest) = s.split_at_mut(qa);
+                let (s2, rest) = rest.split_at_mut(qa);
+                let (s3, s4) = rest.split_at_mut(qa);
+                add_flat(s1, a21, a22); // S1 = A21 + A22
+                sub_flat(s2, s1, a11); // S2 = S1 − A11
+                sub_flat(s3, a11, a21); // S3 = A11 − A21
+                sub_flat(s4, a12, s2); // S4 = A12 − S2
+            }
+            TaskKind::TPre => {
+                let b = self.src(&self.b, node.b, 4 * qb);
+                let (b11, b12, b21, b22) =
+                    (&b[..qb], &b[qb..2 * qb], &b[2 * qb..3 * qb], &b[3 * qb..]);
+                let t = self.slab.get_mut(node.slab_off + 4 * qa, 4 * qb);
+                let (t1, rest) = t.split_at_mut(qb);
+                let (t2, rest) = rest.split_at_mut(qb);
+                let (t3, t4) = rest.split_at_mut(qb);
+                sub_flat(t1, b12, b11); // T1 = B12 − B11
+                sub_flat(t2, b22, t1); // T2 = B22 − T1
+                sub_flat(t3, b22, b12); // T3 = B22 − B12
+                sub_flat(t4, b21, t2); // T4 = B21 − T2
+            }
+            TaskKind::Post => {
+                let c = self.dst(node.c, 4 * qc);
+                let (c11, rest) = c.split_at_mut(qc);
+                let (c12, rest) = rest.split_at_mut(qc);
+                let (c21, c22) = rest.split_at_mut(qc);
+                let p_base = node.slab_off + 4 * qa + 4 * qb;
+                let p1 = self.slab.get(p_base, qc);
+                let p2 = self.slab.get(p_base + qc, qc);
+                let p5 = self.slab.get(p_base + 2 * qc, qc);
+                // The serial schedule's combination suffix, verbatim —
+                // this is what keeps pooled results bitwise identical.
+                add_assign_flat(c11, p1); // U2 = P1 + P4
+                add_assign_flat(c12, c22); // P6 + P3
+                add_assign_flat(c12, c11); // U7 = U2 + P3 + P6  → C12 done
+                add_assign_flat(c11, p5); // U3 = U2 + P5
+                add_assign_flat(c21, c11); // U4 = U3 + P7       → C21 done
+                add_assign_flat(c22, c11); // U5 = U3 + P3       → C22 done
+                add_flat(c11, p1, p2); // U1 = P1 + P2           → C11 done
+            }
+            TaskKind::Leaf => {
+                let a = self.src(&self.a, node.a, layouts.a.len());
+                let b = self.src(&self.b, node.b, layouts.b.len());
+                let c = self.dst(node.c, layouts.c.len());
+                let ws = self.slab.get_mut(node.slab_off, node.ws_len);
+                let levels = self.levels.get(0, self.levels.len);
+                let li = node.level as usize;
+                if self.metrics_on {
+                    let mut sink = ShardLevelSink { level_nanos: &mut shard.level_nanos };
+                    exec_levels(a, b, c, layouts, levels, li, ws, self.policy, &mut sink);
+                } else {
+                    let mut sink = crate::metrics::NoopSink;
+                    exec_levels(a, b, c, layouts, levels, li, ws, self.policy, &mut sink);
+                }
+            }
+        }
+    }
+
+    /// Runs a task end to end: body (unless cancelled, under
+    /// `catch_unwind`) plus the completion cascade, which always runs so
+    /// `pending` drains even on failure.
+    fn execute(&self, task_ix: u32, worker: usize, shard: &mut WorkerShard) {
+        let graph = self.graph();
+        let task = graph.tasks[task_ix as usize];
+        if !self.cancelled.load(Ordering::Relaxed) {
+            let timed = self.metrics_on && task.kind != TaskKind::Leaf;
+            let t0 = if timed { Some(Instant::now()) } else { None };
+            // SAFETY: `task_ix` was popped from a deque exactly once and
+            // its dependency count reached zero.
+            let body = catch_unwind(AssertUnwindSafe(|| unsafe { self.run_body(task_ix, shard) }));
+            if let Some(t0) = t0 {
+                let level = graph.nodes[task.node as usize].level as usize;
+                shard.level_nanos[level.min(MAX_LEVELS)] += t0.elapsed().as_nanos() as u64;
+            }
+            if let Err(payload) = body {
+                self.fail(GemmError::WorkerPanic { message: panic_message(payload.as_ref()) });
+            }
+        }
+        shard.tasks += 1;
+        // Completion cascade: release dependents, then retire the task.
+        // SAFETY: deps storage outlives the run; entries are atomics.
+        let deps = unsafe { self.deps.get(0, graph.tasks.len()) };
+        let mut released = false;
+        let start = task.dep_start as usize;
+        for &dependent in &graph.dependents[start..start + task.dep_len as usize] {
+            // AcqRel chains the producers' writes into whichever worker
+            // takes the dependent to zero.
+            if deps[dependent as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.enqueue(dependent, worker);
+                released = true;
+            }
+        }
+        let done = self.pending.fetch_sub(1, Ordering::AcqRel) == 1;
+        if done || released {
+            // Wake idle workers (new work) or everyone (job complete).
+            // Lock/unlock pairs with the idle worker's checks under `sync`.
+            drop(lock(&self.sync));
+            self.cv.notify_all();
+        }
+    }
+
+    fn take_error(&self) -> Option<GemmError> {
+        lock(&self.error).take()
+    }
+}
+
+impl<S: Scalar> Job for GraphJob<S> {
+    fn work(&self, worker: usize) {
+        if worker >= self.workers {
+            return; // a pool larger than the job (cannot happen today)
+        }
+        self.active.fetch_add(1, Ordering::AcqRel);
+        // SAFETY: shard `worker` is touched only by this thread during
+        // the run (one thread per worker index).
+        let shard = unsafe { &mut *(self.shards.get(0, self.workers)[worker].0.get()) };
+        while self.pending.load(Ordering::Acquire) != 0 {
+            if let Some(task) = self.grab(worker, shard) {
+                self.execute(task, worker, shard);
+                continue;
+            }
+            // Park until new work is enqueued or the job completes. The
+            // `ready` increment happens *before* the enqueuer takes
+            // `sync`, so either we see it here or the notify reaches us.
+            let guard = lock(&self.sync);
+            if self.pending.load(Ordering::Acquire) == 0 || self.ready.load(Ordering::Acquire) > 0 {
+                continue;
+            }
+            if self.metrics_on {
+                let t0 = Instant::now();
+                drop(self.cv.wait(guard).unwrap_or_else(|p| p.into_inner()));
+                shard.idle_nanos += t0.elapsed().as_nanos() as u64;
+            } else {
+                drop(self.cv.wait(guard).unwrap_or_else(|p| p.into_inner()));
+            }
+        }
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            drop(lock(&self.sync));
+            self.cv.notify_all();
+        }
+    }
+
+    fn quiesce(&self) {
+        let mut guard = lock(&self.sync);
+        while self.active.load(Ordering::Acquire) != 0 {
+            guard = self.cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// Executes a compiled [`TaskGraph`] on the global pool for `threads`
+/// workers, resetting `scratch` in place (zero allocations on a warm
+/// scratch apart from the job handle itself). Merges the per-worker
+/// metric shards into `sink` after the join: per-level wall times
+/// (summed across workers, so parallel and serial runs report the same
+/// vocabulary) and the aggregate [`PoolStats`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_graph<S: Scalar, K: MetricsSink>(
+    graph: &TaskGraph,
+    levels: &[LevelPlan],
+    level_layouts: &[NodeLayouts],
+    policy: ExecPolicy,
+    threads: usize,
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    slab: &mut [S],
+    scratch: &mut PoolScratch,
+    sink: &mut K,
+) -> Result<(), GemmError> {
+    debug_assert!(threads >= 2, "threads < 2 must take the serial path");
+    debug_assert!(graph.slab_len <= slab.len(), "slab smaller than the graph's model");
+    scratch.reset(graph, threads);
+    let job: Arc<GraphJob<S>> = Arc::new(GraphJob {
+        graph: RawView { ptr: graph, len: 1 },
+        levels: RawView::new(levels),
+        level_layouts: RawView::new(level_layouts),
+        a: RawView::new(a),
+        b: RawView::new(b),
+        c: RawViewMut::new(c),
+        slab: RawViewMut::new(slab),
+        deps: RawView { ptr: scratch.deps.as_ptr(), len: scratch.deps.len() },
+        queues: RawView { ptr: scratch.queues.as_ptr(), len: scratch.queues.len() },
+        shards: RawView { ptr: scratch.shards.as_ptr(), len: scratch.shards.len() },
+        workers: threads,
+        policy,
+        metrics_on: K::ENABLED,
+        pending: AtomicUsize::new(graph.tasks.len()),
+        ready: AtomicUsize::new(graph.roots.len()),
+        cancelled: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        error: Mutex::new(None),
+        sync: Mutex::new(()),
+        cv: Condvar::new(),
+    });
+    ThreadPool::global(threads).run(job.clone());
+    let result = match job.take_error() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    };
+    if K::ENABLED {
+        let mut stats =
+            PoolStats { workers: threads, tasks_executed: 0, steals: 0, idle: Duration::ZERO };
+        let mut level_nanos = [0u64; MAX_LEVELS + 1];
+        for w in 0..threads {
+            let shard = scratch.shard_mut(w);
+            stats.tasks_executed += shard.tasks;
+            stats.steals += shard.steals;
+            stats.idle += Duration::from_nanos(shard.idle_nanos);
+            for (acc, &n) in level_nanos.iter_mut().zip(shard.level_nanos.iter()) {
+                *acc += n;
+            }
+        }
+        for (level, &nanos) in level_nanos.iter().enumerate() {
+            if nanos > 0 {
+                sink.record_level_time(level, Duration::from_nanos(nanos));
+            }
+        }
+        sink.record_pool(stats);
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-for (Morton conversion tiling)
+// ---------------------------------------------------------------------------
+
+/// A self-scheduling parallel-for job: workers race on an atomic index
+/// until `jobs` bodies have run. Used to tile the column-major ↔ Morton
+/// conversion across the same pool as the compute DAG.
+struct ForJob<'a> {
+    body: &'a (dyn Fn(usize) + Sync),
+    jobs: usize,
+    next: AtomicUsize,
+    pending: AtomicUsize,
+    panic: Mutex<Option<String>>,
+    active: AtomicUsize,
+    sync: Mutex<()>,
+    cv: Condvar,
+}
+
+// SAFETY: `body` is `Sync`, everything else is synchronization state.
+unsafe impl Send for ForJob<'_> {}
+unsafe impl Sync for ForJob<'_> {}
+
+impl Job for ForJob<'_> {
+    fn work(&self, _worker: usize) {
+        self.active.fetch_add(1, Ordering::AcqRel);
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.jobs {
+                break;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.body)(i))) {
+                let mut slot = lock(&self.panic);
+                if slot.is_none() {
+                    *slot = Some(panic_message(payload.as_ref()));
+                }
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                drop(lock(&self.sync));
+                self.cv.notify_all();
+            }
+        }
+        // Wait for stragglers: `work(0)` must not return to the caller
+        // while another worker is still inside a body.
+        let mut guard = lock(&self.sync);
+        while self.pending.load(Ordering::Acquire) != 0 {
+            guard = self.cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+        drop(guard);
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            drop(lock(&self.sync));
+            self.cv.notify_all();
+        }
+    }
+
+    fn quiesce(&self) {
+        let mut guard = lock(&self.sync);
+        while self.active.load(Ordering::Acquire) != 0 {
+            guard = self.cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+impl ThreadPool {
+    /// Invokes `body(i)` for every `i in 0..jobs` across the pool (the
+    /// caller participates). A panicking body is caught, the remaining
+    /// bodies still run, and the first panic is re-raised on the caller
+    /// after the join — mirroring scoped-thread behavior.
+    pub fn for_each(&self, jobs: usize, body: &(dyn Fn(usize) + Sync)) {
+        if jobs == 0 {
+            return;
+        }
+        if jobs == 1 || self.spawned == 0 {
+            for i in 0..jobs {
+                body(i);
+            }
+            return;
+        }
+        // Lifetime erasure: `body` only borrows for this call, and
+        // `run` quiesces the job before returning.
+        let job: Arc<ForJob<'_>> = Arc::new(ForJob {
+            body,
+            jobs,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(jobs),
+            panic: Mutex::new(None),
+            active: AtomicUsize::new(0),
+            sync: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        // SAFETY: ForJob borrows `body` for 'a < 'static; ThreadPool::run
+        // quiesces the job before returning, and stale workers that
+        // attach later observe `next >= jobs` and never call `body`.
+        let erased: Arc<dyn Job + 'static> = unsafe {
+            std::mem::transmute::<Arc<dyn Job + '_>, Arc<dyn Job + 'static>>(
+                job.clone() as Arc<dyn Job + '_>
+            )
+        };
+        self.run(erased);
+        let message = lock(&job.panic).take();
+        if let Some(message) = message {
+            panic!("pooled conversion worker panicked: {message}");
+        }
+    }
+}
+
+/// [`modgemm_morton::TileExecutor`] adapter for [`ThreadPool`], letting
+/// the Morton conversion tiling run on the compute pool.
+pub(crate) struct PoolTiles(pub Arc<ThreadPool>);
+
+impl modgemm_morton::TileExecutor for PoolTiles {
+    fn for_each(&self, jobs: usize, body: &(dyn Fn(usize) + Sync)) {
+        self.0.for_each(jobs, body);
+    }
+}

@@ -35,5 +35,7 @@ pub mod tiling;
 
 pub use convert::{from_morton, from_morton_axpby, to_morton};
 pub use layout::MortonLayout;
-pub use par_convert::{par_from_morton, par_to_morton};
+pub use par_convert::{
+    par_from_morton, par_from_morton_with, par_to_morton, par_to_morton_with, TileExecutor,
+};
 pub use tiling::{choose_dim_tiling, choose_joint_tiling, DimTiling, JointTiling, TileRange};

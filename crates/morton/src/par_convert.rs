@@ -6,6 +6,13 @@
 //! buffer (each worker owns a disjoint range of tiles); the unpack
 //! parallelizes over tile *columns* so each worker owns a disjoint block
 //! of destination columns.
+//!
+//! Where the threads come from is the caller's choice, via the
+//! [`TileExecutor`] trait: the legacy entry points ([`par_to_morton`],
+//! [`par_from_morton`]) spawn scoped OS threads per call, while the
+//! `_with` forms run the same disjoint jobs on an external executor —
+//! `modgemm-core` passes its persistent work-stealing pool, so GEMM
+//! conversion and compute share one set of warm threads.
 
 use modgemm_mat::view::{MatMut, MatRef, Op};
 use modgemm_mat::Scalar;
@@ -17,19 +24,79 @@ use crate::layout::{deinterleave2, MortonLayout};
 /// spawning.
 const PAR_THRESHOLD: usize = 64 * 1024;
 
+/// Something that can run `jobs` independent closures-of-index, possibly
+/// in parallel. Job bodies write disjoint memory, so any execution order
+/// (including fully serial) is correct; implementations must run every
+/// index in `0..jobs` exactly once and return only when all are done.
+pub trait TileExecutor {
+    /// Runs `body(0)`, `body(1)`, …, `body(jobs - 1)`, returning after
+    /// the last one finishes.
+    fn for_each(&self, jobs: usize, body: &(dyn Fn(usize) + Sync));
+}
+
+/// The default executor of the legacy entry points: one scoped OS thread
+/// per job beyond the caller's own.
+struct ScopedThreads;
+
+impl TileExecutor for ScopedThreads {
+    fn for_each(&self, jobs: usize, body: &(dyn Fn(usize) + Sync)) {
+        match jobs {
+            0 => {}
+            1 => body(0),
+            _ => std::thread::scope(|scope| {
+                for w in 1..jobs {
+                    scope.spawn(move || body(w));
+                }
+                body(0);
+            }),
+        }
+    }
+}
+
+/// Workers worth using for `total_elems` under an explicit cap: never
+/// more than one per [`PAR_THRESHOLD`] elements, never zero.
+fn worker_count_capped(total_elems: usize, max_workers: usize) -> usize {
+    max_workers.min(total_elems / PAR_THRESHOLD).max(1)
+}
+
 fn worker_count(total_elems: usize) -> usize {
     let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    hw.min(total_elems / PAR_THRESHOLD).max(1)
+    worker_count_capped(total_elems, hw)
 }
+
+/// A raw base pointer the conversion bodies offset into **disjoint**
+/// regions, one per job index.
+#[derive(Clone, Copy)]
+struct SendPtr<S>(*mut S);
+// SAFETY: the pointer is only ever dereferenced through per-job disjoint
+// offsets computed from the job index, so concurrent use is race-free.
+unsafe impl<S> Send for SendPtr<S> {}
+unsafe impl<S> Sync for SendPtr<S> {}
 
 /// Parallel version of [`convert::to_morton`].
 #[track_caller]
 pub fn par_to_morton<S: Scalar>(src: MatRef<'_, S>, op: Op, layout: &MortonLayout, dst: &mut [S]) {
+    par_to_morton_with(&ScopedThreads, worker_count(layout.len()), src, op, layout, dst);
+}
+
+/// [`par_to_morton`] on an external [`TileExecutor`] with at most
+/// `max_workers` jobs. Small problems (under [`PAR_THRESHOLD`] elements
+/// per worker) run serially on the calling thread regardless of the
+/// executor.
+#[track_caller]
+pub fn par_to_morton_with<S: Scalar>(
+    exec: &dyn TileExecutor,
+    max_workers: usize,
+    src: MatRef<'_, S>,
+    op: Op,
+    layout: &MortonLayout,
+    dst: &mut [S],
+) {
     let (lr, lc) = op.apply_dims(src.rows(), src.cols());
     assert_eq!(dst.len(), layout.len(), "destination buffer length mismatch");
     assert!(lr <= layout.rows() && lc <= layout.cols(), "logical matrix does not fit");
 
-    let workers = worker_count(layout.len());
+    let workers = worker_count_capped(layout.len(), max_workers);
     if workers <= 1 {
         convert::to_morton(src, op, layout, dst);
         return;
@@ -38,124 +105,120 @@ pub fn par_to_morton<S: Scalar>(src: MatRef<'_, S>, op: Op, layout: &MortonLayou
     let tile_len = layout.tile_len();
     let tiles = layout.len() / tile_len;
     let tiles_per = tiles.div_ceil(workers);
+    let jobs = tiles.div_ceil(tiles_per);
     let (tm, tn) = (layout.tile_rows, layout.tile_cols);
+    let base = SendPtr(dst.as_mut_ptr());
 
-    std::thread::scope(|scope| {
-        for (w, chunk) in dst.chunks_mut(tiles_per * tile_len).enumerate() {
-            // MatRef is Copy + Sync, so each move closure gets its own copy.
-            scope.spawn(move || {
-                let z0 = w * tiles_per;
-                for (dz, tile) in chunk.chunks_exact_mut(tile_len).enumerate() {
-                    let (tr, tc) = deinterleave2(z0 + dz, layout.depth);
-                    let row0 = tr * tm;
-                    let col0 = tc * tn;
-                    let live_r = lr.saturating_sub(row0).min(tm);
-                    let live_c = lc.saturating_sub(col0).min(tn);
-                    if live_r == 0 || live_c == 0 {
-                        tile.fill(S::ZERO);
-                        continue;
-                    }
-                    match op {
-                        Op::NoTrans => {
-                            for jj in 0..live_c {
-                                let dst_col = &mut tile[jj * tm..(jj + 1) * tm];
-                                dst_col[..live_r]
-                                    .copy_from_slice(&src.col(col0 + jj)[row0..row0 + live_r]);
-                                dst_col[live_r..].fill(S::ZERO);
-                            }
-                        }
-                        Op::Trans => {
-                            for jj in 0..live_c {
-                                let dst_col = &mut tile[jj * tm..(jj + 1) * tm];
-                                for (ii, d) in dst_col.iter_mut().enumerate().take(live_r) {
-                                    *d = src.get(col0 + jj, row0 + ii);
-                                }
-                                dst_col[live_r..].fill(S::ZERO);
-                            }
-                        }
-                    }
-                    if live_c < tn {
-                        tile[live_c * tm..].fill(S::ZERO);
+    let body = |w: usize| {
+        // Capture the whole `SendPtr` (Sync), not its raw-pointer field.
+        let base = &base;
+        let z_end = ((w + 1) * tiles_per).min(tiles);
+        for z in w * tiles_per..z_end {
+            // SAFETY: job `w` owns exactly the Morton tiles
+            // `[w·tiles_per, z_end)` — disjoint slices of `dst`.
+            let tile =
+                unsafe { std::slice::from_raw_parts_mut(base.0.add(z * tile_len), tile_len) };
+            let (tr, tc) = deinterleave2(z, layout.depth);
+            let row0 = tr * tm;
+            let col0 = tc * tn;
+            let live_r = lr.saturating_sub(row0).min(tm);
+            let live_c = lc.saturating_sub(col0).min(tn);
+            if live_r == 0 || live_c == 0 {
+                tile.fill(S::ZERO);
+                continue;
+            }
+            match op {
+                Op::NoTrans => {
+                    for jj in 0..live_c {
+                        let dst_col = &mut tile[jj * tm..(jj + 1) * tm];
+                        dst_col[..live_r].copy_from_slice(&src.col(col0 + jj)[row0..row0 + live_r]);
+                        dst_col[live_r..].fill(S::ZERO);
                     }
                 }
-            });
+                Op::Trans => {
+                    for jj in 0..live_c {
+                        let dst_col = &mut tile[jj * tm..(jj + 1) * tm];
+                        for (ii, d) in dst_col.iter_mut().enumerate().take(live_r) {
+                            *d = src.get(col0 + jj, row0 + ii);
+                        }
+                        dst_col[live_r..].fill(S::ZERO);
+                    }
+                }
+            }
+            if live_c < tn {
+                tile[live_c * tm..].fill(S::ZERO);
+            }
         }
-    });
+    };
+    exec.for_each(jobs, &body);
 }
 
 /// Parallel version of [`convert::from_morton`]: workers own disjoint
 /// column blocks of the destination.
 #[track_caller]
-pub fn par_from_morton<S: Scalar>(src: &[S], layout: &MortonLayout, mut dst: MatMut<'_, S>) {
+pub fn par_from_morton<S: Scalar>(src: &[S], layout: &MortonLayout, dst: MatMut<'_, S>) {
+    par_from_morton_with(&ScopedThreads, worker_count(layout.len()), src, layout, dst);
+}
+
+/// [`par_from_morton`] on an external [`TileExecutor`] with at most
+/// `max_workers` jobs. Small problems run serially on the calling thread
+/// regardless of the executor.
+#[track_caller]
+pub fn par_from_morton_with<S: Scalar>(
+    exec: &dyn TileExecutor,
+    max_workers: usize,
+    src: &[S],
+    layout: &MortonLayout,
+    mut dst: MatMut<'_, S>,
+) {
     let (lr, lc) = dst.dims();
     assert_eq!(src.len(), layout.len(), "source buffer length mismatch");
     assert!(lr <= layout.rows() && lc <= layout.cols(), "destination exceeds padded matrix");
 
-    let workers = worker_count(layout.len());
+    let workers = worker_count_capped(layout.len(), max_workers);
     if workers <= 1 {
         convert::from_morton(src, layout, dst);
         return;
     }
 
-    let tn = layout.tile_cols;
-    let tile_cols_total = layout.grid();
-    let tcs_per = tile_cols_total.div_ceil(workers);
+    let (tm, tn) = (layout.tile_rows, layout.tile_cols);
+    let grid = layout.grid();
+    let tcs_per = grid.div_ceil(workers);
+    let jobs = grid.div_ceil(tcs_per);
+    let ld = dst.ld();
+    let base = SendPtr(dst.as_mut_ptr());
 
-    // Carve the destination into disjoint column blocks, one per worker.
-    let mut blocks: Vec<(usize, MatMut<'_, S>)> = Vec::new();
-    let mut rest = dst.reborrow();
-    let mut col0 = 0usize;
-    for w in 0..workers {
-        let tc0 = w * tcs_per;
-        if tc0 >= tile_cols_total || col0 >= lc {
-            break;
-        }
-        let width = ((tc0 + tcs_per) * tn).min(lc) - col0;
-        if width == 0 {
-            break;
-        }
-        let (blk, r) = split_cols(rest, width);
-        blocks.push((tc0, blk));
-        rest = r;
-        col0 += width;
-    }
-
-    std::thread::scope(|scope| {
-        for (tc0, mut blk) in blocks {
-            scope.spawn(move || {
-                let (tm, tn) = (layout.tile_rows, layout.tile_cols);
-                let (br, bc) = blk.dims();
-                for tc in tc0.. {
-                    let blk_col0 = tc * tn - tc0 * tn;
-                    if blk_col0 >= bc {
-                        break;
-                    }
-                    for tr in 0..layout.grid() {
-                        let row0 = tr * tm;
-                        let live_r = br.saturating_sub(row0).min(tm);
-                        if live_r == 0 {
-                            break;
-                        }
-                        let live_c = bc.saturating_sub(blk_col0).min(tn);
-                        let tile0 = layout.tile_offset(tr, tc);
-                        for jj in 0..live_c {
-                            let src_col = &src[tile0 + jj * tm..tile0 + jj * tm + live_r];
-                            blk.col_mut(blk_col0 + jj)[row0..row0 + live_r]
-                                .copy_from_slice(src_col);
-                        }
+    let body = |w: usize| {
+        // Capture the whole `SendPtr` (Sync), not its raw-pointer field.
+        let base = &base;
+        let tc_end = ((w + 1) * tcs_per).min(grid);
+        for tc in w * tcs_per..tc_end {
+            let col0 = tc * tn;
+            if col0 >= lc {
+                break;
+            }
+            let live_c = (lc - col0).min(tn);
+            for tr in 0..grid {
+                let row0 = tr * tm;
+                if row0 >= lr {
+                    break;
+                }
+                let live_r = (lr - row0).min(tm);
+                let tile0 = layout.tile_offset(tr, tc);
+                for jj in 0..live_c {
+                    let src_col = &src[tile0 + jj * tm..tile0 + jj * tm + live_r];
+                    // SAFETY: job `w` owns exactly destination columns
+                    // `[w·tcs_per·tn, tc_end·tn)` — disjoint column
+                    // blocks of `dst` (column stride `ld`).
+                    unsafe {
+                        let p = base.0.add((col0 + jj) * ld + row0);
+                        std::ptr::copy_nonoverlapping(src_col.as_ptr(), p, live_r);
                     }
                 }
-            });
+            }
         }
-    });
-}
-
-/// Splits a mutable view into its first `width` columns and the rest.
-fn split_cols<S: Scalar>(v: MatMut<'_, S>, width: usize) -> (MatMut<'_, S>, MatMut<'_, S>) {
-    let (rows, cols) = v.dims();
-    assert!(width <= cols);
-    let (nw, ne, _, _) = v.split_quad(rows, width);
-    (nw, ne)
+    };
+    exec.for_each(jobs, &body);
 }
 
 #[cfg(test)]
@@ -207,5 +270,33 @@ mod tests {
         let mut out: Matrix<f64> = Matrix::zeros(10, 10);
         par_from_morton(&buf, &layout, out.view_mut());
         assert_eq!(out, m);
+    }
+
+    /// An executor that runs jobs serially but in *reverse* order — any
+    /// order must give the same answer because jobs are disjoint.
+    struct ReverseSerial;
+    impl TileExecutor for ReverseSerial {
+        fn for_each(&self, jobs: usize, body: &(dyn Fn(usize) + Sync)) {
+            for w in (0..jobs).rev() {
+                body(w);
+            }
+        }
+    }
+
+    #[test]
+    fn external_executor_with_cap_matches_serial() {
+        let m: Matrix<f64> = coordinate_matrix(600, 555);
+        let layout = MortonLayout::new(38, 38, 4); // 608x608, ragged columns.
+        let mut serial = vec![0.0; layout.len()];
+        convert::to_morton(m.view(), Op::NoTrans, &layout, &mut serial);
+        for cap in [1, 2, 3, 16] {
+            let mut par = vec![1.0; layout.len()];
+            par_to_morton_with(&ReverseSerial, cap, m.view(), Op::NoTrans, &layout, &mut par);
+            assert_eq!(serial, par, "pack cap = {cap}");
+
+            let mut out: Matrix<f64> = Matrix::zeros(600, 555);
+            par_from_morton_with(&ReverseSerial, cap, &serial, &layout, out.view_mut());
+            assert_eq!(out, m, "unpack cap = {cap}");
+        }
     }
 }

@@ -1,5 +1,7 @@
-//! Serial vs parallel MODGEMM (the seven Winograd products evaluated on
-//! scoped threads) — the natural extension of the paper's future work.
+//! Serial vs parallel MODGEMM (the plan's task DAG on the persistent
+//! work-stealing pool) — the natural extension of the paper's future
+//! work. `ModgemmConfig::threads` (or `MODGEMM_THREADS`) picks the
+//! worker count; 0 means auto.
 //!
 //! ```sh
 //! cargo run --release --example parallel_speedup
@@ -49,6 +51,19 @@ fn main() {
         assert_eq!(c, serial_result, "parallel result must be bitwise identical");
         println!(
             "parallel depth {depth}: {:>8.1} ms  (speedup {:.2}x, bitwise identical)",
+            t.as_secs_f64() * 1e3,
+            t_serial.as_secs_f64() / t.as_secs_f64()
+        );
+    }
+
+    // Pin the pool to explicit worker counts (0 above = auto).
+    for threads in [1usize, 2, 4] {
+        let cfg =
+            ModgemmConfig { parallel_depth: 2, parallel_convert: true, threads, ..serial_cfg };
+        let t = time_once(&a, &b, &mut c, &cfg);
+        assert_eq!(c, serial_result, "pooled result must be bitwise identical");
+        println!(
+            "threads {threads} depth 2: {:>8.1} ms  (speedup {:.2}x, bitwise identical)",
             t.as_secs_f64() * 1e3,
             t_serial.as_secs_f64() / t.as_secs_f64()
         );

@@ -1,0 +1,254 @@
+//! Property tests for the work-stealing DAG executor: pooled execution
+//! must be **bit-identical** to serial execution (same products, same
+//! kernels, same associativity — only the evaluation order across
+//! independent buffers differs), and worker panics must be contained as
+//! typed [`GemmError::WorkerPanic`] values, never escaping `try_*`.
+//!
+//! Integer scalars make bit-identity checkable with plain equality: any
+//! reassociation or scheduling bug that altered a single product or
+//! merge shows up as an exact mismatch.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use modgemm::core::{
+    parallel_slab_len, try_modgemm, try_strassen_mul_parallel_in_threads, workspace_len,
+    ExecPolicy, GemmError, ModgemmConfig, NodeLayouts, Truncation,
+};
+use modgemm::mat::gen::random_matrix;
+use modgemm::mat::{KernelKind, Matrix, Op, Scalar};
+use modgemm::morton::convert::to_morton;
+use modgemm::morton::{MortonLayout, TileRange};
+use proptest::prelude::*;
+
+/// The thread counts the ISSUE pins: serial degradation (1), fewer
+/// workers than one node's products (2, 3), exactly seven (7), and more
+/// workers than top-level tasks (16).
+const THREADS: [usize; 5] = [1, 2, 3, 7, 16];
+
+fn fill_i64(len: usize, seed: u64) -> Vec<i64> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+            ((x >> 48) as i64) % 17 - 8
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Raw Morton executor: for every leaf kernel and pinned thread
+    /// count, the pooled DAG run equals the serial run exactly on i64 —
+    /// on a deliberately dirty slab, so any read-before-write of a
+    /// temporary is caught too.
+    #[test]
+    fn pooled_dag_is_bitwise_serial_on_i64(
+        tile in 2usize..6,
+        depth in 1usize..4,
+        par_depth in 1usize..4,
+        kernel_ix in 0usize..KernelKind::ALL.len(),
+        seed in 0u64..1000,
+    ) {
+        let l = MortonLayout::new(tile, tile, depth);
+        let layouts = NodeLayouts::new(l, l, l);
+        let kind = KernelKind::ALL[kernel_ix];
+        // Auto resolves at plan time in the real pipeline; mirror that.
+        let policy = ExecPolicy {
+            kernel: kind.resolve(tile, tile, tile),
+            ..ExecPolicy::default()
+        };
+
+        let a = fill_i64(l.len(), seed);
+        let b = fill_i64(l.len(), seed + 1);
+
+        let mut c_ser = vec![0i64; l.len()];
+        let mut ws = vec![0i64; workspace_len(layouts, policy)];
+        modgemm::core::strassen_mul(&a, &b, &mut c_ser, layouts, &mut ws, policy);
+
+        for threads in THREADS {
+            let mut c_pool = vec![i64::MIN; l.len()];
+            let mut slab = vec![i64::MAX; parallel_slab_len(layouts, policy, par_depth)];
+            try_strassen_mul_parallel_in_threads(
+                &a, &b, &mut c_pool, layouts, policy, par_depth, threads, &mut slab,
+            ).unwrap();
+            prop_assert_eq!(
+                &c_pool, &c_ser,
+                "kernel {:?} tile {} depth {} par_depth {} threads {}",
+                kind, tile, depth, par_depth, threads
+            );
+        }
+    }
+
+    /// Full pipeline on ragged shapes: a pooled configuration produces
+    /// the exact serial product through conversion, compute, and unpack.
+    #[test]
+    fn pooled_pipeline_matches_serial_on_ragged_i64(
+        m in 1usize..64,
+        k in 1usize..64,
+        n in 1usize..64,
+        par_depth in 1usize..3,
+        threads_ix in 0usize..THREADS.len(),
+        seed in 0u64..1000,
+    ) {
+        let a: Matrix<i64> = random_matrix(m, k, seed);
+        let b: Matrix<i64> = random_matrix(k, n, seed + 7);
+        let base = ModgemmConfig {
+            truncation: Truncation::MinPadding(TileRange::new(4, 16)),
+            ..ModgemmConfig::paper()
+        };
+
+        let mut c_ser: Matrix<i64> = Matrix::zeros(m, n);
+        try_modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0,
+            c_ser.view_mut(), &base).unwrap();
+
+        let pooled = ModgemmConfig {
+            parallel_depth: par_depth,
+            threads: THREADS[threads_ix],
+            ..base
+        };
+        let mut c_pool: Matrix<i64> = Matrix::zeros(m, n);
+        try_modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0,
+            c_pool.view_mut(), &pooled).unwrap();
+        prop_assert_eq!(c_pool, c_ser);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic containment: a scalar whose multiply blows up on huge operands.
+// ---------------------------------------------------------------------------
+
+/// Any |value| at or above this trips [`Boom`]'s multiply. Sums of
+/// same-sign huge values stay huge, so the Winograd pre-additions cannot
+/// launder every huge operand away: some product task always panics.
+const BOOM: i64 = 1 << 40;
+
+/// An i64 whose `Mul` panics on huge operands — the injected fault for
+/// worker-panic containment tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct Boom(i64);
+
+impl fmt::Display for Boom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Add for Boom {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Boom(self.0.wrapping_add(rhs.0))
+    }
+}
+impl Sub for Boom {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Boom(self.0.wrapping_sub(rhs.0))
+    }
+}
+impl Mul for Boom {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        assert!(self.0.abs() < BOOM && rhs.0.abs() < BOOM, "injected worker fault");
+        Boom(self.0.wrapping_mul(rhs.0))
+    }
+}
+impl Neg for Boom {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Boom(self.0.wrapping_neg())
+    }
+}
+impl AddAssign for Boom {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Boom {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Boom {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Scalar for Boom {
+    const ZERO: Self = Boom(0);
+    const ONE: Self = Boom(1);
+    fn abs_val(self) -> Self {
+        Boom(self.0.abs())
+    }
+    fn from_f64(x: f64) -> Self {
+        Boom(x as i64)
+    }
+    fn to_f64(self) -> f64 {
+        self.0 as f64
+    }
+    fn epsilon_f64() -> f64 {
+        0.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A panicking leaf multiply inside a pool worker must surface as
+    /// `Err(WorkerPanic)` from `try_*` — no panic may cross the join, no
+    /// worker may be lost (the pool stays usable for a healthy follow-up
+    /// run at the same thread count).
+    #[test]
+    fn worker_panics_surface_as_typed_errors(
+        tile in 2usize..5,
+        depth in 1usize..3,
+        threads_ix in 1usize..THREADS.len(), // >= 2: the pooled path
+        seed in 0u64..1000,
+    ) {
+        let threads = THREADS[threads_ix];
+        let l = MortonLayout::new(tile, tile, depth);
+        let layouts = NodeLayouts::new(l, l, l);
+        let policy = ExecPolicy::default();
+
+        // All-huge A guarantees some product's operand is still huge
+        // after the pre-additions (e.g. the A11·B11 chain).
+        let a = vec![Boom(BOOM); l.len()];
+        let b: Vec<Boom> = fill_i64(l.len(), seed).into_iter().map(Boom).collect();
+        let mut c = vec![Boom(0); l.len()];
+        let mut slab = vec![Boom(0); parallel_slab_len(layouts, policy, 1)];
+        let r = try_strassen_mul_parallel_in_threads(
+            &a, &b, &mut c, layouts, policy, 1, threads, &mut slab,
+        );
+        prop_assert!(
+            matches!(r, Err(GemmError::WorkerPanic { .. })),
+            "expected WorkerPanic, got {:?}", r
+        );
+
+        // The pool survives the contained panic: a healthy run on the
+        // same workers still matches serial bitwise.
+        let a2: Vec<Boom> = fill_i64(l.len(), seed + 1).into_iter().map(Boom).collect();
+        let mut c_pool = vec![Boom(0); l.len()];
+        let mut slab2 = vec![Boom(0); parallel_slab_len(layouts, policy, 1)];
+        try_strassen_mul_parallel_in_threads(
+            &a2, &b, &mut c_pool, layouts, policy, 1, threads, &mut slab2,
+        ).unwrap();
+        let mut c_ser = vec![Boom(0); l.len()];
+        let mut ws = vec![Boom(0); workspace_len(layouts, policy)];
+        modgemm::core::strassen_mul(&a2, &b, &mut c_ser, layouts, &mut ws, policy);
+        prop_assert_eq!(c_pool, c_ser);
+    }
+}
+
+/// Morton-buffer round trip sanity for the harness helpers (not a
+/// property: one deterministic case so a broken `fill_i64` or layout
+/// assumption fails loudly rather than making properties vacuous).
+#[test]
+fn harness_sanity() {
+    let l = MortonLayout::new(4, 4, 2);
+    let m: Matrix<i64> = random_matrix(16, 16, 3);
+    let mut buf = vec![0i64; l.len()];
+    to_morton(m.view(), Op::NoTrans, &l, &mut buf);
+    assert_eq!(buf.len(), l.len());
+    assert!(fill_i64(64, 1).iter().any(|&x| x != 0));
+}
