@@ -19,6 +19,10 @@
 //! executor at fixed worker counts on n = 1024, so multi-core scaling of
 //! the pooled executor is tracked case-by-case (the `threads_1` case is
 //! the serial-degradation control).
+//! The `service_mixed_256_513` case drives the [`GemmService`] front-end
+//! with mixed 256/513 traffic from two client threads; its per-request
+//! latencies feed `secs_*`, and a `service` object in the report carries
+//! p50/p99 latency, the rejection rate, and the plan-cache hit rate.
 //! `--kernel <naive|blocked|micro|packed|auto>` forces that leaf kernel
 //! into every MODGEMM case and restricts the sweep to it — the quick way
 //! to A/B one kernel. `--threads <n>` likewise forces the pool worker
@@ -36,7 +40,10 @@ use modgemm_bench::report::{
     compare_reports, median, CompareMetric, SCHEMA_VERSION, SCORE_REFERENCE_CASE,
 };
 use modgemm_core::metrics::{CollectingSink, MetricsSink};
-use modgemm_core::{try_modgemm_with_metrics, GemmContext, ModgemmConfig};
+use modgemm_core::{
+    try_modgemm_with_metrics, GemmContext, GemmError, GemmRequest, GemmService, ModgemmConfig,
+    ServiceConfig,
+};
 use modgemm_experiments::json::{parse, Value};
 use modgemm_mat::gen::random_matrix;
 use modgemm_mat::view::Op;
@@ -63,6 +70,16 @@ enum Algo {
         cfg: ModgemmConfig,
         /// Executions per timed repetition.
         execs: u32,
+    },
+    /// The `GemmService` front-end under mixed-shape traffic from
+    /// concurrent client threads. Reported times are per-request
+    /// latencies (submit → result), and the case carries a `service`
+    /// metrics object instead of meaningful GFLOP/s.
+    Service {
+        /// Requests issued per timed repetition (split across clients).
+        requests: u32,
+        /// Concurrent client threads.
+        clients: u32,
     },
 }
 
@@ -97,6 +114,9 @@ fn suite_cases(kernel: Option<KernelKind>, threads: Option<usize>) -> Vec<Case> 
         let cfg = ModgemmConfig { parallel_depth: 2, threads: t, ..ModgemmConfig::default() };
         cases.push(case(&format!("threads_{t}_1024"), 1024, Algo::Modgemm(cfg)));
     }
+    // The service front-end under mixed power-of-two / worst-case-padding
+    // traffic: per-request latency distribution plus admission behaviour.
+    cases.push(case("service_mixed_256_513", 513, Algo::Service { requests: 8, clients: 2 }));
     // --kernel also forces the leaf kernel into every MODGEMM case so the
     // whole report reflects one kernel choice; --threads does the same
     // for the pool worker count (sweep cases keep their declared counts).
@@ -115,16 +135,100 @@ fn suite_cases(kernel: Option<KernelKind>, threads: Option<usize>) -> Vec<Case> 
                         }
                     }
                 }
-                Algo::Conventional => {}
+                Algo::Conventional | Algo::Service { .. } => {}
             }
         }
     }
     cases
 }
 
-/// Runs one case `reps` times; returns per-rep seconds and the metrics
-/// snapshot of the last repetition.
-fn run_case(case: &Case, reps: u32) -> (Vec<f64>, modgemm_core::ExecMetrics) {
+/// Drives the long-running [`GemmService`] with mixed 256/513 square
+/// requests from `clients` threads. Returns per-request latencies in
+/// seconds (so the shared `secs_*` statistics read as latency) and the
+/// `service` report object: p50/p99 latency, rejection rate, plan-cache
+/// hit rate, and the raw admission counters.
+fn run_service_case(requests: u32, clients: u32, reps: u32) -> (Vec<f64>, Value) {
+    use std::sync::Arc;
+    let svc = Arc::new(GemmService::<f64>::start(ServiceConfig {
+        queue_capacity: 16,
+        dispatchers: 2,
+        ..ServiceConfig::default()
+    }));
+    // Operands are generated once and cloned per request, so the clients
+    // measure service latency rather than RNG throughput.
+    let inputs: Arc<Vec<(Matrix<f64>, Matrix<f64>)>> = Arc::new(
+        [256usize, 513]
+            .iter()
+            .map(|&n| (random_matrix(n, n, 11), random_matrix(n, n, 13)))
+            .collect(),
+    );
+    let mut latencies: Vec<f64> = Vec::new();
+    // Rep 0 is the untimed warmup, matching the other cases' protocol: it
+    // fills the plan cache and sizes the dispatcher contexts.
+    for rep in 0..=reps {
+        let workers: Vec<_> = (0..clients)
+            .map(|ci| {
+                let svc = Arc::clone(&svc);
+                let inputs = Arc::clone(&inputs);
+                std::thread::spawn(move || {
+                    let mut lats = Vec::new();
+                    for i in 0..(requests / clients.max(1)).max(1) {
+                        let (a, b) = &inputs[((ci + i) % 2) as usize];
+                        let t0 = Instant::now();
+                        match svc.submit(GemmRequest::new(a.clone(), b.clone())) {
+                            Ok(ticket) => {
+                                ticket.wait().expect("service bench request failed");
+                                lats.push(t0.elapsed().as_secs_f64());
+                            }
+                            // Overload is measured behaviour (it feeds the
+                            // rejection rate), not a bench failure.
+                            Err(GemmError::Overloaded { .. }) => {}
+                            Err(other) => panic!("unexpected submit rejection: {other:?}"),
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        for worker in workers {
+            let lats = worker.join().expect("service bench client panicked");
+            if rep > 0 {
+                latencies.extend(lats);
+            }
+        }
+    }
+    let stats = svc.stats();
+    let mut sorted = latencies.clone();
+    sorted.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        sorted[(((sorted.len() - 1) as f64) * p).round() as usize]
+    };
+    let service_json = Value::object()
+        .with("p50_latency_ms", pct(0.50) * 1e3)
+        .with("p99_latency_ms", pct(0.99) * 1e3)
+        .with("rejection_rate", stats.rejection_rate())
+        .with("plan_cache_hit_rate", stats.plan_cache_hit_rate())
+        .with("submitted", stats.submitted)
+        .with("completed", stats.completed)
+        .with("rejected_overload", stats.rejected_overload)
+        .with("peak_bytes_in_use", stats.peak_bytes_in_use);
+    (latencies, service_json)
+}
+
+/// Runs one case `reps` times; returns per-rep seconds, the metrics
+/// snapshot of the last repetition, and (for service cases only) the
+/// extra `service` report object.
+fn run_case(case: &Case, reps: u32) -> (Vec<f64>, modgemm_core::ExecMetrics, Option<Value>) {
+    if let Algo::Service { requests, clients } = case.algo {
+        // The service case has its own driver: latency samples come from
+        // client threads, and the execution metrics (which belong to the
+        // dispatcher contexts) are reported via the service object.
+        let (secs, service) = run_service_case(requests, clients, reps);
+        return (secs, CollectingSink::new().into_metrics(), Some(service));
+    }
     let n = case.n;
     let a: Matrix<f64> = random_matrix(n, n, 11);
     let b: Matrix<f64> = random_matrix(n, n, 13);
@@ -135,7 +239,8 @@ fn run_case(case: &Case, reps: u32) -> (Vec<f64>, modgemm_core::ExecMetrics) {
     // PlanReuse cases compile their plan once, outside the timed loop.
     let plan = match &case.algo {
         Algo::PlanReuse { cfg, .. } => Some(modgemm_core::plan::plan::<f64>(n, n, n, cfg)),
-        _ => None,
+        Algo::Modgemm(_) | Algo::Conventional => None,
+        Algo::Service { .. } => unreachable!("handled above"),
     };
     // One untimed warmup rep sizes the context buffers and pages in the
     // operands, keeping first-touch cost out of the sample.
@@ -197,6 +302,7 @@ fn run_case(case: &Case, reps: u32) -> (Vec<f64>, modgemm_core::ExecMetrics) {
                     per_exec.push(te.elapsed().as_secs_f64());
                 }
             }
+            Algo::Service { .. } => unreachable!("handled above"),
         }
         if rep > 0 {
             if per_exec.is_empty() {
@@ -207,7 +313,7 @@ fn run_case(case: &Case, reps: u32) -> (Vec<f64>, modgemm_core::ExecMetrics) {
         }
         last = sink;
     }
-    (secs, last.into_metrics())
+    (secs, last.into_metrics(), None)
 }
 
 fn metrics_json(m: &modgemm_core::ExecMetrics) -> Value {
@@ -274,13 +380,17 @@ fn run_suite(
     let mut measured = Vec::new();
     for case in &cases {
         eprint!("  {} (n={}) ... ", case.name, case.n);
-        let (secs, metrics) = run_case(case, reps);
+        let (secs, metrics, service) = run_case(case, reps);
         let flops = metrics.effective_flops() as f64;
         let secs_median = median(&secs);
         let secs_min = secs.iter().cloned().fold(f64::INFINITY, f64::min);
-        let gflops_median = flops / secs_median / 1e9;
-        eprintln!("{gflops_median:.2} GFLOP/s");
-        measured.push((case, secs_min, secs_median, flops, metrics));
+        if service.is_some() {
+            eprintln!("{:.1} ms p50 latency", secs_median * 1e3);
+        } else {
+            let gflops_median = flops / secs_median / 1e9;
+            eprintln!("{gflops_median:.2} GFLOP/s");
+        }
+        measured.push((case, secs_min, secs_median, flops, metrics, service));
     }
 
     // The score reference uses min-time throughput: minima are far less
@@ -289,16 +399,16 @@ fn run_suite(
     let reference = measured
         .iter()
         .find(|(c, ..)| c.name == SCORE_REFERENCE_CASE)
-        .map(|(_, secs_min, _, flops, _)| flops / secs_min / 1e9)
+        .map(|(_, secs_min, _, flops, ..)| flops / secs_min / 1e9)
         .expect("suite must contain the score reference case");
 
     let cases_json: Vec<Value> = measured
         .iter()
-        .map(|(case, secs_min, secs_median, flops, metrics)| {
+        .map(|(case, secs_min, secs_median, flops, metrics, service)| {
             let (m, k, n) = metrics.problem.unwrap_or((case.n, case.n, case.n));
             let gflops_median = flops / secs_median / 1e9;
             let gflops_min = flops / secs_min.max(f64::MIN_POSITIVE) / 1e9;
-            Value::object()
+            let mut obj = Value::object()
                 .with("name", case.name.as_str())
                 .with("m", m)
                 .with("k", k)
@@ -309,7 +419,11 @@ fn run_suite(
                 .with("gflops_min", gflops_min)
                 .with("gflops_median", gflops_median)
                 .with("score", gflops_min / reference)
-                .with("metrics", metrics_json(metrics))
+                .with("metrics", metrics_json(metrics));
+            if let Some(service) = service {
+                obj = obj.with("service", service.clone());
+            }
+            obj
         })
         .collect();
 

@@ -122,6 +122,14 @@ pub struct ModgemmConfig {
     pub non_finite: NonFinitePolicy,
     /// Post-hoc result verification on the fallible path.
     pub verify: VerifyMode,
+    /// Verified-retry attempts when a Freivalds check fails: each attempt
+    /// restores `C₀`, recomputes with the conventional baseline, and
+    /// re-checks with exponentially escalated rounds (doubling per
+    /// attempt, capped at 64). `0` reports
+    /// [`GemmError::VerificationFailed`] on the first failed check; the
+    /// default `1` reproduces the single conventional recompute the
+    /// pipeline always had. Ignored when [`Self::verify`] is `Off`.
+    pub verify_retries: u32,
     /// Leaf-multiply kernel selected at plan time (see
     /// [`modgemm_mat::kernel`]). `Blocked` reproduces the paper;
     /// `Packed` adds Goto-style panel packing with runtime-dispatched
@@ -143,6 +151,7 @@ impl Default for ModgemmConfig {
             memory_budget: MemoryBudget::Unlimited,
             non_finite: NonFinitePolicy::Propagate,
             verify: VerifyMode::Off,
+            verify_retries: 1,
             leaf_kernel: modgemm_mat::KernelKind::Blocked,
         }
     }

@@ -169,6 +169,32 @@ pub enum GemmError {
         /// Panic payload when it was a string, or a placeholder.
         message: String,
     },
+    /// The [`crate::service::GemmService`] submission queue is full —
+    /// typed backpressure instead of unbounded growth. Resubmit later or
+    /// shed load.
+    Overloaded {
+        /// The bounded queue's capacity at the time of rejection.
+        capacity: usize,
+    },
+    /// The request's deadline passed before the result was produced —
+    /// either while queued (rejected before any allocation) or mid-flight
+    /// (the task DAG was drained cooperatively).
+    DeadlineExceeded,
+    /// The request was cancelled by its caller (via
+    /// [`crate::pool::CancelToken::cancel`]); the in-flight task DAG was
+    /// drained cooperatively and the context remains reusable.
+    Cancelled,
+    /// The service is shutting down and rejects new submissions; requests
+    /// still queued when the drain could not run also resolve to this.
+    ShuttingDown,
+    /// The request can never be admitted: its memory estimate exceeds the
+    /// service's whole [`crate::config::MemoryBudget`] ledger.
+    BudgetExceeded {
+        /// Bytes the request would need at peak.
+        needed_bytes: usize,
+        /// The ledger's total budget in bytes.
+        budget_bytes: usize,
+    },
 }
 
 impl fmt::Display for GemmError {
@@ -215,6 +241,19 @@ impl fmt::Display for GemmError {
             GemmError::WorkerPanic { message } => {
                 write!(f, "parallel worker panicked: {message}")
             }
+            GemmError::Overloaded { capacity } => {
+                write!(f, "service overloaded: submission queue at capacity {capacity}")
+            }
+            GemmError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            GemmError::Cancelled => write!(f, "request cancelled"),
+            GemmError::ShuttingDown => {
+                write!(f, "service is shutting down and rejects new submissions")
+            }
+            GemmError::BudgetExceeded { needed_bytes, budget_bytes } => write!(
+                f,
+                "request needs {needed_bytes} bytes but the service memory budget is only \
+                 {budget_bytes} bytes"
+            ),
         }
     }
 }
@@ -224,6 +263,7 @@ impl std::error::Error for GemmError {}
 /// Allocates a zero-filled `Vec` of `len` elements, surfacing allocation
 /// failure as [`GemmError::Allocation`] instead of aborting.
 pub(crate) fn try_zeroed_vec<S: modgemm_mat::Scalar>(len: usize) -> Result<Vec<S>, GemmError> {
+    crate::faults::check_alloc(len)?;
     let mut v: Vec<S> = Vec::new();
     v.try_reserve_exact(len).map_err(|_| GemmError::Allocation { elements: len })?;
     v.resize(len, S::ZERO);
@@ -237,6 +277,7 @@ pub(crate) fn try_grow<S: modgemm_mat::Scalar>(
     len: usize,
 ) -> Result<&mut [S], GemmError> {
     if v.len() < len {
+        crate::faults::check_alloc(len)?;
         let extra = len - v.len();
         v.try_reserve(extra).map_err(|_| GemmError::Allocation { elements: len })?;
         v.resize(len, S::ZERO);
@@ -264,7 +305,7 @@ mod tests {
     fn display_messages_carry_the_legacy_substrings() {
         // The panicking wrappers format these errors; keep the substrings
         // older should_panic tests and downstream log-scrapers match on.
-        let cases: [(GemmError, &str); 6] = [
+        let cases: [(GemmError, &str); 11] = [
             (GemmError::InnerDimMismatch { a_cols: 5, b_rows: 6 }, "inner dimensions"),
             (GemmError::OutputDimMismatch { expected: (4, 3), got: (4, 4) }, "C must be 4x3"),
             (GemmError::BadLeadingDim { operand: Operand::A, ld: 9, min: 10 }, "leading dimension"),
@@ -274,6 +315,11 @@ mod tests {
                 GemmError::BufferLenMismatch { operand: Operand::A, needed: 64, got: 63 },
                 "A buffer length mismatch",
             ),
+            (GemmError::Overloaded { capacity: 8 }, "capacity 8"),
+            (GemmError::DeadlineExceeded, "deadline"),
+            (GemmError::Cancelled, "cancelled"),
+            (GemmError::ShuttingDown, "shutting down"),
+            (GemmError::BudgetExceeded { needed_bytes: 100, budget_bytes: 10 }, "memory budget"),
         ];
         for (e, sub) in cases {
             assert!(e.to_string().contains(sub), "{e} lacks {sub:?}");

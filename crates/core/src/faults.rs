@@ -1,0 +1,270 @@
+//! Compile-time-gated fault injection ("failpoints") for chaos testing.
+//!
+//! Robustness claims about the service layer — no hang, no leak, typed
+//! errors only — are worthless if the failure paths never run. This
+//! module plants named injection sites on the paths that can fail in
+//! production and lets tests arm them deterministically:
+//!
+//! * [`FaultSite::Alloc`] — context/snapshot buffer growth fails as
+//!   [`GemmError::Allocation`] (planted in the `try_grow`/`try_zeroed_vec`
+//!   allocation helpers).
+//! * [`FaultSite::WorkerPanic`] — a pool task body panics (planted at the
+//!   top of the DAG task body; contained by the pool's `catch_unwind`
+//!   machinery and surfaced as [`GemmError::WorkerPanic`]).
+//! * [`FaultSite::NonFinite`] — the computed Morton result is poisoned
+//!   with a `NaN` before unpacking, exercising Freivalds detection and
+//!   the verified-retry path.
+//! * [`FaultSite::Latency`] — an artificial sleep inside pool tasks,
+//!   widening race windows for deadline/cancellation tests.
+//!
+//! Everything is gated behind the **`failpoints` cargo feature**: without
+//! it the hooks compile to empty inline functions and the hot path pays
+//! nothing. With it, each site is armed per-test via `arm` with a
+//! deterministic pseudo-random trigger (seeded counter hash), an optional
+//! trigger limit, and is disarmed via `disarm`/`disarm_all`.
+//!
+//! The CI `chaos` job runs the whole core test suite (including the
+//! chaos soak in `tests/chaos.rs`) with the feature enabled.
+
+#![allow(dead_code)]
+
+use crate::error::GemmError;
+
+/// A named fault-injection site. See the module docs for where each site
+/// is planted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Internal buffer allocation fails with [`GemmError::Allocation`].
+    Alloc,
+    /// A pool worker task panics (contained as
+    /// [`GemmError::WorkerPanic`]).
+    WorkerPanic,
+    /// The computed result buffer is poisoned with a non-finite value.
+    NonFinite,
+    /// Pool tasks sleep for the armed duration before running.
+    Latency,
+}
+
+impl FaultSite {
+    const COUNT: usize = 4;
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::Alloc => 0,
+            FaultSite::WorkerPanic => 1,
+            FaultSite::NonFinite => 2,
+            FaultSite::Latency => 3,
+        }
+    }
+}
+
+/// How an armed site triggers: deterministically pseudo-random with rate
+/// `1 / one_in` per occurrence, at most `limit` firings, from `seed`.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSpec {
+    /// Average occurrences between firings (`1` fires on every
+    /// occurrence; `0` is treated as `1`).
+    pub one_in: u32,
+    /// Maximum number of firings before the site goes quiet
+    /// (`u64::MAX` for unlimited).
+    pub limit: u64,
+    /// Seed of the per-site trigger hash — same seed, same firing
+    /// pattern.
+    pub seed: u64,
+    /// Sleep duration for [`FaultSite::Latency`] firings (ignored by the
+    /// other sites).
+    pub latency: std::time::Duration,
+}
+
+impl FaultSpec {
+    /// A spec firing on average once per `one_in` occurrences, unlimited,
+    /// seeded for determinism.
+    pub fn one_in(one_in: u32, seed: u64) -> Self {
+        FaultSpec { one_in, limit: u64::MAX, seed, latency: std::time::Duration::from_micros(200) }
+    }
+
+    /// A spec firing on every occurrence, at most `limit` times.
+    pub fn always(limit: u64) -> Self {
+        FaultSpec { one_in: 1, limit, seed: 0, latency: std::time::Duration::from_micros(200) }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+mod registry {
+    use super::{FaultSite, FaultSpec};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    #[derive(Default)]
+    pub(super) struct SiteState {
+        pub spec: Option<FaultSpec>,
+        pub occurrences: u64,
+        pub fired: u64,
+    }
+
+    pub(super) struct Registry {
+        pub sites: Mutex<[SiteState; FaultSite::COUNT]>,
+        /// Fast path: bit `i` set ⇔ site `i` armed. Keeps disarmed
+        /// overhead to one relaxed load even with the feature on.
+        pub armed_mask: AtomicU64,
+    }
+
+    pub(super) fn global() -> &'static Registry {
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        REGISTRY.get_or_init(|| Registry {
+            sites: Mutex::new(Default::default()),
+            armed_mask: AtomicU64::new(0),
+        })
+    }
+
+    /// SplitMix64: a deterministic avalanche of (seed, counter) into a
+    /// trigger decision.
+    pub(super) fn mix(seed: u64, counter: u64) -> u64 {
+        let mut z = seed.wrapping_add(counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Decides whether this occurrence of `site` fires, and returns the
+    /// armed spec when it does.
+    pub(super) fn trigger(site: FaultSite) -> Option<FaultSpec> {
+        let reg = global();
+        if reg.armed_mask.load(Ordering::Relaxed) & (1 << site.index()) == 0 {
+            return None;
+        }
+        let mut sites = reg.sites.lock().unwrap_or_else(|p| p.into_inner());
+        let state = &mut sites[site.index()];
+        let spec = state.spec?;
+        state.occurrences += 1;
+        if state.fired >= spec.limit {
+            return None;
+        }
+        let rate = spec.one_in.max(1) as u64;
+        if mix(spec.seed, state.occurrences) % rate == 0 {
+            state.fired += 1;
+            Some(spec)
+        } else {
+            None
+        }
+    }
+}
+
+/// Arms `site` with `spec`, replacing any previous arming (and resetting
+/// its occurrence/firing counters). Only available with the `failpoints`
+/// feature.
+#[cfg(feature = "failpoints")]
+pub fn arm(site: FaultSite, spec: FaultSpec) {
+    let reg = registry::global();
+    let mut sites = reg.sites.lock().unwrap_or_else(|p| p.into_inner());
+    sites[site.index()] = registry::SiteState { spec: Some(spec), occurrences: 0, fired: 0 };
+    reg.armed_mask.fetch_or(1 << site.index(), std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Disarms `site`; its counters are kept until the next [`arm`] so tests
+/// can still read [`fired`]. Only available with the `failpoints`
+/// feature.
+#[cfg(feature = "failpoints")]
+pub fn disarm(site: FaultSite) {
+    let reg = registry::global();
+    let mut sites = reg.sites.lock().unwrap_or_else(|p| p.into_inner());
+    sites[site.index()].spec = None;
+    reg.armed_mask.fetch_and(!(1 << site.index()), std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Disarms every site. Only available with the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+pub fn disarm_all() {
+    for site in [FaultSite::Alloc, FaultSite::WorkerPanic, FaultSite::NonFinite, FaultSite::Latency]
+    {
+        disarm(site);
+    }
+}
+
+/// Times `site` has fired since it was last armed. Only available with
+/// the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+pub fn fired(site: FaultSite) -> u64 {
+    let reg = registry::global();
+    let sites = reg.sites.lock().unwrap_or_else(|p| p.into_inner());
+    sites[site.index()].fired
+}
+
+// ---------------------------------------------------------------------------
+// Hooks planted in production code (no-ops without the feature)
+// ---------------------------------------------------------------------------
+
+/// [`FaultSite::Alloc`] hook: fails an internal allocation of `elements`
+/// elements when armed and triggered.
+#[inline]
+pub(crate) fn check_alloc(elements: usize) -> Result<(), GemmError> {
+    #[cfg(feature = "failpoints")]
+    if registry::trigger(FaultSite::Alloc).is_some() {
+        return Err(GemmError::Allocation { elements });
+    }
+    let _ = elements;
+    Ok(())
+}
+
+/// [`FaultSite::WorkerPanic`] hook: panics inside a pool task body when
+/// armed and triggered (contained by the executor's `catch_unwind`).
+#[inline]
+pub(crate) fn maybe_worker_panic() {
+    #[cfg(feature = "failpoints")]
+    if registry::trigger(FaultSite::WorkerPanic).is_some() {
+        panic!("injected fault: worker panic");
+    }
+}
+
+/// [`FaultSite::Latency`] hook: sleeps for the armed duration when
+/// triggered.
+#[inline]
+pub(crate) fn maybe_latency() {
+    #[cfg(feature = "failpoints")]
+    if let Some(spec) = registry::trigger(FaultSite::Latency) {
+        std::thread::sleep(spec.latency);
+    }
+}
+
+/// [`FaultSite::NonFinite`] hook: poisons the first element of the
+/// computed result buffer with `NaN` when triggered (a silent-corruption
+/// model — only result verification can catch it).
+#[inline]
+pub(crate) fn maybe_poison<S: modgemm_mat::Scalar>(c: &mut [S]) {
+    #[cfg(feature = "failpoints")]
+    if registry::trigger(FaultSite::NonFinite).is_some() {
+        if let Some(first) = c.first_mut() {
+            *first = S::from_f64(f64::NAN);
+        }
+    }
+    let _ = c;
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    // Sites are process-global; this test owns Alloc arming exclusively
+    // (the chaos suite lives in its own test binary/process).
+    #[test]
+    fn alloc_site_triggers_deterministically_and_respects_limit() {
+        arm(FaultSite::Alloc, FaultSpec::always(2));
+        assert!(check_alloc(10).is_err());
+        assert!(check_alloc(10).is_err());
+        // Limit reached: the site goes quiet.
+        assert!(check_alloc(10).is_ok());
+        assert_eq!(fired(FaultSite::Alloc), 2);
+
+        // Probabilistic arming fires roughly 1-in-n and is reproducible.
+        arm(FaultSite::Alloc, FaultSpec::one_in(4, 42));
+        let pattern: Vec<bool> = (0..64).map(|_| check_alloc(1).is_err()).collect();
+        let fired_count = pattern.iter().filter(|&&f| f).count();
+        assert!(fired_count > 4 && fired_count < 40, "rate wildly off: {fired_count}/64");
+        arm(FaultSite::Alloc, FaultSpec::one_in(4, 42));
+        let replay: Vec<bool> = (0..64).map(|_| check_alloc(1).is_err()).collect();
+        assert_eq!(pattern, replay, "same seed must replay the same firing pattern");
+
+        disarm(FaultSite::Alloc);
+        assert!(check_alloc(10).is_ok());
+    }
+}

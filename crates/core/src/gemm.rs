@@ -221,7 +221,8 @@ pub struct GemmContext<S> {
 /// Buffer sizes (`a`, `b`, `c`, workspace, in elements) an `m × k × n`
 /// problem under `cfg` will carve from a context, or `None` for
 /// degenerate or split problems (which size themselves per sub-product).
-fn buffer_needs<S: Scalar>(
+/// The service front-end uses this as its admission-time memory estimate.
+pub(crate) fn buffer_needs<S: Scalar>(
     m: usize,
     k: usize,
     n: usize,

@@ -39,6 +39,7 @@ pub mod config;
 pub mod counts;
 pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod gemm;
 pub mod metrics;
 pub mod parallel;
@@ -46,6 +47,7 @@ pub mod plan;
 pub mod pool;
 pub mod rect;
 pub mod schedule;
+pub mod service;
 pub mod verify;
 
 pub use config::{MemoryBudget, ModgemmConfig, NonFinitePolicy, Truncation, VerifyMode};
@@ -54,12 +56,14 @@ pub use exec::{
     budget_capped_policy, strassen_mul, try_strassen_mul, try_strassen_mul_with_sink,
     workspace_len, ExecPolicy, NodeLayouts,
 };
+pub use faults::{FaultSite, FaultSpec};
 pub use gemm::{
     layouts_of, modgemm, modgemm_premorton, modgemm_timed, modgemm_with_ctx, try_modgemm,
     try_modgemm_with_ctx, try_modgemm_with_metrics, GemmBreakdown, GemmContext, MortonMatrix,
 };
 pub use metrics::{
     CacheTotals, CollectingSink, ExecMetrics, MetricsSink, NoopSink, PlanFacts, PoolStats,
+    ServiceStats,
 };
 pub use parallel::{
     parallel_slab_len, strassen_mul_parallel, try_strassen_mul_parallel,
@@ -67,7 +71,10 @@ pub use parallel::{
     try_strassen_mul_parallel_with_sink,
 };
 pub use plan::{execute, plan, GemmPlan, LevelPlan};
-pub use pool::{resolve_threads, ThreadPool, MODGEMM_THREADS_ENV};
+pub use pool::{
+    resolve_threads, try_resolve_threads, CancelToken, ThreadPool, MODGEMM_THREADS_ENV,
+};
 pub use rect::{classify, Shape};
 pub use schedule::Variant;
+pub use service::{GemmRequest, GemmService, GemmTicket, ServiceConfig};
 pub use verify::{verify_gemm, verify_product};

@@ -81,6 +81,79 @@ pub struct PoolStats {
     pub idle: Duration,
 }
 
+/// A point-in-time counter snapshot of one [`crate::service::GemmService`]
+/// — admission, completion, rejection, and plan-cache behavior. Taken
+/// with [`crate::service::GemmService::stats`]; counters are cumulative
+/// since service construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted into the submission queue.
+    pub submitted: u64,
+    /// Requests a dispatcher admitted against the memory ledger and ran.
+    pub admitted: u64,
+    /// Requests that completed with `Ok`.
+    pub completed: u64,
+    /// Submissions rejected because the bounded queue was full
+    /// ([`crate::GemmError::Overloaded`]).
+    pub rejected_overload: u64,
+    /// Submissions or queued requests rejected during shutdown
+    /// ([`crate::GemmError::ShuttingDown`]).
+    pub rejected_shutdown: u64,
+    /// Requests that ended [`crate::GemmError::Cancelled`].
+    pub cancelled: u64,
+    /// Requests that ended [`crate::GemmError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Requests that ended in any other typed error (allocation failure,
+    /// verification failure, worker panic, budget excess, bad dims, …).
+    pub failed: u64,
+    /// Requests currently waiting in the submission queue.
+    pub queue_depth: u64,
+    /// Highest queue depth observed.
+    pub peak_queue_depth: u64,
+    /// Plan-cache lookups served from the cache.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that compiled a new plan.
+    pub plan_cache_misses: u64,
+    /// Plans evicted by the cache's LRU policy.
+    pub plan_cache_evictions: u64,
+    /// Ledger bytes currently admitted (live request workspace).
+    pub bytes_in_use: u64,
+    /// Highest ledger occupancy observed.
+    pub peak_bytes_in_use: u64,
+}
+
+impl ServiceStats {
+    /// Requests that reached a terminal state (any outcome).
+    pub fn finished(&self) -> u64 {
+        self.completed
+            + self.cancelled
+            + self.deadline_exceeded
+            + self.failed
+            + self.rejected_shutdown
+    }
+
+    /// `rejected_overload / (submitted + rejected_overload)` — the
+    /// admission-control rejection rate. `0.0` when nothing was offered.
+    pub fn rejection_rate(&self) -> f64 {
+        let offered = self.submitted + self.rejected_overload;
+        if offered == 0 {
+            0.0
+        } else {
+            self.rejected_overload as f64 / offered as f64
+        }
+    }
+
+    /// Plan-cache hit rate over all lookups. `0.0` before any lookup.
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let lookups = self.plan_cache_hits + self.plan_cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
 /// The event vocabulary every instrumented executor reports through.
 ///
 /// All methods have empty default bodies, so a sink implements only what

@@ -17,7 +17,7 @@
 //! Historically each Winograd node spawned seven scoped OS threads and
 //! everything below the top level ran serially. The executor now lowers
 //! the whole `par_depth`-deep recursion into a dependency-counted task
-//! DAG ([`crate::plan`]'s lowering) and schedules it on the persistent
+//! DAG ([`crate::plan`](mod@crate::plan)'s lowering) and schedules it on the persistent
 //! [`crate::pool::ThreadPool`]: S/T pre-addition passes, every product
 //! at every parallel level, and the post-addition merges all become
 //! stealable tasks, so the pool overlaps sibling subtrees across levels
@@ -224,6 +224,7 @@ fn run_parallel<S: Scalar, K: MetricsSink>(
         c,
         &mut slab[..graph.slab_len],
         &mut scratch,
+        None,
         sink,
     )
 }

@@ -45,7 +45,7 @@ use crate::gemm::{
 };
 use crate::metrics::{MetricsSink, NoopSink, PlanFacts};
 use crate::parallel::{effective_par_depth, parallel_slab_len};
-use crate::pool::{PoolTiles, ThreadPool};
+use crate::pool::{CancelToken, PoolTiles, ThreadPool};
 use crate::rect;
 use crate::schedule::{ASlot, AddKind, BSlot, Step};
 use crate::verify::verify_gemm;
@@ -56,6 +56,11 @@ use crate::verify::verify_gemm;
 /// levels can never be reached on any address width; the one-shot path
 /// uses this to keep its [`LevelPlan`] list off the heap.
 pub const MAX_LEVELS: usize = 64;
+
+/// Cap on the Freivalds round count the verified-retry escalation can
+/// reach: `2⁻⁶⁴` false-accept probability is already negligible, and each
+/// round costs a full `O(n²)` probe.
+const MAX_VERIFY_ROUNDS: u32 = 64;
 
 /// The compiled form of one Strassen recursion level: quadrant sizes, the
 /// arena slot this level owns, and the schedule it interprets.
@@ -615,6 +620,10 @@ impl<S: Scalar> GemmPlan<S> {
     /// arena offsets.
     pub fn try_new(m: usize, k: usize, n: usize, cfg: &ModgemmConfig) -> Result<Self, GemmError> {
         cfg.validate()?;
+        // Resolve workers fallibly up front so a malformed
+        // `MODGEMM_THREADS` surfaces as `InvalidConfig` here instead of
+        // being silently ignored deep in the executor.
+        let threads = crate::pool::try_resolve_threads(cfg.threads)?;
         let strategy = if m == 0 || k == 0 || n == 0 {
             // Degenerate problems never reach an executor; the early-outs
             // in `try_execute_with_metrics` handle them.
@@ -627,7 +636,6 @@ impl<S: Scalar> GemmPlan<S> {
                 let count = fill_levels(&mut levels, layouts, policy);
                 levels.truncate(count);
                 let arena_len = workspace_len(layouts, policy);
-                let threads = crate::pool::resolve_threads(cfg.threads);
                 let par = effective_par_depth::<S>(layouts, policy, cfg).map(|depth| {
                     let graph = lower_dag(layouts, policy, depth);
                     let mut level_layouts = Vec::with_capacity(depth + 1);
@@ -709,6 +717,15 @@ impl<S: Scalar> GemmPlan<S> {
         self.strategy.as_ref().map_or(0, |tp| tp.levels.len())
     }
 
+    /// Task count of the compiled parallel DAG — the cooperative
+    /// cancellation granularity: a [`CancelToken`] is observed at every
+    /// task-dequeue boundary, so a cancel or deadline expiry is noticed
+    /// within one task's work. `0` when the plan executes serially (the
+    /// serial interpreter checks the token once, before computing).
+    pub fn parallel_tasks(&self) -> usize {
+        self.strategy.as_ref().and_then(|tp| tp.par.as_ref()).map_or(0, |p| p.graph.tasks.len())
+    }
+
     fn arena_bytes(&self) -> u64 {
         (self.arena_len() * core::mem::size_of::<S>()) as u64
     }
@@ -764,8 +781,55 @@ impl<S: Scalar> GemmPlan<S> {
         op_b: Op,
         b: MatRef<'_, S>,
         beta: S,
+        c: MatMut<'_, S>,
+        ctx: &mut GemmContext<S>,
+        sink: &mut K,
+    ) -> Result<GemmBreakdown, GemmError> {
+        self.try_execute_impl(alpha, op_a, a, op_b, b, beta, c, ctx, None, sink)
+    }
+
+    /// [`GemmPlan::try_execute_with_metrics`] under a cooperative
+    /// [`CancelToken`] — the execution primitive of
+    /// [`crate::service::GemmService`].
+    ///
+    /// The token is checked once up front (an already-cancelled token or
+    /// an already-expired deadline is rejected *before any allocation or
+    /// packing*) and then at every task-dequeue boundary of the parallel
+    /// DAG, so an in-flight cancel is observed within roughly one task's
+    /// work. On [`GemmError::Cancelled`] / [`GemmError::DeadlineExceeded`]
+    /// the DAG drains fully before returning — no task is left running —
+    /// and `ctx` remains warm and reusable: the next execute on it is
+    /// allocation-free and correct. Output `c` contents are unspecified
+    /// after a cancelled call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_execute_cancellable_with_metrics<K: MetricsSink>(
+        &self,
+        alpha: S,
+        op_a: Op,
+        a: MatRef<'_, S>,
+        op_b: Op,
+        b: MatRef<'_, S>,
+        beta: S,
+        c: MatMut<'_, S>,
+        ctx: &mut GemmContext<S>,
+        cancel: &CancelToken,
+        sink: &mut K,
+    ) -> Result<GemmBreakdown, GemmError> {
+        self.try_execute_impl(alpha, op_a, a, op_b, b, beta, c, ctx, Some(cancel), sink)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_execute_impl<K: MetricsSink>(
+        &self,
+        alpha: S,
+        op_a: Op,
+        a: MatRef<'_, S>,
+        op_b: Op,
+        b: MatRef<'_, S>,
+        beta: S,
         mut c: MatMut<'_, S>,
         ctx: &mut GemmContext<S>,
+        cancel: Option<&CancelToken>,
         sink: &mut K,
     ) -> Result<GemmBreakdown, GemmError> {
         let (m, ka) = op_a.apply_dims(a.rows(), a.cols());
@@ -781,6 +845,11 @@ impl<S: Scalar> GemmPlan<S> {
                 planned: (self.m, self.k, self.n),
                 got: (m, ka, n),
             });
+        }
+        // An already-cancelled token or already-expired deadline is
+        // rejected here, before any snapshot, packing, or allocation.
+        if let Some(token) = cancel {
+            token.check()?;
         }
         let k = ka;
         if K::ENABLED {
@@ -852,6 +921,7 @@ impl<S: Scalar> GemmPlan<S> {
                     beta,
                     c.reborrow(),
                     ctx,
+                    cancel,
                     sink,
                 )?;
                 if K::ENABLED {
@@ -862,7 +932,12 @@ impl<S: Scalar> GemmPlan<S> {
             None => {
                 // Highly rectangular: split into well-behaved products
                 // (each sub-product builds its own one-shot plan and
-                // reuses the same context sequentially).
+                // reuses the same context sequentially). Cancellation
+                // granularity here is the whole split — the sub-products
+                // run the non-cancellable serial pipeline.
+                if let Some(token) = cancel {
+                    token.check()?;
+                }
                 let mut total = GemmBreakdown::default();
                 rect::split_gemm(
                     alpha,
@@ -885,15 +960,32 @@ impl<S: Scalar> GemmPlan<S> {
 
         if let VerifyMode::Freivalds { rounds, seed } = self.cfg.verify {
             let c0 = c0.as_ref().expect("snapshot exists when verification is on");
-            if !verify_gemm(alpha, op_a, a, op_b, b, beta, c0.view(), c.as_ref(), rounds, seed) {
+            let mut rounds_now = rounds;
+            let mut seed_now = seed;
+            let mut attempt = 0u32;
+            while !verify_gemm(
+                alpha,
+                op_a,
+                a,
+                op_b,
+                b,
+                beta,
+                c0.view(),
+                c.as_ref(),
+                rounds_now,
+                seed_now,
+            ) {
+                if attempt >= self.cfg.verify_retries {
+                    return Err(GemmError::VerificationFailed { rounds: rounds_now });
+                }
+                attempt += 1;
                 // Verified retry: restore C₀, recompute with the
-                // conventional baseline, and re-check before giving up.
+                // conventional baseline, and re-check under a fresh probe
+                // seed with exponentially escalated rounds (capped).
+                rounds_now = rounds_now.saturating_mul(2).min(MAX_VERIFY_ROUNDS);
+                seed_now = seed_now.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 c.copy_from(c0.view());
                 naive_gemm(alpha, op_a, a, op_b, b, beta, c.reborrow());
-                if !verify_gemm(alpha, op_a, a, op_b, b, beta, c0.view(), c.as_ref(), rounds, seed)
-                {
-                    return Err(GemmError::VerificationFailed { rounds });
-                }
             }
         }
         Ok(bd)
@@ -916,6 +1008,7 @@ impl<S: Scalar> GemmPlan<S> {
         beta: S,
         mut c: MatMut<'_, S>,
         ctx: &mut GemmContext<S>,
+        cancel: Option<&CancelToken>,
         sink: &mut K,
     ) -> Result<GemmBreakdown, GemmError> {
         let layouts = tp.layouts;
@@ -969,9 +1062,15 @@ impl<S: Scalar> GemmPlan<S> {
                 cbuf,
                 &mut ws[..pp.slab_len],
                 &mut ctx.pool,
+                cancel,
                 sink,
             )?;
         } else {
+            // The serial interpreter is not interruptible mid-recursion;
+            // its cancellation granularity is the whole compute.
+            if let Some(token) = cancel {
+                token.check()?;
+            }
             exec_levels(abuf, bbuf, cbuf, layouts, &tp.levels, 0, ws, tp.policy, sink);
         }
         let compute = t1.elapsed();
@@ -993,6 +1092,7 @@ impl<S: Scalar> GemmPlan<S> {
             }
         }
 
+        crate::faults::maybe_poison(&mut ctx.c_buf[..layouts.c.len()]);
         let cbuf = &ctx.c_buf[..layouts.c.len()];
         let t2 = Instant::now();
         if alpha == S::ONE && beta == S::ZERO {

@@ -9,7 +9,7 @@
 //! and whole [`crate::blas::try_gemm_batch`] batches.
 //!
 //! Jobs are whole task DAGs compiled from a [`crate::GemmPlan`]'s
-//! flattened schedule ([`crate::plan`]'s lowering): every S/T
+//! flattened schedule ([`crate::plan`](mod@crate::plan)'s lowering): every S/T
 //! pre-addition pass, every one of the seven quadrant products at
 //! *every* parallel recursion level, and every post-addition merge pass
 //! is a dependency-counted task. Workers pull from their own LIFO deque
@@ -40,7 +40,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -61,26 +61,188 @@ pub const MODGEMM_THREADS_ENV: &str = "MODGEMM_THREADS";
 /// environment variable, far above any sensible configuration.
 const MAX_WORKERS: usize = 512;
 
-/// Resolves a configured thread count to the effective one: an explicit
-/// `configured > 0` wins; otherwise the cached `MODGEMM_THREADS`
-/// environment override; otherwise [`std::thread::available_parallelism`].
-/// Always at least 1. A result of 1 means "run serially" — no pool is
-/// created.
-pub fn resolve_threads(configured: usize) -> usize {
-    if configured > 0 {
-        return configured.min(MAX_WORKERS);
-    }
+/// The machine fallback: [`std::thread::available_parallelism`], cached
+/// (the environment override is *not* cached here — see
+/// [`try_resolve_threads`]).
+fn auto_threads() -> usize {
     static AUTO: OnceLock<usize> = OnceLock::new();
     *AUTO.get_or_init(|| {
-        if let Ok(raw) = std::env::var(MODGEMM_THREADS_ENV) {
-            if let Ok(n) = raw.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n.min(MAX_WORKERS);
-                }
-            }
-        }
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(MAX_WORKERS)
     })
+}
+
+/// Parses a `MODGEMM_THREADS` value: `Ok(None)` when empty/whitespace
+/// (treated as unset), `Ok(Some(n))` for a positive integer, and a typed
+/// [`GemmError::InvalidConfig`] for anything else — a typo in the
+/// environment should not silently change the worker count.
+fn parse_threads_env(raw: &str) -> Result<Option<usize>, GemmError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n.min(MAX_WORKERS))),
+        _ => Err(GemmError::InvalidConfig {
+            reason: "MODGEMM_THREADS must be a positive integer (or empty for auto)",
+        }),
+    }
+}
+
+/// Fallible [`resolve_threads`]: an explicit `configured > 0` wins;
+/// otherwise the `MODGEMM_THREADS` environment override; otherwise
+/// [`std::thread::available_parallelism`]. A **malformed** environment
+/// value (non-numeric, zero, negative) is a typed
+/// [`GemmError::InvalidConfig`] — every `try_*` entry point that resolves
+/// threads propagates it instead of silently falling back. The
+/// environment is re-read per call so configuration errors surface where
+/// they are made.
+pub fn try_resolve_threads(configured: usize) -> Result<usize, GemmError> {
+    if configured > 0 {
+        return Ok(configured.min(MAX_WORKERS));
+    }
+    match std::env::var(MODGEMM_THREADS_ENV) {
+        Ok(raw) => Ok(parse_threads_env(&raw)?.unwrap_or_else(auto_threads)),
+        Err(_) => Ok(auto_threads()),
+    }
+}
+
+/// Resolves a configured thread count to the effective one: an explicit
+/// `configured > 0` wins; otherwise the `MODGEMM_THREADS` environment
+/// override; otherwise [`std::thread::available_parallelism`]. Always at
+/// least 1. A result of 1 means "run serially" — no pool is created.
+/// A malformed environment value falls back to the machine default here;
+/// [`try_resolve_threads`] reports it as a typed error instead.
+pub fn resolve_threads(configured: usize) -> usize {
+    try_resolve_threads(configured).unwrap_or_else(|_| auto_threads())
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation
+// ---------------------------------------------------------------------------
+
+/// Sentinel: the token has no check-count trip wire.
+const TRIP_DISABLED: i64 = i64::MIN;
+
+struct CancelInner {
+    /// Set by [`CancelToken::cancel`] (or when the trip wire fires).
+    flag: AtomicBool,
+    /// Absolute deadline; checks past it report
+    /// [`GemmError::DeadlineExceeded`].
+    deadline: Option<Instant>,
+    /// Test hook: remaining successful [`CancelToken::check`] calls
+    /// before the token self-cancels ([`TRIP_DISABLED`] = off). Lets a
+    /// test cancel deterministically "at task index k".
+    trip_after: AtomicI64,
+}
+
+/// A shareable cancellation handle threaded through
+/// `run_graph`: workers consult it at every task-dequeue
+/// boundary, so an expired deadline or a caller-side [`cancel`] drains
+/// the in-flight task DAG (reusing the first-panic cancellation cascade —
+/// the join never hangs, the [`PoolScratch`] stays reusable) within one
+/// task granularity.
+///
+/// Clones share the same state. The token is also consulted on the
+/// serial execution path at coarser (whole-schedule) granularity.
+///
+/// [`cancel`]: CancelToken::cancel
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A token that never fires until [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                trip_after: AtomicI64::new(TRIP_DISABLED),
+            }),
+        }
+    }
+
+    /// A token that reports [`GemmError::DeadlineExceeded`] from every
+    /// [`CancelToken::check`] at or past `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+                trip_after: AtomicI64::new(TRIP_DISABLED),
+            }),
+        }
+    }
+
+    /// A token that self-cancels after `checks` successful
+    /// [`CancelToken::check`] calls — the deterministic "cancel at task
+    /// index k" hook the cancellation property tests are built on.
+    pub fn cancelling_after(checks: u64) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                trip_after: AtomicI64::new(checks.min(i64::MAX as u64) as i64),
+            }),
+        }
+    }
+
+    /// Requests cancellation: every subsequent [`CancelToken::check`]
+    /// reports [`GemmError::Cancelled`]. Idempotent, callable from any
+    /// thread.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] was called (or the trip wire
+    /// fired). An expired deadline does not set this flag; it is reported
+    /// by [`CancelToken::check`] directly.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::Acquire)
+    }
+
+    /// The absolute deadline this token carries, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// The cooperative checkpoint: `Ok(())` to keep running, or the typed
+    /// error the caller should drain into — [`GemmError::Cancelled`]
+    /// after [`CancelToken::cancel`], [`GemmError::DeadlineExceeded`]
+    /// past the deadline.
+    pub fn check(&self) -> Result<(), GemmError> {
+        if self.inner.flag.load(Ordering::Acquire) {
+            return Err(GemmError::Cancelled);
+        }
+        if let Some(d) = self.inner.deadline {
+            if Instant::now() >= d {
+                return Err(GemmError::DeadlineExceeded);
+            }
+        }
+        if self.inner.trip_after.load(Ordering::Relaxed) != TRIP_DISABLED
+            && self.inner.trip_after.fetch_sub(1, Ordering::AcqRel) <= 0
+        {
+            self.cancel();
+            return Err(GemmError::Cancelled);
+        }
+        Ok(())
+    }
 }
 
 /// Locks a mutex, tolerating poisoning: pool state is only ever mutated
@@ -413,6 +575,9 @@ struct GraphJob<S> {
     workers: usize,
     policy: ExecPolicy,
     metrics_on: bool,
+    /// External cancellation (deadline / caller cancel), consulted at
+    /// every task-dequeue boundary; `None` costs one branch per task.
+    cancel: Option<CancelToken>,
     /// Tasks whose completion cascade has not run yet. The run is done
     /// when this hits 0 — and it always does, even under cancellation,
     /// because cancelled tasks skip their *body* but still cascade.
@@ -515,6 +680,11 @@ impl<S: Scalar> GraphJob<S> {
     /// once) and all its dependency tasks completed, so every region it
     /// touches is either private to it or no longer written.
     unsafe fn run_body(&self, task_ix: u32, shard: &mut WorkerShard) {
+        // Failpoints (no-ops unless the `failpoints` feature armed them):
+        // an injected panic here is contained exactly like a real one, and
+        // injected latency widens deadline/cancellation race windows.
+        crate::faults::maybe_worker_panic();
+        crate::faults::maybe_latency();
         let graph = self.graph();
         let task = graph.tasks[task_ix as usize];
         let node = graph.nodes[task.node as usize];
@@ -591,6 +761,17 @@ impl<S: Scalar> GraphJob<S> {
     fn execute(&self, task_ix: u32, worker: usize, shard: &mut WorkerShard) {
         let graph = self.graph();
         let task = graph.tasks[task_ix as usize];
+        // Cooperative cancellation at the task-dequeue boundary: a tripped
+        // token cancels the job exactly like a first panic would — bodies
+        // stop running, the completion cascade below still drains, and the
+        // token's typed error (first writer wins) surfaces after the join.
+        if !self.cancelled.load(Ordering::Relaxed) {
+            if let Some(token) = &self.cancel {
+                if let Err(e) = token.check() {
+                    self.fail(e);
+                }
+            }
+        }
         if !self.cancelled.load(Ordering::Relaxed) {
             let timed = self.metrics_on && task.kind != TaskKind::Leaf;
             let t0 = if timed { Some(Instant::now()) } else { None };
@@ -694,6 +875,7 @@ pub(crate) fn run_graph<S: Scalar, K: MetricsSink>(
     c: &mut [S],
     slab: &mut [S],
     scratch: &mut PoolScratch,
+    cancel: Option<&CancelToken>,
     sink: &mut K,
 ) -> Result<(), GemmError> {
     debug_assert!(threads >= 2, "threads < 2 must take the serial path");
@@ -713,6 +895,7 @@ pub(crate) fn run_graph<S: Scalar, K: MetricsSink>(
         workers: threads,
         policy,
         metrics_on: K::ENABLED,
+        cancel: cancel.cloned(),
         pending: AtomicUsize::new(graph.tasks.len()),
         ready: AtomicUsize::new(graph.roots.len()),
         cancelled: AtomicBool::new(false),
@@ -861,5 +1044,71 @@ pub(crate) struct PoolTiles(pub Arc<ThreadPool>);
 impl modgemm_morton::TileExecutor for PoolTiles {
     fn for_each(&self, jobs: usize, body: &(dyn Fn(usize) + Sync)) {
         self.0.for_each(jobs, body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_threads_env_accepts_positive_and_blank() {
+        assert_eq!(parse_threads_env(""), Ok(None));
+        assert_eq!(parse_threads_env("   "), Ok(None));
+        assert_eq!(parse_threads_env("4"), Ok(Some(4)));
+        assert_eq!(parse_threads_env(" 16 "), Ok(Some(16)));
+        assert_eq!(parse_threads_env("99999"), Ok(Some(MAX_WORKERS)));
+    }
+
+    #[test]
+    fn parse_threads_env_rejects_malformed_values() {
+        for bad in ["0", "-2", "four", "4.5", "4x", "0x10"] {
+            assert!(
+                matches!(parse_threads_env(bad), Err(GemmError::InvalidConfig { .. })),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_thread_count_bypasses_environment() {
+        assert_eq!(try_resolve_threads(3), Ok(3));
+        assert_eq!(try_resolve_threads(usize::MAX), Ok(MAX_WORKERS));
+    }
+
+    #[test]
+    fn cancel_token_reports_cancelled_after_cancel() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(GemmError::Cancelled));
+    }
+
+    #[test]
+    fn cancel_token_deadline_expires() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(t.check(), Err(GemmError::DeadlineExceeded));
+        // An expired deadline is not a cancel: the flag stays clear.
+        assert!(!t.is_cancelled());
+
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(far.check().is_ok());
+        assert!(far.deadline().is_some());
+    }
+
+    #[test]
+    fn cancel_token_trip_wire_counts_checks() {
+        let t = CancelToken::cancelling_after(3);
+        for _ in 0..3 {
+            assert!(t.check().is_ok());
+        }
+        assert_eq!(t.check(), Err(GemmError::Cancelled));
+        assert!(t.is_cancelled());
+
+        let now = CancelToken::cancelling_after(0);
+        assert_eq!(now.check(), Err(GemmError::Cancelled));
     }
 }

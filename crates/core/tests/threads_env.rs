@@ -1,0 +1,43 @@
+//! `MODGEMM_THREADS` environment handling — kept in its own test binary
+//! (own process) because these tests mutate the process-global
+//! environment and must not race the rest of the suite.
+//!
+//! One test function, so the mutations are serialized even if the
+//! harness ever runs tests in this binary concurrently.
+
+use modgemm_core::{try_resolve_threads, GemmError, GemmPlan, ModgemmConfig};
+
+const ENV: &str = modgemm_core::MODGEMM_THREADS_ENV;
+
+#[test]
+fn malformed_threads_env_is_a_typed_error_on_try_paths() {
+    // A typo must not silently change the worker count: the fallible
+    // resolver reports it, and plan construction propagates it.
+    for bad in ["banana", "0", "-3", "2.5"] {
+        std::env::set_var(ENV, bad);
+        assert!(
+            matches!(try_resolve_threads(0), Err(GemmError::InvalidConfig { .. })),
+            "{bad:?} must be a typed config error"
+        );
+        let err = GemmPlan::<f64>::try_new(32, 32, 32, &ModgemmConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, GemmError::InvalidConfig { .. }),
+            "plan construction must propagate the env error, got {err:?}"
+        );
+    }
+
+    // An explicit configured count bypasses the (still malformed)
+    // environment entirely.
+    std::env::set_var(ENV, "banana");
+    assert_eq!(try_resolve_threads(3), Ok(3));
+    let cfg = ModgemmConfig { threads: 2, ..ModgemmConfig::default() };
+    assert!(GemmPlan::<f64>::try_new(32, 32, 32, &cfg).is_ok());
+
+    // Well-formed values resolve; blank means "auto".
+    std::env::set_var(ENV, "4");
+    assert_eq!(try_resolve_threads(0), Ok(4));
+    std::env::set_var(ENV, "  ");
+    assert!(try_resolve_threads(0).is_ok());
+    std::env::remove_var(ENV);
+    assert!(try_resolve_threads(0).unwrap() >= 1);
+}

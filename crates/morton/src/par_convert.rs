@@ -80,7 +80,7 @@ pub fn par_to_morton<S: Scalar>(src: MatRef<'_, S>, op: Op, layout: &MortonLayou
 }
 
 /// [`par_to_morton`] on an external [`TileExecutor`] with at most
-/// `max_workers` jobs. Small problems (under [`PAR_THRESHOLD`] elements
+/// `max_workers` jobs. Small problems (under `PAR_THRESHOLD` elements
 /// per worker) run serially on the calling thread regardless of the
 /// executor.
 #[track_caller]

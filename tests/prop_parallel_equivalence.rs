@@ -252,3 +252,69 @@ fn harness_sanity() {
     assert_eq!(buf.len(), l.len());
     assert!(fill_i64(64, 1).iter().any(|&x| x != 0));
 }
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation: interrupting the DAG at every task index.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Cancelling at every task-dequeue index: the interrupted run
+    /// resolves as `Ok` (cancel arrived past the last check) or typed
+    /// `Cancelled` — never a hang or panic — and the next execute on the
+    /// same warm context is allocation-free and bit-identical to the
+    /// reference. Cancellation must never leak or corrupt context state.
+    #[test]
+    fn cancel_at_every_task_index_keeps_context_warm_and_exact(
+        m in 24usize..56,
+        k in 24usize..56,
+        n in 24usize..56,
+        seed in 0u64..1000,
+    ) {
+        use modgemm::core::{CancelToken, CollectingSink, GemmContext, GemmPlan};
+
+        let cfg = ModgemmConfig {
+            truncation: Truncation::MinPadding(TileRange::new(4, 16)),
+            parallel_depth: 1,
+            threads: 4,
+            ..ModgemmConfig::paper()
+        };
+        let plan = GemmPlan::<i64>::try_new(m, k, n, &cfg).unwrap();
+        let tasks = plan.parallel_tasks() as u64;
+        prop_assert!(tasks > 0, "these shapes must compile a parallel DAG");
+
+        let a: Matrix<i64> = random_matrix(m, k, seed);
+        let b: Matrix<i64> = random_matrix(k, n, seed + 7);
+        let mut ctx = GemmContext::new();
+        let mut c_ref: Matrix<i64> = Matrix::zeros(m, n);
+        plan.try_execute(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0,
+            c_ref.view_mut(), &mut ctx).unwrap();
+
+        for cut in 0..=tasks {
+            // Trip the token on its `cut`-th successful check: cut 0 is
+            // the pre-flight gate, later cuts land on task-dequeue
+            // boundaries across the DAG.
+            let token = CancelToken::cancelling_after(cut);
+            let mut c: Matrix<i64> = Matrix::zeros(m, n);
+            match plan.try_execute_cancellable_with_metrics(
+                1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0,
+                c.view_mut(), &mut ctx, &token, &mut modgemm::core::NoopSink,
+            ) {
+                Ok(_) => prop_assert_eq!(&c, &c_ref, "completed run must be exact (cut {})", cut),
+                Err(GemmError::Cancelled) => {}
+                other => prop_assert!(false, "unexpected outcome at cut {}: {:?}", cut, other),
+            }
+
+            // The warm follow-up execute must be allocation-free and
+            // bit-identical, whatever the cancel left behind.
+            let mut c2: Matrix<i64> = Matrix::zeros(m, n);
+            let mut sink = CollectingSink::new();
+            plan.try_execute_with_metrics(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0,
+                c2.view_mut(), &mut ctx, &mut sink).unwrap();
+            prop_assert_eq!(&c2, &c_ref, "follow-up after cut {} must be exact", cut);
+            prop_assert_eq!(sink.metrics.temp_alloc_bytes, 0,
+                "follow-up after cut {} must be allocation-free", cut);
+        }
+    }
+}
