@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench_runner [--quick] [--out PATH] [--kernel NAME] [--threads N]
+//!              [--tuning off|profile] [--tunable-only]
 //! bench_runner compare OLD NEW
 //!              [--threshold 0.25] [--metric gflops|score]
 //! ```
@@ -27,7 +28,18 @@
 //! into every MODGEMM case and restricts the sweep to it — the quick way
 //! to A/B one kernel. `--threads <n>` likewise forces the pool worker
 //! count into every MODGEMM case (the `threads_*` sweep keeps its
-//! declared counts). `--quick` runs the same cases with fewer
+//! declared counts). `--tuning profile` sets `TuningMode::Profile` on
+//! every MODGEMM/plan-reuse case so plan selection consults the loaded
+//! tuning profile (`MODGEMM_PROFILE` / `~/.cache/modgemm/profile.json`,
+//! recorded by `modgemm-tune`), and switches the default leaf kernel to
+//! `Auto` on non-sweep cases so the profile's kernel choice can take
+//! effect; the `kernel_*` sweep cases stay fully untuned — they isolate
+//! the kernel axis under the static schedule, which a profile's
+//! schedule knobs would wreck. `--tunable-only` restricts the suite to
+//! the cases a profile can steer (plus the score reference); CI's
+//! tuned-vs-untuned gate passes it to both the `--tuning off` and
+//! `--tuning profile` runs so the 5% comparison covers exactly
+//! tuning's reach. `--quick` runs the same cases with fewer
 //! repetitions and names the suite `smoke` so CI baselines stay
 //! comparable. Exit codes: 0 ok, 1 regression, 2 usage or I/O error.
 //! See EXPERIMENTS.md for the schema and baseline workflow.
@@ -83,7 +95,12 @@ enum Algo {
     },
 }
 
-fn suite_cases(kernel: Option<KernelKind>, threads: Option<usize>) -> Vec<Case> {
+fn suite_cases(
+    kernel: Option<KernelKind>,
+    threads: Option<usize>,
+    tuned: bool,
+    tunable_only: bool,
+) -> Vec<Case> {
     let base = ModgemmConfig::default();
     let trunc = |strassen_min| ModgemmConfig { strassen_min, ..ModgemmConfig::default() };
     let par = ModgemmConfig { parallel_depth: 2, ..ModgemmConfig::default() };
@@ -138,6 +155,44 @@ fn suite_cases(kernel: Option<KernelKind>, threads: Option<usize>) -> Vec<Case> 
                 Algo::Conventional | Algo::Service { .. } => {}
             }
         }
+    }
+    // --tuning profile: MODGEMM cases consult the loaded profile. The
+    // kernel_* sweep (and --kernel runs) stay fully untuned: the sweep
+    // isolates the kernel axis under the *static* schedule, and a
+    // profile recorded with the winning kernel would mutate the
+    // schedule knobs (e.g. the Strassen cutoff) under every pinned
+    // kernel, wrecking the sweep's comparability — and the CI
+    // tuned-vs-untuned gate with it. Cases running the default kernel
+    // switch to Auto so the profile's kernel choice can land.
+    if tuned {
+        for c in &mut cases {
+            if c.name.starts_with("kernel_") || kernel.is_some() {
+                continue;
+            }
+            match &mut c.algo {
+                Algo::Modgemm(cfg) | Algo::PlanReuse { cfg, .. } => {
+                    cfg.tuning = modgemm_core::TuningMode::Profile;
+                    if cfg.leaf_kernel == KernelKind::Blocked {
+                        cfg.leaf_kernel = KernelKind::Auto;
+                    }
+                }
+                Algo::Conventional | Algo::Service { .. } => {}
+            }
+        }
+    }
+    // --tunable-only scopes the suite to the cases a profile can steer
+    // (plus the conventional reference the score normalizes by). The CI
+    // tuned-vs-untuned gate passes it to *both* runs: the kernel_* sweep
+    // and the service case run with identical configs under either
+    // tuning mode, so including them would feed the gate nothing but
+    // run-to-run noise — and `compare` treats a case dropped from one
+    // side as a regression, so the scoping has to be symmetric.
+    if tunable_only {
+        cases.retain(|c| match &c.algo {
+            Algo::Conventional => true,
+            Algo::Modgemm(_) | Algo::PlanReuse { .. } => !c.name.starts_with("kernel_"),
+            Algo::Service { .. } => false,
+        });
     }
     cases
 }
@@ -329,6 +384,7 @@ fn metrics_json(m: &modgemm_core::ExecMetrics) -> Value {
         .with("temp_alloc_bytes", m.temp_alloc_bytes)
         .with("plans_built", m.plans_built)
         .with("plan_executions", m.plan_executions)
+        .with("profile_hits", m.profile_hits)
         .with("arena_bytes", m.arena_bytes)
         .with("conversion_fraction", m.breakdown.conversion_fraction())
         .with(
@@ -371,12 +427,16 @@ fn run_suite(
     out: Option<String>,
     kernel: Option<KernelKind>,
     threads: Option<usize>,
+    tuned: bool,
+    tunable_only: bool,
 ) -> ExitCode {
     let suite = if quick { "smoke" } else { "full" };
     let reps = if quick { 5 } else { 9 };
-    eprintln!("bench_runner: suite={suite} reps={reps}");
+    let tuning = if tuned { "profile" } else { "off" };
+    let scope = if tunable_only { " cases=tunable-only" } else { "" };
+    eprintln!("bench_runner: suite={suite} reps={reps} tuning={tuning}{scope}");
 
-    let cases = suite_cases(kernel, threads);
+    let cases = suite_cases(kernel, threads, tuned, tunable_only);
     let mut measured = Vec::new();
     for case in &cases {
         eprint!("  {} (n={}) ... ", case.name, case.n);
@@ -511,7 +571,7 @@ fn run_compare(args: &[String]) -> ExitCode {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("bench_runner: {msg}");
     eprintln!(
-        "usage: bench_runner [--quick] [--out PATH] [--kernel naive|blocked|micro|packed|auto] [--threads N]\n       \
+        "usage: bench_runner [--quick] [--out PATH] [--kernel naive|blocked|micro|packed|auto] [--threads N] [--tuning off|profile] [--tunable-only]\n       \
          bench_runner compare OLD NEW [--threshold 0.25] [--metric gflops|score]"
     );
     ExitCode::from(2)
@@ -526,10 +586,18 @@ fn main() -> ExitCode {
     let mut out = None;
     let mut kernel = None;
     let mut threads = None;
+    let mut tuned = false;
+    let mut tunable_only = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--tuning" => match it.next().map(String::as_str) {
+                Some("off") => tuned = false,
+                Some("profile") => tuned = true,
+                _ => return usage("--tuning needs off|profile"),
+            },
+            "--tunable-only" => tunable_only = true,
             "--out" => match it.next() {
                 Some(p) => out = Some(p.clone()),
                 None => return usage("--out needs a path"),
@@ -546,5 +614,5 @@ fn main() -> ExitCode {
             other => return usage(&format!("unknown option {other}")),
         }
     }
-    run_suite(quick, out, kernel, threads)
+    run_suite(quick, out, kernel, threads, tuned, tunable_only)
 }

@@ -137,6 +137,15 @@ pub struct ModgemmConfig {
     /// `Auto` picks `Packed` or `Blocked` from the detected CPU features
     /// and the planned leaf tile, resolved once per plan.
     pub leaf_kernel: modgemm_mat::KernelKind,
+    /// Whether plan compilation consults a measured tuning profile
+    /// (see [`crate::tune`]). `Off` (default) reproduces the static
+    /// heuristics; `Profile` consults the process-global profile loaded
+    /// from `MODGEMM_PROFILE` / `~/.cache/modgemm/profile.json`;
+    /// `Forced` pins an exact operating point. The profile only fills
+    /// knobs the config leaves at their defaults (config > profile >
+    /// static heuristic). Part of the service plan-cache key, so tuned
+    /// and untuned plans for the same shape never alias.
+    pub tuning: crate::tune::TuningMode,
 }
 
 impl Default for ModgemmConfig {
@@ -153,6 +162,7 @@ impl Default for ModgemmConfig {
             verify: VerifyMode::Off,
             verify_retries: 1,
             leaf_kernel: modgemm_mat::KernelKind::Blocked,
+            tuning: crate::tune::TuningMode::Off,
         }
     }
 }
@@ -190,6 +200,13 @@ impl ModgemmConfig {
             return Err(GemmError::InvalidConfig {
                 reason: "Freivalds verification needs at least one round",
             });
+        }
+        if let crate::tune::TuningMode::Forced(choice) = self.tuning {
+            if choice.tile_min > choice.tile_max {
+                return Err(GemmError::InvalidConfig {
+                    reason: "forced tuning choice has an inverted tile range",
+                });
+            }
         }
         Ok(())
     }

@@ -231,6 +231,11 @@ pub(crate) fn buffer_needs<S: Scalar>(
     if m == 0 || k == 0 || n == 0 {
         return None;
     }
+    // Apply tuning exactly as `GemmPlan::try_new` will, so the service's
+    // admission-time estimate matches what the tuned plan really carves.
+    // A profile that fails to load here falls back to the untuned sizing
+    // (plan compilation will surface the typed error).
+    let cfg = &crate::tune::effective_config(cfg, m, k, n).map(|(c, _)| c).unwrap_or(*cfg);
     cfg.plan(m, k, n).map(|plan| {
         let layouts = layouts_of(&plan);
         let policy = capped_policy::<S>(layouts, cfg);

@@ -48,6 +48,7 @@ pub mod pool;
 pub mod rect;
 pub mod schedule;
 pub mod service;
+pub mod tune;
 pub mod verify;
 
 pub use config::{MemoryBudget, ModgemmConfig, NonFinitePolicy, Truncation, VerifyMode};
@@ -77,4 +78,8 @@ pub use pool::{
 pub use rect::{classify, Shape};
 pub use schedule::Variant;
 pub use service::{GemmRequest, GemmService, GemmTicket, ServiceConfig};
+pub use tune::{
+    profile_path, ProfileEntry, TunedChoice, TuningMode, TuningProfile, MODGEMM_PROFILE_ENV,
+    PROFILE_SCHEMA_VERSION,
+};
 pub use verify::{verify_gemm, verify_product};
