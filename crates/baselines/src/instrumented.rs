@@ -57,6 +57,7 @@ fn instrumented<S: Scalar, K: MetricsSink>(
         padded: (m, k, n),
         depth: strassen_levels,
         strassen_levels,
+        fused_levels: 0,
         flops,
         conventional_flops: flops,
     });

@@ -6,6 +6,7 @@
 //!              [--tuning off|profile] [--tunable-only]
 //! bench_runner compare OLD NEW
 //!              [--threshold 0.25] [--metric gflops|score]
+//! bench_runner gate-fused REPORT [--threshold 0.05]
 //! ```
 //!
 //! The declared suite covers the paper's axes: GEMM at 256 (power of
@@ -15,7 +16,11 @@
 //! `GemmPlan` built once and executed 32 times per repetition, the
 //! amortized counterpart of the one-shot cases at the same sizes), and a
 //! leaf-kernel sweep (`kernel_<name>_512` for every [`KernelKind`] at
-//! n = 512, isolating the kernel axis from the schedule axes).
+//! n = 512, isolating the kernel axis from the schedule axes), and the
+//! operand-fusion pair (`fused_vs_staged_512_{staged,fused}`: the packed
+//! kernel at n = 512 with `fuse_depth` 0 versus Auto's depth, which the
+//! `gate-fused` subcommand turns into CI's fused ≥ staged assertion on
+//! min-time GFLOP/s).
 //! A thread sweep (`threads_{1,2,4,8}_1024`) runs the work-stealing DAG
 //! executor at fixed worker counts on n = 1024, so multi-core scaling of
 //! the pooled executor is tracked case-by-case (the `threads_1` case is
@@ -124,6 +129,21 @@ fn suite_cases(
             cases.push(case(&format!("kernel_{kind}_512"), 512, Algo::Modgemm(cfg)));
         }
     }
+    // The operand-fusion pair: the packed kernel at n = 512 with the
+    // innermost Strassen levels staged (fuse_depth 0) versus fused into
+    // packing and the scatter epilogue (fuse_depth AUTO_FUSE — the depth
+    // `Auto` resolves to on a packing kernel). Same schedule, same
+    // kernel — only the fusion axis varies, and the `gate-fused`
+    // subcommand asserts the fused case's min-time GFLOP/s does not
+    // fall below the staged case's.
+    for (suffix, fuse) in [("staged", 0usize), ("fused", modgemm_core::fuse::AUTO_FUSE)] {
+        let cfg = ModgemmConfig {
+            leaf_kernel: KernelKind::Packed,
+            fuse_depth: modgemm_core::FuseDepth::Fixed(fuse),
+            ..ModgemmConfig::default()
+        };
+        cases.push(case(&format!("fused_vs_staged_512_{suffix}"), 512, Algo::Modgemm(cfg)));
+    }
     // The thread sweep: the pooled DAG executor at fixed worker counts,
     // n = 1024, parallel_depth 2. `threads_1` degrades to the serial
     // executor and anchors the scaling curve.
@@ -166,7 +186,13 @@ fn suite_cases(
     // switch to Auto so the profile's kernel choice can land.
     if tuned {
         for c in &mut cases {
-            if c.name.starts_with("kernel_") || kernel.is_some() {
+            // The fused_vs_staged_* pair isolates the fusion axis the
+            // same way kernel_* isolates the kernel axis: both stay
+            // untuned so a profile's schedule knobs cannot skew them.
+            if c.name.starts_with("kernel_")
+                || c.name.starts_with("fused_vs_staged_")
+                || kernel.is_some()
+            {
                 continue;
             }
             match &mut c.algo {
@@ -190,7 +216,9 @@ fn suite_cases(
     if tunable_only {
         cases.retain(|c| match &c.algo {
             Algo::Conventional => true,
-            Algo::Modgemm(_) | Algo::PlanReuse { .. } => !c.name.starts_with("kernel_"),
+            Algo::Modgemm(_) | Algo::PlanReuse { .. } => {
+                !c.name.starts_with("kernel_") && !c.name.starts_with("fused_vs_staged_")
+            }
             Algo::Service { .. } => false,
         });
     }
@@ -378,6 +406,7 @@ fn metrics_json(m: &modgemm_core::ExecMetrics) -> Value {
         .with("flop_ratio", m.flop_ratio())
         .with("depth", m.depth)
         .with("strassen_levels", m.strassen_levels)
+        .with("fused_levels", m.fused_levels)
         .with("padding_ratio", m.padding_ratio())
         .with("peak_workspace_bytes", m.peak_workspace_bytes)
         .with("temp_allocations", m.temp_allocations)
@@ -568,11 +597,75 @@ fn run_compare(args: &[String]) -> ExitCode {
     }
 }
 
+/// `gate-fused REPORT [--threshold T]`: asserts the
+/// `fused_vs_staged_512_fused` case's min-time GFLOP/s is no worse than
+/// `fused_vs_staged_512_staged`'s, modulo a run-to-run noise floor.
+/// Within one report both cases ran minutes apart on the same machine,
+/// so a real shortfall means operand fusion costs more than the staged
+/// temporaries it eliminates — exactly what the gate exists to catch.
+fn run_gate_fused(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut threshold = 0.05f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => threshold = t,
+                _ => return usage("--threshold needs a number in [0, 1)"),
+            },
+            p if !p.starts_with("--") && path.is_none() => path = Some(p.to_string()),
+            other => return usage(&format!("unknown gate-fused option {other}")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("gate-fused needs a report path");
+    };
+    let report = match load(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_runner gate-fused: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let gflops_min_of = |name: &str| -> Result<f64, String> {
+        report
+            .get("cases")
+            .and_then(Value::as_array)
+            .and_then(|cases| {
+                cases.iter().find(|c| c.get("name").and_then(Value::as_str) == Some(name))
+            })
+            .and_then(|c| c.get("gflops_min").and_then(Value::as_f64))
+            .ok_or_else(|| format!("report lacks a `{name}` case with gflops_min"))
+    };
+    let staged = gflops_min_of("fused_vs_staged_512_staged");
+    let fused = gflops_min_of("fused_vs_staged_512_fused");
+    match (staged, fused) {
+        (Ok(staged), Ok(fused)) => {
+            let floor = staged * (1.0 - threshold);
+            println!(
+                "gate-fused: staged {staged:.4} GFLOP/s, fused {fused:.4} GFLOP/s \
+                 (floor {floor:.4}, threshold {threshold})"
+            );
+            if fused >= floor {
+                ExitCode::SUCCESS
+            } else {
+                println!("gate-fused: FUSED REGRESSION — fused min-time GFLOP/s below staged");
+                ExitCode::FAILURE
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_runner gate-fused: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("bench_runner: {msg}");
     eprintln!(
         "usage: bench_runner [--quick] [--out PATH] [--kernel naive|blocked|micro|packed|auto] [--threads N] [--tuning off|profile] [--tunable-only]\n       \
-         bench_runner compare OLD NEW [--threshold 0.25] [--metric gflops|score]"
+         bench_runner compare OLD NEW [--threshold 0.25] [--metric gflops|score]\n       \
+         bench_runner gate-fused REPORT [--threshold 0.05]"
     );
     ExitCode::from(2)
 }
@@ -581,6 +674,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("compare") {
         return run_compare(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("gate-fused") {
+        return run_gate_fused(&args[1..]);
     }
     let mut quick = false;
     let mut out = None;

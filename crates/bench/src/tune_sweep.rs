@@ -101,7 +101,7 @@ impl SweepOptions {
 /// The candidate operating points for one sweep, in evaluation order.
 /// The first candidate is always [`TunedChoice::baseline`]-equivalent
 /// (paper truncation range, no depth cap, `Auto` kernel resolution,
-/// serial), so ties and near-ties keep the untuned behaviour.
+/// serial, unfused), so ties and near-ties keep the untuned behaviour.
 pub fn candidates(suite: Suite, cachesim: bool) -> Vec<TunedChoice> {
     let tile_ranges: &[(usize, usize)] = match suite {
         Suite::Smoke => &[(16, 64)],
@@ -111,9 +111,14 @@ pub fn candidates(suite: Suite, cachesim: bool) -> Vec<TunedChoice> {
         Suite::Smoke => &[0, 64],
         Suite::Full => &[0, 16, 32, 64, 128],
     };
+    let fuse_depths: &[usize] = match suite {
+        Suite::Smoke => &[0, 1],
+        Suite::Full => &[0, 1, 2],
+    };
     if cachesim {
         // The simulator sees only the schedule: sweep the truncation /
-        // depth axes and keep the kernel and threading axes neutral.
+        // depth axes and keep the kernel, threading, and fusion axes
+        // neutral (the traced executor models the staged schedule).
         let mut out = Vec::new();
         for &(tile_min, tile_max) in tile_ranges {
             for &strassen_min in strassen_mins {
@@ -147,14 +152,17 @@ pub fn candidates(suite: Suite, cachesim: bool) -> Vec<TunedChoice> {
         for &strassen_min in strassen_mins {
             for &kernel in &kernels {
                 for &(parallel_depth, threads) in parallel {
-                    out.push(TunedChoice {
-                        tile_min,
-                        tile_max,
-                        strassen_min,
-                        kernel,
-                        parallel_depth,
-                        threads,
-                    });
+                    for &fuse_depth in fuse_depths {
+                        out.push(TunedChoice {
+                            tile_min,
+                            tile_max,
+                            strassen_min,
+                            kernel,
+                            parallel_depth,
+                            threads,
+                            fuse_depth,
+                        });
+                    }
                 }
             }
         }

@@ -54,6 +54,25 @@ impl MemoryBudget {
     }
 }
 
+/// How many innermost Strassen levels run *fused* — pre-adds folded into
+/// operand packing and post-merges into the microkernel scatter epilogue
+/// ([`crate::fuse`]), with no S/T arena temporaries for those levels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FuseDepth {
+    /// Fuse while the packed kernel is eligible for the planned leaf
+    /// tile (the combined-pack path is a bandwidth win only when the
+    /// panels feed a packing kernel): [`crate::fuse::AUTO_FUSE`] levels,
+    /// the depth that never loses to the staged schedule. Plans that
+    /// resolve to a non-packing kernel stay staged; deeper fusion takes
+    /// `Fixed`, a tuning profile, or memory-budget pressure.
+    #[default]
+    Auto,
+    /// Exactly this many fused levels (clamped to the recursion depth
+    /// actually taken), on every kernel. `Fixed(0)` pins the fully
+    /// staged pipeline — the bit-exact oracle.
+    Fixed(usize),
+}
+
 /// What to do when an operand contains `NaN` or `±Inf`.
 ///
 /// This matters more for Strassen-Winograd than for conventional GEMM:
@@ -137,6 +156,13 @@ pub struct ModgemmConfig {
     /// `Auto` picks `Packed` or `Blocked` from the detected CPU features
     /// and the planned leaf tile, resolved once per plan.
     pub leaf_kernel: modgemm_mat::KernelKind,
+    /// How many innermost Strassen levels run fused (no S/T arena
+    /// temporaries; see [`FuseDepth`] and [`crate::fuse`]). `Auto`
+    /// (default) fuses [`crate::fuse::AUTO_FUSE`] level whenever
+    /// the plan resolves to the packed kernel; with the default
+    /// `Blocked` leaf kernel the pipeline therefore stays fully staged,
+    /// preserving the paper's layout.
+    pub fuse_depth: FuseDepth,
     /// Whether plan compilation consults a measured tuning profile
     /// (see [`crate::tune`]). `Off` (default) reproduces the static
     /// heuristics; `Profile` consults the process-global profile loaded
@@ -162,6 +188,7 @@ impl Default for ModgemmConfig {
             verify: VerifyMode::Off,
             verify_retries: 1,
             leaf_kernel: modgemm_mat::KernelKind::Blocked,
+            fuse_depth: FuseDepth::Auto,
             tuning: crate::tune::TuningMode::Off,
         }
     }
@@ -200,6 +227,13 @@ impl ModgemmConfig {
             return Err(GemmError::InvalidConfig {
                 reason: "Freivalds verification needs at least one round",
             });
+        }
+        if let FuseDepth::Fixed(n) = self.fuse_depth {
+            if n > crate::fuse::MAX_FUSE {
+                return Err(GemmError::InvalidConfig {
+                    reason: "fuse_depth exceeds the supported maximum of 2 levels",
+                });
+            }
         }
         if let crate::tune::TuningMode::Forced(choice) = self.tuning {
             if choice.tile_min > choice.tile_max {
@@ -283,7 +317,12 @@ mod tests {
         assert_eq!(c.non_finite, NonFinitePolicy::Propagate);
         assert_eq!(c.verify, VerifyMode::Off);
         assert_eq!(c.leaf_kernel, modgemm_mat::KernelKind::Blocked);
+        assert_eq!(c.fuse_depth, FuseDepth::Auto);
         assert!(c.validate().is_ok());
+        for n in 0..=crate::fuse::MAX_FUSE {
+            let c = ModgemmConfig { fuse_depth: FuseDepth::Fixed(n), ..Default::default() };
+            assert!(c.validate().is_ok(), "Fixed({n})");
+        }
     }
 
     #[test]
@@ -302,6 +341,7 @@ mod tests {
                 verify: VerifyMode::Freivalds { rounds: 0, seed: 1 },
                 ..Default::default()
             },
+            ModgemmConfig { fuse_depth: FuseDepth::Fixed(3), ..Default::default() },
         ];
         for cfg in bad {
             assert!(

@@ -45,6 +45,19 @@ pub fn strassen_levels(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
     }
 }
 
+/// Number of *innermost* Strassen levels that run fused under `policy`
+/// (pre-adds folded into packing, post-merges into the epilogue; see
+/// [`crate::fuse`]). Delegates to [`crate::exec::fused_levels`].
+pub fn fused_levels(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
+    crate::exec::fused_levels(layouts, policy)
+}
+
+/// Number of *staged* Strassen levels — those that materialize S/T arena
+/// temporaries: [`strassen_levels`] minus [`fused_levels`].
+pub fn staged_levels(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
+    strassen_levels(layouts, policy) - fused_levels(layouts, policy)
+}
+
 /// Number of leaf multiplies the executor performs under `policy`:
 /// each Strassen level spawns the schedule's `muls` (7) recursive
 /// products, and every remaining conventional Morton level spawns 8.
@@ -178,6 +191,35 @@ mod tests {
         // back to Blocked, which packs nothing.
         let auto = ExecPolicy { kernel: KernelKind::Auto, ..Default::default() };
         assert_eq!(packed_bytes(l, auto, 8), 0);
+    }
+
+    #[test]
+    fn fused_and_staged_levels_partition_the_recursion() {
+        use modgemm_mat::KernelKind;
+        let l = square(4, 3); // 32 = 4·2³, three Strassen levels
+        for fuse in 0..=4 {
+            let p = ExecPolicy { fuse, ..Default::default() };
+            let f = fused_levels(l, p);
+            assert_eq!(f, fuse.min(crate::fuse::MAX_FUSE).min(3));
+            assert_eq!(staged_levels(l, p) + f, strassen_levels(l, p));
+        }
+        // Conventional policies fuse nothing.
+        let conv = ExecPolicy { fuse: 2, strassen_min: usize::MAX, ..Default::default() };
+        assert_eq!(fused_levels(l, conv), 0);
+
+        // The fused arena closed form, pinned against the workspace
+        // model: each fused level removes its 4-slot staged footprint
+        // while leaf_muls / packed_bytes are unchanged (fused packing
+        // writes one combined panel per leaf product — no double-count).
+        let packed = ExecPolicy { kernel: KernelKind::Packed, ..Default::default() };
+        let fused1 = ExecPolicy { fuse: 1, ..packed };
+        let innermost_slots = 4 * square(4, 1).a.quadrant_len();
+        assert_eq!(
+            crate::exec::workspace_len(l, fused1),
+            crate::exec::workspace_len(l, packed) - innermost_slots
+        );
+        assert_eq!(leaf_muls(l, fused1), leaf_muls(l, packed));
+        assert_eq!(packed_bytes(l, fused1, 8), packed_bytes(l, packed, 8));
     }
 
     #[test]

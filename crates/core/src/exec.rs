@@ -41,11 +41,17 @@ pub struct ExecPolicy {
     /// Leaf multiply kernel ([`KernelKind::Blocked`] by default, matching
     /// the paper's blocked vendor-BLAS stand-in).
     pub kernel: KernelKind,
+    /// Number of *innermost* Strassen levels to run fused (pre-adds folded
+    /// into operand packing, post-merges scattered from the microkernel
+    /// epilogue — no S/T arena slots; see [`crate::fuse`]). Clamped to the
+    /// levels the recursion actually takes and to
+    /// [`crate::fuse::MAX_FUSE`]. `0` keeps the fully staged pipeline.
+    pub fuse: usize,
 }
 
 impl Default for ExecPolicy {
     fn default() -> Self {
-        Self { strassen_min: 0, variant: Variant::Winograd, kernel: KernelKind::Blocked }
+        Self { strassen_min: 0, variant: Variant::Winograd, kernel: KernelKind::Blocked, fuse: 0 }
     }
 }
 
@@ -107,19 +113,54 @@ pub fn leaf_pack_len(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
     policy.kernel.pack_len(layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols)
 }
 
+/// Number of *innermost* Strassen levels of `layouts` that run fused
+/// under `policy`: the requested [`ExecPolicy::fuse`], clamped to the
+/// levels the recursion actually takes and to the depth the fused
+/// operand tables cover ([`crate::fuse::MAX_FUSE`]).
+pub fn fused_levels(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
+    policy.fuse.min(crate::counts::strassen_levels(layouts, policy)).min(crate::fuse::MAX_FUSE)
+}
+
+/// True when this node runs a *staged* Strassen step — S/T temporaries
+/// materialized in the arena. The innermost [`fused_levels`] levels do
+/// not stage: they execute inside the fused terminal
+/// ([`crate::fuse::fused_mul_with_ws`]) instead.
+pub fn staged_step(layouts: NodeLayouts, policy: ExecPolicy) -> bool {
+    layouts.uses_strassen(policy)
+        && crate::counts::strassen_levels(layouts, policy) > policy.fuse.min(crate::fuse::MAX_FUSE)
+}
+
+/// Arena tail slot (elements) for the terminal subtree rooted at
+/// `layouts`: the single [`leaf_pack_len`] slot when no levels fuse, or
+/// the fused-leaf working set
+/// ([`modgemm_mat::KernelKind::fused_leaf_len`]) when they do. Leaf tile
+/// dimensions are identical at every node, and the terminal subtree runs
+/// its products sequentially, so one tail slot serves the whole subtree
+/// in both shapes.
+pub fn fused_tail_len(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
+    if fused_levels(layouts, policy) == 0 {
+        leaf_pack_len(layouts, policy)
+    } else {
+        policy.kernel.fused_leaf_len(layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols)
+    }
+}
+
 /// Workspace (in elements) needed by [`strassen_mul`] for `layouts` under
 /// `policy`: `|TS| + |TT| + |TP| + |TQ|` per Strassen level, summed down
 /// the recursion (children run sequentially, so one child workspace
-/// suffices) — roughly `(mk + kn + 2mn)/3` elements — plus, when the
-/// plan's kernel packs its operands, one [`leaf_pack_len`] slot at the
-/// tail for the panel buffers of the (sequential) leaf multiplies.
+/// suffices) — roughly `(mk + kn + 2mn)/3` elements — plus one
+/// [`fused_tail_len`] slot at the tail: the [`leaf_pack_len`] panel
+/// buffers of the (sequential) leaf multiplies when no levels fuse, or
+/// the fused-leaf working set when [`ExecPolicy::fuse`] absorbs the
+/// innermost levels. Fused levels contribute **no** per-level S/T slots,
+/// which is exactly the arena saving operand fusion buys.
 ///
 /// Deliberately scalar-type-independent: all terms are element counts,
 /// so non-generic callers (the cache simulator, the closed-form tests)
 /// share the same model the allocator uses.
 pub fn workspace_len(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
-    if !layouts.uses_strassen(policy) {
-        return leaf_pack_len(layouts, policy);
+    if !staged_step(layouts, policy) {
+        return fused_tail_len(layouts, policy);
     }
     let per_level =
         layouts.a.quadrant_len() + layouts.b.quadrant_len() + 2 * layouts.c.quadrant_len();
@@ -130,10 +171,20 @@ pub fn workspace_len(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
 /// elements — the graceful-degradation rule of the memory budget
 /// ([`crate::config::MemoryBudget`]).
 ///
-/// Each candidate raises `strassen_min` by one padded recursion level, so
-/// one more level of the tree runs the workspace-free conventional Morton
-/// recursion instead of the Strassen step. `workspace_len` is monotone
-/// non-increasing in `strassen_min`, so the first fit is the deepest.
+/// The ladder degrades in preference order:
+///
+/// 1. **Fuse more levels.** Fusing an innermost level removes its staged
+///    S/T slots without giving up any Strassen arithmetic, so it is
+///    always tried before dropping depth.
+/// 2. **Raise `strassen_min`** one padded recursion level at a time, so
+///    one more level of the tree runs the workspace-free conventional
+///    Morton recursion instead of the (staged) Strassen step; the
+///    maximal fuse is kept while depth drops. `workspace_len` is
+///    monotone non-increasing in `strassen_min` at fixed fuse, so the
+///    first fit is the deepest.
+/// 3. **Fully conventional** (`strassen_min = usize::MAX`).
+/// 4. **Swap the kernel for Blocked**, the workspace-free last resort.
+///
 /// With `max_ws_elems == 0` the returned policy disables the Strassen
 /// step entirely (still a correct multiply, just conventional).
 pub fn budget_capped_policy(
@@ -144,6 +195,17 @@ pub fn budget_capped_policy(
     if workspace_len(layouts, base) <= max_ws_elems {
         return base;
     }
+    // Rung 1: fuse additional innermost levels before sacrificing depth.
+    let max_fuse = crate::fuse::MAX_FUSE.min(crate::counts::strassen_levels(layouts, base));
+    for fuse in (base.fuse + 1)..=max_fuse {
+        let policy = ExecPolicy { fuse, ..base };
+        if workspace_len(layouts, policy) <= max_ws_elems {
+            return policy;
+        }
+    }
+    // Rungs 2+ degrade from the maximally fused shape: keeping fuse high
+    // while depth drops preserves the most Strassen arithmetic per byte.
+    let base = ExecPolicy { fuse: base.fuse.max(max_fuse), ..base };
     let (m, k, n) = layouts.dims();
     let dmin = m.min(k).min(n);
     // Permitting exactly `lv` Strassen levels: the node at level `j` has
@@ -330,6 +392,7 @@ pub fn try_strassen_mul_with_sink<S: Scalar, K: MetricsSink>(
             padded: (m, k, n),
             depth: layouts.a.depth,
             strassen_levels: crate::counts::strassen_levels(layouts, policy),
+            fused_levels: fused_levels(layouts, policy),
             flops: crate::counts::strassen_flops(layouts, policy),
             conventional_flops: crate::counts::conventional_flops(m, k, n),
         });
@@ -641,12 +704,22 @@ mod tests {
         assert_eq!(budget_capped_policy(layouts, base, usize::MAX), base);
         assert_eq!(budget_capped_policy(layouts, base, full), base);
 
-        // One element short of full: exactly one level must drop, and the
-        // capped workspace must actually fit.
+        // One element short of full: the first rung fuses an innermost
+        // level instead of dropping depth — all three Strassen levels
+        // survive, and the capped workspace actually fits.
         let capped = budget_capped_policy(layouts, base, full - 1);
-        assert!(capped.strassen_min > base.strassen_min);
+        assert_eq!(capped.strassen_min, base.strassen_min);
+        assert!(capped.fuse > base.fuse);
         assert!(workspace_len(layouts, capped) < full);
         assert!(workspace_len(layouts, capped) > 0, "should keep some Strassen levels");
+
+        // Below the maximally fused footprint the ladder must start
+        // raising strassen_min while keeping the fuse.
+        let fused_floor =
+            workspace_len(layouts, ExecPolicy { fuse: crate::fuse::MAX_FUSE, ..base });
+        let capped = budget_capped_policy(layouts, base, fused_floor - 1);
+        assert!(capped.strassen_min > base.strassen_min);
+        assert_eq!(capped.fuse, crate::fuse::MAX_FUSE);
 
         // Zero budget: Strassen fully disabled, workspace-free.
         let none = budget_capped_policy(layouts, base, 0);
@@ -657,6 +730,58 @@ mod tests {
             let p = budget_capped_policy(layouts, base, budget);
             assert!(workspace_len(layouts, p) <= budget, "budget {budget}");
         }
+    }
+
+    #[test]
+    fn fused_policies_shrink_the_workspace() {
+        // Strictly smaller arena than the staged plan at the same
+        // recursion depth, for every fuse >= 1 (acceptance criterion).
+        for kernel in [KernelKind::Blocked, KernelKind::Packed] {
+            let l = MortonLayout::new(8, 8, 3);
+            let layouts = NodeLayouts::new(l, l, l);
+            let staged = ExecPolicy { kernel, ..Default::default() };
+            let mut prev = workspace_len(layouts, staged);
+            for fuse in 1..=crate::fuse::MAX_FUSE {
+                let ws = workspace_len(layouts, ExecPolicy { fuse, ..staged });
+                assert!(ws < prev, "{kernel} fuse {fuse}: {ws} >= {prev}");
+                prev = ws;
+            }
+        }
+        // The closed form: each fused level removes its qa+qb+2qc staged
+        // slots; a fused Packed terminal reuses the same packing slot.
+        let l = MortonLayout::new(8, 8, 2);
+        let layouts = NodeLayouts::new(l, l, l);
+        let packed = ExecPolicy { kernel: KernelKind::Packed, ..Default::default() };
+        let q = l.quadrant_len();
+        let staged_slots = |levels: usize| -> usize {
+            // Level j of the recursion has quadrant_len q / 4^j.
+            (0..levels).map(|j| 4 * (q >> (2 * j))).sum()
+        };
+        assert_eq!(
+            workspace_len(layouts, ExecPolicy { fuse: 1, ..packed }),
+            staged_slots(1) + leaf_pack_len(layouts, packed)
+        );
+        assert_eq!(
+            workspace_len(layouts, ExecPolicy { fuse: 2, ..packed }),
+            leaf_pack_len(layouts, packed)
+        );
+    }
+
+    #[test]
+    fn budget_prefers_fusing_over_dropping_depth() {
+        // The pinned degradation ladder: fuse first, then recursion
+        // depth, then the kernel swap.
+        let l = MortonLayout::new(8, 8, 3);
+        let layouts = NodeLayouts::new(l, l, l);
+        let base = ExecPolicy { kernel: KernelKind::Packed, ..Default::default() };
+        let one_fused = workspace_len(layouts, ExecPolicy { fuse: 1, ..base });
+        let capped = budget_capped_policy(layouts, base, one_fused);
+        assert_eq!(capped, ExecPolicy { fuse: 1, ..base });
+
+        // Budget below even the conventional packing slot: kernel swap.
+        let capped = budget_capped_policy(layouts, base, 0);
+        assert_eq!(capped.kernel, KernelKind::Blocked);
+        assert_eq!(capped.strassen_min, usize::MAX);
     }
 
     #[test]

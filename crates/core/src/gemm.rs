@@ -459,12 +459,56 @@ pub(crate) fn capped_policy<S: Scalar>(layouts: NodeLayouts, cfg: &ModgemmConfig
     // Auto resolves here, once per plan: the stored policy always carries
     // a concrete kernel, so execution and arena sizing agree.
     let (tm, tk, tn) = (layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols);
-    let base = ExecPolicy {
-        strassen_min: cfg.strassen_min,
-        variant: cfg.variant,
-        kernel: cfg.leaf_kernel.resolve(tm, tk, tn),
-    };
-    budget_capped_policy(layouts, base, cfg.memory_budget.max_elements(core::mem::size_of::<S>()))
+    let kernel = cfg.leaf_kernel.resolve(tm, tk, tn);
+    let mut base =
+        ExecPolicy { strassen_min: cfg.strassen_min, variant: cfg.variant, kernel, fuse: 0 };
+    // Auto fuses only when the plan resolved to the packed kernel (the
+    // combined packs and scatter epilogue are its bandwidth win), and
+    // only one level — the depth that is a pure win (see
+    // [`crate::fuse::AUTO_FUSE`]); Fixed pins the level count on any
+    // kernel. Clamped to the levels the recursion actually takes so
+    // plan facts stay honest.
+    base.fuse = match cfg.fuse_depth {
+        crate::config::FuseDepth::Auto if kernel == modgemm_mat::KernelKind::Packed => {
+            crate::fuse::AUTO_FUSE
+        }
+        crate::config::FuseDepth::Auto => 0,
+        crate::config::FuseDepth::Fixed(n) => n.min(crate::fuse::MAX_FUSE),
+    }
+    .min(crate::counts::strassen_levels(layouts, base));
+    let budget = cfg.memory_budget.max_elements(core::mem::size_of::<S>());
+    let mut policy = budget_capped_policy(layouts, base, budget);
+    // Fuse-before-par-depth: the serial ladder above only climbs fuse
+    // when the *serial* workspace is over budget, but a parallel run
+    // multiplies workspace across concurrent subtrees. When the slab at
+    // the requested DAG depth doesn't fit, fusing another innermost
+    // level (a pure memory win — it shrinks every task's share) is
+    // tried before [`crate::parallel::effective_par_depth`] sacrifices
+    // a DAG level. The climb stops as soon as deeper fusion stops
+    // buying DAG depth, so an unconstrained budget never over-fuses.
+    if cfg.parallel_depth > 0 && resolve_threads(cfg.threads) >= 2 {
+        let depth_at = |p: ExecPolicy| {
+            let mut d = cfg.parallel_depth.min(crate::counts::staged_levels(layouts, p));
+            while d > 0 && parallel_slab_len(layouts, p, d) > budget {
+                d -= 1;
+            }
+            d
+        };
+        let max_fuse = crate::fuse::MAX_FUSE.min(crate::counts::strassen_levels(layouts, policy));
+        let mut best_depth = depth_at(policy);
+        for fuse in (policy.fuse + 1)..=max_fuse {
+            if best_depth >= cfg.parallel_depth {
+                break;
+            }
+            let cand = ExecPolicy { fuse, ..policy };
+            let d = depth_at(cand);
+            if d > best_depth {
+                policy = cand;
+                best_depth = d;
+            }
+        }
+    }
+    policy
 }
 
 /// Runs the Morton core (`D ← A·B`) with the configured execution policy

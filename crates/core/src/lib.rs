@@ -40,6 +40,7 @@ pub mod counts;
 pub mod error;
 pub mod exec;
 pub mod faults;
+pub mod fuse;
 pub mod gemm;
 pub mod metrics;
 pub mod parallel;
@@ -51,7 +52,7 @@ pub mod service;
 pub mod tune;
 pub mod verify;
 
-pub use config::{MemoryBudget, ModgemmConfig, NonFinitePolicy, Truncation, VerifyMode};
+pub use config::{FuseDepth, MemoryBudget, ModgemmConfig, NonFinitePolicy, Truncation, VerifyMode};
 pub use error::{GemmError, Operand};
 pub use exec::{
     budget_capped_policy, strassen_mul, try_strassen_mul, try_strassen_mul_with_sink,

@@ -38,6 +38,10 @@ pub struct PlanFacts {
     pub depth: usize,
     /// Levels that take the Strassen step (the rest run conventionally).
     pub strassen_levels: usize,
+    /// Innermost Strassen levels that run fused — pre-adds in packing,
+    /// post-merges in the scatter epilogue, no S/T arena slots
+    /// ([`crate::fuse`]). Always ≤ [`Self::strassen_levels`].
+    pub fused_levels: usize,
     /// Modeled flops the executor performs
     /// ([`crate::counts::strassen_flops`] — exact, see its tests).
     pub flops: u64,
@@ -274,6 +278,9 @@ pub struct ExecMetrics {
     pub depth: usize,
     /// Deepest count of levels that took the Strassen step.
     pub strassen_levels: usize,
+    /// Deepest count of fused Strassen levels across plans (operand
+    /// fusion, [`crate::fuse`]).
+    pub fused_levels: usize,
     /// Modeled flops executed, summed across plans.
     pub flops: u64,
     /// Modeled conventional-cost flops of the same padded problems.
@@ -421,6 +428,7 @@ impl MetricsSink for CollectingSink {
         m.plans += 1;
         m.depth = m.depth.max(facts.depth);
         m.strassen_levels = m.strassen_levels.max(facts.strassen_levels);
+        m.fused_levels = m.fused_levels.max(facts.fused_levels);
         m.flops += facts.flops;
         m.conventional_flops += facts.conventional_flops;
         let (pm, pk, pn) = facts.padded;
@@ -509,6 +517,7 @@ mod tests {
             padded: (16, 32, 32),
             depth: 2,
             strassen_levels: 2,
+            fused_levels: 1,
             flops: 100,
             conventional_flops: 200,
         });
@@ -516,6 +525,7 @@ mod tests {
             padded: (16, 16, 16),
             depth: 1,
             strassen_levels: 1,
+            fused_levels: 0,
             flops: 10,
             conventional_flops: 20,
         });
@@ -551,6 +561,7 @@ mod tests {
         assert_eq!(m.plans, 2);
         assert_eq!(m.depth, 2);
         assert_eq!(m.strassen_levels, 2);
+        assert_eq!(m.fused_levels, 1);
         assert_eq!(m.flops, 110);
         assert_eq!(m.conventional_flops, 220);
         assert_eq!(m.padded_volume, (16 * 32 * 32 + 16 * 16 * 16) as u128);

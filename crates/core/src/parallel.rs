@@ -42,7 +42,7 @@ use modgemm_mat::Scalar;
 
 use crate::config::ModgemmConfig;
 use crate::error::{try_zeroed_vec, GemmError};
-use crate::exec::{check_buffers, workspace_len, ExecPolicy, NodeLayouts};
+use crate::exec::{check_buffers, staged_step, workspace_len, ExecPolicy, NodeLayouts};
 use crate::metrics::{MetricsSink, NoopSink, PlanFacts};
 use crate::plan::{fill_levels, lower_dag, LevelPlan, MAX_LEVELS};
 use crate::pool::{resolve_threads, run_graph, PoolScratch};
@@ -56,7 +56,7 @@ use crate::schedule::Variant;
 /// serial handover, one [`workspace_len`] arena per subtree.
 pub fn parallel_slab_len(layouts: NodeLayouts, policy: ExecPolicy, par_depth: usize) -> usize {
     if par_depth == 0
-        || !layouts.uses_strassen(policy)
+        || !staged_step(layouts, policy)
         || policy.variant != crate::schedule::Variant::Winograd
     {
         return workspace_len(layouts, policy);
@@ -86,11 +86,13 @@ pub(crate) fn effective_par_depth<S: Scalar>(
     if cfg.parallel_depth == 0 || resolve_threads(cfg.threads) < 2 {
         return None;
     }
-    if policy.variant != Variant::Winograd || !layouts.uses_strassen(policy) {
+    if policy.variant != Variant::Winograd || !staged_step(layouts, policy) {
         return None;
     }
     let budget = cfg.memory_budget.max_elements(core::mem::size_of::<S>());
-    let mut depth = cfg.parallel_depth.min(crate::counts::strassen_levels(layouts, policy));
+    // Only the *staged* levels lower to DAG nodes: a fused subtree runs
+    // sequentially inside its Leaf task.
+    let mut depth = cfg.parallel_depth.min(crate::counts::staged_levels(layouts, policy));
     while depth > 0 && parallel_slab_len(layouts, policy, depth) > budget {
         depth -= 1;
     }
@@ -191,7 +193,7 @@ fn run_parallel<S: Scalar, K: MetricsSink>(
     let levels = &levels_buf[..count];
     if par_depth == 0
         || threads < 2
-        || !layouts.uses_strassen(policy)
+        || !staged_step(layouts, policy)
         || policy.variant != Variant::Winograd
     {
         // Serial degradation on the same slab (`parallel_slab_len` ≥
@@ -201,7 +203,7 @@ fn run_parallel<S: Scalar, K: MetricsSink>(
         crate::plan::exec_levels(a, b, c, layouts, levels, 0, &mut slab[..serial], policy, sink);
         return Ok(());
     }
-    let depth = par_depth.min(crate::counts::strassen_levels(layouts, policy)).min(count);
+    let depth = par_depth.min(crate::counts::staged_levels(layouts, policy)).min(count);
     let graph = lower_dag(layouts, policy, depth);
     let mut level_layouts = [layouts; MAX_LEVELS + 1];
     let mut l = layouts;
@@ -280,6 +282,7 @@ pub fn try_strassen_mul_parallel_with_sink<S: Scalar, K: MetricsSink>(
         padded: (m, k, n),
         depth: layouts.a.depth,
         strassen_levels: crate::counts::strassen_levels(layouts, policy),
+        fused_levels: crate::counts::fused_levels(layouts, policy),
         flops: crate::counts::strassen_flops(layouts, policy),
         conventional_flops: crate::counts::conventional_flops(m, k, n),
     });
@@ -426,6 +429,52 @@ mod tests {
     #[test]
     fn par_depth_zero_is_serial() {
         run_par(32, 8, 2, 0, 4);
+    }
+
+    #[test]
+    fn pooled_parallel_with_fused_leaves_matches_staged_serial() {
+        use modgemm_mat::KernelKind;
+        // Depth 3 with fuse 2 leaves exactly one *staged* level for the
+        // DAG; each Leaf task then runs a two-level fused subtree. The
+        // pooled run must agree bit-for-bit (i64) with both the serial
+        // fused executor and the fully staged oracle, at every worker
+        // count — this is the test the TSan job drives to race-check
+        // fused execution under real concurrency.
+        let l = MortonLayout::new(8, 8, 3);
+        let layouts = NodeLayouts::new(l, l, l);
+        let a: Matrix<i64> = random_matrix(64, 64, 61);
+        let b: Matrix<i64> = random_matrix(64, 64, 62);
+        let mut ab = vec![0i64; l.len()];
+        let mut bb = vec![0i64; l.len()];
+        to_morton(a.view(), Op::NoTrans, &l, &mut ab);
+        to_morton(b.view(), Op::NoTrans, &l, &mut bb);
+
+        let staged = ExecPolicy { kernel: KernelKind::Packed, ..Default::default() };
+        let fused = ExecPolicy { fuse: 2, ..staged };
+        let mut c_oracle = vec![0i64; l.len()];
+        let mut ws = vec![0i64; workspace_len(layouts, staged)];
+        strassen_mul(&ab, &bb, &mut c_oracle, layouts, &mut ws, staged);
+        let mut c_fused = vec![0i64; l.len()];
+        let mut ws = vec![0i64; workspace_len(layouts, fused)];
+        strassen_mul(&ab, &bb, &mut c_fused, layouts, &mut ws, fused);
+        assert_eq!(c_fused, c_oracle, "serial fused vs staged oracle");
+
+        for threads in [2, 4] {
+            let mut c_pool = vec![i64::MAX; l.len()];
+            let mut slab = vec![0i64; parallel_slab_len(layouts, fused, 1)];
+            try_strassen_mul_parallel_in_threads(
+                &ab,
+                &bb,
+                &mut c_pool,
+                layouts,
+                fused,
+                1,
+                threads,
+                &mut slab,
+            )
+            .unwrap();
+            assert_eq!(c_pool, c_oracle, "threads = {threads}");
+        }
     }
 
     #[test]

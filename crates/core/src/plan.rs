@@ -38,7 +38,8 @@ use modgemm_morton::par_convert::{par_from_morton_with, par_to_morton_with};
 use crate::config::{ModgemmConfig, NonFinitePolicy, VerifyMode};
 use crate::error::{try_grow, try_zeroed_vec, GemmError, Operand};
 use crate::exec::{
-    check_buffers, leaf_pack_len, morton_mul_with_ws, workspace_len, ExecPolicy, NodeLayouts,
+    check_buffers, fused_levels, fused_tail_len, morton_mul_with_ws, staged_step, workspace_len,
+    ExecPolicy, NodeLayouts,
 };
 use crate::gemm::{
     capped_policy, has_non_finite, layouts_of, scale_in_place, GemmBreakdown, GemmContext,
@@ -97,9 +98,12 @@ impl LevelPlan {
         LevelPlan { qa: 0, qb: 0, qc: 0, slot_len: 0, arena_offset: 0, steps: &[] };
 }
 
-/// Flattens the Strassen levels of `layouts` under `policy` into `out`,
-/// returning how many levels take the Strassen step (the rest of the tree
-/// runs the conventional Morton recursion).
+/// Flattens the *staged* Strassen levels of `layouts` under `policy`
+/// into `out`, returning how many levels materialize S/T arena slots.
+/// The innermost [`fused_levels`] Strassen levels (when
+/// [`ExecPolicy::fuse`] requests them) are absent from the list — they
+/// execute inside the fused terminal — and everything below runs the
+/// conventional Morton recursion.
 ///
 /// Debug builds assert, at every level, that the arena layout agrees with
 /// the closed-form [`workspace_len`]/[`crate::counts`] model — the
@@ -112,7 +116,7 @@ pub(crate) fn fill_levels(
     let mut l = layouts;
     let mut off = 0usize;
     let mut count = 0usize;
-    while l.uses_strassen(policy) {
+    while staged_step(l, policy) {
         let (qa, qb, qc) = (l.a.quadrant_len(), l.b.quadrant_len(), l.c.quadrant_len());
         let slot_len = qa + qb + 2 * qc;
         debug_assert_eq!(
@@ -127,14 +131,14 @@ pub(crate) fn fill_levels(
         l = l.child();
     }
     debug_assert_eq!(
-        off + leaf_pack_len(layouts, policy),
+        off + fused_tail_len(layouts, policy),
         workspace_len(layouts, policy),
-        "arena length disagrees with workspace_len (slots + leaf packing tail)"
+        "arena length disagrees with workspace_len (slots + terminal tail)"
     );
     debug_assert_eq!(
         count,
-        crate::counts::strassen_levels(layouts, policy),
-        "flattened level count disagrees with counts::strassen_levels"
+        crate::counts::staged_levels(layouts, policy),
+        "flattened level count disagrees with counts::staged_levels"
     );
     count
 }
@@ -142,13 +146,15 @@ pub(crate) fn fill_levels(
 /// The shared schedule interpreter: executes `levels[li..]` over the
 /// Morton buffers, carving each level's `TS/TT/TP/TQ` temporaries from
 /// the front of `arena` and handing the tail to the recursion. Past the
-/// last flattened level the conventional Morton recursion takes over with
-/// the plan's leaf kernel — what remains of the arena at that point is
-/// exactly the [`leaf_pack_len`] tail, which packing kernels use as
-/// their panel buffer (other kernels ignore it).
+/// last flattened level the terminal takes over: the fused executor
+/// ([`crate::fuse::fused_mul_with_ws`]) when [`ExecPolicy::fuse`] covers
+/// the remaining Strassen levels, else the conventional Morton recursion
+/// with the plan's leaf kernel — what remains of the arena at that point
+/// is exactly the [`fused_tail_len`] tail (the packing slot or the fused
+/// leaf working set; non-packing staged kernels ignore it).
 ///
 /// `arena` must be exactly the remaining levels' combined slot length
-/// plus the leaf packing tail (callers pass
+/// plus the terminal tail (callers pass
 /// `workspace_len(layouts, policy)` at the root).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_levels<S: Scalar, K: MetricsSink>(
@@ -164,17 +170,25 @@ pub(crate) fn exec_levels<S: Scalar, K: MetricsSink>(
 ) {
     debug_assert_eq!(
         arena.len(),
-        levels[li..].iter().map(|l| l.slot_len).sum::<usize>() + leaf_pack_len(layouts, policy),
-        "arena does not match the remaining levels' slots plus the packing tail"
+        levels[li..].iter().map(|l| l.slot_len).sum::<usize>() + fused_tail_len(layouts, policy),
+        "arena does not match the remaining levels' slots plus the terminal tail"
     );
     if li == levels.len() {
-        debug_assert!(!layouts.uses_strassen(policy), "levels list ended early");
+        debug_assert!(!staged_step(layouts, policy), "levels list ended early");
+        let f = fused_levels(layouts, policy);
+        let run = |a: &[S], b: &[S], c: &mut [S], arena: &mut [S]| {
+            if f > 0 {
+                crate::fuse::fused_mul_with_ws(a, b, c, layouts, f, policy.kernel, arena);
+            } else {
+                morton_mul_with_ws(a, b, c, layouts, policy.kernel, arena);
+            }
+        };
         if K::ENABLED {
             let t0 = Instant::now();
-            morton_mul_with_ws(a, b, c, layouts, policy.kernel, arena);
+            run(a, b, c, arena);
             sink.record_level_time(li, t0.elapsed());
         } else {
-            morton_mul_with_ws(a, b, c, layouts, policy.kernel, arena);
+            run(a, b, c, arena);
         }
         return;
     }
@@ -443,7 +457,7 @@ impl DagBuilder {
         a_ready: Option<u32>,
         b_ready: Option<u32>,
     ) -> u32 {
-        if rem == 0 || !layouts.uses_strassen(self.policy) {
+        if rem == 0 || !staged_step(layouts, self.policy) {
             let ws_len = workspace_len(layouts, self.policy);
             let node = self.nodes.len() as u32;
             self.nodes.push(NodeDesc { level, a, b, c, slab_off, ws_len });
@@ -666,7 +680,8 @@ impl<S: Scalar> GemmPlan<S> {
                 let facts = PlanFacts {
                     padded: (pm, pk, pn),
                     depth: layouts.a.depth,
-                    strassen_levels: count,
+                    strassen_levels: crate::counts::strassen_levels(layouts, policy),
+                    fused_levels: fused_levels(layouts, policy),
                     flops: crate::counts::strassen_flops(layouts, policy),
                     conventional_flops: crate::counts::conventional_flops(pm, pk, pn),
                 };
@@ -733,10 +748,18 @@ impl<S: Scalar> GemmPlan<S> {
             .map_or_else(|| crate::pool::resolve_threads(self.cfg.threads), |tp| tp.threads)
     }
 
-    /// Strassen levels the compiled recursion takes (zero for split,
-    /// degenerate, or fully conventional plans).
+    /// Strassen levels the compiled recursion takes — staged *and* fused
+    /// (zero for split, degenerate, or fully conventional plans).
     pub fn strassen_levels(&self) -> usize {
-        self.strategy.as_ref().map_or(0, |tp| tp.levels.len())
+        self.strategy.as_ref().map_or(0, |tp| tp.facts.strassen_levels)
+    }
+
+    /// Innermost Strassen levels the compiled plan runs fused — no S/T
+    /// arena slots; pre-adds in packing, post-merges in the scatter
+    /// epilogue ([`crate::fuse`]). Zero for staged, split, degenerate,
+    /// or fully conventional plans.
+    pub fn fused_levels(&self) -> usize {
+        self.strategy.as_ref().map_or(0, |tp| tp.facts.fused_levels)
     }
 
     /// Task count of the compiled parallel DAG — the cooperative
@@ -1294,6 +1317,7 @@ mod tests {
             kernel: KernelKind::Packed,
             parallel_depth: 0,
             threads: 0,
+            fuse_depth: crate::fuse::MAX_FUSE,
         };
         let cfg = ModgemmConfig {
             leaf_kernel: KernelKind::Auto,
@@ -1502,6 +1526,106 @@ mod tests {
             &ModgemmConfig { truncation: Truncation::Fixed(16), ..Default::default() },
         );
         assert_eq!(c, serial);
+    }
+
+    #[test]
+    fn budget_ladder_fuses_then_drops_par_depth_then_recursion_then_kernel() {
+        // The full degradation ladder, pinned end to end: fuse →
+        // par-depth → recursion depth → kernel. With the packed kernel,
+        // Auto fuse_depth starts at one fused level (the pure-speed
+        // depth); a tightening budget first fuses *deeper* (a free
+        // memory win that shrinks every task's slab share), then
+        // sacrifices worker parallelism (DAG depth), then Strassen
+        // recursion depth, and only as the last resort the packed
+        // kernel itself.
+        let cfg0 = ModgemmConfig {
+            truncation: Truncation::Fixed(16),
+            leaf_kernel: KernelKind::Packed,
+            parallel_depth: 2,
+            threads: 4,
+            ..Default::default()
+        };
+        // 256 = 16·2^4: four Strassen levels, of which Auto fuses the
+        // innermost one, leaving three staged levels for the parallel
+        // DAG (capped at the requested depth 2).
+        let (m, k, n) = (256usize, 256usize, 256usize);
+        let l = MortonLayout::new(16, 16, 4);
+        let layouts = NodeLayouts::new(l, l, l);
+        let policy0 = crate::gemm::capped_policy::<f64>(layouts, &cfg0);
+        assert_eq!(policy0.fuse, crate::fuse::AUTO_FUSE, "Auto + Packed fuses the speed depth");
+        let policy_max = crate::exec::ExecPolicy { fuse: crate::fuse::MAX_FUSE, ..policy0 };
+        let ws_fused = crate::exec::workspace_len(layouts, policy_max);
+        let slab2_max = crate::parallel::parallel_slab_len(layouts, policy_max, 2);
+        let slab2_auto = crate::parallel::parallel_slab_len(layouts, policy0, 2);
+        let slab1_max = crate::parallel::parallel_slab_len(layouts, policy_max, 1);
+        assert!(slab2_max < slab2_auto, "deeper fusion must shrink the DAG slab");
+        assert!(slab1_max < slab2_max, "one DAG level must cost less than two");
+        assert!(ws_fused < slab1_max, "one DAG level costs more than the serial workspace");
+
+        let budgeted = |bytes: usize| ModgemmConfig {
+            memory_budget: crate::config::MemoryBudget::MaxWorkspaceBytes(bytes),
+            ..cfg0
+        };
+
+        // Rung 0 — unlimited: one fused level, parallel, full depth.
+        let free: GemmPlan<f64> = plan(m, k, n, &cfg0);
+        assert_eq!((free.parallel_depth(), free.strassen_levels(), free.fused_levels()), (2, 4, 1));
+
+        // Rung 1 — the depth-2 slab at one fused level no longer fits,
+        // but the maximally fused one does: fusion deepens and the full
+        // DAG depth survives.
+        let fused: GemmPlan<f64> = plan(m, k, n, &budgeted(slab2_max * 8));
+        assert_eq!(
+            (fused.parallel_depth(), fused.strassen_levels(), fused.fused_levels()),
+            (2, 4, 2)
+        );
+
+        // Rung 2 — not even the maximally fused depth-2 slab fits: only
+        // now does the DAG shrink to one level.
+        let par1: GemmPlan<f64> = plan(m, k, n, &budgeted(slab1_max * 8));
+        assert_eq!((par1.parallel_depth(), par1.strassen_levels(), par1.fused_levels()), (1, 4, 2));
+
+        // Rung 3 — only the serial fused workspace fits: parallelism is
+        // gone, the fused full-depth recursion is intact.
+        let serial: GemmPlan<f64> = plan(m, k, n, &budgeted(ws_fused * 8));
+        assert_eq!(
+            (serial.parallel_depth(), serial.strassen_levels(), serial.fused_levels()),
+            (0, 4, 2)
+        );
+
+        // Rung 4 — below the fused workspace: recursion depth is
+        // sacrificed next, with the surviving levels still fused and the
+        // kernel still packed.
+        let shallow_cfg = budgeted(ws_fused * 8 - 8);
+        let shallow_policy = crate::gemm::capped_policy::<f64>(layouts, &shallow_cfg);
+        assert_eq!(shallow_policy.kernel, KernelKind::Packed, "kernel survives the depth rung");
+        let shallow: GemmPlan<f64> = plan(m, k, n, &shallow_cfg);
+        assert!(shallow.strassen_levels() < 4, "depth must drop below the fused workspace");
+        assert_eq!(shallow.fused_levels(), shallow.strassen_levels().min(crate::fuse::MAX_FUSE));
+
+        // Rung 5 — a budget nothing packed fits in: the kernel itself is
+        // swapped for the workspace-free blocked fallback.
+        let floor_policy = crate::gemm::capped_policy::<f64>(layouts, &budgeted(1));
+        assert_eq!(floor_policy.kernel, KernelKind::Blocked, "kernel is the last rung");
+        let floor: GemmPlan<f64> = plan(m, k, n, &budgeted(1));
+        assert_eq!((floor.strassen_levels(), floor.fused_levels()), (0, 0));
+
+        // Every rung still multiplies correctly, and the two fused
+        // full-depth schedules (parallel and serial) agree bitwise.
+        let a: Matrix<f64> = random_matrix(m, k, 43);
+        let b: Matrix<f64> = random_matrix(k, n, 44);
+        let expect = modgemm_mat::naive::naive_product(&a, &b);
+        let mut ctx = GemmContext::new();
+        let mut c_par: Matrix<f64> = Matrix::zeros(m, n);
+        par1.execute(a.view(), b.view(), c_par.view_mut(), &mut ctx);
+        let mut c_ser: Matrix<f64> = Matrix::zeros(m, n);
+        serial.execute(a.view(), b.view(), c_ser.view_mut(), &mut ctx);
+        assert_eq!(c_par, c_ser, "pooled fused == serial fused, bitwise");
+        for plan in [&fused, &par1, &serial, &shallow, &floor] {
+            let mut c: Matrix<f64> = Matrix::zeros(m, n);
+            plan.execute(a.view(), b.view(), c.view_mut(), &mut ctx);
+            modgemm_mat::norms::assert_matrix_eq(c.view(), expect.view(), k);
+        }
     }
 
     #[test]

@@ -35,7 +35,9 @@
 //! * `leaf_kernel` — only for [`KernelKind::Auto`] (delegated selection
 //!   is Auto's whole purpose; a pinned concrete kernel wins);
 //! * `parallel_depth` / `threads` — only while the config holds the
-//!   default `0` (auto).
+//!   default `0` (auto);
+//! * `fuse_depth` — only while the config holds the default
+//!   [`FuseDepth::Auto`]; an explicit `Fixed(n)` wins.
 //!
 //! With no profile entry in range (or [`TuningMode::Off`]), everything
 //! falls through to the static heuristics exactly as before — a profile
@@ -59,13 +61,17 @@ use std::sync::OnceLock;
 use modgemm_mat::KernelKind;
 use modgemm_morton::tiling::TileRange;
 
-use crate::config::{ModgemmConfig, Truncation};
+use crate::config::{FuseDepth, ModgemmConfig, Truncation};
 use crate::error::GemmError;
 
 /// The profile schema version this build emits and understands. Loading
 /// a profile with a *newer* version fails typed (forward compatibility
-/// is refused, not guessed at); older versions are currently all `1`.
-pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+/// is refused, not guessed at), and so does an *older* one: version 2
+/// added the `fuse_depth` knob to every entry, and a v1 profile's
+/// recorded winners were measured without operand fusion, so silently
+/// defaulting the missing field would misrepresent the measurement.
+/// Re-running `modgemm-tune` regenerates a current-schema profile.
+pub const PROFILE_SCHEMA_VERSION: u64 = 2;
 
 /// Environment variable overriding the profile location (takes
 /// precedence over the `~/.cache/modgemm/profile.json` default).
@@ -98,6 +104,10 @@ pub struct TunedChoice {
     pub parallel_depth: usize,
     /// Pool worker count (`0` = resolve from the environment).
     pub threads: usize,
+    /// Fused Strassen levels to pin ([`FuseDepth::Fixed`]), at most
+    /// [`crate::fuse::MAX_FUSE`]. Applied only while the configuration
+    /// leaves [`ModgemmConfig::fuse_depth`] at [`FuseDepth::Auto`].
+    pub fuse_depth: usize,
 }
 
 impl TunedChoice {
@@ -111,6 +121,7 @@ impl TunedChoice {
             kernel: KernelKind::Auto,
             parallel_depth: 0,
             threads: 0,
+            fuse_depth: 0,
         }
     }
 
@@ -137,6 +148,9 @@ impl TunedChoice {
         }
         if cfg.threads == 0 {
             eff.threads = self.threads;
+        }
+        if cfg.fuse_depth == FuseDepth::Auto {
+            eff.fuse_depth = FuseDepth::Fixed(self.fuse_depth.min(crate::fuse::MAX_FUSE));
         }
         eff
     }
@@ -294,6 +308,7 @@ impl TuningProfile {
                     kernel: near.choice.kernel,
                     parallel_depth: near.choice.parallel_depth,
                     threads: near.choice.threads,
+                    fuse_depth: near.choice.fuse_depth,
                 })
             }
             (Some(e), _) | (_, Some(e)) => Some(e.choice),
@@ -323,7 +338,7 @@ impl TuningProfile {
             s.push_str(&format!(
                 "\n    {{\"m\": {}, \"k\": {}, \"n\": {}, \"tile_min\": {}, \"tile_max\": {}, \
                  \"strassen_min\": {}, \"kernel\": {}, \"parallel_depth\": {}, \"threads\": {}, \
-                 \"score\": {}}}",
+                 \"fuse_depth\": {}, \"score\": {}}}",
                 e.m,
                 e.k,
                 e.n,
@@ -333,6 +348,7 @@ impl TuningProfile {
                 json_str(&e.choice.kernel.to_string()),
                 e.choice.parallel_depth,
                 e.choice.threads,
+                e.choice.fuse_depth,
                 json_num(e.score),
             ));
         }
@@ -361,9 +377,10 @@ impl TuningProfile {
                 reason: "tuning profile schema version is newer than this library understands",
             });
         }
-        if version == 0 {
+        if version < PROFILE_SCHEMA_VERSION {
             return Err(GemmError::InvalidConfig {
-                reason: "tuning profile schema version must be at least 1",
+                reason: "tuning profile schema version is outdated; re-run modgemm-tune to record \
+                         a current profile",
             });
         }
         const BAD_ENTRY: GemmError =
@@ -399,6 +416,7 @@ impl TuningProfile {
                     kernel,
                     parallel_depth: u("parallel_depth")?,
                     threads: u("threads")?,
+                    fuse_depth: u("fuse_depth")?,
                 },
                 score: get(eo, "score").and_then(num).unwrap_or(0.0),
             };
@@ -410,6 +428,11 @@ impl TuningProfile {
             if entry.choice.tile_min == 0 || entry.choice.tile_min > entry.choice.tile_max {
                 return Err(GemmError::InvalidConfig {
                     reason: "tuning profile entry has an invalid tile range",
+                });
+            }
+            if entry.choice.fuse_depth > crate::fuse::MAX_FUSE {
+                return Err(GemmError::InvalidConfig {
+                    reason: "tuning profile entry records an unsupported fuse depth",
                 });
             }
             entries.push(entry);
@@ -779,6 +802,7 @@ mod tests {
                         kernel: KernelKind::Packed,
                         parallel_depth: 0,
                         threads: 1,
+                        fuse_depth: 2,
                     },
                     score: 3.5,
                 },
@@ -793,6 +817,7 @@ mod tests {
                         kernel: KernelKind::Blocked,
                         parallel_depth: 2,
                         threads: 4,
+                        fuse_depth: 0,
                     },
                     score: 2.9,
                 },
@@ -825,17 +850,27 @@ mod tests {
             "{\"schema_version\": \"one\", \"entries\": []}".into(),
             "{\"entries\": []}".into(),
             format!("{full}trailing"),
-            "{\"schema_version\": 1, \"entries\": [{\"m\": 0}]}".into(),
-            "{\"schema_version\": 1, \"entries\": [7]}".into(),
+            "{\"schema_version\": 2, \"entries\": [{\"m\": 0}]}".into(),
+            "{\"schema_version\": 2, \"entries\": [7]}".into(),
             // Entry with an inverted tile range.
-            "{\"schema_version\": 1, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":64,\
+            "{\"schema_version\": 2, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":64,\
              \"tile_max\":16,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
-             \"threads\":0,\"score\":1.0}]}"
+             \"threads\":0,\"fuse_depth\":0,\"score\":1.0}]}"
                 .into(),
             // Unknown kernel name.
-            "{\"schema_version\": 1, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+            "{\"schema_version\": 2, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
              \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"turbo\",\"parallel_depth\":0,\
+             \"threads\":0,\"fuse_depth\":0,\"score\":1.0}]}"
+                .into(),
+            // Entry missing the v2 fuse_depth field.
+            "{\"schema_version\": 2, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+             \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
              \"threads\":0,\"score\":1.0}]}"
+                .into(),
+            // Entry recording a fuse depth beyond MAX_FUSE.
+            "{\"schema_version\": 2, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+             \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
+             \"threads\":0,\"fuse_depth\":9,\"score\":1.0}]}"
                 .into(),
         ];
         // Truncate the valid serialization at many byte offsets: every
@@ -856,7 +891,7 @@ mod tests {
 
     #[test]
     fn future_schema_version_fails_typed() {
-        let text = "{\"schema_version\": 2, \"entries\": []}";
+        let text = "{\"schema_version\": 3, \"entries\": []}";
         match TuningProfile::from_json_str(text) {
             Err(GemmError::InvalidConfig { reason }) => {
                 assert!(reason.contains("newer"), "{reason}");
@@ -867,6 +902,20 @@ mod tests {
             TuningProfile::from_json_str("{\"schema_version\": 0, \"entries\": []}"),
             Err(GemmError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn outdated_schema_version_fails_typed() {
+        // Version 1 predates the fuse_depth knob: its recorded winners
+        // were measured without operand fusion, so it is refused typed
+        // rather than silently defaulted.
+        let text = "{\"schema_version\": 1, \"entries\": []}";
+        match TuningProfile::from_json_str(text) {
+            Err(GemmError::InvalidConfig { reason }) => {
+                assert!(reason.contains("outdated"), "{reason}");
+            }
+            other => panic!("outdated schema must be refused, got {other:?}"),
+        }
     }
 
     #[test]
@@ -900,6 +949,7 @@ mod tests {
             kernel: KernelKind::Packed,
             parallel_depth: 2,
             threads: 4,
+            fuse_depth: 1,
         };
         // Default config: every knob consults the choice (except kernel,
         // which only Auto delegates).
@@ -910,6 +960,7 @@ mod tests {
         assert_eq!(eff.parallel_depth, 2);
         assert_eq!(eff.threads, 4);
         assert_eq!(eff.leaf_kernel, KernelKind::Blocked, "pinned Blocked default wins");
+        assert_eq!(eff.fuse_depth, FuseDepth::Fixed(1), "Auto fuse_depth consults the profile");
 
         // Auto delegates kernel selection to the choice.
         let auto = ModgemmConfig { leaf_kernel: KernelKind::Auto, ..Default::default() };
@@ -922,6 +973,7 @@ mod tests {
             parallel_depth: 1,
             threads: 2,
             leaf_kernel: KernelKind::Micro,
+            fuse_depth: FuseDepth::Fixed(2),
             ..Default::default()
         };
         let eff = choice.apply_to(&pinned, 256, 256, 256);
@@ -930,6 +982,7 @@ mod tests {
         assert_eq!(eff.parallel_depth, 1);
         assert_eq!(eff.threads, 2);
         assert_eq!(eff.leaf_kernel, KernelKind::Micro);
+        assert_eq!(eff.fuse_depth, FuseDepth::Fixed(2), "explicit fuse_depth wins");
     }
 
     #[test]

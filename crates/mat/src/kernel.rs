@@ -259,6 +259,21 @@ impl KernelKind {
             _ => 0,
         }
     }
+
+    /// Workspace (elements) one **fused** `m × k × n` leaf product needs
+    /// under this kind (after resolving `Auto`): `Packed` combines its
+    /// operand terms *during* packing and scatters straight from
+    /// registers, so it needs exactly its ordinary [`packed_len`] slot;
+    /// every non-packing kernel materializes the combined `A`, combined
+    /// `B`, and one product tile (`m·k + k·n + m·n`) before scattering.
+    /// Element counts, not bytes, like [`KernelKind::pack_len`].
+    #[must_use]
+    pub fn fused_leaf_len(self, m: usize, k: usize, n: usize) -> usize {
+        match self.resolve(m, k, n) {
+            KernelKind::Packed => packed_len(m, k, n),
+            _ => m * k + k * n + m * n,
+        }
+    }
 }
 
 impl fmt::Display for KernelKind {

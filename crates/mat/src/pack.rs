@@ -34,6 +34,13 @@ pub const PACK_MR: usize = 8;
 /// Columns per packed B panel — the microkernel's register-tile width.
 pub const PACK_NR: usize = 4;
 
+/// Most ± source terms one combined pack ([`pack_a_sum`] /
+/// [`pack_b_sum`]) and most ± destinations one scatter epilogue
+/// ([`microkernel_scatter_generic`]) support. Two fused Strassen levels
+/// compose at most `2 × 2` quadrant terms per operand and per
+/// destination, so four is the ceiling the fused executor needs.
+pub const MAX_FUSE_TERMS: usize = 4;
+
 /// Elements of the packed form of an `m × k` A operand:
 /// `ceil(m / MR) · MR · k` (ragged row panels are zero-padded).
 pub const fn packed_a_len(m: usize, k: usize) -> usize {
@@ -89,15 +96,163 @@ pub fn pack_b<S: Scalar>(b: MatRef<'_, S>, buf: &mut [S]) {
         let j0 = pj * PACK_NR;
         let nb = PACK_NR.min(n - j0);
         let base = pj * PACK_NR * k;
-        for jl in 0..PACK_NR {
-            if jl < nb {
-                let col = b.col(j0 + jl);
-                for p in 0..k {
-                    buf[base + p * PACK_NR + jl] = col[p];
+        let panel = &mut buf[base..base + PACK_NR * k];
+        if nb == PACK_NR {
+            // Full panel: transpose the k×NR block in one pass, writing
+            // all NR interleaved entries per p.
+            let c: [&[S]; PACK_NR] = core::array::from_fn(|jl| &b.col(j0 + jl)[..k]);
+            for (p, d) in panel.chunks_exact_mut(PACK_NR).enumerate() {
+                for jl in 0..PACK_NR {
+                    d[jl] = c[jl][p];
+                }
+            }
+        } else {
+            for jl in 0..PACK_NR {
+                if jl < nb {
+                    let col = &b.col(j0 + jl)[..k];
+                    for (p, &v) in col.iter().enumerate() {
+                        panel[p * PACK_NR + jl] = v;
+                    }
+                } else {
+                    for p in 0..k {
+                        panel[p * PACK_NR + jl] = S::ZERO;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs the ± sum of up to [`MAX_FUSE_TERMS`] equal-shape `m × k`
+/// operands into `buf` in the exact [`pack_a`] panel format (MR row
+/// panels, k-major, zero-padded tails): `buf` receives
+/// `Σ ±terms[t].0` combined *during* the single packing pass, so a fused
+/// Strassen pre-addition costs no extra sweep over memory and no
+/// temporary operand buffer.
+///
+/// `terms[t].1 == true` negates that term. A one-term call is exactly
+/// [`pack_a`].
+///
+/// # Panics
+/// When `terms` is empty or exceeds [`MAX_FUSE_TERMS`], on shape
+/// disagreement between terms, or when `buf` is shorter than
+/// [`packed_a_len`].
+#[track_caller]
+pub fn pack_a_sum<S: Scalar>(terms: &[(MatRef<'_, S>, bool)], buf: &mut [S]) {
+    assert!(
+        !terms.is_empty() && terms.len() <= MAX_FUSE_TERMS,
+        "pack_a_sum takes 1..={MAX_FUSE_TERMS} terms, got {}",
+        terms.len()
+    );
+    let (m, k) = terms[0].0.dims();
+    for (t, _) in terms {
+        assert_eq!(t.dims(), (m, k), "pack_a_sum term shape mismatch");
+    }
+    let need = packed_a_len(m, k);
+    assert!(buf.len() >= need, "pack_a_sum buffer too small: {} < {need}", buf.len());
+    // First term writes (so a one-term call costs a — possibly negated —
+    // `pack_a`), the remaining terms accumulate; each pass keeps
+    // `pack_a`'s panel loop shape.
+    let (&(t0, neg0), rest) = terms.split_first().unwrap();
+    for pi in 0..m.div_ceil(PACK_MR) {
+        let i0 = pi * PACK_MR;
+        let mb = PACK_MR.min(m - i0);
+        let base = pi * PACK_MR * k;
+        for p in 0..k {
+            let src = &t0.col(p)[i0..i0 + mb];
+            let dst = &mut buf[base + p * PACK_MR..base + (p + 1) * PACK_MR];
+            if neg0 {
+                for (x, &v) in dst.iter_mut().zip(src) {
+                    *x = -v;
                 }
             } else {
-                for p in 0..k {
-                    buf[base + p * PACK_NR + jl] = S::ZERO;
+                dst[..mb].copy_from_slice(src);
+            }
+            // The tail rows [mb..MR] stay zero padding across all terms.
+            dst[mb..].fill(S::ZERO);
+        }
+        for &(t, neg) in rest {
+            for p in 0..k {
+                let src = &t.col(p)[i0..i0 + mb];
+                let dst = &mut buf[base + p * PACK_MR..base + p * PACK_MR + mb];
+                if neg {
+                    for (x, &v) in dst.iter_mut().zip(src) {
+                        *x -= v;
+                    }
+                } else {
+                    for (x, &v) in dst.iter_mut().zip(src) {
+                        *x += v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs the ± sum of up to [`MAX_FUSE_TERMS`] equal-shape `k × n`
+/// operands into `buf` in the exact [`pack_b`] panel format (NR column
+/// panels, k-major, zero-padded tails) — the B-side twin of
+/// [`pack_a_sum`].
+///
+/// # Panics
+/// When `terms` is empty or exceeds [`MAX_FUSE_TERMS`], on shape
+/// disagreement between terms, or when `buf` is shorter than
+/// [`packed_b_len`].
+#[track_caller]
+pub fn pack_b_sum<S: Scalar>(terms: &[(MatRef<'_, S>, bool)], buf: &mut [S]) {
+    assert!(
+        !terms.is_empty() && terms.len() <= MAX_FUSE_TERMS,
+        "pack_b_sum takes 1..={MAX_FUSE_TERMS} terms, got {}",
+        terms.len()
+    );
+    let (k, n) = terms[0].0.dims();
+    for (t, _) in terms {
+        assert_eq!(t.dims(), (k, n), "pack_b_sum term shape mismatch");
+    }
+    let need = packed_b_len(k, n);
+    assert!(buf.len() >= need, "pack_b_sum buffer too small: {} < {need}", buf.len());
+    let (&(t0, neg0), rest) = terms.split_first().unwrap();
+    for pj in 0..n.div_ceil(PACK_NR) {
+        let j0 = pj * PACK_NR;
+        let nb = PACK_NR.min(n - j0);
+        let base = pj * PACK_NR * k;
+        let panel = &mut buf[base..base + PACK_NR * k];
+        if nb == PACK_NR {
+            // Full panel: transpose k×NR blocks column-set-at-a-time —
+            // the first term writes all NR interleaved entries per p,
+            // the remaining terms accumulate in the same shape.
+            let c: [&[S]; PACK_NR] = core::array::from_fn(|jl| &t0.col(j0 + jl)[..k]);
+            for (p, d) in panel.chunks_exact_mut(PACK_NR).enumerate() {
+                for jl in 0..PACK_NR {
+                    d[jl] = if neg0 { -c[jl][p] } else { c[jl][p] };
+                }
+            }
+            for &(t, neg) in rest {
+                let c: [&[S]; PACK_NR] = core::array::from_fn(|jl| &t.col(j0 + jl)[..k]);
+                for (p, d) in panel.chunks_exact_mut(PACK_NR).enumerate() {
+                    for jl in 0..PACK_NR {
+                        if neg {
+                            d[jl] -= c[jl][p];
+                        } else {
+                            d[jl] += c[jl][p];
+                        }
+                    }
+                }
+            }
+        } else {
+            // Ragged tail panel: zero once (live columns and padding
+            // alike), then accumulate every term into the live columns.
+            panel.fill(S::ZERO);
+            for &(t, neg) in terms {
+                for jl in 0..nb {
+                    let col = &t.col(j0 + jl)[..k];
+                    for (p, &v) in col.iter().enumerate() {
+                        if neg {
+                            panel[p * PACK_NR + jl] -= v;
+                        } else {
+                            panel[p * PACK_NR + jl] += v;
+                        }
+                    }
                 }
             }
         }
@@ -141,6 +296,150 @@ pub fn microkernel_generic<S: Scalar>(
         let cj = &mut c[j * ldc..j * ldc + mb];
         for (x, &v) in cj.iter_mut().zip(col) {
             *x += v;
+        }
+    }
+}
+
+/// The portable *scatter* microkernel: accumulates one `MR × NR`
+/// product tile exactly like [`microkernel_generic`], then writes the
+/// logical `mb × nb` window ± into **each** destination — the fused
+/// Strassen post-merge, with the product computed once and never
+/// materialized outside the register-resident accumulators.
+///
+/// Each destination in `dests` is a full column-major tile slice with
+/// leading dimension `ldc`; the window written starts at linear offset
+/// `off` (i.e. element `(i0, j0)` of the tile). `dests[d].1 == true`
+/// subtracts the product there instead of adding.
+///
+/// # Panics
+/// When `dests` is empty or exceeds [`MAX_FUSE_TERMS`]; in debug builds
+/// on undersized panels; out-of-bounds destination indexing panics in
+/// all builds (the slice bounds are the safety boundary).
+#[allow(clippy::too_many_arguments)]
+pub fn microkernel_scatter_generic<S: Scalar>(
+    k: usize,
+    a_panel: &[S],
+    b_panel: &[S],
+    dests: &mut [(&mut [S], bool)],
+    off: usize,
+    ldc: usize,
+    mb: usize,
+    nb: usize,
+) {
+    assert!(
+        !dests.is_empty() && dests.len() <= MAX_FUSE_TERMS,
+        "scatter takes 1..={MAX_FUSE_TERMS} destinations, got {}",
+        dests.len()
+    );
+    debug_assert!(a_panel.len() >= PACK_MR * k);
+    debug_assert!(b_panel.len() >= PACK_NR * k);
+    debug_assert!(mb <= PACK_MR && nb <= PACK_NR && mb > 0 && nb > 0);
+    let mut acc = [[S::ZERO; PACK_MR]; PACK_NR];
+    for p in 0..k {
+        let ac = &a_panel[p * PACK_MR..(p + 1) * PACK_MR];
+        let br = &b_panel[p * PACK_NR..(p + 1) * PACK_NR];
+        for (col, &bv) in acc.iter_mut().zip(br) {
+            for (x, &av) in col.iter_mut().zip(ac) {
+                *x = av.madd(bv, *x);
+            }
+        }
+    }
+    for (d, neg) in dests.iter_mut() {
+        for (j, col) in acc.iter().take(nb).enumerate() {
+            let cj = &mut d[off + j * ldc..off + j * ldc + mb];
+            if *neg {
+                for (x, &v) in cj.iter_mut().zip(col) {
+                    *x -= v;
+                }
+            } else {
+                for (x, &v) in cj.iter_mut().zip(col) {
+                    *x += v;
+                }
+            }
+        }
+    }
+}
+
+/// One fused leaf product through the packed pipeline:
+/// `(Σ ±Aᵢ)·(Σ ±Bⱼ)` packed by [`pack_a_sum`] / [`pack_b_sum`] into
+/// `ws`, then scatter-accumulated ± into every destination tile by one
+/// microkernel sweep (the vectorized scatter body from [`crate::simd`]
+/// on full interior tiles when the host has one, the portable
+/// [`microkernel_scatter_generic`] on ragged edges and everywhere else).
+///
+/// Every destination is a **contiguous** column-major `m × n` tile
+/// (leading dimension `m`) of at least `m·n` elements. `ws` needs
+/// [`packed_len`]`(m, k, n)` elements — the same packing slot a plain
+/// [`packed_mul_add_in`] leaf uses; fusion adds no workspace.
+///
+/// # Panics
+/// On term/destination counts outside `1..=`[`MAX_FUSE_TERMS`], shape
+/// mismatches, undersized destinations, or an undersized `ws`.
+#[track_caller]
+pub fn packed_mul_scatter_in<S: Scalar>(
+    a_terms: &[(MatRef<'_, S>, bool)],
+    b_terms: &[(MatRef<'_, S>, bool)],
+    dests: &mut [(&mut [S], bool)],
+    ws: &mut [S],
+) {
+    assert!(!a_terms.is_empty() && !b_terms.is_empty(), "fused product needs operand terms");
+    assert!(
+        !dests.is_empty() && dests.len() <= MAX_FUSE_TERMS,
+        "fused product takes 1..={MAX_FUSE_TERMS} destinations, got {}",
+        dests.len()
+    );
+    let (m, k) = a_terms[0].0.dims();
+    let (kb, n) = b_terms[0].0.dims();
+    assert_eq!(k, kb, "inner dimension mismatch");
+    for (d, _) in dests.iter() {
+        assert!(d.len() >= m * n, "destination tile too small: {} < {}", d.len(), m * n);
+    }
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let need = packed_len(m, k, n);
+    assert!(ws.len() >= need, "packing workspace too small: {} < {need}", ws.len());
+    let (abuf, rest) = ws.split_at_mut(packed_a_len(m, k));
+    let bbuf = &mut rest[..packed_b_len(k, n)];
+    pack_a_sum(a_terms, abuf);
+    pack_b_sum(b_terms, bbuf);
+
+    let mk = S::packed_scatter_microkernel();
+    let ldc = m;
+    let mut dptrs = [core::ptr::null_mut::<S>(); MAX_FUSE_TERMS];
+    let mut neg_mask = 0u32;
+    for (i, (dest, neg)) in dests.iter_mut().enumerate() {
+        dptrs[i] = dest.as_mut_ptr();
+        if *neg {
+            neg_mask |= 1 << i;
+        }
+    }
+    for pj in 0..n.div_ceil(PACK_NR) {
+        let j0 = pj * PACK_NR;
+        let nb = PACK_NR.min(n - j0);
+        let bp = &bbuf[pj * PACK_NR * k..(pj + 1) * PACK_NR * k];
+        for pi in 0..m.div_ceil(PACK_MR) {
+            let i0 = pi * PACK_MR;
+            let mb = PACK_MR.min(m - i0);
+            let ap = &abuf[pi * PACK_MR * k..(pi + 1) * PACK_MR * k];
+            match mk {
+                // SAFETY: full interior tile — each destination was
+                // validated to cover the m×n tile, so the MR×NR window
+                // at (i0, j0) with stride ldc = m stays in bounds; the
+                // panels are exactly MR·k / NR·k elements and `f` came
+                // from the runtime feature detector. The window pointers
+                // are derived per call from live exclusive borrows.
+                Some(f) if mb == PACK_MR && nb == PACK_NR => unsafe {
+                    let mut wptrs = [core::ptr::null_mut::<S>(); MAX_FUSE_TERMS];
+                    for (w, d) in wptrs.iter_mut().zip(&dptrs[..dests.len()]) {
+                        *w = d.add(i0 + j0 * ldc);
+                    }
+                    f(k, ap.as_ptr(), bp.as_ptr(), wptrs.as_ptr(), dests.len(), neg_mask, ldc);
+                },
+                _ => {
+                    microkernel_scatter_generic(k, ap, bp, dests, i0 + j0 * ldc, ldc, mb, nb);
+                }
+            }
         }
     }
 }
@@ -306,6 +605,225 @@ mod tests {
             }
         }
         assert_matrix_eq(c.view(), want.view(), k);
+    }
+
+    #[test]
+    fn pack_a_sum_matches_pack_a_of_combined_operand() {
+        // Ragged shape (one padded row panel) over a strided view, with
+        // 1..=4 ± terms: the combined pack must equal packing the
+        // explicitly combined matrix.
+        let base: Matrix<i64> = random_matrix(14, 9, 17);
+        let views: Vec<_> = (0..MAX_FUSE_TERMS)
+            .map(|t| base.view().submatrix(t % 3, t % 2, 11, 7)) // ld = 14
+            .collect();
+        let negs = [false, true, false, true];
+        for nterms in 1..=MAX_FUSE_TERMS {
+            let terms: Vec<_> = (0..nterms).map(|t| (views[t], negs[t])).collect();
+            let mut got = vec![-7i64; packed_a_len(11, 7)];
+            pack_a_sum(&terms, &mut got);
+
+            let mut combined = Matrix::<i64>::zeros(11, 7);
+            for (v, neg) in &terms {
+                for j in 0..7 {
+                    for i in 0..11 {
+                        let s = if *neg { -v.get(i, j) } else { v.get(i, j) };
+                        combined.set(i, j, combined.get(i, j) + s);
+                    }
+                }
+            }
+            let mut want = vec![-7i64; packed_a_len(11, 7)];
+            pack_a(combined.view(), &mut want);
+            assert_eq!(got, want, "nterms = {nterms}");
+        }
+    }
+
+    #[test]
+    fn pack_b_sum_matches_pack_b_of_combined_operand() {
+        let base: Matrix<i64> = random_matrix(12, 11, 18);
+        let views: Vec<_> =
+            (0..MAX_FUSE_TERMS).map(|t| base.view().submatrix(t % 2, t % 3, 7, 6)).collect();
+        let negs = [true, false, true, false];
+        for nterms in 1..=MAX_FUSE_TERMS {
+            let terms: Vec<_> = (0..nterms).map(|t| (views[t], negs[t])).collect();
+            let mut got = vec![-7i64; packed_b_len(7, 6)];
+            pack_b_sum(&terms, &mut got);
+
+            let mut combined = Matrix::<i64>::zeros(7, 6);
+            for (v, neg) in &terms {
+                for j in 0..6 {
+                    for i in 0..7 {
+                        let s = if *neg { -v.get(i, j) } else { v.get(i, j) };
+                        combined.set(i, j, combined.get(i, j) + s);
+                    }
+                }
+            }
+            let mut want = vec![-7i64; packed_b_len(7, 6)];
+            pack_b(combined.view(), &mut want);
+            assert_eq!(got, want, "nterms = {nterms}");
+        }
+    }
+
+    #[test]
+    fn single_term_sum_packs_are_exactly_plain_packs() {
+        let a: Matrix<i64> = random_matrix(9, 5, 19);
+        let mut sum = vec![0i64; packed_a_len(9, 5)];
+        let mut plain = vec![0i64; packed_a_len(9, 5)];
+        pack_a_sum(&[(a.view(), false)], &mut sum);
+        pack_a(a.view(), &mut plain);
+        assert_eq!(sum, plain);
+        let b: Matrix<i64> = random_matrix(5, 9, 20);
+        let mut sum = vec![0i64; packed_b_len(5, 9)];
+        let mut plain = vec![0i64; packed_b_len(5, 9)];
+        pack_b_sum(&[(b.view(), false)], &mut sum);
+        pack_b(b.view(), &mut plain);
+        assert_eq!(sum, plain);
+    }
+
+    #[test]
+    fn scatter_generic_matches_staged_add_sub() {
+        // One microkernel tile scattered ± into up to four destinations
+        // must equal computing the product tile once and staging the
+        // adds/subtracts — exactly, on i64.
+        let k = 6;
+        let a: Vec<i64> = (0..PACK_MR * k).map(|i| (i as i64 * 3 + 1) % 11 - 5).collect();
+        let b: Vec<i64> = (0..PACK_NR * k).map(|i| (i as i64 * 7 + 2) % 13 - 6).collect();
+        let ldc = PACK_MR + 2;
+        let (mb, nb) = (PACK_MR - 1, PACK_NR - 1); // ragged window
+        for ndests in 1..=MAX_FUSE_TERMS {
+            let negs = [false, true, false, true];
+            let init: Vec<Vec<i64>> = (0..ndests)
+                .map(|d| (0..ldc * PACK_NR).map(|i| (i + d) as i64 % 9).collect())
+                .collect();
+
+            let mut got = init.clone();
+            let mut dests: Vec<(&mut [i64], bool)> =
+                got.iter_mut().enumerate().map(|(d, g)| (g.as_mut_slice(), negs[d])).collect();
+            microkernel_scatter_generic(k, &a, &b, &mut dests, 0, ldc, mb, nb);
+
+            let mut tile = vec![0i64; ldc * PACK_NR];
+            microkernel_generic(k, &a, &b, &mut tile, ldc, mb, nb);
+            for (d, (g, w0)) in got.iter().zip(&init).enumerate() {
+                for j in 0..nb {
+                    for i in 0..mb {
+                        let idx = i + j * ldc;
+                        let want = if negs[d] { w0[idx] - tile[idx] } else { w0[idx] + tile[idx] };
+                        assert_eq!(g[idx], want, "ndests {ndests} dest {d} ({i},{j})");
+                    }
+                }
+            }
+            // Outside the mb×nb window nothing may be written.
+            for (d, (g, w0)) in got.iter().zip(&init).enumerate() {
+                for j in 0..PACK_NR {
+                    for i in 0..PACK_MR {
+                        if i >= mb || j >= nb {
+                            let idx = i + j * ldc;
+                            assert_eq!(g[idx], w0[idx], "dest {d} wrote outside window");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_scatter_matches_staged_products_exactly() {
+        // (A1 − A2)·(B1 + B2) scattered into {+C1, −C2} must equal the
+        // staged computation, exactly on i64, over full/ragged shapes.
+        for (m, k, n) in [(8, 8, 8), (16, 8, 12), (7, 6, 5), (9, 9, 9), (23, 17, 10), (1, 1, 1)] {
+            let a1: Matrix<i64> = random_matrix(m, k, 31);
+            let a2: Matrix<i64> = random_matrix(m, k, 32);
+            let b1: Matrix<i64> = random_matrix(k, n, 33);
+            let b2: Matrix<i64> = random_matrix(k, n, 34);
+            let c1_0: Matrix<i64> = random_matrix(m, n, 35);
+            let c2_0: Matrix<i64> = random_matrix(m, n, 36);
+
+            let mut c1 = c1_0.as_slice().to_vec();
+            let mut c2 = c2_0.as_slice().to_vec();
+            let mut ws = vec![0i64; packed_len(m, k, n)];
+            let mut dests: Vec<(&mut [i64], bool)> =
+                vec![(c1.as_mut_slice(), false), (c2.as_mut_slice(), true)];
+            packed_mul_scatter_in(
+                &[(a1.view(), false), (a2.view(), true)],
+                &[(b1.view(), false), (b2.view(), false)],
+                &mut dests,
+                &mut ws,
+            );
+
+            // Staged oracle: materialize the combined operands, multiply,
+            // then add/subtract.
+            let mut ac = a1.clone();
+            let mut bc = b1.clone();
+            for j in 0..k {
+                for i in 0..m {
+                    ac.set(i, j, a1.get(i, j) - a2.get(i, j));
+                }
+            }
+            for j in 0..n {
+                for i in 0..k {
+                    bc.set(i, j, b1.get(i, j) + b2.get(i, j));
+                }
+            }
+            let p = naive_product(&ac, &bc);
+            for j in 0..n {
+                for i in 0..m {
+                    let idx = i + j * m;
+                    assert_eq!(c1[idx], c1_0.get(i, j) + p.get(i, j), "{m}x{k}x{n} C1 ({i},{j})");
+                    assert_eq!(c2[idx], c2_0.get(i, j) - p.get(i, j), "{m}x{k}x{n} C2 ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_scatter_floats_match_staged_packed_pipeline() {
+        // On floats the fused path must agree with packing the combined
+        // operand and running the plain packed kernel — same panel
+        // contents, same microkernel accumulation order, only the
+        // epilogue differs; the products are bitwise equal.
+        let (m, k, n) = (24, 16, 20);
+        let a1: Matrix<f64> = random_matrix(m, k, 41);
+        let a2: Matrix<f64> = random_matrix(m, k, 42);
+        let b1: Matrix<f64> = random_matrix(k, n, 43);
+        let b2: Matrix<f64> = random_matrix(k, n, 44);
+
+        let mut fused = vec![0.0f64; m * n];
+        let mut ws = vec![0.0f64; packed_len(m, k, n)];
+        let mut dests: Vec<(&mut [f64], bool)> = vec![(fused.as_mut_slice(), false)];
+        packed_mul_scatter_in(
+            &[(a1.view(), false), (a2.view(), true)],
+            &[(b1.view(), false), (b2.view(), true)],
+            &mut dests,
+            &mut ws,
+        );
+
+        let mut ac = a1.clone();
+        let mut bc = b1.clone();
+        for j in 0..k {
+            for i in 0..m {
+                ac.set(i, j, a1.get(i, j) - a2.get(i, j));
+            }
+        }
+        for j in 0..n {
+            for i in 0..k {
+                bc.set(i, j, b1.get(i, j) - b2.get(i, j));
+            }
+        }
+        let mut staged: Matrix<f64> = Matrix::zeros(m, n);
+        let mut ws2 = vec![0.0f64; packed_len(m, k, n)];
+        packed_mul_add_in(ac.view(), bc.view(), staged.view_mut(), &mut ws2);
+        assert_eq!(fused, staged.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "destinations")]
+    fn packed_scatter_rejects_too_many_destinations() {
+        let a: Matrix<i64> = Matrix::zeros(4, 4);
+        let b: Matrix<i64> = Matrix::zeros(4, 4);
+        let mut bufs = vec![vec![0i64; 16]; MAX_FUSE_TERMS + 1];
+        let mut dests: Vec<(&mut [i64], bool)> =
+            bufs.iter_mut().map(|b| (b.as_mut_slice(), false)).collect();
+        let mut ws = vec![0i64; packed_len(4, 4, 4)];
+        packed_mul_scatter_in(&[(a.view(), false)], &[(b.view(), false)], &mut dests, &mut ws);
     }
 
     #[test]

@@ -69,6 +69,17 @@ pub trait Scalar:
     fn packed_microkernel() -> Option<crate::simd::MicroKernelFn<Self>> {
         None
     }
+
+    /// The vectorized multi-destination *scatter* microkernel (fused
+    /// Strassen post-merge) for this scalar on the current host, or
+    /// `None` when only the portable
+    /// [`crate::pack::microkernel_scatter_generic`] applies. Mirrors
+    /// [`Scalar::packed_microkernel`] exactly, including the cached
+    /// runtime detection.
+    #[inline]
+    fn packed_scatter_microkernel() -> Option<crate::simd::ScatterMicroKernelFn<Self>> {
+        None
+    }
 }
 
 impl Scalar for f64 {
@@ -98,6 +109,11 @@ impl Scalar for f64 {
     fn packed_microkernel() -> Option<crate::simd::MicroKernelFn<Self>> {
         crate::simd::microkernel_f64()
     }
+
+    #[inline]
+    fn packed_scatter_microkernel() -> Option<crate::simd::ScatterMicroKernelFn<Self>> {
+        crate::simd::scatter_microkernel_f64()
+    }
 }
 
 impl Scalar for f32 {
@@ -126,6 +142,11 @@ impl Scalar for f32 {
     #[inline]
     fn packed_microkernel() -> Option<crate::simd::MicroKernelFn<Self>> {
         crate::simd::microkernel_f32()
+    }
+
+    #[inline]
+    fn packed_scatter_microkernel() -> Option<crate::simd::ScatterMicroKernelFn<Self>> {
+        crate::simd::scatter_microkernel_f32()
     }
 }
 

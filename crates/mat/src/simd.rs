@@ -37,6 +37,31 @@ use std::sync::OnceLock;
 ///   selectors below only hand out pointers after runtime detection).
 pub type MicroKernelFn<S> = unsafe fn(k: usize, a: *const S, b: *const S, c: *mut S, ldc: usize);
 
+/// A vectorized *scatter* microkernel body for the fused Strassen
+/// post-merge: accumulates one full `MR × NR` product tile in registers,
+/// then adds it to (or subtracts it from) each of `ndests` destination
+/// windows — `C_d[0..MR, 0..NR] ±= Apanel · Bpanel` — without ever
+/// spilling the product tile to memory.
+///
+/// `dests` points at `ndests` window base pointers (each the tile's
+/// top-left element); bit `d` of `neg_mask` set means destination `d`
+/// subtracts. All windows share the leading dimension `ldc`.
+///
+/// # Safety
+/// As [`MicroKernelFn`], for **every** destination window: each of the
+/// `ndests ≤ `[`crate::pack::MAX_FUSE_TERMS`] pointers must address a
+/// writable column-major `MR × NR` window with leading dimension
+/// `ldc ≥ MR`, and the windows must be pairwise disjoint.
+pub type ScatterMicroKernelFn<S> = unsafe fn(
+    k: usize,
+    a: *const S,
+    b: *const S,
+    dests: *const *mut S,
+    ndests: usize,
+    neg_mask: u32,
+    ldc: usize,
+);
+
 /// The vector instruction family detected on this host, in the order the
 /// selectors consult them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -97,6 +122,30 @@ pub fn microkernel_f32() -> Option<MicroKernelFn<f32>> {
     }
 }
 
+/// The vectorized `f64` scatter microkernel for this host, or `None`
+/// when only [`crate::pack::microkernel_scatter_generic`] applies.
+pub fn scatter_microkernel_f64() -> Option<ScatterMicroKernelFn<f64>> {
+    match simd_level() {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        SimdLevel::Avx2Fma => Some(x86::mk_scatter_f64_avx2fma as ScatterMicroKernelFn<f64>),
+        #[cfg(all(target_arch = "aarch64", not(miri)))]
+        SimdLevel::Neon => Some(neon::mk_scatter_f64_neon as ScatterMicroKernelFn<f64>),
+        _ => None,
+    }
+}
+
+/// The vectorized `f32` scatter microkernel for this host, or `None`
+/// when only [`crate::pack::microkernel_scatter_generic`] applies.
+pub fn scatter_microkernel_f32() -> Option<ScatterMicroKernelFn<f32>> {
+    match simd_level() {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        SimdLevel::Avx2Fma => Some(x86::mk_scatter_f32_avx2fma as ScatterMicroKernelFn<f32>),
+        #[cfg(all(target_arch = "aarch64", not(miri)))]
+        SimdLevel::Neon => Some(neon::mk_scatter_f32_neon as ScatterMicroKernelFn<f32>),
+        _ => None,
+    }
+}
+
 /// True when [`crate::Scalar::packed_microkernel`] returns a vector body for at
 /// least one supported scalar — the signal [`crate::KernelKind::Auto`]
 /// keys its Packed-vs-Blocked choice on.
@@ -153,6 +202,84 @@ mod x86 {
         for (j, aj) in acc.into_iter().enumerate() {
             let cj = c.add(j * ldc);
             _mm256_storeu_ps(cj, _mm256_add_ps(_mm256_loadu_ps(cj), aj));
+        }
+    }
+
+    /// AVX2+FMA `8×4` `f64` scatter microkernel: the [`mk_f64_avx2fma`]
+    /// accumulation, with the epilogue writing ± into each destination
+    /// window while the product tile stays in registers. Safety
+    /// contract: [`super::ScatterMicroKernelFn`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn mk_scatter_f64_avx2fma(
+        k: usize,
+        a: *const f64,
+        b: *const f64,
+        dests: *const *mut f64,
+        ndests: usize,
+        neg_mask: u32,
+        ldc: usize,
+    ) {
+        debug_assert_eq!((PACK_MR, PACK_NR), (8, 4));
+        let mut acc_lo = [_mm256_setzero_pd(); PACK_NR];
+        let mut acc_hi = [_mm256_setzero_pd(); PACK_NR];
+        for p in 0..k {
+            let a_lo = _mm256_loadu_pd(a.add(p * PACK_MR));
+            let a_hi = _mm256_loadu_pd(a.add(p * PACK_MR + 4));
+            for j in 0..PACK_NR {
+                let bj = _mm256_set1_pd(*b.add(p * PACK_NR + j));
+                acc_lo[j] = _mm256_fmadd_pd(a_lo, bj, acc_lo[j]);
+                acc_hi[j] = _mm256_fmadd_pd(a_hi, bj, acc_hi[j]);
+            }
+        }
+        for d in 0..ndests {
+            let base = *dests.add(d);
+            let neg = neg_mask & (1 << d) != 0;
+            for j in 0..PACK_NR {
+                let cj = base.add(j * ldc);
+                let (lo, hi) = (acc_lo[j], acc_hi[j]);
+                if neg {
+                    _mm256_storeu_pd(cj, _mm256_sub_pd(_mm256_loadu_pd(cj), lo));
+                    _mm256_storeu_pd(cj.add(4), _mm256_sub_pd(_mm256_loadu_pd(cj.add(4)), hi));
+                } else {
+                    _mm256_storeu_pd(cj, _mm256_add_pd(_mm256_loadu_pd(cj), lo));
+                    _mm256_storeu_pd(cj.add(4), _mm256_add_pd(_mm256_loadu_pd(cj.add(4)), hi));
+                }
+            }
+        }
+    }
+
+    /// AVX2+FMA `8×4` `f32` scatter microkernel. Safety contract:
+    /// [`super::ScatterMicroKernelFn`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn mk_scatter_f32_avx2fma(
+        k: usize,
+        a: *const f32,
+        b: *const f32,
+        dests: *const *mut f32,
+        ndests: usize,
+        neg_mask: u32,
+        ldc: usize,
+    ) {
+        debug_assert_eq!((PACK_MR, PACK_NR), (8, 4));
+        let mut acc = [_mm256_setzero_ps(); PACK_NR];
+        for p in 0..k {
+            let ap = _mm256_loadu_ps(a.add(p * PACK_MR));
+            for (j, aj) in acc.iter_mut().enumerate() {
+                let bj = _mm256_set1_ps(*b.add(p * PACK_NR + j));
+                *aj = _mm256_fmadd_ps(ap, bj, *aj);
+            }
+        }
+        for d in 0..ndests {
+            let base = *dests.add(d);
+            let neg = neg_mask & (1 << d) != 0;
+            for (j, aj) in acc.iter().enumerate() {
+                let cj = base.add(j * ldc);
+                if neg {
+                    _mm256_storeu_ps(cj, _mm256_sub_ps(_mm256_loadu_ps(cj), *aj));
+                } else {
+                    _mm256_storeu_ps(cj, _mm256_add_ps(_mm256_loadu_ps(cj), *aj));
+                }
+            }
         }
     }
 }
@@ -218,6 +345,87 @@ mod neon {
             }
         }
     }
+
+    /// NEON `8×4` `f64` scatter microkernel: the [`mk_f64_neon`]
+    /// accumulation, with the epilogue writing ± into each destination
+    /// window while the product tile stays in registers. Safety
+    /// contract: [`super::ScatterMicroKernelFn`].
+    #[target_feature(enable = "neon")]
+    pub unsafe fn mk_scatter_f64_neon(
+        k: usize,
+        a: *const f64,
+        b: *const f64,
+        dests: *const *mut f64,
+        ndests: usize,
+        neg_mask: u32,
+        ldc: usize,
+    ) {
+        debug_assert_eq!((PACK_MR, PACK_NR), (8, 4));
+        let mut acc = [[vdupq_n_f64(0.0); 4]; PACK_NR];
+        for p in 0..k {
+            let av = [
+                vld1q_f64(a.add(p * PACK_MR)),
+                vld1q_f64(a.add(p * PACK_MR + 2)),
+                vld1q_f64(a.add(p * PACK_MR + 4)),
+                vld1q_f64(a.add(p * PACK_MR + 6)),
+            ];
+            for (j, aj) in acc.iter_mut().enumerate() {
+                let bj = vdupq_n_f64(*b.add(p * PACK_NR + j));
+                for (lane, a_lane) in av.into_iter().enumerate() {
+                    aj[lane] = vfmaq_f64(aj[lane], a_lane, bj);
+                }
+            }
+        }
+        for d in 0..ndests {
+            let base = *dests.add(d);
+            let neg = neg_mask & (1 << d) != 0;
+            for (j, aj) in acc.iter().enumerate() {
+                let cj = base.add(j * ldc);
+                for (lane, v) in aj.iter().enumerate() {
+                    let off = cj.add(2 * lane);
+                    let cur = vld1q_f64(off);
+                    vst1q_f64(off, if neg { vsubq_f64(cur, *v) } else { vaddq_f64(cur, *v) });
+                }
+            }
+        }
+    }
+
+    /// NEON `8×4` `f32` scatter microkernel. Safety contract:
+    /// [`super::ScatterMicroKernelFn`].
+    #[target_feature(enable = "neon")]
+    pub unsafe fn mk_scatter_f32_neon(
+        k: usize,
+        a: *const f32,
+        b: *const f32,
+        dests: *const *mut f32,
+        ndests: usize,
+        neg_mask: u32,
+        ldc: usize,
+    ) {
+        debug_assert_eq!((PACK_MR, PACK_NR), (8, 4));
+        let mut acc = [[vdupq_n_f32(0.0); 2]; PACK_NR];
+        for p in 0..k {
+            let av = [vld1q_f32(a.add(p * PACK_MR)), vld1q_f32(a.add(p * PACK_MR + 4))];
+            for (j, aj) in acc.iter_mut().enumerate() {
+                let bj = vdupq_n_f32(*b.add(p * PACK_NR + j));
+                for (lane, a_lane) in av.into_iter().enumerate() {
+                    aj[lane] = vfmaq_f32(aj[lane], a_lane, bj);
+                }
+            }
+        }
+        for d in 0..ndests {
+            let base = *dests.add(d);
+            let neg = neg_mask & (1 << d) != 0;
+            for (j, aj) in acc.iter().enumerate() {
+                let cj = base.add(j * ldc);
+                for (lane, v) in aj.iter().enumerate() {
+                    let off = cj.add(4 * lane);
+                    let cur = vld1q_f32(off);
+                    vst1q_f32(off, if neg { vsubq_f32(cur, *v) } else { vaddq_f32(cur, *v) });
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +487,75 @@ mod tests {
         if let Some(mk) = microkernel_f32() {
             for k in [0, 1, 2, 7, 32] {
                 check_against_reference::<f32>(mk, k, 1e-4 * (k.max(1) as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_selectors_agree_with_the_detected_level() {
+        let vec_unit = has_vector_unit();
+        assert_eq!(scatter_microkernel_f64().is_some(), vec_unit);
+        assert_eq!(scatter_microkernel_f32().is_some(), vec_unit);
+    }
+
+    /// Runs the vector scatter body and the portable scatter reference
+    /// over the same panels into the same 1–4 ± destinations.
+    fn check_scatter_against_reference<S: Scalar>(mk: ScatterMicroKernelFn<S>, k: usize, tol: f64) {
+        use crate::pack::MAX_FUSE_TERMS;
+        let a: Vec<S> =
+            (0..PACK_MR * k).map(|i| S::from_f64(((i * 7 + 3) % 23) as f64 / 4.0 - 2.0)).collect();
+        let b: Vec<S> =
+            (0..PACK_NR * k).map(|i| S::from_f64(((i * 5 + 1) % 19) as f64 / 4.0 - 2.0)).collect();
+        let ldc = PACK_MR + 3;
+        for ndests in 1..=MAX_FUSE_TERMS {
+            let neg = [false, true, true, false];
+            let init: Vec<Vec<S>> = (0..ndests)
+                .map(|d| (0..ldc * PACK_NR).map(|i| S::from_f64(((i + d) % 7) as f64)).collect())
+                .collect();
+
+            let mut got = init.clone();
+            let mut ptrs = [core::ptr::null_mut::<S>(); MAX_FUSE_TERMS];
+            let mut neg_mask = 0u32;
+            for (d, dst) in got.iter_mut().enumerate() {
+                ptrs[d] = dst.as_mut_ptr();
+                if neg[d] {
+                    neg_mask |= 1 << d;
+                }
+            }
+            // SAFETY: panels are exactly MR·k / NR·k long, each window is
+            // MR×NR with ldc ≥ MR, the windows are disjoint buffers, and
+            // `mk` came from a runtime selector.
+            unsafe { mk(k, a.as_ptr(), b.as_ptr(), ptrs.as_ptr(), ndests, neg_mask, ldc) };
+
+            let mut want = init;
+            let mut dests: Vec<(&mut [S], bool)> =
+                want.iter_mut().enumerate().map(|(d, w)| (w.as_mut_slice(), neg[d])).collect();
+            crate::pack::microkernel_scatter_generic(
+                k, &a, &b, &mut dests, 0, ldc, PACK_MR, PACK_NR,
+            );
+            for (d, (g, w)) in got.iter().zip(&want).enumerate() {
+                for (i, (gv, wv)) in g.iter().zip(w).enumerate() {
+                    let diff = (gv.to_f64() - wv.to_f64()).abs();
+                    assert!(diff <= tol, "ndests {ndests} dest {d} index {i}: {gv} vs {wv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_scatter_f64_matches_portable_reference() {
+        if let Some(mk) = scatter_microkernel_f64() {
+            for k in [0, 1, 2, 7, 32] {
+                check_scatter_against_reference::<f64>(mk, k, 1e-12 * (k.max(1) as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn vector_scatter_f32_matches_portable_reference() {
+        if let Some(mk) = scatter_microkernel_f32() {
+            for k in [0, 1, 2, 7, 32] {
+                check_scatter_against_reference::<f32>(mk, k, 1e-4 * (k.max(1) as f64));
             }
         }
     }

@@ -31,6 +31,7 @@ fn decode_mode(
     kernel_sel: usize,
     parallel_depth: usize,
     threads: usize,
+    fuse_depth: usize,
 ) -> TuningMode {
     match selector {
         0 => TuningMode::Off,
@@ -42,6 +43,7 @@ fn decode_mode(
             kernel: KernelKind::ALL[kernel_sel % KernelKind::ALL.len()],
             parallel_depth,
             threads,
+            fuse_depth,
         }),
     }
 }
@@ -66,11 +68,13 @@ proptest! {
         kernel_sel in 0usize..5,
         parallel_depth in 0usize..3,
         threads in 0usize..4,
+        fuse_depth in 0usize..4,
         auto_kernel in any::<bool>(),
         seed in 0u64..1000,
     ) {
         let tuning = decode_mode(
             mode_sel, tile_lo, tile_width, strassen_min, kernel_sel, parallel_depth, threads,
+            fuse_depth,
         );
         // Both the delegating posture (Auto, where the profile's kernel
         // choice lands) and the pinned default (Blocked, where it must
