@@ -7,6 +7,7 @@
 //! bench_runner compare OLD NEW
 //!              [--threshold 0.25] [--metric gflops|score]
 //! bench_runner gate-fused REPORT [--threshold 0.05]
+//! bench_runner gate-batch REPORT [--threshold 0.05]
 //! ```
 //!
 //! The declared suite covers the paper's axes: GEMM at 256 (power of
@@ -21,6 +22,13 @@
 //! kernel at n = 512 with `fuse_depth` 0 versus Auto's depth, which the
 //! `gate-fused` subcommand turns into CI's fused ≥ staged assertion on
 //! min-time GFLOP/s).
+//! The whole-batch scheduling pairs (`batch_64x64x64_n64` and
+//! `batch_256_n8`, each with a `_serial` control) run the same set of
+//! same-shape multiplies through one `BatchPlan` task DAG versus a
+//! per-item loop over a reused `GemmPlan`; the `gate-batch` subcommand
+//! turns each pair into CI's batched ≥ serial-loop assertion on
+//! min-time GFLOP/s (meaningful on multi-core runners — on one core the
+//! batched path degrades to the same serial loop by design).
 //! A thread sweep (`threads_{1,2,4,8}_1024`) runs the work-stealing DAG
 //! executor at fixed worker counts on n = 1024, so multi-core scaling of
 //! the pooled executor is tracked case-by-case (the `threads_1` case is
@@ -88,6 +96,25 @@ enum Algo {
         /// Executions per timed repetition.
         execs: u32,
     },
+    /// `items` same-shape multiplies through one whole-batch
+    /// [`modgemm_core::BatchPlan`] task DAG (conversion of later items
+    /// overlapping compute of earlier ones). Times cover the whole
+    /// batch; GFLOP/s aggregates all items.
+    Batch {
+        /// Configuration the batch plan is compiled from.
+        cfg: ModgemmConfig,
+        /// Items per batch.
+        items: usize,
+    },
+    /// The serial control for [`Algo::Batch`]: the same `items`
+    /// multiplies through a per-item loop over one reused `GemmPlan` —
+    /// what a caller without the batched entry point would write.
+    BatchSerial {
+        /// Configuration the item plan is compiled from.
+        cfg: ModgemmConfig,
+        /// Items per batch.
+        items: usize,
+    },
     /// The `GemmService` front-end under mixed-shape traffic from
     /// concurrent client threads. Reported times are per-request
     /// latencies (submit → result), and the case carries a `service`
@@ -151,6 +178,15 @@ fn suite_cases(
         let cfg = ModgemmConfig { parallel_depth: 2, threads: t, ..ModgemmConfig::default() };
         cases.push(case(&format!("threads_{t}_1024"), 1024, Algo::Modgemm(cfg)));
     }
+    // The whole-batch scheduling pairs: many small same-shape multiplies
+    // (64³ × 64 — the shape batching exists for) and a few mid-size ones
+    // (256³ × 8), batched through one task DAG versus the per-item loop.
+    // parallel_depth 2 with auto worker resolution: on one core the DAG
+    // is unavailable and both sides run the identical serial loop.
+    for (name, bn, items) in [("batch_64x64x64_n64", 64usize, 64usize), ("batch_256_n8", 256, 8)] {
+        cases.push(case(name, bn, Algo::Batch { cfg: par, items }));
+        cases.push(case(&format!("{name}_serial"), bn, Algo::BatchSerial { cfg: par, items }));
+    }
     // The service front-end under mixed power-of-two / worst-case-padding
     // traffic: per-request latency distribution plus admission behaviour.
     cases.push(case("service_mixed_256_513", 513, Algo::Service { requests: 8, clients: 2 }));
@@ -161,7 +197,10 @@ fn suite_cases(
         for c in &mut cases {
             let sweep_case = c.name.starts_with("threads_");
             match &mut c.algo {
-                Algo::Modgemm(cfg) | Algo::PlanReuse { cfg, .. } => {
+                Algo::Modgemm(cfg)
+                | Algo::PlanReuse { cfg, .. }
+                | Algo::Batch { cfg, .. }
+                | Algo::BatchSerial { cfg, .. } => {
                     if let Some(k) = kernel {
                         cfg.leaf_kernel = k;
                     }
@@ -186,11 +225,13 @@ fn suite_cases(
     // switch to Auto so the profile's kernel choice can land.
     if tuned {
         for c in &mut cases {
-            // The fused_vs_staged_* pair isolates the fusion axis the
-            // same way kernel_* isolates the kernel axis: both stay
-            // untuned so a profile's schedule knobs cannot skew them.
+            // The fused_vs_staged_* and batch_* pairs isolate the fusion
+            // and batch-scheduling axes the same way kernel_* isolates
+            // the kernel axis: all stay untuned so a profile's schedule
+            // knobs cannot skew the within-pair comparison.
             if c.name.starts_with("kernel_")
                 || c.name.starts_with("fused_vs_staged_")
+                || c.name.starts_with("batch_")
                 || kernel.is_some()
             {
                 continue;
@@ -202,7 +243,10 @@ fn suite_cases(
                         cfg.leaf_kernel = KernelKind::Auto;
                     }
                 }
-                Algo::Conventional | Algo::Service { .. } => {}
+                Algo::Conventional
+                | Algo::Service { .. }
+                | Algo::Batch { .. }
+                | Algo::BatchSerial { .. } => {}
             }
         }
     }
@@ -219,7 +263,7 @@ fn suite_cases(
             Algo::Modgemm(_) | Algo::PlanReuse { .. } => {
                 !c.name.starts_with("kernel_") && !c.name.starts_with("fused_vs_staged_")
             }
-            Algo::Service { .. } => false,
+            Algo::Service { .. } | Algo::Batch { .. } | Algo::BatchSerial { .. } => false,
         });
     }
     cases
@@ -301,6 +345,83 @@ fn run_service_case(requests: u32, clients: u32, reps: u32) -> (Vec<f64>, Value)
     (latencies, service_json)
 }
 
+/// Drives one batch case: `items` same-shape `n × n × n` multiplies per
+/// timed repetition, either through the whole-batch
+/// [`modgemm_core::BatchPlan`] DAG (`batched`) or through a per-item
+/// loop over one reused `GemmPlan` (the serial control). Operand/output
+/// windows are strided through contiguous slabs, so both sides move
+/// identical bytes. Per-rep seconds cover the whole batch and both
+/// sides normalize by the same effective flop count, so GFLOP/s is
+/// directly comparable within the pair (though not against single-GEMM
+/// cases — see EXPERIMENTS.md).
+fn run_batch_case(
+    cfg: &ModgemmConfig,
+    n: usize,
+    items: usize,
+    reps: u32,
+    batched: bool,
+) -> (Vec<f64>, modgemm_core::ExecMetrics) {
+    use modgemm_core::{BatchPlan, StridedBatch};
+    use modgemm_mat::{MatMut, MatRef};
+    let a: Matrix<f64> = random_matrix(n, n * items, 11);
+    let b: Matrix<f64> = random_matrix(n, n * items, 13);
+    let mut c = vec![0.0f64; n * n * items];
+    let mut ctx = GemmContext::new();
+    let bplan =
+        BatchPlan::<f64>::try_new(n, n, n, items, cfg).expect("batch bench plan must compile");
+    let iplan = modgemm_core::plan::plan::<f64>(n, n, n, cfg);
+    let one = n * n;
+    let desc = StridedBatch {
+        alpha: 1.0,
+        op_a: Op::NoTrans,
+        a: a.as_slice(),
+        lda: n,
+        stride_a: one,
+        op_b: Op::NoTrans,
+        b: b.as_slice(),
+        ldb: n,
+        stride_b: one,
+        beta: 0.0,
+        ldc: n,
+        stride_c: one,
+    };
+    let mut secs = Vec::with_capacity(reps as usize);
+    let mut last = CollectingSink::new();
+    for rep in 0..=reps {
+        let mut sink = CollectingSink::new();
+        let t0 = Instant::now();
+        if batched {
+            bplan
+                .try_execute_with_metrics(&desc, &mut c, &mut ctx, &mut sink)
+                .expect("batch bench case failed");
+        } else {
+            for i in 0..items {
+                let av = MatRef::from_slice(&a.as_slice()[i * one..(i + 1) * one], n, n, n);
+                let bv = MatRef::from_slice(&b.as_slice()[i * one..(i + 1) * one], n, n, n);
+                let cv = MatMut::from_slice(&mut c[i * one..(i + 1) * one], n, n, n);
+                iplan
+                    .try_execute_with_metrics(
+                        1.0,
+                        Op::NoTrans,
+                        av,
+                        Op::NoTrans,
+                        bv,
+                        0.0,
+                        cv,
+                        &mut ctx,
+                        &mut sink,
+                    )
+                    .expect("batch bench case failed");
+            }
+        }
+        if rep > 0 {
+            secs.push(t0.elapsed().as_secs_f64());
+        }
+        last = sink;
+    }
+    (secs, last.into_metrics())
+}
+
 /// Runs one case `reps` times; returns per-rep seconds, the metrics
 /// snapshot of the last repetition, and (for service cases only) the
 /// extra `service` report object.
@@ -311,6 +432,11 @@ fn run_case(case: &Case, reps: u32) -> (Vec<f64>, modgemm_core::ExecMetrics, Opt
         // dispatcher contexts) are reported via the service object.
         let (secs, service) = run_service_case(requests, clients, reps);
         return (secs, CollectingSink::new().into_metrics(), Some(service));
+    }
+    if let Algo::Batch { cfg, items } | Algo::BatchSerial { cfg, items } = &case.algo {
+        let batched = matches!(case.algo, Algo::Batch { .. });
+        let (secs, metrics) = run_batch_case(cfg, case.n, *items, reps, batched);
+        return (secs, metrics, None);
     }
     let n = case.n;
     let a: Matrix<f64> = random_matrix(n, n, 11);
@@ -323,7 +449,9 @@ fn run_case(case: &Case, reps: u32) -> (Vec<f64>, modgemm_core::ExecMetrics, Opt
     let plan = match &case.algo {
         Algo::PlanReuse { cfg, .. } => Some(modgemm_core::plan::plan::<f64>(n, n, n, cfg)),
         Algo::Modgemm(_) | Algo::Conventional => None,
-        Algo::Service { .. } => unreachable!("handled above"),
+        Algo::Service { .. } | Algo::Batch { .. } | Algo::BatchSerial { .. } => {
+            unreachable!("handled above")
+        }
     };
     // One untimed warmup rep sizes the context buffers and pages in the
     // operands, keeping first-touch cost out of the sample.
@@ -385,7 +513,9 @@ fn run_case(case: &Case, reps: u32) -> (Vec<f64>, modgemm_core::ExecMetrics, Opt
                     per_exec.push(te.elapsed().as_secs_f64());
                 }
             }
-            Algo::Service { .. } => unreachable!("handled above"),
+            Algo::Service { .. } | Algo::Batch { .. } | Algo::BatchSerial { .. } => {
+                unreachable!("handled above")
+            }
         }
         if rep > 0 {
             if per_exec.is_empty() {
@@ -421,6 +551,9 @@ fn metrics_json(m: &modgemm_core::ExecMetrics) -> Value {
             m.kernel_selected.map(|k| k.to_string()).unwrap_or_else(|| "none".to_string()),
         )
         .with("bytes_packed", m.bytes_packed)
+        .with("batch_items", m.batch_items)
+        .with("batch_window", m.batch_window)
+        .with("conversion_overlap_fraction", m.conversion_overlap_fraction)
         .with("pool_workers", m.pool.map_or(0, |p| p.workers))
         .with("pool_tasks", m.pool.map_or(0, |p| p.tasks_executed))
         .with("pool_steals", m.pool.map_or(0, |p| p.steals))
@@ -660,12 +793,86 @@ fn run_gate_fused(args: &[String]) -> ExitCode {
     }
 }
 
+/// `gate-batch REPORT [--threshold T]`: asserts, for every `batch_*` /
+/// `batch_*_serial` pair, that the whole-batch DAG's min-time GFLOP/s is
+/// no worse than the per-item loop's, modulo a run-to-run noise floor.
+/// On a one-core runner both cases execute the identical serial loop
+/// (the DAG needs ≥ 2 workers), so the gate passes trivially there; on
+/// multi-core runners a shortfall means whole-batch scheduling costs
+/// more than the conversion/compute overlap it buys — exactly what the
+/// gate exists to catch.
+fn run_gate_batch(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut threshold = 0.05f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => threshold = t,
+                _ => return usage("--threshold needs a number in [0, 1)"),
+            },
+            p if !p.starts_with("--") && path.is_none() => path = Some(p.to_string()),
+            other => return usage(&format!("unknown gate-batch option {other}")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("gate-batch needs a report path");
+    };
+    let report = match load(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_runner gate-batch: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let gflops_min_of = |name: &str| -> Result<f64, String> {
+        report
+            .get("cases")
+            .and_then(Value::as_array)
+            .and_then(|cases| {
+                cases.iter().find(|c| c.get("name").and_then(Value::as_str) == Some(name))
+            })
+            .and_then(|c| c.get("gflops_min").and_then(Value::as_f64))
+            .ok_or_else(|| format!("report lacks a `{name}` case with gflops_min"))
+    };
+    let mut failed = false;
+    for pair in ["batch_64x64x64_n64", "batch_256_n8"] {
+        let serial_name = format!("{pair}_serial");
+        match (gflops_min_of(&serial_name), gflops_min_of(pair)) {
+            (Ok(serial), Ok(batched)) => {
+                let floor = serial * (1.0 - threshold);
+                println!(
+                    "gate-batch: {pair}: serial {serial:.4} GFLOP/s, batched {batched:.4} \
+                     GFLOP/s (floor {floor:.4}, threshold {threshold})"
+                );
+                if batched < floor {
+                    println!(
+                        "gate-batch: BATCH REGRESSION — {pair} batched min-time GFLOP/s below \
+                         the serial loop"
+                    );
+                    failed = true;
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench_runner gate-batch: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("bench_runner: {msg}");
     eprintln!(
         "usage: bench_runner [--quick] [--out PATH] [--kernel naive|blocked|micro|packed|auto] [--threads N] [--tuning off|profile] [--tunable-only]\n       \
          bench_runner compare OLD NEW [--threshold 0.25] [--metric gflops|score]\n       \
-         bench_runner gate-fused REPORT [--threshold 0.05]"
+         bench_runner gate-fused REPORT [--threshold 0.05]\n       \
+         bench_runner gate-batch REPORT [--threshold 0.05]"
     );
     ExitCode::from(2)
 }
@@ -677,6 +884,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("gate-fused") {
         return run_gate_fused(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("gate-batch") {
+        return run_gate_batch(&args[1..]);
     }
     let mut quick = false;
     let mut out = None;

@@ -77,13 +77,15 @@ fn main() -> ExitCode {
             format!("{score:.2} GFLOP/s")
         };
         eprintln!(
-            "  n={n} tiles={}..{} strassen_min={} kernel={} par={} threads={}: {value}{marker}",
+            "  n={n} tiles={}..{} strassen_min={} kernel={} par={} threads={} batch_window={}: \
+             {value}{marker}",
             choice.tile_min,
             choice.tile_max,
             choice.strassen_min,
             choice.kernel,
             choice.parallel_depth,
             choice.threads,
+            choice.batch_window,
         );
     };
     let profile = match run_sweep(&opts, &mut progress) {
@@ -106,7 +108,8 @@ fn main() -> ExitCode {
     eprintln!("modgemm-tune: wrote {} ({} entries)", path.display(), profile.entries.len());
     for e in &profile.entries {
         eprintln!(
-            "  {}x{}x{} -> tiles={}..{} strassen_min={} kernel={} par={} threads={} (score {:.2})",
+            "  {}x{}x{} -> tiles={}..{} strassen_min={} kernel={} par={} threads={} \
+             batch_window={} (score {:.2})",
             e.m,
             e.k,
             e.n,
@@ -116,6 +119,7 @@ fn main() -> ExitCode {
             e.choice.kernel,
             e.choice.parallel_depth,
             e.choice.threads,
+            e.choice.batch_window,
             e.score,
         );
     }

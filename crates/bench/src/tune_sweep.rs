@@ -2,7 +2,9 @@
 //!
 //! For each problem size the sweep enumerates candidate operating points
 //! — truncation tile range, `strassen_min` (the Strassen-depth knob),
-//! leaf [`KernelKind`], and the parallel-DAG/thread axis — drives each
+//! leaf [`KernelKind`], the parallel-DAG/thread axis, and (for parallel
+//! candidates) the whole-batch `batch_window` axis, timed through a
+//! small [`BatchPlan`] workload — drives each
 //! through the same plan/execute machinery `bench_runner` times (a plan
 //! compiled once, a warm context, an untimed warmup repetition, then
 //! min-of-reps wall time), and records the winner as a
@@ -34,7 +36,7 @@ use modgemm_cachesim::cache::CacheConfig;
 use modgemm_cachesim::traced::traced_modgemm;
 use modgemm_core::plan::GemmPlan;
 use modgemm_core::tune::{ProfileEntry, TunedChoice, TuningMode, TuningProfile};
-use modgemm_core::{GemmContext, GemmError, ModgemmConfig};
+use modgemm_core::{BatchPlan, GemmContext, GemmError, ModgemmConfig, StridedBatch};
 use modgemm_mat::gen::random_matrix;
 use modgemm_mat::simd::has_vector_unit;
 use modgemm_mat::view::Op;
@@ -115,6 +117,13 @@ pub fn candidates(suite: Suite, cachesim: bool) -> Vec<TunedChoice> {
         Suite::Smoke => &[0, 1],
         Suite::Full => &[0, 1, 2],
     };
+    // The whole-batch in-flight window only matters to the batch DAG,
+    // which needs a multi-worker pool — so the axis is swept only for
+    // parallel candidates (0 keeps the auto-derived window).
+    let batch_windows: &[usize] = match suite {
+        Suite::Smoke => &[0, 2],
+        Suite::Full => &[0, 2, 4],
+    };
     if cachesim {
         // The simulator sees only the schedule: sweep the truncation /
         // depth axes and keep the kernel, threading, and fusion axes
@@ -153,15 +162,21 @@ pub fn candidates(suite: Suite, cachesim: bool) -> Vec<TunedChoice> {
             for &kernel in &kernels {
                 for &(parallel_depth, threads) in parallel {
                     for &fuse_depth in fuse_depths {
-                        out.push(TunedChoice {
-                            tile_min,
-                            tile_max,
-                            strassen_min,
-                            kernel,
-                            parallel_depth,
-                            threads,
-                            fuse_depth,
-                        });
+                        for &batch_window in batch_windows {
+                            if batch_window > 0 && parallel_depth == 0 {
+                                continue;
+                            }
+                            out.push(TunedChoice {
+                                tile_min,
+                                tile_max,
+                                strassen_min,
+                                kernel,
+                                parallel_depth,
+                                threads,
+                                fuse_depth,
+                                batch_window,
+                            });
+                        }
                     }
                 }
             }
@@ -208,6 +223,52 @@ fn time_candidate(
         )?;
         if rep > 0 {
             best = best.min(t0.elapsed().as_secs_f64());
+        }
+    }
+    Ok(best)
+}
+
+/// Items in the miniature batched workload candidates with a pinned
+/// `batch_window` are timed through — small enough to keep sweep cost
+/// near the single-GEMM axis, large enough that conversion/compute
+/// overlap across items shows up in the score.
+const TUNE_BATCH: usize = 4;
+
+/// Times one `batch_window`-pinned candidate through a [`BatchPlan`]
+/// over [`TUNE_BATCH`] same-shape items (operands broadcast, outputs
+/// strided), returning min seconds per *item* so batched and
+/// single-GEMM scores stay directly comparable.
+fn time_candidate_batched(
+    n: usize,
+    choice: TunedChoice,
+    reps: u32,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+) -> Result<f64, GemmError> {
+    let cfg = ModgemmConfig { tuning: TuningMode::Forced(choice), ..sweep_base_config() };
+    let plan = BatchPlan::<f64>::try_new(n, n, n, TUNE_BATCH, &cfg)?;
+    let mut c = vec![0.0f64; n * n * TUNE_BATCH];
+    let desc = StridedBatch {
+        alpha: 1.0,
+        op_a: Op::NoTrans,
+        a: a.as_slice(),
+        lda: n,
+        stride_a: 0,
+        op_b: Op::NoTrans,
+        b: b.as_slice(),
+        ldb: n,
+        stride_b: 0,
+        beta: 0.0,
+        ldc: n,
+        stride_c: n * n,
+    };
+    let mut ctx = GemmContext::new();
+    let mut best = f64::INFINITY;
+    for rep in 0..=reps {
+        let t0 = Instant::now();
+        plan.try_execute(&desc, &mut c, &mut ctx)?;
+        if rep > 0 {
+            best = best.min(t0.elapsed().as_secs_f64() / TUNE_BATCH as f64);
         }
     }
     Ok(best)
@@ -266,7 +327,15 @@ pub fn run_sweep(opts: &SweepOptions, progress: Progress<'_>) -> Result<TuningPr
                     Err(_) => continue,
                 }
             } else {
-                match time_candidate(n, choice, opts.reps, &a, &b) {
+                // A pinned batch_window is only observable through the
+                // whole-batch DAG, so those candidates time a miniature
+                // batched workload (per-item seconds either way).
+                let timed = if choice.batch_window > 0 {
+                    time_candidate_batched(n, choice, opts.reps, &a, &b)
+                } else {
+                    time_candidate(n, choice, opts.reps, &a, &b)
+                };
+                match timed {
                     Ok(secs) if secs > 0.0 && secs.is_finite() => {
                         let flops = 2.0 * (n as f64).powi(3);
                         flops / secs / 1e9

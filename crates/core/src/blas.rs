@@ -235,8 +235,12 @@ pub fn sgemm(
     gemm(transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, cfg)
 }
 
-/// Fallible batched GEMM: validates the batch lengths and every entry's
-/// buffer before computing, reporting the first problem as a typed error.
+/// Fallible batched GEMM: validates the batch lengths and **every**
+/// entry's buffer before computing anything, reporting the first problem
+/// as a typed error that names the failing item
+/// ([`GemmError::BatchItem`]). A shape error therefore guarantees no
+/// entry of `c_batch` was modified — validation is not interleaved with
+/// execution.
 ///
 /// All entries share one `m × k × n` shape, so the truncation-point
 /// search, layout tree, and arena sizing are compiled **once** into a
@@ -262,17 +266,22 @@ pub fn try_gemm_batch<S: Scalar>(
             c: c_batch.len(),
         });
     }
+    let item_err =
+        |index: usize| move |e: GemmError| GemmError::BatchItem { index, source: Box::new(e) };
+    for (i, ((a, b), c)) in a_batch.iter().zip(b_batch).zip(c_batch.iter()).enumerate() {
+        check_operand(Operand::A, a.len(), m, k, m.max(1)).map_err(item_err(i))?;
+        check_operand(Operand::B, b.len(), k, n, k.max(1)).map_err(item_err(i))?;
+        check_operand(Operand::C, c.len(), m, n, m.max(1)).map_err(item_err(i))?;
+    }
     let plan = crate::plan::GemmPlan::<S>::try_new(m, k, n, cfg)?;
     let mut ctx = crate::GemmContext::new();
     ctx.try_reserve_for(m, k, n, cfg)?;
-    for ((a, b), c) in a_batch.iter().zip(b_batch).zip(c_batch.iter_mut()) {
-        check_operand(Operand::A, a.len(), m, k, m.max(1))?;
-        check_operand(Operand::B, b.len(), k, n, k.max(1))?;
-        check_operand(Operand::C, c.len(), m, n, m.max(1))?;
+    for (i, ((a, b), c)) in a_batch.iter().zip(b_batch).zip(c_batch.iter_mut()).enumerate() {
         let av = MatRef::from_slice(a, m, k, m.max(1));
         let bv = MatRef::from_slice(b, k, n, k.max(1));
         let cv = MatMut::from_slice(c, m, n, m.max(1));
-        plan.try_execute(alpha, Op::NoTrans, av, Op::NoTrans, bv, beta, cv, &mut ctx)?;
+        plan.try_execute(alpha, Op::NoTrans, av, Op::NoTrans, bv, beta, cv, &mut ctx)
+            .map_err(item_err(i))?;
     }
     Ok(())
 }
@@ -299,6 +308,97 @@ pub fn gemm_batch<S: Scalar>(
     cfg: &ModgemmConfig,
 ) {
     if let Err(e) = try_gemm_batch(m, n, k, alpha, beta, a_batch, b_batch, c_batch, cfg) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible strided batched GEMM (`cblas_*gemm_batch_strided` layout):
+/// `batch` independent `C_i ← α·op(A_i)·op(B_i) + β·C_i` where item `i`'s
+/// operands start at `a[i·stride_a]`, `b[i·stride_b]`, `c[i·stride_c]`.
+/// `stride_a`/`stride_b` may be 0 to broadcast one operand; `stride_c`
+/// must keep the output windows disjoint.
+///
+/// Unlike [`try_gemm_batch`]'s sequential loop, this compiles the whole
+/// batch into **one** dependency-counted task DAG
+/// ([`crate::batch::BatchPlan`]): per-item conversion, compute, and
+/// epilogue tasks share the work-stealing pool, so item `i+1`'s Morton
+/// conversion overlaps item `i`'s multiplication, and a
+/// [`crate::config::MemoryBudget`] admits a bounded in-flight window of
+/// item workspaces instead of `batch ·` workspace. Reuse the plan
+/// directly via [`crate::batch::BatchPlan`] to amortize planning.
+///
+/// All items are validated before any output is touched; errors name the
+/// failing operand (and item, where applicable).
+#[allow(clippy::too_many_arguments)]
+pub fn try_gemm_batch_strided<S: Scalar>(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: S,
+    a: &[S],
+    lda: usize,
+    stride_a: usize,
+    b: &[S],
+    ldb: usize,
+    stride_b: usize,
+    beta: S,
+    c: &mut [S],
+    ldc: usize,
+    stride_c: usize,
+    batch: usize,
+    cfg: &ModgemmConfig,
+) -> Result<(), GemmError> {
+    let plan = crate::batch::BatchPlan::<S>::try_new(m, k, n, batch, cfg)?;
+    let desc = crate::batch::StridedBatch {
+        alpha,
+        op_a: transa,
+        a,
+        lda,
+        stride_a,
+        op_b: transb,
+        b,
+        ldb,
+        stride_b,
+        beta,
+        ldc,
+        stride_c,
+    };
+    let mut ctx = crate::GemmContext::new();
+    plan.try_execute(&desc, c, &mut ctx)
+}
+
+/// Strided batched GEMM; see [`try_gemm_batch_strided`].
+///
+/// # Panics
+/// On the conditions [`try_gemm_batch_strided`] reports as errors.
+#[allow(clippy::too_many_arguments)]
+#[track_caller]
+pub fn gemm_batch_strided<S: Scalar>(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: S,
+    a: &[S],
+    lda: usize,
+    stride_a: usize,
+    b: &[S],
+    ldb: usize,
+    stride_b: usize,
+    beta: S,
+    c: &mut [S],
+    ldc: usize,
+    stride_c: usize,
+    batch: usize,
+    cfg: &ModgemmConfig,
+) {
+    if let Err(e) = try_gemm_batch_strided(
+        transa, transb, m, n, k, alpha, a, lda, stride_a, b, ldb, stride_b, beta, c, ldc, stride_c,
+        batch, cfg,
+    ) {
         panic!("{e}");
     }
 }
@@ -642,5 +742,80 @@ mod tests {
             try_gemm_batch(2, 2, 2, 1.0, 0.0, &a_refs, &b_refs, &mut c_refs, &cfg),
             Err(GemmError::BatchLenMismatch { a: 1, b: 1, c: 2 })
         );
+    }
+
+    #[test]
+    fn try_batch_validates_every_item_before_computing() {
+        use crate::error::GemmError;
+        let cfg = ModgemmConfig::paper();
+        let a = vec![1.0f64; 4];
+        let b = vec![1.0f64; 4];
+        let bad = vec![1.0f64; 3]; // one element short for 2×2
+        let mut c1 = vec![7.0f64; 4];
+        let mut c2 = vec![7.0f64; 4];
+        let mut c3 = vec![7.0f64; 4];
+        let a_refs: Vec<&[f64]> = vec![&a, &a, &bad];
+        let b_refs: Vec<&[f64]> = vec![&b, &b, &b];
+        let mut c_refs: Vec<&mut [f64]> = vec![&mut c1, &mut c2, &mut c3];
+        let err =
+            try_gemm_batch(2, 2, 2, 1.0, 0.0, &a_refs, &b_refs, &mut c_refs, &cfg).unwrap_err();
+        match err {
+            GemmError::BatchItem { index, source } => {
+                assert_eq!(index, 2, "the failing item must be named");
+                assert!(matches!(*source, GemmError::SliceTooShort { operand: Operand::A, .. }));
+            }
+            other => panic!("expected BatchItem, got {other:?}"),
+        }
+        // Items 0 and 1 were individually valid, but nothing may run
+        // before the whole batch validates.
+        assert!(c1.iter().chain(&c2).chain(&c3).all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn strided_batch_matches_individual_calls() {
+        let (m, n, k, count) = (21, 18, 24, 4);
+        let cfg = ModgemmConfig::paper();
+        let (sa, sb, sc) = (m * k + 3, k * n, m * n + 1);
+        let a: Vec<f64> = (0..(count - 1) * sa + m * k).map(|i| (i % 17) as f64 - 8.0).collect();
+        let b: Vec<f64> = (0..(count - 1) * sb + k * n).map(|i| (i % 11) as f64 * 0.25).collect();
+        let c0: Vec<f64> = (0..(count - 1) * sc + m * n).map(|i| (i % 5) as f64).collect();
+        let mut c = c0.clone();
+        gemm_batch_strided(
+            Op::NoTrans,
+            Op::NoTrans,
+            m,
+            n,
+            k,
+            2.0,
+            &a,
+            m,
+            sa,
+            &b,
+            k,
+            sb,
+            -1.0,
+            &mut c,
+            m,
+            sc,
+            count,
+            &cfg,
+        );
+        for i in 0..count {
+            let mut expect = Matrix::zeros(m, n);
+            expect.as_mut_slice().copy_from_slice(&c0[i * sc..i * sc + m * n]);
+            let av = MatRef::from_slice(&a[i * sa..i * sa + m * k], m, k, m);
+            let bv = MatRef::from_slice(&b[i * sb..i * sb + k * n], k, n, k);
+            crate::gemm::modgemm(
+                2.0,
+                Op::NoTrans,
+                av,
+                Op::NoTrans,
+                bv,
+                -1.0,
+                expect.view_mut(),
+                &cfg,
+            );
+            assert_eq!(&c[i * sc..i * sc + m * n], expect.as_slice(), "batch entry {i}");
+        }
     }
 }

@@ -172,6 +172,15 @@ pub struct ModgemmConfig {
     /// static heuristic). Part of the service plan-cache key, so tuned
     /// and untuned plans for the same shape never alias.
     pub tuning: crate::tune::TuningMode,
+    /// In-flight window of the whole-batch DAG executor
+    /// ([`crate::BatchPlan`]): how many batch items' packed operand /
+    /// result / slab slots are resident at once. `0` (default) sizes the
+    /// window automatically from the resolved thread count; any window
+    /// (explicit or auto) is then capped by [`Self::memory_budget`] so
+    /// `window · per-item` footprint fits, degrading toward 1 before the
+    /// recursion depth degrades. Also the number of same-shape queued
+    /// requests [`crate::service::GemmService`] coalesces per dispatch.
+    pub batch_window: usize,
 }
 
 impl Default for ModgemmConfig {
@@ -190,6 +199,7 @@ impl Default for ModgemmConfig {
             leaf_kernel: modgemm_mat::KernelKind::Blocked,
             fuse_depth: FuseDepth::Auto,
             tuning: crate::tune::TuningMode::Off,
+            batch_window: 0,
         }
     }
 }

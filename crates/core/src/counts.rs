@@ -84,6 +84,32 @@ pub fn packed_bytes(layouts: NodeLayouts, policy: ExecPolicy, elem_bytes: usize)
     leaf_muls(layouts, policy) * per_leaf * elem_bytes as u64
 }
 
+/// Elements one batch item's in-flight window slot occupies across the
+/// whole-batch DAG executor's arenas: packed A + packed B + Morton C
+/// plus the item's compute slab ([`crate::parallel::parallel_slab_len`]
+/// at `item_depth`, which equals the serial [`crate::exec::workspace_len`]
+/// when `item_depth == 0`). The batch arena closed form is then simply
+/// `window · batch_slot_elems` — admitting *w* items' workspaces instead
+/// of `batch · workspace`.
+pub fn batch_slot_elems(layouts: NodeLayouts, policy: ExecPolicy, item_depth: usize) -> usize {
+    layouts.a.len()
+        + layouts.b.len()
+        + layouts.c.len()
+        + crate::parallel::parallel_slab_len(layouts, policy, item_depth)
+}
+
+/// The [`crate::config::MemoryBudget`]-driven in-flight window: the
+/// largest `w ≤ requested` with `w · per_slot ≤ max_elems`, floored at 1
+/// (the window degrades before the recursion depth does; one slot is the
+/// minimum any execution needs). `requested` is also floored at 1.
+pub fn batch_window_cap(requested: usize, per_slot: usize, max_elems: usize) -> usize {
+    let requested = requested.max(1);
+    if per_slot == 0 {
+        return requested;
+    }
+    requested.min(max_elems / per_slot).max(1)
+}
+
 /// The arithmetic-count model of §3.1: the recursion is profitable (by
 /// operation count alone) down to the size where one Strassen step stops
 /// saving flops. For square `n`, one step costs
@@ -220,6 +246,29 @@ mod tests {
         );
         assert_eq!(leaf_muls(l, fused1), leaf_muls(l, packed));
         assert_eq!(packed_bytes(l, fused1, 8), packed_bytes(l, packed, 8));
+    }
+
+    #[test]
+    fn batch_slot_and_window_closed_forms() {
+        let l = square(4, 3);
+        let p = ExecPolicy::default();
+        // item_depth 0: the slot is the three Morton buffers plus the
+        // serial arena.
+        let serial = crate::exec::workspace_len(l, p);
+        let slot0 = batch_slot_elems(l, p, 0);
+        assert_eq!(slot0, 3 * l.a.len() + serial);
+        // A deeper item DAG swaps the serial arena for the parallel slab.
+        let slot1 = batch_slot_elems(l, p, 1);
+        assert_eq!(slot1, 3 * l.a.len() + crate::parallel::parallel_slab_len(l, p, 1));
+        assert!(slot1 > slot0);
+
+        // Window capping: unlimited admits the request, a tight budget
+        // degrades toward 1 but never to 0.
+        assert_eq!(batch_window_cap(8, slot0, usize::MAX), 8);
+        assert_eq!(batch_window_cap(8, slot0, 3 * slot0), 3);
+        assert_eq!(batch_window_cap(8, slot0, slot0 - 1), 1);
+        assert_eq!(batch_window_cap(0, slot0, usize::MAX), 1);
+        assert_eq!(batch_window_cap(4, 0, 0), 4);
     }
 
     #[test]

@@ -156,6 +156,27 @@ pub enum GemmError {
         /// Length of the `C` batch.
         c: usize,
     },
+    /// One item of a batched call failed; `index` identifies the item and
+    /// `source` carries the underlying error. Batched entry points
+    /// validate every item's shape **before** touching any output, so a
+    /// shape error with index `i` guarantees `c_batch[..i]` (and everything
+    /// else) is unmodified; execution errors mean items `..index` completed.
+    BatchItem {
+        /// Zero-based position of the failing item in the batch.
+        index: usize,
+        /// The underlying per-item error.
+        source: Box<GemmError>,
+    },
+    /// A strided batch's `C` windows overlap: `stride_c` is smaller than
+    /// one item's `(m, n, ldc)` footprint, so items would race on the same
+    /// output elements. (`A`/`B` strides may alias or broadcast freely —
+    /// they are read-only.)
+    BatchOverlap {
+        /// The offending output stride in elements.
+        stride: usize,
+        /// The minimum legal stride: `required_len(m, n, ldc)`.
+        needed: usize,
+    },
     /// The Freivalds check failed for the fast result **and** for the
     /// conventional recomputation — the environment is producing wrong
     /// arithmetic (or the verifier tolerance is violated by design).
@@ -234,6 +255,12 @@ impl fmt::Display for GemmError {
             GemmError::BatchLenMismatch { a, b, c } => {
                 write!(f, "batch length mismatch: |A| = {a}, |B| = {b}, |C| = {c}")
             }
+            GemmError::BatchItem { index, source } => {
+                write!(f, "batch item {index}: {source}")
+            }
+            GemmError::BatchOverlap { stride, needed } => {
+                write!(f, "batch C windows overlap: stride {stride} < item footprint {needed}")
+            }
             GemmError::VerificationFailed { rounds } => write!(
                 f,
                 "result failed {rounds}-round Freivalds verification even after conventional retry"
@@ -305,7 +332,7 @@ mod tests {
     fn display_messages_carry_the_legacy_substrings() {
         // The panicking wrappers format these errors; keep the substrings
         // older should_panic tests and downstream log-scrapers match on.
-        let cases: [(GemmError, &str); 11] = [
+        let cases: [(GemmError, &str); 13] = [
             (GemmError::InnerDimMismatch { a_cols: 5, b_rows: 6 }, "inner dimensions"),
             (GemmError::OutputDimMismatch { expected: (4, 3), got: (4, 4) }, "C must be 4x3"),
             (GemmError::BadLeadingDim { operand: Operand::A, ld: 9, min: 10 }, "leading dimension"),
@@ -315,6 +342,11 @@ mod tests {
                 GemmError::BufferLenMismatch { operand: Operand::A, needed: 64, got: 63 },
                 "A buffer length mismatch",
             ),
+            (
+                GemmError::BatchItem { index: 3, source: Box::new(GemmError::Cancelled) },
+                "batch item 3",
+            ),
+            (GemmError::BatchOverlap { stride: 5, needed: 6 }, "overlap"),
             (GemmError::Overloaded { capacity: 8 }, "capacity 8"),
             (GemmError::DeadlineExceeded, "deadline"),
             (GemmError::Cancelled, "cancelled"),

@@ -17,7 +17,7 @@
 //!
 //! Each fused product is a triple of operand **combos**: a signed list of
 //! quadrant offsets into the A, B and C buffers of the fused subtree.
-//! One fused level is the classical Strassen table ([`TABLE`], 7
+//! One fused level is the classical Strassen table (`TABLE`, 7
 //! products, ≤ 2 terms per combo); two levels compose the table with
 //! itself (49 products, ≤ 4 terms — the capacity bound
 //! [`MAX_TERMS`]). The classical recurrences are chosen over Winograd's

@@ -252,6 +252,39 @@ pub(crate) fn buffer_needs<S: Scalar>(
     })
 }
 
+/// Buffer sizes a `batch`-item [`crate::batch::BatchPlan`] execution will
+/// carve from a context: `batch_window`-many window slots of `(a, b, c,
+/// slab)` when the whole-batch DAG runs, the single-item sizes otherwise.
+/// The service front-end uses this as its admission-time estimate when
+/// coalescing requests.
+pub(crate) fn batch_buffer_needs<S: Scalar>(
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    cfg: &ModgemmConfig,
+) -> Option<(usize, usize, usize, usize)> {
+    let (a, b, c, ws) = buffer_needs::<S>(m, k, n, cfg)?;
+    let threads = crate::pool::resolve_threads(cfg.threads);
+    if batch < 2 || threads < 2 {
+        return Some((a, b, c, ws));
+    }
+    // Mirror `BatchPlan`'s window resolution: requested (or 2·threads),
+    // capped to the batch, then budget-capped via the per-slot closed
+    // form. The slab term uses the same `ws` the single-item estimate
+    // chose (serial-arena floor included), so `w = 1` degenerates to the
+    // per-item sizing exactly.
+    let eff = crate::tune::effective_config(cfg, m, k, n).map(|(c, _)| c).unwrap_or(*cfg);
+    let requested = if eff.batch_window > 0 { eff.batch_window } else { (2 * threads).max(2) };
+    let per_slot = a + b + c + ws;
+    let w = crate::counts::batch_window_cap(
+        requested.min(batch),
+        per_slot,
+        eff.memory_budget.max_elements(core::mem::size_of::<S>()),
+    );
+    Some((w * a, w * b, w * c, w * ws))
+}
+
 impl<S: Scalar> GemmContext<S> {
     /// An empty context (buffers grow on first use).
     pub fn new() -> Self {

@@ -34,6 +34,7 @@
 //! cache-tracing executor, with an executable symbolic proof of
 //! correctness in its tests.
 
+pub mod batch;
 pub mod blas;
 pub mod config;
 pub mod counts;
@@ -52,6 +53,7 @@ pub mod service;
 pub mod tune;
 pub mod verify;
 
+pub use batch::{BatchPlan, StridedBatch};
 pub use config::{FuseDepth, MemoryBudget, ModgemmConfig, NonFinitePolicy, Truncation, VerifyMode};
 pub use error::{GemmError, Operand};
 pub use exec::{

@@ -253,6 +253,15 @@ pub trait MetricsSink {
     fn record_pool(&mut self, stats: PoolStats) {
         let _ = stats;
     }
+
+    /// One batched execution ([`crate::BatchPlan`]): `items` GEMMs ran
+    /// with an in-flight window of `window` slots, and `overlap_fraction`
+    /// of the conversion/epilogue wall time ran while at least one
+    /// compute task was in flight (0 for the serial per-item fallback,
+    /// whose window is 1 by construction).
+    fn record_batch(&mut self, items: usize, window: usize, overlap_fraction: f64) {
+        let _ = (items, window, overlap_fraction);
+    }
 }
 
 /// The zero-cost default sink: ignores everything, and its
@@ -330,6 +339,17 @@ pub struct ExecMetrics {
     /// the pool. Counters accumulate across runs; `workers` keeps the
     /// maximum.
     pub pool: Option<PoolStats>,
+    /// GEMMs executed through batched entry points ([`crate::BatchPlan`]),
+    /// summed across batches.
+    pub batch_items: u64,
+    /// Largest in-flight window any batched execution ran with (1 = the
+    /// serial per-item fallback).
+    pub batch_window: usize,
+    /// Conversion/compute overlap of the most recent batch: the fraction
+    /// of conversion/epilogue wall time that ran concurrently with at
+    /// least one compute task. 0 when nothing batched ran (or nothing
+    /// overlapped).
+    pub conversion_overlap_fraction: f64,
 }
 
 impl ExecMetrics {
@@ -496,6 +516,12 @@ impl MetricsSink for CollectingSink {
         p.tasks_executed += stats.tasks_executed;
         p.steals += stats.steals;
         p.idle += stats.idle;
+    }
+
+    fn record_batch(&mut self, items: usize, window: usize, overlap_fraction: f64) {
+        self.metrics.batch_items += items as u64;
+        self.metrics.batch_window = self.metrics.batch_window.max(window);
+        self.metrics.conversion_overlap_fraction = overlap_fraction;
     }
 }
 

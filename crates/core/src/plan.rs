@@ -357,7 +357,10 @@ pub(crate) struct Place {
     pub off: usize,
 }
 
-/// The four task flavors of the lowered DAG.
+/// The task flavors of the lowered DAG. The first four are the compute
+/// tasks of one GEMM's Winograd recursion; the last four only appear in
+/// batch DAGs ([`crate::batch`]), where conversion and epilogue work are
+/// ordinary dependency-counted tasks that overlap with compute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum TaskKind {
     /// `S1..S4` operand pre-additions of one Winograd node.
@@ -370,13 +373,42 @@ pub(crate) enum TaskKind {
     /// A serial subtree at the handover depth: `exec_levels` on the
     /// subtree's own slab share.
     Leaf,
+    /// Batch DAGs: pack a Morton tile range of one item's A operand into
+    /// its window slot. `TaskDesc::node` indexes [`TaskGraph::chunks`].
+    ConvertA,
+    /// Batch DAGs: pack a Morton tile range of one item's B operand.
+    ConvertB,
+    /// Batch DAGs: scatter a tile-column range of one item's Morton C
+    /// result back to the strided output (with the α/β epilogue).
+    Unpack,
+    /// Batch DAGs: a zero-work join node (fan-in barrier) — e.g. "all of
+    /// item *i*'s A-convert chunks are done" or "item *i* fully retired,
+    /// its window slot may be reused".
+    Gate,
+}
+
+/// One unit of batch conversion/epilogue work: a contiguous range of one
+/// item's tiles (pack) or tile columns (unpack), bound to the window
+/// slot the item occupies. Referenced by the batch-only [`TaskKind`]s
+/// through `TaskDesc::node`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BatchChunk {
+    /// Batch item index.
+    pub item: u32,
+    /// In-flight window slot (`item % window`).
+    pub slot: u32,
+    /// Half-open unit range: Morton tile indices for `ConvertA`/
+    /// `ConvertB`, tile-column indices for `Unpack`, `0..0` for `Gate`.
+    pub r0: u32,
+    pub r1: u32,
 }
 
 /// One dependency-counted task of the compiled DAG.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct TaskDesc {
     pub kind: TaskKind,
-    /// Index into [`TaskGraph::nodes`].
+    /// Index into [`TaskGraph::nodes`] for compute kinds, into
+    /// [`TaskGraph::chunks`] for the batch-only kinds.
     pub node: u32,
     /// Tasks that must complete before this one may run (the refcount
     /// the executor counts down).
@@ -415,21 +447,36 @@ pub(crate) struct TaskGraph {
     pub dependents: Vec<u32>,
     /// Tasks with no dependencies, in deterministic (DFS) order.
     pub roots: Vec<u32>,
-    /// Slab elements the graph's places span ([`parallel_slab_len`]).
+    /// Slab elements the graph's places span ([`parallel_slab_len`];
+    /// `window · per-slot` for batch DAGs).
     pub slab_len: usize,
+    /// Conversion/epilogue work units of a batch DAG (empty for
+    /// single-GEMM DAGs), indexed by batch-kind tasks' `node` field.
+    pub chunks: Vec<BatchChunk>,
 }
 
-struct DagBuilder {
+pub(crate) struct DagBuilder {
     /// `(kind, node, dep_count)` per task; edges resolved in `finish`.
     tasks: Vec<(TaskKind, u32, u32)>,
     nodes: Vec<NodeDesc>,
+    chunks: Vec<BatchChunk>,
     /// `(task, dependent)` edges.
     edges: Vec<(u32, u32)>,
     policy: ExecPolicy,
 }
 
 impl DagBuilder {
-    fn task(&mut self, kind: TaskKind, node: u32, deps: &[Option<u32>]) -> u32 {
+    pub(crate) fn new(policy: ExecPolicy) -> Self {
+        DagBuilder {
+            tasks: Vec::new(),
+            nodes: Vec::new(),
+            chunks: Vec::new(),
+            edges: Vec::new(),
+            policy,
+        }
+    }
+
+    pub(crate) fn task(&mut self, kind: TaskKind, node: u32, deps: &[Option<u32>]) -> u32 {
         let id = self.tasks.len() as u32;
         let mut count = 0;
         for &dep in deps.iter().flatten() {
@@ -440,12 +487,26 @@ impl DagBuilder {
         id
     }
 
+    /// A batch-only task over conversion/epilogue work unit `chunk`
+    /// (same dependency semantics as [`Self::task`], but `node` indexes
+    /// [`TaskGraph::chunks`]).
+    pub(crate) fn chunk_task(
+        &mut self,
+        kind: TaskKind,
+        chunk: BatchChunk,
+        deps: &[Option<u32>],
+    ) -> u32 {
+        let id = self.chunks.len() as u32;
+        self.chunks.push(chunk);
+        self.task(kind, id, deps)
+    }
+
     /// Lowers the subtree at `layouts` with `rem` parallel levels left.
     /// `a_ready`/`b_ready` gate the operand regions (None = ready at
     /// submit, e.g. the packed root operands); returns the task whose
     /// completion means the subtree's `c` region holds its product.
     #[allow(clippy::too_many_arguments)]
-    fn build_node(
+    pub(crate) fn build_node(
         &mut self,
         layouts: NodeLayouts,
         level: u32,
@@ -505,7 +566,7 @@ impl DagBuilder {
         self.task(TaskKind::Post, node, &products)
     }
 
-    fn finish(self) -> TaskGraph {
+    pub(crate) fn finish(self) -> TaskGraph {
         let n = self.tasks.len();
         let mut dep_lens = vec![0u32; n];
         for &(from, _) in &self.edges {
@@ -542,7 +603,7 @@ impl DagBuilder {
             .filter(|(_, t)| t.dep_count == 0)
             .map(|(i, _)| i as u32)
             .collect();
-        TaskGraph { tasks, nodes: self.nodes, dependents, roots, slab_len: 0 }
+        TaskGraph { tasks, nodes: self.nodes, dependents, roots, slab_len: 0, chunks: self.chunks }
     }
 }
 
@@ -550,7 +611,7 @@ impl DagBuilder {
 /// into a [`TaskGraph`] whose slab places match [`parallel_slab_len`]'s
 /// carving exactly.
 pub(crate) fn lower_dag(layouts: NodeLayouts, policy: ExecPolicy, depth: usize) -> TaskGraph {
-    let mut b = DagBuilder { tasks: Vec::new(), nodes: Vec::new(), edges: Vec::new(), policy };
+    let mut b = DagBuilder::new(policy);
     let buffer = Place { in_slab: false, off: 0 };
     b.build_node(layouts, 0, depth, buffer, buffer, buffer, 0, None, None);
     let mut graph = b.finish();
@@ -563,32 +624,32 @@ pub(crate) fn lower_dag(layouts: NodeLayouts, policy: ExecPolicy, depth: usize) 
 /// parallelism degrades before recursion depth does), the compiled task
 /// graph, and the slab it partitions.
 #[derive(Clone, Debug)]
-struct ParPlan {
-    graph: TaskGraph,
+pub(crate) struct ParPlan {
+    pub(crate) graph: TaskGraph,
     /// Slab elements ([`parallel_slab_len`] at the effective depth).
-    slab_len: usize,
+    pub(crate) slab_len: usize,
     /// Layouts per DAG level, indexed by [`NodeDesc::level`].
-    level_layouts: Vec<NodeLayouts>,
+    pub(crate) level_layouts: Vec<NodeLayouts>,
 }
 
 /// The tiled (non-split) execution strategy of a [`GemmPlan`]: the fixed
 /// layout tree, budget-capped policy, flattened level list, and the arena
 /// sizes the executors will carve.
 #[derive(Clone, Debug)]
-struct TiledPlan {
-    layouts: NodeLayouts,
-    policy: ExecPolicy,
-    levels: Vec<LevelPlan>,
+pub(crate) struct TiledPlan {
+    pub(crate) layouts: NodeLayouts,
+    pub(crate) policy: ExecPolicy,
+    pub(crate) levels: Vec<LevelPlan>,
     /// Serial workspace arena, in elements ([`workspace_len`]).
-    arena_len: usize,
+    pub(crate) arena_len: usize,
     /// Resolved worker count ([`crate::pool::resolve_threads`] at plan
     /// time) — drives both the compute DAG and pooled conversion.
-    threads: usize,
+    pub(crate) threads: usize,
     /// The compiled task DAG; `None` when the plan executes serially
     /// (`parallel_depth == 0`, one thread, a non-Winograd schedule, or a
     /// budget that only admits the serial arena).
-    par: Option<ParPlan>,
-    facts: PlanFacts,
+    pub(crate) par: Option<ParPlan>,
+    pub(crate) facts: PlanFacts,
 }
 
 /// A precompiled MODGEMM execution plan for one `m × k × n` problem
@@ -773,6 +834,13 @@ impl<S: Scalar> GemmPlan<S> {
 
     fn arena_bytes(&self) -> u64 {
         (self.arena_len() * core::mem::size_of::<S>()) as u64
+    }
+
+    /// The compiled tiled strategy, when one exists (None for degenerate
+    /// or §3.5-split shapes). [`crate::batch`] builds its whole-batch DAG
+    /// from these internals.
+    pub(crate) fn tiled(&self) -> Option<&TiledPlan> {
+        self.strategy.as_ref()
     }
 
     /// `C = A·B` through the plan (`α = 1`, `β = 0`, untransposed
@@ -1318,6 +1386,7 @@ mod tests {
             parallel_depth: 0,
             threads: 0,
             fuse_depth: crate::fuse::MAX_FUSE,
+            batch_window: 0,
         };
         let cfg = ModgemmConfig {
             leaf_kernel: KernelKind::Auto,

@@ -40,17 +40,17 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use modgemm_mat::addsub::{add_assign_flat, add_flat, sub_flat};
-use modgemm_mat::Scalar;
+use modgemm_mat::{MatRef, Op, Scalar};
 
 use crate::error::{panic_message, GemmError};
 use crate::exec::{ExecPolicy, NodeLayouts};
 use crate::metrics::{MetricsSink, PoolStats};
-use crate::plan::{exec_levels, LevelPlan, Place, TaskGraph, TaskKind, MAX_LEVELS};
+use crate::plan::{exec_levels, BatchChunk, LevelPlan, Place, TaskGraph, TaskKind, MAX_LEVELS};
 
 /// Environment variable consulted when [`crate::ModgemmConfig::threads`]
 /// is `0`: a positive integer fixes the worker count, anything else
@@ -553,6 +553,125 @@ impl<T> RawViewMut<T> {
     }
 }
 
+/// Per-item operand/output pointers of one batched GEMM — the
+/// [`crate::service::GemmService`] feeds gathered (non-strided) batches
+/// through this table.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ItemIo<S> {
+    pub a: *const S,
+    pub lda: usize,
+    pub b: *const S,
+    pub ldb: usize,
+    pub c: *mut S,
+    pub ldc: usize,
+}
+
+/// Borrowed description of where a batch's items live, handed to
+/// [`run_batch_graph`]. `Strided` is the `gemm_batch_strided` layout
+/// (item `i` at offset `i·stride` in each operand); `Items` is an
+/// explicit per-item pointer table.
+pub(crate) enum BatchInput<'x, S> {
+    Strided {
+        a: &'x [S],
+        lda: usize,
+        stride_a: usize,
+        b: &'x [S],
+        ldb: usize,
+        stride_b: usize,
+        c: &'x mut [S],
+        ldc: usize,
+        stride_c: usize,
+    },
+    Items(&'x [ItemIo<S>]),
+}
+
+/// The raw (lifetime-erased) form of [`BatchInput`] stored in the job.
+enum BatchInputRaw<S> {
+    Strided {
+        a: *const S,
+        lda: usize,
+        stride_a: usize,
+        b: *const S,
+        ldb: usize,
+        stride_b: usize,
+        c: *mut S,
+        ldc: usize,
+        stride_c: usize,
+    },
+    Items(*const ItemIo<S>),
+}
+
+impl<S> BatchInputRaw<S> {
+    /// Item `i`'s A base pointer and leading dimension.
+    /// SAFETY: `i < batch` and the backing input outlives the run.
+    unsafe fn a(&self, i: usize) -> (*const S, usize) {
+        match *self {
+            BatchInputRaw::Strided { a, lda, stride_a, .. } => (a.add(i * stride_a), lda),
+            BatchInputRaw::Items(items) => {
+                let it = &*items.add(i);
+                (it.a, it.lda)
+            }
+        }
+    }
+    /// SAFETY: as [`Self::a`].
+    unsafe fn b(&self, i: usize) -> (*const S, usize) {
+        match *self {
+            BatchInputRaw::Strided { b, ldb, stride_b, .. } => (b.add(i * stride_b), ldb),
+            BatchInputRaw::Items(items) => {
+                let it = &*items.add(i);
+                (it.b, it.ldb)
+            }
+        }
+    }
+    /// SAFETY: as [`Self::a`]; distinct items' C windows are disjoint
+    /// (validated before the DAG is submitted).
+    unsafe fn c(&self, i: usize) -> (*mut S, usize) {
+        match *self {
+            BatchInputRaw::Strided { c, ldc, stride_c, .. } => (c.add(i * stride_c), ldc),
+            BatchInputRaw::Items(items) => {
+                let it = &*items.add(i);
+                (it.c, it.ldc)
+            }
+        }
+    }
+}
+
+/// The fixed per-item geometry of a batch DAG: every item shares one
+/// problem shape, transposes, and window-slot strides (elements per slot
+/// in the packed A/B/C arenas).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BatchGeom {
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    pub op_a: Op,
+    pub op_b: Op,
+    pub slot_a: usize,
+    pub slot_b: usize,
+    pub slot_c: usize,
+}
+
+/// The batch extension of a [`GraphJob`]: how the batch-only task kinds
+/// resolve item operands, plus the conversion/compute overlap accounting
+/// behind `ExecMetrics::conversion_overlap_fraction`.
+struct BatchIo<S> {
+    input: BatchInputRaw<S>,
+    geom: BatchGeom,
+    alpha: S,
+    beta: S,
+    /// Writable aliases of the job's packed A/B arenas (its `a`/`b`
+    /// views): a convert task writes its slot range strictly before any
+    /// compute task of that slot reads it (DAG edges).
+    pack_a: RawViewMut<S>,
+    pack_b: RawViewMut<S>,
+    /// Compute-kind task bodies currently in flight.
+    active_compute: AtomicUsize,
+    /// Nanos spent in conversion/epilogue chunk bodies, and the portion
+    /// that ran while at least one compute body was in flight.
+    convert_nanos: AtomicU64,
+    overlap_nanos: AtomicU64,
+}
+
 /// One pooled execution of a compiled [`TaskGraph`]: the borrowed
 /// buffers and graph as raw views, plus the job-lifetime atomics.
 ///
@@ -575,6 +694,9 @@ struct GraphJob<S> {
     workers: usize,
     policy: ExecPolicy,
     metrics_on: bool,
+    /// `Some` for whole-batch DAGs ([`run_batch_graph`]): resolves the
+    /// batch-only task kinds and carries the overlap counters.
+    batch: Option<BatchIo<S>>,
     /// External cancellation (deadline / caller cancel), consulted at
     /// every task-dequeue boundary; `None` costs one branch per task.
     cancel: Option<CancelToken>,
@@ -687,6 +809,14 @@ impl<S: Scalar> GraphJob<S> {
         crate::faults::maybe_latency();
         let graph = self.graph();
         let task = graph.tasks[task_ix as usize];
+        match task.kind {
+            // Batch-only kinds index `graph.chunks`, not `graph.nodes`.
+            TaskKind::Gate => return,
+            TaskKind::ConvertA | TaskKind::ConvertB | TaskKind::Unpack => {
+                return self.run_batch_chunk(task.kind, graph.chunks[task.node as usize]);
+            }
+            _ => {}
+        }
         let node = graph.nodes[task.node as usize];
         let layouts = self.level_layouts.get(0, self.level_layouts.len)[node.level as usize];
         let (qa, qb, qc) =
@@ -752,6 +882,50 @@ impl<S: Scalar> GraphJob<S> {
                     exec_levels(a, b, c, layouts, levels, li, ws, self.policy, &mut sink);
                 }
             }
+            TaskKind::ConvertA | TaskKind::ConvertB | TaskKind::Unpack | TaskKind::Gate => {
+                unreachable!("batch kinds dispatched before the node lookup")
+            }
+        }
+    }
+
+    /// Runs one batch conversion/epilogue chunk.
+    ///
+    /// SAFETY: as [`Self::run_body`] — the DAG's edges make the touched
+    /// regions exclusive: a convert chunk owns its tile range of its
+    /// window slot (every compute reader of the slot depends on the
+    /// item's convert gate, every reuse of the slot on the previous
+    /// occupant's retire gate), and an unpack chunk owns its tile-column
+    /// range of the item's C output (items' C windows are disjoint).
+    unsafe fn run_batch_chunk(&self, kind: TaskKind, chunk: BatchChunk) {
+        let io = self.batch.as_ref().expect("batch task in a non-batch graph");
+        let root = self.level_layouts.get(0, self.level_layouts.len)[0];
+        let g = io.geom;
+        let (item, slot) = (chunk.item as usize, chunk.slot as usize);
+        let (r0, r1) = (chunk.r0 as usize, chunk.r1 as usize);
+        match kind {
+            TaskKind::ConvertA | TaskKind::ConvertB => {
+                let a_side = kind == TaskKind::ConvertA;
+                let layout = if a_side { &root.a } else { &root.b };
+                let op = if a_side { g.op_a } else { g.op_b };
+                // Stored (pre-op) dimensions of the operand matrix.
+                let (rows, cols) =
+                    if a_side { op.apply_dims(g.m, g.k) } else { op.apply_dims(g.k, g.n) };
+                let (ptr, ld) = if a_side { io.input.a(item) } else { io.input.b(item) };
+                let (slot_len, pack) =
+                    if a_side { (g.slot_a, &io.pack_a) } else { (g.slot_b, &io.pack_b) };
+                let src = MatRef::from_raw_parts(ptr, rows, cols, ld);
+                let tile_len = layout.tile_len();
+                let dst = pack.get_mut(slot * slot_len + r0 * tile_len, (r1 - r0) * tile_len);
+                modgemm_morton::pack_tile_range(src, op, layout, dst, r0, r1);
+            }
+            TaskKind::Unpack => {
+                let src = self.c.get(slot * g.slot_c, root.c.len());
+                let (ptr, ldc) = io.input.c(item);
+                modgemm_morton::unpack_tile_cols_raw(
+                    src, &root.c, io.alpha, io.beta, ptr, ldc, g.m, g.n, r0, r1,
+                );
+            }
+            _ => unreachable!(),
         }
     }
 
@@ -773,14 +947,43 @@ impl<S: Scalar> GraphJob<S> {
             }
         }
         if !self.cancelled.load(Ordering::Relaxed) {
-            let timed = self.metrics_on && task.kind != TaskKind::Leaf;
-            let t0 = if timed { Some(Instant::now()) } else { None };
+            // Add-pass timing books into the per-level shard; batch kinds
+            // never index `graph.nodes`, so they are excluded here and
+            // accounted through the overlap counters instead.
+            let timed = self.metrics_on
+                && matches!(task.kind, TaskKind::SPre | TaskKind::TPre | TaskKind::Post);
+            let is_chunk =
+                matches!(task.kind, TaskKind::ConvertA | TaskKind::ConvertB | TaskKind::Unpack);
+            let is_compute = !is_chunk && task.kind != TaskKind::Gate;
+            let overlap = self.metrics_on && self.batch.is_some();
+            if overlap && is_compute {
+                self.batch.as_ref().unwrap().active_compute.fetch_add(1, Ordering::Relaxed);
+            }
+            // A chunk counts as overlapped when compute was in flight at
+            // either end of its body (sampling both ends catches compute
+            // that started mid-chunk).
+            let compute_at_start = overlap
+                && is_chunk
+                && self.batch.as_ref().unwrap().active_compute.load(Ordering::Relaxed) > 0;
+            let t0 = if timed || (overlap && is_chunk) { Some(Instant::now()) } else { None };
             // SAFETY: `task_ix` was popped from a deque exactly once and
             // its dependency count reached zero.
             let body = catch_unwind(AssertUnwindSafe(|| unsafe { self.run_body(task_ix, shard) }));
+            if overlap && is_compute {
+                self.batch.as_ref().unwrap().active_compute.fetch_sub(1, Ordering::Relaxed);
+            }
             if let Some(t0) = t0 {
-                let level = graph.nodes[task.node as usize].level as usize;
-                shard.level_nanos[level.min(MAX_LEVELS)] += t0.elapsed().as_nanos() as u64;
+                let nanos = t0.elapsed().as_nanos() as u64;
+                if timed {
+                    let level = graph.nodes[task.node as usize].level as usize;
+                    shard.level_nanos[level.min(MAX_LEVELS)] += nanos;
+                } else {
+                    let io = self.batch.as_ref().unwrap();
+                    io.convert_nanos.fetch_add(nanos, Ordering::Relaxed);
+                    if compute_at_start || io.active_compute.load(Ordering::Relaxed) > 0 {
+                        io.overlap_nanos.fetch_add(nanos, Ordering::Relaxed);
+                    }
+                }
             }
             if let Err(payload) = body {
                 self.fail(GemmError::WorkerPanic { message: panic_message(payload.as_ref()) });
@@ -895,6 +1098,7 @@ pub(crate) fn run_graph<S: Scalar, K: MetricsSink>(
         workers: threads,
         policy,
         metrics_on: K::ENABLED,
+        batch: None,
         cancel: cancel.cloned(),
         pending: AtomicUsize::new(graph.tasks.len()),
         ready: AtomicUsize::new(graph.roots.len()),
@@ -910,26 +1114,134 @@ pub(crate) fn run_graph<S: Scalar, K: MetricsSink>(
         None => Ok(()),
     };
     if K::ENABLED {
-        let mut stats =
-            PoolStats { workers: threads, tasks_executed: 0, steals: 0, idle: Duration::ZERO };
-        let mut level_nanos = [0u64; MAX_LEVELS + 1];
-        for w in 0..threads {
-            let shard = scratch.shard_mut(w);
-            stats.tasks_executed += shard.tasks;
-            stats.steals += shard.steals;
-            stats.idle += Duration::from_nanos(shard.idle_nanos);
-            for (acc, &n) in level_nanos.iter_mut().zip(shard.level_nanos.iter()) {
-                *acc += n;
-            }
-        }
-        for (level, &nanos) in level_nanos.iter().enumerate() {
-            if nanos > 0 {
-                sink.record_level_time(level, Duration::from_nanos(nanos));
-            }
-        }
-        sink.record_pool(stats);
+        merge_shards(scratch, threads, sink);
     }
     result
+}
+
+/// Merges the per-worker metric shards into `sink` after a join.
+fn merge_shards<K: MetricsSink>(scratch: &mut PoolScratch, threads: usize, sink: &mut K) {
+    let mut stats =
+        PoolStats { workers: threads, tasks_executed: 0, steals: 0, idle: Duration::ZERO };
+    let mut level_nanos = [0u64; MAX_LEVELS + 1];
+    for w in 0..threads {
+        let shard = scratch.shard_mut(w);
+        stats.tasks_executed += shard.tasks;
+        stats.steals += shard.steals;
+        stats.idle += Duration::from_nanos(shard.idle_nanos);
+        for (acc, &n) in level_nanos.iter_mut().zip(shard.level_nanos.iter()) {
+            *acc += n;
+        }
+    }
+    for (level, &nanos) in level_nanos.iter().enumerate() {
+        if nanos > 0 {
+            sink.record_level_time(level, Duration::from_nanos(nanos));
+        }
+    }
+    sink.record_pool(stats);
+}
+
+/// Executes a whole-batch [`TaskGraph`] ([`crate::batch`]'s lowering) on
+/// the global pool: per-item conversion, compute, and epilogue tasks all
+/// drain through one dependency-counted DAG, so conversion of item *k+1*
+/// overlaps with compute of item *k*. The packed A/B/C arenas and the
+/// slab hold `window` slots; `input` resolves each item's column-major
+/// operands. Returns `(convert_nanos, overlapped_nanos)` — total wall
+/// time of conversion/epilogue chunk bodies and the portion that ran
+/// concurrently with compute (both zero with a disabled sink).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_batch_graph<S: Scalar, K: MetricsSink>(
+    graph: &TaskGraph,
+    levels: &[LevelPlan],
+    level_layouts: &[NodeLayouts],
+    policy: ExecPolicy,
+    threads: usize,
+    input: BatchInput<'_, S>,
+    geom: BatchGeom,
+    alpha: S,
+    beta: S,
+    arena_a: &mut [S],
+    arena_b: &mut [S],
+    arena_c: &mut [S],
+    slab: &mut [S],
+    scratch: &mut PoolScratch,
+    cancel: Option<&CancelToken>,
+    sink: &mut K,
+) -> Result<(u64, u64), GemmError> {
+    debug_assert!(threads >= 2, "threads < 2 must take the serial batch path");
+    debug_assert!(graph.slab_len <= slab.len(), "slab smaller than the batch graph's model");
+    scratch.reset(graph, threads);
+    // The packed operand arenas are read by compute tasks (through the
+    // job's `a`/`b` views) *and* written by convert tasks (through the
+    // `pack_*` aliases); the DAG's edges order every write of a slot
+    // strictly before its readers, and both views derive from the same
+    // exclusive borrow.
+    let pack_a = RawViewMut::new(arena_a);
+    let pack_b = RawViewMut::new(arena_b);
+    let a = RawView { ptr: pack_a.ptr.cast_const(), len: pack_a.len };
+    let b = RawView { ptr: pack_b.ptr.cast_const(), len: pack_b.len };
+    let input = match input {
+        BatchInput::Strided { a, lda, stride_a, b, ldb, stride_b, c, ldc, stride_c } => {
+            BatchInputRaw::Strided {
+                a: a.as_ptr(),
+                lda,
+                stride_a,
+                b: b.as_ptr(),
+                ldb,
+                stride_b,
+                c: c.as_mut_ptr(),
+                ldc,
+                stride_c,
+            }
+        }
+        BatchInput::Items(items) => BatchInputRaw::Items(items.as_ptr()),
+    };
+    let job: Arc<GraphJob<S>> = Arc::new(GraphJob {
+        graph: RawView { ptr: graph, len: 1 },
+        levels: RawView::new(levels),
+        level_layouts: RawView::new(level_layouts),
+        a,
+        b,
+        c: RawViewMut::new(arena_c),
+        slab: RawViewMut::new(slab),
+        deps: RawView { ptr: scratch.deps.as_ptr(), len: scratch.deps.len() },
+        queues: RawView { ptr: scratch.queues.as_ptr(), len: scratch.queues.len() },
+        shards: RawView { ptr: scratch.shards.as_ptr(), len: scratch.shards.len() },
+        workers: threads,
+        policy,
+        metrics_on: K::ENABLED,
+        batch: Some(BatchIo {
+            input,
+            geom,
+            alpha,
+            beta,
+            pack_a,
+            pack_b,
+            active_compute: AtomicUsize::new(0),
+            convert_nanos: AtomicU64::new(0),
+            overlap_nanos: AtomicU64::new(0),
+        }),
+        cancel: cancel.cloned(),
+        pending: AtomicUsize::new(graph.tasks.len()),
+        ready: AtomicUsize::new(graph.roots.len()),
+        cancelled: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        error: Mutex::new(None),
+        sync: Mutex::new(()),
+        cv: Condvar::new(),
+    });
+    ThreadPool::global(threads).run(job.clone());
+    let result = match job.take_error() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    };
+    if K::ENABLED {
+        merge_shards(scratch, threads, sink);
+    }
+    let io = job.batch.as_ref().expect("batch job");
+    result.map(|()| {
+        (io.convert_nanos.load(Ordering::Relaxed), io.overlap_nanos.load(Ordering::Relaxed))
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -47,12 +47,13 @@ use std::time::{Duration, Instant};
 use modgemm_mat::view::Op;
 use modgemm_mat::{Matrix, Scalar};
 
+use crate::batch::BatchPlan;
 use crate::config::{MemoryBudget, ModgemmConfig};
 use crate::error::{try_zeroed_vec, GemmError};
-use crate::gemm::{buffer_needs, GemmContext};
+use crate::gemm::{batch_buffer_needs, buffer_needs, GemmContext};
 use crate::metrics::{NoopSink, ServiceStats};
 use crate::plan::GemmPlan;
-use crate::pool::CancelToken;
+use crate::pool::{CancelToken, ItemIo};
 
 /// How often a dispatcher waiting for ledger bytes re-checks its
 /// request's cancellation token.
@@ -91,6 +92,15 @@ pub struct ServiceConfig {
     /// Default per-request GEMM configuration
     /// ([`GemmRequest::config`] overrides it per request).
     pub gemm: ModgemmConfig,
+    /// Same-shape queued requests a dispatcher coalesces into one
+    /// whole-batch task DAG ([`crate::batch::BatchPlan`]) per dispatch,
+    /// so one request's Morton conversion overlaps another's compute.
+    /// `1` (the default) dispatches strictly per request. Only
+    /// deadline-free requests with identical `(shape, config)` coalesce,
+    /// and only from the front of the queue (FIFO order is preserved);
+    /// a coalesced group is admitted against the ledger as one unit
+    /// using the windowed batch estimate.
+    pub batch_window: usize,
 }
 
 impl Default for ServiceConfig {
@@ -101,6 +111,7 @@ impl Default for ServiceConfig {
             memory_budget: MemoryBudget::Unlimited,
             plan_cache_capacity: 8,
             gemm: ModgemmConfig::default(),
+            batch_window: 1,
         }
     }
 }
@@ -549,16 +560,20 @@ impl<S: Scalar + 'static> GemmService<S> {
         shutdown_impl(&self.shared, &mut self.dispatchers);
     }
 
-    /// One dispatcher: pop, dispatch, resolve — forever, until shutdown.
+    /// One dispatcher: pop, coalesce same-shape neighbors
+    /// ([`ServiceConfig::batch_window`]), dispatch, resolve — forever,
+    /// until shutdown.
     fn dispatch_loop(shared: &Arc<Shared<S>>) {
         let mut ctx = GemmContext::<S>::new();
         loop {
-            let item = {
+            let group = {
                 let mut q = lock(&shared.queue);
                 loop {
-                    if let Some(item) = q.pop_front() {
+                    if let Some(head) = q.pop_front() {
+                        let mut group = vec![head];
+                        Self::drain_coalescible(shared, &mut q, &mut group);
                         shared.counters.queue_depth.store(q.len() as u64, Ordering::Relaxed);
-                        break item;
+                        break group;
                     }
                     if shared.shutting_down.load(Ordering::Acquire) {
                         return;
@@ -566,10 +581,185 @@ impl<S: Scalar + 'static> GemmService<S> {
                     q = shared.queue_cv.wait(q).unwrap_or_else(|p| p.into_inner());
                 }
             };
-            let result = Self::process(shared, &item.req, &item.ticket.cancel, &mut ctx);
-            shared.counters.record_outcome(&result);
-            fulfill(&item.ticket, result);
+            Self::process_group(shared, group, &mut ctx);
         }
+    }
+
+    /// Extends `group` (which holds the just-popped head) with requests
+    /// from the queue front that can run in the same whole-batch DAG:
+    /// identical `(shape, config)` key and no deadline on either side,
+    /// up to [`ServiceConfig::batch_window`] total. Popping only
+    /// matching *front* entries preserves FIFO dispatch order.
+    fn drain_coalescible(
+        shared: &Arc<Shared<S>>,
+        q: &mut VecDeque<Queued<S>>,
+        group: &mut Vec<Queued<S>>,
+    ) {
+        let window = shared.cfg.batch_window;
+        let head = &group[0].req;
+        if window <= 1 || head.deadline.is_some() {
+            return;
+        }
+        let key = |req: &GemmRequest<S>| {
+            (
+                req.a.rows(),
+                req.a.cols(),
+                req.b.rows(),
+                req.b.cols(),
+                req.config.unwrap_or(shared.cfg.gemm),
+            )
+        };
+        let head_key = key(head);
+        while group.len() < window {
+            let joins = match q.front() {
+                Some(cand) => cand.req.deadline.is_none() && key(&cand.req) == head_key,
+                None => false,
+            };
+            if !joins {
+                break;
+            }
+            group.push(q.pop_front().expect("front entry was just inspected"));
+        }
+    }
+
+    /// Dispatches one coalesced group: members cancelled while queued
+    /// resolve immediately; a single survivor takes the ordinary path;
+    /// a real group runs through [`Self::run_batch`], falling back to
+    /// per-item dispatch when the batched path is unavailable.
+    fn process_group(shared: &Arc<Shared<S>>, group: Vec<Queued<S>>, ctx: &mut GemmContext<S>) {
+        let mut live: Vec<Queued<S>> = Vec::with_capacity(group.len());
+        for item in group {
+            match item.ticket.cancel.check() {
+                Ok(()) => live.push(item),
+                Err(e) => {
+                    let result = Err(e);
+                    shared.counters.record_outcome(&result);
+                    fulfill(&item.ticket, result);
+                }
+            }
+        }
+        if live.len() <= 1 {
+            if let Some(item) = live.pop() {
+                let result = Self::process(shared, &item.req, &item.ticket.cancel, ctx);
+                shared.counters.record_outcome(&result);
+                fulfill(&item.ticket, result);
+            }
+            return;
+        }
+        match Self::run_batch(shared, &live, ctx) {
+            Some(Ok(outputs)) => {
+                for (item, c) in live.into_iter().zip(outputs) {
+                    let result = Ok(c);
+                    shared.counters.record_outcome(&result);
+                    fulfill(&item.ticket, result);
+                }
+            }
+            Some(Err(e)) => {
+                for item in live {
+                    let result = Err(e.clone());
+                    shared.counters.record_outcome(&result);
+                    fulfill(&item.ticket, result);
+                }
+            }
+            None => {
+                for item in live {
+                    let result = Self::process(shared, &item.req, &item.ticket.cancel, ctx);
+                    shared.counters.record_outcome(&result);
+                    fulfill(&item.ticket, result);
+                }
+            }
+        }
+    }
+
+    /// Runs a coalesced group as one [`BatchPlan`] task DAG so later
+    /// items' Morton conversions overlap earlier items' compute.
+    /// `None` means the batched path is unavailable for this group
+    /// (degenerate shape, serial config, single-threaded pool) and the
+    /// caller should dispatch per item instead. Coalesced execution is
+    /// deliberately non-cancellable mid-flight: only deadline-free
+    /// requests coalesce, and cancellation is honored for each member at
+    /// dispatch time — cancelling one member mid-DAG would otherwise
+    /// discard its groupmates' work.
+    fn run_batch(
+        shared: &Arc<Shared<S>>,
+        items: &[Queued<S>],
+        ctx: &mut GemmContext<S>,
+    ) -> Option<Result<Vec<Matrix<S>>, GemmError>> {
+        let head = &items[0].req;
+        let (m, k) = (head.a.rows(), head.a.cols());
+        let (kb, n) = (head.b.rows(), head.b.cols());
+        if k != kb || m == 0 || n == 0 {
+            return None;
+        }
+        let cfg = head.config.unwrap_or(shared.cfg.gemm);
+        let plan = match lock(&shared.cache).get_or_build(m, k, n, &cfg) {
+            Ok((plan, _hit)) => plan,
+            Err(e) => return Some(Err(e)),
+        };
+        let bplan = match BatchPlan::from_plan((*plan).clone(), items.len()) {
+            Ok(p) => p,
+            Err(e) => return Some(Err(e)),
+        };
+        if bplan.parallel_tasks() == 0 {
+            return None;
+        }
+
+        // Ledger admission over the *windowed* batch estimate — the same
+        // sizing the DAG executor grows the context to — plus outputs.
+        let elem = core::mem::size_of::<S>() as u64;
+        let workspace: u64 = batch_buffer_needs::<S>(m, k, n, items.len(), &cfg)
+            .map(|(a, b, c, ws)| (a + b + c + ws) as u64)
+            .unwrap_or(0);
+        let bytes = (workspace + (m as u64) * (n as u64) * (items.len() as u64)) * elem;
+        let guard = match shared.ledger.admit(bytes, &items[0].ticket.cancel) {
+            Ok(g) => g,
+            Err(e) => return Some(Err(e)),
+        };
+        for _ in items.iter() {
+            shared.counters.bump(&shared.counters.admitted);
+        }
+
+        let elements = match m.checked_mul(n) {
+            Some(e) => e,
+            None => return Some(Err(GemmError::Allocation { elements: usize::MAX })),
+        };
+        let mut outputs: Vec<Matrix<S>> = Vec::with_capacity(items.len());
+        for _ in items.iter() {
+            match try_zeroed_vec::<S>(elements) {
+                Ok(v) => outputs.push(Matrix::from_vec(v, m, n)),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        let table: Vec<ItemIo<S>> = items
+            .iter()
+            .zip(outputs.iter_mut())
+            .map(|(item, out)| ItemIo {
+                a: item.req.a.as_slice().as_ptr(),
+                lda: m.max(1),
+                b: item.req.b.as_slice().as_ptr(),
+                ldb: k.max(1),
+                c: out.as_mut_slice().as_mut_ptr(),
+                ldc: m.max(1),
+            })
+            .collect();
+        // SAFETY: every request's operands are owned, contiguous
+        // column-major matrices of the planned shape (ld = rows), alive
+        // for the whole call, and each output is a distinct fresh
+        // allocation — so no C window aliases any other buffer.
+        let run = unsafe {
+            bplan.try_execute_items(
+                Op::NoTrans,
+                Op::NoTrans,
+                S::ONE,
+                S::ZERO,
+                &table,
+                ctx,
+                None,
+                &mut NoopSink,
+            )
+        };
+        drop(guard);
+        Some(run.map(|()| outputs))
     }
 
     /// Runs one admitted request on this dispatcher's context.
@@ -679,6 +869,78 @@ mod tests {
         let stats = svc.stats();
         assert_eq!(stats.completed, 3);
         assert_eq!(stats.admitted, 3);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn service_coalesces_same_shape_requests_through_batch_dag() {
+        // Manual mode (no dispatcher threads) lets the test drive one
+        // dispatch round by hand, making the coalescing deterministic.
+        let par = ModgemmConfig { threads: 3, ..ModgemmConfig::default() };
+        let mut svc = GemmService::<f64>::start(ServiceConfig {
+            dispatchers: 0,
+            batch_window: 8,
+            gemm: par,
+            ..ServiceConfig::default()
+        });
+        let mut wants = Vec::new();
+        let mut tickets = Vec::new();
+        for salt in 0..3 {
+            let (a, b) = (filled(40, 36, salt), filled(36, 44, salt + 50));
+            wants.push(expected(&a, &b));
+            tickets.push(svc.submit(GemmRequest::new(a, b)).unwrap());
+        }
+        // Same shape but deadline-bearing: a coalescing barrier.
+        let barrier = svc
+            .submit(
+                GemmRequest::new(filled(40, 36, 9), filled(36, 44, 9))
+                    .deadline_in(Duration::from_secs(3600)),
+            )
+            .unwrap();
+
+        let mut ctx = GemmContext::<f64>::new();
+        let group = {
+            let mut q = lock(&svc.shared.queue);
+            let head = q.pop_front().expect("three requests are queued");
+            let mut group = vec![head];
+            GemmService::drain_coalescible(&svc.shared, &mut q, &mut group);
+            assert_eq!(q.len(), 1, "the deadline-bearing request must stay queued");
+            group
+        };
+        assert_eq!(group.len(), 3, "all deadline-free same-shape requests coalesce");
+        GemmService::process_group(&svc.shared, group, &mut ctx);
+
+        for (ticket, want) in tickets.into_iter().zip(&wants) {
+            let got = ticket.wait().expect("coalesced member should succeed");
+            assert_eq!(&got, want);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.admitted, 3);
+        svc.shutdown();
+        assert_eq!(barrier.wait(), Err(GemmError::ShuttingDown));
+    }
+
+    #[test]
+    fn service_batch_window_one_keeps_per_request_dispatch() {
+        // The default window (1) must leave dispatch untouched: every
+        // request pops alone even when the queue holds identical shapes.
+        let mut svc =
+            GemmService::<f64>::start(ServiceConfig { dispatchers: 0, ..ServiceConfig::default() });
+        let t1 = svc.submit(GemmRequest::new(filled(8, 8, 1), filled(8, 8, 2))).unwrap();
+        let _t2 = svc.submit(GemmRequest::new(filled(8, 8, 3), filled(8, 8, 4))).unwrap();
+        let group = {
+            let mut q = lock(&svc.shared.queue);
+            let head = q.pop_front().unwrap();
+            let mut group = vec![head];
+            GemmService::drain_coalescible(&svc.shared, &mut q, &mut group);
+            assert_eq!(q.len(), 1);
+            group
+        };
+        assert_eq!(group.len(), 1);
+        let mut ctx = GemmContext::<f64>::new();
+        GemmService::process_group(&svc.shared, group, &mut ctx);
+        assert!(t1.wait().is_ok());
         svc.shutdown();
     }
 

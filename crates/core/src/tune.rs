@@ -38,6 +38,9 @@
 //!   default `0` (auto);
 //! * `fuse_depth` — only while the config holds the default
 //!   [`FuseDepth::Auto`]; an explicit `Fixed(n)` wins.
+//! * `batch_window` — only while the config holds the default `0`
+//!   (auto: the batch executor derives the in-flight window from the
+//!   thread count and memory budget); an explicit window wins.
 //!
 //! With no profile entry in range (or [`TuningMode::Off`]), everything
 //! falls through to the static heuristics exactly as before — a profile
@@ -67,11 +70,12 @@ use crate::error::GemmError;
 /// The profile schema version this build emits and understands. Loading
 /// a profile with a *newer* version fails typed (forward compatibility
 /// is refused, not guessed at), and so does an *older* one: version 2
-/// added the `fuse_depth` knob to every entry, and a v1 profile's
-/// recorded winners were measured without operand fusion, so silently
-/// defaulting the missing field would misrepresent the measurement.
-/// Re-running `modgemm-tune` regenerates a current-schema profile.
-pub const PROFILE_SCHEMA_VERSION: u64 = 2;
+/// added the `fuse_depth` knob and version 3 the `batch_window` knob to
+/// every entry, and an older profile's recorded winners were measured
+/// without those axes, so silently defaulting the missing field would
+/// misrepresent the measurement. Re-running `modgemm-tune` regenerates
+/// a current-schema profile.
+pub const PROFILE_SCHEMA_VERSION: u64 = 3;
 
 /// Environment variable overriding the profile location (takes
 /// precedence over the `~/.cache/modgemm/profile.json` default).
@@ -108,6 +112,11 @@ pub struct TunedChoice {
     /// [`crate::fuse::MAX_FUSE`]. Applied only while the configuration
     /// leaves [`ModgemmConfig::fuse_depth`] at [`FuseDepth::Auto`].
     pub fuse_depth: usize,
+    /// In-flight window for whole-batch execution
+    /// ([`ModgemmConfig::batch_window`]; `0` = derive from the thread
+    /// count and memory budget). Applied only while the configuration
+    /// leaves `batch_window` at its default `0`.
+    pub batch_window: usize,
 }
 
 impl TunedChoice {
@@ -122,6 +131,7 @@ impl TunedChoice {
             parallel_depth: 0,
             threads: 0,
             fuse_depth: 0,
+            batch_window: 0,
         }
     }
 
@@ -151,6 +161,9 @@ impl TunedChoice {
         }
         if cfg.fuse_depth == FuseDepth::Auto {
             eff.fuse_depth = FuseDepth::Fixed(self.fuse_depth.min(crate::fuse::MAX_FUSE));
+        }
+        if cfg.batch_window == 0 {
+            eff.batch_window = self.batch_window;
         }
         eff
     }
@@ -309,6 +322,7 @@ impl TuningProfile {
                     parallel_depth: near.choice.parallel_depth,
                     threads: near.choice.threads,
                     fuse_depth: near.choice.fuse_depth,
+                    batch_window: near.choice.batch_window,
                 })
             }
             (Some(e), _) | (_, Some(e)) => Some(e.choice),
@@ -338,7 +352,7 @@ impl TuningProfile {
             s.push_str(&format!(
                 "\n    {{\"m\": {}, \"k\": {}, \"n\": {}, \"tile_min\": {}, \"tile_max\": {}, \
                  \"strassen_min\": {}, \"kernel\": {}, \"parallel_depth\": {}, \"threads\": {}, \
-                 \"fuse_depth\": {}, \"score\": {}}}",
+                 \"fuse_depth\": {}, \"batch_window\": {}, \"score\": {}}}",
                 e.m,
                 e.k,
                 e.n,
@@ -349,6 +363,7 @@ impl TuningProfile {
                 e.choice.parallel_depth,
                 e.choice.threads,
                 e.choice.fuse_depth,
+                e.choice.batch_window,
                 json_num(e.score),
             ));
         }
@@ -417,6 +432,7 @@ impl TuningProfile {
                     parallel_depth: u("parallel_depth")?,
                     threads: u("threads")?,
                     fuse_depth: u("fuse_depth")?,
+                    batch_window: u("batch_window")?,
                 },
                 score: get(eo, "score").and_then(num).unwrap_or(0.0),
             };
@@ -803,6 +819,7 @@ mod tests {
                         parallel_depth: 0,
                         threads: 1,
                         fuse_depth: 2,
+                        batch_window: 0,
                     },
                     score: 3.5,
                 },
@@ -818,6 +835,7 @@ mod tests {
                         parallel_depth: 2,
                         threads: 4,
                         fuse_depth: 0,
+                        batch_window: 4,
                     },
                     score: 2.9,
                 },
@@ -850,27 +868,32 @@ mod tests {
             "{\"schema_version\": \"one\", \"entries\": []}".into(),
             "{\"entries\": []}".into(),
             format!("{full}trailing"),
-            "{\"schema_version\": 2, \"entries\": [{\"m\": 0}]}".into(),
-            "{\"schema_version\": 2, \"entries\": [7]}".into(),
+            "{\"schema_version\": 3, \"entries\": [{\"m\": 0}]}".into(),
+            "{\"schema_version\": 3, \"entries\": [7]}".into(),
             // Entry with an inverted tile range.
-            "{\"schema_version\": 2, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":64,\
+            "{\"schema_version\": 3, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":64,\
              \"tile_max\":16,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
-             \"threads\":0,\"fuse_depth\":0,\"score\":1.0}]}"
+             \"threads\":0,\"fuse_depth\":0,\"batch_window\":0,\"score\":1.0}]}"
                 .into(),
             // Unknown kernel name.
-            "{\"schema_version\": 2, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+            "{\"schema_version\": 3, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
              \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"turbo\",\"parallel_depth\":0,\
-             \"threads\":0,\"fuse_depth\":0,\"score\":1.0}]}"
+             \"threads\":0,\"fuse_depth\":0,\"batch_window\":0,\"score\":1.0}]}"
                 .into(),
             // Entry missing the v2 fuse_depth field.
-            "{\"schema_version\": 2, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+            "{\"schema_version\": 3, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
              \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
-             \"threads\":0,\"score\":1.0}]}"
+             \"threads\":0,\"batch_window\":0,\"score\":1.0}]}"
+                .into(),
+            // Entry missing the v3 batch_window field.
+            "{\"schema_version\": 3, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+             \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
+             \"threads\":0,\"fuse_depth\":0,\"score\":1.0}]}"
                 .into(),
             // Entry recording a fuse depth beyond MAX_FUSE.
-            "{\"schema_version\": 2, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+            "{\"schema_version\": 3, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
              \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
-             \"threads\":0,\"fuse_depth\":9,\"score\":1.0}]}"
+             \"threads\":0,\"fuse_depth\":9,\"batch_window\":0,\"score\":1.0}]}"
                 .into(),
         ];
         // Truncate the valid serialization at many byte offsets: every
@@ -891,7 +914,7 @@ mod tests {
 
     #[test]
     fn future_schema_version_fails_typed() {
-        let text = "{\"schema_version\": 3, \"entries\": []}";
+        let text = "{\"schema_version\": 4, \"entries\": []}";
         match TuningProfile::from_json_str(text) {
             Err(GemmError::InvalidConfig { reason }) => {
                 assert!(reason.contains("newer"), "{reason}");
@@ -906,15 +929,19 @@ mod tests {
 
     #[test]
     fn outdated_schema_version_fails_typed() {
-        // Version 1 predates the fuse_depth knob: its recorded winners
-        // were measured without operand fusion, so it is refused typed
-        // rather than silently defaulted.
-        let text = "{\"schema_version\": 1, \"entries\": []}";
-        match TuningProfile::from_json_str(text) {
-            Err(GemmError::InvalidConfig { reason }) => {
-                assert!(reason.contains("outdated"), "{reason}");
+        // Version 1 predates the fuse_depth knob and version 2 the
+        // batch_window knob: their recorded winners were measured
+        // without those axes, so both are refused typed rather than
+        // silently defaulted.
+        for text in
+            ["{\"schema_version\": 1, \"entries\": []}", "{\"schema_version\": 2, \"entries\": []}"]
+        {
+            match TuningProfile::from_json_str(text) {
+                Err(GemmError::InvalidConfig { reason }) => {
+                    assert!(reason.contains("outdated"), "{reason}");
+                }
+                other => panic!("outdated schema must be refused, got {other:?}"),
             }
-            other => panic!("outdated schema must be refused, got {other:?}"),
         }
     }
 
@@ -950,6 +977,7 @@ mod tests {
             parallel_depth: 2,
             threads: 4,
             fuse_depth: 1,
+            batch_window: 6,
         };
         // Default config: every knob consults the choice (except kernel,
         // which only Auto delegates).
@@ -961,6 +989,7 @@ mod tests {
         assert_eq!(eff.threads, 4);
         assert_eq!(eff.leaf_kernel, KernelKind::Blocked, "pinned Blocked default wins");
         assert_eq!(eff.fuse_depth, FuseDepth::Fixed(1), "Auto fuse_depth consults the profile");
+        assert_eq!(eff.batch_window, 6, "auto batch_window consults the profile");
 
         // Auto delegates kernel selection to the choice.
         let auto = ModgemmConfig { leaf_kernel: KernelKind::Auto, ..Default::default() };
@@ -974,6 +1003,7 @@ mod tests {
             threads: 2,
             leaf_kernel: KernelKind::Micro,
             fuse_depth: FuseDepth::Fixed(2),
+            batch_window: 3,
             ..Default::default()
         };
         let eff = choice.apply_to(&pinned, 256, 256, 256);
@@ -983,6 +1013,7 @@ mod tests {
         assert_eq!(eff.threads, 2);
         assert_eq!(eff.leaf_kernel, KernelKind::Micro);
         assert_eq!(eff.fuse_depth, FuseDepth::Fixed(2), "explicit fuse_depth wins");
+        assert_eq!(eff.batch_window, 3, "explicit batch_window wins");
     }
 
     #[test]

@@ -27,18 +27,43 @@ use crate::layout::{deinterleave2, MortonLayout};
 /// If `dst.len() != layout.len()` or the logical matrix does not fit.
 #[track_caller]
 pub fn to_morton<S: Scalar>(src: MatRef<'_, S>, op: Op, layout: &MortonLayout, dst: &mut [S]) {
-    let (lr, lc) = op.apply_dims(src.rows(), src.cols());
     assert_eq!(dst.len(), layout.len(), "destination buffer length mismatch");
+    let tiles = layout.len() / layout.tile_len();
+    pack_tile_range(src, op, layout, dst, 0, tiles);
+}
+
+/// Packs Morton tiles `[z0, z1)` of `op(src)` — the task-granular unit
+/// the pooled conversion paths and the batch DAG schedule. `dst_range`
+/// is exactly those tiles of the full Morton buffer (length
+/// `(z1 - z0) · tile_len`); concurrent callers covering disjoint tile
+/// ranges therefore write disjoint memory.
+///
+/// # Panics
+/// If the range is out of bounds, `dst_range` has the wrong length, or
+/// the logical matrix does not fit the padded one.
+#[track_caller]
+pub fn pack_tile_range<S: Scalar>(
+    src: MatRef<'_, S>,
+    op: Op,
+    layout: &MortonLayout,
+    dst_range: &mut [S],
+    z0: usize,
+    z1: usize,
+) {
+    let (lr, lc) = op.apply_dims(src.rows(), src.cols());
+    let (tm, tn, grid) = (layout.tile_rows, layout.tile_cols, layout.grid());
+    let tile_len = layout.tile_len();
+    assert!(z0 <= z1 && z1 * tile_len <= layout.len(), "tile range out of bounds");
+    assert_eq!(dst_range.len(), (z1 - z0) * tile_len, "tile range buffer length mismatch");
     assert!(
         lr <= layout.rows() && lc <= layout.cols(),
         "logical {lr}x{lc} does not fit padded {}x{}",
         layout.rows(),
         layout.cols()
     );
-    let (tm, tn, grid) = (layout.tile_rows, layout.tile_cols, layout.grid());
-    let tile_len = layout.tile_len();
 
-    for (z, tile) in dst.chunks_exact_mut(tile_len).enumerate() {
+    for (i, tile) in dst_range.chunks_exact_mut(tile_len).enumerate() {
+        let z = z0 + i;
         let (tr, tc) = deinterleave2(z, layout.depth);
         debug_assert!(tr < grid && tc < grid);
         let row0 = tr * tm;

@@ -18,7 +18,7 @@ use modgemm_mat::view::{MatMut, MatRef, Op};
 use modgemm_mat::Scalar;
 
 use crate::convert;
-use crate::layout::{deinterleave2, MortonLayout};
+use crate::layout::MortonLayout;
 
 /// Minimum per-worker element count below which threading is not worth
 /// spawning.
@@ -106,51 +106,88 @@ pub fn par_to_morton_with<S: Scalar>(
     let tiles = layout.len() / tile_len;
     let tiles_per = tiles.div_ceil(workers);
     let jobs = tiles.div_ceil(tiles_per);
-    let (tm, tn) = (layout.tile_rows, layout.tile_cols);
     let base = SendPtr(dst.as_mut_ptr());
 
     let body = |w: usize| {
         // Capture the whole `SendPtr` (Sync), not its raw-pointer field.
         let base = &base;
-        let z_end = ((w + 1) * tiles_per).min(tiles);
-        for z in w * tiles_per..z_end {
-            // SAFETY: job `w` owns exactly the Morton tiles
-            // `[w·tiles_per, z_end)` — disjoint slices of `dst`.
-            let tile =
-                unsafe { std::slice::from_raw_parts_mut(base.0.add(z * tile_len), tile_len) };
-            let (tr, tc) = deinterleave2(z, layout.depth);
-            let row0 = tr * tm;
-            let col0 = tc * tn;
-            let live_r = lr.saturating_sub(row0).min(tm);
-            let live_c = lc.saturating_sub(col0).min(tn);
-            if live_r == 0 || live_c == 0 {
-                tile.fill(S::ZERO);
-                continue;
-            }
-            match op {
-                Op::NoTrans => {
-                    for jj in 0..live_c {
-                        let dst_col = &mut tile[jj * tm..(jj + 1) * tm];
-                        dst_col[..live_r].copy_from_slice(&src.col(col0 + jj)[row0..row0 + live_r]);
-                        dst_col[live_r..].fill(S::ZERO);
-                    }
-                }
-                Op::Trans => {
-                    for jj in 0..live_c {
-                        let dst_col = &mut tile[jj * tm..(jj + 1) * tm];
-                        for (ii, d) in dst_col.iter_mut().enumerate().take(live_r) {
-                            *d = src.get(col0 + jj, row0 + ii);
-                        }
-                        dst_col[live_r..].fill(S::ZERO);
-                    }
-                }
-            }
-            if live_c < tn {
-                tile[live_c * tm..].fill(S::ZERO);
-            }
-        }
+        let z0 = w * tiles_per;
+        let z1 = ((w + 1) * tiles_per).min(tiles);
+        // SAFETY: job `w` owns exactly the Morton tiles `[z0, z1)` —
+        // disjoint slices of `dst`.
+        let range = unsafe {
+            std::slice::from_raw_parts_mut(base.0.add(z0 * tile_len), (z1 - z0) * tile_len)
+        };
+        convert::pack_tile_range(src, op, layout, range, z0, z1);
     };
     exec.for_each(jobs, &body);
+}
+
+/// Unpacks tile columns `[tc0, tc1)` of the Morton buffer `src` into a
+/// raw column-major destination, applying `dst ← α·src + β·dst` over the
+/// live region (`β = 0` writes without reading `dst` — BLAS semantics).
+/// This is the task-granular unpack unit of the batch DAG: each task
+/// owns a disjoint tile-column range, hence a disjoint destination
+/// column block.
+///
+/// `lr × lc` are the logical destination dimensions; `ld` its leading
+/// dimension (column stride).
+///
+/// # Safety
+/// `dst` must be valid for writes of an `lr × lc` column-major matrix
+/// with leading dimension `ld ≥ lr`, and concurrent callers over the
+/// same destination must cover disjoint tile-column ranges.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn unpack_tile_cols_raw<S: Scalar>(
+    src: &[S],
+    layout: &MortonLayout,
+    alpha: S,
+    beta: S,
+    dst: *mut S,
+    ld: usize,
+    lr: usize,
+    lc: usize,
+    tc0: usize,
+    tc1: usize,
+) {
+    debug_assert_eq!(src.len(), layout.len());
+    debug_assert!(lr <= layout.rows() && lc <= layout.cols());
+    debug_assert!(tc0 <= tc1 && tc1 <= layout.grid());
+    let (tm, tn) = (layout.tile_rows, layout.tile_cols);
+    let grid = layout.grid();
+    for tc in tc0..tc1 {
+        let col0 = tc * tn;
+        if col0 >= lc {
+            break;
+        }
+        let live_c = (lc - col0).min(tn);
+        for tr in 0..grid {
+            let row0 = tr * tm;
+            if row0 >= lr {
+                break;
+            }
+            let live_r = (lr - row0).min(tm);
+            let tile0 = layout.tile_offset(tr, tc);
+            for jj in 0..live_c {
+                let src_col = &src[tile0 + jj * tm..tile0 + jj * tm + live_r];
+                // SAFETY (caller contract): this task owns destination
+                // columns `[tc0·tn, tc1·tn)` — a disjoint column block.
+                let p = dst.add((col0 + jj) * ld + row0);
+                if alpha == S::ONE && beta == S::ZERO {
+                    std::ptr::copy_nonoverlapping(src_col.as_ptr(), p, live_r);
+                } else {
+                    let dst_col = std::slice::from_raw_parts_mut(p, live_r);
+                    if beta == S::ZERO {
+                        for (d, &s) in dst_col.iter_mut().zip(src_col) {
+                            *d = alpha * s;
+                        }
+                    } else {
+                        modgemm_mat::addsub::axpby_flat(alpha, src_col, beta, dst_col);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Parallel version of [`convert::from_morton`]: workers own disjoint
@@ -181,7 +218,6 @@ pub fn par_from_morton_with<S: Scalar>(
         return;
     }
 
-    let (tm, tn) = (layout.tile_rows, layout.tile_cols);
     let grid = layout.grid();
     let tcs_per = grid.div_ceil(workers);
     let jobs = grid.div_ceil(tcs_per);
@@ -191,31 +227,13 @@ pub fn par_from_morton_with<S: Scalar>(
     let body = |w: usize| {
         // Capture the whole `SendPtr` (Sync), not its raw-pointer field.
         let base = &base;
-        let tc_end = ((w + 1) * tcs_per).min(grid);
-        for tc in w * tcs_per..tc_end {
-            let col0 = tc * tn;
-            if col0 >= lc {
-                break;
-            }
-            let live_c = (lc - col0).min(tn);
-            for tr in 0..grid {
-                let row0 = tr * tm;
-                if row0 >= lr {
-                    break;
-                }
-                let live_r = (lr - row0).min(tm);
-                let tile0 = layout.tile_offset(tr, tc);
-                for jj in 0..live_c {
-                    let src_col = &src[tile0 + jj * tm..tile0 + jj * tm + live_r];
-                    // SAFETY: job `w` owns exactly destination columns
-                    // `[w·tcs_per·tn, tc_end·tn)` — disjoint column
-                    // blocks of `dst` (column stride `ld`).
-                    unsafe {
-                        let p = base.0.add((col0 + jj) * ld + row0);
-                        std::ptr::copy_nonoverlapping(src_col.as_ptr(), p, live_r);
-                    }
-                }
-            }
+        let tc0 = w * tcs_per;
+        let tc1 = ((w + 1) * tcs_per).min(grid);
+        // SAFETY: job `w` owns exactly destination columns
+        // `[tc0·tn, tc1·tn)` — disjoint column blocks of `dst` (column
+        // stride `ld`).
+        unsafe {
+            unpack_tile_cols_raw(src, layout, S::ONE, S::ZERO, base.0, ld, lr, lc, tc0, tc1);
         }
     };
     exec.for_each(jobs, &body);

@@ -49,12 +49,15 @@ pub use modgemm_morton as morton;
 /// One-stop imports for typical use:
 /// `use modgemm::prelude::*;`
 pub mod prelude {
-    pub use modgemm_core::blas::{try_dgemm, try_gemm, try_gemm_batch, try_sgemm, try_zgemm};
+    pub use modgemm_core::blas::{
+        gemm_batch_strided, try_dgemm, try_gemm, try_gemm_batch, try_gemm_batch_strided, try_sgemm,
+        try_zgemm,
+    };
     pub use modgemm_core::{
         execute, modgemm, modgemm_premorton, modgemm_timed, modgemm_with_ctx, plan, try_modgemm,
-        try_modgemm_with_ctx, try_modgemm_with_metrics, CollectingSink, ExecMetrics, GemmContext,
-        GemmError, GemmPlan, MemoryBudget, MetricsSink, ModgemmConfig, MortonMatrix,
-        NonFinitePolicy, NoopSink, Operand, Truncation, Variant, VerifyMode,
+        try_modgemm_with_ctx, try_modgemm_with_metrics, BatchPlan, CollectingSink, ExecMetrics,
+        GemmContext, GemmError, GemmPlan, MemoryBudget, MetricsSink, ModgemmConfig, MortonMatrix,
+        NonFinitePolicy, NoopSink, Operand, StridedBatch, Truncation, Variant, VerifyMode,
     };
     pub use modgemm_mat::{KernelKind, LeafKernel, MatMut, MatRef, Matrix, Op, Scalar};
     pub use modgemm_morton::{MortonLayout, TileRange};

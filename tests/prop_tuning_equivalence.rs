@@ -44,6 +44,7 @@ fn decode_mode(
             parallel_depth,
             threads,
             fuse_depth,
+            batch_window: selector % 4,
         }),
     }
 }
