@@ -8,6 +8,7 @@
 //!              [--threshold 0.25] [--metric gflops|score]
 //! bench_runner gate-fused REPORT [--threshold 0.05]
 //! bench_runner gate-batch REPORT [--threshold 0.05]
+//! bench_runner gate-schedule REPORT [--threshold 0.05]
 //! ```
 //!
 //! The declared suite covers the paper's axes: GEMM at 256 (power of
@@ -33,6 +34,18 @@
 //! executor at fixed worker counts on n = 1024, so multi-core scaling of
 //! the pooled executor is tracked case-by-case (the `threads_1` case is
 //! the serial-degradation control).
+//! The schedule sweep (`schedule_{standard,lowmem,inplace}_512`) pins
+//! each Boyer et al. memory tier on the packed kernel with one fused
+//! level, isolating the schedule axis; the budget sweep
+//! (`budget_sweep_1024_{full,half,quarter,eighth}`) runs the default
+//! configuration under an unbounded budget and 1/2, 1/4, 1/8 of the
+//! standard schedule's full-depth workspace, charting what the
+//! degradation ladder preserves as the budget shrinks. The schedule gate
+//! pair (`sched_gate_512_{inplace,standard}`) runs both tiers under one
+//! budget sized to exactly the in-place tier's full-depth arena; the
+//! `gate-schedule` subcommand turns it into CI's assertion that the
+//! in-place schedule at full Strassen depth is no slower than the
+//! depth-capped standard schedule at the same budget.
 //! The `service_mixed_256_513` case drives the [`GemmService`] front-end
 //! with mixed 256/513 traffic from two client threads; its per-request
 //! latencies feed `secs_*`, and a `service` object in the report carries
@@ -178,6 +191,61 @@ fn suite_cases(
         let cfg = ModgemmConfig { parallel_depth: 2, threads: t, ..ModgemmConfig::default() };
         cases.push(case(&format!("threads_{t}_1024"), 1024, Algo::Modgemm(cfg)));
     }
+    // The schedule sweep: the three Boyer et al. memory tiers at n = 512
+    // with the packed kernel and one fused level pinned, so staged
+    // levels exist and only the schedule axis varies. The tiers compute
+    // identical products from shrinking workspaces; the sweep tracks
+    // what the smaller, hotter arenas cost (or buy) in time.
+    for sched in modgemm_core::Schedule::ALL {
+        let cfg = ModgemmConfig {
+            leaf_kernel: KernelKind::Packed,
+            fuse_depth: modgemm_core::FuseDepth::Fixed(1),
+            schedule: modgemm_core::SchedulePolicy::Fixed(sched),
+            ..ModgemmConfig::default()
+        };
+        let tag = sched.name().replace('-', "");
+        cases.push(case(&format!("schedule_{tag}_512"), 512, Algo::Modgemm(cfg)));
+    }
+    // The budget sweep: the default configuration at n = 1024 under an
+    // unbounded budget and 1/2, 1/4, 1/8 of the standard schedule's
+    // full-depth workspace. The degradation ladder absorbs the pressure
+    // (schedule tier first, then fusion, then parallel/recursion depth),
+    // so the four cases chart throughput versus admitted workspace.
+    let std_ws_bytes = modgemm_core::plan::plan::<f64>(1024, 1024, 1024, &base).arena_len()
+        * std::mem::size_of::<f64>();
+    for (tag, budget) in [
+        ("full", modgemm_core::MemoryBudget::Unlimited),
+        ("half", modgemm_core::MemoryBudget::MaxWorkspaceBytes(std_ws_bytes / 2)),
+        ("quarter", modgemm_core::MemoryBudget::MaxWorkspaceBytes(std_ws_bytes / 4)),
+        ("eighth", modgemm_core::MemoryBudget::MaxWorkspaceBytes(std_ws_bytes / 8)),
+    ] {
+        let cfg = ModgemmConfig { memory_budget: budget, ..ModgemmConfig::default() };
+        cases.push(case(&format!("budget_sweep_1024_{tag}"), 1024, Algo::Modgemm(cfg)));
+    }
+    // The schedule gate pair: one budget sized to exactly the in-place
+    // tier's full-depth workspace at n = 512 (packed kernel). Pinned
+    // in-place keeps full Strassen depth inside it; pinned standard
+    // cannot fit at any fuse depth and must shed recursion levels. The
+    // `gate-schedule` subcommand asserts the in-place side's min-time
+    // GFLOP/s is no worse — i.e. the memory tier beats depth loss.
+    let ip_full_depth = ModgemmConfig {
+        leaf_kernel: KernelKind::Packed,
+        fuse_depth: modgemm_core::FuseDepth::Fixed(modgemm_core::fuse::MAX_FUSE),
+        schedule: modgemm_core::SchedulePolicy::Fixed(modgemm_core::Schedule::InPlace),
+        ..ModgemmConfig::default()
+    };
+    let ip_ws_bytes = modgemm_core::plan::plan::<f64>(512, 512, 512, &ip_full_depth).arena_len()
+        * std::mem::size_of::<f64>();
+    for sched in [modgemm_core::Schedule::InPlace, modgemm_core::Schedule::Standard] {
+        let cfg = ModgemmConfig {
+            leaf_kernel: KernelKind::Packed,
+            memory_budget: modgemm_core::MemoryBudget::MaxWorkspaceBytes(ip_ws_bytes),
+            schedule: modgemm_core::SchedulePolicy::Fixed(sched),
+            ..ModgemmConfig::default()
+        };
+        let tag = sched.name().replace('-', "");
+        cases.push(case(&format!("sched_gate_512_{tag}"), 512, Algo::Modgemm(cfg)));
+    }
     // The whole-batch scheduling pairs: many small same-shape multiplies
     // (64³ × 64 — the shape batching exists for) and a few mid-size ones
     // (256³ × 8), batched through one task DAG versus the per-item loop.
@@ -232,6 +300,9 @@ fn suite_cases(
             if c.name.starts_with("kernel_")
                 || c.name.starts_with("fused_vs_staged_")
                 || c.name.starts_with("batch_")
+                || c.name.starts_with("schedule_")
+                || c.name.starts_with("budget_sweep_")
+                || c.name.starts_with("sched_gate_")
                 || kernel.is_some()
             {
                 continue;
@@ -261,7 +332,11 @@ fn suite_cases(
         cases.retain(|c| match &c.algo {
             Algo::Conventional => true,
             Algo::Modgemm(_) | Algo::PlanReuse { .. } => {
-                !c.name.starts_with("kernel_") && !c.name.starts_with("fused_vs_staged_")
+                !c.name.starts_with("kernel_")
+                    && !c.name.starts_with("fused_vs_staged_")
+                    && !c.name.starts_with("schedule_")
+                    && !c.name.starts_with("budget_sweep_")
+                    && !c.name.starts_with("sched_gate_")
             }
             Algo::Service { .. } | Algo::Batch { .. } | Algo::BatchSerial { .. } => false,
         });
@@ -866,13 +941,91 @@ fn run_gate_batch(args: &[String]) -> ExitCode {
     }
 }
 
+/// `gate-schedule REPORT [--threshold T]`: asserts the
+/// `sched_gate_512_inplace` case's min-time GFLOP/s is no worse than
+/// `sched_gate_512_standard`'s, modulo a run-to-run noise floor. Both
+/// cases ran under the *same* workspace budget (sized to the in-place
+/// tier's full-depth arena): the in-place schedule keeps full Strassen
+/// depth inside it while the pinned standard schedule must shed
+/// recursion levels, so a shortfall means the low-memory tier's extra
+/// operand restores cost more than the recursion depth they preserve —
+/// exactly the trade the memory-policy ladder exists to win.
+fn run_gate_schedule(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut threshold = 0.05f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => threshold = t,
+                _ => return usage("--threshold needs a number in [0, 1)"),
+            },
+            p if !p.starts_with("--") && path.is_none() => path = Some(p.to_string()),
+            other => return usage(&format!("unknown gate-schedule option {other}")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("gate-schedule needs a report path");
+    };
+    let report = match load(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_runner gate-schedule: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let case_of = |name: &str| -> Result<(f64, f64), String> {
+        let c = report
+            .get("cases")
+            .and_then(Value::as_array)
+            .and_then(|cases| {
+                cases.iter().find(|c| c.get("name").and_then(Value::as_str) == Some(name))
+            })
+            .ok_or_else(|| format!("report lacks a `{name}` case"))?;
+        let gflops = c
+            .get("gflops_min")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("`{name}` lacks gflops_min"))?;
+        let levels = c
+            .get("metrics")
+            .and_then(|m| m.get("strassen_levels"))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        Ok((gflops, levels))
+    };
+    match (case_of("sched_gate_512_standard"), case_of("sched_gate_512_inplace")) {
+        (Ok((standard, std_levels)), Ok((inplace, ip_levels))) => {
+            let floor = standard * (1.0 - threshold);
+            println!(
+                "gate-schedule: standard {standard:.4} GFLOP/s at {std_levels} level(s), \
+                 in-place {inplace:.4} GFLOP/s at {ip_levels} level(s) \
+                 (floor {floor:.4}, threshold {threshold})"
+            );
+            if inplace >= floor {
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "gate-schedule: SCHEDULE REGRESSION — in-place min-time GFLOP/s below the \
+                     depth-capped standard schedule at the same budget"
+                );
+                ExitCode::FAILURE
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_runner gate-schedule: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("bench_runner: {msg}");
     eprintln!(
         "usage: bench_runner [--quick] [--out PATH] [--kernel naive|blocked|micro|packed|auto] [--threads N] [--tuning off|profile] [--tunable-only]\n       \
          bench_runner compare OLD NEW [--threshold 0.25] [--metric gflops|score]\n       \
          bench_runner gate-fused REPORT [--threshold 0.05]\n       \
-         bench_runner gate-batch REPORT [--threshold 0.05]"
+         bench_runner gate-batch REPORT [--threshold 0.05]\n       \
+         bench_runner gate-schedule REPORT [--threshold 0.05]"
     );
     ExitCode::from(2)
 }
@@ -887,6 +1040,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("gate-batch") {
         return run_gate_batch(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("gate-schedule") {
+        return run_gate_schedule(&args[1..]);
     }
     let mut quick = false;
     let mut out = None;

@@ -120,6 +120,14 @@ pub fn candidates(suite: Suite, cachesim: bool) -> Vec<TunedChoice> {
     // The whole-batch in-flight window only matters to the batch DAG,
     // which needs a multi-worker pool — so the axis is swept only for
     // parallel candidates (0 keeps the auto-derived window).
+    // The schedule-tier axis (standard / low-mem / in-place): the frugal
+    // tiers trade arena adds for a smaller working set, which can win
+    // outright when the shrunken workspace stays cache-resident — so the
+    // tuner measures them rather than reserving them for tight budgets.
+    let schedules: &[modgemm_core::Schedule] = match suite {
+        Suite::Smoke => &[modgemm_core::Schedule::Standard, modgemm_core::Schedule::InPlace],
+        Suite::Full => &modgemm_core::Schedule::ALL,
+    };
     let batch_windows: &[usize] = match suite {
         Suite::Smoke => &[0, 2],
         Suite::Full => &[0, 2, 4],
@@ -166,16 +174,27 @@ pub fn candidates(suite: Suite, cachesim: bool) -> Vec<TunedChoice> {
                             if batch_window > 0 && parallel_depth == 0 {
                                 continue;
                             }
-                            out.push(TunedChoice {
-                                tile_min,
-                                tile_max,
-                                strassen_min,
-                                kernel,
-                                parallel_depth,
-                                threads,
-                                fuse_depth,
-                                batch_window,
-                            });
+                            for &schedule in schedules {
+                                // A fully-fused recursion has no staged
+                                // levels, so the tier changes nothing:
+                                // sweep only the distinct points.
+                                if schedule != modgemm_core::Schedule::Standard
+                                    && fuse_depth >= modgemm_core::fuse::MAX_FUSE
+                                {
+                                    continue;
+                                }
+                                out.push(TunedChoice {
+                                    tile_min,
+                                    tile_max,
+                                    strassen_min,
+                                    kernel,
+                                    parallel_depth,
+                                    threads,
+                                    fuse_depth,
+                                    batch_window,
+                                    schedule,
+                                });
+                            }
                         }
                     }
                 }

@@ -73,6 +73,30 @@ pub enum FuseDepth {
     Fixed(usize),
 }
 
+/// Which memory tier of the recursion-step linearization
+/// ([`crate::schedule::Schedule`]) plans run — the Boyer et al.
+/// scheduling axis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulePolicy {
+    /// Start at the standard (fastest, most-temporary) schedule and let
+    /// the memory-budget ladder degrade the tier — standard → low-mem →
+    /// in-place — *before* it touches fuse depth, parallel depth,
+    /// recursion depth, or kernel choice. With an unlimited budget this
+    /// reproduces the paper's schedule exactly.
+    #[default]
+    Auto,
+    /// Pin exactly this tier (for ablation, benchmarking, or when the
+    /// caller knows the smaller footprint keeps the working set
+    /// cache-resident). The ladder neither climbs past nor starts below
+    /// it. Only [`crate::schedule::Variant::Winograd`] has the low-mem
+    /// and in-place linearizations; pinning a non-standard tier with the
+    /// Strassen variant is rejected by [`ModgemmConfig::validate`].
+    /// Shared-reference entry points (`modgemm_premorton` and the
+    /// one-shot `try_strassen_mul`) cannot run the input-overwriting
+    /// tier and clamp a pinned `InPlace` to low-mem.
+    Fixed(crate::schedule::Schedule),
+}
+
 /// What to do when an operand contains `NaN` or `±Inf`.
 ///
 /// This matters more for Strassen-Winograd than for conventional GEMM:
@@ -172,6 +196,12 @@ pub struct ModgemmConfig {
     /// static heuristic). Part of the service plan-cache key, so tuned
     /// and untuned plans for the same shape never alias.
     pub tuning: crate::tune::TuningMode,
+    /// Which memory tier of the recursion-step linearization plans run
+    /// (see [`SchedulePolicy`] and [`crate::schedule::Schedule`]).
+    /// `Auto` (default) starts at the standard schedule and lets the
+    /// memory-budget ladder degrade the tier before any speed-bearing
+    /// knob; `Fixed` pins a tier for ablation.
+    pub schedule: SchedulePolicy,
     /// In-flight window of the whole-batch DAG executor
     /// ([`crate::BatchPlan`]): how many batch items' packed operand /
     /// result / slab slots are resident at once. `0` (default) sizes the
@@ -199,6 +229,7 @@ impl Default for ModgemmConfig {
             leaf_kernel: modgemm_mat::KernelKind::Blocked,
             fuse_depth: FuseDepth::Auto,
             tuning: crate::tune::TuningMode::Off,
+            schedule: SchedulePolicy::Auto,
             batch_window: 0,
         }
     }
@@ -242,6 +273,16 @@ impl ModgemmConfig {
             if n > crate::fuse::MAX_FUSE {
                 return Err(GemmError::InvalidConfig {
                     reason: "fuse_depth exceeds the supported maximum of 2 levels",
+                });
+            }
+        }
+        if let SchedulePolicy::Fixed(s) = self.schedule {
+            if s != crate::schedule::Schedule::Standard
+                && self.variant == crate::schedule::Variant::Strassen
+            {
+                return Err(GemmError::InvalidConfig {
+                    reason: "the Strassen variant has only the standard schedule; \
+                             low-mem/in-place tiers are Winograd linearizations",
                 });
             }
         }
@@ -328,10 +369,15 @@ mod tests {
         assert_eq!(c.verify, VerifyMode::Off);
         assert_eq!(c.leaf_kernel, modgemm_mat::KernelKind::Blocked);
         assert_eq!(c.fuse_depth, FuseDepth::Auto);
+        assert_eq!(c.schedule, SchedulePolicy::Auto);
         assert!(c.validate().is_ok());
         for n in 0..=crate::fuse::MAX_FUSE {
             let c = ModgemmConfig { fuse_depth: FuseDepth::Fixed(n), ..Default::default() };
             assert!(c.validate().is_ok(), "Fixed({n})");
+        }
+        for s in crate::schedule::Schedule::ALL {
+            let c = ModgemmConfig { schedule: SchedulePolicy::Fixed(s), ..Default::default() };
+            assert!(c.validate().is_ok(), "Fixed({s:?}) on Winograd");
         }
     }
 
@@ -352,6 +398,16 @@ mod tests {
                 ..Default::default()
             },
             ModgemmConfig { fuse_depth: FuseDepth::Fixed(3), ..Default::default() },
+            ModgemmConfig {
+                variant: crate::schedule::Variant::Strassen,
+                schedule: SchedulePolicy::Fixed(crate::schedule::Schedule::LowMem),
+                ..Default::default()
+            },
+            ModgemmConfig {
+                variant: crate::schedule::Variant::Strassen,
+                schedule: SchedulePolicy::Fixed(crate::schedule::Schedule::InPlace),
+                ..Default::default()
+            },
         ];
         for cfg in bad {
             assert!(

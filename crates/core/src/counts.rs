@@ -8,6 +8,7 @@
 //! (`T ≈ 64`).
 
 use crate::exec::{ExecPolicy, NodeLayouts};
+use crate::schedule::Schedule;
 
 /// Flops (multiply + add each counted once) of a conventional
 /// `m × k × n` multiply: `2·m·k·n` (the `m·n` final products each need
@@ -25,12 +26,47 @@ pub fn strassen_flops(layouts: NodeLayouts, policy: ExecPolicy) -> u64 {
         return conventional_flops(m, k, n);
     }
     // Per level: the schedule's A/B/C-shaped additions (one flop per
-    // element) plus 7 recursive multiplies.
-    let ops = crate::schedule::count_ops(policy.variant.schedule());
+    // element) plus 7 recursive multiplies. Fused subtrees always run
+    // the standard linearization (the fold into packing/epilogue keeps
+    // the standard 4+4+7 add structure); only *staged* levels interpret
+    // the policy's schedule tier, whose in-place variant spends extra
+    // restoring additions on the operands.
+    let steps = if fused_levels(layouts, policy) == strassen_levels(layouts, policy) {
+        crate::schedule::steps_for(policy.variant, Schedule::Standard)
+    } else {
+        policy.steps()
+    };
+    let ops = crate::schedule::count_ops(steps);
     let adds = ops.adds_a as u64 * layouts.a.quadrant_len() as u64
         + ops.adds_b as u64 * layouts.b.quadrant_len() as u64
         + ops.adds_c as u64 * layouts.c.quadrant_len() as u64;
     adds + ops.muls as u64 * strassen_flops(layouts.child(), policy)
+}
+
+/// Per-staged-level extra-memory closed forms of the schedule tiers
+/// (Boyer/Dumas/Pernet/Zhou, *Memory efficient scheduling of
+/// Strassen-Winograd*), in elements, for a node whose quadrants hold
+/// `qa`/`qb`/`qc` elements:
+///
+/// * [`Schedule::Standard`] — `qa + qb + 2·qc`: one S operand slot, one
+///   T operand slot, and two product slots (P, Q).
+/// * [`Schedule::LowMem`]   — `qa + qb + qc`: the Q slot is scheduled
+///   away by accumulating partial U-sums in the `C` quadrants; inputs
+///   stay read-only.
+/// * [`Schedule::InPlace`]  — `qc`: one product slot only; S/T operands
+///   are formed by overwriting the `A`/`B` quadrants and restored by
+///   inverse additions before the node completes.
+///
+/// [`crate::exec::workspace_len`] sums this expression over the staged
+/// levels (plus the fused-leaf footprint) to size the serial arena;
+/// `GemmPlan` arena sizing, [`crate::gemm::buffer_needs`], and service
+/// admission all consult it through that path.
+pub fn schedule_level_extra_elems(sched: Schedule, layouts: NodeLayouts) -> usize {
+    sched.level_temp_elems(
+        layouts.a.quadrant_len(),
+        layouts.b.quadrant_len(),
+        layouts.c.quadrant_len(),
+    )
 }
 
 /// Number of recursion levels that take the Strassen step under
@@ -269,6 +305,40 @@ mod tests {
         assert_eq!(batch_window_cap(8, slot0, slot0 - 1), 1);
         assert_eq!(batch_window_cap(0, slot0, usize::MAX), 1);
         assert_eq!(batch_window_cap(4, 0, 0), 4);
+    }
+
+    #[test]
+    fn schedule_tiers_change_add_counts_and_extra_memory() {
+        let l = square(4, 1); // one staged level, 4×4 quadrants (qa = qb = qc = 16)
+        let std = ExecPolicy::default();
+        let lowmem = ExecPolicy { schedule: Schedule::LowMem, ..std };
+        let inplace = ExecPolicy { schedule: Schedule::InPlace, ..std };
+
+        // Standard and LowMem perform the same 15 adds; InPlace spends
+        // 9 + 8 + 7 = 24 (the restoring additions) — still 7 multiplies.
+        let leaf = conventional_flops(4, 4, 4);
+        assert_eq!(strassen_flops(l, std), 15 * 16 + 7 * leaf);
+        assert_eq!(strassen_flops(l, lowmem), 15 * 16 + 7 * leaf);
+        assert_eq!(strassen_flops(l, inplace), 24 * 16 + 7 * leaf);
+
+        // Per-level extra-memory closed forms: qa+qb+2qc / qa+qb+qc / qc.
+        assert_eq!(schedule_level_extra_elems(Schedule::Standard, l), 4 * 16);
+        assert_eq!(schedule_level_extra_elems(Schedule::LowMem, l), 3 * 16);
+        assert_eq!(schedule_level_extra_elems(Schedule::InPlace, l), 16);
+
+        // Fused levels always run the standard fold: with every level
+        // fused, the tier no longer changes the flop count.
+        let l2 = square(4, 2);
+        let fused_all = ExecPolicy { fuse: 2, ..std };
+        let fused_all_ip = ExecPolicy { fuse: 2, ..inplace };
+        assert_eq!(fused_levels(l2, fused_all), 2);
+        assert_eq!(strassen_flops(l2, fused_all_ip), strassen_flops(l2, fused_all));
+        // With one staged + one fused level, only the staged level pays
+        // the in-place surcharge: (24 − 15) · qc of the outer level.
+        let half = ExecPolicy { fuse: 1, ..std };
+        let half_ip = ExecPolicy { fuse: 1, ..inplace };
+        let outer_q = l2.c.quadrant_len() as u64;
+        assert_eq!(strassen_flops(l2, half_ip), strassen_flops(l2, half) + 9 * outer_q);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use modgemm_morton::MortonLayout;
 use crate::error::{GemmError, Operand};
 use crate::metrics::{MetricsSink, NoopSink, PlanFacts};
 use crate::plan::{fill_levels, LevelPlan, MAX_LEVELS};
-use crate::schedule::Variant;
+use crate::schedule::{Schedule, Step, Variant};
 
 /// Controls where the Strassen recursion hands over to the conventional
 /// algorithm, which §2 schedule it runs, and which leaf kernel multiplies
@@ -47,11 +47,44 @@ pub struct ExecPolicy {
     /// levels the recursion actually takes and to
     /// [`crate::fuse::MAX_FUSE`]. `0` keeps the fully staged pipeline.
     pub fuse: usize,
+    /// Memory tier of the staged recursion step's linearization (Boyer et
+    /// al.): [`Schedule::Standard`], [`Schedule::LowMem`] or
+    /// [`Schedule::InPlace`]. Only the Winograd recurrences have
+    /// low-memory linearizations; under [`Variant::Strassen`] every tier
+    /// behaves as `Standard` (see [`ExecPolicy::sched`]).
+    pub schedule: Schedule,
 }
 
 impl Default for ExecPolicy {
     fn default() -> Self {
-        Self { strassen_min: 0, variant: Variant::Winograd, kernel: KernelKind::Blocked, fuse: 0 }
+        Self {
+            strassen_min: 0,
+            variant: Variant::Winograd,
+            kernel: KernelKind::Blocked,
+            fuse: 0,
+            schedule: Schedule::Standard,
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// The *effective* schedule tier: [`Variant::Strassen`] has a single
+    /// linearization, so it normalizes every requested tier to
+    /// `Standard`. All memory models and executors consult this, never
+    /// the raw field.
+    #[inline]
+    pub fn sched(&self) -> Schedule {
+        if self.variant == Variant::Strassen {
+            Schedule::Standard
+        } else {
+            self.schedule
+        }
+    }
+
+    /// The step sequence interpreted at staged levels of this policy.
+    #[inline]
+    pub fn steps(&self) -> &'static [Step] {
+        crate::schedule::steps_for(self.variant, self.sched())
     }
 }
 
@@ -146,14 +179,17 @@ pub fn fused_tail_len(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
 }
 
 /// Workspace (in elements) needed by [`strassen_mul`] for `layouts` under
-/// `policy`: `|TS| + |TT| + |TP| + |TQ|` per Strassen level, summed down
-/// the recursion (children run sequentially, so one child workspace
-/// suffices) — roughly `(mk + kn + 2mn)/3` elements — plus one
-/// [`fused_tail_len`] slot at the tail: the [`leaf_pack_len`] panel
-/// buffers of the (sequential) leaf multiplies when no levels fuse, or
-/// the fused-leaf working set when [`ExecPolicy::fuse`] absorbs the
-/// innermost levels. Fused levels contribute **no** per-level S/T slots,
-/// which is exactly the arena saving operand fusion buys.
+/// `policy`: the schedule tier's per-level temporary slots
+/// ([`Schedule::level_temp_elems`] — `|TS| + |TT| + |TP| + |TQ|` for the
+/// standard tier, `|TS| + |TT| + |TP|` for low-mem, `|TP|` alone for
+/// in-place), summed down the recursion (children run sequentially, so
+/// one child workspace suffices) — roughly `(mk + kn + 2mn)/3` elements
+/// for the standard tier — plus one [`fused_tail_len`] slot at the tail:
+/// the [`leaf_pack_len`] panel buffers of the (sequential) leaf
+/// multiplies when no levels fuse, or the fused-leaf working set when
+/// [`ExecPolicy::fuse`] absorbs the innermost levels. Fused levels
+/// contribute **no** per-level S/T slots, which is exactly the arena
+/// saving operand fusion buys.
 ///
 /// Deliberately scalar-type-independent: all terms are element counts,
 /// so non-generic callers (the cache simulator, the closed-form tests)
@@ -162,8 +198,11 @@ pub fn workspace_len(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
     if !staged_step(layouts, policy) {
         return fused_tail_len(layouts, policy);
     }
-    let per_level =
-        layouts.a.quadrant_len() + layouts.b.quadrant_len() + 2 * layouts.c.quadrant_len();
+    let per_level = policy.sched().level_temp_elems(
+        layouts.a.quadrant_len(),
+        layouts.b.quadrant_len(),
+        layouts.c.quadrant_len(),
+    );
     per_level + workspace_len(layouts.child(), policy)
 }
 
@@ -173,17 +212,22 @@ pub fn workspace_len(layouts: NodeLayouts, policy: ExecPolicy) -> usize {
 ///
 /// The ladder degrades in preference order:
 ///
-/// 1. **Fuse more levels.** Fusing an innermost level removes its staged
+/// 1. **Degrade the schedule tier** (standard → low-mem → in-place, up
+///    to `max_sched`). A cheaper Boyer et al. linearization shrinks
+///    every staged level's temporaries while keeping the full Strassen
+///    arithmetic, every fused level, the parallel shape, *and* the
+///    kernel — the paper's memory/speed trade at its cheapest.
+/// 2. **Fuse more levels.** Fusing an innermost level removes its staged
 ///    S/T slots without giving up any Strassen arithmetic, so it is
 ///    always tried before dropping depth.
-/// 2. **Raise `strassen_min`** one padded recursion level at a time, so
+/// 3. **Raise `strassen_min`** one padded recursion level at a time, so
 ///    one more level of the tree runs the workspace-free conventional
 ///    Morton recursion instead of the (staged) Strassen step; the
-///    maximal fuse is kept while depth drops. `workspace_len` is
-///    monotone non-increasing in `strassen_min` at fixed fuse, so the
-///    first fit is the deepest.
-/// 3. **Fully conventional** (`strassen_min = usize::MAX`).
-/// 4. **Swap the kernel for Blocked**, the workspace-free last resort.
+///    maximal schedule degradation and fuse are kept while depth drops.
+///    `workspace_len` is monotone non-increasing in `strassen_min` at
+///    fixed fuse, so the first fit is the deepest.
+/// 4. **Fully conventional** (`strassen_min = usize::MAX`).
+/// 5. **Swap the kernel for Blocked**, the workspace-free last resort.
 ///
 /// With `max_ws_elems == 0` the returned policy disables the Strassen
 /// step entirely (still a correct multiply, just conventional).
@@ -192,10 +236,43 @@ pub fn budget_capped_policy(
     base: ExecPolicy,
     max_ws_elems: usize,
 ) -> ExecPolicy {
+    budget_capped_policy_with_tier_cap(layouts, base, max_ws_elems, Schedule::InPlace)
+}
+
+/// [`budget_capped_policy`] with the schedule-tier rung clamped to
+/// `max_sched`. Shared-reference entry points (the one-shot
+/// [`try_strassen_mul`] wrapper, `modgemm_premorton`) cannot run the
+/// input-overwriting tier, so they cap the ladder at
+/// [`Schedule::LowMem`].
+pub fn budget_capped_policy_with_tier_cap(
+    layouts: NodeLayouts,
+    base: ExecPolicy,
+    max_ws_elems: usize,
+    max_sched: Schedule,
+) -> ExecPolicy {
     if workspace_len(layouts, base) <= max_ws_elems {
         return base;
     }
-    // Rung 1: fuse additional innermost levels before sacrificing depth.
+    // Rung 1: degrade the schedule tier before anything else. Only the
+    // Winograd recurrences have the extra linearizations.
+    let mut deepest_sched = base.schedule;
+    if base.variant == Variant::Winograd {
+        for sched in Schedule::ALL {
+            if sched <= base.schedule || sched > max_sched {
+                continue;
+            }
+            deepest_sched = sched;
+            let policy = ExecPolicy { schedule: sched, ..base };
+            if workspace_len(layouts, policy) <= max_ws_elems {
+                return policy;
+            }
+        }
+    }
+    // Rungs 2+ degrade from the most memory-frugal schedule the caller
+    // permits: keeping the cheap tier while fuse climbs and depth drops
+    // preserves the most Strassen arithmetic per byte.
+    let base = ExecPolicy { schedule: deepest_sched, ..base };
+    // Rung 2: fuse additional innermost levels before sacrificing depth.
     let max_fuse = crate::fuse::MAX_FUSE.min(crate::counts::strassen_levels(layouts, base));
     for fuse in (base.fuse + 1)..=max_fuse {
         let policy = ExecPolicy { fuse, ..base };
@@ -203,8 +280,7 @@ pub fn budget_capped_policy(
             return policy;
         }
     }
-    // Rungs 2+ degrade from the maximally fused shape: keeping fuse high
-    // while depth drops preserves the most Strassen arithmetic per byte.
+    // Rungs 3+ degrade from the maximally fused shape.
     let base = ExecPolicy { fuse: base.fuse.max(max_fuse), ..base };
     let (m, k, n) = layouts.dims();
     let dmin = m.min(k).min(n);
@@ -381,34 +457,118 @@ pub fn try_strassen_mul_with_sink<S: Scalar, K: MetricsSink>(
     policy: ExecPolicy,
     sink: &mut K,
 ) -> Result<(), GemmError> {
+    if policy.sched().overwrites_inputs() {
+        return Err(GemmError::InvalidConfig {
+            reason: "the in-place schedule overwrites its operands; \
+                     use try_strassen_mul_mut (or a planned execution)",
+        });
+    }
     check_buffers(a.len(), b.len(), c.len(), layouts)?;
     let needed = workspace_len(layouts, policy);
     if ws.len() < needed {
         return Err(GemmError::WorkspaceTooSmall { needed, got: ws.len() });
     }
-    if K::ENABLED {
-        let (m, k, n) = layouts.dims();
-        sink.record_plan(PlanFacts {
-            padded: (m, k, n),
-            depth: layouts.a.depth,
-            strassen_levels: crate::counts::strassen_levels(layouts, policy),
-            fused_levels: fused_levels(layouts, policy),
-            flops: crate::counts::strassen_flops(layouts, policy),
-            conventional_flops: crate::counts::conventional_flops(m, k, n),
-        });
-        sink.record_workspace(needed, needed * core::mem::size_of::<S>());
-        let (tm, tk, tn) = (layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols);
-        sink.record_kernel(policy.kernel.resolve(tm, tk, tn));
-        sink.record_bytes_packed(crate::counts::packed_bytes(
-            layouts,
-            policy,
-            core::mem::size_of::<S>(),
-        ));
-    }
+    record_entry_facts::<S, K>(layouts, policy, needed, sink);
     let mut buf = [LevelPlan::EMPTY; MAX_LEVELS];
     let count = fill_levels(&mut buf, layouts, policy);
-    crate::plan::exec_levels(a, b, c, layouts, &buf[..count], 0, &mut ws[..needed], policy, sink);
+    let peak = crate::plan::exec_levels(
+        a,
+        b,
+        c,
+        layouts,
+        &buf[..count],
+        0,
+        &mut ws[..needed],
+        policy,
+        sink,
+    );
+    debug_assert_eq!(peak, needed, "measured workspace high-water mark vs closed form");
+    if K::ENABLED {
+        sink.record_workspace_used(peak, peak * core::mem::size_of::<S>());
+    }
     Ok(())
+}
+
+/// [`try_strassen_mul`] over *mutable* A/B operands — the entry point
+/// that supports every schedule tier, including the input-overwriting
+/// [`Schedule::InPlace`] (whose restores leave `a`/`b` holding their
+/// original values on return: bit-exact on integers, within rounding
+/// error on floats).
+pub fn try_strassen_mul_mut<S: Scalar>(
+    a: &mut [S],
+    b: &mut [S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    ws: &mut [S],
+    policy: ExecPolicy,
+) -> Result<(), GemmError> {
+    try_strassen_mul_mut_with_sink(a, b, c, layouts, ws, policy, &mut NoopSink)
+}
+
+/// [`try_strassen_mul_mut`] reporting execution metrics through `sink`.
+pub fn try_strassen_mul_mut_with_sink<S: Scalar, K: MetricsSink>(
+    a: &mut [S],
+    b: &mut [S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    ws: &mut [S],
+    policy: ExecPolicy,
+    sink: &mut K,
+) -> Result<(), GemmError> {
+    check_buffers(a.len(), b.len(), c.len(), layouts)?;
+    let needed = workspace_len(layouts, policy);
+    if ws.len() < needed {
+        return Err(GemmError::WorkspaceTooSmall { needed, got: ws.len() });
+    }
+    record_entry_facts::<S, K>(layouts, policy, needed, sink);
+    let mut buf = [LevelPlan::EMPTY; MAX_LEVELS];
+    let count = fill_levels(&mut buf, layouts, policy);
+    let peak = crate::plan::exec_levels_mut(
+        a,
+        b,
+        c,
+        layouts,
+        &buf[..count],
+        0,
+        &mut ws[..needed],
+        policy,
+        sink,
+    );
+    debug_assert_eq!(peak, needed, "measured workspace high-water mark vs closed form");
+    if K::ENABLED {
+        sink.record_workspace_used(peak, peak * core::mem::size_of::<S>());
+    }
+    Ok(())
+}
+
+/// Records the plan-level facts every one-shot entry point reports.
+fn record_entry_facts<S: Scalar, K: MetricsSink>(
+    layouts: NodeLayouts,
+    policy: ExecPolicy,
+    needed: usize,
+    sink: &mut K,
+) {
+    if !K::ENABLED {
+        return;
+    }
+    let (m, k, n) = layouts.dims();
+    sink.record_plan(PlanFacts {
+        padded: (m, k, n),
+        depth: layouts.a.depth,
+        strassen_levels: crate::counts::strassen_levels(layouts, policy),
+        fused_levels: fused_levels(layouts, policy),
+        schedule: policy.sched(),
+        flops: crate::counts::strassen_flops(layouts, policy),
+        conventional_flops: crate::counts::conventional_flops(m, k, n),
+    });
+    sink.record_workspace(needed, needed * core::mem::size_of::<S>());
+    let (tm, tk, tn) = (layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols);
+    sink.record_kernel(policy.kernel.resolve(tm, tk, tn));
+    sink.record_bytes_packed(crate::counts::packed_bytes(
+        layouts,
+        policy,
+        core::mem::size_of::<S>(),
+    ));
 }
 
 /// Validates the three Morton buffer lengths against `layouts`.
@@ -482,7 +642,9 @@ mod tests {
         to_morton(a.view(), Op::NoTrans, &la, &mut ab);
         to_morton(b.view(), Op::NoTrans, &lb, &mut bb);
         let mut ws = vec![S::ZERO; workspace_len(layouts, policy)];
-        strassen_mul(&ab, &bb, &mut cb, layouts, &mut ws, policy);
+        // The mut entry point supports every schedule tier (including
+        // in-place); shared-ref tiers go through the same interpreter.
+        try_strassen_mul_mut(&mut ab, &mut bb, &mut cb, layouts, &mut ws, policy).unwrap();
         let mut out = Matrix::zeros(a.rows(), b.cols());
         from_morton(&cb, &lc, out.view_mut());
         out
@@ -582,6 +744,83 @@ mod tests {
         let l2 = MortonLayout::new(4, 4, 2);
         let layouts2 = NodeLayouts::new(l2, l2, l2);
         assert_eq!(workspace_len(layouts2, ExecPolicy::default()), 4 * 64 + 64);
+    }
+
+    #[test]
+    fn workspace_len_per_schedule_tier_closed_forms() {
+        // Depth 1, q = 16: standard 4q, low-mem 3q, in-place q.
+        let l = MortonLayout::new(4, 4, 1);
+        let layouts = NodeLayouts::new(l, l, l);
+        let tier = |s| ExecPolicy { schedule: s, ..Default::default() };
+        assert_eq!(workspace_len(layouts, tier(Schedule::Standard)), 64);
+        assert_eq!(workspace_len(layouts, tier(Schedule::LowMem)), 48);
+        assert_eq!(workspace_len(layouts, tier(Schedule::InPlace)), 16);
+        // Depth 2: the per-level slots sum down the recursion.
+        let l2 = MortonLayout::new(4, 4, 2);
+        let layouts2 = NodeLayouts::new(l2, l2, l2);
+        assert_eq!(workspace_len(layouts2, tier(Schedule::Standard)), 4 * 64 + 4 * 16);
+        assert_eq!(workspace_len(layouts2, tier(Schedule::LowMem)), 3 * 64 + 3 * 16);
+        assert_eq!(workspace_len(layouts2, tier(Schedule::InPlace)), 64 + 16);
+        // The Strassen variant normalizes every tier to Standard.
+        for s in Schedule::ALL {
+            let p = ExecPolicy { variant: Variant::Strassen, schedule: s, ..Default::default() };
+            assert_eq!(p.sched(), Schedule::Standard);
+            assert_eq!(workspace_len(layouts2, p), 4 * 64 + 4 * 16);
+        }
+    }
+
+    #[test]
+    fn lowmem_and_inplace_tiers_stay_exact_and_restore_inputs() {
+        for schedule in [Schedule::LowMem, Schedule::InPlace] {
+            for kernel in [KernelKind::Blocked, KernelKind::Packed] {
+                let policy = ExecPolicy { schedule, kernel, ..Default::default() };
+                let a: Matrix<i64> = random_matrix(24, 24, 90);
+                let b: Matrix<i64> = random_matrix(24, 24, 91);
+                let got = run(&a, &b, 3, 3, 3, 3, policy);
+                assert_eq!(got, naive_product(&a, &b), "{schedule} {kernel}");
+                // Rectangular tiles + padding.
+                let a: Matrix<i64> = random_matrix(19, 11, 92);
+                let b: Matrix<i64> = random_matrix(11, 27, 93);
+                let got = run(&a, &b, 5, 3, 7, 2, policy);
+                assert_eq!(got, naive_product(&a, &b), "{schedule} {kernel} ragged");
+            }
+        }
+        // The in-place tier restores its operand buffers bit-exactly on
+        // integers (checked on the raw Morton buffers, not the views).
+        let la = MortonLayout::new(4, 4, 2);
+        let layouts = NodeLayouts::new(la, la, la);
+        let a: Matrix<i64> = random_matrix(16, 16, 94);
+        let b: Matrix<i64> = random_matrix(16, 16, 95);
+        let mut ab = vec![0i64; la.len()];
+        let mut bb = vec![0i64; la.len()];
+        let mut cb = vec![0i64; la.len()];
+        to_morton(a.view(), Op::NoTrans, &la, &mut ab);
+        to_morton(b.view(), Op::NoTrans, &la, &mut bb);
+        let (a0, b0) = (ab.clone(), bb.clone());
+        let policy = ExecPolicy { schedule: Schedule::InPlace, ..Default::default() };
+        let mut ws = vec![0i64; workspace_len(layouts, policy)];
+        try_strassen_mul_mut(&mut ab, &mut bb, &mut cb, layouts, &mut ws, policy).unwrap();
+        assert_eq!(ab, a0, "A not restored");
+        assert_eq!(bb, b0, "B not restored");
+    }
+
+    #[test]
+    fn shared_ref_entry_rejects_in_place_schedule() {
+        let l = MortonLayout::new(4, 4, 1);
+        let layouts = NodeLayouts::new(l, l, l);
+        let a = vec![0.0f64; l.len()];
+        let b = vec![0.0f64; l.len()];
+        let mut c = vec![0.0f64; l.len()];
+        let policy = ExecPolicy { schedule: Schedule::InPlace, ..Default::default() };
+        let mut ws = vec![0.0f64; workspace_len(layouts, policy)];
+        assert!(matches!(
+            try_strassen_mul(&a, &b, &mut c, layouts, &mut ws, policy),
+            Err(GemmError::InvalidConfig { .. })
+        ));
+        // The low-mem tier preserves inputs, so the shared entry runs it.
+        let policy = ExecPolicy { schedule: Schedule::LowMem, ..Default::default() };
+        let mut ws = vec![0.0f64; workspace_len(layouts, policy)];
+        assert_eq!(try_strassen_mul(&a, &b, &mut c, layouts, &mut ws, policy), Ok(()));
     }
 
     #[test]
@@ -698,28 +937,38 @@ mod tests {
         let layouts = NodeLayouts::new(l, l, l);
         let base = ExecPolicy::default();
         let full = workspace_len(layouts, base);
-        assert!(full > 0);
+        let lowmem = workspace_len(layouts, ExecPolicy { schedule: Schedule::LowMem, ..base });
+        let inplace = workspace_len(layouts, ExecPolicy { schedule: Schedule::InPlace, ..base });
+        assert!(0 < inplace && inplace < lowmem && lowmem < full);
 
         // Unlimited budget: the base policy unchanged.
         assert_eq!(budget_capped_policy(layouts, base, usize::MAX), base);
         assert_eq!(budget_capped_policy(layouts, base, full), base);
 
-        // One element short of full: the first rung fuses an innermost
-        // level instead of dropping depth — all three Strassen levels
-        // survive, and the capped workspace actually fits.
+        // One element short of full: the first rung degrades the
+        // schedule tier — depth, fuse, and kernel all survive.
         let capped = budget_capped_policy(layouts, base, full - 1);
-        assert_eq!(capped.strassen_min, base.strassen_min);
-        assert!(capped.fuse > base.fuse);
-        assert!(workspace_len(layouts, capped) < full);
-        assert!(workspace_len(layouts, capped) > 0, "should keep some Strassen levels");
+        assert_eq!(capped, ExecPolicy { schedule: Schedule::LowMem, ..base }, "schedule rung");
+        let capped = budget_capped_policy(layouts, base, lowmem - 1);
+        assert_eq!(capped, ExecPolicy { schedule: Schedule::InPlace, ..base }, "schedule rung");
 
-        // Below the maximally fused footprint the ladder must start
-        // raising strassen_min while keeping the fuse.
-        let fused_floor =
-            workspace_len(layouts, ExecPolicy { fuse: crate::fuse::MAX_FUSE, ..base });
+        // Below the in-place footprint the ladder starts fusing
+        // innermost levels, keeping the cheap tier and the full depth.
+        let capped = budget_capped_policy(layouts, base, inplace - 1);
+        assert_eq!(capped.schedule, Schedule::InPlace, "fuse rung keeps the cheap tier");
+        assert!(capped.fuse > base.fuse, "fuse rung");
+        assert_eq!(capped.strassen_min, base.strassen_min, "fuse rung keeps the depth");
+
+        // Below the maximally fused in-place footprint the ladder must
+        // start raising strassen_min while keeping fuse and tier.
+        let fused_floor = workspace_len(
+            layouts,
+            ExecPolicy { fuse: crate::fuse::MAX_FUSE, schedule: Schedule::InPlace, ..base },
+        );
         let capped = budget_capped_policy(layouts, base, fused_floor - 1);
-        assert!(capped.strassen_min > base.strassen_min);
-        assert_eq!(capped.fuse, crate::fuse::MAX_FUSE);
+        assert!(capped.strassen_min > base.strassen_min, "recursion rung");
+        assert_eq!(capped.fuse, crate::fuse::MAX_FUSE, "recursion rung keeps the fuse");
+        assert_eq!(capped.schedule, Schedule::InPlace, "recursion rung keeps the tier");
 
         // Zero budget: Strassen fully disabled, workspace-free.
         let none = budget_capped_policy(layouts, base, 0);
@@ -730,6 +979,40 @@ mod tests {
             let p = budget_capped_policy(layouts, base, budget);
             assert!(workspace_len(layouts, p) <= budget, "budget {budget}");
         }
+    }
+
+    #[test]
+    fn tier_cap_keeps_shared_ref_paths_out_of_in_place() {
+        let l = MortonLayout::new(4, 4, 3);
+        let layouts = NodeLayouts::new(l, l, l);
+        let base = ExecPolicy::default();
+        let lowmem = workspace_len(layouts, ExecPolicy { schedule: Schedule::LowMem, ..base });
+        // A budget only the in-place tier could satisfy at full depth:
+        // the LowMem-capped ladder must degrade something else instead.
+        let capped =
+            budget_capped_policy_with_tier_cap(layouts, base, lowmem - 1, Schedule::LowMem);
+        assert_ne!(capped.schedule, Schedule::InPlace);
+        assert!(workspace_len(layouts, capped) < lowmem);
+        // Every budget still yields a fitting, never-in-place policy.
+        let full = workspace_len(layouts, base);
+        for budget in 0..=full {
+            let p = budget_capped_policy_with_tier_cap(layouts, base, budget, Schedule::LowMem);
+            assert!(workspace_len(layouts, p) <= budget, "budget {budget}");
+            assert_ne!(p.schedule, Schedule::InPlace, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn strassen_variant_skips_the_schedule_rung() {
+        let l = MortonLayout::new(4, 4, 3);
+        let layouts = NodeLayouts::new(l, l, l);
+        let base = ExecPolicy { variant: Variant::Strassen, ..Default::default() };
+        let full = workspace_len(layouts, base);
+        let capped = budget_capped_policy(layouts, base, full - 1);
+        // No low-memory linearization exists for the original Strassen
+        // recurrences: the first effective rung is the fuse climb.
+        assert_eq!(capped.schedule, Schedule::Standard);
+        assert!(capped.fuse > base.fuse || capped.strassen_min > base.strassen_min);
     }
 
     #[test]
@@ -768,15 +1051,30 @@ mod tests {
     }
 
     #[test]
-    fn budget_prefers_fusing_over_dropping_depth() {
-        // The pinned degradation ladder: fuse first, then recursion
-        // depth, then the kernel swap.
+    fn budget_prefers_schedule_then_fuse_over_dropping_depth() {
+        // The pinned degradation ladder: schedule tier first, then fuse,
+        // then recursion depth, then the kernel swap.
         let l = MortonLayout::new(8, 8, 3);
         let layouts = NodeLayouts::new(l, l, l);
         let base = ExecPolicy { kernel: KernelKind::Packed, ..Default::default() };
+
+        // A budget that one fused level would satisfy is *also*
+        // satisfied by the cheaper low-mem tier — the schedule rung wins
+        // and the fuse (and everything else) survives untouched.
         let one_fused = workspace_len(layouts, ExecPolicy { fuse: 1, ..base });
+        let lowmem = workspace_len(layouts, ExecPolicy { schedule: Schedule::LowMem, ..base });
+        assert!(lowmem <= one_fused, "low-mem beats one fused level on this shape");
         let capped = budget_capped_policy(layouts, base, one_fused);
-        assert_eq!(capped, ExecPolicy { fuse: 1, ..base });
+        assert_eq!(capped, ExecPolicy { schedule: Schedule::LowMem, ..base }, "schedule rung");
+
+        // Once even the in-place tier overflows, the fuse rung fires —
+        // on the in-place tier, with depth intact.
+        let inplace = workspace_len(layouts, ExecPolicy { schedule: Schedule::InPlace, ..base });
+        let capped = budget_capped_policy(layouts, base, inplace - 1);
+        assert_eq!(capped.schedule, Schedule::InPlace, "fuse rung keeps the tier");
+        assert!(capped.fuse > base.fuse, "fuse rung");
+        assert_eq!(capped.strassen_min, base.strassen_min, "fuse rung keeps the depth");
+        assert_eq!(capped.kernel, KernelKind::Packed, "fuse rung keeps the kernel");
 
         // Budget below even the conventional packing slot: kernel swap.
         let capped = budget_capped_policy(layouts, base, 0);

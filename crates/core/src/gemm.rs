@@ -24,15 +24,18 @@ use modgemm_morton::convert::{from_morton, to_morton};
 use modgemm_morton::tiling::JointTiling;
 use modgemm_morton::MortonLayout;
 
-use crate::config::ModgemmConfig;
+use crate::config::{ModgemmConfig, SchedulePolicy};
 use crate::error::try_grow;
-use crate::exec::{budget_capped_policy, strassen_mul, workspace_len, ExecPolicy, NodeLayouts};
+use crate::exec::{
+    budget_capped_policy_with_tier_cap, strassen_mul, workspace_len, ExecPolicy, NodeLayouts,
+};
 use crate::metrics::{MetricsSink, NoopSink};
 use crate::parallel::{
     effective_par_depth, parallel_slab_len, try_strassen_mul_parallel_in_threads,
 };
 use crate::plan::GemmPlan;
 use crate::pool::resolve_threads;
+use crate::schedule::{Schedule, Variant};
 
 pub use crate::error::GemmError;
 
@@ -486,15 +489,40 @@ pub(crate) fn scale_in_place<S: Scalar>(beta: S, c: &mut MatMut<'_, S>) {
 }
 
 /// The execution policy `cfg` implies for a node of `layouts`, with the
-/// memory budget applied: recursion depth degrades toward the
-/// conventional path until the workspace fits.
+/// memory budget applied: the schedule tier degrades first (standard →
+/// low-mem → in-place), then fuse depth climbs, then recursion depth
+/// degrades toward the conventional path until the workspace fits.
 pub(crate) fn capped_policy<S: Scalar>(layouts: NodeLayouts, cfg: &ModgemmConfig) -> ExecPolicy {
+    capped_policy_with_tier_cap::<S>(layouts, cfg, Schedule::InPlace)
+}
+
+/// [`capped_policy`] with the schedule-tier ladder clamped to `cap` —
+/// shared-reference entry points (which cannot hand the executor mutable
+/// operands) pass [`Schedule::LowMem`]; planned execution, which owns
+/// its packed Morton buffers, permits every tier.
+pub(crate) fn capped_policy_with_tier_cap<S: Scalar>(
+    layouts: NodeLayouts,
+    cfg: &ModgemmConfig,
+    cap: Schedule,
+) -> ExecPolicy {
     // Auto resolves here, once per plan: the stored policy always carries
     // a concrete kernel, so execution and arena sizing agree.
     let (tm, tk, tn) = (layouts.a.tile_rows, layouts.a.tile_cols, layouts.b.tile_cols);
     let kernel = cfg.leaf_kernel.resolve(tm, tk, tn);
-    let mut base =
-        ExecPolicy { strassen_min: cfg.strassen_min, variant: cfg.variant, kernel, fuse: 0 };
+    // A Fixed schedule pins the tier (the ladder neither climbs past it
+    // nor starts below it); Auto starts at standard and lets the budget
+    // ladder walk down to `cap`.
+    let (sched0, max_sched) = match cfg.schedule {
+        SchedulePolicy::Auto => (Schedule::Standard, cap),
+        SchedulePolicy::Fixed(s) => (s.min(cap), s.min(cap)),
+    };
+    let mut base = ExecPolicy {
+        strassen_min: cfg.strassen_min,
+        variant: cfg.variant,
+        kernel,
+        fuse: 0,
+        schedule: sched0,
+    };
     // Auto fuses only when the plan resolved to the packed kernel (the
     // combined packs and scatter epilogue are its bandwidth win), and
     // only one level — the depth that is a pure win (see
@@ -510,15 +538,17 @@ pub(crate) fn capped_policy<S: Scalar>(layouts: NodeLayouts, cfg: &ModgemmConfig
     }
     .min(crate::counts::strassen_levels(layouts, base));
     let budget = cfg.memory_budget.max_elements(core::mem::size_of::<S>());
-    let mut policy = budget_capped_policy(layouts, base, budget);
-    // Fuse-before-par-depth: the serial ladder above only climbs fuse
-    // when the *serial* workspace is over budget, but a parallel run
-    // multiplies workspace across concurrent subtrees. When the slab at
-    // the requested DAG depth doesn't fit, fusing another innermost
-    // level (a pure memory win — it shrinks every task's share) is
-    // tried before [`crate::parallel::effective_par_depth`] sacrifices
-    // a DAG level. The climb stops as soon as deeper fusion stops
-    // buying DAG depth, so an unconstrained budget never over-fuses.
+    let mut policy = budget_capped_policy_with_tier_cap(layouts, base, budget, max_sched);
+    // Schedule-and-fuse before par-depth: the serial ladder above only
+    // degrades when the *serial* workspace is over budget, but a
+    // parallel run multiplies workspace across concurrent subtrees.
+    // When the slab at the requested DAG depth doesn't fit, a cheaper
+    // schedule tier is tried first (it shrinks every leaf subtree's
+    // arena share while keeping all the arithmetic), then fusing
+    // another innermost level, before
+    // [`crate::parallel::effective_par_depth`] sacrifices a DAG level.
+    // The climb stops as soon as degrading stops buying DAG depth, so
+    // an unconstrained budget never over-degrades.
     if cfg.parallel_depth > 0 && resolve_threads(cfg.threads) >= 2 {
         let depth_at = |p: ExecPolicy| {
             let mut d = cfg.parallel_depth.min(crate::counts::staged_levels(layouts, p));
@@ -529,15 +559,26 @@ pub(crate) fn capped_policy<S: Scalar>(layouts: NodeLayouts, cfg: &ModgemmConfig
         };
         let max_fuse = crate::fuse::MAX_FUSE.min(crate::counts::strassen_levels(layouts, policy));
         let mut best_depth = depth_at(policy);
-        for fuse in (policy.fuse + 1)..=max_fuse {
-            if best_depth >= cfg.parallel_depth {
-                break;
-            }
-            let cand = ExecPolicy { fuse, ..policy };
-            let d = depth_at(cand);
-            if d > best_depth {
-                policy = cand;
-                best_depth = d;
+        'climb: for fuse in policy.fuse..=max_fuse {
+            for sched in Schedule::ALL {
+                if best_depth >= cfg.parallel_depth {
+                    break 'climb;
+                }
+                if sched < policy.schedule || sched > max_sched {
+                    continue;
+                }
+                if sched != policy.schedule && policy.variant != Variant::Winograd {
+                    continue;
+                }
+                if (fuse, sched) == (policy.fuse, policy.schedule) {
+                    continue; // the incumbent, already measured
+                }
+                let cand = ExecPolicy { fuse, schedule: sched, ..policy };
+                let d = depth_at(cand);
+                if d > best_depth {
+                    policy = cand;
+                    best_depth = d;
+                }
             }
         }
     }
@@ -553,7 +594,10 @@ pub(crate) fn run_core<S: Scalar>(
     layouts: NodeLayouts,
     cfg: &ModgemmConfig,
 ) {
-    let policy = capped_policy::<S>(layouts, cfg);
+    // This entry holds `a`/`b` behind shared references, so the
+    // input-overwriting tier is off the table: the ladder (and a pinned
+    // `SchedulePolicy::Fixed(InPlace)`) clamp at low-mem here.
+    let policy = capped_policy_with_tier_cap::<S>(layouts, cfg, Schedule::LowMem);
     match effective_par_depth::<S>(layouts, policy, cfg) {
         Some(depth) => {
             let mut slab = vec![S::ZERO; parallel_slab_len(layouts, policy, depth)];

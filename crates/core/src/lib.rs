@@ -54,7 +54,9 @@ pub mod tune;
 pub mod verify;
 
 pub use batch::{BatchPlan, StridedBatch};
-pub use config::{FuseDepth, MemoryBudget, ModgemmConfig, NonFinitePolicy, Truncation, VerifyMode};
+pub use config::{
+    FuseDepth, MemoryBudget, ModgemmConfig, NonFinitePolicy, SchedulePolicy, Truncation, VerifyMode,
+};
 pub use error::{GemmError, Operand};
 pub use exec::{
     budget_capped_policy, strassen_mul, try_strassen_mul, try_strassen_mul_with_sink,
@@ -79,7 +81,7 @@ pub use pool::{
     resolve_threads, try_resolve_threads, CancelToken, ThreadPool, MODGEMM_THREADS_ENV,
 };
 pub use rect::{classify, Shape};
-pub use schedule::Variant;
+pub use schedule::{Schedule, Variant};
 pub use service::{GemmRequest, GemmService, GemmTicket, ServiceConfig};
 pub use tune::{
     profile_path, ProfileEntry, TunedChoice, TuningMode, TuningProfile, MODGEMM_PROFILE_ENV,

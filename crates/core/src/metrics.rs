@@ -26,6 +26,7 @@ use std::time::Duration;
 use modgemm_mat::KernelKind;
 
 use crate::gemm::GemmBreakdown;
+use crate::schedule::Schedule;
 
 /// Static facts about one planned executor invocation, recorded once per
 /// top-level call (and once per sub-product when a rectangular problem is
@@ -42,6 +43,9 @@ pub struct PlanFacts {
     /// post-merges in the scatter epilogue, no S/T arena slots
     /// ([`crate::fuse`]). Always ≤ [`Self::strassen_levels`].
     pub fused_levels: usize,
+    /// The *effective* schedule tier the staged levels interpret
+    /// ([`crate::exec::ExecPolicy::sched`] — Boyer et al. memory tiers).
+    pub schedule: Schedule,
     /// Modeled flops the executor performs
     /// ([`crate::counts::strassen_flops`] — exact, see its tests).
     pub flops: u64,
@@ -187,6 +191,16 @@ pub trait MetricsSink {
         let _ = (elems, bytes);
     }
 
+    /// *Measured* workspace high-water mark of one invocation — the
+    /// arena elements the interpreter actually consumed, as opposed to
+    /// the closed-form reservation of
+    /// [`MetricsSink::record_workspace`]. A debug assertion in the
+    /// executors pins the two equal, so any schedule whose closed form
+    /// under-counts fails loudly in tests.
+    fn record_workspace_used(&mut self, elems: usize, bytes: usize) {
+        let _ = (elems, bytes);
+    }
+
     /// `count` temporary buffers totalling `elems` elements (`bytes`
     /// bytes) were allocated outside the pre-reserved workspace (the
     /// parallel executor's self-allocated slab, cold [`crate::GemmContext`]
@@ -302,6 +316,15 @@ pub struct ExecMetrics {
     pub peak_workspace_elems: usize,
     /// Peak Strassen workspace in bytes.
     pub peak_workspace_bytes: usize,
+    /// Peak *measured* workspace consumption (arena high-water mark) of
+    /// any single invocation, in elements. Equals the reservation on
+    /// serial planned runs; the executors debug-assert the match.
+    pub workspace_used_elems: usize,
+    /// Peak measured workspace consumption in bytes.
+    pub workspace_used_bytes: usize,
+    /// The effective schedule tier of the most recent plan (Boyer et
+    /// al. memory tiers; `None` until an executor reports a plan).
+    pub schedule_selected: Option<Schedule>,
     /// Temporary buffers allocated outside the workspace arena.
     pub temp_allocations: u64,
     /// Total elements across those temporaries.
@@ -451,6 +474,7 @@ impl MetricsSink for CollectingSink {
         m.fused_levels = m.fused_levels.max(facts.fused_levels);
         m.flops += facts.flops;
         m.conventional_flops += facts.conventional_flops;
+        m.schedule_selected = Some(facts.schedule);
         let (pm, pk, pn) = facts.padded;
         m.padded_volume += pm as u128 * pk as u128 * pn as u128;
     }
@@ -459,6 +483,12 @@ impl MetricsSink for CollectingSink {
         let m = &mut self.metrics;
         m.peak_workspace_elems = m.peak_workspace_elems.max(elems);
         m.peak_workspace_bytes = m.peak_workspace_bytes.max(bytes);
+    }
+
+    fn record_workspace_used(&mut self, elems: usize, bytes: usize) {
+        let m = &mut self.metrics;
+        m.workspace_used_elems = m.workspace_used_elems.max(elems);
+        m.workspace_used_bytes = m.workspace_used_bytes.max(bytes);
     }
 
     fn record_temp_allocs(&mut self, count: u64, elems: u64, bytes: u64) {
@@ -544,6 +574,7 @@ mod tests {
             depth: 2,
             strassen_levels: 2,
             fused_levels: 1,
+            schedule: Schedule::Standard,
             flops: 100,
             conventional_flops: 200,
         });
@@ -552,11 +583,14 @@ mod tests {
             depth: 1,
             strassen_levels: 1,
             fused_levels: 0,
+            schedule: Schedule::LowMem, // last wins
             flops: 10,
             conventional_flops: 20,
         });
         sink.record_workspace(50, 400);
         sink.record_workspace(30, 240);
+        sink.record_workspace_used(40, 320);
+        sink.record_workspace_used(20, 160); // peak keeps the max
         sink.record_temp_allocs(3, 90, 720);
         sink.record_plan_built();
         sink.record_plan_execution(4096);
@@ -593,6 +627,9 @@ mod tests {
         assert_eq!(m.padded_volume, (16 * 32 * 32 + 16 * 16 * 16) as u128);
         assert_eq!(m.peak_workspace_elems, 50);
         assert_eq!(m.peak_workspace_bytes, 400);
+        assert_eq!(m.workspace_used_elems, 40);
+        assert_eq!(m.workspace_used_bytes, 320);
+        assert_eq!(m.schedule_selected, Some(Schedule::LowMem));
         assert_eq!(m.temp_allocations, 3);
         assert_eq!(m.temp_alloc_elems, 90);
         assert_eq!(m.temp_alloc_bytes, 720);

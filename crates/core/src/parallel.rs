@@ -183,6 +183,12 @@ fn run_parallel<S: Scalar, K: MetricsSink>(
     slab: &mut [S],
     sink: &mut K,
 ) -> Result<(), GemmError> {
+    if policy.sched().overwrites_inputs() {
+        return Err(GemmError::InvalidConfig {
+            reason: "the in-place schedule overwrites its operands; the shared-reference \
+                     pooled entry points cannot run it (use a planned execution)",
+        });
+    }
     check_buffers(a.len(), b.len(), c.len(), layouts)?;
     let needed = parallel_slab_len(layouts, policy, par_depth);
     if slab.len() < needed {
@@ -200,7 +206,17 @@ fn run_parallel<S: Scalar, K: MetricsSink>(
         // `workspace_len` always). Runs the flattened schedule directly so
         // the sink sees level times without re-recording plan facts.
         let serial = workspace_len(layouts, policy);
-        crate::plan::exec_levels(a, b, c, layouts, levels, 0, &mut slab[..serial], policy, sink);
+        let _ = crate::plan::exec_levels(
+            a,
+            b,
+            c,
+            layouts,
+            levels,
+            0,
+            &mut slab[..serial],
+            policy,
+            sink,
+        );
         return Ok(());
     }
     let depth = par_depth.min(crate::counts::staged_levels(layouts, policy)).min(count);
@@ -283,6 +299,7 @@ pub fn try_strassen_mul_parallel_with_sink<S: Scalar, K: MetricsSink>(
         depth: layouts.a.depth,
         strassen_levels: crate::counts::strassen_levels(layouts, policy),
         fused_levels: crate::counts::fused_levels(layouts, policy),
+        schedule: policy.sched(),
         flops: crate::counts::strassen_flops(layouts, policy),
         conventional_flops: crate::counts::conventional_flops(m, k, n),
     });

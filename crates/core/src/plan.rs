@@ -48,7 +48,7 @@ use crate::metrics::{MetricsSink, NoopSink, PlanFacts};
 use crate::parallel::{effective_par_depth, parallel_slab_len};
 use crate::pool::{CancelToken, PoolTiles, ThreadPool};
 use crate::rect;
-use crate::schedule::{ASlot, AddKind, BSlot, Step};
+use crate::schedule::{ASlot, AddKind, BSlot, Schedule, Step};
 use crate::verify::verify_gemm;
 
 /// Upper bound on Strassen levels a plan can hold in stack storage.
@@ -66,11 +66,12 @@ const MAX_VERIFY_ROUNDS: u32 = 64;
 /// The compiled form of one Strassen recursion level: quadrant sizes, the
 /// arena slot this level owns, and the schedule it interprets.
 ///
-/// A level's arena slot holds its four temporaries back to back —
-/// `TS` (`qa` elements), `TT` (`qb`), `TP` (`qc`), `TQ` (`qc`) — at
-/// `arena_offset`; the child level's slot follows immediately, so the
-/// whole recursion consumes one contiguous arena of
-/// [`workspace_len`] elements.
+/// A level's arena slot holds its temporaries back to back at
+/// `arena_offset` — which temporaries depends on the schedule tier:
+/// standard carves `TS` (`qa` elements), `TT` (`qb`), `TP` (`qc`) and
+/// `TQ` (`qc`); low-mem drops `TQ`; in-place keeps only `TP`. The child
+/// level's slot follows immediately, so the whole recursion consumes one
+/// contiguous arena of [`workspace_len`] elements.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LevelPlan {
     /// Elements of one `A` quadrant at this level (the `TS` slot size).
@@ -80,14 +81,16 @@ pub struct LevelPlan {
     /// Elements of one `C` quadrant at this level (the `TP`/`TQ` slot
     /// size, each).
     pub qc: usize,
-    /// Total elements of this level's arena slot: `qa + qb + 2·qc`.
+    /// Total elements of this level's arena slot
+    /// ([`crate::schedule::Schedule::level_temp_elems`] of the policy's
+    /// tier: `qa + qb + 2·qc` standard, `qa + qb + qc` low-mem, `qc`
+    /// in-place).
     pub slot_len: usize,
     /// Offset of this level's slot from the arena start (prefix sum of
     /// the shallower levels' `slot_len`s).
     pub arena_offset: usize,
     /// The linearized schedule this level interprets
-    /// ([`crate::schedule::WINOGRAD_SCHEDULE`] or
-    /// [`crate::schedule::STRASSEN_SCHEDULE`]).
+    /// ([`crate::schedule::steps_for`] of the policy's variant and tier).
     pub steps: &'static [Step],
 }
 
@@ -118,14 +121,15 @@ pub(crate) fn fill_levels(
     let mut count = 0usize;
     while staged_step(l, policy) {
         let (qa, qb, qc) = (l.a.quadrant_len(), l.b.quadrant_len(), l.c.quadrant_len());
-        let slot_len = qa + qb + 2 * qc;
+        // Tier-dependent slot: standard `qa+qb+2qc`, low-mem `qa+qb+qc`,
+        // in-place `qc` (see [`crate::counts::schedule_level_extra_elems`]).
+        let slot_len = policy.sched().level_temp_elems(qa, qb, qc);
         debug_assert_eq!(
             workspace_len(l, policy),
             slot_len + workspace_len(l.child(), policy),
             "arena slot at level {count} disagrees with the workspace model"
         );
-        out[count] =
-            LevelPlan { qa, qb, qc, slot_len, arena_offset: off, steps: policy.variant.schedule() };
+        out[count] = LevelPlan { qa, qb, qc, slot_len, arena_offset: off, steps: policy.steps() };
         off += slot_len;
         count += 1;
         l = l.child();
@@ -143,19 +147,10 @@ pub(crate) fn fill_levels(
     count
 }
 
-/// The shared schedule interpreter: executes `levels[li..]` over the
-/// Morton buffers, carving each level's `TS/TT/TP/TQ` temporaries from
-/// the front of `arena` and handing the tail to the recursion. Past the
-/// last flattened level the terminal takes over: the fused executor
-/// ([`crate::fuse::fused_mul_with_ws`]) when [`ExecPolicy::fuse`] covers
-/// the remaining Strassen levels, else the conventional Morton recursion
-/// with the plan's leaf kernel — what remains of the arena at that point
-/// is exactly the [`fused_tail_len`] tail (the packing slot or the fused
-/// leaf working set; non-packing staged kernels ignore it).
-///
-/// `arena` must be exactly the remaining levels' combined slot length
-/// plus the terminal tail (callers pass
-/// `workspace_len(layouts, policy)` at the root).
+/// The shared-reference entry to the schedule interpreter, for
+/// non-overwriting tiers (standard / low-mem): the A/B operands are
+/// borrowed shared and are never written. Returns the measured peak
+/// arena occupancy in elements (see [`exec_levels_raw`]).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_levels<S: Scalar, K: MetricsSink>(
     a: &[S],
@@ -167,7 +162,95 @@ pub(crate) fn exec_levels<S: Scalar, K: MetricsSink>(
     arena: &mut [S],
     policy: ExecPolicy,
     sink: &mut K,
-) {
+) -> usize {
+    debug_assert!(
+        !policy.sched().overwrites_inputs(),
+        "the in-place tier needs mutable operands (exec_levels_mut)"
+    );
+    // SAFETY: a non-overwriting schedule never takes an A/B quadrant as
+    // an addition destination (proved by the schedule-module tests and
+    // re-asserted per step in debug builds), so the interpreter only ever
+    // reads through these pointers — the `*mut` casts are never written.
+    unsafe {
+        exec_levels_raw(
+            a.as_ptr() as *mut S,
+            b.as_ptr() as *mut S,
+            c,
+            layouts,
+            levels,
+            li,
+            arena,
+            policy,
+            sink,
+        )
+    }
+}
+
+/// The mutable-operand entry to the schedule interpreter, required by the
+/// in-place tier (whose schedule overwrites — and restores — the A/B
+/// quadrants) and legal for every tier. Returns the measured peak arena
+/// occupancy in elements.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_levels_mut<S: Scalar, K: MetricsSink>(
+    a: &mut [S],
+    b: &mut [S],
+    c: &mut [S],
+    layouts: NodeLayouts,
+    levels: &[LevelPlan],
+    li: usize,
+    arena: &mut [S],
+    policy: ExecPolicy,
+    sink: &mut K,
+) -> usize {
+    let (ap, bp) = (a.as_mut_ptr(), b.as_mut_ptr());
+    // SAFETY: `a`/`b` are exclusive borrows of the full operand buffers,
+    // held across the call; the interpreter partitions them into disjoint
+    // quadrants.
+    unsafe { exec_levels_raw(ap, bp, c, layouts, levels, li, arena, policy, sink) }
+}
+
+/// The schedule interpreter: executes `levels[li..]` over the Morton
+/// buffers, carving each level's temporaries from the front of `arena`
+/// (which temporaries the schedule tier decides: `TS/TT/TP/TQ` standard,
+/// `TS/TT/TP` low-mem, `TP` in-place) and handing the tail to the
+/// recursion. Past the last flattened level the terminal takes over: the
+/// fused executor ([`crate::fuse::fused_mul_with_ws`]) when
+/// [`ExecPolicy::fuse`] covers the remaining Strassen levels, else the
+/// conventional Morton recursion with the plan's leaf kernel — what
+/// remains of the arena at that point is exactly the [`fused_tail_len`]
+/// tail (the packing slot or the fused leaf working set; non-packing
+/// staged kernels ignore it).
+///
+/// `arena` must be exactly the remaining levels' combined slot length
+/// plus the terminal tail (callers pass
+/// `workspace_len(layouts, policy)` at the root).
+///
+/// Returns the measured peak arena occupancy in elements — this level's
+/// slot plus the deepest child's peak (the terminal claims its whole
+/// tail). Debug builds assert it equals the closed-form model at every
+/// level, so a schedule whose footprint expression under-counts fails
+/// loudly instead of silently overlapping slots.
+///
+/// # Safety
+/// `a` and `b` must point to the node's full Morton operand buffers
+/// (`layouts.a.len()` / `layouts.b.len()` elements), valid for reads for
+/// the duration of the call, with no other access to them while it runs.
+/// When `policy.sched().overwrites_inputs()` they must also be valid for
+/// writes (the in-place schedule writes and then restores the quadrants);
+/// non-overwriting tiers never write through them, so shared borrows cast
+/// to `*mut` are sound for those.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn exec_levels_raw<S: Scalar, K: MetricsSink>(
+    a: *mut S,
+    b: *mut S,
+    c: &mut [S],
+    layouts: NodeLayouts,
+    levels: &[LevelPlan],
+    li: usize,
+    arena: &mut [S],
+    policy: ExecPolicy,
+    sink: &mut K,
+) -> usize {
     debug_assert_eq!(
         arena.len(),
         levels[li..].iter().map(|l| l.slot_len).sum::<usize>() + fused_tail_len(layouts, policy),
@@ -175,22 +258,27 @@ pub(crate) fn exec_levels<S: Scalar, K: MetricsSink>(
     );
     if li == levels.len() {
         debug_assert!(!staged_step(layouts, policy), "levels list ended early");
+        // SAFETY (caller contract): `a`/`b` cover the node's operand
+        // buffers and nothing else touches them during the call; the
+        // terminal only reads them.
+        let av = unsafe { core::slice::from_raw_parts(a as *const S, layouts.a.len()) };
+        let bv = unsafe { core::slice::from_raw_parts(b as *const S, layouts.b.len()) };
         let f = fused_levels(layouts, policy);
-        let run = |a: &[S], b: &[S], c: &mut [S], arena: &mut [S]| {
+        let run = |c: &mut [S], arena: &mut [S]| {
             if f > 0 {
-                crate::fuse::fused_mul_with_ws(a, b, c, layouts, f, policy.kernel, arena);
+                crate::fuse::fused_mul_with_ws(av, bv, c, layouts, f, policy.kernel, arena);
             } else {
-                morton_mul_with_ws(a, b, c, layouts, policy.kernel, arena);
+                morton_mul_with_ws(av, bv, c, layouts, policy.kernel, arena);
             }
         };
         if K::ENABLED {
             let t0 = Instant::now();
-            run(a, b, c, arena);
+            run(c, arena);
             sink.record_level_time(li, t0.elapsed());
         } else {
-            run(a, b, c, arena);
+            run(c, arena);
         }
-        return;
+        return arena.len();
     }
     let lp = &levels[li];
 
@@ -198,44 +286,117 @@ pub(crate) fn exec_levels<S: Scalar, K: MetricsSink>(
     let (qa, qb, qc) =
         (layouts.a.quadrant_len(), layouts.b.quadrant_len(), layouts.c.quadrant_len());
     debug_assert_eq!((lp.qa, lp.qb, lp.qc), (qa, qb, qc), "level plan drifted from the layouts");
-
-    let aq: [&[S]; 4] = [&a[..qa], &a[qa..2 * qa], &a[2 * qa..3 * qa], &a[3 * qa..]];
-    let bq: [&[S]; 4] = [&b[..qb], &b[qb..2 * qb], &b[2 * qb..3 * qb], &b[3 * qb..]];
+    let sched = policy.sched();
 
     let (c11, rest) = c.split_at_mut(qc);
     let (c12, rest) = rest.split_at_mut(qc);
     let (c21, c22) = rest.split_at_mut(qc);
 
+    // Tier-dependent carving: the tiers below standard simply omit slots
+    // their schedules never reference (asserted per step below). The
+    // final split doubles as the high-water-mark check — a tier whose
+    // closed form over- or under-counted the slot would leave `tq` the
+    // wrong length.
     let (this_ws, child_ws) = arena.split_at_mut(lp.slot_len);
-    let (ts, rest_ws) = this_ws.split_at_mut(qa);
-    let (tt, rest_ws) = rest_ws.split_at_mut(qb);
+    let (ts_len, tt_len) = if sched.overwrites_inputs() { (0, 0) } else { (qa, qb) };
+    let tq_len = if sched == Schedule::Standard { qc } else { 0 };
+    let (ts, rest_ws) = this_ws.split_at_mut(ts_len);
+    let (tt, rest_ws) = rest_ws.split_at_mut(tt_len);
     let (tp, tq) = rest_ws.split_at_mut(qc);
+    debug_assert_eq!(
+        ts_len + tt_len + qc + tq.len(),
+        lp.slot_len,
+        "schedule tier {sched:?}: closed-form slot length disagrees with the carving"
+    );
+    debug_assert_eq!(tq.len(), tq_len, "TQ carving drifted from the tier model");
 
-    // Raw table of the six pairwise-disjoint C-shaped buffers, indexed by
-    // `CSlot::index()`. Access goes exclusively through this table below;
-    // the named locals are not used again.
+    // Raw tables of the pairwise-disjoint slot buffers, indexed by
+    // `ASlot::index()` / `BSlot::index()` / `CSlot::index()`. Access goes
+    // exclusively through these tables below; the named locals are not
+    // used again. Slots a tier does not materialize carry length 0 and
+    // are never referenced by its schedule.
+    let mut aslots: [(*mut S, usize); 5] = [
+        (a, qa),
+        // SAFETY (caller contract): `a` spans all four quadrants.
+        unsafe { (a.add(qa), qa) },
+        unsafe { (a.add(2 * qa), qa) },
+        unsafe { (a.add(3 * qa), qa) },
+        (ts.as_mut_ptr(), ts_len),
+    ];
+    let mut bslots: [(*mut S, usize); 5] = [
+        (b, qb),
+        // SAFETY (caller contract): `b` spans all four quadrants.
+        unsafe { (b.add(qb), qb) },
+        unsafe { (b.add(2 * qb), qb) },
+        unsafe { (b.add(3 * qb), qb) },
+        (tt.as_mut_ptr(), tt_len),
+    ];
     let mut cslots: [(*mut S, usize); 6] = [
         (c11.as_mut_ptr(), qc),
         (c12.as_mut_ptr(), qc),
         (c21.as_mut_ptr(), qc),
         (c22.as_mut_ptr(), qc),
         (tp.as_mut_ptr(), qc),
-        (tq.as_mut_ptr(), qc),
+        (tq.as_mut_ptr(), tq_len),
     ];
 
-    // SAFETY helpers: the six buffers are disjoint `&mut` reborrows above,
-    // so creating one mutable and up to two shared slices is sound as long
-    // as the indices differ — which every call site checks.
-    unsafe fn slot_mut<'x, S>(t: &mut [(*mut S, usize); 6], i: usize) -> &'x mut [S] {
+    // SAFETY helpers: the table buffers are pairwise disjoint (quadrants
+    // of one allocation plus `&mut` workspace reborrows), so creating one
+    // mutable and up to two shared slices is sound as long as the indices
+    // differ — which every call site checks. A mutable slice over an
+    // input-quadrant entry is only ever created under the in-place tier,
+    // whose entry points hold exclusive operand borrows.
+    unsafe fn slot_mut<'x, S, const N: usize>(
+        t: &mut [(*mut S, usize); N],
+        i: usize,
+    ) -> &'x mut [S] {
         core::slice::from_raw_parts_mut(t[i].0, t[i].1)
     }
-    unsafe fn slot_ref<'x, S>(t: &[(*mut S, usize); 6], i: usize) -> &'x [S] {
+    unsafe fn slot_ref<'x, S, const N: usize>(t: &[(*mut S, usize); N], i: usize) -> &'x [S] {
         core::slice::from_raw_parts(t[i].0 as *const S, t[i].1)
+    }
+
+    /// Dispatches one `dst = lhs ± rhs` over a slot table with the
+    /// aliasing discipline the schedules are tested to respect: `d == l`
+    /// and `d == r` take the assign forms (one mutable reference),
+    /// disjoint indices take the three-slice forms.
+    unsafe fn add_step<S: Scalar, const N: usize>(
+        t: &mut [(*mut S, usize); N],
+        d: usize,
+        l: usize,
+        r: usize,
+        kind: AddKind,
+    ) {
+        debug_assert!(!(d == l && d == r), "fully-aliased addition");
+        if d == l {
+            let dst_s = slot_mut(t, d);
+            let rhs_s = slot_ref(t, r);
+            match kind {
+                AddKind::Add => add_assign_flat(dst_s, rhs_s),
+                AddKind::Sub => sub_assign_flat(dst_s, rhs_s),
+            }
+        } else if d == r {
+            let dst_s = slot_mut(t, d);
+            let lhs_s = slot_ref(t, l);
+            match kind {
+                AddKind::Add => add_assign_flat(dst_s, lhs_s),
+                AddKind::Sub => rsub_assign_flat(dst_s, lhs_s),
+            }
+        } else {
+            let dst_s = slot_mut(t, d);
+            let lhs_s = slot_ref(t, l);
+            let rhs_s = slot_ref(t, r);
+            match kind {
+                AddKind::Add => add_flat(dst_s, lhs_s, rhs_s),
+                AddKind::Sub => sub_flat(dst_s, lhs_s, rhs_s),
+            }
+        }
     }
 
     // Exclusive per-level time: the additions of this level's schedule
     // (the recursive multiplies attribute their own time to `li + 1`).
     let mut add_time = Duration::ZERO;
+    let mut child_peak = 0usize;
     for &step in lp.steps {
         let t0 = if K::ENABLED && !matches!(step, Step::Mul { .. }) {
             Some(Instant::now())
@@ -244,92 +405,67 @@ pub(crate) fn exec_levels<S: Scalar, K: MetricsSink>(
         };
         match step {
             Step::AddA { dst, lhs, rhs, kind } => {
-                debug_assert_eq!(dst, ASlot::TS);
-                let of = |s: ASlot| match s {
-                    ASlot::A11 => aq[0],
-                    ASlot::A12 => aq[1],
-                    ASlot::A21 => aq[2],
-                    ASlot::A22 => aq[3],
-                    ASlot::TS => unreachable!("TS operand handled by assign forms"),
-                };
-                match (lhs, rhs, kind) {
-                    (ASlot::TS, r, AddKind::Add) => add_assign_flat(ts, of(r)),
-                    (ASlot::TS, r, AddKind::Sub) => sub_assign_flat(ts, of(r)),
-                    (l, ASlot::TS, AddKind::Add) => add_assign_flat(ts, of(l)),
-                    (l, ASlot::TS, AddKind::Sub) => rsub_assign_flat(ts, of(l)),
-                    (l, r, AddKind::Add) => add_flat(ts, of(l), of(r)),
-                    (l, r, AddKind::Sub) => sub_flat(ts, of(l), of(r)),
-                }
+                let (d, l, r) = (dst.index(), lhs.index(), rhs.index());
+                debug_assert!(
+                    d == ASlot::TS.index() || sched.overwrites_inputs(),
+                    "non-overwriting tier writes an A quadrant"
+                );
+                debug_assert!(
+                    [d, l, r].iter().all(|&i| aslots[i].1 == qa),
+                    "AddA references a slot this tier does not materialize"
+                );
+                // SAFETY: disjoint slots per the table invariant; the
+                // schedules alias only via the assign forms.
+                unsafe { add_step(&mut aslots, d, l, r, kind) }
             }
             Step::AddB { dst, lhs, rhs, kind } => {
-                debug_assert_eq!(dst, BSlot::TT);
-                let of = |s: BSlot| match s {
-                    BSlot::B11 => bq[0],
-                    BSlot::B12 => bq[1],
-                    BSlot::B21 => bq[2],
-                    BSlot::B22 => bq[3],
-                    BSlot::TT => unreachable!("TT operand handled by assign forms"),
-                };
-                match (lhs, rhs, kind) {
-                    (BSlot::TT, r, AddKind::Add) => add_assign_flat(tt, of(r)),
-                    (BSlot::TT, r, AddKind::Sub) => sub_assign_flat(tt, of(r)),
-                    (l, BSlot::TT, AddKind::Add) => add_assign_flat(tt, of(l)),
-                    (l, BSlot::TT, AddKind::Sub) => rsub_assign_flat(tt, of(l)),
-                    (l, r, AddKind::Add) => add_flat(tt, of(l), of(r)),
-                    (l, r, AddKind::Sub) => sub_flat(tt, of(l), of(r)),
-                }
+                let (d, l, r) = (dst.index(), lhs.index(), rhs.index());
+                debug_assert!(
+                    d == BSlot::TT.index() || sched.overwrites_inputs(),
+                    "non-overwriting tier writes a B quadrant"
+                );
+                debug_assert!(
+                    [d, l, r].iter().all(|&i| bslots[i].1 == qb),
+                    "AddB references a slot this tier does not materialize"
+                );
+                // SAFETY: as for AddA.
+                unsafe { add_step(&mut bslots, d, l, r, kind) }
             }
             Step::AddC { dst, lhs, rhs, kind } => {
                 let (d, l, r) = (dst.index(), lhs.index(), rhs.index());
-                debug_assert!(!(d == l && d == r), "fully-aliased AddC");
-                // SAFETY: buffers are pairwise disjoint; aliasing occurs
-                // only when indices coincide, and those cases take the
-                // assign forms which hold a single mutable reference.
-                unsafe {
-                    if d == l {
-                        let dst_s = slot_mut(&mut cslots, d);
-                        let rhs_s = slot_ref(&cslots, r);
-                        match kind {
-                            AddKind::Add => add_assign_flat(dst_s, rhs_s),
-                            AddKind::Sub => sub_assign_flat(dst_s, rhs_s),
-                        }
-                    } else if d == r {
-                        let dst_s = slot_mut(&mut cslots, d);
-                        let lhs_s = slot_ref(&cslots, l);
-                        match kind {
-                            AddKind::Add => add_assign_flat(dst_s, lhs_s),
-                            AddKind::Sub => rsub_assign_flat(dst_s, lhs_s),
-                        }
-                    } else {
-                        let dst_s = slot_mut(&mut cslots, d);
-                        let lhs_s = slot_ref(&cslots, l);
-                        let rhs_s = slot_ref(&cslots, r);
-                        match kind {
-                            AddKind::Add => add_flat(dst_s, lhs_s, rhs_s),
-                            AddKind::Sub => sub_flat(dst_s, lhs_s, rhs_s),
-                        }
-                    }
-                }
+                debug_assert!(
+                    [d, l, r].iter().all(|&i| cslots[i].1 == qc),
+                    "AddC references a slot this tier does not materialize"
+                );
+                // SAFETY: as for AddA.
+                unsafe { add_step(&mut cslots, d, l, r, kind) }
             }
             Step::Mul { a: sa, b: sb, dst } => {
-                let av: &[S] = match sa {
-                    ASlot::A11 => aq[0],
-                    ASlot::A12 => aq[1],
-                    ASlot::A21 => aq[2],
-                    ASlot::A22 => aq[3],
-                    ASlot::TS => &*ts,
-                };
-                let bv: &[S] = match sb {
-                    BSlot::B11 => bq[0],
-                    BSlot::B12 => bq[1],
-                    BSlot::B21 => bq[2],
-                    BSlot::B22 => bq[3],
-                    BSlot::TT => &*tt,
-                };
+                let (ai, bi) = (sa.index(), sb.index());
+                debug_assert!(
+                    aslots[ai].1 == qa && bslots[bi].1 == qb && cslots[dst.index()].1 == qc,
+                    "Mul references a slot this tier does not materialize"
+                );
                 // SAFETY: the destination is disjoint from every possible
                 // operand (A/B buffers and the TS/TT workspace ranges).
                 let cd = unsafe { slot_mut(&mut cslots, dst.index()) };
-                exec_levels(av, bv, cd, ch, levels, li + 1, child_ws, policy, sink);
+                // The child may overwrite (and restore) its own operand
+                // view under the in-place tier, so it gets raw pointers —
+                // under non-overwriting tiers it only reads them.
+                let peak = unsafe {
+                    exec_levels_raw(
+                        aslots[ai].0,
+                        bslots[bi].0,
+                        cd,
+                        ch,
+                        levels,
+                        li + 1,
+                        child_ws,
+                        policy,
+                        sink,
+                    )
+                };
+                child_peak = child_peak.max(peak);
             }
         }
         if let Some(t0) = t0 {
@@ -339,6 +475,7 @@ pub(crate) fn exec_levels<S: Scalar, K: MetricsSink>(
     if K::ENABLED {
         sink.record_level_time(li, add_time);
     }
+    lp.slot_len + child_peak
 }
 
 // ---------------------------------------------------------------------------
@@ -546,18 +683,29 @@ impl DagBuilder {
         let cq = |i: usize| Place { in_slab: c.in_slab, off: c.off + i * qc };
         let wj = |j: usize| slab_off + per_node + j * child_len;
 
+        // Under the in-place tier a *leaf* child's serial subtree writes
+        // (and restores) its raw operand quadrants mid-flight, so any
+        // child reading a raw A/B quadrant must additionally wait for the
+        // other reader of those quadrants — this node's own SPre/TPre
+        // pre-adds — before it may start scribbling on them. The slab
+        // S/T temporaries are safe either way: each has exactly one
+        // reader. Non-overwriting tiers keep the original (wider)
+        // parallelism.
+        let overwrites = self.policy.sched().overwrites_inputs();
+        let (raw_a, raw_b) = if overwrites { (Some(spre), Some(tpre)) } else { (a_ready, b_ready) };
+
         // The seven products with the same placement as the scoped-thread
         // executor had (P1/P2/P5 into slab temporaries, the rest straight
         // into the C quadrants), each gated on exactly the tasks that
-        // write its operands.
+        // write — or, in-place, also read — its operands.
         let children = [
-            (aq(0), bq(0), pq(0), a_ready, b_ready),       // P1 = A11·B11
-            (aq(1), bq(2), pq(1), a_ready, b_ready),       // P2 = A12·B21
+            (aq(0), bq(0), pq(0), raw_a, raw_b),           // P1 = A11·B11
+            (aq(1), bq(2), pq(1), raw_a, raw_b),           // P2 = A12·B21
             (sq(0), tq(0), cq(3), Some(spre), Some(tpre)), // P3 = S1·T1 → C22
             (sq(1), tq(1), cq(0), Some(spre), Some(tpre)), // P4 = S2·T2 → C11
             (sq(2), tq(2), pq(2), Some(spre), Some(tpre)), // P5 = S3·T3
-            (sq(3), bq(3), cq(1), Some(spre), b_ready),    // P6 = S4·B22 → C12
-            (aq(3), tq(3), cq(2), a_ready, Some(tpre)),    // P7 = A22·T4 → C21
+            (sq(3), bq(3), cq(1), Some(spre), raw_b),      // P6 = S4·B22 → C12
+            (aq(3), tq(3), cq(2), raw_a, Some(tpre)),      // P7 = A22·T4 → C21
         ];
         let mut products = [None; 7];
         for (j, (ca, cb, cc, ra, rb)) in children.into_iter().enumerate() {
@@ -743,6 +891,7 @@ impl<S: Scalar> GemmPlan<S> {
                     depth: layouts.a.depth,
                     strassen_levels: crate::counts::strassen_levels(layouts, policy),
                     fused_levels: fused_levels(layouts, policy),
+                    schedule: policy.sched(),
                     flops: crate::counts::strassen_flops(layouts, policy),
                     conventional_flops: crate::counts::conventional_flops(pm, pk, pn),
                 };
@@ -821,6 +970,14 @@ impl<S: Scalar> GemmPlan<S> {
     /// or fully conventional plans.
     pub fn fused_levels(&self) -> usize {
         self.strategy.as_ref().map_or(0, |tp| tp.facts.fused_levels)
+    }
+
+    /// Memory tier of the recursion-step linearization the compiled plan
+    /// runs (see [`crate::schedule::Schedule`] and the budget ladder in
+    /// [`crate::config::SchedulePolicy`]). `Standard` for split,
+    /// degenerate, or fully conventional plans.
+    pub fn schedule(&self) -> crate::schedule::Schedule {
+        self.strategy.as_ref().map_or(crate::schedule::Schedule::Standard, |tp| tp.facts.schedule)
     }
 
     /// Task count of the compiled parallel DAG — the cooperative
@@ -1164,8 +1321,11 @@ impl<S: Scalar> GemmPlan<S> {
             // The pooled executor reports the same per-level time
             // vocabulary as the serial interpreter (each worker books its
             // tasks' exclusive times, merged per level at the join), plus
-            // the pool counters — no coarser-than-serial caveat.
-            crate::pool::run_graph(
+            // the pool counters — no coarser-than-serial caveat. The
+            // mutable-operand entry is required by the in-place tier
+            // (leaf subtrees overwrite and restore their raw quadrants)
+            // and equivalent for the others.
+            crate::pool::run_graph_mut(
                 &pp.graph,
                 &tp.levels,
                 &pp.level_layouts,
@@ -1179,13 +1339,26 @@ impl<S: Scalar> GemmPlan<S> {
                 cancel,
                 sink,
             )?;
+            if K::ENABLED {
+                // The DAG partitions its whole slab by construction; the
+                // measured occupancy is the slab itself.
+                sink.record_workspace_used(pp.slab_len, pp.slab_len * core::mem::size_of::<S>());
+            }
         } else {
             // The serial interpreter is not interruptible mid-recursion;
             // its cancellation granularity is the whole compute.
             if let Some(token) = cancel {
                 token.check()?;
             }
-            exec_levels(abuf, bbuf, cbuf, layouts, &tp.levels, 0, ws, tp.policy, sink);
+            let peak =
+                exec_levels_mut(abuf, bbuf, cbuf, layouts, &tp.levels, 0, ws, tp.policy, sink);
+            debug_assert_eq!(
+                peak, tp.arena_len,
+                "measured peak workspace disagrees with the planned arena"
+            );
+            if K::ENABLED {
+                sink.record_workspace_used(peak, peak * core::mem::size_of::<S>());
+            }
         }
         let compute = t1.elapsed();
 
@@ -1255,30 +1428,61 @@ mod tests {
     #[test]
     fn arena_layout_matches_closed_form_model() {
         // Satellite check: the flattened arena and the closed-form
-        // counts/workspace model agree at every recursion level.
-        for (tile, depth, strassen_min) in
-            [(4usize, 3usize, 0usize), (4, 3, 8), (33, 4, 0), (5, 2, 1 << 20), (16, 1, 0)]
-        {
-            let l = MortonLayout::new(tile, tile, depth);
-            let layouts = NodeLayouts::new(l, l, l);
-            let policy = ExecPolicy { strassen_min, ..ExecPolicy::default() };
-            let mut buf = [LevelPlan::EMPTY; MAX_LEVELS];
-            let count = fill_levels(&mut buf, layouts, policy);
-            assert_eq!(count, crate::counts::strassen_levels(layouts, policy));
+        // counts/workspace model agree at every recursion level, for
+        // every schedule tier.
+        for sched in Schedule::ALL {
+            for (tile, depth, strassen_min) in
+                [(4usize, 3usize, 0usize), (4, 3, 8), (33, 4, 0), (5, 2, 1 << 20), (16, 1, 0)]
+            {
+                let l = MortonLayout::new(tile, tile, depth);
+                let layouts = NodeLayouts::new(l, l, l);
+                let policy = ExecPolicy { strassen_min, schedule: sched, ..ExecPolicy::default() };
+                let mut buf = [LevelPlan::EMPTY; MAX_LEVELS];
+                let count = fill_levels(&mut buf, layouts, policy);
+                assert_eq!(count, crate::counts::strassen_levels(layouts, policy));
 
-            let mut off = 0usize;
-            let mut node = layouts;
-            for lp in &buf[..count] {
-                assert_eq!(lp.arena_offset, off, "offsets must be the prefix sums");
+                let mut off = 0usize;
+                let mut node = layouts;
+                for lp in &buf[..count] {
+                    assert_eq!(lp.arena_offset, off, "offsets must be the prefix sums");
+                    let (qa, qb, qc) =
+                        (node.a.quadrant_len(), node.b.quadrant_len(), node.c.quadrant_len());
+                    // Spell out the per-tier closed forms rather than
+                    // round-tripping through level_temp_elems.
+                    let expect = match sched {
+                        Schedule::Standard => qa + qb + 2 * qc,
+                        Schedule::LowMem => qa + qb + qc,
+                        Schedule::InPlace => qc,
+                    };
+                    assert_eq!(lp.slot_len, expect, "{sched:?}");
+                    assert_eq!(
+                        lp.slot_len,
+                        crate::counts::schedule_level_extra_elems(sched, node),
+                        "{sched:?}: counts closed form drifted from the arena"
+                    );
+                    assert_eq!(lp.steps, crate::schedule::steps_for(policy.variant, sched));
+                    off += lp.slot_len;
+                    node = node.child();
+                }
                 assert_eq!(
-                    lp.slot_len,
-                    node.a.quadrant_len() + node.b.quadrant_len() + 2 * node.c.quadrant_len()
+                    off,
+                    workspace_len(layouts, policy),
+                    "{sched:?}: arena must equal workspace_len"
                 );
-                off += lp.slot_len;
-                node = node.child();
             }
-            assert_eq!(off, workspace_len(layouts, policy), "arena must equal workspace_len");
         }
+
+        // Acceptance pin: the in-place arena is *exactly* the sum of the
+        // per-level `qc` closed forms — at tile 4 / depth 3 that is
+        // 256 + 64 + 16 = 336 elements (Blocked kernel, no packing tail).
+        let l = MortonLayout::new(4, 4, 3);
+        let layouts = NodeLayouts::new(l, l, l);
+        let ip = ExecPolicy { schedule: Schedule::InPlace, ..ExecPolicy::default() };
+        assert_eq!(workspace_len(layouts, ip), 336);
+        let std = ExecPolicy::default();
+        let lm = ExecPolicy { schedule: Schedule::LowMem, ..ExecPolicy::default() };
+        assert_eq!(workspace_len(layouts, std), 1344);
+        assert_eq!(workspace_len(layouts, lm), 1008);
     }
 
     #[test]
@@ -1387,6 +1591,7 @@ mod tests {
             threads: 0,
             fuse_depth: crate::fuse::MAX_FUSE,
             batch_window: 0,
+            schedule: Schedule::Standard,
         };
         let cfg = ModgemmConfig {
             leaf_kernel: KernelKind::Auto,
@@ -1598,15 +1803,15 @@ mod tests {
     }
 
     #[test]
-    fn budget_ladder_fuses_then_drops_par_depth_then_recursion_then_kernel() {
-        // The full degradation ladder, pinned end to end: fuse →
-        // par-depth → recursion depth → kernel. With the packed kernel,
-        // Auto fuse_depth starts at one fused level (the pure-speed
-        // depth); a tightening budget first fuses *deeper* (a free
-        // memory win that shrinks every task's slab share), then
-        // sacrifices worker parallelism (DAG depth), then Strassen
-        // recursion depth, and only as the last resort the packed
-        // kernel itself.
+    fn budget_ladder_schedule_then_fuse_then_par_depth_then_recursion_then_kernel() {
+        // The full degradation ladder, pinned end to end: schedule tier
+        // (standard → low-mem → in-place) → fuse depth → par-depth →
+        // recursion depth → kernel. The schedule rungs come first because
+        // they are free in arithmetic: every tier multiplies the same
+        // seven products, only the temporary-buffer linearization
+        // changes. Speed-bearing knobs (fusion layout, DAG width,
+        // Strassen depth, the packed kernel) are sacrificed only after
+        // the cheapest tier still doesn't fit.
         let cfg0 = ModgemmConfig {
             truncation: Truncation::Fixed(16),
             leaf_kernel: KernelKind::Packed,
@@ -1622,78 +1827,139 @@ mod tests {
         let layouts = NodeLayouts::new(l, l, l);
         let policy0 = crate::gemm::capped_policy::<f64>(layouts, &cfg0);
         assert_eq!(policy0.fuse, crate::fuse::AUTO_FUSE, "Auto + Packed fuses the speed depth");
-        let policy_max = crate::exec::ExecPolicy { fuse: crate::fuse::MAX_FUSE, ..policy0 };
-        let ws_fused = crate::exec::workspace_len(layouts, policy_max);
-        let slab2_max = crate::parallel::parallel_slab_len(layouts, policy_max, 2);
-        let slab2_auto = crate::parallel::parallel_slab_len(layouts, policy0, 2);
-        let slab1_max = crate::parallel::parallel_slab_len(layouts, policy_max, 1);
-        assert!(slab2_max < slab2_auto, "deeper fusion must shrink the DAG slab");
-        assert!(slab1_max < slab2_max, "one DAG level must cost less than two");
-        assert!(ws_fused < slab1_max, "one DAG level costs more than the serial workspace");
+        assert_eq!(policy0.schedule, Schedule::Standard, "unlimited budget keeps standard");
+        let at =
+            |schedule: Schedule, fuse: usize| crate::exec::ExecPolicy { schedule, fuse, ..policy0 };
+        let slab2 = |p| crate::parallel::parallel_slab_len(layouts, p, 2);
+        let slab2_lm = slab2(at(Schedule::LowMem, 1));
+        let slab2_ip = slab2(at(Schedule::InPlace, 1));
+        let slab2_f2 = slab2(at(Schedule::Standard, 2));
+        let slab1_std = crate::parallel::parallel_slab_len(layouts, policy0, 1);
+        let ws_ip = crate::exec::workspace_len(layouts, at(Schedule::InPlace, 1));
+        let ws_ip_f2 = crate::exec::workspace_len(layouts, at(Schedule::InPlace, 2));
+        assert!(slab2_lm < slab2(policy0), "low-mem must shrink the DAG slab");
+        assert!(slab2_ip < slab2_lm, "in-place must shrink it further");
+        assert!(slab2_f2 < slab2_ip, "full fusion shrinks below every tier's staged slab");
+        assert!(slab1_std < slab2_f2, "one DAG level must cost less than two at any tier");
+        assert!(ws_ip < slab1_std, "serial in-place is the cheapest full-depth shape");
 
         let budgeted = |bytes: usize| ModgemmConfig {
             memory_budget: crate::config::MemoryBudget::MaxWorkspaceBytes(bytes),
             ..cfg0
         };
+        let facts = |p: &GemmPlan<f64>| {
+            (p.parallel_depth(), p.strassen_levels(), p.fused_levels(), p.schedule())
+        };
 
-        // Rung 0 — unlimited: one fused level, parallel, full depth.
+        // Rung 0 — unlimited: parallel, full depth, standard schedule.
         let free: GemmPlan<f64> = plan(m, k, n, &cfg0);
-        assert_eq!((free.parallel_depth(), free.strassen_levels(), free.fused_levels()), (2, 4, 1));
-
-        // Rung 1 — the depth-2 slab at one fused level no longer fits,
-        // but the maximally fused one does: fusion deepens and the full
-        // DAG depth survives.
-        let fused: GemmPlan<f64> = plan(m, k, n, &budgeted(slab2_max * 8));
         assert_eq!(
-            (fused.parallel_depth(), fused.strassen_levels(), fused.fused_levels()),
-            (2, 4, 2)
+            facts(&free),
+            (2, 4, 1, Schedule::Standard),
+            "rung 0 (unlimited budget): nothing may degrade"
         );
 
-        // Rung 2 — not even the maximally fused depth-2 slab fits: only
-        // now does the DAG shrink to one level.
-        let par1: GemmPlan<f64> = plan(m, k, n, &budgeted(slab1_max * 8));
-        assert_eq!((par1.parallel_depth(), par1.strassen_levels(), par1.fused_levels()), (1, 4, 2));
-
-        // Rung 3 — only the serial fused workspace fits: parallelism is
-        // gone, the fused full-depth recursion is intact.
-        let serial: GemmPlan<f64> = plan(m, k, n, &budgeted(ws_fused * 8));
+        // Rung 1 — the depth-2 slab no longer fits at standard but does
+        // at low-mem: the schedule tier degrades FIRST, before fuse
+        // depth, par-depth, recursion depth, or the kernel.
+        let lowmem: GemmPlan<f64> = plan(m, k, n, &budgeted(slab2_lm * 8));
         assert_eq!(
-            (serial.parallel_depth(), serial.strassen_levels(), serial.fused_levels()),
-            (0, 4, 2)
+            facts(&lowmem),
+            (2, 4, 1, Schedule::LowMem),
+            "rung 1 (schedule → low-mem): tier drops before any speed-bearing knob"
         );
 
-        // Rung 4 — below the fused workspace: recursion depth is
-        // sacrificed next, with the surviving levels still fused and the
+        // Rung 2 — only the in-place depth-2 slab fits: the tier walks
+        // down again, still before fuse/par-depth/recursion/kernel.
+        let inplace: GemmPlan<f64> = plan(m, k, n, &budgeted(slab2_ip * 8));
+        assert_eq!(
+            facts(&inplace),
+            (2, 4, 1, Schedule::InPlace),
+            "rung 2 (schedule → in-place): tier exhausts before fuse depth moves"
+        );
+
+        // Rung 3 — no tier fits at one fused level: only now does fuse
+        // depth climb. (At full fusion no staged levels remain below the
+        // DAG, so the slab is tier-independent and the climb keeps the
+        // fastest schedule that fits — standard.)
+        let fused: GemmPlan<f64> = plan(m, k, n, &budgeted(slab2_f2 * 8));
+        assert_eq!(
+            facts(&fused),
+            (2, 4, 2, Schedule::Standard),
+            "rung 3 (fuse depth): fusion deepens only after the schedule rungs"
+        );
+
+        // Rung 4 — no (schedule, fuse) combination buys back DAG depth
+        // 2: worker parallelism is sacrificed, and with the slab
+        // pressure gone the plan keeps the fastest schedule.
+        let par1: GemmPlan<f64> = plan(m, k, n, &budgeted(slab1_std * 8));
+        assert_eq!(
+            facts(&par1),
+            (1, 4, 1, Schedule::Standard),
+            "rung 4 (par-depth): DAG width drops only after schedule and fuse climbs fail"
+        );
+
+        // Rung 5 — the acceptance rung: a budget that fits only the
+        // serial in-place workspace. The schedule-only ladder keeps full
+        // Strassen depth AND the packed kernel, where the old ladder
+        // (schedule capped at standard) had to sacrifice recursion depth.
+        let serial: GemmPlan<f64> = plan(m, k, n, &budgeted(ws_ip * 8));
+        assert_eq!(
+            facts(&serial),
+            (0, 4, 1, Schedule::InPlace),
+            "rung 5 (serial in-place): full depth survives on the cheapest tier"
+        );
+        let serial_policy = crate::gemm::capped_policy::<f64>(layouts, &budgeted(ws_ip * 8));
+        assert_eq!(serial_policy.kernel, KernelKind::Packed, "kernel survives the schedule rungs");
+        let old_ladder = crate::exec::budget_capped_policy_with_tier_cap(
+            layouts,
+            policy0,
+            ws_ip,
+            Schedule::Standard,
+        );
+        assert!(
+            crate::counts::strassen_levels(layouts, old_ladder) < 4
+                || old_ladder.kernel != KernelKind::Packed,
+            "without the schedule rungs this budget forced a depth or kernel loss"
+        );
+
+        // Rung 6 — below every tier's full-depth workspace: recursion
+        // depth is sacrificed next, on the cheapest tier, with the
         // kernel still packed.
-        let shallow_cfg = budgeted(ws_fused * 8 - 8);
+        let shallow_cfg = budgeted(ws_ip_f2 * 8 - 8);
         let shallow_policy = crate::gemm::capped_policy::<f64>(layouts, &shallow_cfg);
-        assert_eq!(shallow_policy.kernel, KernelKind::Packed, "kernel survives the depth rung");
+        assert_eq!(
+            shallow_policy.kernel,
+            KernelKind::Packed,
+            "rung 6 (recursion depth): kernel survives the depth rung"
+        );
         let shallow: GemmPlan<f64> = plan(m, k, n, &shallow_cfg);
-        assert!(shallow.strassen_levels() < 4, "depth must drop below the fused workspace");
-        assert_eq!(shallow.fused_levels(), shallow.strassen_levels().min(crate::fuse::MAX_FUSE));
+        assert!(
+            shallow.strassen_levels() < 4,
+            "rung 6 (recursion depth): depth must drop below every tier's workspace"
+        );
 
-        // Rung 5 — a budget nothing packed fits in: the kernel itself is
-        // swapped for the workspace-free blocked fallback.
+        // Rung 7 — a budget nothing packed fits in: the kernel itself is
+        // swapped for the workspace-free blocked fallback, last.
         let floor_policy = crate::gemm::capped_policy::<f64>(layouts, &budgeted(1));
-        assert_eq!(floor_policy.kernel, KernelKind::Blocked, "kernel is the last rung");
+        assert_eq!(floor_policy.kernel, KernelKind::Blocked, "rung 7 (kernel): the last rung");
         let floor: GemmPlan<f64> = plan(m, k, n, &budgeted(1));
         assert_eq!((floor.strassen_levels(), floor.fused_levels()), (0, 0));
 
-        // Every rung still multiplies correctly, and the two fused
-        // full-depth schedules (parallel and serial) agree bitwise.
+        // Every rung still multiplies correctly — including the pooled
+        // in-place DAG (rung 2) and the serial in-place executor
+        // (rung 5).
         let a: Matrix<f64> = random_matrix(m, k, 43);
         let b: Matrix<f64> = random_matrix(k, n, 44);
         let expect = modgemm_mat::naive::naive_product(&a, &b);
         let mut ctx = GemmContext::new();
-        let mut c_par: Matrix<f64> = Matrix::zeros(m, n);
-        par1.execute(a.view(), b.view(), c_par.view_mut(), &mut ctx);
-        let mut c_ser: Matrix<f64> = Matrix::zeros(m, n);
-        serial.execute(a.view(), b.view(), c_ser.view_mut(), &mut ctx);
-        assert_eq!(c_par, c_ser, "pooled fused == serial fused, bitwise");
-        for plan in [&fused, &par1, &serial, &shallow, &floor] {
+        for (rung, plan) in
+            [&free, &lowmem, &inplace, &fused, &par1, &serial, &shallow, &floor].iter().enumerate()
+        {
             let mut c: Matrix<f64> = Matrix::zeros(m, n);
             plan.execute(a.view(), b.view(), c.view_mut(), &mut ctx);
             modgemm_mat::norms::assert_matrix_eq(c.view(), expect.view(), k);
+            let _ = rung;
         }
     }
 

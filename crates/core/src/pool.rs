@@ -50,7 +50,7 @@ use modgemm_mat::{MatRef, Op, Scalar};
 use crate::error::{panic_message, GemmError};
 use crate::exec::{ExecPolicy, NodeLayouts};
 use crate::metrics::{MetricsSink, PoolStats};
-use crate::plan::{exec_levels, BatchChunk, LevelPlan, Place, TaskGraph, TaskKind, MAX_LEVELS};
+use crate::plan::{exec_levels_raw, BatchChunk, LevelPlan, Place, TaskGraph, TaskKind, MAX_LEVELS};
 
 /// Environment variable consulted when [`crate::ModgemmConfig::threads`]
 /// is `0`: a positive integer fixes the worker count, anything else
@@ -749,6 +749,24 @@ impl<S: Scalar> GraphJob<S> {
         }
     }
 
+    /// Resolves an operand place to a raw pointer for
+    /// [`exec_levels_raw`]. The `*mut` cast is only ever written through
+    /// when the policy runs the in-place schedule — and that tier is
+    /// reachable solely via [`run_graph_mut`], whose operand views carry
+    /// write-capable (`&mut`-derived) provenance. Slab regions always
+    /// have it.
+    ///
+    /// SAFETY: region disjointness per the DAG's edges.
+    unsafe fn src_ptr(&self, base: &RawView<S>, p: Place, len: usize) -> *mut S {
+        if p.in_slab {
+            debug_assert!(p.off + len <= self.slab.len);
+            self.slab.ptr.add(p.off)
+        } else {
+            debug_assert!(p.off + len <= base.len);
+            base.ptr.add(p.off) as *mut S
+        }
+    }
+
     /// SAFETY: as [`RawViewMut::get_mut`] — the DAG's edges guarantee no
     /// other task holds this region while the caller writes it.
     #[allow(clippy::mut_from_ref)]
@@ -868,18 +886,18 @@ impl<S: Scalar> GraphJob<S> {
                 add_flat(c11, p1, p2); // U1 = P1 + P2           → C11 done
             }
             TaskKind::Leaf => {
-                let a = self.src(&self.a, node.a, layouts.a.len());
-                let b = self.src(&self.b, node.b, layouts.b.len());
+                let a = self.src_ptr(&self.a, node.a, layouts.a.len());
+                let b = self.src_ptr(&self.b, node.b, layouts.b.len());
                 let c = self.dst(node.c, layouts.c.len());
                 let ws = self.slab.get_mut(node.slab_off, node.ws_len);
                 let levels = self.levels.get(0, self.levels.len);
                 let li = node.level as usize;
                 if self.metrics_on {
                     let mut sink = ShardLevelSink { level_nanos: &mut shard.level_nanos };
-                    exec_levels(a, b, c, layouts, levels, li, ws, self.policy, &mut sink);
+                    exec_levels_raw(a, b, c, layouts, levels, li, ws, self.policy, &mut sink);
                 } else {
                     let mut sink = crate::metrics::NoopSink;
-                    exec_levels(a, b, c, layouts, levels, li, ws, self.policy, &mut sink);
+                    exec_levels_raw(a, b, c, layouts, levels, li, ws, self.policy, &mut sink);
                 }
             }
             TaskKind::ConvertA | TaskKind::ConvertB | TaskKind::Unpack | TaskKind::Gate => {
@@ -1081,6 +1099,79 @@ pub(crate) fn run_graph<S: Scalar, K: MetricsSink>(
     cancel: Option<&CancelToken>,
     sink: &mut K,
 ) -> Result<(), GemmError> {
+    debug_assert!(
+        !policy.sched().overwrites_inputs(),
+        "the in-place schedule needs mutable operands (run_graph_mut)"
+    );
+    run_graph_with_views(
+        graph,
+        levels,
+        level_layouts,
+        policy,
+        threads,
+        RawView::new(a),
+        RawView::new(b),
+        c,
+        slab,
+        scratch,
+        cancel,
+        sink,
+    )
+}
+
+/// As [`run_graph`], for mutable operands: the only entry that may run
+/// the in-place schedule tier, whose leaf subtrees scribble on their raw
+/// A/B quadrants (the DAG's SPre/TPre edges sequence every other reader
+/// before the scribbling child). The operand views are built from `&mut`
+/// so the leaves' writes go through write-capable provenance.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_graph_mut<S: Scalar, K: MetricsSink>(
+    graph: &TaskGraph,
+    levels: &[LevelPlan],
+    level_layouts: &[NodeLayouts],
+    policy: ExecPolicy,
+    threads: usize,
+    a: &mut [S],
+    b: &mut [S],
+    c: &mut [S],
+    slab: &mut [S],
+    scratch: &mut PoolScratch,
+    cancel: Option<&CancelToken>,
+    sink: &mut K,
+) -> Result<(), GemmError> {
+    let av = RawViewMut::new(a);
+    let bv = RawViewMut::new(b);
+    run_graph_with_views(
+        graph,
+        levels,
+        level_layouts,
+        policy,
+        threads,
+        RawView { ptr: av.ptr.cast_const(), len: av.len },
+        RawView { ptr: bv.ptr.cast_const(), len: bv.len },
+        c,
+        slab,
+        scratch,
+        cancel,
+        sink,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_graph_with_views<S: Scalar, K: MetricsSink>(
+    graph: &TaskGraph,
+    levels: &[LevelPlan],
+    level_layouts: &[NodeLayouts],
+    policy: ExecPolicy,
+    threads: usize,
+    a: RawView<S>,
+    b: RawView<S>,
+    c: &mut [S],
+    slab: &mut [S],
+    scratch: &mut PoolScratch,
+    cancel: Option<&CancelToken>,
+    sink: &mut K,
+) -> Result<(), GemmError> {
     debug_assert!(threads >= 2, "threads < 2 must take the serial path");
     debug_assert!(graph.slab_len <= slab.len(), "slab smaller than the graph's model");
     scratch.reset(graph, threads);
@@ -1088,8 +1179,8 @@ pub(crate) fn run_graph<S: Scalar, K: MetricsSink>(
         graph: RawView { ptr: graph, len: 1 },
         levels: RawView::new(levels),
         level_layouts: RawView::new(level_layouts),
-        a: RawView::new(a),
-        b: RawView::new(b),
+        a,
+        b,
         c: RawViewMut::new(c),
         slab: RawViewMut::new(slab),
         deps: RawView { ptr: scratch.deps.as_ptr(), len: scratch.deps.len() },

@@ -53,6 +53,20 @@ pub enum ASlot {
     TS,
 }
 
+impl ASlot {
+    /// Index into a five-element slot table `[A11, A12, A21, A22, TS]`.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ASlot::A11 => 0,
+            ASlot::A12 => 1,
+            ASlot::A21 => 2,
+            ASlot::A22 => 3,
+            ASlot::TS => 4,
+        }
+    }
+}
+
 /// Operand slots shaped like a quadrant of `B` (`k/2 × n/2`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BSlot {
@@ -66,6 +80,20 @@ pub enum BSlot {
     B22,
     /// The `T`-shaped temporary.
     TT,
+}
+
+impl BSlot {
+    /// Index into a five-element slot table `[B11, B12, B21, B22, TT]`.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            BSlot::B11 => 0,
+            BSlot::B12 => 1,
+            BSlot::B21 => 2,
+            BSlot::B22 => 3,
+            BSlot::TT => 4,
+        }
+    }
 }
 
 /// Slots shaped like a quadrant of `C` (`m/2 × n/2`).
@@ -262,6 +290,118 @@ pub const STRASSEN_SCHEDULE: [Step; 25] = [
     AddC { dst: C11, lhs: C11, rhs: TQ, kind: AddKind::Add },
 ];
 
+/// Boyer/Dumas/Pernet/Zhou low-memory Winograd schedule (*Memory
+/// efficient scheduling of Strassen-Winograd's matrix multiplication
+/// algorithm*): 7 multiplies, 15 additions — the same arithmetic as the
+/// canonical schedule — but only *three* temporaries (`TS`, `TT`, `TP`)
+/// instead of four. The per-level extra footprint drops from
+/// `qa + qb + 2·qc` to `qa + qb + qc` while the inputs stay read-only.
+///
+/// Product placement: `P5→C21, P3→C22, P4→C12, P6→C11, P1→TP, P7→C11,
+/// P2→C11` (C11 is recycled twice, each time after its previous tenant
+/// has been folded into the running combination).
+pub const WINOGRAD_LOWMEM_SCHEDULE: [Step; 22] = [
+    // S3 = A11 − A21, T3 = B22 − B12, P5 = S3·T3 → C21
+    AddA { dst: TS, lhs: A11, rhs: A21, kind: AddKind::Sub },
+    AddB { dst: TT, lhs: B22, rhs: B12, kind: AddKind::Sub },
+    Mul { a: TS, b: TT, dst: C21 },
+    // S1 = A21 + A22, T1 = B12 − B11, P3 = S1·T1 → C22
+    AddA { dst: TS, lhs: A21, rhs: A22, kind: AddKind::Add },
+    AddB { dst: TT, lhs: B12, rhs: B11, kind: AddKind::Sub },
+    Mul { a: TS, b: TT, dst: C22 },
+    // S2 = S1 − A11, T2 = B22 − T1, P4 = S2·T2 → C12
+    AddA { dst: TS, lhs: TS, rhs: A11, kind: AddKind::Sub },
+    AddB { dst: TT, lhs: B22, rhs: TT, kind: AddKind::Sub },
+    Mul { a: TS, b: TT, dst: C12 },
+    // S4 = A12 − S2, P6 = S4·B22 → C11
+    AddA { dst: TS, lhs: A12, rhs: TS, kind: AddKind::Sub },
+    Mul { a: TS, b: B22, dst: C11 },
+    // P1 = A11·B11 → TP
+    Mul { a: A11, b: B11, dst: TP },
+    // U2 = P1 + P4 → C12
+    AddC { dst: C12, lhs: TP, rhs: C12, kind: AddKind::Add },
+    // U3 = U2 + P5 → C21
+    AddC { dst: C21, lhs: C12, rhs: C21, kind: AddKind::Add },
+    // U6 = U2 + P3 → C12, then C12 = U7 = U6 + P6 (frees C11)
+    AddC { dst: C12, lhs: C12, rhs: C22, kind: AddKind::Add },
+    AddC { dst: C12, lhs: C12, rhs: C11, kind: AddKind::Add },
+    // C22 = U5 = U3 + P3
+    AddC { dst: C22, lhs: C21, rhs: C22, kind: AddKind::Add },
+    // T4 = B21 − T2, P7 = A22·T4 → C11 (free again)
+    AddB { dst: TT, lhs: B21, rhs: TT, kind: AddKind::Sub },
+    Mul { a: A22, b: TT, dst: C11 },
+    // C21 = U4 = U3 + P7
+    AddC { dst: C21, lhs: C21, rhs: C11, kind: AddKind::Add },
+    // P2 = A12·B21 → C11, C11 = U1 = P1 + P2
+    Mul { a: A12, b: B21, dst: C11 },
+    AddC { dst: C11, lhs: TP, rhs: C11, kind: AddKind::Add },
+];
+
+/// Boyer/Dumas/Pernet/Zhou input-overwriting ("in-place") Winograd
+/// schedule: 7 multiplies and 24 additions (9 A-shaped, 8 B-shaped, 7
+/// C-shaped). The S/T pre-adds are computed *into the A/B quadrants
+/// themselves*, and every overwritten quadrant is restored by inverse
+/// additions before the sequence ends (the RESTORING property — which
+/// also makes the schedule legal recursively, since a child `Mul`
+/// running the same schedule leaves its operands as it found them). The
+/// only extra memory is the single product-shaped temporary `TP`:
+/// per-level footprint `qc`.
+///
+/// Exact over rings (i64 wrapping arithmetic is associative and
+/// commutative); over floats the restores reassociate and may perturb
+/// the inputs and the product within rounding error, which is why the
+/// planner only auto-selects this tier, and equivalence tests pin
+/// bit-identity on integers but use tolerances on floats.
+///
+/// Product placement: `P5→C21, P3→C22, P4→C12, P7→TP, P1→C11, P6→TP,
+/// P2→TP`.
+pub const WINOGRAD_INPLACE_SCHEDULE: [Step; 31] = [
+    // S3 = A11 − A21 → A21, T3 = B22 − B12 → B12, P5 = S3·T3 → C21
+    AddA { dst: A21, lhs: A11, rhs: A21, kind: AddKind::Sub },
+    AddB { dst: B12, lhs: B22, rhs: B12, kind: AddKind::Sub },
+    Mul { a: A21, b: B12, dst: C21 },
+    // restore A21 = A11 − S3 and B12 = B22 − T3
+    AddA { dst: A21, lhs: A11, rhs: A21, kind: AddKind::Sub },
+    AddB { dst: B12, lhs: B22, rhs: B12, kind: AddKind::Sub },
+    // S1 = A21 + A22 → A21, T1 = B12 − B11 → B12, P3 = S1·T1 → C22
+    AddA { dst: A21, lhs: A21, rhs: A22, kind: AddKind::Add },
+    AddB { dst: B12, lhs: B12, rhs: B11, kind: AddKind::Sub },
+    Mul { a: A21, b: B12, dst: C22 },
+    // S2 = S1 − A11 → A11, T2 = B22 − T1 → B22, P4 = S2·T2 → C12
+    AddA { dst: A11, lhs: A21, rhs: A11, kind: AddKind::Sub },
+    AddB { dst: B22, lhs: B22, rhs: B12, kind: AddKind::Sub },
+    Mul { a: A11, b: B22, dst: C12 },
+    // S4 = A12 − S2 → A12, T4 = B21 − T2 → B21, P7 = A22·T4 → TP
+    AddA { dst: A12, lhs: A12, rhs: A11, kind: AddKind::Sub },
+    AddB { dst: B21, lhs: B21, rhs: B22, kind: AddKind::Sub },
+    Mul { a: A22, b: B21, dst: TP },
+    // restore B21 = T4 + T2 (B22 still holds T2), A11 = S1 − S2,
+    // B22 = T2 + T1, B12 = T1 + B11
+    AddB { dst: B21, lhs: B21, rhs: B22, kind: AddKind::Add },
+    AddA { dst: A11, lhs: A21, rhs: A11, kind: AddKind::Sub },
+    AddB { dst: B22, lhs: B22, rhs: B12, kind: AddKind::Add },
+    AddB { dst: B12, lhs: B12, rhs: B11, kind: AddKind::Add },
+    // P1 = A11·B11 → C11 (operands restored)
+    Mul { a: A11, b: B11, dst: C11 },
+    // U2 = P1 + P4 → C12, U3 = U2 + P5 → C21
+    AddC { dst: C12, lhs: C11, rhs: C12, kind: AddKind::Add },
+    AddC { dst: C21, lhs: C12, rhs: C21, kind: AddKind::Add },
+    // U6 = U2 + P3 → C12, C22 = U5 = U3 + P3, C21 = U4 = U3 + P7 (frees TP)
+    AddC { dst: C12, lhs: C12, rhs: C22, kind: AddKind::Add },
+    AddC { dst: C22, lhs: C21, rhs: C22, kind: AddKind::Add },
+    AddC { dst: C21, lhs: C21, rhs: TP, kind: AddKind::Add },
+    // P6 = S4·B22 → TP (A12 still holds S4), C12 = U7 = U6 + P6
+    Mul { a: A12, b: B22, dst: TP },
+    AddC { dst: C12, lhs: C12, rhs: TP, kind: AddKind::Add },
+    // restore A12 = (S4 + S1) − S2 and A21 = S1 − A22
+    AddA { dst: A12, lhs: A12, rhs: A21, kind: AddKind::Add },
+    AddA { dst: A12, lhs: A12, rhs: A11, kind: AddKind::Sub },
+    AddA { dst: A21, lhs: A21, rhs: A22, kind: AddKind::Sub },
+    // P2 = A12·B21 → TP, C11 = U1 = P1 + P2
+    Mul { a: A12, b: B21, dst: TP },
+    AddC { dst: C11, lhs: C11, rhs: TP, kind: AddKind::Add },
+];
+
 /// Which of the two §2 recursion schedules to run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Variant {
@@ -280,6 +420,90 @@ impl Variant {
             Variant::Winograd => &WINOGRAD_SCHEDULE,
             Variant::Strassen => &STRASSEN_SCHEDULE,
         }
+    }
+}
+
+/// Memory tier of the recursion-step linearization (Boyer et al.'s
+/// scheduling axis, orthogonal to [`Variant`]). Ordered from most to
+/// least extra memory — the degradation ladder walks it top to bottom
+/// *before* touching fuse depth, parallel depth, recursion depth, or
+/// kernel choice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Schedule {
+    /// The canonical four-temporary schedule (`TS`, `TT`, `TP`, `TQ`):
+    /// per-level extra footprint `qa + qb + 2·qc`.
+    #[default]
+    Standard,
+    /// [`WINOGRAD_LOWMEM_SCHEDULE`]: three temporaries, inputs
+    /// preserved, per-level extra footprint `qa + qb + qc`.
+    LowMem,
+    /// [`WINOGRAD_INPLACE_SCHEDULE`]: one temporary, inputs overwritten
+    /// but restored, per-level extra footprint `qc`.
+    InPlace,
+}
+
+impl Schedule {
+    /// Every tier, ordered from most to least extra memory (ladder
+    /// order).
+    pub const ALL: [Schedule; 3] = [Schedule::Standard, Schedule::LowMem, Schedule::InPlace];
+
+    /// Whether this tier's schedule writes (and then restores) the A/B
+    /// input quadrants — i.e. the executor needs mutable operand views.
+    pub fn overwrites_inputs(self) -> bool {
+        matches!(self, Schedule::InPlace)
+    }
+
+    /// Closed-form extra elements one staged recursion level's
+    /// temporaries occupy, given the level's A/B/C quadrant lengths.
+    pub fn level_temp_elems(self, qa: usize, qb: usize, qc: usize) -> usize {
+        match self {
+            Schedule::Standard => qa + qb + 2 * qc, // TS + TT + TP + TQ
+            Schedule::LowMem => qa + qb + qc,       // TS + TT + TP
+            Schedule::InPlace => qc,                // TP only
+        }
+    }
+
+    /// Canonical lower-case name (tune-profile and config vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Standard => "standard",
+            Schedule::LowMem => "low-mem",
+            Schedule::InPlace => "in-place",
+        }
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "standard" => Ok(Schedule::Standard),
+            "low-mem" | "lowmem" => Ok(Schedule::LowMem),
+            "in-place" | "inplace" => Ok(Schedule::InPlace),
+            other => {
+                Err(format!("unknown schedule {other:?} (expected standard, low-mem, or in-place)"))
+            }
+        }
+    }
+}
+
+/// The step sequence for a `(variant, schedule)` pair. Only the Winograd
+/// recurrences have low-memory linearizations; [`Variant::Strassen`] is
+/// an ablation-only variant and normalizes every tier to its single
+/// schedule (the planner never degrades its tier).
+pub fn steps_for(variant: Variant, schedule: Schedule) -> &'static [Step] {
+    match (variant, schedule) {
+        (Variant::Strassen, _) => &STRASSEN_SCHEDULE,
+        (Variant::Winograd, Schedule::Standard) => &WINOGRAD_SCHEDULE,
+        (Variant::Winograd, Schedule::LowMem) => &WINOGRAD_LOWMEM_SCHEDULE,
+        (Variant::Winograd, Schedule::InPlace) => &WINOGRAD_INPLACE_SCHEDULE,
     }
 }
 
@@ -324,8 +548,30 @@ mod tests {
     use modgemm_mat::naive::naive_product;
     use modgemm_mat::Matrix;
 
+    /// Every implemented `(variant, schedule)` pair with its steps.
+    fn all_pairs() -> [(Variant, Schedule, &'static [Step]); 4] {
+        [
+            (Variant::Winograd, Schedule::Standard, &WINOGRAD_SCHEDULE),
+            (Variant::Winograd, Schedule::LowMem, &WINOGRAD_LOWMEM_SCHEDULE),
+            (Variant::Winograd, Schedule::InPlace, &WINOGRAD_INPLACE_SCHEDULE),
+            (Variant::Strassen, Schedule::Standard, &STRASSEN_SCHEDULE),
+        ]
+    }
+
+    fn a_slot_index(slot: ASlot) -> usize {
+        slot.index()
+    }
+
+    fn b_slot_index(slot: BSlot) -> usize {
+        slot.index()
+    }
+
     /// Interprets a schedule symbolically over owned integer matrices —
-    /// a direct executable proof that the linearization computes `C = A·B`.
+    /// a direct executable proof that the linearization computes
+    /// `C = A·B`. A/B quadrants are writable (the in-place tier
+    /// overwrites them); after the run every input quadrant is asserted
+    /// equal to its original value, proving the RESTORING property that
+    /// recursive legality depends on.
     fn interpret(schedule: &[Step], a: &Matrix<i64>, b: &Matrix<i64>) -> Matrix<i64> {
         let (m, k) = a.dims();
         let (_, n) = b.dims();
@@ -335,36 +581,26 @@ mod tests {
         let sub = |x: &Matrix<i64>, i: usize, j: usize, r: usize, c: usize| {
             Matrix::from_fn(r, c, |ii, jj| x.get(i + ii, j + jj))
         };
-        let aq = [
+        // Writable slot tables: [A11, A12, A21, A22, TS] / [B11, B12,
+        // B21, B22, TT] / [C11, C12, C21, C22, TP, TQ].
+        let mut asl = [
             sub(a, 0, 0, m2, k2),
             sub(a, 0, k2, m2, k2),
             sub(a, m2, 0, m2, k2),
             sub(a, m2, k2, m2, k2),
+            Matrix::zeros(m2, k2),
         ];
-        let bq = [
+        let originals_a = asl[..4].to_vec();
+        let mut bsl = [
             sub(b, 0, 0, k2, n2),
             sub(b, 0, n2, k2, n2),
             sub(b, k2, 0, k2, n2),
             sub(b, k2, n2, k2, n2),
+            Matrix::zeros(k2, n2),
         ];
-        let mut ts = Matrix::zeros(m2, k2);
-        let mut tt = Matrix::zeros(k2, n2);
+        let originals_b = bsl[..4].to_vec();
         let mut cs: Vec<Matrix<i64>> = (0..6).map(|_| Matrix::zeros(m2, n2)).collect();
 
-        let a_val = |slot: ASlot, ts: &Matrix<i64>| match slot {
-            ASlot::A11 => aq[0].clone(),
-            ASlot::A12 => aq[1].clone(),
-            ASlot::A21 => aq[2].clone(),
-            ASlot::A22 => aq[3].clone(),
-            ASlot::TS => ts.clone(),
-        };
-        let b_val = |slot: BSlot, tt: &Matrix<i64>| match slot {
-            BSlot::B11 => bq[0].clone(),
-            BSlot::B12 => bq[1].clone(),
-            BSlot::B21 => bq[2].clone(),
-            BSlot::B22 => bq[3].clone(),
-            BSlot::TT => tt.clone(),
-        };
         let combine = |l: &Matrix<i64>, r: &Matrix<i64>, kind: AddKind| {
             Matrix::from_fn(l.rows(), l.cols(), |i, j| match kind {
                 AddKind::Add => l.get(i, j) + r.get(i, j),
@@ -375,22 +611,30 @@ mod tests {
         for &step in schedule {
             match step {
                 Step::AddA { dst, lhs, rhs, kind } => {
-                    assert_eq!(dst, ASlot::TS, "canonical schedule writes only TS");
-                    ts = combine(&a_val(lhs, &ts), &a_val(rhs, &ts), kind);
+                    let v = combine(&asl[a_slot_index(lhs)], &asl[a_slot_index(rhs)], kind);
+                    asl[a_slot_index(dst)] = v;
                 }
                 Step::AddB { dst, lhs, rhs, kind } => {
-                    assert_eq!(dst, BSlot::TT, "canonical schedule writes only TT");
-                    tt = combine(&b_val(lhs, &tt), &b_val(rhs, &tt), kind);
+                    let v = combine(&bsl[b_slot_index(lhs)], &bsl[b_slot_index(rhs)], kind);
+                    bsl[b_slot_index(dst)] = v;
                 }
                 Step::AddC { dst, lhs, rhs, kind } => {
                     let v = combine(&cs[lhs.index()], &cs[rhs.index()], kind);
                     cs[dst.index()] = v;
                 }
                 Step::Mul { a: sa, b: sb, dst } => {
-                    let v = naive_product(&a_val(sa, &ts), &b_val(sb, &tt));
+                    let v = naive_product(&asl[a_slot_index(sa)], &bsl[b_slot_index(sb)]);
                     cs[dst.index()] = v;
                 }
             }
+        }
+
+        // The RESTORING property: whatever the schedule did to the input
+        // quadrants mid-flight, they must hold their original values at
+        // the end (trivially true for non-overwriting tiers).
+        for q in 0..4 {
+            assert_eq!(asl[q], originals_a[q], "A quadrant {q} not restored");
+            assert_eq!(bsl[q], originals_b[q], "B quadrant {q} not restored");
         }
 
         Matrix::from_fn(m, n, |i, j| {
@@ -423,6 +667,20 @@ mod tests {
     }
 
     #[test]
+    fn lowmem_and_inplace_schedules_compute_exact_product_and_restore_inputs() {
+        // `interpret` itself asserts the restoration of every input
+        // quadrant, so this also proves the in-place tier's RESTORING
+        // property symbolically.
+        for steps in [&WINOGRAD_LOWMEM_SCHEDULE[..], &WINOGRAD_INPLACE_SCHEDULE[..]] {
+            for (m, k, n, seed) in [(4, 4, 4, 1), (8, 6, 10, 2), (2, 2, 2, 3), (6, 12, 4, 4)] {
+                let a: Matrix<i64> = random_matrix(m, k, seed);
+                let b: Matrix<i64> = random_matrix(k, n, seed + 100);
+                assert_eq!(interpret(steps, &a, &b), naive_product(&a, &b), "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
     fn op_counts_match_the_literature() {
         let w = count_ops(&WINOGRAD_SCHEDULE);
         assert_eq!(w.muls, 7, "Winograd uses exactly 7 multiplications");
@@ -433,6 +691,15 @@ mod tests {
         assert_eq!(s.muls, 7, "Strassen uses exactly 7 multiplications");
         assert_eq!(s.adds(), 18, "original Strassen uses 18 additions");
         assert_eq!((s.adds_a, s.adds_b, s.adds_c), (5, 5, 8));
+
+        // The low-memory tier costs no extra arithmetic; the in-place
+        // tier pays 9 extra additions for the restores (Boyer et al.).
+        let lm = count_ops(&WINOGRAD_LOWMEM_SCHEDULE);
+        assert_eq!((lm.muls, lm.adds()), (7, 15));
+        assert_eq!((lm.adds_a, lm.adds_b, lm.adds_c), (4, 4, 7));
+        let ip = count_ops(&WINOGRAD_INPLACE_SCHEDULE);
+        assert_eq!((ip.muls, ip.adds()), (7, 24));
+        assert_eq!((ip.adds_a, ip.adds_b, ip.adds_c), (9, 8, 7));
     }
 
     #[test]
@@ -443,11 +710,117 @@ mod tests {
     }
 
     #[test]
+    fn steps_for_normalizes_strassen_variant() {
+        for s in Schedule::ALL {
+            assert_eq!(steps_for(Variant::Strassen, s).len(), 25);
+        }
+        assert_eq!(steps_for(Variant::Winograd, Schedule::Standard).len(), 22);
+        assert_eq!(steps_for(Variant::Winograd, Schedule::LowMem).len(), 22);
+        assert_eq!(steps_for(Variant::Winograd, Schedule::InPlace).len(), 31);
+    }
+
+    #[test]
+    fn schedule_names_round_trip() {
+        for s in Schedule::ALL {
+            assert_eq!(s.name().parse::<Schedule>(), Ok(s));
+            assert_eq!(format!("{s}").parse::<Schedule>(), Ok(s));
+        }
+        assert!("bogus".parse::<Schedule>().is_err());
+        assert_eq!(Schedule::default(), Schedule::Standard);
+    }
+
+    #[test]
+    fn temp_footprints_strictly_decrease_down_the_ladder() {
+        // qa/qb/qc deliberately distinct so a transposed term would fail.
+        let (qa, qb, qc) = (6, 10, 15);
+        assert_eq!(Schedule::Standard.level_temp_elems(qa, qb, qc), qa + qb + 2 * qc);
+        assert_eq!(Schedule::LowMem.level_temp_elems(qa, qb, qc), qa + qb + qc);
+        assert_eq!(Schedule::InPlace.level_temp_elems(qa, qb, qc), qc);
+        assert!(!Schedule::Standard.overwrites_inputs());
+        assert!(!Schedule::LowMem.overwrites_inputs());
+        assert!(Schedule::InPlace.overwrites_inputs());
+    }
+
+    #[test]
+    fn non_overwriting_schedules_only_write_temporaries() {
+        // Standard and low-mem tiers must never touch an input quadrant
+        // (shared-reference executors rely on this); low-mem must also
+        // never reference TQ (its footprint claims only three temps),
+        // and in-place must never reference TS/TT/TQ (only TP).
+        for (v, s, steps) in all_pairs() {
+            for &step in steps {
+                match step {
+                    Step::AddA { dst, .. } if !s.overwrites_inputs() => {
+                        assert_eq!(dst, ASlot::TS, "{v:?}/{s:?} writes an A quadrant");
+                    }
+                    Step::AddB { dst, .. } if !s.overwrites_inputs() => {
+                        assert_eq!(dst, BSlot::TT, "{v:?}/{s:?} writes a B quadrant");
+                    }
+                    _ => {}
+                }
+                if s == Schedule::LowMem {
+                    if let Step::AddC { dst, lhs, rhs, .. } = step {
+                        for c in [dst, lhs, rhs] {
+                            assert_ne!(c, CSlot::TQ, "low-mem references TQ");
+                        }
+                    }
+                    if let Step::Mul { dst, .. } = step {
+                        assert_ne!(dst, CSlot::TQ, "low-mem references TQ");
+                    }
+                }
+                if s == Schedule::InPlace {
+                    if let Step::AddA { dst, lhs, rhs, .. } = step {
+                        for a in [dst, lhs, rhs] {
+                            assert_ne!(a, ASlot::TS, "in-place references TS");
+                        }
+                    }
+                    if let Step::AddB { dst, lhs, rhs, .. } = step {
+                        for b in [dst, lhs, rhs] {
+                            assert_ne!(b, BSlot::TT, "in-place references TT");
+                        }
+                    }
+                    if let Step::Mul { a, b, dst } = step {
+                        assert_ne!(a, ASlot::TS, "in-place references TS");
+                        assert_ne!(b, BSlot::TT, "in-place references TT");
+                        assert_ne!(dst, CSlot::TQ, "in-place references TQ");
+                    }
+                    if let Step::AddC { dst, lhs, rhs, .. } = step {
+                        for c in [dst, lhs, rhs] {
+                            assert_ne!(c, CSlot::TQ, "in-place references TQ");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overwriting_add_steps_use_supported_alias_forms() {
+        // Every AddA/AddB whose destination is an input quadrant must be
+        // `dst == lhs` (add/sub-assign) or `dst == rhs` (add-assign /
+        // reverse-subtract) — the executor has no out-of-place write
+        // into quadrant storage and never needs `x = x ± x`.
+        for &step in &WINOGRAD_INPLACE_SCHEDULE {
+            match step {
+                Step::AddA { dst, lhs, rhs, .. } => {
+                    assert!(dst == lhs || dst == rhs, "out-of-place A write {step:?}");
+                    assert!(!(dst == lhs && dst == rhs), "fully aliased {step:?}");
+                }
+                Step::AddB { dst, lhs, rhs, .. } => {
+                    assert!(dst == lhs || dst == rhs, "out-of-place B write {step:?}");
+                    assert!(!(dst == lhs && dst == rhs), "fully aliased {step:?}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
     fn every_c_quadrant_is_written() {
         use std::collections::HashSet;
-        for v in [Variant::Winograd, Variant::Strassen] {
+        for (v, sched, steps) in all_pairs() {
             let mut written: HashSet<usize> = HashSet::new();
-            for s in v.schedule() {
+            for s in steps {
                 match s {
                     Step::AddC { dst, .. } | Step::Mul { dst, .. } => {
                         written.insert(dst.index());
@@ -456,7 +829,7 @@ mod tests {
                 }
             }
             for q in 0..4 {
-                assert!(written.contains(&q), "{v:?}: C quadrant {q} never written");
+                assert!(written.contains(&q), "{v:?}/{sched:?}: C quadrant {q} never written");
             }
         }
     }
@@ -465,14 +838,14 @@ mod tests {
     fn muls_overwrite_before_c_quadrants_are_read() {
         // Every C slot must be written (by a Mul) before it is first read
         // by an AddC — the executor relies on never reading stale C.
-        for v in [Variant::Winograd, Variant::Strassen] {
+        for (v, sched, steps) in all_pairs() {
             let mut written = [false; 6];
-            for &s in v.schedule() {
+            for &s in steps {
                 match s {
                     Step::Mul { dst, .. } => written[dst.index()] = true,
                     Step::AddC { dst, lhs, rhs, .. } => {
-                        assert!(written[lhs.index()], "{v:?}: AddC reads unwritten {lhs:?}");
-                        assert!(written[rhs.index()], "{v:?}: AddC reads unwritten {rhs:?}");
+                        assert!(written[lhs.index()], "{v:?}/{sched:?}: AddC reads {lhs:?}");
+                        assert!(written[rhs.index()], "{v:?}/{sched:?}: AddC reads {rhs:?}");
                         written[dst.index()] = true;
                     }
                     _ => {}
@@ -486,8 +859,8 @@ mod tests {
         // A Mul's destination is C-shaped while its operands are A- or
         // B-shaped, so aliasing is impossible by construction; this guards
         // against future schedule edits introducing illegal slot usage.
-        for v in [Variant::Winograd, Variant::Strassen] {
-            for s in v.schedule() {
+        for (_, _, steps) in all_pairs() {
+            for s in steps {
                 if let Step::Mul { a, b, .. } = s {
                     assert!(matches!(
                         a,
@@ -506,12 +879,12 @@ mod tests {
     fn addc_never_fully_aliases() {
         // dst == lhs == rhs would be `x = x ± x`, which the executor's
         // assign forms do not support.
-        for v in [Variant::Winograd, Variant::Strassen] {
-            for s in v.schedule() {
+        for (v, sched, steps) in all_pairs() {
+            for s in steps {
                 if let Step::AddC { dst, lhs, rhs, .. } = s {
                     assert!(
                         !(dst.index() == lhs.index() && dst.index() == rhs.index()),
-                        "{v:?}: fully aliased AddC"
+                        "{v:?}/{sched:?}: fully aliased AddC"
                     );
                 }
             }

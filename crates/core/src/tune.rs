@@ -70,12 +70,13 @@ use crate::error::GemmError;
 /// The profile schema version this build emits and understands. Loading
 /// a profile with a *newer* version fails typed (forward compatibility
 /// is refused, not guessed at), and so does an *older* one: version 2
-/// added the `fuse_depth` knob and version 3 the `batch_window` knob to
-/// every entry, and an older profile's recorded winners were measured
-/// without those axes, so silently defaulting the missing field would
-/// misrepresent the measurement. Re-running `modgemm-tune` regenerates
-/// a current-schema profile.
-pub const PROFILE_SCHEMA_VERSION: u64 = 3;
+/// added the `fuse_depth` knob, version 3 the `batch_window` knob, and
+/// version 4 the `schedule` knob (the memory tier of the recursion-step
+/// linearization) to every entry, and an older profile's recorded
+/// winners were measured without those axes, so silently defaulting the
+/// missing field would misrepresent the measurement. Re-running
+/// `modgemm-tune` regenerates a current-schema profile.
+pub const PROFILE_SCHEMA_VERSION: u64 = 4;
 
 /// Environment variable overriding the profile location (takes
 /// precedence over the `~/.cache/modgemm/profile.json` default).
@@ -117,6 +118,14 @@ pub struct TunedChoice {
     /// count and memory budget). Applied only while the configuration
     /// leaves `batch_window` at its default `0`.
     pub batch_window: usize,
+    /// Memory tier of the recursion-step linearization to pin
+    /// ([`crate::config::SchedulePolicy::Fixed`]). A tuner can find a
+    /// frugal tier fastest when the shrunken working set stays
+    /// cache-resident. Applied only while the configuration leaves
+    /// [`ModgemmConfig::schedule`] at
+    /// [`crate::config::SchedulePolicy::Auto`] and the variant has the
+    /// tier (Winograd; standard applies everywhere).
+    pub schedule: crate::schedule::Schedule,
 }
 
 impl TunedChoice {
@@ -132,6 +141,7 @@ impl TunedChoice {
             threads: 0,
             fuse_depth: 0,
             batch_window: 0,
+            schedule: crate::schedule::Schedule::Standard,
         }
     }
 
@@ -164,6 +174,12 @@ impl TunedChoice {
         }
         if cfg.batch_window == 0 {
             eff.batch_window = self.batch_window;
+        }
+        if cfg.schedule == crate::config::SchedulePolicy::Auto
+            && (self.schedule == crate::schedule::Schedule::Standard
+                || cfg.variant == crate::schedule::Variant::Winograd)
+        {
+            eff.schedule = crate::config::SchedulePolicy::Fixed(self.schedule);
         }
         eff
     }
@@ -323,6 +339,7 @@ impl TuningProfile {
                     threads: near.choice.threads,
                     fuse_depth: near.choice.fuse_depth,
                     batch_window: near.choice.batch_window,
+                    schedule: near.choice.schedule,
                 })
             }
             (Some(e), _) | (_, Some(e)) => Some(e.choice),
@@ -352,7 +369,7 @@ impl TuningProfile {
             s.push_str(&format!(
                 "\n    {{\"m\": {}, \"k\": {}, \"n\": {}, \"tile_min\": {}, \"tile_max\": {}, \
                  \"strassen_min\": {}, \"kernel\": {}, \"parallel_depth\": {}, \"threads\": {}, \
-                 \"fuse_depth\": {}, \"batch_window\": {}, \"score\": {}}}",
+                 \"fuse_depth\": {}, \"batch_window\": {}, \"schedule\": {}, \"score\": {}}}",
                 e.m,
                 e.k,
                 e.n,
@@ -364,6 +381,7 @@ impl TuningProfile {
                 e.choice.threads,
                 e.choice.fuse_depth,
                 e.choice.batch_window,
+                json_str(e.choice.schedule.name()),
                 json_num(e.score),
             ));
         }
@@ -433,6 +451,12 @@ impl TuningProfile {
                     threads: u("threads")?,
                     fuse_depth: u("fuse_depth")?,
                     batch_window: u("batch_window")?,
+                    schedule: get(eo, "schedule")
+                        .and_then(Jv::as_str)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(GemmError::InvalidConfig {
+                            reason: "tuning profile entry names an unknown schedule tier",
+                        })?,
                 },
                 score: get(eo, "score").and_then(num).unwrap_or(0.0),
             };
@@ -820,6 +844,7 @@ mod tests {
                         threads: 1,
                         fuse_depth: 2,
                         batch_window: 0,
+                        schedule: crate::schedule::Schedule::Standard,
                     },
                     score: 3.5,
                 },
@@ -836,6 +861,7 @@ mod tests {
                         threads: 4,
                         fuse_depth: 0,
                         batch_window: 4,
+                        schedule: crate::schedule::Schedule::InPlace,
                     },
                     score: 2.9,
                 },
@@ -868,32 +894,46 @@ mod tests {
             "{\"schema_version\": \"one\", \"entries\": []}".into(),
             "{\"entries\": []}".into(),
             format!("{full}trailing"),
-            "{\"schema_version\": 3, \"entries\": [{\"m\": 0}]}".into(),
-            "{\"schema_version\": 3, \"entries\": [7]}".into(),
+            "{\"schema_version\": 4, \"entries\": [{\"m\": 0}]}".into(),
+            "{\"schema_version\": 4, \"entries\": [7]}".into(),
             // Entry with an inverted tile range.
-            "{\"schema_version\": 3, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":64,\
+            "{\"schema_version\": 4, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":64,\
              \"tile_max\":16,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
-             \"threads\":0,\"fuse_depth\":0,\"batch_window\":0,\"score\":1.0}]}"
+             \"threads\":0,\"fuse_depth\":0,\"batch_window\":0,\"schedule\":\"standard\",\
+             \"score\":1.0}]}"
                 .into(),
             // Unknown kernel name.
-            "{\"schema_version\": 3, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+            "{\"schema_version\": 4, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
              \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"turbo\",\"parallel_depth\":0,\
-             \"threads\":0,\"fuse_depth\":0,\"batch_window\":0,\"score\":1.0}]}"
+             \"threads\":0,\"fuse_depth\":0,\"batch_window\":0,\"schedule\":\"standard\",\
+             \"score\":1.0}]}"
                 .into(),
             // Entry missing the v2 fuse_depth field.
-            "{\"schema_version\": 3, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+            "{\"schema_version\": 4, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
              \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
-             \"threads\":0,\"batch_window\":0,\"score\":1.0}]}"
+             \"threads\":0,\"batch_window\":0,\"schedule\":\"standard\",\"score\":1.0}]}"
                 .into(),
             // Entry missing the v3 batch_window field.
-            "{\"schema_version\": 3, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+            "{\"schema_version\": 4, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
              \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
-             \"threads\":0,\"fuse_depth\":0,\"score\":1.0}]}"
+             \"threads\":0,\"fuse_depth\":0,\"schedule\":\"standard\",\"score\":1.0}]}"
+                .into(),
+            // Entry missing the v4 schedule field.
+            "{\"schema_version\": 4, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+             \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
+             \"threads\":0,\"fuse_depth\":0,\"batch_window\":0,\"score\":1.0}]}"
+                .into(),
+            // Entry naming an unknown schedule tier.
+            "{\"schema_version\": 4, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+             \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
+             \"threads\":0,\"fuse_depth\":0,\"batch_window\":0,\"schedule\":\"psychic\",\
+             \"score\":1.0}]}"
                 .into(),
             // Entry recording a fuse depth beyond MAX_FUSE.
-            "{\"schema_version\": 3, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
+            "{\"schema_version\": 4, \"entries\": [{\"m\":8,\"k\":8,\"n\":8,\"tile_min\":16,\
              \"tile_max\":64,\"strassen_min\":0,\"kernel\":\"blocked\",\"parallel_depth\":0,\
-             \"threads\":0,\"fuse_depth\":9,\"batch_window\":0,\"score\":1.0}]}"
+             \"threads\":0,\"fuse_depth\":9,\"batch_window\":0,\"schedule\":\"standard\",\
+             \"score\":1.0}]}"
                 .into(),
         ];
         // Truncate the valid serialization at many byte offsets: every
@@ -914,7 +954,7 @@ mod tests {
 
     #[test]
     fn future_schema_version_fails_typed() {
-        let text = "{\"schema_version\": 4, \"entries\": []}";
+        let text = "{\"schema_version\": 99, \"entries\": []}";
         match TuningProfile::from_json_str(text) {
             Err(GemmError::InvalidConfig { reason }) => {
                 assert!(reason.contains("newer"), "{reason}");
@@ -929,13 +969,15 @@ mod tests {
 
     #[test]
     fn outdated_schema_version_fails_typed() {
-        // Version 1 predates the fuse_depth knob and version 2 the
-        // batch_window knob: their recorded winners were measured
-        // without those axes, so both are refused typed rather than
-        // silently defaulted.
-        for text in
-            ["{\"schema_version\": 1, \"entries\": []}", "{\"schema_version\": 2, \"entries\": []}"]
-        {
+        // Version 1 predates the fuse_depth knob, version 2 the
+        // batch_window knob, and version 3 the schedule knob: their
+        // recorded winners were measured without those axes, so all are
+        // refused typed rather than silently defaulted.
+        for text in [
+            "{\"schema_version\": 1, \"entries\": []}",
+            "{\"schema_version\": 2, \"entries\": []}",
+            "{\"schema_version\": 3, \"entries\": []}",
+        ] {
             match TuningProfile::from_json_str(text) {
                 Err(GemmError::InvalidConfig { reason }) => {
                     assert!(reason.contains("outdated"), "{reason}");
@@ -978,6 +1020,7 @@ mod tests {
             threads: 4,
             fuse_depth: 1,
             batch_window: 6,
+            schedule: crate::schedule::Schedule::LowMem,
         };
         // Default config: every knob consults the choice (except kernel,
         // which only Auto delegates).
@@ -990,6 +1033,18 @@ mod tests {
         assert_eq!(eff.leaf_kernel, KernelKind::Blocked, "pinned Blocked default wins");
         assert_eq!(eff.fuse_depth, FuseDepth::Fixed(1), "Auto fuse_depth consults the profile");
         assert_eq!(eff.batch_window, 6, "auto batch_window consults the profile");
+        assert_eq!(
+            eff.schedule,
+            crate::config::SchedulePolicy::Fixed(crate::schedule::Schedule::LowMem),
+            "Auto schedule consults the profile"
+        );
+        // A recorded frugal tier never reaches the Strassen variant
+        // (which has only the standard linearization).
+        let strassen =
+            ModgemmConfig { variant: crate::schedule::Variant::Strassen, ..Default::default() };
+        let eff = choice.apply_to(&strassen, 256, 256, 256);
+        assert_eq!(eff.schedule, crate::config::SchedulePolicy::Auto);
+        assert!(eff.validate().is_ok(), "profile application must never create an invalid config");
 
         // Auto delegates kernel selection to the choice.
         let auto = ModgemmConfig { leaf_kernel: KernelKind::Auto, ..Default::default() };
@@ -1014,6 +1069,15 @@ mod tests {
         assert_eq!(eff.leaf_kernel, KernelKind::Micro);
         assert_eq!(eff.fuse_depth, FuseDepth::Fixed(2), "explicit fuse_depth wins");
         assert_eq!(eff.batch_window, 3, "explicit batch_window wins");
+        let pinned_sched = ModgemmConfig {
+            schedule: crate::config::SchedulePolicy::Fixed(crate::schedule::Schedule::InPlace),
+            ..Default::default()
+        };
+        assert_eq!(
+            choice.apply_to(&pinned_sched, 256, 256, 256).schedule,
+            crate::config::SchedulePolicy::Fixed(crate::schedule::Schedule::InPlace),
+            "explicit schedule wins"
+        );
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Property tests for the Boyer et al. schedule tiers (standard /
+//! low-mem / in-place): the tier changes *where temporaries live*, never
+//! *what is computed*. On integer scalars every tier must be
+//! **bit-identical** to the standard schedule — the low-mem
+//! linearization reorders nothing arithmetic, and the in-place
+//! schedule's operand-restoring add chains are exact on `i64` (adds and
+//! subtracts cancel exactly; only floats see rounding perturbation).
+//!
+//! Covered here, per the PR checklist:
+//! * every tier × every leaf kernel × fuse depths × thread counts
+//!   {1, 2, 7} × ragged shapes, bit-identical to standard on `i64`;
+//! * warm-context re-execution stays allocation-free on every tier, and
+//!   the measured peak workspace equals the planned arena exactly (the
+//!   closed-form `counts` model);
+//! * cooperative cancellation at every task-dequeue index of a pooled
+//!   in-place plan: typed outcome, warm exact allocation-free follow-up.
+
+use modgemm::core::plan::GemmPlan;
+use modgemm::core::{
+    CancelToken, CollectingSink, GemmContext, GemmError, ModgemmConfig, NoopSink, Schedule,
+    SchedulePolicy, Truncation,
+};
+use modgemm::mat::gen::random_matrix;
+use modgemm::mat::{KernelKind, Matrix, Op};
+use modgemm::morton::TileRange;
+use proptest::prelude::*;
+
+/// Serial, fewer workers than one node's seven products, and exactly
+/// seven — the counts the checklist pins.
+const THREADS: [usize; 3] = [1, 2, 7];
+
+/// Runs a planned execution of `cfg` and returns the product plus the
+/// metrics of a second (warm) execution on the same context.
+fn run_planned(
+    cfg: &ModgemmConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &Matrix<i64>,
+    b: &Matrix<i64>,
+) -> Result<(Matrix<i64>, GemmPlan<i64>, CollectingSink), GemmError> {
+    let plan = GemmPlan::<i64>::try_new(m, k, n, cfg)?;
+    let mut ctx = GemmContext::new();
+    let mut c: Matrix<i64> = Matrix::zeros(m, n);
+    plan.try_execute(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0, c.view_mut(), &mut ctx)?;
+    // The warm re-execution: same plan, same context, fresh output.
+    let mut c2: Matrix<i64> = Matrix::zeros(m, n);
+    let mut sink = CollectingSink::new();
+    plan.try_execute_with_metrics(
+        1,
+        Op::NoTrans,
+        a.view(),
+        Op::NoTrans,
+        b.view(),
+        0,
+        c2.view_mut(),
+        &mut ctx,
+        &mut sink,
+    )?;
+    assert_eq!(c, c2, "warm re-execution must be bit-identical to the cold one");
+    Ok((c, plan, sink))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Every schedule tier, pinned through the public config, is
+    /// bit-identical to the standard schedule on `i64` across ragged
+    /// shapes, leaf kernels, fuse depths, and thread counts — and every
+    /// warm re-execution is allocation-free with a measured peak
+    /// workspace exactly equal to the planned arena.
+    #[test]
+    fn every_tier_is_bitwise_standard_on_i64(
+        m in 1usize..72,
+        k in 1usize..72,
+        n in 1usize..72,
+        kernel_ix in 0usize..KernelKind::ALL.len(),
+        fuse in 0usize..3,
+        threads_ix in 0usize..THREADS.len(),
+        par_depth in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let a: Matrix<i64> = random_matrix(m, k, seed);
+        let b: Matrix<i64> = random_matrix(k, n, seed + 7);
+        let base = ModgemmConfig {
+            truncation: Truncation::MinPadding(TileRange::new(4, 16)),
+            leaf_kernel: KernelKind::ALL[kernel_ix],
+            fuse_depth: modgemm::core::FuseDepth::Fixed(fuse.min(modgemm::core::fuse::MAX_FUSE)),
+            parallel_depth: par_depth,
+            threads: THREADS[threads_ix],
+            ..ModgemmConfig::paper()
+        };
+
+        let (c_std, _, _) = run_planned(&base, m, k, n, &a, &b).unwrap();
+
+        for sched in Schedule::ALL {
+            let cfg = ModgemmConfig { schedule: SchedulePolicy::Fixed(sched), ..base };
+            let (c, plan, sink) = run_planned(&cfg, m, k, n, &a, &b).unwrap();
+            prop_assert_eq!(
+                &c, &c_std,
+                "tier {:?} kernel {:?} fuse {} par_depth {} threads {} must be bitwise standard",
+                sched, base.leaf_kernel, fuse, par_depth, THREADS[threads_ix]
+            );
+            prop_assert_eq!(
+                sink.metrics.temp_alloc_bytes, 0,
+                "tier {:?}: warm re-execution must be allocation-free", sched
+            );
+            if plan.strassen_levels() > plan.fused_levels() {
+                // Staged levels exist, so the tier was actually run (a
+                // fully fused or conventional plan normalizes away).
+                prop_assert_eq!(
+                    sink.metrics.schedule_selected, Some(plan.schedule()),
+                    "metrics must report the executed tier"
+                );
+            }
+            if plan.arena_len() > 0 {
+                // The measured peak equals the closed-form arena model
+                // exactly — for the serial interpreter the peak is the
+                // summed per-level slots, for the pooled DAG the slab.
+                prop_assert_eq!(
+                    sink.metrics.workspace_used_elems, plan.arena_len(),
+                    "tier {:?}: measured peak workspace must match the planned arena", sched
+                );
+            }
+        }
+    }
+
+    /// The one-shot shared-reference pipeline cannot run the
+    /// input-overwriting tier, but standard and low-mem flow through it;
+    /// both must match the planned standard product exactly.
+    #[test]
+    fn shared_reference_pipeline_runs_the_borrowable_tiers(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let a: Matrix<i64> = random_matrix(m, k, seed);
+        let b: Matrix<i64> = random_matrix(k, n, seed + 3);
+        let base = ModgemmConfig {
+            truncation: Truncation::MinPadding(TileRange::new(4, 16)),
+            ..ModgemmConfig::paper()
+        };
+        let mut c_std: Matrix<i64> = Matrix::zeros(m, n);
+        modgemm::core::try_modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0,
+            c_std.view_mut(), &base).unwrap();
+        for sched in [Schedule::Standard, Schedule::LowMem] {
+            let cfg = ModgemmConfig { schedule: SchedulePolicy::Fixed(sched), ..base };
+            let mut c: Matrix<i64> = Matrix::zeros(m, n);
+            modgemm::core::try_modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0,
+                c.view_mut(), &cfg).unwrap();
+            prop_assert_eq!(&c, &c_std, "one-shot tier {:?} must be bitwise standard", sched);
+        }
+        // A pinned in-place tier is *clamped* (not refused) on the
+        // shared-reference path: it still computes the exact product.
+        let cfg = ModgemmConfig { schedule: SchedulePolicy::Fixed(Schedule::InPlace), ..base };
+        let mut c: Matrix<i64> = Matrix::zeros(m, n);
+        modgemm::core::try_modgemm(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0,
+            c.view_mut(), &cfg).unwrap();
+        prop_assert_eq!(&c, &c_std, "clamped in-place pin must still be exact");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Cancelling a pooled in-place plan at every task-dequeue index:
+    /// the in-place tier scribbles on its packed operand quadrants
+    /// mid-flight, so an interrupted run must never poison the context —
+    /// the warm follow-up must be allocation-free and bit-identical.
+    #[test]
+    fn cancel_at_every_task_index_with_the_in_place_tier(
+        m in 24usize..56,
+        k in 24usize..56,
+        n in 24usize..56,
+        seed in 0u64..1000,
+    ) {
+        let cfg = ModgemmConfig {
+            truncation: Truncation::MinPadding(TileRange::new(4, 16)),
+            parallel_depth: 1,
+            threads: 4,
+            schedule: SchedulePolicy::Fixed(Schedule::InPlace),
+            ..ModgemmConfig::paper()
+        };
+        let plan = GemmPlan::<i64>::try_new(m, k, n, &cfg).unwrap();
+        let tasks = plan.parallel_tasks() as u64;
+        prop_assert!(tasks > 0, "these shapes must compile a parallel DAG");
+        prop_assert_eq!(plan.schedule(), Schedule::InPlace, "the pin must survive planning");
+
+        let a: Matrix<i64> = random_matrix(m, k, seed);
+        let b: Matrix<i64> = random_matrix(k, n, seed + 7);
+        let mut ctx = GemmContext::new();
+        let mut c_ref: Matrix<i64> = Matrix::zeros(m, n);
+        plan.try_execute(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0,
+            c_ref.view_mut(), &mut ctx).unwrap();
+
+        for cut in 0..=tasks {
+            let token = CancelToken::cancelling_after(cut);
+            let mut c: Matrix<i64> = Matrix::zeros(m, n);
+            match plan.try_execute_cancellable_with_metrics(
+                1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0,
+                c.view_mut(), &mut ctx, &token, &mut NoopSink,
+            ) {
+                Ok(_) => prop_assert_eq!(&c, &c_ref, "completed run must be exact (cut {})", cut),
+                Err(GemmError::Cancelled) => {}
+                other => prop_assert!(false, "unexpected outcome at cut {}: {:?}", cut, other),
+            }
+
+            let mut c2: Matrix<i64> = Matrix::zeros(m, n);
+            let mut sink = CollectingSink::new();
+            plan.try_execute_with_metrics(1, Op::NoTrans, a.view(), Op::NoTrans, b.view(), 0,
+                c2.view_mut(), &mut ctx, &mut sink).unwrap();
+            prop_assert_eq!(&c2, &c_ref, "follow-up after cut {} must be exact", cut);
+            prop_assert_eq!(sink.metrics.temp_alloc_bytes, 0,
+                "follow-up after cut {} must be allocation-free", cut);
+        }
+    }
+}
+
+/// One deterministic anchor so a broken harness assumption fails loudly:
+/// the three tiers pin distinct arena sizes for the same plan, ordered
+/// standard > low-mem > in-place.
+#[test]
+fn tiers_order_the_planned_arena() {
+    let mk = |sched| {
+        let cfg = ModgemmConfig {
+            truncation: Truncation::Fixed(16),
+            schedule: SchedulePolicy::Fixed(sched),
+            ..ModgemmConfig::paper()
+        };
+        GemmPlan::<i64>::try_new(256, 256, 256, &cfg).unwrap().arena_len()
+    };
+    let (std_len, lm, ip) = (mk(Schedule::Standard), mk(Schedule::LowMem), mk(Schedule::InPlace));
+    assert!(std_len > lm && lm > ip, "arena must shrink per tier: {std_len} > {lm} > {ip}");
+}
